@@ -1,0 +1,72 @@
+// Exhibit A2 (our ablation) — the scoring model's components (paper §4):
+// tf-like evidence counts, idf-like selectivity, extraction confidence,
+// and max-vs-sum combination over derivations. Each switch is disabled
+// in turn on the E1 workload.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/runner.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace trinit;
+
+double Ndcg5For(const core::Trinit& engine,
+                const eval::Workload& workload) {
+  eval::SystemUnderTest system{
+      "sut",
+      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
+        auto r = engine.Query(q.text, k);
+        if (!r.ok()) return {};
+        return eval::KeysFromResult(engine.xkg(), *r);
+      }};
+  return eval::Runner::Run(workload, {system}, 10)[0].ndcg5;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("[A2] scoring-component ablation (NDCG@5 on the E1 "
+              "workload)\n\n");
+
+  synth::World world = bench::EvalWorld();
+  eval::WorkloadGenerator::Options wopts;
+  wopts.num_queries = 40;
+  eval::Workload workload = eval::WorkloadGenerator::Generate(world, wopts);
+
+  struct Config {
+    const char* name;
+    bool tf, idf, confidence, max_over_derivations;
+  } configs[] = {
+      {"full scoring model", true, true, true, true},
+      {"- tf (evidence counts)", false, true, true, true},
+      {"- idf (selectivity)", true, false, true, true},
+      {"- extraction confidence", true, true, false, true},
+      {"sum over derivations", true, true, true, false},
+  };
+
+  AsciiTable table({"configuration", "NDCG@5", "delta vs full"});
+  double full = -1.0;
+  for (const Config& config : configs) {
+    core::TrinitOptions options;
+    options.scorer.use_tf = config.tf;
+    options.scorer.use_idf = config.idf;
+    options.scorer.use_confidence = config.confidence;
+    options.processor.join.max_over_derivations =
+        config.max_over_derivations;
+    auto engine = core::Trinit::FromWorld(world, options);
+    if (!engine.ok()) return 1;
+    double ndcg = Ndcg5For(*engine, workload);
+    if (full < 0) full = ndcg;
+    table.AddRow({config.name, FormatDouble(ndcg, 3),
+                  FormatDouble(ndcg - full, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("the language-model components are complementary; the "
+              "paper's choice of max over derivation sequences keeps "
+              "duplicate derivations from inflating scores.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Exhibit A3 (our ablation) — robustness to extraction-pipeline quality.
+// The paper's XKG triples "come with substantially lower confidence than
+// the facts of the original KG" (§2); this bench degrades the extractor
+// and the entity linker and measures how retrieval quality responds,
+// quantifying how much the scoring model's confidence attenuation buys.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/runner.h"
+#include "openie/pipeline.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace trinit;
+
+double Ndcg5(const synth::World& world, const eval::Workload& workload,
+             openie::Extractor::Options extractor_options,
+             openie::Linker::Options linker_options) {
+  xkg::XkgBuilder builder;
+  synth::KgGenerator::PopulateKg(world, &builder);
+  auto docs = synth::CorpusGenerator::Generate(world);
+  openie::Pipeline pipeline(
+      openie::Extractor(extractor_options),
+      openie::Pipeline::LinkerForWorld(world, linker_options));
+  pipeline.Run(docs, &builder);
+  auto xkg = builder.Build();
+  if (!xkg.ok()) return -1.0;
+  auto engine = core::Trinit::Open(std::move(xkg).value());
+  if (!engine.ok()) return -1.0;
+
+  eval::SystemUnderTest system{
+      "sut",
+      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
+        auto r = engine->Query(q.text, k);
+        if (!r.ok()) return {};
+        return eval::KeysFromResult(engine->xkg(), *r);
+      }};
+  return eval::Runner::Run(workload, {system}, 10)[0].ndcg5;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("[A3] pipeline-noise ablation (NDCG@5 on the E1 "
+              "workload)\n\n");
+
+  synth::World world = bench::EvalWorld();
+  eval::WorkloadGenerator::Options wopts;
+  wopts.num_queries = 40;
+  eval::Workload workload = eval::WorkloadGenerator::Generate(world, wopts);
+
+  openie::Extractor::Options clean_extractor;
+  openie::Linker::Options clean_linker;
+
+  openie::Extractor::Options sloppy_extractor;
+  sloppy_extractor.max_relation_tokens = 12;
+  sloppy_extractor.base_confidence = 0.45;
+  sloppy_extractor.min_confidence = 0.05;
+
+  openie::Linker::Options timid_linker;
+  timid_linker.dominance_threshold = 0.95;  // links almost nothing
+  openie::Linker::Options reckless_linker;
+  reckless_linker.dominance_threshold = 0.05;  // links everything
+
+  struct Config {
+    const char* name;
+    openie::Extractor::Options extractor;
+    openie::Linker::Options linker;
+  } configs[] = {
+      {"clean pipeline", clean_extractor, clean_linker},
+      {"sloppy extractor", sloppy_extractor, clean_linker},
+      {"timid linker (few links)", clean_extractor, timid_linker},
+      {"reckless linker (wrong links)", clean_extractor, reckless_linker},
+      {"sloppy + reckless", sloppy_extractor, reckless_linker},
+  };
+
+  AsciiTable table({"pipeline condition", "NDCG@5", "delta vs clean"});
+  double clean = -1.0;
+  for (const Config& config : configs) {
+    double ndcg = Ndcg5(world, workload, config.extractor, config.linker);
+    if (clean < 0) clean = ndcg;
+    table.AddRow({config.name, FormatDouble(ndcg, 3),
+                  FormatDouble(ndcg - clean, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("reading: under-linking (timid) hurts most — unlinked "
+              "arguments stay tokens and stop joining with KG entities. "
+              "Aggressive linking and sloppy extraction cost little and "
+              "can even help recall: wrong, low-confidence triples are "
+              "kept but attenuated by the scoring model, so they only "
+              "surface when nothing better exists. That asymmetry "
+              "(recall cheap, precision recoverable by ranking) is the "
+              "design bet behind extending the KG with noisy Open IE "
+              "output (paper §2).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Exhibit E1 — the paper's quantitative evaluation (§4): "On a
+// challenging set of 70 entity-relationship queries, we achieve an
+// average NDCG at rank 5 of 0.775, with the next best state-of-the-art
+// system achieving 0.419."
+//
+// We regenerate the experiment on the synthetic world: 70 ER queries
+// with programmatic qrels, TriniT against three baselines. The absolute
+// numbers differ (different KG, different judges); the *shape* — TriniT
+// far ahead of every non-relaxing system — is the reproduction target.
+
+#include <cstdio>
+
+#include "baselines/exact_engine.h"
+#include "baselines/keyword_engine.h"
+#include "bench_util.h"
+#include "eval/runner.h"
+#include "query/parser.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace trinit;
+
+  std::printf("[E1] NDCG@5 on 70 entity-relationship queries\n\n");
+
+  synth::World world = bench::EvalWorld();
+  auto engine = core::Trinit::FromWorld(world);
+  if (!engine.ok()) return 1;
+
+  // KG-only condition: same world, extraction layer withheld.
+  xkg::XkgBuilder kg_builder;
+  synth::KgGenerator::PopulateKg(world, &kg_builder);
+  auto kg_only = kg_builder.Build();
+  if (!kg_only.ok()) return 1;
+
+  baselines::ExactEngine kg_exact(*kg_only, {});
+  baselines::ExactEngine xkg_exact(engine->xkg(), {});
+  baselines::KeywordEngine keyword(engine->xkg(), {});
+
+  eval::WorkloadGenerator::Options wopts;
+  wopts.num_queries = 70;
+  eval::Workload workload = eval::WorkloadGenerator::Generate(world, wopts);
+  std::printf("workload: %zu queries, %zu judged answers\n\n",
+              workload.queries.size(),
+              [&] {
+                size_t n = 0;
+                for (const auto& q : workload.queries) {
+                  n += workload.qrels.RelevantCount(q.id);
+                }
+                return n;
+              }());
+
+  std::vector<eval::SystemUnderTest> systems;
+  systems.push_back(
+      {"TriniT (relax + XKG)",
+       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
+         auto r = engine->Query(q.text, k);
+         if (!r.ok()) return {};
+         return eval::KeysFromResult(engine->xkg(), *r);
+       }});
+  systems.push_back(
+      {"XKG exact (no relax)",
+       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
+         auto parsed = query::Parser::Parse(q.text, &engine->xkg().dict());
+         if (!parsed.ok()) return {};
+         auto r = xkg_exact.Answer(*parsed, k);
+         if (!r.ok()) return {};
+         return eval::KeysFromResult(engine->xkg(), *r);
+       }});
+  systems.push_back(
+      {"KG exact (SPARQL-ish)",
+       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
+         auto parsed = query::Parser::Parse(q.text, &kg_only->dict());
+         if (!parsed.ok()) return {};
+         auto r = kg_exact.Answer(*parsed, k);
+         if (!r.ok()) return {};
+         return eval::KeysFromResult(*kg_only, *r);
+       }});
+  systems.push_back(
+      {"Keyword (SLQ-ish)",
+       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
+         auto parsed = query::Parser::Parse(q.text, &engine->xkg().dict());
+         if (!parsed.ok()) return {};
+         auto r = keyword.Answer(*parsed, k);
+         if (!r.ok()) return {};
+         return eval::KeysFromResult(engine->xkg(), *r);
+       }});
+
+  auto reports = eval::Runner::Run(workload, systems, 10);
+
+  AsciiTable table({"system", "NDCG@5", "NDCG@10", "MAP", "P@1", "MRR",
+                    "answered", "ms/query"});
+  for (const auto& report : reports) {
+    table.AddRow({report.name, FormatDouble(report.ndcg5, 3),
+                  FormatDouble(report.ndcg10, 3),
+                  FormatDouble(report.map, 3), FormatDouble(report.p1, 3),
+                  FormatDouble(report.mrr, 3),
+                  FormatDouble(report.answered, 2),
+                  FormatDouble(report.mean_latency_ms, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Per-archetype breakdown for the winning system.
+  const auto& trinit_report = reports[0];
+  AsciiTable archetypes({"archetype", "TriniT NDCG@5"});
+  for (size_t i = 0; i < trinit_report.archetypes.size(); ++i) {
+    archetypes.AddRow({trinit_report.archetypes[i],
+                       FormatDouble(trinit_report.ndcg5_by_archetype[i],
+                                    3)});
+  }
+  std::printf("%s\n", archetypes.ToString().c_str());
+
+  double ratio = reports[0].ndcg5 /
+                 std::max({reports[1].ndcg5, reports[2].ndcg5,
+                           reports[3].ndcg5, 1e-9});
+  std::printf("paper: TriniT 0.775 vs next best 0.419 (1.85x). "
+              "measured: %.3f vs %.3f (%.2fx next best).\n",
+              reports[0].ndcg5,
+              std::max({reports[1].ndcg5, reports[2].ndcg5,
+                        reports[3].ndcg5}),
+              ratio);
+  return 0;
+}

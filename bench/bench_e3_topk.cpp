@@ -1,0 +1,83 @@
+// Exhibit E3 — the paper's top-k claim (§4): "It is crucial to avoid
+// exploring the entire space of possible rewritings, as this can be
+// prohibitively expensive. TriniT uses a top-k approach ... invoking a
+// relaxation only when it can contribute to the top-k answers."
+//
+// We run the incremental processor against the exhaustive comparator on
+// the same queries and rewrite space, sweeping k and the rule budget,
+// and report latency plus how much of the rewrite space each one paid
+// for. (Both return identical answers — property-tested.)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/parser.h"
+#include "topk/exhaustive_processor.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace trinit;
+
+  std::printf("[E3] incremental top-k vs exhaustive rewriting\n\n");
+
+  synth::World world = bench::EvalWorld(7);
+  auto engine = core::Trinit::FromWorld(world);
+  if (!engine.ok()) return 1;
+  const xkg::Xkg& xkg = engine->xkg();
+  const relax::RuleSet& rules = engine->rules();
+  std::printf("world: %zu triples, %zu relaxation rules\n\n",
+              xkg.store().size(), rules.size());
+
+  // Query mix: token-predicate lookups and joins on the synthetic world.
+  const auto& unis = world.OfClass(synth::EntityClass::kUniversity);
+  const auto& cities = world.OfClass(synth::EntityClass::kCity);
+  const auto& persons = world.OfClass(synth::EntityClass::kPerson);
+  std::vector<std::string> queries = {
+      "?x 'works at' " + world.entities[unis[0]].name,
+      world.entities[persons[0]].name + " hasAdvisor ?x",
+      "SELECT ?x WHERE ?x affiliation ?u ; ?u campusIn " +
+          world.entities[cities[0]].name,
+      "?x wonPrize ?p",
+  };
+
+  AsciiTable table({"k", "query", "inc ms", "exh ms", "speedup",
+                    "inc opened", "exh opened", "inc pulls", "exh pulls"});
+  for (int k : {1, 5, 20}) {
+    for (const std::string& text : queries) {
+      auto q = query::Parser::Parse(text, &xkg.dict());
+      if (!q.ok()) return 1;
+
+      topk::ProcessorOptions opts;
+      opts.k = k;
+      topk::TopKProcessor incremental(xkg, rules, {}, opts);
+      topk::ExhaustiveProcessor exhaustive(xkg, rules, {}, opts);
+
+      WallTimer t1;
+      auto inc = incremental.Answer(*q);
+      double inc_ms = t1.ElapsedMillis();
+      WallTimer t2;
+      auto exh = exhaustive.Answer(*q);
+      double exh_ms = t2.ElapsedMillis();
+      if (!inc.ok() || !exh.ok()) return 1;
+
+      std::string label = text.size() > 38 ? text.substr(0, 35) + "..."
+                                           : text;
+      table.AddRow({std::to_string(k), label, FormatDouble(inc_ms, 1),
+                    FormatDouble(exh_ms, 1),
+                    FormatDouble(exh_ms / std::max(inc_ms, 1e-3), 1) + "x",
+                    std::to_string(inc->stats.alternatives_opened),
+                    std::to_string(exh->stats.alternatives_opened),
+                    std::to_string(inc->stats.items_pulled),
+                    std::to_string(exh->stats.items_pulled)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("shape check: the incremental processor opens a fraction "
+              "of the relaxation alternatives and pulls far fewer "
+              "index-list items, with the gap widening for small k — "
+              "the paper's rationale for incremental merging.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Exhibit F6 — Figure 6 of the paper (screenshot): the TriniT answer
+// explanation. Reproduces the explanation of the user-C answer: the KG
+// triples, the XKG triple with its source sentence, and the relaxation
+// rule that was invoked.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/parser.h"
+
+int main() {
+  using namespace trinit;
+
+  std::printf("[F6] Figure 6: TriniT answer explanation (headless)\n\n");
+
+  core::Trinit engine = bench::OpenPaperEngine();
+  auto q = query::Parser::Parse(
+      "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member "
+      "IvyLeague",
+      &engine.xkg().dict());
+  if (!q.ok()) return 1;
+  auto result = engine.Answer(*q, 5);
+  if (!result.ok() || result->answers.empty()) {
+    std::fprintf(stderr, "expected an answer for user C\n");
+    return 1;
+  }
+
+  for (size_t rank = 0; rank < result->answers.size(); ++rank) {
+    std::printf("%s\n", engine.Explain(*result, rank).ToString().c_str());
+  }
+
+  std::printf("paper's explanation shows: (i) contributing KG triples, "
+              "(ii) contributing XKG triples with provenance, (iii) the "
+              "invoked relaxation rules — all three sections rendered "
+              "above.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Exhibit M1 — substrate micro-benchmarks (google-benchmark): the
+// dictionary, the 6-permutation triple store, the phrase index, the
+// Open IE extractor, and the end-to-end per-query cost of the top-k
+// processor on the paper world.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "openie/extractor.h"
+#include "query/parser.h"
+#include "text/phrase_index.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace trinit;
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::Dictionary dict;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          dict.InternResource("entity_" + std::to_string(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DictionaryIntern)->Arg(1000)->Arg(10000);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  rdf::Dictionary dict;
+  for (int i = 0; i < state.range(0); ++i) {
+    dict.InternResource("entity_" + std::to_string(i));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Find(
+        rdf::TermKind::kResource,
+        "entity_" + std::to_string(i++ % state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryLookup)->Arg(10000);
+
+rdf::TripleStore BuildRandomStore(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  rdf::TripleStoreBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.Add(static_cast<rdf::TermId>(1 + rng.Uniform(n / 4 + 1)),
+                static_cast<rdf::TermId>(1 + rng.Uniform(64)),
+                static_cast<rdf::TermId>(1 + rng.Uniform(n / 4 + 1)));
+  }
+  auto r = builder.Build();
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+void BM_TripleStoreBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildRandomStore(static_cast<size_t>(state.range(0)), 42));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TripleStoreBuild)->Arg(10000)->Arg(100000);
+
+void BM_TripleStoreMatchByPredicate(benchmark::State& state) {
+  rdf::TripleStore store =
+      BuildRandomStore(static_cast<size_t>(state.range(0)), 42);
+  Rng rng(7);
+  for (auto _ : state) {
+    rdf::TermId p = static_cast<rdf::TermId>(1 + rng.Uniform(64));
+    benchmark::DoNotOptimize(store.Match(rdf::kNullTerm, p, rdf::kNullTerm));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStoreMatchByPredicate)->Arg(100000);
+
+void BM_TripleStorePointLookup(benchmark::State& state) {
+  rdf::TripleStore store =
+      BuildRandomStore(static_cast<size_t>(state.range(0)), 42);
+  Rng rng(9);
+  for (auto _ : state) {
+    const rdf::Triple& t = store.triple(
+        static_cast<rdf::TripleId>(rng.Uniform(store.size())));
+    benchmark::DoNotOptimize(store.Find(t.s, t.p, t.o));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStorePointLookup)->Arg(100000);
+
+void BM_PhraseIndexFindSimilar(benchmark::State& state) {
+  rdf::Dictionary dict;
+  Rng rng(5);
+  const char* verbs[] = {"works", "lectured", "won", "born", "located"};
+  const char* nouns[] = {"prize", "university", "institute", "city",
+                         "award"};
+  for (int i = 0; i < 5000; ++i) {
+    dict.InternToken(std::string(verbs[rng.Uniform(5)]) + " at the " +
+                     nouns[rng.Uniform(5)] + " " + std::to_string(i % 97));
+  }
+  text::PhraseIndex index = text::PhraseIndex::Build(dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.FindSimilar("won the prize", 0.3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhraseIndexFindSimilar);
+
+void BM_OpenIeExtract(benchmark::State& state) {
+  openie::Extractor extractor;
+  const std::string sentence =
+      "In 1921, Anna Keller won the Keller Prize for work on physics, "
+      "according to several sources.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.ExtractSentence(sentence));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenIeExtract);
+
+void BM_PaperWorldQuery(benchmark::State& state) {
+  core::Trinit engine = bench::OpenPaperEngine();
+  auto q = query::Parser::Parse(
+      "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member "
+      "IvyLeague",
+      &engine.xkg().dict());
+  if (!q.ok()) std::abort();
+  for (auto _ : state) {
+    auto r = engine.Answer(*q, 5);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaperWorldQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+#ifndef TRINIT_BENCH_BENCH_UTIL_H_
+#define TRINIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/trinit.h"
+#include "synth/kg_generator.h"
+#include "xkg/xkg_builder.h"
+
+namespace trinit::bench {
+
+/// The paper's Figure 1 KG + Figure 3 extension + rule-1 type facts
+/// (same data as tests/testing/paper_world.h; duplicated here so bench
+/// binaries only depend on src/).
+inline xkg::Xkg BuildPaperXkg() {
+  xkg::XkgBuilder b;
+  b.AddKgFact("AlbertEinstein", "bornIn", "Ulm");
+  b.AddKgFact("Ulm", "locatedIn", "Germany");
+  b.AddKgFact("AlbertEinstein", "bornOn", "1879-03-14", true);
+  b.AddKgFact("AlfredKleiner", "hasStudent", "AlbertEinstein");
+  b.AddKgFact("AlbertEinstein", "affiliation", "IAS");
+  b.AddKgFact("PrincetonUniversity", "member", "IvyLeague");
+  b.AddKgFact("Germany", "type", "country");
+  b.AddKgFact("Ulm", "type", "city");
+  b.AddExtraction("AlbertEinstein", true, "won Nobel for",
+                  "discovery of the photoelectric effect", false, 0.8f,
+                  {1, 0,
+                   "Einstein won a Nobel for his discovery of the "
+                   "photoelectric effect.",
+                   0.8});
+  b.AddExtraction("IAS", true, "housed in", "PrincetonUniversity", true,
+                  0.9f, {2, 3, "The IAS is housed in Princeton.", 0.9});
+  b.AddExtraction("AlbertEinstein", true, "lectured at",
+                  "PrincetonUniversity", true, 0.7f,
+                  {3, 1, "Einstein lectured at Princeton University.", 0.7});
+  b.AddExtraction("AlbertEinstein", true, "met his teacher", "Prof. Kleiner",
+                  false, 0.5f,
+                  {4, 2, "Einstein met his teacher Prof. Kleiner.", 0.5});
+  auto r = b.Build();
+  if (!r.ok()) {
+    std::fprintf(stderr, "paper world build failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+/// The Figure 4 rules plus the type-free geographic expansion.
+inline constexpr const char* kPaperRulesText =
+    "rule1: ?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z type city "
+    "; ?z locatedIn ?y @ 1.0\n"
+    "rule2: ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0\n"
+    "rule3: ?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y "
+    "@ 0.8\n"
+    "rule4: ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7\n"
+    "geo: ?x bornIn ?y => ?x bornIn ?z ; ?z locatedIn ?y @ 0.9\n";
+
+/// A paper-world TriniT engine with the Figure 4 rules loaded.
+inline core::Trinit OpenPaperEngine() {
+  auto engine = core::Trinit::Open(BuildPaperXkg());
+  if (!engine.ok()) std::exit(1);
+  if (!engine->AddManualRules(kPaperRulesText).ok()) std::exit(1);
+  return std::move(engine).value();
+}
+
+/// A synthetic world sized for evaluation benches: large enough for 70
+/// distinct queries, small enough that a 4-system sweep stays fast.
+inline synth::World EvalWorld(uint64_t seed = 2016) {
+  synth::WorldSpec spec;
+  spec.seed = seed;
+  spec.num_persons = 220;
+  spec.num_universities = 22;
+  spec.num_institutes = 12;
+  spec.num_cities = 30;
+  spec.num_countries = 8;
+  spec.num_prizes = 8;
+  spec.num_fields = 10;
+  spec.predicates = synth::WorldSpec::DefaultPredicates();
+  return synth::KgGenerator::Generate(spec);
+}
+
+}  // namespace trinit::bench
+
+#endif  // TRINIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Quickstart: build a small extended knowledge graph, add relaxation
+// rules, and ask the paper's Figure 2 questions.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/trinit.h"
+#include "xkg/xkg_builder.h"
+
+namespace {
+
+trinit::xkg::Xkg BuildSampleXkg() {
+  trinit::xkg::XkgBuilder b;
+  // The curated KG of Figure 1.
+  b.AddKgFact("AlbertEinstein", "bornIn", "Ulm");
+  b.AddKgFact("Ulm", "locatedIn", "Germany");
+  b.AddKgFact("AlbertEinstein", "bornOn", "1879-03-14", true);
+  b.AddKgFact("AlfredKleiner", "hasStudent", "AlbertEinstein");
+  b.AddKgFact("AlbertEinstein", "affiliation", "IAS");
+  b.AddKgFact("PrincetonUniversity", "member", "IvyLeague");
+  // The Open IE extension of Figure 3.
+  b.AddExtraction("AlbertEinstein", true, "won Nobel for",
+                  "discovery of the photoelectric effect", false, 0.8f,
+                  {1, 0,
+                   "Einstein won a Nobel for his discovery of the "
+                   "photoelectric effect.",
+                   0.8});
+  b.AddExtraction("IAS", true, "housed in", "PrincetonUniversity", true,
+                  0.9f, {2, 3, "The IAS is housed in Princeton.", 0.9});
+  b.AddExtraction("AlbertEinstein", true, "lectured at",
+                  "PrincetonUniversity", true, 0.7f,
+                  {3, 1, "Einstein lectured at Princeton University.", 0.7});
+  auto result = b.Build();
+  if (!result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Ask(const trinit::core::Trinit& engine, const char* question,
+         const char* query) {
+  std::printf("\n\"%s\"\n  query: %s\n", question, query);
+  auto result = engine.Query(query, 3);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->answers.empty()) {
+    std::printf("  (no answers)\n");
+    return;
+  }
+  for (size_t i = 0; i < result->answers.size(); ++i) {
+    std::printf("  #%zu %s%s\n", i + 1,
+                engine.RenderAnswer(*result, i).c_str(),
+                result->answers[i].used_relaxation() ? "  [relaxed]" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto engine = trinit::core::Trinit::Open(BuildSampleXkg());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // The relaxation rules of Figure 4 (users can define their own).
+  trinit::Status s = engine->AddManualRules(
+      "rule2: ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0\n"
+      "rule3: ?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y "
+      "@ 0.8\n"
+      "rule4: ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7\n"
+      "geo: ?x bornIn ?y => ?x bornIn ?z ; ?z locatedIn ?y @ 0.9\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "rules failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("TriniT quickstart — %zu triples (%zu KG + %zu Open IE), "
+              "%zu relaxation rules\n",
+              engine->xkg().store().size(), engine->xkg().kg_triple_count(),
+              engine->xkg().extraction_triple_count(),
+              engine->rules().size());
+
+  Ask(*engine, "Who was born in Germany?", "?x bornIn Germany");
+  Ask(*engine, "Who was the advisor of Albert Einstein?",
+      "AlbertEinstein hasAdvisor ?x");
+  Ask(*engine, "Ivy League university Einstein was affiliated with",
+      "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member "
+      "IvyLeague");
+  Ask(*engine, "What did Albert Einstein win a Nobel prize for?",
+      "AlbertEinstein 'won nobel for' ?x");
+
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Demonstrates the relaxation-rule miners and the paper's weight
+// formula w(p1 -> p2) = |args(p1) ∩ args(p2)| / |args(p2)| (paper §3).
+//
+//   ./build/examples/rule_mining
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/trinit.h"
+#include "relax/bridge_miner.h"
+#include "relax/inversion_miner.h"
+#include "relax/manual_rules.h"
+#include "relax/synonym_miner.h"
+#include "synth/kg_generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace trinit;
+
+  synth::WorldSpec spec;
+  spec.seed = 7;
+  spec.num_persons = 120;
+  spec.num_universities = 12;
+  spec.num_institutes = 8;
+  spec.num_cities = 20;
+  spec.num_countries = 5;
+  spec.num_prizes = 5;
+  spec.num_fields = 8;
+  spec.predicates = synth::WorldSpec::DefaultPredicates();
+  synth::World world = synth::KgGenerator::Generate(spec);
+
+  auto engine = core::Trinit::FromWorld(world);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Mined %zu relaxation rules from the XKG.\n\n",
+              engine->rules().size());
+
+  // Group and print the heaviest rules per kind, Figure-4 style.
+  for (relax::RuleKind kind :
+       {relax::RuleKind::kSynonym, relax::RuleKind::kInversion,
+        relax::RuleKind::kExpansion}) {
+    std::vector<const relax::Rule*> rules;
+    for (const relax::Rule& r : engine->rules().rules()) {
+      if (r.kind == kind) rules.push_back(&r);
+    }
+    std::sort(rules.begin(), rules.end(),
+              [](const relax::Rule* a, const relax::Rule* b) {
+                return a->weight > b->weight;
+              });
+    std::printf("-- %s rules (%zu) --\n", relax::RuleKindName(kind),
+                rules.size());
+    AsciiTable table({"#", "rule", "weight"});
+    for (size_t i = 0; i < rules.size() && i < 8; ++i) {
+      table.AddRow({std::to_string(i + 1), rules[i]->ToString(),
+                    FormatDouble(rules[i]->weight, 3)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // Plug in a custom operator through the paper's API.
+  class TypeRelaxOperator : public relax::RelaxationOperator {
+   public:
+    std::string name() const override { return "drop-type-constraint"; }
+    Status Generate(const xkg::Xkg&, relax::RuleSet* rules) override {
+      auto rule = relax::ParseManualRule(
+          "drop-type: ?x type ?t ; ?x inField ?f => ?x inField ?f @ 0.6",
+          1);
+      TRINIT_RETURN_IF_ERROR(rule.status());
+      return rules->Add(std::move(rule).value());
+    }
+  };
+  TypeRelaxOperator op;
+  if (engine->RunOperator(op).ok()) {
+    std::printf("Operator '%s' registered 1 additional rule "
+                "(RelaxationOperator API, paper §3).\n",
+                op.name().c_str());
+  }
+  return 0;
+}

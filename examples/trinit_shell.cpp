@@ -1,0 +1,178 @@
+// Interactive exploratory-querying shell — the closest analogue of the
+// demo's browser UI (paper §5): pose extended triple-pattern queries,
+// inspect ranked answers with explanations, add relaxation rules, get
+// reformulation suggestions.
+//
+//   ./build/examples/trinit_shell          # synthetic world
+//   ./build/examples/trinit_shell file.tsv # load an XKG dump
+//
+// Commands:
+//   <query>            e.g.  ?x bornIn Germania  or
+//                            SELECT ?x WHERE ?x affiliation ?u ; ?u campusIn Ulmhof_0
+//   .rule <rule>       add a relaxation rule, e.g.
+//                      .rule ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0
+//   .rules             list loaded rules
+//   .explain <rank>    explain answer <rank> of the last query
+//   .k <n>             set the number of answers
+//   .stats             XKG statistics
+//   .quit
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/trinit.h"
+#include "query/parser.h"
+#include "synth/kg_generator.h"
+#include "util/string_util.h"
+#include "xkg/tsv_io.h"
+
+namespace {
+
+using trinit::core::Trinit;
+
+void PrintStats(const Trinit& engine) {
+  const auto& xkg = engine.xkg();
+  std::printf("XKG: %zu triples (%zu KG + %zu extraction), %zu terms, "
+              "%zu relaxation rules\n",
+              xkg.store().size(), xkg.kg_triple_count(),
+              xkg.extraction_triple_count(), xkg.dict().size(),
+              engine.rules().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trinit::Result<Trinit> engine = [&]() -> trinit::Result<Trinit> {
+    if (argc > 1) {
+      auto xkg = trinit::xkg::XkgTsv::Load(argv[1]);
+      if (!xkg.ok()) return xkg.status();
+      return Trinit::Open(std::move(xkg).value());
+    }
+    trinit::synth::WorldSpec spec = trinit::synth::WorldSpec::Scaled(3000);
+    trinit::synth::World world =
+        trinit::synth::KgGenerator::Generate(spec);
+    return Trinit::FromWorld(world);
+  }();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("TriniT shell — exploratory querying of extended knowledge "
+              "graphs\n");
+  PrintStats(*engine);
+  std::printf("Type a query, or .help for commands.\n");
+
+  int k = 10;
+  std::optional<trinit::topk::TopKResult> last_result;
+  std::optional<trinit::query::Query> last_query;
+
+  std::string line;
+  while (std::printf("trinit> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view input = trinit::Trim(line);
+    if (input.empty()) continue;
+
+    if (input == ".quit" || input == ".exit") break;
+    if (input == ".help") {
+      std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
+                  ".explain <rank> | .complete <prefix> | .k <n> | .stats "
+                  "| .quit\n");
+      continue;
+    }
+    if (input == ".stats") {
+      PrintStats(*engine);
+      continue;
+    }
+    if (input.rfind(".complete ", 0) == 0) {
+      auto completions =
+          engine->autocomplete().Complete(input.substr(10), 8);
+      if (completions.empty()) std::printf("  (no completions)\n");
+      for (const auto& c : completions) {
+        std::printf("  %-40s (%s, %d occurrences)\n", c.text.c_str(),
+                    trinit::rdf::TermKindName(c.kind),
+                    static_cast<int>(c.score));
+      }
+      continue;
+    }
+    if (input == ".rules") {
+      for (const auto& rule : engine->rules().rules()) {
+        std::printf("  [%s] %s\n", trinit::relax::RuleKindName(rule.kind),
+                    rule.ToString().c_str());
+      }
+      continue;
+    }
+    if (input.rfind(".k ", 0) == 0) {
+      k = std::atoi(std::string(input.substr(3)).c_str());
+      if (k <= 0) k = 10;
+      std::printf("  k = %d\n", k);
+      continue;
+    }
+    if (input.rfind(".rule ", 0) == 0) {
+      trinit::Status s =
+          engine->AddManualRules(std::string(input.substr(6)));
+      std::printf("  %s\n", s.ok() ? "rule added" : s.ToString().c_str());
+      continue;
+    }
+    if (input.rfind(".add ", 0) == 0) {
+      // Extend the KG with a ground fact (paper §1: "allows users to
+      // extend the KG to make up for missing knowledge").
+      trinit::Status s = engine->ExtendKg(std::string(input.substr(5)));
+      std::printf("  %s\n",
+                  s.ok() ? "fact added (XKG rebuilt)" : s.ToString().c_str());
+      continue;
+    }
+    if (input.rfind(".explain ", 0) == 0) {
+      if (!last_result.has_value()) {
+        std::printf("  no previous query\n");
+        continue;
+      }
+      size_t rank =
+          static_cast<size_t>(std::atoi(std::string(input.substr(9)).c_str()));
+      if (rank < 1 || rank > last_result->answers.size()) {
+        std::printf("  rank out of range\n");
+        continue;
+      }
+      std::printf("%s",
+                  engine->Explain(*last_result, rank - 1).ToString().c_str());
+      continue;
+    }
+
+    // Anything else is a query.
+    auto parsed =
+        trinit::query::Parser::Parse(input, &engine->xkg().dict());
+    if (!parsed.ok()) {
+      std::printf("  %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    auto result = engine->Answer(*parsed, k);
+    if (!result.ok()) {
+      std::printf("  %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->answers.empty()) {
+      std::printf("  no answers\n");
+    }
+    for (size_t i = 0; i < result->answers.size(); ++i) {
+      std::printf("  #%zu  %-50s score %.3f%s\n", i + 1,
+                  engine->RenderAnswer(*result, i).c_str(),
+                  result->answers[i].score,
+                  result->answers[i].used_relaxation() ? "  [relaxed]"
+                                                       : "");
+    }
+    std::printf("  (%zu/%zu relaxations opened, %zu items pulled; "
+                ".explain <rank> for provenance)\n",
+                result->stats.alternatives_opened,
+                result->stats.alternatives_total,
+                result->stats.items_pulled);
+    for (const auto& suggestion : engine->Suggest(*parsed, *result)) {
+      std::printf("  suggestion: %s\n", suggestion.message.c_str());
+    }
+    last_query = std::move(*parsed);
+    last_result = std::move(*result);
+  }
+  return 0;
+}

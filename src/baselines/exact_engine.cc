@@ -1,0 +1,22 @@
+#include "baselines/exact_engine.h"
+
+namespace trinit::baselines {
+
+ExactEngine::ExactEngine(const xkg::Xkg& xkg,
+                         scoring::ScorerOptions scorer_options,
+                         int default_k)
+    : xkg_(xkg),
+      scorer_options_(scorer_options),
+      default_k_(default_k) {}
+
+Result<topk::TopKResult> ExactEngine::Answer(const query::Query& q,
+                                             int k) const {
+  topk::ProcessorOptions options;
+  options.k = k > 0 ? k : default_k_;
+  options.enable_relaxation = false;
+  topk::TopKProcessor processor(xkg_, empty_rules_, scorer_options_,
+                                options);
+  return processor.Answer(q);
+}
+
+}  // namespace trinit::baselines

@@ -1,0 +1,34 @@
+#ifndef TRINIT_BASELINES_EXACT_ENGINE_H_
+#define TRINIT_BASELINES_EXACT_ENGINE_H_
+
+#include <string>
+
+#include "relax/rule_set.h"
+#include "topk/topk_processor.h"
+
+namespace trinit::baselines {
+
+/// Strict conjunctive-match engine: evaluates the query exactly as
+/// written (no relaxation rules, no whole-query variants), ranked by the
+/// same language-model score. This models the classic SPARQL-endpoint
+/// experience the paper's users A-C suffer under. Run it against a
+/// KG-only Xkg for the "plain KG" condition or the full Xkg for the
+/// "XKG without relaxation" ablation.
+class ExactEngine {
+ public:
+  ExactEngine(const xkg::Xkg& xkg, scoring::ScorerOptions scorer_options,
+              int default_k = 10);
+
+  /// Evaluates `q` with the engine's exact semantics.
+  Result<topk::TopKResult> Answer(const query::Query& q, int k) const;
+
+ private:
+  const xkg::Xkg& xkg_;
+  relax::RuleSet empty_rules_;
+  scoring::ScorerOptions scorer_options_;
+  int default_k_;
+};
+
+}  // namespace trinit::baselines
+
+#endif  // TRINIT_BASELINES_EXACT_ENGINE_H_

@@ -1,0 +1,40 @@
+#ifndef TRINIT_BASELINES_KEYWORD_ENGINE_H_
+#define TRINIT_BASELINES_KEYWORD_ENGINE_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "scoring/lm_scorer.h"
+#include "topk/topk_processor.h"
+#include "xkg/xkg.h"
+
+namespace trinit::baselines {
+
+/// Structure-less entity-search baseline (SLQ/entity-search flavour,
+/// paper §6): the query's join structure is thrown away and every
+/// constant becomes a soft keyword.
+///
+/// Scoring: an entity is credited for every triple that mentions it
+/// together with any query constant (token constants match softly via
+/// the phrase index; the triple's LM emission probability weights the
+/// credit). The best-credited entities become bindings of the *first*
+/// projection variable; other variables stay unbound.
+///
+/// This is the "next best state-of-the-art" stand-in for bench E1: it
+/// handles single-hop look-ups respectably but cannot express joins —
+/// exactly the gap the paper's evaluation exposes (NDCG@5 0.419 vs
+/// 0.775).
+class KeywordEngine {
+ public:
+  KeywordEngine(const xkg::Xkg& xkg, scoring::ScorerOptions scorer_options);
+
+  Result<topk::TopKResult> Answer(const query::Query& q, int k) const;
+
+ private:
+  const xkg::Xkg& xkg_;
+  scoring::LmScorer scorer_;
+};
+
+}  // namespace trinit::baselines
+
+#endif  // TRINIT_BASELINES_KEYWORD_ENGINE_H_

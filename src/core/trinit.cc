@@ -1,0 +1,155 @@
+#include "core/trinit.h"
+
+#include "query/parser.h"
+#include "relax/manual_rules.h"
+#include "synth/kg_generator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace trinit::core {
+
+Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options)
+    : xkg_(std::make_unique<xkg::Xkg>(std::move(xkg))),
+      options_(options),
+      suggester_(std::make_unique<suggest::Suggester>(*xkg_)),
+      autocomplete_(std::make_unique<suggest::Autocomplete>(*xkg_)),
+      explainer_(std::make_unique<explain::ExplanationBuilder>(*xkg_)) {}
+
+Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
+  Trinit engine(std::move(xkg), options);
+  if (options.mine_synonyms) {
+    relax::SynonymMiner miner(options.synonym_options);
+    TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
+  }
+  if (options.mine_inversions) {
+    relax::InversionMiner miner(options.inversion_options);
+    TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
+  }
+  if (options.mine_expansions) {
+    relax::BridgeMiner miner(options.bridge_options);
+    TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
+  }
+  return engine;
+}
+
+Result<Trinit> Trinit::FromWorld(const synth::World& world,
+                                 TrinitOptions options,
+                                 BuildReport* report) {
+  xkg::XkgBuilder builder;
+  synth::KgGenerator::PopulateKg(world, &builder);
+
+  std::vector<synth::Document> docs =
+      synth::CorpusGenerator::Generate(world);
+  openie::Pipeline pipeline(openie::Extractor(),
+                            openie::Pipeline::LinkerForWorld(world));
+  openie::Pipeline::Stats stats = pipeline.Run(docs, &builder);
+
+  TRINIT_ASSIGN_OR_RETURN(xkg::Xkg xkg, builder.Build());
+  if (report != nullptr) {
+    report->kg_triples = xkg.kg_triple_count();
+    report->extraction_triples = xkg.extraction_triple_count();
+    report->corpus_documents = stats.documents;
+    report->corpus_sentences = stats.sentences;
+    report->extractions = stats.extractions;
+  }
+  TRINIT_ASSIGN_OR_RETURN(Trinit engine, Open(std::move(xkg), options));
+  if (report != nullptr) {
+    report->rules_mined = engine.rules_.size();
+  }
+  return engine;
+}
+
+Status Trinit::AddManualRules(std::string_view text) {
+  TRINIT_ASSIGN_OR_RETURN(std::vector<relax::Rule> parsed,
+                          relax::ParseManualRules(text));
+  for (relax::Rule& rule : parsed) {
+    TRINIT_RETURN_IF_ERROR(rules_.Add(std::move(rule)));
+  }
+  return Status::Ok();
+}
+
+Status Trinit::RunOperator(relax::RelaxationOperator& op) {
+  return op.Generate(*xkg_, &rules_);
+}
+
+Status Trinit::ExtendKg(std::string_view facts_text) {
+  xkg::XkgBuilder builder = xkg::XkgBuilder::FromXkg(*xkg_);
+  size_t added = 0;
+  for (const std::string& raw : Split(facts_text, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    TRINIT_ASSIGN_OR_RETURN(query::Query parsed,
+                            query::Parser::Parse(line));
+    for (const query::TriplePattern& p : parsed.patterns()) {
+      for (const query::Term* slot : {&p.s, &p.p, &p.o}) {
+        if (slot->is_variable()) {
+          return Status::InvalidArgument(
+              "facts must be fully ground, got variable in: " +
+              p.ToString());
+        }
+      }
+      auto intern = [&builder](const query::Term& t) {
+        switch (t.kind) {
+          case query::Term::Kind::kToken:
+            return builder.dict().InternToken(t.text);
+          case query::Term::Kind::kLiteral:
+            return builder.dict().InternLiteral(t.text);
+          default:
+            return builder.dict().InternResource(t.text);
+        }
+      };
+      builder.AddKgFact(intern(p.s), intern(p.p), intern(p.o));
+      ++added;
+    }
+  }
+  if (added == 0) return Status::InvalidArgument("no facts to add");
+
+  TRINIT_ASSIGN_OR_RETURN(xkg::Xkg rebuilt, builder.Build());
+  *xkg_ = std::move(rebuilt);
+  // Sub-components index dictionary/statistics state; refresh them, and
+  // re-resolve rule constants (term ids are not stable across rebuilds).
+  rules_.ResolveAgainst(xkg_->dict());
+  suggester_ = std::make_unique<suggest::Suggester>(*xkg_);
+  autocomplete_ = std::make_unique<suggest::Autocomplete>(*xkg_);
+  explainer_ = std::make_unique<explain::ExplanationBuilder>(*xkg_);
+  return Status::Ok();
+}
+
+Result<topk::TopKResult> Trinit::Query(std::string_view text, int k) const {
+  TRINIT_ASSIGN_OR_RETURN(query::Query q,
+                          query::Parser::Parse(text, &xkg_->dict()));
+  return Answer(q, k);
+}
+
+Result<topk::TopKResult> Trinit::Answer(const query::Query& q,
+                                        int k) const {
+  topk::ProcessorOptions processor_options = options_.processor;
+  processor_options.k = k;
+  topk::TopKProcessor processor(*xkg_, rules_, options_.scorer,
+                                processor_options);
+  return processor.Answer(q);
+}
+
+explain::Explanation Trinit::Explain(const topk::TopKResult& result,
+                                     size_t rank) const {
+  TRINIT_CHECK(rank < result.answers.size());
+  return explainer_->Explain(result.projection, result.answers[rank]);
+}
+
+std::vector<suggest::Suggestion> Trinit::Suggest(
+    const query::Query& q, const topk::TopKResult& result) const {
+  return suggester_->Suggest(q, result.answers);
+}
+
+std::string Trinit::RenderAnswer(const topk::TopKResult& result,
+                                 size_t rank) const {
+  TRINIT_CHECK(rank < result.answers.size());
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < result.projection.size(); ++i) {
+    parts.push_back("?" + result.projection[i] + " = " +
+                    xkg_->dict().DebugLabel(result.ValueAt(rank, i)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace trinit::core

@@ -1,0 +1,124 @@
+#ifndef TRINIT_CORE_TRINIT_H_
+#define TRINIT_CORE_TRINIT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "openie/pipeline.h"
+#include "relax/bridge_miner.h"
+#include "relax/inversion_miner.h"
+#include "relax/synonym_miner.h"
+#include "suggest/autocomplete.h"
+#include "suggest/suggester.h"
+#include "synth/corpus_generator.h"
+#include "topk/topk_processor.h"
+#include "util/result.h"
+
+namespace trinit::core {
+
+/// Everything tunable about a TriniT instance.
+struct TrinitOptions {
+  scoring::ScorerOptions scorer;
+  topk::ProcessorOptions processor;
+
+  /// Which mined rule families to enable (ablation bench A1 toggles
+  /// these).
+  bool mine_synonyms = true;
+  bool mine_inversions = true;
+  bool mine_expansions = true;
+  relax::SynonymMiner::Options synonym_options;
+  relax::InversionMiner::Options inversion_options;
+  relax::BridgeMiner::Options bridge_options;
+};
+
+/// The TriniT engine — the system of the paper, end to end: an extended
+/// knowledge graph, a relaxation rule set (mined + manual + plugged-in
+/// operators), the incremental top-k processor, answer explanation, and
+/// query suggestion.
+class Trinit {
+ public:
+  /// Statistics of a FromWorld build.
+  struct BuildReport {
+    size_t kg_triples = 0;
+    size_t extraction_triples = 0;
+    size_t corpus_documents = 0;
+    size_t corpus_sentences = 0;
+    size_t extractions = 0;
+    size_t rules_mined = 0;
+  };
+
+  Trinit(Trinit&&) = default;
+  Trinit& operator=(Trinit&&) = default;
+
+  /// Opens an engine over an existing XKG; mines relaxation rules from
+  /// it per `options`.
+  static Result<Trinit> Open(xkg::Xkg xkg, TrinitOptions options = {});
+
+  /// Full reproduction pipeline: generate the synthetic world's KG,
+  /// verbalize it (plus held-out facts) into a corpus, run Open IE +
+  /// linking, build the XKG, mine rules.
+  static Result<Trinit> FromWorld(const synth::World& world,
+                                  TrinitOptions options = {},
+                                  BuildReport* report = nullptr);
+
+  /// Adds user-defined relaxation rules (demo §5), in the
+  /// `ParseManualRules` syntax.
+  Status AddManualRules(std::string_view text);
+
+  /// Extends the knowledge graph with additional facts — the demo's
+  /// "allows users to extend the KG to make up for missing knowledge"
+  /// (paper §1). The XKG is rebuilt (O(n log n)); mined rules are *not*
+  /// re-mined automatically (call the miners again if the additions are
+  /// large). Format: one fact per line, `Subject predicate Object`, in
+  /// query term syntax (quoted tokens allowed in any slot).
+  Status ExtendKg(std::string_view facts_text);
+
+  /// Runs a plugged-in relaxation operator over the XKG (paper §3's
+  /// operator API) and absorbs its rules.
+  Status RunOperator(relax::RelaxationOperator& op);
+
+  /// Parses and answers a query.
+  Result<topk::TopKResult> Query(std::string_view text, int k = 10) const;
+
+  /// Answers an already-built query.
+  Result<topk::TopKResult> Answer(const query::Query& q, int k = 10) const;
+
+  /// Structured explanation of `result.answers[rank]` (demo §5).
+  explain::Explanation Explain(const topk::TopKResult& result,
+                               size_t rank) const;
+
+  /// Query-reformulation suggestions for a query and its answers
+  /// (demo §5).
+  std::vector<suggest::Suggestion> Suggest(
+      const query::Query& q, const topk::TopKResult& result) const;
+
+  /// Renders `result.answers[rank]`'s projection binding as text.
+  std::string RenderAnswer(const topk::TopKResult& result,
+                           size_t rank) const;
+
+  /// Prefix auto-completion over the XKG vocabulary (demo §5).
+  const suggest::Autocomplete& autocomplete() const {
+    return *autocomplete_;
+  }
+
+  const xkg::Xkg& xkg() const { return *xkg_; }
+  const relax::RuleSet& rules() const { return rules_; }
+  const TrinitOptions& options() const { return options_; }
+
+ private:
+  Trinit(xkg::Xkg xkg, TrinitOptions options);
+
+  std::unique_ptr<xkg::Xkg> xkg_;  // stable address for sub-components
+  TrinitOptions options_;
+  relax::RuleSet rules_;
+  std::unique_ptr<suggest::Suggester> suggester_;
+  std::unique_ptr<suggest::Autocomplete> autocomplete_;
+  std::unique_ptr<explain::ExplanationBuilder> explainer_;
+};
+
+}  // namespace trinit::core
+
+#endif  // TRINIT_CORE_TRINIT_H_

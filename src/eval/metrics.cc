@@ -1,0 +1,58 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trinit::eval {
+
+double DcgAtK(const std::vector<int>& grades, size_t k) {
+  double dcg = 0.0;
+  size_t n = std::min(k, grades.size());
+  for (size_t i = 0; i < n; ++i) {
+    // Graded gain (2^g - 1) emphasizes highly relevant answers.
+    double gain = std::pow(2.0, grades[i]) - 1.0;
+    dcg += gain / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return dcg;
+}
+
+double NdcgAtK(const std::vector<int>& grades,
+               const std::vector<int>& ideal_grades, size_t k) {
+  std::vector<int> ideal = ideal_grades;
+  std::sort(ideal.begin(), ideal.end(), std::greater<int>());
+  double idcg = DcgAtK(ideal, k);
+  if (idcg <= 0.0) return 0.0;
+  return DcgAtK(grades, k) / idcg;
+}
+
+double PrecisionAtK(const std::vector<int>& grades, size_t k) {
+  if (k == 0) return 0.0;
+  size_t relevant = 0;
+  for (size_t i = 0; i < k && i < grades.size(); ++i) {
+    if (grades[i] > 0) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(k);
+}
+
+double AveragePrecision(const std::vector<int>& grades,
+                        size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < grades.size(); ++i) {
+    if (grades[i] > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total_relevant);
+}
+
+double ReciprocalRank(const std::vector<int>& grades) {
+  for (size_t i = 0; i < grades.size(); ++i) {
+    if (grades[i] > 0) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+}  // namespace trinit::eval

@@ -1,0 +1,36 @@
+#ifndef TRINIT_EVAL_METRICS_H_
+#define TRINIT_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace trinit::eval {
+
+/// Rank-quality metrics over graded relevance judgments. The input to
+/// each metric is the gain (grade) of the answer at each rank, highest
+/// rank first; `ideal_grades` is the multiset of all relevant grades for
+/// the query (used for the ideal DCG and recall bases).
+
+/// Discounted cumulative gain at cutoff `k` with the standard
+/// log2(rank+1) discount.
+double DcgAtK(const std::vector<int>& grades, size_t k);
+
+/// NDCG@k = DCG@k / IDCG@k; 0 when the query has no relevant answers.
+/// This is the paper's headline metric (NDCG@5, §4).
+double NdcgAtK(const std::vector<int>& grades,
+               const std::vector<int>& ideal_grades, size_t k);
+
+/// Fraction of the top-k that is relevant (grade > 0).
+double PrecisionAtK(const std::vector<int>& grades, size_t k);
+
+/// Average precision over relevant items (binary: grade > 0);
+/// denominator is the total number of relevant items for the query.
+double AveragePrecision(const std::vector<int>& grades,
+                        size_t total_relevant);
+
+/// Reciprocal rank of the first relevant answer (0 when none).
+double ReciprocalRank(const std::vector<int>& grades);
+
+}  // namespace trinit::eval
+
+#endif  // TRINIT_EVAL_METRICS_H_

@@ -1,0 +1,43 @@
+#include "eval/qrels.h"
+
+#include <algorithm>
+
+namespace trinit::eval {
+
+void Qrels::Set(const std::string& query_id, const std::string& answer_key,
+                int grade) {
+  int& slot = judgments_[query_id][answer_key];
+  slot = std::max(slot, grade);
+}
+
+int Qrels::Grade(const std::string& query_id,
+                 const std::string& answer_key) const {
+  auto qit = judgments_.find(query_id);
+  if (qit == judgments_.end()) return 0;
+  auto ait = qit->second.find(answer_key);
+  return ait == qit->second.end() ? 0 : ait->second;
+}
+
+std::vector<int> Qrels::IdealGrades(const std::string& query_id) const {
+  std::vector<int> grades;
+  auto qit = judgments_.find(query_id);
+  if (qit == judgments_.end()) return grades;
+  for (const auto& [key, grade] : qit->second) {
+    if (grade > 0) grades.push_back(grade);
+  }
+  return grades;
+}
+
+size_t Qrels::RelevantCount(const std::string& query_id) const {
+  return IdealGrades(query_id).size();
+}
+
+void Qrels::ForEach(
+    const std::string& query_id,
+    const std::function<void(const std::string&, int)>& fn) const {
+  auto qit = judgments_.find(query_id);
+  if (qit == judgments_.end()) return;
+  for (const auto& [key, grade] : qit->second) fn(key, grade);
+}
+
+}  // namespace trinit::eval

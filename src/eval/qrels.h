@@ -1,0 +1,45 @@
+#ifndef TRINIT_EVAL_QRELS_H_
+#define TRINIT_EVAL_QRELS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace trinit::eval {
+
+/// Graded relevance judgments, TREC-style: query id -> answer key ->
+/// grade (0 = not relevant; 3 = exactly right; 1-2 = partially right).
+///
+/// Answer keys are projection bindings rendered as `label|label|...`
+/// using canonical entity labels, so they are comparable across engines
+/// that use different dictionaries (e.g. the KG-only baseline).
+class Qrels {
+ public:
+  void Set(const std::string& query_id, const std::string& answer_key,
+           int grade);
+
+  /// Grade of an answer, 0 if unjudged.
+  int Grade(const std::string& query_id,
+            const std::string& answer_key) const;
+
+  /// All positive grades of a query (the ideal-ranking multiset).
+  std::vector<int> IdealGrades(const std::string& query_id) const;
+
+  /// Number of relevant (grade > 0) answers of a query.
+  size_t RelevantCount(const std::string& query_id) const;
+
+  size_t query_count() const { return judgments_.size(); }
+
+  /// Visits every judged (answer key, grade) of a query (serialization).
+  void ForEach(const std::string& query_id,
+               const std::function<void(const std::string&, int)>& fn) const;
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::string, int>>
+      judgments_;
+};
+
+}  // namespace trinit::eval
+
+#endif  // TRINIT_EVAL_QRELS_H_

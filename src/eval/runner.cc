@@ -1,0 +1,86 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/timer.h"
+
+namespace trinit::eval {
+
+std::vector<std::string> KeysFromResult(const xkg::Xkg& xkg,
+                                        const topk::TopKResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.answers.size());
+  for (const topk::Answer& answer : result.answers) {
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < result.projection.size(); ++i) {
+      rdf::TermId value =
+          i < answer.binding.size()
+              ? answer.binding.Get(static_cast<query::VarId>(i))
+              : rdf::kNullTerm;
+      labels.push_back(value == rdf::kNullTerm
+                           ? ""
+                           : std::string(xkg.dict().label(value)));
+    }
+    keys.push_back(MakeAnswerKey(labels));
+  }
+  return keys;
+}
+
+std::vector<SystemReport> Runner::Run(
+    const Workload& workload, const std::vector<SystemUnderTest>& systems,
+    int k) {
+  std::vector<SystemReport> reports;
+  for (const SystemUnderTest& system : systems) {
+    SystemReport report;
+    report.name = system.name;
+    std::map<std::string, std::pair<double, size_t>> by_archetype;
+
+    size_t n = workload.queries.size();
+    for (const EvalQuery& query : workload.queries) {
+      WallTimer timer;
+      std::vector<std::string> keys = system.answer(query, k);
+      report.mean_latency_ms += timer.ElapsedMillis();
+
+      std::vector<int> grades;
+      grades.reserve(keys.size());
+      for (const std::string& key : keys) {
+        grades.push_back(workload.qrels.Grade(query.id, key));
+      }
+      std::vector<int> ideal = workload.qrels.IdealGrades(query.id);
+
+      double ndcg5 = NdcgAtK(grades, ideal, 5);
+      report.ndcg5 += ndcg5;
+      report.ndcg10 += NdcgAtK(grades, ideal, 10);
+      report.map += AveragePrecision(grades, ideal.size());
+      report.p1 += PrecisionAtK(grades, 1);
+      report.mrr += ReciprocalRank(grades);
+      report.answered += keys.empty() ? 0.0 : 1.0;
+
+      auto& [sum, count] = by_archetype[query.archetype];
+      sum += ndcg5;
+      ++count;
+    }
+    if (n > 0) {
+      double dn = static_cast<double>(n);
+      report.ndcg5 /= dn;
+      report.ndcg10 /= dn;
+      report.map /= dn;
+      report.p1 /= dn;
+      report.mrr /= dn;
+      report.answered /= dn;
+      report.mean_latency_ms /= dn;
+    }
+    for (const auto& [archetype, sum_count] : by_archetype) {
+      report.archetypes.push_back(archetype);
+      report.ndcg5_by_archetype.push_back(
+          sum_count.second > 0
+              ? sum_count.first / static_cast<double>(sum_count.second)
+              : 0.0);
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace trinit::eval

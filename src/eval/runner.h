@@ -1,0 +1,54 @@
+#ifndef TRINIT_EVAL_RUNNER_H_
+#define TRINIT_EVAL_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "topk/topk_processor.h"
+#include "xkg/xkg.h"
+
+namespace trinit::eval {
+
+/// A retrieval system under evaluation: a name and a function producing
+/// ranked answer keys (see `MakeAnswerKey`) for a benchmark query.
+/// Engines with different dictionaries (e.g. the KG-only condition)
+/// compare fairly because keys are label-based.
+struct SystemUnderTest {
+  std::string name;
+  std::function<std::vector<std::string>(const EvalQuery&, int k)> answer;
+};
+
+/// Per-system aggregate results over a workload.
+struct SystemReport {
+  std::string name;
+  double ndcg5 = 0.0;   ///< the paper's headline metric
+  double ndcg10 = 0.0;
+  double map = 0.0;
+  double p1 = 0.0;
+  double mrr = 0.0;
+  double answered = 0.0;  ///< fraction of queries with >= 1 answer
+  double mean_latency_ms = 0.0;
+  /// Mean NDCG@5 per archetype, aligned with `archetypes`.
+  std::vector<std::string> archetypes;
+  std::vector<double> ndcg5_by_archetype;
+};
+
+/// Runs every system over every workload query and aggregates metrics.
+class Runner {
+ public:
+  static std::vector<SystemReport> Run(
+      const Workload& workload,
+      const std::vector<SystemUnderTest>& systems, int k = 10);
+};
+
+/// Converts a processor result into ranked label-based answer keys using
+/// the engine's own dictionary.
+std::vector<std::string> KeysFromResult(const xkg::Xkg& xkg,
+                                        const topk::TopKResult& result);
+
+}  // namespace trinit::eval
+
+#endif  // TRINIT_EVAL_RUNNER_H_

@@ -1,0 +1,245 @@
+#include "eval/workload.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "util/random.h"
+
+namespace trinit::eval {
+namespace {
+
+using synth::Entity;
+using synth::EntityClass;
+using synth::Fact;
+using synth::World;
+
+std::string Name(const World& world, uint32_t entity) {
+  return world.entities[entity].name;
+}
+
+// Shared context for the per-archetype generators.
+struct Gen {
+  const World& world;
+  Rng& rng;
+  Workload& workload;
+  size_t query_counter = 0;
+
+  // Adds a query if it has at least one relevant judgment; returns
+  // whether it was added.
+  bool Add(const std::string& text, const std::string& archetype,
+           const std::string& description,
+           const std::vector<std::pair<std::string, int>>& judgments) {
+    bool any_relevant = false;
+    for (const auto& [key, grade] : judgments) {
+      if (grade > 0) any_relevant = true;
+    }
+    if (!any_relevant) return false;
+    EvalQuery q;
+    q.id = "q" + std::to_string(query_counter++);
+    q.text = text;
+    q.archetype = archetype;
+    q.description = description;
+    for (const auto& [key, grade] : judgments) {
+      workload.qrels.Set(q.id, key, grade);
+    }
+    workload.queries.push_back(std::move(q));
+    return true;
+  }
+};
+
+// ?x bornIn <Country> — user A's granularity mismatch.
+bool GranularityQuery(Gen& gen) {
+  const World& w = gen.world;
+  const auto& countries = w.OfClass(EntityClass::kCountry);
+  uint32_t country = countries[gen.rng.Uniform(countries.size())];
+  size_t born_in = w.PredicateIndex("bornIn");
+  std::vector<std::pair<std::string, int>> judgments;
+  for (const Fact& f : w.facts) {
+    if (f.predicate != born_in) continue;
+    bool matches =
+        (w.entities[f.object].cls == EntityClass::kCity &&
+         w.CountryOf(f.object) == country) ||
+        f.object == country;
+    if (matches) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.subject)}), 3);
+    }
+  }
+  return gen.Add("?x bornIn " + Name(w, country), "granularity",
+                 "persons born in the country (KG stores cities)",
+                 judgments);
+}
+
+// <Person> hasAdvisor ?x where the KG only models hasStudent.
+bool InversionQuery(Gen& gen) {
+  const World& w = gen.world;
+  size_t has_advisor = w.PredicateIndex("hasAdvisor");
+  std::vector<const Fact*> inverted;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == has_advisor && f.in_kg && f.inverse_in_kg) {
+      inverted.push_back(&f);
+    }
+  }
+  if (inverted.empty()) return false;
+  const Fact* pick = inverted[gen.rng.Uniform(inverted.size())];
+  std::vector<std::pair<std::string, int>> judgments;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == has_advisor && f.subject == pick->subject) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.object)}), 3);
+    }
+  }
+  return gen.Add(Name(w, pick->subject) + " hasAdvisor ?x", "inversion",
+                 "advisor stated as hasStudent in the KG", judgments);
+}
+
+// <Person> wonPrize ?x where the fact is held out (text-only).
+bool TextOnlyQuery(Gen& gen) {
+  const World& w = gen.world;
+  size_t won_prize = w.PredicateIndex("wonPrize");
+  std::vector<const Fact*> held_out;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == won_prize && !f.in_kg) held_out.push_back(&f);
+  }
+  if (held_out.empty()) return false;
+  const Fact* pick = held_out[gen.rng.Uniform(held_out.size())];
+  std::vector<std::pair<std::string, int>> judgments;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == won_prize && f.subject == pick->subject) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.object)}), 3);
+    }
+  }
+  return gen.Add(Name(w, pick->subject) + " wonPrize ?x", "text-only",
+                 "prize fact exists only in the corpus", judgments);
+}
+
+// ?x 'works at' <University> — token predicate, paraphrase translation.
+bool ParaphraseQuery(Gen& gen) {
+  const World& w = gen.world;
+  size_t affiliation = w.PredicateIndex("affiliation");
+  size_t member_inst = w.PredicateIndex("memberOfInstitute");
+  size_t housed_in = w.PredicateIndex("housedIn");
+  const auto& universities = w.OfClass(EntityClass::kUniversity);
+  uint32_t university = universities[gen.rng.Uniform(universities.size())];
+
+  std::vector<std::pair<std::string, int>> judgments;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == affiliation && f.object == university) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.subject)}), 3);
+    }
+  }
+  // Near-misses: members of institutes housed in the university.
+  std::set<uint32_t> housed_institutes;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == housed_in && f.object == university) {
+      housed_institutes.insert(f.subject);
+    }
+  }
+  for (const Fact& f : w.facts) {
+    if (f.predicate == member_inst &&
+        housed_institutes.count(f.object) > 0) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.subject)}), 1);
+    }
+  }
+  return gen.Add("?x 'works at' " + Name(w, university), "paraphrase",
+                 "token predicate must translate to affiliation",
+                 judgments);
+}
+
+// ?x affiliation ?u ; ?u campusIn <City> — join-intensive.
+bool JoinCampusQuery(Gen& gen) {
+  const World& w = gen.world;
+  size_t affiliation = w.PredicateIndex("affiliation");
+  size_t campus_in = w.PredicateIndex("campusIn");
+  const auto& cities = w.OfClass(EntityClass::kCity);
+  uint32_t city = cities[gen.rng.Uniform(cities.size())];
+
+  std::set<uint32_t> unis_in_city;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == campus_in && f.object == city) {
+      unis_in_city.insert(f.subject);
+    }
+  }
+  std::vector<std::pair<std::string, int>> judgments;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == affiliation && unis_in_city.count(f.object) > 0) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.subject)}), 3);
+    }
+  }
+  return gen.Add(
+      "SELECT ?x WHERE ?x affiliation ?u ; ?u campusIn " + Name(w, city),
+      "join-campus", "persons working at universities in the city",
+      judgments);
+}
+
+// ?x hasAdvisor ?a ; ?a wonPrize <Prize> — join with double mismatch.
+bool JoinAdvisorQuery(Gen& gen) {
+  const World& w = gen.world;
+  size_t has_advisor = w.PredicateIndex("hasAdvisor");
+  size_t won_prize = w.PredicateIndex("wonPrize");
+  const auto& prizes = w.OfClass(EntityClass::kPrize);
+  uint32_t prize = prizes[gen.rng.Uniform(prizes.size())];
+
+  std::set<uint32_t> winners;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == won_prize && f.object == prize) {
+      winners.insert(f.subject);
+    }
+  }
+  std::vector<std::pair<std::string, int>> judgments;
+  for (const Fact& f : w.facts) {
+    if (f.predicate == has_advisor && winners.count(f.object) > 0) {
+      judgments.emplace_back(MakeAnswerKey({Name(w, f.subject)}), 3);
+    }
+  }
+  return gen.Add("SELECT ?x WHERE ?x hasAdvisor ?a ; ?a wonPrize " +
+                     Name(w, prize),
+                 "join-advisor", "students of laureates of the prize",
+                 judgments);
+}
+
+}  // namespace
+
+std::string MakeAnswerKey(const std::vector<std::string>& labels) {
+  std::string key;
+  for (const std::string& label : labels) {
+    key += label.empty() ? "?" : label;
+    key.push_back('|');
+  }
+  return key;
+}
+
+Workload WorkloadGenerator::Generate(const World& world, Options options) {
+  Workload workload;
+  Rng rng(options.seed);
+  Gen gen{world, rng, workload};
+
+  // Join archetypes get double slots: the paper's query set is
+  // join-intensive ("TriniT is specifically geared for these
+  // join-intensive queries", §5).
+  std::vector<std::function<bool(Gen&)>> archetypes = {
+      GranularityQuery, JoinCampusQuery,  InversionQuery,
+      JoinAdvisorQuery, TextOnlyQuery,    JoinCampusQuery,
+      ParaphraseQuery,  JoinAdvisorQuery};
+
+  std::set<std::string> seen_texts;
+  size_t attempts = 0;
+  const size_t max_attempts = options.num_queries * 60;
+  size_t next_archetype = 0;
+  while (workload.queries.size() < options.num_queries &&
+         attempts < max_attempts) {
+    ++attempts;
+    // Round-robin over archetypes each attempt; a world can saturate an
+    // archetype (only so many distinct countries/prizes), so cycling
+    // keeps filling from the others.
+    if (archetypes[next_archetype++ % archetypes.size()](gen)) {
+      // Reject duplicates (same query text drawn twice).
+      const EvalQuery& added = workload.queries.back();
+      if (!seen_texts.insert(added.text).second) {
+        workload.queries.pop_back();
+      }
+    }
+  }
+  return workload;
+}
+
+}  // namespace trinit::eval

@@ -1,0 +1,85 @@
+#include "eval/workload_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/tsv.h"
+
+namespace trinit::eval {
+namespace {
+
+Result<Workload> LoadImpl(
+    const std::function<Status(
+        const std::function<Status(size_t, const std::vector<std::string>&)>&)>&
+        source) {
+  Workload workload;
+  Status st = source([&workload](size_t line,
+                                 const std::vector<std::string>& f)
+                         -> Status {
+    if (f.empty()) return Status::Ok();
+    if (f[0] == "Q") {
+      if (f.size() < 4) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": Q row needs id, archetype, text");
+      }
+      EvalQuery q;
+      q.id = f[1];
+      q.archetype = f[2];
+      q.text = f[3];
+      if (f.size() > 4) q.description = f[4];
+      workload.queries.push_back(std::move(q));
+      return Status::Ok();
+    }
+    if (f[0] == "J") {
+      if (f.size() < 4) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": J row needs query, key, grade");
+      }
+      workload.qrels.Set(f[1], f[2], std::atoi(f[3].c_str()));
+      return Status::Ok();
+    }
+    return Status::ParseError("line " + std::to_string(line) +
+                              ": unknown row tag '" + f[0] + "'");
+  });
+  TRINIT_RETURN_IF_ERROR(st);
+  return workload;
+}
+
+}  // namespace
+
+Status WorkloadIo::Save(const Workload& workload, const std::string& path) {
+  TsvWriter writer(path);
+  TRINIT_RETURN_IF_ERROR(writer.status());
+  writer.WriteComment("TriniT evaluation workload");
+  for (const EvalQuery& q : workload.queries) {
+    writer.WriteRow({"Q", q.id, q.archetype, q.text, q.description});
+  }
+  for (const EvalQuery& q : workload.queries) {
+    workload.qrels.ForEach(q.id, [&writer, &q](const std::string& key,
+                                               int grade) {
+      writer.WriteRow({"J", q.id, key, std::to_string(grade)});
+    });
+  }
+  return writer.Close();
+}
+
+Result<Workload> WorkloadIo::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open workload file: " + path);
+  }
+  std::string content;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return LoadFromString(content);
+}
+
+Result<Workload> WorkloadIo::LoadFromString(const std::string& content) {
+  return LoadImpl([&content](const auto& row_fn) {
+    return TsvReader::ForEachRowInString(content, row_fn);
+  });
+}
+
+}  // namespace trinit::eval

@@ -1,0 +1,33 @@
+#ifndef TRINIT_EVAL_WORKLOAD_IO_H_
+#define TRINIT_EVAL_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "eval/workload.h"
+#include "util/result.h"
+
+namespace trinit::eval {
+
+/// Persistence for benchmark workloads, so a generated query set +
+/// judgments can be shipped and re-used across engine versions (the
+/// paper's 70-query benchmark was a fixed artifact; ours should be
+/// freezable too).
+///
+/// TSV rows:
+///   Q  <id> <archetype> <query text> <description>
+///   J  <query id> <answer key> <grade>
+class WorkloadIo {
+ public:
+  /// Writes queries and judgments to `path` (overwrites).
+  static Status Save(const Workload& workload, const std::string& path);
+
+  /// Loads a workload previously written by Save.
+  static Result<Workload> Load(const std::string& path);
+
+  /// Parses workload TSV content from a string (tests).
+  static Result<Workload> LoadFromString(const std::string& content);
+};
+
+}  // namespace trinit::eval
+
+#endif  // TRINIT_EVAL_WORKLOAD_IO_H_

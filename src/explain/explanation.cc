@@ -1,0 +1,94 @@
+#include "explain/explanation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace trinit::explain {
+
+std::string Explanation::ToString() const {
+  std::string out;
+  out += "Answer: " + answer_rendering + "  (score " +
+         FormatDouble(score, 3) + ")\n";
+  if (!kg_triples.empty()) {
+    out += "  KG triples:\n";
+    for (const TripleEvidence& t : kg_triples) {
+      out += "    " + t.rendered + "\n";
+    }
+  }
+  if (!xkg_triples.empty()) {
+    out += "  XKG triples (Open IE):\n";
+    for (const TripleEvidence& t : xkg_triples) {
+      out += "    " + t.rendered + "\n";
+      for (const auto& [doc, sentence] : t.provenance) {
+        out += "      [doc " + std::to_string(doc) + "] \"" + sentence +
+               "\"\n";
+      }
+    }
+  }
+  if (!rules.empty()) {
+    out += "  Relaxation rules invoked:\n";
+    for (const RuleUse& r : rules) {
+      out += "    " + r.name + ": " + r.rendered + "\n";
+    }
+  }
+  if (!substitutions.empty()) {
+    out += "  Vocabulary matches:\n";
+    for (const Substitution& s : substitutions) {
+      out += "    '" + s.query_phrase + "' ~ '" + s.matched_phrase +
+             "' (sim " + FormatDouble(s.similarity, 2) + ")\n";
+    }
+  }
+  return out;
+}
+
+Explanation ExplanationBuilder::Explain(
+    const std::vector<std::string>& projection,
+    const topk::Answer& answer) const {
+  Explanation ex;
+  ex.score = answer.score;
+
+  // "?x = PrincetonUniversity, ?y = ..." over the projection prefix.
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < projection.size() && i < answer.binding.size();
+       ++i) {
+    rdf::TermId value =
+        answer.binding.Get(static_cast<query::VarId>(i));
+    if (value == rdf::kNullTerm) continue;
+    parts.push_back("?" + projection[i] + " = " +
+                    xkg_->dict().DebugLabel(value));
+  }
+  ex.answer_rendering = Join(parts, ", ");
+
+  std::set<rdf::TripleId> seen_triples;
+  std::set<std::string> seen_rules;
+  std::set<std::string> seen_subs;
+  for (const topk::DerivationStep& step : answer.derivation) {
+    for (rdf::TripleId id : step.triples) {
+      if (!seen_triples.insert(id).second) continue;
+      Explanation::TripleEvidence evidence;
+      evidence.rendered = xkg_->RenderTriple(id);
+      evidence.from_kg = xkg_->IsKgTriple(id);
+      for (const xkg::Provenance& prov : xkg_->ProvenanceFor(id)) {
+        evidence.provenance.emplace_back(prov.doc_id, prov.sentence);
+      }
+      (evidence.from_kg ? ex.kg_triples : ex.xkg_triples)
+          .push_back(std::move(evidence));
+    }
+    for (const relax::Rule* rule : step.rules) {
+      if (!seen_rules.insert(rule->name).second) continue;
+      ex.rules.push_back(
+          Explanation::RuleUse{rule->name, rule->ToString(), rule->weight});
+    }
+    for (const topk::SoftMatch& sm : step.soft_matches) {
+      std::string key = sm.query_phrase + "|" + sm.matched_phrase;
+      if (!seen_subs.insert(key).second) continue;
+      ex.substitutions.push_back(Explanation::Substitution{
+          sm.query_phrase, sm.matched_phrase, sm.similarity});
+    }
+  }
+  return ex;
+}
+
+}  // namespace trinit::explain

@@ -1,0 +1,62 @@
+#ifndef TRINIT_EXPLAIN_EXPLANATION_H_
+#define TRINIT_EXPLAIN_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "topk/answer.h"
+#include "xkg/xkg.h"
+
+namespace trinit::explain {
+
+/// Structured explanation of one answer — the demo's answer-explanation
+/// view (paper §5): "(i) the KG triples that contributed to an answer,
+/// (ii) the XKG triples that contributed to an answer and their
+/// provenance, and (iii) the relaxation rules that were invoked".
+struct Explanation {
+  struct TripleEvidence {
+    std::string rendered;  ///< "S --P--> O"
+    bool from_kg = true;
+    /// Supporting sentences with their document ids (extraction triples).
+    std::vector<std::pair<uint32_t, std::string>> provenance;
+  };
+  struct RuleUse {
+    std::string name;
+    std::string rendered;  ///< "lhs => rhs @ w"
+    double weight = 1.0;
+  };
+  struct Substitution {
+    std::string query_phrase;
+    std::string matched_phrase;
+    double similarity = 1.0;
+  };
+
+  std::string answer_rendering;  ///< "?x = PrincetonUniversity"
+  double score = 0.0;
+  std::vector<TripleEvidence> kg_triples;
+  std::vector<TripleEvidence> xkg_triples;
+  std::vector<RuleUse> rules;
+  std::vector<Substitution> substitutions;
+
+  /// Multi-line human-readable rendering (what the demo UI displayed).
+  std::string ToString() const;
+};
+
+/// Builds explanations from answers' derivations.
+class ExplanationBuilder {
+ public:
+  explicit ExplanationBuilder(const xkg::Xkg& xkg) : xkg_(&xkg) {}
+
+  /// Explains `answer` of a query whose effective projection is
+  /// `projection` (the names TopKResult carries).
+  Explanation Explain(const std::vector<std::string>& projection,
+                      const topk::Answer& answer) const;
+
+ private:
+  const xkg::Xkg* xkg_;
+};
+
+}  // namespace trinit::explain
+
+#endif  // TRINIT_EXPLAIN_EXPLANATION_H_

@@ -1,0 +1,125 @@
+#include "openie/chunker.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace trinit::openie {
+namespace {
+
+// Capitalized words that are function words, not names, when they open
+// a sentence or follow punctuation.
+constexpr std::array<std::string_view, 14> kFunctionWords = {
+    "In", "The", "A",  "An",  "On",  "At",  "By",
+    "He", "She", "It", "They", "His", "Her", "According"};
+
+bool IsFunctionWord(std::string_view token) {
+  for (std::string_view w : kFunctionWords) {
+    if (w == token) return true;
+  }
+  return false;
+}
+
+// Raw whitespace tokenization preserving the original forms (the
+// text::Tokenizer lowercases, which would destroy the capitalization
+// signal the chunker needs). Punctuation is preserved — text spans need
+// their commas for downstream clause trimming; NP chunks strip it when
+// flushed.
+std::vector<std::string> RawTokens(std::string_view sentence) {
+  return SplitWhitespace(sentence);
+}
+
+bool HasTrailingPunct(const std::string& token) {
+  return !token.empty() &&
+         (token.back() == '.' || token.back() == ',' ||
+          token.back() == '!' || token.back() == '?');
+}
+
+std::string StripTrailingPunct(std::string token) {
+  while (HasTrailingPunct(token)) token.pop_back();
+  return token;
+}
+
+}  // namespace
+
+bool Chunker::IsNounPhraseToken(std::string_view token) {
+  if (token.empty()) return false;
+  char c = token.front();
+  if (std::isupper(static_cast<unsigned char>(c))) return true;
+  // Digits extend NPs ("University of Ulm3", "Keller Prize 4").
+  if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  // "of" inside a capitalized run ("University of Graustadt") is NP glue;
+  // the caller handles that contextually, not here.
+  return false;
+}
+
+std::vector<Chunk> Chunker::Segment(std::string_view sentence) {
+  std::vector<std::string> tokens = RawTokens(sentence);
+  std::vector<Chunk> chunks;
+
+  auto flush = [&chunks, &tokens](Chunk::Kind kind, size_t begin,
+                                  size_t end) {
+    if (begin >= end) return;
+    Chunk chunk;
+    chunk.kind = kind;
+    chunk.token_begin = begin;
+    chunk.token_end = end;
+    for (size_t i = begin; i < end; ++i) {
+      if (i > begin) chunk.text += " ";
+      // Noun phrases are canonical mention text (no punctuation); text
+      // spans keep commas so clause boundaries survive.
+      chunk.text += kind == Chunk::Kind::kNounPhrase
+                        ? StripTrailingPunct(tokens[i])
+                        : tokens[i];
+    }
+    // Drop a trailing sentence terminator from text spans.
+    if (kind == Chunk::Kind::kText && !chunk.text.empty() &&
+        (chunk.text.back() == '.' || chunk.text.back() == '!' ||
+         chunk.text.back() == '?')) {
+      chunk.text.pop_back();
+    }
+    chunks.push_back(std::move(chunk));
+  };
+
+  size_t i = 0;
+  size_t span_start = 0;
+  while (i < tokens.size()) {
+    // An NP must *start* with a capitalized word (digits may only extend
+    // it — "In 1880," must not open a noun phrase), and sentence-initial
+    // capitalized function words don't count.
+    bool np_start =
+        !tokens[i].empty() &&
+        std::isupper(static_cast<unsigned char>(tokens[i].front())) &&
+        !(i == 0 && IsFunctionWord(tokens[i]));
+    if (!np_start) {
+      ++i;
+      continue;
+    }
+    // Flush the text span before this NP.
+    flush(Chunk::Kind::kText, span_start, i);
+    size_t np_begin = i;
+    while (i < tokens.size()) {
+      if (IsNounPhraseToken(tokens[i])) {
+        bool ends_clause = HasTrailingPunct(tokens[i]);
+        ++i;
+        if (ends_clause) break;  // "Keller," closes the noun phrase
+        continue;
+      }
+      // "of" glues two capitalized parts: "University of Graustadt".
+      if (tokens[i] == "of" && i + 1 < tokens.size() &&
+          IsNounPhraseToken(tokens[i + 1])) {
+        i += 2;
+        if (HasTrailingPunct(tokens[i - 1])) break;
+        continue;
+      }
+      break;
+    }
+    flush(Chunk::Kind::kNounPhrase, np_begin, i);
+    span_start = i;
+  }
+  flush(Chunk::Kind::kText, span_start, tokens.size());
+  return chunks;
+}
+
+}  // namespace trinit::openie

@@ -1,0 +1,44 @@
+#ifndef TRINIT_OPENIE_CHUNKER_H_
+#define TRINIT_OPENIE_CHUNKER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trinit::openie {
+
+/// A span of a sentence classified as a noun-phrase candidate or
+/// connective text.
+struct Chunk {
+  enum class Kind {
+    kNounPhrase,  ///< capitalized run: entity-mention candidate
+    kText,        ///< everything else (verb phrases, tails, fluff)
+  };
+  Kind kind = Kind::kText;
+  std::string text;          ///< raw surface text of the span
+  size_t token_begin = 0;    ///< token offsets within the sentence
+  size_t token_end = 0;      ///< exclusive
+};
+
+/// Deterministic shallow chunker: segments a sentence into noun-phrase
+/// candidates (maximal runs of capitalized tokens, the convention the
+/// synthetic corpus and most proper-noun mentions follow) and connective
+/// text spans.
+///
+/// This replaces the POS-tagger+regex stage of ReVerb (DESIGN.md §4):
+/// same contract — NP candidates with connective spans between them —
+/// with deterministic behaviour so extraction tests are exact.
+class Chunker {
+ public:
+  /// Chunks a raw (untokenized) sentence. Sentence-initial function
+  /// words ("In", "The", ...) are not NP material despite their
+  /// capitalization.
+  static std::vector<Chunk> Segment(std::string_view sentence);
+
+  /// True if `token` (raw, capitalized-or-not) can start/extend an NP.
+  static bool IsNounPhraseToken(std::string_view token);
+};
+
+}  // namespace trinit::openie
+
+#endif  // TRINIT_OPENIE_CHUNKER_H_

@@ -1,0 +1,111 @@
+#include "openie/extractor.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace trinit::openie {
+namespace {
+
+// A connective span qualifies as a relation phrase if it is short and
+// contains at least one content (non-stopword) token — mirroring
+// ReVerb's requirement that relation phrases contain a verb.
+bool IsRelationPhrase(const std::string& text, size_t max_tokens) {
+  std::vector<std::string> tokens = text::Tokenizer::Tokenize(text);
+  if (tokens.empty() || tokens.size() > max_tokens) return false;
+  for (const std::string& t : tokens) {
+    if (!text::Tokenizer::IsStopword(t)) return true;
+  }
+  // All-stopword connectives like "is in" still qualify if very short.
+  return tokens.size() <= 2;
+}
+
+size_t TokenCount(const std::string& text) {
+  return text::Tokenizer::Tokenize(text).size();
+}
+
+// Removes a leading preposition tail marker: "for work on physics" ->
+// ("for", "work on physics"); returns empty prep if no marker.
+std::pair<std::string, std::string> SplitTail(const std::string& text) {
+  std::vector<std::string> tokens = SplitWhitespace(text);
+  if (tokens.size() < 2) return {"", ""};
+  std::string head = ToLower(tokens[0]);
+  if (head != "for" && head != "about" && head != "on") return {"", ""};
+  std::string rest;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (i > 1) rest += " ";
+    rest += tokens[i];
+  }
+  return {head, rest};
+}
+
+// Trims trailing subordinate fluff from a tail (", according to ...").
+std::string TrimTailClause(std::string tail) {
+  size_t comma = tail.find(',');
+  if (comma != std::string::npos) tail.resize(comma);
+  return std::string(Trim(tail));
+}
+
+}  // namespace
+
+double Extractor::Confidence(size_t relation_tokens,
+                             size_t nps_in_sentence) const {
+  double conf = options_.base_confidence;
+  if (relation_tokens > 2) {
+    conf -= 0.07 * static_cast<double>(relation_tokens - 2);
+  }
+  if (nps_in_sentence > 2) conf -= 0.1;
+  return std::max(conf, options_.min_confidence);
+}
+
+std::vector<Extraction> Extractor::ExtractSentence(
+    std::string_view sentence) const {
+  std::vector<Chunk> chunks = Chunker::Segment(sentence);
+  size_t nps = static_cast<size_t>(
+      std::count_if(chunks.begin(), chunks.end(), [](const Chunk& c) {
+        return c.kind == Chunk::Kind::kNounPhrase;
+      }));
+
+  std::vector<Extraction> out;
+  for (size_t i = 0; i + 2 < chunks.size(); ++i) {
+    if (chunks[i].kind != Chunk::Kind::kNounPhrase) continue;
+    if (chunks[i + 1].kind != Chunk::Kind::kText) continue;
+    if (chunks[i + 2].kind != Chunk::Kind::kNounPhrase) continue;
+    const std::string& relation = chunks[i + 1].text;
+    if (!IsRelationPhrase(relation, options_.max_relation_tokens)) continue;
+
+    size_t rel_tokens = TokenCount(relation);
+    Extraction extraction;
+    extraction.arg1 = chunks[i].text;
+    extraction.relation = relation;
+    extraction.arg2 = chunks[i + 2].text;
+    extraction.confidence = Confidence(rel_tokens, nps);
+    extraction.arg2_is_np = true;
+    out.push_back(extraction);
+
+    // Rationale pattern: NP VP NP2 "for <tail>" -> token-object triple
+    // (NP, "VP NP2 for", tail). Mirrors ReVerb relation phrases that
+    // embed nouns ("won a Nobel for").
+    if (i + 3 < chunks.size() &&
+        chunks[i + 3].kind == Chunk::Kind::kText) {
+      auto [prep, tail] = SplitTail(chunks[i + 3].text);
+      tail = TrimTailClause(tail);
+      if (!prep.empty() && !tail.empty() &&
+          TokenCount(tail) <= options_.max_tail_tokens) {
+        Extraction rationale;
+        rationale.arg1 = chunks[i].text;
+        rationale.relation =
+            relation + " " + chunks[i + 2].text + " " + prep;
+        rationale.arg2 = tail;
+        rationale.confidence =
+            Confidence(rel_tokens + TokenCount(tail), nps) * 0.9;
+        rationale.arg2_is_np = false;
+        out.push_back(std::move(rationale));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trinit::openie

@@ -1,0 +1,62 @@
+#ifndef TRINIT_OPENIE_EXTRACTOR_H_
+#define TRINIT_OPENIE_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "openie/chunker.h"
+
+namespace trinit::openie {
+
+/// A raw Open IE extraction: two argument phrases connected by a verbal
+/// phrase, before entity linking. Argument phrases are surface text;
+/// the relation phrase is kept verbatim (normalization happens when it
+/// is interned as a token term).
+struct Extraction {
+  std::string arg1;      ///< subject phrase (NP surface form)
+  std::string relation;  ///< verbal phrase between the arguments
+  std::string arg2;      ///< object phrase (NP or lowercase tail)
+  double confidence = 1.0;
+  bool arg2_is_np = true;  ///< false: arg2 is a clause tail ("work on
+                           ///< physics"), never linkable to an entity
+};
+
+/// ReVerb-style triple extractor over chunked sentences (DESIGN.md §4).
+///
+/// Patterns produced:
+///  1. NP — text — NP  for consecutive noun phrases with a short verbal
+///     connective ("Anna Keller works at University of Graustadt");
+///  2. NP — text+NP+"for" — tail for prize-rationale shapes ("X won the
+///     Keller Prize for work on physics" yields (X, 'won the Keller
+///     Prize for', 'work on physics')), mirroring the Figure 3
+///     photoelectric-effect triple.
+///
+/// Confidence decreases with connective length and sentence complexity,
+/// mimicking ReVerb's confidence function shape.
+class Extractor {
+ public:
+  struct Options {
+    size_t max_relation_tokens = 6;
+    size_t max_tail_tokens = 8;
+    double base_confidence = 0.9;
+    double min_confidence = 0.3;
+  };
+
+  Extractor() : Extractor(Options()) {}
+  explicit Extractor(Options options) : options_(options) {}
+
+  /// Extracts triples from one raw sentence.
+  std::vector<Extraction> ExtractSentence(std::string_view sentence) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  double Confidence(size_t relation_tokens, size_t nps_in_sentence) const;
+
+  Options options_;
+};
+
+}  // namespace trinit::openie
+
+#endif  // TRINIT_OPENIE_EXTRACTOR_H_

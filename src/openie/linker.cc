@@ -1,0 +1,50 @@
+#include "openie/linker.h"
+
+#include <algorithm>
+
+#include "text/phrase.h"
+
+namespace trinit::openie {
+
+void Linker::AddAlias(std::string_view alias, std::string_view entity,
+                      double popularity) {
+  std::string key = text::NormalizePhrase(alias);
+  if (key.empty()) return;
+  std::vector<Candidate>& candidates = table_[key];
+  for (Candidate& c : candidates) {
+    if (c.entity == entity) {
+      c.popularity = std::max(c.popularity, popularity);
+      return;
+    }
+  }
+  candidates.push_back({std::string(entity), popularity});
+}
+
+LinkResult Linker::Link(std::string_view phrase) const {
+  LinkResult result;
+  auto it = table_.find(text::NormalizePhrase(phrase));
+  if (it == table_.end()) return result;
+  const std::vector<Candidate>& candidates = it->second;
+  result.candidates = candidates.size();
+  if (candidates.size() == 1) {
+    result.linked = true;
+    result.entity = candidates[0].entity;
+    result.confidence = options_.unambiguous_confidence;
+    return result;
+  }
+  double total = 0.0;
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    total += c.popularity;
+    if (best == nullptr || c.popularity > best->popularity) best = &c;
+  }
+  if (total > 0.0 && best->popularity / total >=
+                         options_.dominance_threshold) {
+    result.linked = true;
+    result.entity = best->entity;
+    result.confidence = options_.ambiguous_confidence;
+  }
+  return result;
+}
+
+}  // namespace trinit::openie

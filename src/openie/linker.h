@@ -1,0 +1,62 @@
+#ifndef TRINIT_OPENIE_LINKER_H_
+#define TRINIT_OPENIE_LINKER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace trinit::openie {
+
+/// Outcome of linking one argument phrase.
+struct LinkResult {
+  bool linked = false;
+  std::string entity;     ///< canonical resource label when linked
+  double confidence = 0.0;
+  size_t candidates = 0;  ///< how many entities share the alias
+};
+
+/// Dictionary-based named-entity disambiguation — the stand-in for
+/// AIDA/Spotlight/TagMe + the FACC1 annotations (DESIGN.md §4).
+///
+/// An alias table maps normalized surface forms to candidate entities
+/// with popularity priors. Unambiguous aliases link with high
+/// confidence; ambiguous ones link to the dominant candidate only when
+/// its prior outweighs the rest, otherwise the phrase stays a textual
+/// token in the XKG (which is exactly what the extended data model is
+/// for).
+class Linker {
+ public:
+  struct Options {
+    double unambiguous_confidence = 0.95;
+    /// Minimum share of total candidate popularity the top candidate
+    /// needs for an ambiguous alias to link at all.
+    double dominance_threshold = 0.6;
+    double ambiguous_confidence = 0.7;
+  };
+
+  Linker() : Linker(Options()) {}
+  explicit Linker(Options options) : options_(options) {}
+
+  /// Registers `alias` as a surface form of `entity` (canonical label)
+  /// with the given popularity prior. Aliases are normalized internally.
+  void AddAlias(std::string_view alias, std::string_view entity,
+                double popularity);
+
+  /// Links a phrase, or reports it unlinkable.
+  LinkResult Link(std::string_view phrase) const;
+
+  size_t alias_count() const { return table_.size(); }
+
+ private:
+  struct Candidate {
+    std::string entity;
+    double popularity;
+  };
+  Options options_;
+  std::unordered_map<std::string, std::vector<Candidate>> table_;
+};
+
+}  // namespace trinit::openie
+
+#endif  // TRINIT_OPENIE_LINKER_H_

@@ -1,0 +1,77 @@
+#include "openie/pipeline.h"
+
+#include "text/phrase.h"
+#include "text/tokenizer.h"
+
+namespace trinit::openie {
+
+Pipeline::Stats Pipeline::Run(const std::vector<synth::Document>& docs,
+                              xkg::XkgBuilder* builder) const {
+  Stats stats;
+  for (const synth::Document& doc : docs) {
+    ++stats.documents;
+    std::vector<std::string> sentences =
+        text::Tokenizer::SplitSentences(doc.text);
+    for (uint32_t si = 0; si < sentences.size(); ++si) {
+      ++stats.sentences;
+      for (const Extraction& ex :
+           extractor_.ExtractSentence(sentences[si])) {
+        ++stats.extractions;
+
+        // Subject argument.
+        LinkResult s_link = linker_.Link(ex.arg1);
+        rdf::TermId s =
+            s_link.linked
+                ? builder->dict().InternResource(s_link.entity)
+                : builder->dict().InternToken(
+                      text::NormalizePhrase(ex.arg1));
+        (s_link.linked ? stats.arguments_linked : stats.arguments_token)++;
+
+        // Object argument: clause tails are never linked.
+        LinkResult o_link;
+        if (ex.arg2_is_np) o_link = linker_.Link(ex.arg2);
+        rdf::TermId o =
+            o_link.linked
+                ? builder->dict().InternResource(o_link.entity)
+                : builder->dict().InternToken(
+                      text::NormalizePhrase(ex.arg2));
+        (o_link.linked ? stats.arguments_linked : stats.arguments_token)++;
+
+        rdf::TermId p = builder->dict().InternToken(
+            text::NormalizePhrase(ex.relation));
+        if (s == rdf::kNullTerm || p == rdf::kNullTerm ||
+            o == rdf::kNullTerm) {
+          continue;  // degenerate phrase normalized to nothing
+        }
+
+        double confidence = ex.confidence;
+        if (s_link.linked) confidence *= s_link.confidence;
+        if (o_link.linked) confidence *= o_link.confidence;
+
+        xkg::Provenance prov;
+        prov.doc_id = doc.id;
+        prov.sentence_idx = si;
+        prov.sentence = sentences[si];
+        prov.extraction_confidence = ex.confidence;
+        builder->AddExtraction(s, p, o, static_cast<float>(confidence),
+                               std::move(prov));
+      }
+    }
+  }
+  return stats;
+}
+
+Linker Pipeline::LinkerForWorld(const synth::World& world,
+                                Linker::Options options) {
+  Linker linker(options);
+  for (const synth::Entity& e : world.entities) {
+    for (const std::string& alias : e.aliases) {
+      linker.AddAlias(alias, e.name, e.popularity);
+    }
+    // The canonical label itself (underscored) is also a surface form.
+    linker.AddAlias(e.name, e.name, e.popularity);
+  }
+  return linker;
+}
+
+}  // namespace trinit::openie

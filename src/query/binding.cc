@@ -1,0 +1,76 @@
+#include "query/binding.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace trinit::query {
+
+VarTable::VarTable(const Query& query) : names_(query.Variables()) {}
+
+VarTable::VarTable(std::vector<std::string> names)
+    : names_(std::move(names)) {}
+
+std::optional<VarId> VarTable::Find(const std::string& name) const {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) return std::nullopt;
+  return static_cast<VarId>(it - names_.begin());
+}
+
+VarId VarTable::Require(const std::string& name) const {
+  std::optional<VarId> id = Find(name);
+  TRINIT_CHECK(id.has_value());
+  return *id;
+}
+
+bool Binding::Bind(VarId var, rdf::TermId value) {
+  TRINIT_DCHECK(var < values_.size());
+  TRINIT_DCHECK(value != rdf::kNullTerm);
+  if (values_[var] != rdf::kNullTerm) return values_[var] == value;
+  values_[var] = value;
+  return true;
+}
+
+std::optional<Binding> Binding::MergedWith(const Binding& other) const {
+  TRINIT_DCHECK(values_.size() == other.values_.size());
+  Binding merged = *this;
+  for (VarId v = 0; v < other.values_.size(); ++v) {
+    if (other.values_[v] == rdf::kNullTerm) continue;
+    if (!merged.Bind(v, other.values_[v])) return std::nullopt;
+  }
+  return merged;
+}
+
+Binding Binding::Prefix(size_t num_vars) const {
+  TRINIT_DCHECK(num_vars <= values_.size());
+  Binding out(num_vars);
+  for (size_t v = 0; v < num_vars; ++v) out.values_[v] = values_[v];
+  return out;
+}
+
+bool Binding::IsComplete() const {
+  return std::all_of(values_.begin(), values_.end(),
+                     [](rdf::TermId v) { return v != rdf::kNullTerm; });
+}
+
+std::string Binding::KeyFor(const std::vector<VarId>& projection) const {
+  std::string key;
+  for (VarId v : projection) {
+    key += std::to_string(v < values_.size() ? values_[v] : rdf::kNullTerm);
+    key.push_back('|');
+  }
+  return key;
+}
+
+std::string Binding::ToString(const VarTable& table,
+                              const rdf::Dictionary& dict) const {
+  std::string out;
+  for (VarId v = 0; v < values_.size() && v < table.size(); ++v) {
+    if (values_[v] == rdf::kNullTerm) continue;
+    if (!out.empty()) out += ", ";
+    out += "?" + table.names()[v] + "=" + dict.DebugLabel(values_[v]);
+  }
+  return out;
+}
+
+}  // namespace trinit::query

@@ -1,0 +1,86 @@
+#ifndef TRINIT_QUERY_BINDING_H_
+#define TRINIT_QUERY_BINDING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/term.h"
+
+namespace trinit::query {
+
+/// Dense index of a variable within a query (order of first occurrence).
+using VarId = uint32_t;
+
+/// Compilation of a query's variable names into dense `VarId`s.
+class VarTable {
+ public:
+  /// Builds the table from a query's variables.
+  explicit VarTable(const Query& query);
+
+  /// Builds from an explicit ordered name list (rewriter internals).
+  explicit VarTable(std::vector<std::string> names);
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Id of `name`, or nullopt if unknown.
+  std::optional<VarId> Find(const std::string& name) const;
+
+  /// Id of `name`; the variable must exist.
+  VarId Require(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A (partial) assignment of variables to dictionary terms. Unbound
+/// variables hold `rdf::kNullTerm`.
+class Binding {
+ public:
+  Binding() = default;
+  explicit Binding(size_t num_vars)
+      : values_(num_vars, rdf::kNullTerm) {}
+
+  size_t size() const { return values_.size(); }
+
+  rdf::TermId Get(VarId var) const { return values_[var]; }
+  bool IsBound(VarId var) const { return values_[var] != rdf::kNullTerm; }
+
+  /// Binds `var` to `value`; returns false on conflict with an existing
+  /// different binding (the join condition of shared variables).
+  bool Bind(VarId var, rdf::TermId value);
+
+  /// Merges `other` into a copy of this; nullopt on any conflict.
+  std::optional<Binding> MergedWith(const Binding& other) const;
+
+  /// True when every variable is bound.
+  bool IsComplete() const;
+
+  /// Copy restricted to the first `num_vars` variables (used to project
+  /// a sub-query binding with fresh existential variables back onto the
+  /// original query's variable table, which always forms a prefix).
+  Binding Prefix(size_t num_vars) const;
+
+  /// Stable key over the given projection (for answer deduplication:
+  /// "the same answer can be obtained through multiple sequences of
+  /// relaxations ... score of an answer is the maximal one", paper §4).
+  std::string KeyFor(const std::vector<VarId>& projection) const;
+
+  /// Human-readable rendering `?x=AlbertEinstein, ?y=Ulm` using `table`
+  /// for names and `dict` for labels.
+  std::string ToString(const VarTable& table,
+                       const rdf::Dictionary& dict) const;
+
+  friend bool operator==(const Binding& a, const Binding& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<rdf::TermId> values_;
+};
+
+}  // namespace trinit::query
+
+#endif  // TRINIT_QUERY_BINDING_H_

@@ -1,0 +1,168 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace trinit::query {
+namespace {
+
+struct Lexer {
+  std::string_view input;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= input.size();
+  }
+
+  /// Lexes one raw token: quoted strings keep their quote kind.
+  struct Lexeme {
+    enum class Kind { kWord, kSingleQuoted, kDoubleQuoted, kSeparator };
+    Kind kind;
+    std::string text;
+  };
+
+  Result<Lexeme> Next() {
+    SkipSpace();
+    if (pos >= input.size()) {
+      return Status::ParseError("unexpected end of query");
+    }
+    char c = input[pos];
+    if (c == ';' || c == '.') {
+      ++pos;
+      return Lexeme{Lexeme::Kind::kSeparator, std::string(1, c)};
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t end = input.find(quote, pos + 1);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated quote starting at offset " +
+                                  std::to_string(pos));
+      }
+      std::string text(input.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+      return Lexeme{quote == '\'' ? Lexeme::Kind::kSingleQuoted
+                                  : Lexeme::Kind::kDoubleQuoted,
+                    std::move(text)};
+    }
+    size_t start = pos;
+    while (pos < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[pos])) &&
+           input[pos] != ';' && input[pos] != '\'' && input[pos] != '"') {
+      // '.' terminates a pattern only when followed by whitespace/end so
+      // that literals-in-barewords like dates survive... but dates should
+      // be double-quoted; keep '.' as a word char inside barewords unless
+      // it's a standalone separator (handled above when c=='.').
+      ++pos;
+    }
+    return Lexeme{Lexeme::Kind::kWord,
+                  std::string(input.substr(start, pos - start))};
+  }
+};
+
+Result<Term> TermFromLexeme(const Lexer::Lexeme& lex) {
+  switch (lex.kind) {
+    case Lexer::Lexeme::Kind::kSingleQuoted: {
+      Term t = Term::Token(lex.text);
+      if (t.text.empty()) {
+        return Status::ParseError("token phrase '" + lex.text +
+                                  "' has no word characters");
+      }
+      return t;
+    }
+    case Lexer::Lexeme::Kind::kDoubleQuoted:
+      return Term::Literal(lex.text);
+    case Lexer::Lexeme::Kind::kWord:
+      if (lex.text[0] == '?') {
+        std::string name = lex.text.substr(1);
+        if (name.empty()) {
+          return Status::ParseError("variable with empty name");
+        }
+        return Term::Variable(std::move(name));
+      }
+      return Term::Resource(lex.text);
+    case Lexer::Lexeme::Kind::kSeparator:
+      return Status::ParseError("unexpected separator '" + lex.text + "'");
+  }
+  return Status::Internal("unreachable lexeme kind");
+}
+
+}  // namespace
+
+Result<Query> Parser::Parse(std::string_view input,
+                            const rdf::Dictionary* dict) {
+  Lexer lexer{input};
+  if (lexer.AtEnd()) return Status::ParseError("empty query");
+
+  std::vector<std::string> projection;
+
+  // Optional `SELECT ?a ?b WHERE` prefix.
+  size_t saved = lexer.pos;
+  TRINIT_ASSIGN_OR_RETURN(Lexer::Lexeme first, lexer.Next());
+  if (first.kind == Lexer::Lexeme::Kind::kWord &&
+      (first.text == "SELECT" || first.text == "select")) {
+    while (true) {
+      if (lexer.AtEnd()) {
+        return Status::ParseError("SELECT without WHERE clause");
+      }
+      TRINIT_ASSIGN_OR_RETURN(Lexer::Lexeme lex, lexer.Next());
+      if (lex.kind == Lexer::Lexeme::Kind::kWord &&
+          (lex.text == "WHERE" || lex.text == "where")) {
+        break;
+      }
+      if (lex.kind != Lexer::Lexeme::Kind::kWord || lex.text[0] != '?' ||
+          lex.text.size() < 2) {
+        return Status::ParseError("expected projection variable, got '" +
+                                  lex.text + "'");
+      }
+      projection.push_back(lex.text.substr(1));
+    }
+    if (projection.empty()) {
+      return Status::ParseError("SELECT with empty projection list");
+    }
+  } else {
+    lexer.pos = saved;  // no SELECT clause; re-read from the start
+  }
+
+  std::vector<TriplePattern> patterns;
+  while (!lexer.AtEnd()) {
+    TriplePattern pattern;
+    Term* slots[3] = {&pattern.s, &pattern.p, &pattern.o};
+    for (int i = 0; i < 3; ++i) {
+      if (lexer.AtEnd()) {
+        return Status::ParseError(
+            "incomplete triple pattern: expected 3 terms, got " +
+            std::to_string(i));
+      }
+      TRINIT_ASSIGN_OR_RETURN(Lexer::Lexeme lex, lexer.Next());
+      TRINIT_ASSIGN_OR_RETURN(*slots[i], TermFromLexeme(lex));
+    }
+    patterns.push_back(std::move(pattern));
+    if (!lexer.AtEnd()) {
+      TRINIT_ASSIGN_OR_RETURN(Lexer::Lexeme sep, lexer.Next());
+      if (sep.kind != Lexer::Lexeme::Kind::kSeparator) {
+        return Status::ParseError("expected ';' between patterns, got '" +
+                                  sep.text + "'");
+      }
+      if (lexer.AtEnd()) {
+        return Status::ParseError("trailing separator without pattern");
+      }
+    }
+  }
+
+  Query q(std::move(patterns), std::move(projection));
+  TRINIT_RETURN_IF_ERROR(q.Validate());
+  if (dict != nullptr) q.ResolveAgainst(*dict);
+  return q;
+}
+
+}  // namespace trinit::query

@@ -1,0 +1,39 @@
+#ifndef TRINIT_QUERY_PARSER_H_
+#define TRINIT_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "query/query.h"
+#include "util/result.h"
+
+namespace trinit::query {
+
+/// Parser for TriniT's extended triple-pattern syntax (the textual form
+/// of the demo's query interface, Figure 5):
+///
+///   [SELECT ?v1 ?v2 ... WHERE] pattern (';' pattern)*
+///   pattern := term term term
+///   term    := '?'name            variable
+///            | 'token phrase'     textual token (any slot; paper §2)
+///            | "literal"          literal value
+///            | bareword           canonical KG resource
+///
+/// Examples from the paper:
+///   ?x bornIn Germany
+///   AlbertEinstein hasAdvisor ?x
+///   SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member IvyLeague
+///   AlbertEinstein 'won nobel for' ?x
+///
+/// The '.' separator is accepted as an alias for ';' (SPARQL habit).
+class Parser {
+ public:
+  /// Parses `input`; when `dict` is non-null, constants are resolved
+  /// against it (unresolved constants are kept, see Query::ResolveAgainst).
+  static Result<Query> Parse(std::string_view input,
+                             const rdf::Dictionary* dict = nullptr);
+};
+
+}  // namespace trinit::query
+
+#endif  // TRINIT_QUERY_PARSER_H_

@@ -1,0 +1,149 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+#include "text/phrase.h"
+
+namespace trinit::query {
+
+Term Term::Variable(std::string name) {
+  Term t;
+  t.kind = Kind::kVariable;
+  t.text = std::move(name);
+  return t;
+}
+
+Term Term::Resource(std::string label, rdf::TermId id) {
+  Term t;
+  t.kind = Kind::kResource;
+  t.text = std::move(label);
+  t.id = id;
+  return t;
+}
+
+Term Term::Token(std::string phrase, rdf::TermId id) {
+  Term t;
+  t.kind = Kind::kToken;
+  t.text = text::NormalizePhrase(phrase);
+  t.id = id;
+  return t;
+}
+
+Term Term::Literal(std::string value, rdf::TermId id) {
+  Term t;
+  t.kind = Kind::kLiteral;
+  t.text = std::move(value);
+  t.id = id;
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return "?" + text;
+    case Kind::kResource:
+      return text;
+    case Kind::kToken:
+      return "'" + text + "'";
+    case Kind::kLiteral:
+      return "\"" + text + "\"";
+  }
+  return text;
+}
+
+std::string TriplePattern::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString();
+}
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> vars;
+  for (const Term* t : {&s, &p, &o}) {
+    if (t->is_variable() &&
+        std::find(vars.begin(), vars.end(), t->text) == vars.end()) {
+      vars.push_back(t->text);
+    }
+  }
+  return vars;
+}
+
+Query::Query(std::vector<TriplePattern> patterns,
+             std::vector<std::string> projection)
+    : patterns_(std::move(patterns)), projection_(std::move(projection)) {}
+
+std::vector<std::string> Query::Variables() const {
+  std::vector<std::string> vars;
+  for (const TriplePattern& p : patterns_) {
+    for (const std::string& v : p.Variables()) {
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+  }
+  return vars;
+}
+
+std::vector<std::string> Query::EffectiveProjection() const {
+  return projection_.empty() ? Variables() : projection_;
+}
+
+Status Query::Validate() const {
+  if (patterns_.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  std::vector<std::string> vars = Variables();
+  for (const std::string& v : projection_) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      return Status::InvalidArgument("projection variable ?" + v +
+                                     " does not occur in any pattern");
+    }
+  }
+  for (const TriplePattern& p : patterns_) {
+    for (const Term* t : {&p.s, &p.p, &p.o}) {
+      if (t->is_variable() && t->text.empty()) {
+        return Status::InvalidArgument("unnamed variable in pattern " +
+                                       p.ToString());
+      }
+      if (t->kind == Term::Kind::kToken && t->text.empty()) {
+        return Status::InvalidArgument("empty token phrase in pattern " +
+                                       p.ToString());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Query::ResolveAgainst(const rdf::Dictionary& dict) {
+  for (TriplePattern& p : patterns_) {
+    for (Term* t : {&p.s, &p.p, &p.o}) {
+      switch (t->kind) {
+        case Term::Kind::kVariable:
+          break;
+        case Term::Kind::kResource:
+          t->id = dict.Find(rdf::TermKind::kResource, t->text);
+          break;
+        case Term::Kind::kToken:
+          t->id = dict.Find(rdf::TermKind::kToken, t->text);
+          break;
+        case Term::Kind::kLiteral:
+          t->id = dict.Find(rdf::TermKind::kLiteral, t->text);
+          break;
+      }
+    }
+  }
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  if (!projection_.empty()) {
+    out += "SELECT";
+    for (const std::string& v : projection_) out += " ?" + v;
+    out += " WHERE ";
+  }
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (i > 0) out += " ; ";
+    out += patterns_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace trinit::query

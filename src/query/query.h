@@ -1,0 +1,117 @@
+#ifndef TRINIT_QUERY_QUERY_H_
+#define TRINIT_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "util/result.h"
+
+namespace trinit::query {
+
+/// One slot of a triple pattern: either a variable or a constant.
+///
+/// Constants carry both their surface text and (when resolvable) the
+/// dictionary id. A resource constant that is *not* in the dictionary is
+/// kept unresolved (`id == kNullTerm`): it matches nothing directly but
+/// can still be rescued by relaxation (e.g. rewriting it to a token).
+/// Token constants are stored normalized; they match the XKG both
+/// exactly and softly via the phrase index (extended triple patterns,
+/// paper §2).
+struct Term {
+  enum class Kind {
+    kVariable,  ///< e.g. ?x
+    kResource,  ///< canonical KG resource, e.g. AlbertEinstein
+    kToken,     ///< quoted token phrase, e.g. 'won a nobel for'
+    kLiteral,   ///< double-quoted literal, e.g. "1879-03-14"
+  };
+
+  Kind kind = Kind::kVariable;
+  std::string text;              ///< variable name (no '?') or label
+  rdf::TermId id = rdf::kNullTerm;  ///< resolved constant id, if any
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind != Kind::kVariable; }
+
+  static Term Variable(std::string name);
+  static Term Resource(std::string label, rdf::TermId id = rdf::kNullTerm);
+  static Term Token(std::string phrase, rdf::TermId id = rdf::kNullTerm);
+  static Term Literal(std::string value, rdf::TermId id = rdf::kNullTerm);
+
+  /// Query-syntax rendering: `?x`, `AlbertEinstein`, `'won a nobel
+  /// for'`, `"1879-03-14"`.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.text == b.text && a.id == b.id;
+  }
+};
+
+/// A triple pattern S P O, any slot variable or constant.
+struct TriplePattern {
+  Term s, p, o;
+
+  /// `?x bornIn Germany` style rendering.
+  std::string ToString() const;
+
+  /// Names of the variables appearing in this pattern, in S,P,O order,
+  /// without duplicates.
+  std::vector<std::string> Variables() const;
+
+  friend bool operator==(const TriplePattern& a, const TriplePattern& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+/// A conjunctive triple-pattern query with projection variables — the
+/// query class of the paper (§1): "a set of conjunctively combined
+/// triple patterns ... occurrences of the same variable ... indicate a
+/// join".
+class Query {
+ public:
+  Query() = default;
+  Query(std::vector<TriplePattern> patterns,
+        std::vector<std::string> projection);
+
+  const std::vector<TriplePattern>& patterns() const { return patterns_; }
+  std::vector<TriplePattern>& mutable_patterns() { return patterns_; }
+
+  /// Projection variable names; empty means "all variables".
+  const std::vector<std::string>& projection() const { return projection_; }
+
+  /// All distinct variable names in pattern order of first occurrence.
+  std::vector<std::string> Variables() const;
+
+  /// Projection list resolved against Variables(): the explicit
+  /// projection, or all variables when none was given.
+  std::vector<std::string> EffectiveProjection() const;
+
+  /// Validation: at least one pattern, every projection variable occurs
+  /// in some pattern, no pattern with three unresolved constants slots
+  /// that cannot match. Returns the first problem found.
+  Status Validate() const;
+
+  /// Re-resolves every constant term against `dict` (used after parsing
+  /// with no dictionary or after loading a different XKG). Token
+  /// constants that are absent stay unresolved — they may still soft
+  /// match. Resource/literal constants that are absent also stay
+  /// unresolved and are relaxation fodder.
+  void ResolveAgainst(const rdf::Dictionary& dict);
+
+  /// `SELECT ?x WHERE ?x bornIn Germany` style rendering (WHERE-only
+  /// when the projection is implicit).
+  std::string ToString() const;
+
+  friend bool operator==(const Query& a, const Query& b) {
+    return a.patterns_ == b.patterns_ && a.projection_ == b.projection_;
+  }
+
+ private:
+  std::vector<TriplePattern> patterns_;
+  std::vector<std::string> projection_;
+};
+
+}  // namespace trinit::query
+
+#endif  // TRINIT_QUERY_QUERY_H_

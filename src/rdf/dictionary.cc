@@ -1,0 +1,58 @@
+#include "rdf/dictionary.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace trinit::rdf {
+
+size_t Dictionary::KeyHash::operator()(
+    const std::pair<uint8_t, std::string>& k) const {
+  return static_cast<size_t>(
+      HashCombine(k.first, Fnv1a64(k.second)));
+}
+
+Dictionary::Dictionary() = default;
+
+TermId Dictionary::Intern(TermKind kind, std::string_view label) {
+  auto key = std::make_pair(static_cast<uint8_t>(kind), std::string(label));
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  labels_.emplace_back(label);
+  kinds_.push_back(kind);
+  ++kind_counts_[static_cast<uint8_t>(kind)];
+  TermId id = static_cast<TermId>(labels_.size());
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Find(TermKind kind, std::string_view label) const {
+  auto key = std::make_pair(static_cast<uint8_t>(kind), std::string(label));
+  auto it = index_.find(key);
+  return it == index_.end() ? kNullTerm : it->second;
+}
+
+std::string_view Dictionary::label(TermId id) const {
+  TRINIT_CHECK(Contains(id));
+  return labels_[id - 1];
+}
+
+TermKind Dictionary::kind(TermId id) const {
+  TRINIT_CHECK(Contains(id));
+  return kinds_[id - 1];
+}
+
+std::string Dictionary::DebugLabel(TermId id) const {
+  if (id == kNullTerm) return "<null>";
+  if (!Contains(id)) return "<unknown:" + std::to_string(id) + ">";
+  std::string_view l = labels_[id - 1];
+  if (kinds_[id - 1] == TermKind::kToken) {
+    return "'" + std::string(l) + "'";
+  }
+  return std::string(l);
+}
+
+size_t Dictionary::CountOfKind(TermKind kind) const {
+  return kind_counts_[static_cast<uint8_t>(kind)];
+}
+
+}  // namespace trinit::rdf

@@ -1,0 +1,87 @@
+#ifndef TRINIT_RDF_DICTIONARY_H_
+#define TRINIT_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace trinit::rdf {
+
+/// Bidirectional mapping between term labels and dense `TermId`s.
+///
+/// Labels are namespaced by `TermKind`: the resource `Ulm` and a token
+/// phrase `ulm` are distinct terms. Resource and literal labels are kept
+/// verbatim; token phrases are expected to be normalized (lower-cased,
+/// whitespace-collapsed) by `text::NormalizePhrase` before interning —
+/// the dictionary enforces nothing about content, only uniqueness.
+///
+/// Interning is append-only; ids are stable for the dictionary lifetime.
+class Dictionary {
+ public:
+  Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id for (kind, label), interning it if new.
+  TermId Intern(TermKind kind, std::string_view label);
+
+  TermId InternResource(std::string_view label) {
+    return Intern(TermKind::kResource, label);
+  }
+  TermId InternToken(std::string_view label) {
+    return Intern(TermKind::kToken, label);
+  }
+  TermId InternLiteral(std::string_view label) {
+    return Intern(TermKind::kLiteral, label);
+  }
+
+  /// Returns the id for (kind, label), or kNullTerm when absent.
+  TermId Find(TermKind kind, std::string_view label) const;
+
+  /// True iff `id` was produced by this dictionary.
+  bool Contains(TermId id) const { return id >= 1 && id <= labels_.size(); }
+
+  /// Label of `id`. Requires Contains(id).
+  std::string_view label(TermId id) const;
+
+  /// Kind of `id`. Requires Contains(id).
+  TermKind kind(TermId id) const;
+
+  /// Convenience: label, or "<null>" / "<unknown:N>" for invalid ids
+  /// (used by explanation rendering; never fails).
+  std::string DebugLabel(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return labels_.size(); }
+
+  /// Number of terms of the given kind.
+  size_t CountOfKind(TermKind kind) const;
+
+  /// Iterates all ids in ascending order: fn(id).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (TermId id = 1; id <= labels_.size(); ++id) fn(id);
+  }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<uint8_t, std::string>& k) const;
+  };
+  // Keyed by (kind, label).
+  std::unordered_map<std::pair<uint8_t, std::string>, TermId, KeyHash> index_;
+  std::vector<std::string> labels_;  // labels_[id-1]
+  std::vector<TermKind> kinds_;      // kinds_[id-1]
+  size_t kind_counts_[3] = {0, 0, 0};
+};
+
+}  // namespace trinit::rdf
+
+#endif  // TRINIT_RDF_DICTIONARY_H_

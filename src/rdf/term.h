@@ -1,0 +1,45 @@
+#ifndef TRINIT_RDF_TERM_H_
+#define TRINIT_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace trinit::rdf {
+
+/// The kind of a term in the extended knowledge graph (XKG).
+///
+/// The XKG extends classic RDF by allowing *textual tokens* — phrases
+/// produced by Open IE such as 'won a Nobel for' — in any of the S, P, O
+/// slots (paper §2). We therefore distinguish:
+enum class TermKind : uint8_t {
+  kResource = 0,  ///< canonical KG resource (entity, class, or predicate)
+  kToken = 1,     ///< normalized textual phrase from Open IE
+  kLiteral = 2,   ///< literal value (string, number, date)
+};
+
+/// Returns "resource" / "token" / "literal".
+const char* TermKindName(TermKind kind);
+
+/// Dense dictionary-encoded identifier of a term. Id 0 is reserved as the
+/// invalid/null id; valid ids start at 1 and are assigned sequentially by
+/// the `Dictionary`.
+using TermId = uint32_t;
+
+/// Reserved invalid term id.
+inline constexpr TermId kNullTerm = 0;
+
+inline const char* TermKindName(TermKind kind) {
+  switch (kind) {
+    case TermKind::kResource:
+      return "resource";
+    case TermKind::kToken:
+      return "token";
+    case TermKind::kLiteral:
+      return "literal";
+  }
+  return "unknown";
+}
+
+}  // namespace trinit::rdf
+
+#endif  // TRINIT_RDF_TERM_H_

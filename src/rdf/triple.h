@@ -1,0 +1,49 @@
+#ifndef TRINIT_RDF_TRIPLE_H_
+#define TRINIT_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace trinit::rdf {
+
+/// Provenance source id. `kKgSource` marks curated KG facts; extraction
+/// triples carry 1 + the document id they were extracted from. Detailed
+/// provenance (sentence text, extractor confidence trail) lives in
+/// `xkg::ProvenanceStore`.
+using SourceId = uint32_t;
+inline constexpr SourceId kKgSource = 0;
+
+/// One (possibly extended) SPO fact.
+///
+/// KG facts have confidence 1.0 and count >= 1; Open IE extraction
+/// triples carry the extractor's confidence in (0,1] and `count` equal to
+/// the number of supporting extractions, which feeds the tf-like factor
+/// of the scoring model (paper §4).
+struct Triple {
+  TermId s = kNullTerm;
+  TermId p = kNullTerm;
+  TermId o = kNullTerm;
+  float confidence = 1.0f;
+  uint32_t count = 1;
+  SourceId source = kKgSource;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+/// Strict SPO ordering (payload fields are excluded; the store keeps one
+/// canonical triple per (s,p,o)).
+inline bool SpoLess(const Triple& a, const Triple& b) {
+  return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+}
+
+/// Index of a triple inside a `TripleStore` (dense, 0-based).
+using TripleId = uint32_t;
+inline constexpr TripleId kInvalidTriple = UINT32_MAX;
+
+}  // namespace trinit::rdf
+
+#endif  // TRINIT_RDF_TRIPLE_H_

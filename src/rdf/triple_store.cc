@@ -1,0 +1,123 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace trinit::rdf {
+
+TripleStore::Key TripleStore::KeyFor(Perm perm, const Triple& t) const {
+  switch (perm) {
+    case kSop:
+      return {t.s, t.o, t.p};
+    case kPso:
+      return {t.p, t.s, t.o};
+    case kPos:
+      return {t.p, t.o, t.s};
+    case kOsp:
+      return {t.o, t.s, t.p};
+    case kOps:
+      return {t.o, t.p, t.s};
+    default:
+      TRINIT_CHECK(false);
+      return {};
+  }
+}
+
+std::span<const TripleId> TripleStore::PrefixRange(Perm perm, TermId first,
+                                                   TermId second) const {
+  const std::vector<TripleId>& ids = perms_[perm];
+  // Bound slots form a prefix: `first` is always bound; `second` may be
+  // kNullTerm (wildcard), in which case we range over the whole block.
+  Key lo{first, second == kNullTerm ? 0 : second, 0};
+  Key hi{first, second == kNullTerm ? UINT32_MAX : second, UINT32_MAX};
+  auto cmp = [this, perm](TripleId id, const Key& k) {
+    return KeyFor(perm, triples_[id]) < k;
+  };
+  auto cmp2 = [this, perm](const Key& k, TripleId id) {
+    return k < KeyFor(perm, triples_[id]);
+  };
+  auto begin = std::lower_bound(ids.begin(), ids.end(), lo, cmp);
+  auto end = std::upper_bound(begin, ids.end(), hi, cmp2);
+  return {&*ids.begin() + (begin - ids.begin()),
+          static_cast<size_t>(end - begin)};
+}
+
+std::span<const TripleId> TripleStore::Match(TermId s, TermId p,
+                                             TermId o) const {
+  if (triples_.empty()) return {};
+  const bool bs = s != kNullTerm, bp = p != kNullTerm, bo = o != kNullTerm;
+  if (bs) {
+    if (bo && !bp) return PrefixRange(kSop, s, o);
+    // (s,?,?), (s,p,?), (s,p,o): binary search the canonical SPO array.
+    Triple lo{s, bp ? p : 0, bp && bo ? o : 0, 0, 0, 0};
+    Triple hi{s, bp ? p : UINT32_MAX, bp && bo ? o : UINT32_MAX, 0, 0, 0};
+    auto begin = std::lower_bound(triples_.begin(), triples_.end(), lo,
+                                  SpoLess);
+    auto end = std::upper_bound(begin, triples_.end(), hi,
+                                [](const Triple& a, const Triple& b) {
+                                  return SpoLess(a, b);
+                                });
+    size_t b_idx = static_cast<size_t>(begin - triples_.begin());
+    return {identity_.data() + b_idx, static_cast<size_t>(end - begin)};
+  }
+  if (bp) {
+    return bo ? PrefixRange(kPos, p, o) : PrefixRange(kPso, p, kNullTerm);
+  }
+  if (bo) {
+    return PrefixRange(kOsp, o, kNullTerm);
+  }
+  return {identity_.data(), identity_.size()};
+}
+
+TripleId TripleStore::Find(TermId s, TermId p, TermId o) const {
+  std::span<const TripleId> r = Match(s, p, o);
+  return r.empty() ? kInvalidTriple : r.front();
+}
+
+Result<TripleStore> TripleStoreBuilder::Build() {
+  for (const Triple& t : pending_) {
+    if (t.s == kNullTerm || t.p == kNullTerm || t.o == kNullTerm) {
+      return Status::InvalidArgument("triple with null slot");
+    }
+  }
+  TripleStore store;
+  std::sort(pending_.begin(), pending_.end(), SpoLess);
+
+  // Deduplicate: sum counts, keep max confidence and min source id.
+  store.triples_.reserve(pending_.size());
+  for (const Triple& t : pending_) {
+    if (!store.triples_.empty() && store.triples_.back() == t) {
+      Triple& back = store.triples_.back();
+      back.count += t.count;
+      back.confidence = std::max(back.confidence, t.confidence);
+      back.source = std::min(back.source, t.source);
+    } else {
+      store.triples_.push_back(t);
+    }
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+
+  const size_t n = store.triples_.size();
+  store.identity_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    store.identity_[i] = static_cast<TripleId>(i);
+    store.total_count_ += store.triples_[i].count;
+    store.max_count_ = std::max(store.max_count_, store.triples_[i].count);
+  }
+  for (int perm = 0; perm < TripleStore::kNumPerms; ++perm) {
+    std::vector<TripleId>& ids = store.perms_[perm];
+    ids = store.identity_;
+    std::sort(ids.begin(), ids.end(), [&store, perm](TripleId a, TripleId b) {
+      return store.KeyFor(static_cast<TripleStore::Perm>(perm),
+                          store.triples_[a]) <
+             store.KeyFor(static_cast<TripleStore::Perm>(perm),
+                          store.triples_[b]);
+    });
+  }
+  return store;
+}
+
+}  // namespace trinit::rdf

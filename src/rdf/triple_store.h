@@ -1,0 +1,128 @@
+#ifndef TRINIT_RDF_TRIPLE_STORE_H_
+#define TRINIT_RDF_TRIPLE_STORE_H_
+
+#include <span>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace trinit::rdf {
+
+/// Immutable triple index supporting every triple-pattern shape with a
+/// contiguous sorted range scan.
+///
+/// The store keeps triples deduplicated by (s,p,o) — duplicate inserts
+/// aggregate `count` (sum) and `confidence` (max), and keep the smallest
+/// `source` id so curated-KG provenance (source 0) wins over extraction
+/// provenance. Six permutation index arrays (SPO is the canonical triple
+/// order itself) make each of the 8 bound/unbound slot combinations a
+/// binary-searchable prefix range:
+///
+///   (?,?,?) -> SPO (full scan)     (s,?,?) -> SPO
+///   (?,p,?) -> PSO                 (?,?,o) -> OSP
+///   (s,p,?) -> SPO                 (s,?,o) -> SOP
+///   (?,p,o) -> POS                 (s,p,o) -> SPO
+///
+/// This mirrors the "index lists accessible in sorted order" requirement
+/// of the paper's top-k processing (§4); the ElasticSearch backend of the
+/// original demo provided the same access path.
+///
+/// Construction goes through `TripleStoreBuilder` (RocksDB-style builder
+/// idiom: mutation before Build, immutability after).
+class TripleStore {
+ public:
+  TripleStore() = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Number of distinct (s,p,o) triples.
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  /// The triple with the given dense id (0 <= id < size()). Triples are
+  /// stored in ascending SPO order, so ids are themselves SPO-sorted.
+  const Triple& triple(TripleId id) const { return triples_[id]; }
+
+  /// All triples in SPO order.
+  std::span<const Triple> triples() const { return triples_; }
+
+  /// Ids of all triples matching the pattern; `kNullTerm` in a slot means
+  /// wildcard. The returned span aliases an internal permutation array
+  /// and is valid for the store's lifetime. Result ids are in the order
+  /// of the permutation used (deterministic for a given pattern shape).
+  std::span<const TripleId> Match(TermId s, TermId p, TermId o) const;
+
+  /// Number of triples matching the pattern (the selectivity / idf-like
+  /// statistic of the scoring model).
+  size_t MatchCount(TermId s, TermId p, TermId o) const {
+    return Match(s, p, o).size();
+  }
+
+  /// Dense id of the exact triple, or kInvalidTriple.
+  TripleId Find(TermId s, TermId p, TermId o) const;
+
+  bool Contains(TermId s, TermId p, TermId o) const {
+    return Find(s, p, o) != kInvalidTriple;
+  }
+
+  /// Sum of `count` over all triples (total evidence mass, used as the
+  /// collection length of the scoring language model).
+  uint64_t total_count() const { return total_count_; }
+
+  /// Largest per-triple `count` (used for cheap upper bounds on emission
+  /// probabilities: p(t|q) <= max_count / |match span|).
+  uint32_t max_count() const { return max_count_; }
+
+ private:
+  friend class TripleStoreBuilder;
+
+  enum Perm { kSop = 0, kPso = 1, kPos = 2, kOsp = 3, kOps = 4, kNumPerms };
+
+  // Key of `t` under the permutation: the three slots in scan order.
+  struct Key {
+    TermId a, b, c;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  Key KeyFor(Perm perm, const Triple& t) const;
+
+  std::span<const TripleId> PrefixRange(Perm perm, TermId first,
+                                        TermId second) const;
+
+  std::vector<Triple> triples_;  // ascending SPO
+  std::vector<TripleId> perms_[kNumPerms];
+  std::vector<TripleId> identity_;  // 0..n-1 (SPO view for uniform spans)
+  uint64_t total_count_ = 0;
+  uint32_t max_count_ = 0;
+};
+
+/// Accumulates triples and produces an immutable `TripleStore`.
+class TripleStoreBuilder {
+ public:
+  TripleStoreBuilder() = default;
+
+  /// Adds one triple; null slots are rejected at Build time.
+  void Add(const Triple& t) { pending_.push_back(t); }
+  void Add(TermId s, TermId p, TermId o, float confidence = 1.0f,
+           uint32_t count = 1, SourceId source = kKgSource) {
+    pending_.push_back(Triple{s, p, o, confidence, count, source});
+  }
+
+  /// Number of raw (pre-dedup) pending triples.
+  size_t pending_size() const { return pending_.size(); }
+
+  /// Sorts, deduplicates, aggregates payloads, and builds all permutation
+  /// indexes. Fails with InvalidArgument if any pending triple has a null
+  /// slot. The builder is left empty.
+  Result<TripleStore> Build();
+
+ private:
+  std::vector<Triple> pending_;
+};
+
+}  // namespace trinit::rdf
+
+#endif  // TRINIT_RDF_TRIPLE_STORE_H_

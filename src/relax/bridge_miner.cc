@@ -1,0 +1,95 @@
+#include "relax/bridge_miner.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace trinit::relax {
+namespace {
+
+query::Term PredicateTerm(const rdf::Dictionary& dict, rdf::TermId p) {
+  if (dict.kind(p) == rdf::TermKind::kToken) {
+    return query::Term::Token(std::string(dict.label(p)), p);
+  }
+  return query::Term::Resource(std::string(dict.label(p)), p);
+}
+
+}  // namespace
+
+Status BridgeMiner::Generate(const xkg::Xkg& xkg, RuleSet* rules) {
+  const rdf::GraphStats& stats = xkg.stats();
+  const rdf::TripleStore& store = xkg.store();
+  const rdf::Dictionary& dict = xkg.dict();
+
+  for (rdf::TermId p : stats.predicates()) {
+    const auto& p_args = stats.Args(p);
+    if (p_args.size() < options_.min_overlap) continue;
+
+    // Hop predicates reachable from p's objects.
+    std::unordered_set<rdf::TermId> hop_candidates;
+    for (const auto& [s, z] : p_args) {
+      (void)s;
+      for (rdf::TripleId id : store.Match(z, rdf::kNullTerm, rdf::kNullTerm)) {
+        hop_candidates.insert(store.triple(id).p);
+      }
+    }
+
+    std::vector<Rule> candidate_rules;
+    for (rdf::TermId q : hop_candidates) {
+      if (q == p) continue;  // p∘p expansions are rarely meaningful
+      // compose(p,q), deduplicated.
+      std::set<std::pair<rdf::TermId, rdf::TermId>> compose;
+      bool aborted = false;
+      for (const auto& [x, z] : p_args) {
+        for (rdf::TripleId id : store.Match(z, q, rdf::kNullTerm)) {
+          compose.emplace(x, store.triple(id).o);
+          if (compose.size() > options_.max_compose_pairs) {
+            aborted = true;
+            break;
+          }
+        }
+        if (aborted) break;
+      }
+      if (aborted || compose.empty()) continue;
+
+      size_t shared = 0;
+      for (const auto& pair : p_args) {
+        if (compose.count(pair) > 0) ++shared;
+      }
+      if (shared < options_.min_overlap) continue;
+      double w =
+          static_cast<double>(shared) / static_cast<double>(compose.size());
+      if (w < options_.min_weight) continue;
+      if (w > 1.0) w = 1.0;
+
+      Rule rule;
+      rule.name = "exp:" + std::string(dict.label(p)) + "-via-" +
+                  std::string(dict.label(q));
+      rule.kind = RuleKind::kExpansion;
+      rule.weight = w;
+      query::Term x = query::Term::Variable("x");
+      query::Term y = query::Term::Variable("y");
+      query::Term z = query::Term::Variable("z");
+      rule.lhs = {query::TriplePattern{x, PredicateTerm(dict, p), y}};
+      rule.rhs = {query::TriplePattern{x, PredicateTerm(dict, p), z},
+                  query::TriplePattern{z, PredicateTerm(dict, q), y}};
+      candidate_rules.push_back(std::move(rule));
+    }
+
+    std::sort(candidate_rules.begin(), candidate_rules.end(),
+              [](const Rule& a, const Rule& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.name < b.name;
+              });
+    if (candidate_rules.size() > options_.max_rules_per_predicate) {
+      candidate_rules.resize(options_.max_rules_per_predicate);
+    }
+    for (Rule& r : candidate_rules) {
+      TRINIT_RETURN_IF_ERROR(rules->Add(std::move(r)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trinit::relax

@@ -1,0 +1,43 @@
+#ifndef TRINIT_RELAX_BRIDGE_MINER_H_
+#define TRINIT_RELAX_BRIDGE_MINER_H_
+
+#include <string>
+
+#include "relax/rule_set.h"
+
+namespace trinit::relax {
+
+/// Mines two-hop expansion rules `?x p ?y => ?x p ?z ; ?z q ?y`.
+///
+/// This is the shape of Figure 4 rule 3: `?x affiliation ?y =>
+/// ?x affiliation ?z ; ?z 'housed in' ?y` — the relaxation that lets
+/// user C reach PrincetonUniversity through IAS. The weight generalizes
+/// the paper's args-overlap formula to the composed replacement pattern
+/// set: w = |args(p) ∩ compose(p,q)| / |compose(p,q)| where
+/// compose(p,q) = {(x,y) : ∃z p(x,z) ∧ q(z,y)}.
+///
+/// When the intermediate hop predicate q is a token predicate from the
+/// extraction layer this "bridges" KG structure with XKG evidence,
+/// hence the name.
+class BridgeMiner : public RelaxationOperator {
+ public:
+  struct Options {
+    double min_weight = 0.1;
+    size_t min_overlap = 2;          ///< support: |args(p) ∩ compose|
+    size_t max_rules_per_predicate = 8;
+    size_t max_compose_pairs = 200000;  ///< abort a hop that fans out too far
+  };
+
+  BridgeMiner() : BridgeMiner(Options()) {}
+  explicit BridgeMiner(Options options) : options_(options) {}
+
+  std::string name() const override { return "bridge-miner"; }
+  Status Generate(const xkg::Xkg& xkg, RuleSet* rules) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_BRIDGE_MINER_H_

@@ -1,0 +1,84 @@
+#include "relax/inversion_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace trinit::relax {
+namespace {
+
+query::Term PredicateTerm(const rdf::Dictionary& dict, rdf::TermId p) {
+  if (dict.kind(p) == rdf::TermKind::kToken) {
+    return query::Term::Token(std::string(dict.label(p)), p);
+  }
+  return query::Term::Resource(std::string(dict.label(p)), p);
+}
+
+}  // namespace
+
+Status InversionMiner::Generate(const xkg::Xkg& xkg, RuleSet* rules) {
+  const rdf::GraphStats& stats = xkg.stats();
+  const rdf::Dictionary& dict = xkg.dict();
+
+  // Forward pairs of every predicate, keyed exactly.
+  std::unordered_map<uint64_t, std::vector<rdf::TermId>> pair_to_preds;
+  for (rdf::TermId p : stats.predicates()) {
+    for (const auto& [s, o] : stats.Args(p)) {
+      pair_to_preds[(static_cast<uint64_t>(s) << 32) | o].push_back(p);
+    }
+  }
+
+  // inv_overlap[(p1,p2)] = |args(p1) ∩ swap(args(p2))|: for each forward
+  // pair (s,o) of p1, predicates holding (o,s) contribute.
+  std::map<std::pair<rdf::TermId, rdf::TermId>, size_t> inv_overlap;
+  for (rdf::TermId p1 : stats.predicates()) {
+    for (const auto& [s, o] : stats.Args(p1)) {
+      auto it = pair_to_preds.find((static_cast<uint64_t>(o) << 32) | s);
+      if (it == pair_to_preds.end()) continue;
+      for (rdf::TermId p2 : it->second) {
+        if (p1 == p2 && !options_.include_self_inverse) continue;
+        ++inv_overlap[{p1, p2}];
+      }
+    }
+  }
+
+  std::unordered_map<rdf::TermId, std::vector<Rule>> per_predicate;
+  for (const auto& [pair, shared] : inv_overlap) {
+    auto [p1, p2] = pair;
+    if (shared < options_.min_overlap) continue;
+    size_t args_p2 = stats.Args(p2).size();
+    if (args_p2 == 0) continue;
+    double w = static_cast<double>(shared) / static_cast<double>(args_p2);
+    if (w < options_.min_weight) continue;
+    if (w > 1.0) w = 1.0;
+
+    Rule rule;
+    rule.name = "inv:" + std::string(dict.label(p1)) + "->" +
+                std::string(dict.label(p2));
+    rule.kind = RuleKind::kInversion;
+    rule.weight = w;
+    query::Term x = query::Term::Variable("x");
+    query::Term y = query::Term::Variable("y");
+    rule.lhs = {query::TriplePattern{x, PredicateTerm(dict, p1), y}};
+    rule.rhs = {query::TriplePattern{y, PredicateTerm(dict, p2), x}};
+    per_predicate[p1].push_back(std::move(rule));
+  }
+
+  for (auto& [p1, candidate_rules] : per_predicate) {
+    (void)p1;
+    std::sort(candidate_rules.begin(), candidate_rules.end(),
+              [](const Rule& a, const Rule& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.name < b.name;
+              });
+    if (candidate_rules.size() > options_.max_rules_per_predicate) {
+      candidate_rules.resize(options_.max_rules_per_predicate);
+    }
+    for (Rule& r : candidate_rules) {
+      TRINIT_RETURN_IF_ERROR(rules->Add(std::move(r)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trinit::relax

@@ -1,0 +1,37 @@
+#ifndef TRINIT_RELAX_INVERSION_MINER_H_
+#define TRINIT_RELAX_INVERSION_MINER_H_
+
+#include <string>
+
+#include "relax/rule_set.h"
+
+namespace trinit::relax {
+
+/// Mines predicate-inversion rules: `?x p1 ?y => ?y p2 ?x` when p2's
+/// (o,s) pairs overlap p1's (s,o) pairs, with the paper's weight formula
+/// applied to the swapped argument sets. This is the mined counterpart
+/// of Figure 4 rule 2 (`?x hasAdvisor ?y => ?y hasStudent ?x`), the fix
+/// for user B's "argument order" mistake (paper §1).
+class InversionMiner : public RelaxationOperator {
+ public:
+  struct Options {
+    double min_weight = 0.1;
+    size_t min_overlap = 2;
+    size_t max_rules_per_predicate = 8;
+    bool include_self_inverse = true;  ///< mine `?x p ?y => ?y p ?x` for
+                                       ///< symmetric predicates
+  };
+
+  InversionMiner() : InversionMiner(Options()) {}
+  explicit InversionMiner(Options options) : options_(options) {}
+
+  std::string name() const override { return "inversion-miner"; }
+  Status Generate(const xkg::Xkg& xkg, RuleSet* rules) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_INVERSION_MINER_H_

@@ -1,0 +1,90 @@
+#include "relax/manual_rules.h"
+
+#include <cstdlib>
+
+#include "query/parser.h"
+#include "util/string_util.h"
+
+namespace trinit::relax {
+namespace {
+
+Result<std::vector<query::TriplePattern>> ParsePatterns(
+    std::string_view text, int line_number) {
+  auto parsed = query::Parser::Parse(text);
+  if (!parsed.ok()) {
+    return Status::ParseError("rule line " + std::to_string(line_number) +
+                              ": " + parsed.status().message());
+  }
+  return parsed->patterns();
+}
+
+}  // namespace
+
+Result<Rule> ParseManualRule(std::string_view line, int line_number) {
+  std::string_view rest = Trim(line);
+
+  Rule rule;
+  rule.kind = RuleKind::kManual;
+
+  // Optional "name:" prefix — the *last* colon before the first '?' or
+  // quote (mined rule names like "syn:affiliation->works at" themselves
+  // contain colons).
+  size_t first_term = rest.find_first_of("?'\"");
+  std::string_view head =
+      first_term == std::string_view::npos ? rest
+                                           : rest.substr(0, first_term);
+  size_t colon = head.rfind(':');
+  if (colon != std::string_view::npos) {
+    rule.name = std::string(Trim(rest.substr(0, colon)));
+    rest = Trim(rest.substr(colon + 1));
+  }
+  if (rule.name.empty()) {
+    rule.name = "manual_" + std::to_string(line_number);
+  }
+
+  size_t arrow = rest.find("=>");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("rule line " + std::to_string(line_number) +
+                              ": missing '=>'");
+  }
+  std::string_view lhs_text = Trim(rest.substr(0, arrow));
+  std::string_view rhs_and_weight = Trim(rest.substr(arrow + 2));
+
+  size_t at = rhs_and_weight.rfind('@');
+  if (at == std::string_view::npos) {
+    return Status::ParseError("rule line " + std::to_string(line_number) +
+                              ": missing '@ weight'");
+  }
+  std::string_view rhs_text = Trim(rhs_and_weight.substr(0, at));
+  std::string weight_text(Trim(rhs_and_weight.substr(at + 1)));
+  if (weight_text.empty()) {
+    return Status::ParseError("rule line " + std::to_string(line_number) +
+                              ": empty weight");
+  }
+  char* end = nullptr;
+  rule.weight = std::strtod(weight_text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError("rule line " + std::to_string(line_number) +
+                              ": bad weight '" + weight_text + "'");
+  }
+
+  TRINIT_ASSIGN_OR_RETURN(rule.lhs, ParsePatterns(lhs_text, line_number));
+  TRINIT_ASSIGN_OR_RETURN(rule.rhs, ParsePatterns(rhs_text, line_number));
+  TRINIT_RETURN_IF_ERROR(rule.Validate());
+  return rule;
+}
+
+Result<std::vector<Rule>> ParseManualRules(std::string_view text) {
+  std::vector<Rule> rules;
+  int line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    TRINIT_ASSIGN_OR_RETURN(Rule rule, ParseManualRule(line, line_number));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace trinit::relax

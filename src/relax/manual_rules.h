@@ -1,0 +1,32 @@
+#ifndef TRINIT_RELAX_MANUAL_RULES_H_
+#define TRINIT_RELAX_MANUAL_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relax/rule.h"
+#include "util/result.h"
+
+namespace trinit::relax {
+
+/// Parses user-supplied relaxation rules (the demo UI lets "users define
+/// their own relaxation rules", paper §5). One rule per line:
+///
+///   [name:] lhs-pattern (';' lhs-pattern)* => rhs-pattern (';' ...)* @ weight
+///
+/// using the query parser's term syntax. Lines starting with '#' and
+/// blank lines are skipped. Examples (Figure 4):
+///
+///   rule1: ?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z type city ; ?z locatedIn ?y @ 1.0
+///   rule2: ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0
+///   rule3: ?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y @ 0.8
+///   rule4: ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7
+Result<std::vector<Rule>> ParseManualRules(std::string_view text);
+
+/// Parses a single rule line (no comments/blank handling).
+Result<Rule> ParseManualRule(std::string_view line, int line_number = 0);
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_MANUAL_RULES_H_

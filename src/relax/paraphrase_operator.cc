@@ -1,0 +1,102 @@
+#include "relax/paraphrase_operator.h"
+
+#include <cstdlib>
+
+#include "text/phrase.h"
+#include "util/string_util.h"
+
+namespace trinit::relax {
+
+const char* ParaphraseOperator::BuiltinRepository() {
+  return
+      "# academia-domain paraphrase clusters (PATTY/Biperpedia stand-in)\n"
+      "0.8: affiliation | 'works at' | 'is employed by' | 'is a professor "
+      "at'\n"
+      "0.6: affiliation | 'lectured at'\n"
+      "0.8: bornIn | 'was born in' | 'is a native of' | 'hails from'\n"
+      "0.8: locatedIn | 'is located in' | 'lies in' | 'is a city in'\n"
+      "0.8: hasAdvisor | 'was advised by' | 'studied under'\n"
+      "0.8: wonPrize | 'won' | 'was awarded' | 'received'\n"
+      "0.7: inField | 'conducts research in' | 'specializes in'\n"
+      "0.8: housedIn | 'is housed in' | 'is hosted by'\n"
+      "0.8: campusIn | 'has its campus in' | 'is based in'\n";
+}
+
+Result<std::vector<ParaphraseOperator::Cluster>>
+ParaphraseOperator::ParseRepository(std::string_view text) {
+  std::vector<Cluster> clusters;
+  int line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("paraphrase line " +
+                                std::to_string(line_number) +
+                                ": missing 'weight:' prefix");
+    }
+    Cluster cluster;
+    std::string weight_text(Trim(line.substr(0, colon)));
+    char* end = nullptr;
+    cluster.weight = std::strtod(weight_text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || cluster.weight <= 0.0 ||
+        cluster.weight > 1.0) {
+      return Status::ParseError("paraphrase line " +
+                                std::to_string(line_number) +
+                                ": bad weight '" + weight_text + "'");
+    }
+    for (const std::string& member_raw :
+         Split(line.substr(colon + 1), '|')) {
+      std::string_view member = Trim(member_raw);
+      if (member.empty()) continue;
+      if (member.front() == '\'' && member.size() >= 2 &&
+          member.back() == '\'') {
+        cluster.members.push_back(query::Term::Token(
+            std::string(member.substr(1, member.size() - 2))));
+      } else {
+        cluster.members.push_back(
+            query::Term::Resource(std::string(member)));
+      }
+    }
+    if (cluster.members.size() < 2) {
+      return Status::ParseError("paraphrase line " +
+                                std::to_string(line_number) +
+                                ": cluster needs at least 2 members");
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+Result<ParaphraseOperator> ParaphraseOperator::FromText(
+    std::string_view text) {
+  TRINIT_ASSIGN_OR_RETURN(std::vector<Cluster> clusters,
+                          ParseRepository(text));
+  return ParaphraseOperator(std::move(clusters));
+}
+
+Status ParaphraseOperator::Generate(const xkg::Xkg& xkg, RuleSet* rules) {
+  (void)xkg;  // external lexical knowledge: no graph evidence needed
+  query::Term x = query::Term::Variable("x");
+  query::Term y = query::Term::Variable("y");
+  for (const Cluster& cluster : clusters_) {
+    for (size_t a = 0; a < cluster.members.size(); ++a) {
+      for (size_t b = 0; b < cluster.members.size(); ++b) {
+        if (a == b) continue;
+        Rule rule;
+        rule.kind = RuleKind::kOperator;
+        rule.weight = cluster.weight;
+        rule.name = "para:" + cluster.members[a].text + "->" +
+                    cluster.members[b].text;
+        rule.lhs = {query::TriplePattern{x, cluster.members[a], y}};
+        rule.rhs = {query::TriplePattern{x, cluster.members[b], y}};
+        TRINIT_RETURN_IF_ERROR(rules->Add(std::move(rule)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trinit::relax

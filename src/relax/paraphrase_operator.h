@@ -1,0 +1,66 @@
+#ifndef TRINIT_RELAX_PARAPHRASE_OPERATOR_H_
+#define TRINIT_RELAX_PARAPHRASE_OPERATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relax/rule_set.h"
+#include "util/result.h"
+
+namespace trinit::relax {
+
+/// Relaxation-rule source backed by a paraphrase repository — the
+/// paper's third rule origin (§3): "relaxation rules can be ...
+/// automatically obtained using ... paraphrase repositories (e.g.
+/// PATTY, Biperpedia)".
+///
+/// A repository is a set of *clusters* of predicate expressions that
+/// mean (roughly) the same relation. Each cluster member is either a
+/// canonical KG predicate (bareword) or a token phrase (quoted). For
+/// every ordered pair (a, b) in a cluster the operator emits
+/// `?x a ?y => ?x b ?y` with the cluster's weight.
+///
+/// Repository text format, one cluster per line:
+///
+///   0.8: affiliation | 'works at' | 'is employed by'
+///   0.7: bornIn | 'was born in' | 'is a native of'
+///
+/// Lines starting with '#' are comments. Unlike the miners, this source
+/// needs no XKG evidence — it imports external lexical knowledge, so
+/// rules are emitted even for vocabulary the graph has never seen
+/// co-occur.
+class ParaphraseOperator : public RelaxationOperator {
+ public:
+  /// A parsed cluster.
+  struct Cluster {
+    double weight = 0.5;
+    std::vector<query::Term> members;  ///< resource or token terms
+  };
+
+  /// Parses repository text (see format above).
+  static Result<std::vector<Cluster>> ParseRepository(
+      std::string_view text);
+
+  /// A small built-in repository for the academia domain (the
+  /// paraphrase families the synthetic corpus uses).
+  static const char* BuiltinRepository();
+
+  explicit ParaphraseOperator(std::vector<Cluster> clusters)
+      : clusters_(std::move(clusters)) {}
+
+  /// Convenience: parse + construct; aborts the build on parse errors.
+  static Result<ParaphraseOperator> FromText(std::string_view text);
+
+  std::string name() const override { return "paraphrase-repository"; }
+  Status Generate(const xkg::Xkg& xkg, RuleSet* rules) override;
+
+  size_t cluster_count() const { return clusters_.size(); }
+
+ private:
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_PARAPHRASE_OPERATOR_H_

@@ -1,0 +1,101 @@
+#include "relax/relatedness_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace trinit::relax {
+namespace {
+
+query::Term PredicateTerm(const rdf::Dictionary& dict, rdf::TermId p) {
+  if (dict.kind(p) == rdf::TermKind::kToken) {
+    return query::Term::Token(std::string(dict.label(p)), p);
+  }
+  return query::Term::Resource(std::string(dict.label(p)), p);
+}
+
+// Cosine similarity between two sorted id sets (binary vectors).
+double CosineOfSets(const std::vector<rdf::TermId>& a,
+                    const std::vector<rdf::TermId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+}  // namespace
+
+Status RelatednessMiner::Generate(const xkg::Xkg& xkg, RuleSet* rules) {
+  const rdf::GraphStats& stats = xkg.stats();
+  const rdf::Dictionary& dict = xkg.dict();
+
+  // Distinct subject / object sets per predicate (sorted).
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> subjects;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> objects;
+  std::vector<rdf::TermId> eligible;
+  for (rdf::TermId p : stats.predicates()) {
+    std::vector<rdf::TermId> subj, obj;
+    for (const auto& [s, o] : stats.Args(p)) {
+      subj.push_back(s);
+      obj.push_back(o);
+    }
+    std::sort(subj.begin(), subj.end());
+    subj.erase(std::unique(subj.begin(), subj.end()), subj.end());
+    std::sort(obj.begin(), obj.end());
+    obj.erase(std::unique(obj.begin(), obj.end()), obj.end());
+    if (subj.size() < options_.min_support) continue;
+    subjects[p] = std::move(subj);
+    objects[p] = std::move(obj);
+    eligible.push_back(p);
+  }
+
+  for (rdf::TermId p1 : eligible) {
+    std::vector<Rule> candidates;
+    for (rdf::TermId p2 : eligible) {
+      if (p1 == p2) continue;
+      double w = options_.damping *
+                 CosineOfSets(subjects[p1], subjects[p2]) *
+                 CosineOfSets(objects[p1], objects[p2]);
+      if (w < options_.min_weight) continue;
+      Rule rule;
+      rule.name = "rel:" + std::string(dict.label(p1)) + "->" +
+                  std::string(dict.label(p2));
+      rule.kind = RuleKind::kOperator;
+      rule.weight = std::min(w, 1.0);
+      query::Term x = query::Term::Variable("x");
+      query::Term y = query::Term::Variable("y");
+      rule.lhs = {query::TriplePattern{x, PredicateTerm(dict, p1), y}};
+      rule.rhs = {query::TriplePattern{x, PredicateTerm(dict, p2), y}};
+      candidates.push_back(std::move(rule));
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Rule& a, const Rule& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.name < b.name;
+              });
+    if (candidates.size() > options_.max_rules_per_predicate) {
+      candidates.resize(options_.max_rules_per_predicate);
+    }
+    for (Rule& rule : candidates) {
+      TRINIT_RETURN_IF_ERROR(rules->Add(std::move(rule)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trinit::relax

@@ -1,0 +1,47 @@
+#ifndef TRINIT_RELAX_RELATEDNESS_MINER_H_
+#define TRINIT_RELAX_RELATEDNESS_MINER_H_
+
+#include <string>
+
+#include "relax/rule_set.h"
+
+namespace trinit::relax {
+
+/// Mines predicate-rewrite rules from *distributional relatedness* — the
+/// paper's fourth rule source (§3): "statistical/semantic relatedness
+/// measures (e.g. [ESA])".
+///
+/// Where the synonym miner demands exact argument-*pair* overlap (the
+/// strongest signal, but sparse), this miner works from the weaker but
+/// denser signal of shared argument *distributions*: two predicates are
+/// related when the sets of subjects (and objects) they apply to have
+/// high cosine similarity. E.g. `affiliation` and `memberOfInstitute`
+/// rarely connect identical pairs, yet they range over the same people,
+/// so one is a plausible (low-weight) relaxation of the other.
+///
+/// The emitted weight is `damping * cos(subjects) * cos(objects)`,
+/// deliberately attenuated below the pair-overlap weights so that
+/// distributional rules only surface answers when sharper rules found
+/// nothing.
+class RelatednessMiner : public RelaxationOperator {
+ public:
+  struct Options {
+    double min_weight = 0.15;   ///< post-damping emission threshold
+    double damping = 0.5;       ///< distributional evidence is weak
+    size_t min_support = 3;     ///< min distinct subjects per predicate
+    size_t max_rules_per_predicate = 6;
+  };
+
+  RelatednessMiner() : RelatednessMiner(Options()) {}
+  explicit RelatednessMiner(Options options) : options_(options) {}
+
+  std::string name() const override { return "relatedness-miner"; }
+  Status Generate(const xkg::Xkg& xkg, RuleSet* rules) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_RELATEDNESS_MINER_H_

@@ -1,0 +1,224 @@
+#include "relax/rewriter.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+namespace trinit::relax {
+namespace {
+
+using query::Query;
+using query::Term;
+using query::TriplePattern;
+
+// Rule-variable assignment accumulated during unification.
+using RuleBindings = std::unordered_map<std::string, Term>;
+
+bool UnifyTerm(const Term& rule_term, const Term& query_term,
+               RuleBindings& bindings) {
+  if (rule_term.is_variable()) {
+    auto it = bindings.find(rule_term.text);
+    if (it != bindings.end()) return it->second == query_term;
+    bindings.emplace(rule_term.text, query_term);
+    return true;
+  }
+  // A rule constant matches only an equal query constant (same kind and
+  // surface text; resolved ids agree when both sides are resolved).
+  if (query_term.is_variable()) return false;
+  return rule_term.kind == query_term.kind &&
+         rule_term.text == query_term.text;
+}
+
+bool UnifyPattern(const TriplePattern& rule_p, const TriplePattern& query_p,
+                  RuleBindings& bindings) {
+  RuleBindings saved = bindings;
+  if (UnifyTerm(rule_p.s, query_p.s, bindings) &&
+      UnifyTerm(rule_p.p, query_p.p, bindings) &&
+      UnifyTerm(rule_p.o, query_p.o, bindings)) {
+    return true;
+  }
+  bindings = std::move(saved);
+  return false;
+}
+
+// Backtracking search for injective mappings of LHS patterns onto query
+// pattern indices. Calls `emit(used_indices, bindings)` per solution.
+void MatchLhs(const std::vector<TriplePattern>& lhs,
+              const std::vector<TriplePattern>& query_patterns,
+              size_t lhs_idx, std::vector<size_t>& used,
+              RuleBindings& bindings,
+              const std::function<void(const std::vector<size_t>&,
+                                       const RuleBindings&)>& emit) {
+  if (lhs_idx == lhs.size()) {
+    emit(used, bindings);
+    return;
+  }
+  for (size_t qi = 0; qi < query_patterns.size(); ++qi) {
+    if (std::find(used.begin(), used.end(), qi) != used.end()) continue;
+    RuleBindings saved = bindings;
+    if (UnifyPattern(lhs[lhs_idx], query_patterns[qi], bindings)) {
+      used.push_back(qi);
+      MatchLhs(lhs, query_patterns, lhs_idx + 1, used, bindings, emit);
+      used.pop_back();
+    }
+    bindings = std::move(saved);
+  }
+}
+
+// Structural key for deduplicating rewrites: sorted pattern renderings
+// (conjunction is order-insensitive) plus the projection.
+std::string CanonicalKey(const Query& q) {
+  std::vector<std::string> parts;
+  parts.reserve(q.patterns().size());
+  for (const TriplePattern& p : q.patterns()) parts.push_back(p.ToString());
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const std::string& s : parts) {
+    key += s;
+    key.push_back('\n');
+  }
+  key += "#proj:";
+  for (const std::string& v : q.projection()) {
+    key += v;
+    key.push_back(',');
+  }
+  return key;
+}
+
+}  // namespace
+
+Rewriter::Rewriter(const RuleSet& rules, Options options)
+    : rules_(rules), options_(options) {}
+
+std::vector<RewriteResult> Rewriter::ApplyRule(const Query& q,
+                                               const Rule& rule) const {
+  std::vector<RewriteResult> results;
+
+  // Existing variable names, to keep fresh names collision-free.
+  std::vector<std::string> existing = q.Variables();
+  auto is_taken = [&existing](const std::string& name) {
+    return std::find(existing.begin(), existing.end(), name) !=
+           existing.end();
+  };
+
+  std::vector<size_t> used;
+  RuleBindings bindings;
+  MatchLhs(rule.lhs, q.patterns(), 0, used, bindings,
+           [&](const std::vector<size_t>& matched,
+               const RuleBindings& bound) {
+             // Instantiate the RHS under `bound`, inventing fresh
+             // variables for RHS-only rule variables.
+             std::unordered_map<std::string, std::string> fresh_names;
+             int fresh_counter = 0;
+             auto instantiate = [&](const Term& t) -> Term {
+               if (!t.is_variable()) return t;
+               auto it = bound.find(t.text);
+               if (it != bound.end()) return it->second;
+               auto fit = fresh_names.find(t.text);
+               if (fit != fresh_names.end()) {
+                 return Term::Variable(fit->second);
+               }
+               std::string name;
+               do {
+                 name = t.text + "_" + std::to_string(fresh_counter++);
+               } while (is_taken(name));
+               fresh_names.emplace(t.text, name);
+               existing.push_back(name);
+               return Term::Variable(name);
+             };
+
+             std::vector<TriplePattern> new_patterns;
+             for (size_t qi = 0; qi < q.patterns().size(); ++qi) {
+               if (std::find(matched.begin(), matched.end(), qi) ==
+                   matched.end()) {
+                 new_patterns.push_back(q.patterns()[qi]);
+               }
+             }
+             for (const TriplePattern& rp : rule.rhs) {
+               new_patterns.push_back(TriplePattern{instantiate(rp.s),
+                                                    instantiate(rp.p),
+                                                    instantiate(rp.o)});
+             }
+
+             RewriteResult result;
+             result.query = Query(std::move(new_patterns), q.projection());
+             result.weight = rule.weight;
+             result.applied = {&rule};
+             // Discard applications that break the query (e.g. a
+             // projection variable vanished with the matched pattern).
+             if (result.query.Validate().ok()) {
+               results.push_back(std::move(result));
+             }
+           });
+  return results;
+}
+
+std::vector<RewriteResult> Rewriter::EnumerateRewrites(
+    const Query& q) const {
+  std::vector<RewriteResult> out;
+  std::unordered_map<std::string, size_t> seen;  // canonical key -> index
+
+  RewriteResult original;
+  original.query = q;
+  original.weight = 1.0;
+  out.push_back(original);
+  seen.emplace(CanonicalKey(q), 0);
+
+  // BFS frontier of indices into `out` (depth == applied.size()).
+  std::deque<size_t> frontier{0};
+  while (!frontier.empty() && out.size() < options_.max_rewrites) {
+    size_t cur_idx = frontier.front();
+    frontier.pop_front();
+    // Copy, since `out` may reallocate below.
+    RewriteResult cur = out[cur_idx];
+    if (static_cast<int>(cur.applied.size()) >= options_.max_depth) continue;
+
+    // Candidate rules: union over patterns' predicate buckets.
+    std::vector<const Rule*> candidates;
+    {
+      std::unordered_set<const Rule*> dedup;
+      for (const TriplePattern& p : cur.query.patterns()) {
+        for (const Rule* r : rules_.CandidatesForPredicate(p.p)) {
+          if (dedup.insert(r).second) candidates.push_back(r);
+        }
+      }
+    }
+
+    for (const Rule* rule : candidates) {
+      double w = cur.weight * rule->weight;
+      if (w < options_.min_weight) continue;
+      for (RewriteResult& app : ApplyRule(cur.query, *rule)) {
+        RewriteResult next;
+        next.query = std::move(app.query);
+        next.weight = w;
+        next.applied = cur.applied;
+        next.applied.push_back(rule);
+        std::string key = CanonicalKey(next.query);
+        auto it = seen.find(key);
+        if (it != seen.end()) {
+          // Max over derivation sequences (paper §4). Keep the shorter /
+          // heavier chain.
+          if (next.weight > out[it->second].weight) {
+            out[it->second].weight = next.weight;
+            out[it->second].applied = next.applied;
+          }
+          continue;
+        }
+        if (out.size() >= options_.max_rewrites) break;
+        seen.emplace(std::move(key), out.size());
+        frontier.push_back(out.size());
+        out.push_back(std::move(next));
+      }
+    }
+  }
+
+  // Original first, then by descending weight (stable for determinism).
+  std::stable_sort(out.begin() + 1, out.end(),
+                   [](const RewriteResult& a, const RewriteResult& b) {
+                     return a.weight > b.weight;
+                   });
+  return out;
+}
+
+}  // namespace trinit::relax

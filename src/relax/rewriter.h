@@ -1,0 +1,67 @@
+#ifndef TRINIT_RELAX_REWRITER_H_
+#define TRINIT_RELAX_REWRITER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+#include "relax/rule_set.h"
+
+namespace trinit::relax {
+
+/// A query produced by applying a sequence of relaxation rules.
+struct RewriteResult {
+  query::Query query;
+  double weight = 1.0;               ///< product of applied rule weights
+  std::vector<const Rule*> applied;  ///< rules in application order
+};
+
+/// Applies relaxation rules to queries by unification.
+///
+/// Application semantics: the rule's LHS patterns are matched against an
+/// injective subset of the query's patterns (order-insensitive),
+/// unifying rule variables with whole query terms — a rule variable may
+/// bind a query variable or a query constant; a rule constant only
+/// matches an equal query constant. Matched patterns are removed and the
+/// instantiated RHS patterns are appended. RHS-only rule variables (?z
+/// in Figure 4 rules 1 and 3) become fresh query variables.
+///
+/// The enumeration below is what the *exhaustive* baseline processor
+/// uses; the incremental top-k processor calls `ApplyRule` /
+/// `EnumerateRewrites` on per-pattern sub-queries and opens them lazily
+/// (paper §4: "invoking a relaxation only when it can contribute to the
+/// top-k answers").
+class Rewriter {
+ public:
+  struct Options {
+    int max_depth = 2;          ///< max rule applications per rewrite chain
+    double min_weight = 0.05;   ///< prune chains below this weight
+    size_t max_rewrites = 512;  ///< safety cap on enumeration size
+  };
+
+  explicit Rewriter(const RuleSet& rules) : Rewriter(rules, Options()) {}
+  Rewriter(const RuleSet& rules, Options options);
+
+  /// Every distinct way `rule` can fire on `q` (may be empty).
+  std::vector<RewriteResult> ApplyRule(const query::Query& q,
+                                       const Rule& rule) const;
+
+  /// Breadth-first enumeration of rewrites of `q`, including `q` itself
+  /// (weight 1, empty chain) first. Deduplicates structurally identical
+  /// rewrites keeping the maximum weight (the paper's max-over-
+  /// derivations semantics); sorted by descending weight after the
+  /// original.
+  std::vector<RewriteResult> EnumerateRewrites(const query::Query& q) const;
+
+  const Options& options() const { return options_; }
+  const RuleSet& rules() const { return rules_; }
+
+ private:
+  const RuleSet& rules_;
+  Options options_;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_REWRITER_H_

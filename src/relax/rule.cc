@@ -1,0 +1,42 @@
+#include "relax/rule.h"
+
+#include "util/string_util.h"
+
+namespace trinit::relax {
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kSynonym:
+      return "synonym";
+    case RuleKind::kInversion:
+      return "inversion";
+    case RuleKind::kExpansion:
+      return "expansion";
+    case RuleKind::kManual:
+      return "manual";
+    case RuleKind::kOperator:
+      return "operator";
+  }
+  return "unknown";
+}
+
+std::string Rule::ToString() const {
+  std::vector<std::string> lhs_strs, rhs_strs;
+  for (const query::TriplePattern& p : lhs) lhs_strs.push_back(p.ToString());
+  for (const query::TriplePattern& p : rhs) rhs_strs.push_back(p.ToString());
+  return Join(lhs_strs, " ; ") + " => " + Join(rhs_strs, " ; ") + " @ " +
+         FormatDouble(weight, 3);
+}
+
+Status Rule::Validate() const {
+  if (lhs.empty()) return Status::InvalidArgument("rule with empty LHS");
+  if (rhs.empty()) return Status::InvalidArgument("rule with empty RHS");
+  if (weight < 0.0 || weight > 1.0) {
+    return Status::InvalidArgument("rule weight must be in [0,1], got " +
+                                   FormatDouble(weight, 4));
+  }
+  if (lhs == rhs) return Status::InvalidArgument("rule is a no-op");
+  return Status::Ok();
+}
+
+}  // namespace trinit::relax

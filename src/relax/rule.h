@@ -1,0 +1,51 @@
+#ifndef TRINIT_RELAX_RULE_H_
+#define TRINIT_RELAX_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace trinit::relax {
+
+/// How a relaxation rule came to exist; used for ablations (bench A1)
+/// and explanation rendering.
+enum class RuleKind {
+  kSynonym = 0,    ///< mined predicate rewrite   ?x p1 ?y => ?x p2 ?y
+  kInversion = 1,  ///< mined inversion           ?x p1 ?y => ?y p2 ?x
+  kExpansion = 2,  ///< mined two-hop expansion   ?x p ?y => ?x p ?z ; ?z q ?y
+  kManual = 3,     ///< user-supplied (demo UI / rule file)
+  kOperator = 4,   ///< produced by a plugged-in RelaxationOperator
+};
+
+const char* RuleKindName(RuleKind kind);
+
+/// A weighted rewrite rule: "a relaxation rule replaces a set of triple
+/// patterns in the original query with a set of new patterns. Each rule
+/// has a weight w ∈ [0,1] that reflects the semantic similarity between
+/// the original set of triple patterns and their replacement" (paper §3).
+///
+/// LHS/RHS patterns use `query::Term`s; variables are rule-scoped and
+/// unify against whole query terms (variables or constants) during
+/// application — see `Rewriter`. Variables that occur only in the RHS
+/// (e.g. ?z in Figure 4 rules 1 and 3) become fresh query variables.
+struct Rule {
+  std::string name;
+  std::vector<query::TriplePattern> lhs;
+  std::vector<query::TriplePattern> rhs;
+  double weight = 1.0;
+  RuleKind kind = RuleKind::kManual;
+
+  /// "?x affiliation ?y => ?x 'lectured at' ?y @ 0.7" rendering, the
+  /// same syntax `ParseManualRules` accepts.
+  std::string ToString() const;
+
+  /// Structural sanity: non-empty sides, weight in [0,1], every LHS
+  /// pattern has at least one constant or variable slot (trivially true)
+  /// and the rule is not a no-op (lhs != rhs).
+  Status Validate() const;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_RULE_H_

@@ -1,0 +1,65 @@
+#include "relax/rule_io.h"
+
+#include "relax/manual_rules.h"
+#include "util/tsv.h"
+
+namespace trinit::relax {
+namespace {
+
+Result<RuleKind> KindFromName(const std::string& name, size_t line) {
+  for (RuleKind kind :
+       {RuleKind::kSynonym, RuleKind::kInversion, RuleKind::kExpansion,
+        RuleKind::kManual, RuleKind::kOperator}) {
+    if (name == RuleKindName(kind)) return kind;
+  }
+  return Status::ParseError("rule file line " + std::to_string(line) +
+                            ": unknown rule kind '" + name + "'");
+}
+
+}  // namespace
+
+Status RuleIo::Save(const RuleSet& rules, const std::string& path) {
+  TsvWriter writer(path);
+  TRINIT_RETURN_IF_ERROR(writer.status());
+  writer.WriteComment("TriniT relaxation rules");
+  for (const Rule& rule : rules.rules()) {
+    writer.WriteRow({RuleKindName(rule.kind),
+                     rule.name + ": " + rule.ToString()});
+  }
+  return writer.Close();
+}
+
+Status RuleIo::LoadFromString(const std::string& content, RuleSet* rules) {
+  return TsvReader::ForEachRowInString(
+      content,
+      [rules](size_t line, const std::vector<std::string>& fields)
+          -> Status {
+        if (fields.size() != 2) {
+          return Status::ParseError("rule file line " +
+                                    std::to_string(line) +
+                                    ": expected kind<TAB>rule");
+        }
+        TRINIT_ASSIGN_OR_RETURN(RuleKind kind,
+                                KindFromName(fields[0], line));
+        TRINIT_ASSIGN_OR_RETURN(
+            Rule rule, ParseManualRule(fields[1],
+                                       static_cast<int>(line)));
+        rule.kind = kind;
+        return rules->Add(std::move(rule));
+      });
+}
+
+Status RuleIo::Load(const std::string& path, RuleSet* rules) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open rule file: " + path);
+  }
+  std::string content;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return LoadFromString(content, rules);
+}
+
+}  // namespace trinit::relax

@@ -1,0 +1,34 @@
+#ifndef TRINIT_RELAX_RULE_IO_H_
+#define TRINIT_RELAX_RULE_IO_H_
+
+#include <string>
+
+#include "relax/rule_set.h"
+#include "util/result.h"
+
+namespace trinit::relax {
+
+/// Persistence for rule sets. Mined rules are expensive to recompute on
+/// large XKGs; administrators save them once and ship them alongside
+/// the graph (the demo kept them in its ElasticSearch metadata).
+///
+/// Format: one rule per line in the `ParseManualRules` syntax prefixed
+/// by the kind tag, e.g.
+///
+///   synonym\tsyn:affiliation->works at: ?x affiliation ?y => ?x 'works at' ?y @ 0.75
+class RuleIo {
+ public:
+  /// Writes every rule of `rules` to `path` (overwrites).
+  static Status Save(const RuleSet& rules, const std::string& path);
+
+  /// Loads a rule file into `rules` (merging; duplicates keep max
+  /// weight).
+  static Status Load(const std::string& path, RuleSet* rules);
+
+  /// Parses rule-file content from a string (tests).
+  static Status LoadFromString(const std::string& content, RuleSet* rules);
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_RULE_IO_H_

@@ -1,0 +1,103 @@
+#include "relax/rule_set.h"
+
+#include <algorithm>
+
+namespace trinit::relax {
+
+std::string RuleSet::PredicateKey(const query::Term& p) {
+  using Kind = query::Term::Kind;
+  switch (p.kind) {
+    case Kind::kVariable:
+      return "";  // generic bucket
+    case Kind::kResource:
+      return "R:" + p.text;
+    case Kind::kToken:
+      return "K:" + p.text;
+    case Kind::kLiteral:
+      return "L:" + p.text;
+  }
+  return "";
+}
+
+Status RuleSet::Add(Rule rule) {
+  TRINIT_RETURN_IF_ERROR(rule.Validate());
+  std::string key = rule.ToString();
+  auto it = dedup_.find(key);
+  if (it != dedup_.end()) {
+    rules_[it->second].weight =
+        std::max(rules_[it->second].weight, rule.weight);
+    return Status::Ok();
+  }
+  size_t idx = rules_.size();
+  std::string pred_key = PredicateKey(rule.lhs.front().p);
+  rules_.push_back(std::move(rule));
+  dedup_.emplace(std::move(key), idx);
+  if (pred_key.empty()) {
+    generic_.push_back(idx);
+  } else {
+    by_predicate_[pred_key].push_back(idx);
+  }
+  return Status::Ok();
+}
+
+std::vector<const Rule*> RuleSet::CandidatesForPredicate(
+    const query::Term& p) const {
+  std::vector<const Rule*> out;
+  if (p.kind != query::Term::Kind::kVariable) {
+    auto it = by_predicate_.find(PredicateKey(p));
+    if (it != by_predicate_.end()) {
+      for (size_t idx : it->second) out.push_back(&rules_[idx]);
+    }
+  } else {
+    // A variable query predicate can only unify with rules whose LHS
+    // predicate is also a variable.
+  }
+  for (size_t idx : generic_) out.push_back(&rules_[idx]);
+  return out;
+}
+
+size_t RuleSet::CountOfKind(RuleKind kind) const {
+  return static_cast<size_t>(
+      std::count_if(rules_.begin(), rules_.end(),
+                    [kind](const Rule& r) { return r.kind == kind; }));
+}
+
+void RuleSet::ResolveAgainst(const rdf::Dictionary& dict) {
+  auto resolve = [&dict](query::Term& t) {
+    switch (t.kind) {
+      case query::Term::Kind::kVariable:
+        break;
+      case query::Term::Kind::kResource:
+        t.id = dict.Find(rdf::TermKind::kResource, t.text);
+        break;
+      case query::Term::Kind::kToken:
+        t.id = dict.Find(rdf::TermKind::kToken, t.text);
+        break;
+      case query::Term::Kind::kLiteral:
+        t.id = dict.Find(rdf::TermKind::kLiteral, t.text);
+        break;
+    }
+  };
+  for (Rule& rule : rules_) {
+    for (auto* side : {&rule.lhs, &rule.rhs}) {
+      for (query::TriplePattern& p : *side) {
+        resolve(p.s);
+        resolve(p.p);
+        resolve(p.o);
+      }
+    }
+  }
+}
+
+RuleSet RuleSet::WithoutKind(RuleKind kind) const {
+  RuleSet out;
+  for (const Rule& r : rules_) {
+    if (r.kind != kind) {
+      Status s = out.Add(r);
+      (void)s;  // rules already validated on first insertion
+    }
+  }
+  return out;
+}
+
+}  // namespace trinit::relax

@@ -1,0 +1,89 @@
+#include "relax/synonym_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace trinit::relax {
+namespace {
+
+query::Term PredicateTerm(const rdf::Dictionary& dict, rdf::TermId p) {
+  if (dict.kind(p) == rdf::TermKind::kToken) {
+    return query::Term::Token(std::string(dict.label(p)), p);
+  }
+  return query::Term::Resource(std::string(dict.label(p)), p);
+}
+
+}  // namespace
+
+Status SynonymMiner::Generate(const xkg::Xkg& xkg, RuleSet* rules) {
+  const rdf::GraphStats& stats = xkg.stats();
+  const rdf::Dictionary& dict = xkg.dict();
+
+  // Invert args: (s,o) pair -> predicates connecting it. Co-occurrence
+  // counting over this map gives |args(p1) ∩ args(p2)| for every pair of
+  // predicates sharing at least one argument pair, without the O(P^2)
+  // scan over unrelated predicates.
+  std::unordered_map<uint64_t, std::vector<rdf::TermId>> pair_to_preds;
+  for (rdf::TermId p : stats.predicates()) {
+    for (const auto& [s, o] : stats.Args(p)) {
+      uint64_t key = (static_cast<uint64_t>(s) << 32) | o;  // exact, no
+                                                            // collisions
+      pair_to_preds[key].push_back(p);
+    }
+  }
+
+  // overlap[(p1,p2)] = |args(p1) ∩ args(p2)| for p1 != p2.
+  std::map<std::pair<rdf::TermId, rdf::TermId>, size_t> overlap;
+  for (const auto& [pair_hash, preds] : pair_to_preds) {
+    (void)pair_hash;
+    for (rdf::TermId p1 : preds) {
+      for (rdf::TermId p2 : preds) {
+        if (p1 != p2) ++overlap[{p1, p2}];
+      }
+    }
+  }
+
+  // Emit the heaviest rules per source predicate.
+  std::unordered_map<rdf::TermId, std::vector<Rule>> per_predicate;
+  for (const auto& [pair, shared] : overlap) {
+    auto [p1, p2] = pair;
+    if (shared < options_.min_overlap) continue;
+    size_t args_p2 = stats.Args(p2).size();
+    if (args_p2 == 0) continue;
+    double w = static_cast<double>(shared) / static_cast<double>(args_p2);
+    if (w < options_.min_weight) continue;
+    if (w > 1.0) w = 1.0;
+
+    Rule rule;
+    rule.name = "syn:" + std::string(dict.label(p1)) + "->" +
+                std::string(dict.label(p2));
+    rule.kind = RuleKind::kSynonym;
+    rule.weight = w;
+    query::Term x = query::Term::Variable("x");
+    query::Term y = query::Term::Variable("y");
+    rule.lhs = {query::TriplePattern{x, PredicateTerm(dict, p1), y}};
+    rule.rhs = {query::TriplePattern{x, PredicateTerm(dict, p2), y}};
+    per_predicate[p1].push_back(std::move(rule));
+  }
+
+  for (auto& [p1, candidate_rules] : per_predicate) {
+    (void)p1;
+    std::sort(candidate_rules.begin(), candidate_rules.end(),
+              [](const Rule& a, const Rule& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.name < b.name;
+              });
+    if (candidate_rules.size() > options_.max_rules_per_predicate) {
+      candidate_rules.resize(options_.max_rules_per_predicate);
+    }
+    for (Rule& r : candidate_rules) {
+      TRINIT_RETURN_IF_ERROR(rules->Add(std::move(r)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trinit::relax

@@ -1,0 +1,40 @@
+#ifndef TRINIT_RELAX_SYNONYM_MINER_H_
+#define TRINIT_RELAX_SYNONYM_MINER_H_
+
+#include <string>
+
+#include "relax/rule_set.h"
+
+namespace trinit::relax {
+
+/// Mines predicate-rewrite relaxation rules from the XKG itself, exactly
+/// as the paper describes (§3): "We generate a rule rewriting the XKG
+/// predicate p1 to the XKG predicate p2 and assign it the weight
+/// w(p1 -> p2) = |args(p1) ∩ args(p2)| / |args(p2)|, where args(p) is
+/// the set of subject-object pairs connected by p in the XKG."
+///
+/// This is the mechanism that discovers e.g. `?x affiliation ?y =>
+/// ?x 'works at' ?y` once the extraction layer provides enough
+/// co-occurring argument pairs, bridging KG and XKG vocabulary
+/// (Figure 4, rules 3-4 flavor).
+class SynonymMiner : public RelaxationOperator {
+ public:
+  struct Options {
+    double min_weight = 0.1;  ///< discard rules below this mined weight
+    size_t min_overlap = 2;   ///< min shared (s,o) pairs (support)
+    size_t max_rules_per_predicate = 16;  ///< keep the heaviest rules
+  };
+
+  SynonymMiner() : SynonymMiner(Options()) {}
+  explicit SynonymMiner(Options options) : options_(options) {}
+
+  std::string name() const override { return "synonym-miner"; }
+  Status Generate(const xkg::Xkg& xkg, RuleSet* rules) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trinit::relax
+
+#endif  // TRINIT_RELAX_SYNONYM_MINER_H_

@@ -1,0 +1,45 @@
+#include "scoring/lm_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trinit::scoring {
+
+LmScorer::LmScorer(const xkg::Xkg& xkg, ScorerOptions options)
+    : xkg_(&xkg), options_(options) {}
+
+uint64_t LmScorer::PatternMass(
+    std::span<const rdf::TripleId> matches) const {
+  uint64_t mass = 0;
+  for (rdf::TripleId id : matches) {
+    mass += xkg_->store().triple(id).count;
+  }
+  return mass;
+}
+
+double LmScorer::ScoreTriple(const rdf::Triple& t,
+                             uint64_t pattern_mass) const {
+  double numerator =
+      options_.use_tf ? static_cast<double>(t.count) : 1.0;
+  if (options_.use_confidence) {
+    numerator *= static_cast<double>(t.confidence);
+  }
+  double denominator =
+      options_.use_idf
+          ? static_cast<double>(std::max<uint64_t>(pattern_mass, 1))
+          : static_cast<double>(std::max<uint64_t>(
+                xkg_->store().total_count(), 1));
+  if (numerator <= 0.0) return kMinScore;
+  double p = numerator / denominator;
+  // Emission probabilities never exceed 1 (count <= mass, confidence
+  // <= 1) except in the idf-off ablation; clamp to keep the invariant
+  // "per-pattern score <= kMaxPatternScore" that the top-k bounds use.
+  return std::min(std::log(p), kMaxPatternScore);
+}
+
+double LmScorer::LogWeight(double w) {
+  if (w <= 0.0) return kMinScore;
+  return std::min(std::log(w), 0.0);
+}
+
+}  // namespace trinit::scoring

@@ -1,0 +1,69 @@
+#ifndef TRINIT_SCORING_LM_SCORER_H_
+#define TRINIT_SCORING_LM_SCORER_H_
+
+#include <span>
+
+#include "rdf/triple.h"
+#include "xkg/xkg.h"
+
+namespace trinit::scoring {
+
+/// Tunables of the scoring model. The `use_*` switches exist for the
+/// scoring-component ablation (bench A2); production defaults are all
+/// true.
+struct ScorerOptions {
+  bool use_tf = true;          ///< triple evidence count in the numerator
+  bool use_idf = true;         ///< pattern selectivity in the denominator
+  bool use_confidence = true;  ///< extraction confidence factor
+
+  /// Minimum phrase similarity for a query token term to soft-match an
+  /// XKG token term (extended triple patterns, paper §2).
+  double token_match_threshold = 0.35;
+};
+
+/// Query-likelihood scoring of answers (paper §4): "a triple pattern is
+/// viewed as a document that emits triples with certain probabilities.
+/// The probability assigned to an SPO fact in response to a triple
+/// pattern is proportional to the frequency with which the fact is
+/// observed (a tf-like effect) and inversely proportional to the total
+/// number of matches for the triple pattern (an idf-like effect
+/// corresponding to selectivity)."
+///
+/// All scores live in log space; per-pattern scores are <= 0 and an
+/// answer's score is the *sum* of its pattern scores plus the log of
+/// every relaxation-rule weight and soft-match similarity on its
+/// derivation ("answers obtained through a relaxation rule have their
+/// scores attenuated by the weight of the rule").
+class LmScorer {
+ public:
+  explicit LmScorer(const xkg::Xkg& xkg, ScorerOptions options = {});
+
+  /// Total evidence mass of a pattern's match set: sum of triple counts
+  /// (the denominator of the emission probability).
+  uint64_t PatternMass(std::span<const rdf::TripleId> matches) const;
+
+  /// log P(t | pattern) for a triple in a match set with total mass
+  /// `pattern_mass` (must be >= the triple's own count).
+  double ScoreTriple(const rdf::Triple& t, uint64_t pattern_mass) const;
+
+  /// log(w) for a relaxation weight or soft-match similarity, clamped so
+  /// that w=0 yields a large-but-finite penalty (keeps sorting total).
+  static double LogWeight(double w);
+
+  /// Upper bound of any per-pattern log score (0: probabilities <= 1).
+  static constexpr double kMaxPatternScore = 0.0;
+
+  /// Floor used for impossible events.
+  static constexpr double kMinScore = -1e9;
+
+  const ScorerOptions& options() const { return options_; }
+  const xkg::Xkg& xkg() const { return *xkg_; }
+
+ private:
+  const xkg::Xkg* xkg_;
+  ScorerOptions options_;
+};
+
+}  // namespace trinit::scoring
+
+#endif  // TRINIT_SCORING_LM_SCORER_H_

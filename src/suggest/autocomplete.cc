@@ -1,0 +1,91 @@
+#include "suggest/autocomplete.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/phrase.h"
+#include "util/string_util.h"
+
+namespace trinit::suggest {
+namespace {
+
+double OccurrenceScore(const xkg::Xkg& xkg, rdf::TermId term) {
+  const rdf::TripleStore& store = xkg.store();
+  size_t n = store.Match(term, rdf::kNullTerm, rdf::kNullTerm).size() +
+             store.Match(rdf::kNullTerm, term, rdf::kNullTerm).size() +
+             store.Match(rdf::kNullTerm, rdf::kNullTerm, term).size();
+  return static_cast<double>(n);
+}
+
+std::string Render(const rdf::Dictionary& dict, rdf::TermId term) {
+  return dict.DebugLabel(term);
+}
+
+}  // namespace
+
+Autocomplete::Autocomplete(const xkg::Xkg& xkg) : xkg_(&xkg) {
+  const rdf::Dictionary& dict = xkg.dict();
+  dict.ForEach([this, &dict](rdf::TermId id) {
+    // Index by full lower-cased label and by each word of it, so both
+    // "princ" -> PrincetonUniversity and "univ" -> University_of_X work.
+    std::string lowered = ToLower(dict.label(id));
+    std::set<std::string> words;
+    words.insert(lowered);
+    for (const std::string& w : text::PhraseTokens(lowered)) {
+      words.insert(w);
+    }
+    for (const std::string& w : words) {
+      entries_.push_back(Entry{w, id});
+    }
+  });
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.word != b.word) return a.word < b.word;
+              return a.term < b.term;
+            });
+}
+
+std::vector<Completion> Autocomplete::CompleteImpl(
+    std::string_view prefix, size_t limit, bool predicates_only) const {
+  std::string needle = ToLower(prefix);
+  if (needle.empty()) return {};
+
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), needle,
+      [](const Entry& e, const std::string& p) { return e.word < p; });
+
+  std::set<rdf::TermId> seen;
+  std::vector<Completion> out;
+  for (auto it = begin; it != entries_.end(); ++it) {
+    if (!StartsWith(it->word, needle)) break;
+    if (!seen.insert(it->term).second) continue;
+    if (predicates_only &&
+        xkg_->stats().ForPredicate(it->term) == nullptr) {
+      continue;
+    }
+    Completion c;
+    c.term = it->term;
+    c.kind = xkg_->dict().kind(it->term);
+    c.text = Render(xkg_->dict(), it->term);
+    c.score = OccurrenceScore(*xkg_, it->term);
+    out.push_back(std::move(c));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Completion& a, const Completion& b) {
+                     return a.score > b.score;
+                   });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<Completion> Autocomplete::Complete(std::string_view prefix,
+                                               size_t limit) const {
+  return CompleteImpl(prefix, limit, /*predicates_only=*/false);
+}
+
+std::vector<Completion> Autocomplete::CompletePredicate(
+    std::string_view prefix, size_t limit) const {
+  return CompleteImpl(prefix, limit, /*predicates_only=*/true);
+}
+
+}  // namespace trinit::suggest

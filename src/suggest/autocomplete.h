@@ -1,0 +1,64 @@
+#ifndef TRINIT_SUGGEST_AUTOCOMPLETE_H_
+#define TRINIT_SUGGEST_AUTOCOMPLETE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph_stats.h"
+#include "xkg/xkg.h"
+
+namespace trinit::suggest {
+
+/// One completion candidate.
+struct Completion {
+  rdf::TermId term = rdf::kNullTerm;
+  std::string text;      ///< query-syntax rendering (tokens quoted)
+  rdf::TermKind kind = rdf::TermKind::kResource;
+  double score = 0.0;    ///< popularity (occurrence count in the XKG)
+};
+
+/// Prefix completion over the XKG vocabulary — "user input is eased by
+/// auto-completion, guiding users towards meaningful query
+/// formulations" (paper §5).
+///
+/// Terms are indexed case-insensitively by every word they contain
+/// ("Princeton" completes to `PrincetonUniversity` and to
+/// `University_of_Princeton` alike), and ranked by how often they occur
+/// in the XKG — popular vocabulary first, exactly what a user groping
+/// for labels needs.
+class Autocomplete {
+ public:
+  /// Builds the index over `xkg`'s dictionary and statistics.
+  explicit Autocomplete(const xkg::Xkg& xkg);
+
+  /// Completions whose label (or any word of it) starts with `prefix`
+  /// (case-insensitive), best-first, at most `limit`.
+  std::vector<Completion> Complete(std::string_view prefix,
+                                   size_t limit = 10) const;
+
+  /// Completions restricted to terms that occur as predicates — for the
+  /// P field of the query interface.
+  std::vector<Completion> CompletePredicate(std::string_view prefix,
+                                            size_t limit = 10) const;
+
+  size_t indexed_terms() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string word;  ///< lower-cased index word
+    rdf::TermId term;
+  };
+
+  std::vector<Completion> CompleteImpl(std::string_view prefix,
+                                       size_t limit,
+                                       bool predicates_only) const;
+
+  const xkg::Xkg* xkg_;
+  std::vector<Entry> entries_;  ///< sorted by word for prefix ranges
+};
+
+}  // namespace trinit::suggest
+
+#endif  // TRINIT_SUGGEST_AUTOCOMPLETE_H_

@@ -1,0 +1,130 @@
+#include "suggest/suggester.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/phrase.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace trinit::suggest {
+
+Suggester::Suggester(const xkg::Xkg& xkg, Options options)
+    : xkg_(&xkg), options_(options) {
+  xkg.dict().ForEach([this, &xkg](rdf::TermId id) {
+    if (xkg.dict().kind(id) != rdf::TermKind::kResource) return;
+    for (const std::string& w :
+         text::PhraseTokens(xkg.dict().label(id))) {
+      if (!text::Tokenizer::IsStopword(w)) {
+        resource_words_[w].push_back(id);
+      }
+    }
+  });
+}
+
+void Suggester::SuggestForTokenPredicate(
+    const query::Term& term, std::vector<Suggestion>* out) const {
+  rdf::TermId token = term.id != rdf::kNullTerm
+                          ? term.id
+                          : xkg_->dict().Find(rdf::TermKind::kToken,
+                                              term.text);
+  if (token == rdf::kNullTerm) return;
+  const auto& stats = xkg_->stats();
+  const auto& token_args = stats.Args(token);
+  if (token_args.empty()) return;
+
+  for (rdf::TermId p : stats.predicates()) {
+    if (p == token) continue;
+    if (xkg_->dict().kind(p) != rdf::TermKind::kResource) continue;
+    size_t overlap = stats.ArgsOverlap(token, p);
+    double share =
+        static_cast<double>(overlap) / static_cast<double>(token_args.size());
+    if (share < options_.min_predicate_overlap) continue;
+    Suggestion s;
+    s.kind = Suggestion::Kind::kTokenPredicateToResource;
+    s.replacement = std::string(xkg_->dict().label(p));
+    s.score = share;
+    s.message = "matches of '" + term.text +
+                "' overlap the KG predicate `" + s.replacement + "` (" +
+                FormatDouble(100 * share, 0) +
+                "% of its argument pairs); consider using it in future "
+                "queries";
+    out->push_back(std::move(s));
+  }
+}
+
+void Suggester::SuggestForTokenEntity(const query::Term& term,
+                                      std::vector<Suggestion>* out) const {
+  // Candidate resources sharing a label word with the phrase.
+  std::set<rdf::TermId> candidates;
+  for (const std::string& w : text::ContentTokens(term.text)) {
+    auto it = resource_words_.find(w);
+    if (it == resource_words_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (rdf::TermId id : candidates) {
+    double sim = text::JaccardSimilarity(
+        text::ContentTokens(term.text),
+        text::ContentTokens(text::NormalizePhrase(
+            std::string(xkg_->dict().label(id)))));
+    if (sim < options_.min_entity_similarity) continue;
+    Suggestion s;
+    s.kind = Suggestion::Kind::kTokenEntityToResource;
+    s.replacement = std::string(xkg_->dict().label(id));
+    s.score = sim;
+    s.message = "'" + term.text + "' closely matches the KG resource `" +
+                s.replacement + "`; using the canonical resource enables "
+                "exact joins";
+    out->push_back(std::move(s));
+  }
+}
+
+void Suggester::SuggestRuleFeedback(
+    const std::vector<topk::Answer>& answers,
+    std::vector<Suggestion>* out) const {
+  std::set<std::string> seen;
+  for (const topk::Answer& answer : answers) {
+    for (const topk::DerivationStep& step : answer.derivation) {
+      for (const relax::Rule* rule : step.rules) {
+        if (!seen.insert(rule->name).second) continue;
+        Suggestion s;
+        s.kind = Suggestion::Kind::kRuleFeedback;
+        s.replacement = rule->name;
+        s.score = rule->weight;
+        s.message = "relaxation rule `" + rule->name + "` (" +
+                    rule->ToString() +
+                    ") contributed answers; the KG models this "
+                    "information differently than your query assumed";
+        out->push_back(std::move(s));
+      }
+    }
+  }
+}
+
+std::vector<Suggestion> Suggester::Suggest(
+    const query::Query& query,
+    const std::vector<topk::Answer>& answers) const {
+  std::vector<Suggestion> out;
+  for (const query::TriplePattern& pattern : query.patterns()) {
+    if (pattern.p.kind == query::Term::Kind::kToken) {
+      SuggestForTokenPredicate(pattern.p, &out);
+    }
+    for (const query::Term* slot : {&pattern.s, &pattern.o}) {
+      if (slot->kind == query::Term::Kind::kToken) {
+        SuggestForTokenEntity(*slot, &out);
+      }
+    }
+  }
+  SuggestRuleFeedback(answers, &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.score > b.score;
+                   });
+  if (out.size() > options_.max_suggestions) {
+    out.resize(options_.max_suggestions);
+  }
+  return out;
+}
+
+}  // namespace trinit::suggest

@@ -1,0 +1,75 @@
+#ifndef TRINIT_SUGGEST_SUGGESTER_H_
+#define TRINIT_SUGGEST_SUGGESTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+#include "topk/answer.h"
+#include "xkg/xkg.h"
+
+namespace trinit::suggest {
+
+/// One query-reformulation suggestion (paper §5, "Query Suggestion").
+struct Suggestion {
+  enum class Kind {
+    /// A token predicate's matches overlap a canonical KG predicate's
+    /// matches: "consider predicate `affiliation` instead of 'works
+    /// at'".
+    kTokenPredicateToResource,
+    /// A token entity phrase strongly resembles a KG resource label:
+    /// "consider resource `PrincetonUniversity` instead of
+    /// 'princeton'".
+    kTokenEntityToResource,
+    /// A relaxation rule contributed answers: tell the user so they
+    /// learn the KG's structure ("a predicate inversion rule was
+    /// invoked").
+    kRuleFeedback,
+  };
+
+  Kind kind = Kind::kRuleFeedback;
+  std::string message;       ///< human-readable suggestion
+  std::string replacement;   ///< suggested term/predicate label, if any
+  double score = 0.0;        ///< confidence/overlap strength
+};
+
+/// Computes suggestions from the query and its answers, following the
+/// paper: "when TriniT determines that matches for these tokens have a
+/// significant overlap with matches for highly related KG resources ...
+/// these resources are suggested to the user for use in future
+/// queries"; "when a structural relaxation rule ... contributes to the
+/// final answer set, TriniT informs the user".
+class Suggester {
+ public:
+  struct Options {
+    double min_predicate_overlap = 0.2;  ///< args-overlap share needed
+    double min_entity_similarity = 0.5;  ///< label similarity needed
+    size_t max_suggestions = 8;
+  };
+
+  explicit Suggester(const xkg::Xkg& xkg) : Suggester(xkg, Options()) {}
+  Suggester(const xkg::Xkg& xkg, Options options);
+
+  std::vector<Suggestion> Suggest(
+      const query::Query& query,
+      const std::vector<topk::Answer>& answers) const;
+
+ private:
+  void SuggestForTokenPredicate(const query::Term& term,
+                                std::vector<Suggestion>* out) const;
+  void SuggestForTokenEntity(const query::Term& term,
+                             std::vector<Suggestion>* out) const;
+  void SuggestRuleFeedback(const std::vector<topk::Answer>& answers,
+                           std::vector<Suggestion>* out) const;
+
+  const xkg::Xkg* xkg_;
+  Options options_;
+  // Inverted index over resource-label words, for entity suggestions.
+  std::unordered_map<std::string, std::vector<rdf::TermId>>
+      resource_words_;
+};
+
+}  // namespace trinit::suggest
+
+#endif  // TRINIT_SUGGEST_SUGGESTER_H_

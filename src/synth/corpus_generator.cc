@@ -1,0 +1,126 @@
+#include "synth/corpus_generator.h"
+
+#include <array>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace trinit::synth {
+namespace {
+
+constexpr std::array<const char*, 4> kDistractorVerbs = {
+    "met", "visited", "wrote to", "debated with"};
+
+constexpr std::array<const char*, 4> kRationaleTemplates = {
+    "work on", "the discovery of", "contributions to", "a theory of"};
+
+// Alias choice: canonical full form dominates, ambiguous short forms
+// appear often enough to stress the linker.
+const std::string& PickAlias(const Entity& e, Rng& rng) {
+  if (e.aliases.size() == 1 || rng.Bernoulli(0.6)) return e.aliases[0];
+  return e.aliases[1 + rng.Uniform(e.aliases.size() - 1)];
+}
+
+// Paraphrase choice skewed toward the canonical phrasing.
+size_t PickParaphrase(size_t count, Rng& rng) {
+  double r = rng.UniformDouble();
+  return static_cast<size_t>(r * r * static_cast<double>(count));
+}
+
+}  // namespace
+
+std::string CorpusGenerator::FactSentence(const World& world,
+                                          const Fact& fact, size_t variant,
+                                          Rng& rng) {
+  const PredicateSpec& pred = world.spec.predicates[fact.predicate];
+  TRINIT_CHECK(!pred.paraphrases.empty());
+  const std::string& verb =
+      pred.paraphrases[variant % pred.paraphrases.size()];
+  const Entity& subject = world.entities[fact.subject];
+  const Entity& object = world.entities[fact.object];
+
+  std::string sentence;
+  if (rng.Bernoulli(0.25)) {
+    sentence += "In " + std::to_string(1880 + rng.Uniform(120)) + ", ";
+  }
+  sentence += PickAlias(subject, rng) + " " + verb + " ";
+
+  if (pred.name == "wonPrize" && rng.Bernoulli(0.5)) {
+    // Rationale form: a lowercase tail after the prize, like the
+    // photoelectric-effect sentence of Figure 3. The extractor turns
+    // this into a token-object triple (user D's information need).
+    const char* rationale =
+        kRationaleTemplates[rng.Uniform(kRationaleTemplates.size())];
+    const auto& fields = world.OfClass(EntityClass::kField);
+    const Entity& field =
+        world.entities[fields[rng.Uniform(fields.size())]];
+    sentence += PickAlias(object, rng) + " for " + rationale + " " +
+                ToLower(field.aliases[0]);
+  } else {
+    sentence += PickAlias(object, rng);
+  }
+
+  if (rng.Bernoulli(0.15)) {
+    sentence += ", according to several sources";
+  }
+  sentence += ".";
+  return sentence;
+}
+
+std::vector<Document> CorpusGenerator::Generate(const World& world) {
+  Rng rng(world.spec.seed + 0x9e3779b9ULL);
+  std::vector<std::string> sentences;
+
+  for (const Fact& fact : world.facts) {
+    const Entity& subject = world.entities[fact.subject];
+    double expected = world.spec.sentences_per_fact *
+                      (0.5 + subject.popularity);
+    int n = static_cast<int>(expected);
+    if (rng.Bernoulli(expected - n)) ++n;
+    // Held-out facts must be expressible from text or the XKG could
+    // never recover them.
+    if (!fact.in_kg && n == 0) n = 1;
+    for (int i = 0; i < n; ++i) {
+      sentences.push_back(FactSentence(
+          world, fact,
+          PickParaphrase(
+              world.spec.predicates[fact.predicate].paraphrases.size(),
+              rng),
+          rng));
+    }
+  }
+
+  // Distractor sentences: plausible-looking statements about no real
+  // fact; some become noisy extraction triples.
+  size_t distractors = static_cast<size_t>(
+      world.spec.distractor_sentence_rate *
+      static_cast<double>(sentences.size()));
+  for (size_t i = 0; i < distractors; ++i) {
+    const Entity& a =
+        world.entities[rng.Uniform(world.entities.size())];
+    const Entity& b =
+        world.entities[rng.Uniform(world.entities.size())];
+    sentences.push_back(PickAlias(a, rng) + " " +
+                        kDistractorVerbs[rng.Uniform(
+                            kDistractorVerbs.size())] +
+                        " " + PickAlias(b, rng) + ".");
+  }
+
+  rng.Shuffle(sentences);
+
+  std::vector<Document> docs;
+  size_t i = 0;
+  while (i < sentences.size()) {
+    size_t doc_len = 4 + rng.Uniform(4);  // 4-7 sentences
+    Document doc;
+    doc.id = static_cast<uint32_t>(docs.size());
+    for (size_t j = 0; j < doc_len && i < sentences.size(); ++j, ++i) {
+      if (j > 0) doc.text += " ";
+      doc.text += sentences[i];
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace trinit::synth

@@ -1,0 +1,160 @@
+#include "synth/world_schema.h"
+
+#include <cmath>
+
+namespace trinit::synth {
+
+const char* EntityClassName(EntityClass c) {
+  switch (c) {
+    case EntityClass::kPerson:
+      return "person";
+    case EntityClass::kUniversity:
+      return "university";
+    case EntityClass::kInstitute:
+      return "institute";
+    case EntityClass::kCity:
+      return "city";
+    case EntityClass::kCountry:
+      return "country";
+    case EntityClass::kPrize:
+      return "prize";
+    case EntityClass::kField:
+      return "field";
+    case EntityClass::kNumClasses:
+      break;
+  }
+  return "unknown";
+}
+
+std::vector<PredicateSpec> WorldSpec::DefaultPredicates() {
+  std::vector<PredicateSpec> preds;
+
+  PredicateSpec born_in;
+  born_in.name = "bornIn";
+  born_in.subject_class = EntityClass::kPerson;
+  born_in.object_class = EntityClass::kCity;
+  born_in.facts_per_subject = 1.0;
+  born_in.coverage = 0.95;
+  born_in.holdout_rate = 0.15;
+  born_in.paraphrases = {"was born in", "is a native of", "hails from"};
+  born_in.coarse_object_rate = 0.2;  // some sources state the country
+  preds.push_back(born_in);
+
+  PredicateSpec located_in;
+  located_in.name = "locatedIn";
+  located_in.subject_class = EntityClass::kCity;
+  located_in.object_class = EntityClass::kCountry;
+  located_in.facts_per_subject = 1.0;
+  located_in.coverage = 1.0;
+  located_in.holdout_rate = 0.05;
+  located_in.paraphrases = {"is located in", "lies in", "is a city in"};
+  preds.push_back(located_in);
+
+  PredicateSpec affiliation;
+  affiliation.name = "affiliation";
+  affiliation.subject_class = EntityClass::kPerson;
+  affiliation.object_class = EntityClass::kUniversity;
+  affiliation.facts_per_subject = 1.3;
+  affiliation.coverage = 0.85;
+  affiliation.holdout_rate = 0.3;
+  affiliation.paraphrases = {"works at", "is employed by", "lectured at",
+                             "is a professor at"};
+  preds.push_back(affiliation);
+
+  PredicateSpec works_at_inst;
+  works_at_inst.name = "memberOfInstitute";
+  works_at_inst.subject_class = EntityClass::kPerson;
+  works_at_inst.object_class = EntityClass::kInstitute;
+  works_at_inst.facts_per_subject = 1.0;
+  works_at_inst.coverage = 0.3;
+  works_at_inst.holdout_rate = 0.3;
+  works_at_inst.paraphrases = {"is a member of", "works at"};
+  preds.push_back(works_at_inst);
+
+  PredicateSpec housed_in;
+  housed_in.name = "housedIn";
+  housed_in.subject_class = EntityClass::kInstitute;
+  housed_in.object_class = EntityClass::kUniversity;
+  housed_in.facts_per_subject = 1.0;
+  housed_in.coverage = 0.9;
+  // Mostly text-only, like IAS's relationship to Princeton (paper §1).
+  housed_in.holdout_rate = 0.7;
+  housed_in.paraphrases = {"is housed in", "is hosted by",
+                           "is located on the campus of"};
+  preds.push_back(housed_in);
+
+  PredicateSpec has_advisor;
+  has_advisor.name = "hasAdvisor";
+  has_advisor.subject_class = EntityClass::kPerson;
+  has_advisor.object_class = EntityClass::kPerson;
+  has_advisor.facts_per_subject = 1.0;
+  has_advisor.coverage = 0.5;
+  has_advisor.holdout_rate = 0.2;
+  has_advisor.paraphrases = {"was advised by", "studied under",
+                             "wrote a dissertation under"};
+  has_advisor.inverse_name = "hasStudent";
+  // The KG mostly models the hasStudent direction (user B's problem)...
+  has_advisor.inverse_rate = 0.6;
+  // ...but some advisor pairs are redundantly stated both ways, which
+  // is what lets the inversion miner learn hasAdvisor <-> hasStudent.
+  has_advisor.both_directions_rate = 0.2;
+  preds.push_back(has_advisor);
+
+  PredicateSpec won_prize;
+  won_prize.name = "wonPrize";
+  won_prize.subject_class = EntityClass::kPerson;
+  won_prize.object_class = EntityClass::kPrize;
+  won_prize.facts_per_subject = 1.1;
+  won_prize.coverage = 0.25;
+  // Heavily text-only: prize rationales live in news text (user D).
+  won_prize.holdout_rate = 0.6;
+  won_prize.paraphrases = {"won", "was awarded", "received"};
+  preds.push_back(won_prize);
+
+  PredicateSpec in_field;
+  in_field.name = "inField";
+  in_field.subject_class = EntityClass::kPerson;
+  in_field.object_class = EntityClass::kField;
+  in_field.facts_per_subject = 1.2;
+  in_field.coverage = 0.8;
+  in_field.holdout_rate = 0.25;
+  in_field.paraphrases = {"conducts research in", "specializes in",
+                          "is known for work on"};
+  preds.push_back(in_field);
+
+  PredicateSpec uni_located;
+  uni_located.name = "campusIn";
+  uni_located.subject_class = EntityClass::kUniversity;
+  uni_located.object_class = EntityClass::kCity;
+  uni_located.facts_per_subject = 1.0;
+  uni_located.coverage = 0.95;
+  uni_located.holdout_rate = 0.1;
+  uni_located.paraphrases = {"has its campus in", "is based in"};
+  preds.push_back(uni_located);
+
+  return preds;
+}
+
+WorldSpec WorldSpec::Scaled(size_t target_triples, uint64_t seed) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.predicates = DefaultPredicates();
+  // Empirically the default spec yields ~6 facts per person-equivalent
+  // entity and the corpus multiplies extraction triples by
+  // sentences_per_fact plus paraphrase spread; solve for the person
+  // count and scale the supporting classes proportionally.
+  double unit = static_cast<double>(target_triples) / 14.0;
+  auto at_least = [](double v, size_t lo) {
+    return v < static_cast<double>(lo) ? lo : static_cast<size_t>(v);
+  };
+  spec.num_persons = at_least(unit, 20);
+  spec.num_universities = at_least(unit / 8, 5);
+  spec.num_institutes = at_least(unit / 14, 3);
+  spec.num_cities = at_least(unit / 5, 8);
+  spec.num_countries = at_least(unit / 20, 4);
+  spec.num_prizes = at_least(unit / 25, 3);
+  spec.num_fields = at_least(unit / 18, 4);
+  return spec;
+}
+
+}  // namespace trinit::synth

@@ -1,0 +1,98 @@
+#ifndef TRINIT_SYNTH_WORLD_SCHEMA_H_
+#define TRINIT_SYNTH_WORLD_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace trinit::synth {
+
+/// Entity classes of the synthetic world. The domain mirrors the
+/// academia/geography world of the paper's running example (Einstein,
+/// universities, cities, prizes) so that every relaxation phenomenon the
+/// paper discusses — granularity mismatch, inverted predicates, KG gaps
+/// covered by text — arises organically at scale.
+enum class EntityClass {
+  kPerson = 0,
+  kUniversity,
+  kInstitute,  ///< research institutes housed in universities (IAS-like)
+  kCity,
+  kCountry,
+  kPrize,
+  kField,
+  kNumClasses,
+};
+
+const char* EntityClassName(EntityClass c);
+
+/// A KG predicate with its signature and text-side behaviour.
+struct PredicateSpec {
+  std::string name;            ///< KG label, e.g. "affiliation"
+  EntityClass subject_class;
+  EntityClass object_class;
+  /// Expected facts per subject entity (1 => functional-ish).
+  double facts_per_subject = 1.0;
+  /// Fraction of subjects that have this predicate at all.
+  double coverage = 1.0;
+  /// Probability that a generated fact is *held out* of the KG and only
+  /// expressed in the corpus — the engineered incompleteness that makes
+  /// the XKG genuinely add answers (paper §2: "no KG will ever be
+  /// complete").
+  double holdout_rate = 0.25;
+  /// Verbal paraphrases used by the corpus generator; the first is the
+  /// "canonical" phrasing. E.g. affiliation: "works at", "is employed
+  /// by", "lectured at".
+  std::vector<std::string> paraphrases;
+  /// Name of the inverse KG predicate, if the KG models one (e.g.
+  /// hasStudent for hasAdvisor); empty otherwise.
+  std::string inverse_name;
+  /// Probability that a fact is stated *only* with the inverse predicate
+  /// in the KG (user B's mismatch: the KG models hasStudent, the user
+  /// asks hasAdvisor).
+  double inverse_rate = 0.0;
+  /// Probability that a fact is stated in *both* directions. Real KGs
+  /// contain such redundant pairs; they are the evidence the inversion
+  /// miner's |args(p1) ∩ swap(args(p2))| overlap needs.
+  double both_directions_rate = 0.0;
+  /// Probability that a fact's object is stated at the *coarse*
+  /// geographic granularity (city -> its country) instead — user A's
+  /// vocabulary mismatch.
+  double coarse_object_rate = 0.0;
+};
+
+/// Sizing and behaviour knobs for the generated world.
+struct WorldSpec {
+  uint64_t seed = 42;
+  size_t num_persons = 200;
+  size_t num_universities = 25;
+  size_t num_institutes = 15;
+  size_t num_cities = 40;
+  size_t num_countries = 10;
+  size_t num_prizes = 8;
+  size_t num_fields = 12;
+  /// Zipf exponent for entity popularity (popular entities appear in
+  /// more facts and more sentences, like real KGs).
+  double popularity_skew = 0.8;
+  /// Sentences expressing facts not in the world at all (extraction
+  /// noise fodder).
+  double distractor_sentence_rate = 0.08;
+  /// Average number of corpus sentences per expressible fact. Web text
+  /// is redundant; redundancy is also what gives the synonym miner its
+  /// args-overlap evidence.
+  double sentences_per_fact = 2.5;
+
+  /// The predicate inventory; `DefaultPredicates()` by default.
+  std::vector<PredicateSpec> predicates;
+
+  /// The paper-domain predicate set (bornIn, locatedIn, affiliation,
+  /// hasAdvisor/hasStudent, wonPrize, inField, memberOf, housedIn, ...).
+  static std::vector<PredicateSpec> DefaultPredicates();
+
+  /// A spec scaled so the generated XKG has roughly `target_triples`
+  /// total triples while preserving the paper's ~1:7.8 KG:extraction
+  /// ratio (50M vs 390M, §5).
+  static WorldSpec Scaled(size_t target_triples, uint64_t seed = 42);
+};
+
+}  // namespace trinit::synth
+
+#endif  // TRINIT_SYNTH_WORLD_SCHEMA_H_

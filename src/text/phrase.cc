@@ -1,0 +1,25 @@
+#include "text/phrase.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace trinit::text {
+
+std::string NormalizePhrase(std::string_view raw) {
+  return Join(Tokenizer::Tokenize(raw), " ");
+}
+
+std::vector<std::string> PhraseTokens(std::string_view phrase) {
+  return Tokenizer::Tokenize(phrase);
+}
+
+std::vector<std::string> ContentTokens(std::string_view phrase) {
+  std::vector<std::string> all = Tokenizer::Tokenize(phrase);
+  std::vector<std::string> content;
+  for (const std::string& t : all) {
+    if (!Tokenizer::IsStopword(t)) content.push_back(t);
+  }
+  return content.empty() ? all : content;
+}
+
+}  // namespace trinit::text

@@ -1,0 +1,25 @@
+#ifndef TRINIT_TEXT_PHRASE_H_
+#define TRINIT_TEXT_PHRASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trinit::text {
+
+/// Canonical form of a token phrase as stored in the XKG dictionary:
+/// tokenized (lower-case, punctuation-stripped) and re-joined with single
+/// spaces. "Won  a NOBEL for" -> "won a nobel for". Empty result means
+/// the input had no word characters.
+std::string NormalizePhrase(std::string_view raw);
+
+/// Tokens of a normalized (or raw) phrase.
+std::vector<std::string> PhraseTokens(std::string_view phrase);
+
+/// Content (non-stopword) tokens of a phrase; falls back to all tokens
+/// when every token is a stopword (e.g. the phrase "is in").
+std::vector<std::string> ContentTokens(std::string_view phrase);
+
+}  // namespace trinit::text
+
+#endif  // TRINIT_TEXT_PHRASE_H_

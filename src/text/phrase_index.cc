@@ -1,0 +1,57 @@
+#include "text/phrase_index.h"
+
+#include <algorithm>
+
+#include "text/phrase.h"
+#include "text/similarity.h"
+
+namespace trinit::text {
+
+PhraseIndex PhraseIndex::Build(const rdf::Dictionary& dict) {
+  PhraseIndex index(dict);
+  dict.ForEach([&](rdf::TermId id) {
+    if (dict.kind(id) != rdf::TermKind::kToken) return;
+    ++index.phrase_count_;
+    std::vector<std::string> tokens = ContentTokens(dict.label(id));
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const std::string& t : tokens) {
+      index.postings_[t].push_back(id);
+    }
+  });
+  return index;
+}
+
+std::vector<PhraseIndex::Candidate> PhraseIndex::FindSimilar(
+    std::string_view phrase, double min_similarity) const {
+  std::vector<std::string> probe_tokens = ContentTokens(phrase);
+  // Union of postings of the probe's tokens = the only phrases that can
+  // have non-zero content-token overlap.
+  std::vector<rdf::TermId> candidates;
+  for (const std::string& t : probe_tokens) {
+    const std::vector<rdf::TermId>& list = PostingsFor(t);
+    candidates.insert(candidates.end(), list.begin(), list.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<Candidate> out;
+  for (rdf::TermId id : candidates) {
+    double sim = PhraseSimilarity(phrase, dict_->label(id));
+    if (sim >= min_similarity) out.push_back({id, sim});
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.term < b.term;
+  });
+  return out;
+}
+
+const std::vector<rdf::TermId>& PhraseIndex::PostingsFor(
+    std::string_view token) const {
+  auto it = postings_.find(std::string(token));
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+}  // namespace trinit::text

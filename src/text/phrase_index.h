@@ -1,0 +1,66 @@
+#ifndef TRINIT_TEXT_PHRASE_INDEX_H_
+#define TRINIT_TEXT_PHRASE_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace trinit::text {
+
+/// Inverted index from individual tokens to the token-phrase terms that
+/// contain them.
+///
+/// This is what lets a user's token term soft-match XKG vocabulary: the
+/// query phrase 'won nobel for' retrieves every interned phrase sharing a
+/// content token ('won a nobel for', 'won the nobel prize for', ...),
+/// each with a similarity score. The demo's ElasticSearch analyzers
+/// played this role.
+class PhraseIndex {
+ public:
+  /// A candidate phrase term with its similarity to the probe phrase.
+  struct Candidate {
+    rdf::TermId term = rdf::kNullTerm;
+    double similarity = 0.0;
+  };
+
+  /// Builds the index over every token-kind term in `dict`. The
+  /// dictionary must outlive the index; phrases interned after
+  /// construction are not visible (rebuild to refresh).
+  static PhraseIndex Build(const rdf::Dictionary& dict);
+
+  PhraseIndex(const PhraseIndex&) = delete;
+  PhraseIndex& operator=(const PhraseIndex&) = delete;
+  PhraseIndex(PhraseIndex&&) = default;
+  PhraseIndex& operator=(PhraseIndex&&) = default;
+
+  /// All phrase terms whose similarity to `phrase` is >= min_similarity,
+  /// sorted by descending similarity (ties by ascending id). The probe
+  /// does not need to be interned.
+  std::vector<Candidate> FindSimilar(std::string_view phrase,
+                                     double min_similarity) const;
+
+  /// Phrase terms containing `token` (exact token match).
+  const std::vector<rdf::TermId>& PostingsFor(std::string_view token) const;
+
+  /// Number of indexed phrase terms.
+  size_t phrase_count() const { return phrase_count_; }
+
+  /// Number of distinct tokens.
+  size_t token_count() const { return postings_.size(); }
+
+ private:
+  explicit PhraseIndex(const rdf::Dictionary& dict) : dict_(&dict) {}
+
+  const rdf::Dictionary* dict_;
+  std::unordered_map<std::string, std::vector<rdf::TermId>> postings_;
+  std::vector<rdf::TermId> empty_;
+  size_t phrase_count_ = 0;
+};
+
+}  // namespace trinit::text
+
+#endif  // TRINIT_TEXT_PHRASE_INDEX_H_

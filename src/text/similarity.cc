@@ -1,0 +1,70 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+
+#include "text/phrase.h"
+
+namespace trinit::text {
+namespace {
+
+// Returns (|A ∩ B|, |A|, |B|) over de-duplicated token sets.
+struct SetCounts {
+  size_t intersection;
+  size_t a_size;
+  size_t b_size;
+};
+
+SetCounts Count(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  std::vector<std::string> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  size_t inter = 0;
+  auto ia = sa.begin();
+  auto ib = sb.begin();
+  while (ia != sa.end() && ib != sb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  return {inter, sa.size(), sb.size()};
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  SetCounts c = Count(a, b);
+  size_t uni = c.a_size + c.b_size - c.intersection;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(c.intersection) / static_cast<double>(uni);
+}
+
+double Containment(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  SetCounts c = Count(a, b);
+  if (c.a_size == 0) return 1.0;
+  return static_cast<double>(c.intersection) / static_cast<double>(c.a_size);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  SetCounts c = Count(a, b);
+  if (c.a_size + c.b_size == 0) return 0.0;
+  return 2.0 * static_cast<double>(c.intersection) /
+         static_cast<double>(c.a_size + c.b_size);
+}
+
+double PhraseSimilarity(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(ContentTokens(a), ContentTokens(b));
+}
+
+}  // namespace trinit::text

@@ -1,0 +1,35 @@
+#ifndef TRINIT_TEXT_SIMILARITY_H_
+#define TRINIT_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trinit::text {
+
+/// Token-set similarity measures used to soft-match a user's token
+/// phrase against XKG token terms (extended triple patterns, paper §2)
+/// and to rank query suggestions (paper §5).
+
+/// |A ∩ B| / |A ∪ B| over token multiset-collapsed sets; 0 when both
+/// empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// |A ∩ B| / |A| — how much of `a` is contained in `b`; 1 when a empty.
+double Containment(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+/// 2|A ∩ B| / (|A| + |B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Phrase-level convenience: tokenizes both sides, drops stopwords
+/// (falling back to all tokens when a side is all stopwords), and
+/// returns the Jaccard similarity. This is the default soft-match
+/// measure for token terms.
+double PhraseSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace trinit::text
+
+#endif  // TRINIT_TEXT_SIMILARITY_H_

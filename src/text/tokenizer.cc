@@ -1,0 +1,69 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace trinit::text {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (IsWordChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if ((c == '-' || c == '\'') && !current.empty() &&
+               i + 1 < s.size() && IsWordChar(s[i + 1])) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::SplitSentences(std::string_view s) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    current.push_back(c);
+    if ((c == '.' || c == '!' || c == '?') &&
+        (i + 1 == s.size() ||
+         std::isspace(static_cast<unsigned char>(s[i + 1])))) {
+      // Trim leading whitespace of the accumulated sentence.
+      size_t start = current.find_first_not_of(" \t\n\r");
+      if (start != std::string::npos) {
+        sentences.push_back(current.substr(start));
+      }
+      current.clear();
+    }
+  }
+  size_t start = current.find_first_not_of(" \t\n\r");
+  if (start != std::string::npos) sentences.push_back(current.substr(start));
+  return sentences;
+}
+
+bool Tokenizer::IsStopword(std::string_view token) {
+  static constexpr std::array<std::string_view, 34> kStopwords = {
+      "a",    "an",  "the", "of",   "in",   "on",  "at",   "to",  "for",
+      "by",   "with", "and", "or",  "is",   "was", "were", "are", "be",
+      "been", "as",  "his", "her",  "its",  "their", "from", "that", "this",
+      "it",   "he",  "she", "they", "has",  "had",  "have"};
+  for (std::string_view w : kStopwords) {
+    if (w == token) return true;
+  }
+  return false;
+}
+
+}  // namespace trinit::text

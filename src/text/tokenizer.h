@@ -1,0 +1,32 @@
+#ifndef TRINIT_TEXT_TOKENIZER_H_
+#define TRINIT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trinit::text {
+
+/// Lexical analysis for the Open IE pipeline and the token-phrase side of
+/// the XKG. ASCII-oriented: KG labels, aliases, and the synthetic corpus
+/// are ASCII in this reproduction.
+class Tokenizer {
+ public:
+  /// Lower-cases, strips punctuation (keeping intra-word hyphens and
+  /// apostrophes), and splits on whitespace. "Einstein won a Nobel!"
+  /// -> {"einstein", "won", "a", "nobel"}.
+  static std::vector<std::string> Tokenize(std::string_view s);
+
+  /// Splits raw text into sentences on '.', '!', '?' boundaries followed
+  /// by whitespace/end. Abbreviation handling is not needed for the
+  /// synthetic corpus.
+  static std::vector<std::string> SplitSentences(std::string_view s);
+
+  /// True for high-frequency function words ("a", "the", "of", ...).
+  /// Used by similarity weighting and the extractor's confidence model.
+  static bool IsStopword(std::string_view token);
+};
+
+}  // namespace trinit::text
+
+#endif  // TRINIT_TEXT_TOKENIZER_H_

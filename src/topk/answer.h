@@ -1,0 +1,54 @@
+#ifndef TRINIT_TOPK_ANSWER_H_
+#define TRINIT_TOPK_ANSWER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/binding.h"
+#include "rdf/triple.h"
+#include "relax/rule.h"
+
+namespace trinit::topk {
+
+/// A soft vocabulary substitution made while matching a token term:
+/// the query phrase was matched against `matched_phrase` with the given
+/// similarity (which attenuates the score like a rule weight).
+struct SoftMatch {
+  std::string query_phrase;
+  std::string matched_phrase;
+  double similarity = 1.0;
+};
+
+/// How one original query pattern was satisfied: through which relaxed
+/// form, which rules, which triples. This is the raw material of the
+/// demo's answer-explanation view (paper §5): "(i) the KG triples that
+/// contributed to an answer, (ii) the XKG triples ... and their
+/// provenance, and (iii) the relaxation rules that were invoked".
+struct DerivationStep {
+  size_t pattern_index = 0;  ///< index into the original query's patterns
+  std::string matched_form;  ///< rendering of the form actually evaluated
+  std::vector<const relax::Rule*> rules;  ///< relaxations applied, in order
+  std::vector<rdf::TripleId> triples;     ///< store triples matched
+  std::vector<SoftMatch> soft_matches;
+  double log_score = 0.0;  ///< this step's contribution (<= 0)
+};
+
+/// One ranked answer: a binding of the original query's variables with a
+/// log-domain score and the best derivation that produced it.
+struct Answer {
+  query::Binding binding;  ///< over the original query's VarTable
+  double score = 0.0;      ///< log domain; higher is better
+  std::vector<DerivationStep> derivation;
+
+  /// True when any step used a relaxation rule.
+  bool used_relaxation() const {
+    for (const DerivationStep& s : derivation) {
+      if (!s.rules.empty()) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace trinit::topk
+
+#endif  // TRINIT_TOPK_ANSWER_H_

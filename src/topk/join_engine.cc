@@ -1,0 +1,184 @@
+#include "topk/join_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "scoring/lm_scorer.h"
+#include "util/logging.h"
+
+namespace trinit::topk {
+
+JoinEngine::JoinEngine(std::vector<std::unique_ptr<BindingStream>> streams,
+                       const query::VarTable& vars,
+                       std::vector<query::VarId> projection, Options options)
+    : streams_(std::move(streams)),
+      vars_(vars),
+      projection_(std::move(projection)),
+      options_(options) {
+  seen_.resize(streams_.size());
+  top1_.assign(streams_.size(), BindingStream::kExhausted);
+}
+
+double JoinEngine::KthBest() const {
+  if (answers_.size() < static_cast<size_t>(options_.k)) {
+    return BindingStream::kExhausted;
+  }
+  std::vector<double> scores;
+  scores.reserve(answers_.size());
+  for (const auto& [key, ans] : answers_) scores.push_back(ans.score);
+  std::nth_element(scores.begin(), scores.begin() + (options_.k - 1),
+                   scores.end(), std::greater<double>());
+  return scores[options_.k - 1];
+}
+
+double JoinEngine::Threshold() const {
+  // T = max_i (BestPossible_i + sum_{j != i} top1_j). A stream that has
+  // not delivered anything yet contributes its BestPossible as top1_j.
+  double threshold = BindingStream::kExhausted;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    double bound_i = streams_[i]->BestPossible();
+    if (bound_i <= BindingStream::kExhausted) continue;
+    double total = bound_i;
+    bool feasible = true;
+    for (size_t j = 0; j < streams_.size(); ++j) {
+      if (j == i) continue;
+      double tj = top1_[j] > BindingStream::kExhausted
+                      ? top1_[j]
+                      : streams_[j]->BestPossible();
+      if (tj <= BindingStream::kExhausted) {
+        feasible = false;  // stream j can never deliver: no joins at all
+        break;
+      }
+      total += tj;
+    }
+    if (feasible) threshold = std::max(threshold, total);
+  }
+  return threshold;
+}
+
+void JoinEngine::Emit(const query::Binding& binding, double score,
+                      std::vector<DerivationStep> derivation) {
+  // Projection variables must be bound for the answer to be presentable.
+  for (query::VarId v : projection_) {
+    if (!binding.IsBound(v)) return;
+  }
+  std::string key = binding.KeyFor(projection_);
+  auto it = answers_.find(key);
+  if (it == answers_.end()) {
+    Answer ans;
+    ans.binding = binding;
+    ans.score = score;
+    ans.derivation = std::move(derivation);
+    answers_.emplace(std::move(key), std::move(ans));
+    return;
+  }
+  if (options_.max_over_derivations) {
+    // Paper §4: "the score of an answer [is] the maximal one obtained
+    // through any such sequence [of relaxations]".
+    if (score > it->second.score) {
+      it->second.score = score;
+      it->second.binding = binding;
+      it->second.derivation = std::move(derivation);
+    }
+  } else {
+    // Probabilistic-sum ablation: log(exp(a) + exp(b)), numerically
+    // stabilized; keeps the better derivation for explanation.
+    double hi = std::max(it->second.score, score);
+    double lo = std::min(it->second.score, score);
+    it->second.score = hi + std::log1p(std::exp(lo - hi));
+    if (score >= hi && !derivation.empty()) {
+      it->second.binding = binding;
+      it->second.derivation = std::move(derivation);
+    }
+  }
+}
+
+void JoinEngine::Combine(size_t stream_idx,
+                         const BindingStream::Item& item) {
+  // Backtracking join of `item` with one seen item from every other
+  // stream.
+  struct Frame {
+    query::Binding binding;
+    double score;
+  };
+  size_t n = streams_.size();
+  std::vector<const BindingStream::Item*> picked(n, nullptr);
+  picked[stream_idx] = &item;
+
+  std::function<void(size_t, const Frame&)> recurse =
+      [&](size_t idx, const Frame& frame) {
+        if (idx == n) {
+          ++stats_.combinations_tried;
+          std::vector<DerivationStep> derivation;
+          derivation.reserve(n);
+          for (const BindingStream::Item* p : picked) {
+            derivation.push_back(p->step);
+          }
+          Emit(frame.binding, frame.score, std::move(derivation));
+          return;
+        }
+        if (idx == stream_idx) {
+          recurse(idx + 1, frame);
+          return;
+        }
+        for (const BindingStream::Item& cand : seen_[idx]) {
+          auto merged = frame.binding.MergedWith(cand.binding);
+          if (!merged.has_value()) continue;
+          picked[idx] = &cand;
+          recurse(idx + 1, Frame{std::move(*merged),
+                                 frame.score + cand.log_score});
+        }
+        picked[idx] = nullptr;
+      };
+  recurse(0, Frame{item.binding, item.log_score});
+}
+
+std::vector<Answer> JoinEngine::Run() {
+  while (stats_.items_pulled < options_.max_pulls) {
+    if (!options_.drain) {
+      // Termination test first: with k answers at or above the
+      // threshold, no unseen combination can change the top-k.
+      double kth = KthBest();
+      double threshold = Threshold();
+      if (threshold <= BindingStream::kExhausted) break;  // all exhausted
+      if (kth > BindingStream::kExhausted && kth >= threshold) {
+        stats_.early_terminated = true;
+        break;
+      }
+    }
+
+    // Pull from the stream with the highest next item.
+    size_t best_idx = streams_.size();
+    double best_score = BindingStream::kExhausted;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      const BindingStream::Item* item = streams_[i]->Peek();
+      if (item != nullptr && item->log_score > best_score) {
+        best_idx = i;
+        best_score = item->log_score;
+      }
+    }
+    if (best_idx == streams_.size()) break;  // everything exhausted
+
+    BindingStream::Item item = *streams_[best_idx]->Peek();
+    streams_[best_idx]->Pop();
+    ++stats_.items_pulled;
+    top1_[best_idx] = std::max(top1_[best_idx], item.log_score);
+    seen_[best_idx].push_back(item);
+    Combine(best_idx, seen_[best_idx].back());
+  }
+
+  std::vector<Answer> out;
+  out.reserve(answers_.size());
+  for (auto& [key, ans] : answers_) out.push_back(std::move(ans));
+  std::sort(out.begin(), out.end(), [](const Answer& a, const Answer& b) {
+    return a.score > b.score;
+  });
+  if (out.size() > static_cast<size_t>(options_.k)) {
+    out.resize(options_.k);
+  }
+  return out;
+}
+
+}  // namespace trinit::topk

@@ -1,0 +1,84 @@
+#ifndef TRINIT_TOPK_JOIN_ENGINE_H_
+#define TRINIT_TOPK_JOIN_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "query/binding.h"
+#include "topk/pattern_stream.h"
+
+namespace trinit::topk {
+
+/// Rank-join over one scored stream per query pattern (HRJN-style
+/// generalization of the incremental top-k processing the paper adopts
+/// from [11]).
+///
+/// The engine repeatedly pulls from the stream with the highest next
+/// score, joins the new item against everything already seen from the
+/// other streams (bindings of shared variables must agree), and stops as
+/// soon as the k-th best answer's score reaches the threshold
+///
+///   T = max_i ( BestPossible_i + sum_{j != i} top1_j )
+///
+/// where top1_j is the best score stream j has delivered (its first
+/// item, since streams descend). Because per-item scores are log
+/// probabilities (monotone sum aggregation), no unseen combination can
+/// beat T. This is what makes it safe to leave relaxations unopened
+/// inside `RelaxedStream`s: their bounds propagate through
+/// BestPossible_i.
+class JoinEngine {
+ public:
+  struct Options {
+    int k = 10;
+    size_t max_pulls = 200000;  ///< hard safety cap
+    /// Answer-combination semantics across derivations of the same
+    /// projection binding: max (paper §4) or probabilistic sum
+    /// (ablation A2).
+    bool max_over_derivations = true;
+    /// Drain every stream completely instead of stopping at the top-k
+    /// threshold (the exhaustive comparator of bench E3).
+    bool drain = false;
+  };
+
+  struct Stats {
+    size_t items_pulled = 0;
+    size_t combinations_tried = 0;
+    bool early_terminated = false;  ///< stopped via threshold, not
+                                    ///< exhaustion
+  };
+
+  /// `projection` are ids into `vars` that define answer identity; they
+  /// must be bound for an answer to count.
+  JoinEngine(std::vector<std::unique_ptr<BindingStream>> streams,
+             const query::VarTable& vars,
+             std::vector<query::VarId> projection, Options options);
+
+  /// Runs to completion and returns answers in descending score order
+  /// (at most k). Bindings are over the full `vars` table (the binding
+  /// of the best derivation for that projection key).
+  std::vector<Answer> Run();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Combine(size_t stream_idx, const BindingStream::Item& item);
+  void Emit(const query::Binding& binding, double score,
+            std::vector<DerivationStep> derivation);
+  double KthBest() const;
+  double Threshold() const;
+
+  std::vector<std::unique_ptr<BindingStream>> streams_;
+  const query::VarTable& vars_;
+  std::vector<query::VarId> projection_;
+  Options options_;
+  Stats stats_;
+
+  std::vector<std::vector<BindingStream::Item>> seen_;
+  std::vector<double> top1_;  // best delivered score per stream
+  std::unordered_map<std::string, Answer> answers_;
+};
+
+}  // namespace trinit::topk
+
+#endif  // TRINIT_TOPK_JOIN_ENGINE_H_

@@ -1,0 +1,195 @@
+#include "topk/pattern_stream.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace trinit::topk {
+namespace {
+
+// One way to make a pattern slot concrete: a bound term id (or wildcard
+// kNullTerm for variables) plus the log-similarity cost of getting there
+// and an optional soft-match record.
+struct SlotAlternative {
+  rdf::TermId id = rdf::kNullTerm;
+  double log_sim = 0.0;
+  bool has_soft_match = false;
+  SoftMatch soft_match;
+};
+
+std::vector<SlotAlternative> ExpandSlot(const xkg::Xkg& xkg,
+                                        const scoring::LmScorer& scorer,
+                                        const query::Term& term) {
+  using Kind = query::Term::Kind;
+  std::vector<SlotAlternative> out;
+  switch (term.kind) {
+    case Kind::kVariable:
+      out.push_back({rdf::kNullTerm, 0.0, false, {}});
+      break;
+    case Kind::kResource:
+    case Kind::kLiteral: {
+      // Constants in rule-produced patterns arrive unresolved (rules are
+      // dictionary-agnostic); resolve here. Still-missing resources match
+      // nothing — relaxation is their rescue path.
+      rdf::TermId id = term.id;
+      if (id == rdf::kNullTerm) {
+        id = xkg.dict().Find(term.kind == Kind::kResource
+                                 ? rdf::TermKind::kResource
+                                 : rdf::TermKind::kLiteral,
+                             term.text);
+      }
+      if (id != rdf::kNullTerm) {
+        out.push_back({id, 0.0, false, {}});
+      }
+      break;
+    }
+    case Kind::kToken: {
+      // Exact phrase term (if interned) plus soft matches over the
+      // phrase index.
+      double threshold = scorer.options().token_match_threshold;
+      for (const auto& cand :
+           xkg.phrase_index().FindSimilar(term.text, threshold)) {
+        SlotAlternative alt;
+        alt.id = cand.term;
+        if (cand.term == term.id) {
+          alt.log_sim = 0.0;  // exact vocabulary hit, no attenuation
+        } else {
+          alt.log_sim = scoring::LmScorer::LogWeight(cand.similarity);
+          alt.has_soft_match = true;
+          alt.soft_match = SoftMatch{
+              term.text, std::string(xkg.dict().label(cand.term)),
+              cand.similarity};
+        }
+        out.push_back(std::move(alt));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LeafStream::LeafStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
+                       const query::VarTable& vars,
+                       const query::TriplePattern& pattern,
+                       size_t pattern_index,
+                       std::vector<const relax::Rule*> chain_rules,
+                       double chain_weight_log) {
+  std::vector<SlotAlternative> s_alts = ExpandSlot(xkg, scorer, pattern.s);
+  std::vector<SlotAlternative> p_alts = ExpandSlot(xkg, scorer, pattern.p);
+  std::vector<SlotAlternative> o_alts = ExpandSlot(xkg, scorer, pattern.o);
+
+  // Variable ids for the slots that bind.
+  auto var_id = [&vars](const query::Term& t) -> std::optional<query::VarId> {
+    if (!t.is_variable()) return std::nullopt;
+    return vars.Find(t.text);
+  };
+  std::optional<query::VarId> sv = var_id(pattern.s);
+  std::optional<query::VarId> pv = var_id(pattern.p);
+  std::optional<query::VarId> ov = var_id(pattern.o);
+
+  // (triple, binding-key) -> best item index, for soft-match dedup.
+  std::unordered_set<uint64_t> seen;
+
+  for (const SlotAlternative& sa : s_alts) {
+    for (const SlotAlternative& pa : p_alts) {
+      for (const SlotAlternative& oa : o_alts) {
+        std::span<const rdf::TripleId> matches =
+            xkg.store().Match(sa.id, pa.id, oa.id);
+        if (matches.empty()) continue;
+        uint64_t mass = scorer.PatternMass(matches);
+        double alt_log = sa.log_sim + pa.log_sim + oa.log_sim;
+        for (rdf::TripleId id : matches) {
+          const rdf::Triple& t = xkg.store().triple(id);
+          // A triple reached through several soft-match combinations
+          // keeps only its best-scoring occurrence; since combinations
+          // with smaller attenuation come first only after sorting, we
+          // dedup conservatively on (triple, alternative-signature).
+          uint64_t key = HashCombine(id, HashCombine(sa.id,
+                                                     HashCombine(pa.id,
+                                                                 oa.id)));
+          if (!seen.insert(key).second) continue;
+
+          Item item;
+          item.binding = query::Binding(vars.size());
+          bool ok = true;
+          if (sv) ok = ok && item.binding.Bind(*sv, t.s);
+          if (pv) ok = ok && item.binding.Bind(*pv, t.p);
+          if (ov) ok = ok && item.binding.Bind(*ov, t.o);
+          if (!ok) continue;  // repeated variable with conflicting terms
+
+          item.log_score = scorer.ScoreTriple(t, mass) + alt_log +
+                           chain_weight_log;
+          item.step.pattern_index = pattern_index;
+          item.step.matched_form = pattern.ToString();
+          item.step.rules = chain_rules;
+          item.step.triples = {id};
+          for (const SlotAlternative* alt : {&sa, &pa, &oa}) {
+            if (alt->has_soft_match) {
+              item.step.soft_matches.push_back(alt->soft_match);
+            }
+          }
+          item.step.log_score = item.log_score;
+          items_.push_back(std::move(item));
+        }
+      }
+    }
+  }
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.log_score > b.log_score;
+                   });
+}
+
+const BindingStream::Item* LeafStream::Peek() {
+  return next_ < items_.size() ? &items_[next_] : nullptr;
+}
+
+void LeafStream::Pop() {
+  TRINIT_CHECK(next_ < items_.size());
+  ++next_;
+}
+
+double LeafStream::BestPossible() {
+  return next_ < items_.size() ? items_[next_].log_score : kExhausted;
+}
+
+MergeStream::MergeStream(std::vector<std::unique_ptr<BindingStream>> inputs)
+    : inputs_(std::move(inputs)) {}
+
+BindingStream* MergeStream::Best() {
+  BindingStream* best = nullptr;
+  double best_score = kExhausted;
+  for (const auto& in : inputs_) {
+    const Item* item = in->Peek();
+    if (item != nullptr && item->log_score > best_score) {
+      best = in.get();
+      best_score = item->log_score;
+    }
+  }
+  return best;
+}
+
+const BindingStream::Item* MergeStream::Peek() {
+  BindingStream* best = Best();
+  return best == nullptr ? nullptr : best->Peek();
+}
+
+void MergeStream::Pop() {
+  BindingStream* best = Best();
+  TRINIT_CHECK(best != nullptr);
+  best->Pop();
+}
+
+double MergeStream::BestPossible() {
+  double bound = kExhausted;
+  for (const auto& in : inputs_) {
+    bound = std::max(bound, in->BestPossible());
+  }
+  return bound;
+}
+
+}  // namespace trinit::topk

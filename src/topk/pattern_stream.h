@@ -1,0 +1,91 @@
+#ifndef TRINIT_TOPK_PATTERN_STREAM_H_
+#define TRINIT_TOPK_PATTERN_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/binding.h"
+#include "query/query.h"
+#include "scoring/lm_scorer.h"
+#include "topk/answer.h"
+#include "xkg/xkg.h"
+
+namespace trinit::topk {
+
+/// A stream of scored variable bindings in descending score order — the
+/// "index list accessible in sorted order of scores" that the paper's
+/// incremental top-k algorithm (§4, after [11]) consumes.
+class BindingStream {
+ public:
+  struct Item {
+    query::Binding binding;  ///< over the consumer's VarTable
+    double log_score = 0.0;
+    DerivationStep step;
+  };
+
+  virtual ~BindingStream() = default;
+
+  /// Current best remaining item, or nullptr when exhausted.
+  virtual const Item* Peek() = 0;
+
+  /// Advances past the current item. Requires Peek() != nullptr.
+  virtual void Pop() = 0;
+
+  /// Upper bound on the score of anything this stream may still emit;
+  /// must be non-increasing over time. -inf (kExhausted) when done.
+  virtual double BestPossible() = 0;
+
+  static constexpr double kExhausted = -1e18;
+};
+
+/// Evaluates one concrete triple pattern against the XKG and serves its
+/// matches best-first.
+///
+/// Token constants soft-match interned token phrases through the phrase
+/// index (threshold from ScorerOptions); each substitution attenuates
+/// the score by log(similarity) and is recorded as a SoftMatch.
+/// Unresolved resource/literal constants match nothing (relaxation rules
+/// are the rescue path). The stream is fully materialized at
+/// construction — the incrementality exploited by the processor is in
+/// *opening* streams lazily, not inside a single pattern's list.
+class LeafStream : public BindingStream {
+ public:
+  /// `pattern_index` tags emitted derivation steps; `chain_rules` /
+  /// `chain_weight_log` describe the relaxation chain that produced this
+  /// form of the pattern (empty/0 for the original form).
+  LeafStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
+             const query::VarTable& vars, const query::TriplePattern& pattern,
+             size_t pattern_index,
+             std::vector<const relax::Rule*> chain_rules = {},
+             double chain_weight_log = 0.0);
+
+  const Item* Peek() override;
+  void Pop() override;
+  double BestPossible() override;
+
+  /// Number of materialized items (test/bench introspection).
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<Item> items_;  // descending score
+  size_t next_ = 0;
+};
+
+/// Merges several already-constructed streams, best-first. Used by tests
+/// and by the relaxed-stream machinery.
+class MergeStream : public BindingStream {
+ public:
+  explicit MergeStream(std::vector<std::unique_ptr<BindingStream>> inputs);
+
+  const Item* Peek() override;
+  void Pop() override;
+  double BestPossible() override;
+
+ private:
+  BindingStream* Best();
+  std::vector<std::unique_ptr<BindingStream>> inputs_;
+};
+
+}  // namespace trinit::topk
+
+#endif  // TRINIT_TOPK_PATTERN_STREAM_H_

@@ -1,0 +1,284 @@
+#include "topk/relaxed_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "scoring/lm_scorer.h"
+#include "util/logging.h"
+
+namespace trinit::topk {
+namespace {
+
+// Local variable table for a pattern group: the global variables as a
+// prefix, then any fresh variables the group introduces.
+query::VarTable LocalVarTable(const query::VarTable& global_vars,
+                              const std::vector<query::TriplePattern>& ps) {
+  std::vector<std::string> names = global_vars.names();
+  for (const query::TriplePattern& p : ps) {
+    for (const std::string& v : p.Variables()) {
+      if (std::find(names.begin(), names.end(), v) == names.end()) {
+        names.push_back(v);
+      }
+    }
+  }
+  return query::VarTable(std::move(names));
+}
+
+}  // namespace
+
+GroupStream::GroupStream(const xkg::Xkg& xkg,
+                         const scoring::LmScorer& scorer,
+                         const query::VarTable& global_vars,
+                         const Alternative& alternative,
+                         size_t pattern_index) {
+  query::VarTable local = LocalVarTable(global_vars, alternative.patterns);
+  double chain_log = scoring::LmScorer::LogWeight(alternative.weight);
+
+  // Materialize each member pattern once (chain weight applied at the
+  // group level, not per member).
+  std::vector<std::unique_ptr<LeafStream>> leaves;
+  leaves.reserve(alternative.patterns.size());
+  for (const query::TriplePattern& p : alternative.patterns) {
+    leaves.push_back(std::make_unique<LeafStream>(xkg, scorer, local, p,
+                                                  pattern_index));
+  }
+  // Join cheapest-first to keep the backtracking narrow.
+  std::vector<size_t> order(leaves.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&leaves](size_t a, size_t b) {
+    return leaves[a]->size() < leaves[b]->size();
+  });
+
+  // Collect each leaf's items (they are already sorted; order within the
+  // join does not matter because the group is evaluated exhaustively).
+  std::vector<std::vector<const Item*>> lists(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    while (const Item* item = leaves[i]->Peek()) {
+      lists[i].push_back(item);
+      leaves[i]->Pop();
+    }
+  }
+
+  // Backtracking join over the member patterns.
+  struct Frame {
+    query::Binding binding;
+    double score;
+    std::vector<const Item*> picked;
+  };
+  std::vector<Item>& out = items_;
+  std::function<void(size_t, Frame&)> recurse = [&](size_t depth,
+                                                    Frame& frame) {
+    if (depth == order.size()) {
+      Item item;
+      item.binding = frame.binding.Prefix(global_vars.size());
+      item.log_score = frame.score + chain_log;
+      item.step.pattern_index = pattern_index;
+      {
+        std::string form;
+        for (size_t i = 0; i < alternative.patterns.size(); ++i) {
+          if (i > 0) form += " ; ";
+          form += alternative.patterns[i].ToString();
+        }
+        item.step.matched_form = std::move(form);
+      }
+      item.step.rules = alternative.rules;
+      for (const Item* picked : frame.picked) {
+        item.step.triples.insert(item.step.triples.end(),
+                                 picked->step.triples.begin(),
+                                 picked->step.triples.end());
+        item.step.soft_matches.insert(item.step.soft_matches.end(),
+                                      picked->step.soft_matches.begin(),
+                                      picked->step.soft_matches.end());
+      }
+      item.step.log_score = item.log_score;
+      out.push_back(std::move(item));
+      return;
+    }
+    for (const Item* cand : lists[order[depth]]) {
+      auto merged = frame.binding.MergedWith(cand->binding);
+      if (!merged.has_value()) continue;
+      Frame next;
+      next.binding = std::move(*merged);
+      next.score = frame.score + cand->log_score;
+      next.picked = frame.picked;
+      next.picked.push_back(cand);
+      recurse(depth + 1, next);
+    }
+  };
+  Frame root{query::Binding(local.size()), 0.0, {}};
+  recurse(0, root);
+
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.log_score > b.log_score;
+                   });
+}
+
+const BindingStream::Item* GroupStream::Peek() {
+  return next_ < items_.size() ? &items_[next_] : nullptr;
+}
+
+void GroupStream::Pop() {
+  TRINIT_CHECK(next_ < items_.size());
+  ++next_;
+}
+
+double GroupStream::BestPossible() {
+  return next_ < items_.size() ? items_[next_].log_score : kExhausted;
+}
+
+double RelaxedStream::BoundOf(const xkg::Xkg& xkg, const Alternative& alt) {
+  double bound = scoring::LmScorer::LogWeight(alt.weight);
+  double cheapest_pattern_cap = 0.0;
+  for (const query::TriplePattern& pattern : alt.patterns) {
+    // Resolve slots without token expansion; token constants make a
+    // pattern not cheaply boundable (skip it, cap stays 0).
+    rdf::TermId ids[3];
+    bool boundable = true;
+    const query::Term* slots[3] = {&pattern.s, &pattern.p, &pattern.o};
+    for (int i = 0; i < 3; ++i) {
+      const query::Term& t = *slots[i];
+      if (t.is_variable()) {
+        ids[i] = rdf::kNullTerm;
+        continue;
+      }
+      if (t.kind == query::Term::Kind::kToken) {
+        boundable = false;
+        break;
+      }
+      ids[i] = t.id != rdf::kNullTerm
+                   ? t.id
+                   : xkg.dict().Find(t.kind == query::Term::Kind::kResource
+                                         ? rdf::TermKind::kResource
+                                         : rdf::TermKind::kLiteral,
+                                     t.text);
+      if (ids[i] == rdf::kNullTerm) {
+        // Unresolvable constant: this pattern can never match.
+        return BindingStream::kExhausted;
+      }
+    }
+    if (!boundable) continue;
+    size_t span = xkg.store().MatchCount(ids[0], ids[1], ids[2]);
+    if (span == 0) return BindingStream::kExhausted;
+    double cap = std::log(
+        std::min(1.0, static_cast<double>(xkg.store().max_count()) /
+                          static_cast<double>(span)));
+    cheapest_pattern_cap = std::min(cheapest_pattern_cap, cap);
+  }
+  return bound + cheapest_pattern_cap;
+}
+
+RelaxedStream::RelaxedStream(const xkg::Xkg& xkg,
+                             const scoring::LmScorer& scorer,
+                             const query::VarTable& global_vars,
+                             std::vector<Alternative> alternatives,
+                             size_t pattern_index)
+    : xkg_(xkg),
+      scorer_(scorer),
+      global_vars_(global_vars),
+      alternatives_(std::move(alternatives)),
+      pattern_index_(pattern_index) {
+  TRINIT_CHECK(!alternatives_.empty());
+  // Order alternatives by their cheap upper bound (not just the chain
+  // weight): this is what lets a heavyweight rule whose rewritten
+  // pattern is hopeless (huge match list or no matches at all) stay
+  // unopened behind a lighter but sharper one. Dead alternatives
+  // (bound == kExhausted) are dropped outright.
+  std::vector<size_t> order(alternatives_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> raw_bounds(alternatives_.size());
+  for (size_t i = 0; i < alternatives_.size(); ++i) {
+    raw_bounds[i] = BoundOf(xkg, alternatives_[i]);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return raw_bounds[a] > raw_bounds[b];
+  });
+  std::vector<Alternative> sorted;
+  sorted.reserve(alternatives_.size());
+  for (size_t idx : order) {
+    if (raw_bounds[idx] <= kExhausted) continue;
+    bounds_.push_back(raw_bounds[idx]);
+    sorted.push_back(std::move(alternatives_[idx]));
+  }
+  alternatives_ = std::move(sorted);
+  if (!alternatives_.empty()) OpenNext();
+}
+
+void RelaxedStream::OpenNext() {
+  TRINIT_CHECK(next_unopened_ < alternatives_.size());
+  const Alternative& alt = alternatives_[next_unopened_++];
+  if (alt.patterns.size() == 1) {
+    open_.push_back(std::make_unique<LeafStream>(
+        xkg_, scorer_, global_vars_, alt.patterns[0], pattern_index_,
+        alt.rules, scoring::LmScorer::LogWeight(alt.weight)));
+  } else {
+    open_.push_back(std::make_unique<GroupStream>(xkg_, scorer_, global_vars_,
+                                                  alt, pattern_index_));
+  }
+}
+
+BindingStream* RelaxedStream::BestOpen() {
+  BindingStream* best = nullptr;
+  double best_score = kExhausted;
+  for (const auto& s : open_) {
+    const Item* item = s->Peek();
+    if (item != nullptr && item->log_score > best_score) {
+      best = s.get();
+      best_score = item->log_score;
+    }
+  }
+  return best;
+}
+
+void RelaxedStream::EnsureInvariant() {
+  // Open further alternatives while an unopened one could outscore the
+  // best open item.
+  while (next_unopened_ < alternatives_.size()) {
+    double unopened_bound = bounds_[next_unopened_];
+    BindingStream* best = BestOpen();
+    double open_best =
+        best == nullptr ? kExhausted : best->Peek()->log_score;
+    if (unopened_bound > open_best) {
+      OpenNext();
+    } else {
+      break;
+    }
+  }
+}
+
+const BindingStream::Item* RelaxedStream::Peek() {
+  EnsureInvariant();
+  BindingStream* best = BestOpen();
+  return best == nullptr ? nullptr : best->Peek();
+}
+
+void RelaxedStream::Pop() {
+  EnsureInvariant();
+  BindingStream* best = BestOpen();
+  TRINIT_CHECK(best != nullptr);
+  best->Pop();
+}
+
+double RelaxedStream::BestPossible() {
+  double bound = kExhausted;
+  for (const auto& s : open_) bound = std::max(bound, s->BestPossible());
+  if (next_unopened_ < alternatives_.size()) {
+    bound = std::max(bound, bounds_[next_unopened_]);
+  }
+  return bound;
+}
+
+std::vector<Alternative> AlternativesForPattern(
+    const relax::Rewriter& rewriter, const query::TriplePattern& pattern) {
+  query::Query single({pattern}, {});
+  std::vector<Alternative> out;
+  for (relax::RewriteResult& rw : rewriter.EnumerateRewrites(single)) {
+    out.push_back(Alternative{rw.query.patterns(), rw.weight,
+                              std::move(rw.applied)});
+  }
+  return out;
+}
+
+}  // namespace trinit::topk

@@ -1,0 +1,99 @@
+#ifndef TRINIT_TOPK_RELAXED_STREAM_H_
+#define TRINIT_TOPK_RELAXED_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "relax/rewriter.h"
+#include "topk/pattern_stream.h"
+
+namespace trinit::topk {
+
+/// One relaxed form of an original pattern: the replacement patterns
+/// (one or more), the accumulated chain weight, and the rules applied.
+struct Alternative {
+  std::vector<query::TriplePattern> patterns;
+  double weight = 1.0;
+  std::vector<const relax::Rule*> rules;
+};
+
+/// Fully evaluates a small conjunctive pattern group (the RHS of an
+/// expansion rule such as Figure 4 rule 3) and serves its solutions
+/// best-first. Fresh existential variables introduced by the rule are
+/// joined over internally and projected away; the emitted bindings cover
+/// only the original query's variables.
+class GroupStream : public BindingStream {
+ public:
+  GroupStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
+              const query::VarTable& global_vars,
+              const Alternative& alternative, size_t pattern_index);
+
+  const Item* Peek() override;
+  void Pop() override;
+  double BestPossible() override;
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<Item> items_;
+  size_t next_ = 0;
+};
+
+/// The incremental merge of an original pattern with its relaxed forms
+/// (paper §4: "query processing utilizes incremental merging of triple
+/// patterns and their relaxed forms, invoking a relaxation only when it
+/// can contribute to the top-k answers").
+///
+/// Alternatives are kept *unopened* — at the cost bound log(weight),
+/// valid because every per-pattern score is <= 0 — until the bound
+/// exceeds what the already-open streams can still deliver. Opening an
+/// alternative is the expensive step (it materializes and scores the
+/// relaxed pattern's match list), so `opened_alternatives()` is the
+/// number the processor actually paid for, the quantity bench E3
+/// compares against the exhaustive rewriter.
+class RelaxedStream : public BindingStream {
+ public:
+  /// `alternatives` must be sorted by descending weight and start with
+  /// the original pattern (weight 1, no rules).
+  RelaxedStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
+                const query::VarTable& global_vars,
+                std::vector<Alternative> alternatives, size_t pattern_index);
+
+  const Item* Peek() override;
+  void Pop() override;
+  double BestPossible() override;
+
+  size_t opened_alternatives() const { return next_unopened_; }
+  size_t total_alternatives() const { return alternatives_.size(); }
+
+  /// Cheap upper bound on any item the alternative can emit, computed
+  /// from index metadata only (match-span sizes via binary search; no
+  /// materialization): log(weight) + min over cheaply-boundable member
+  /// patterns of log(max_count / |span|). Alternatives whose resolved
+  /// pattern matches nothing bound to kExhausted and are never opened.
+  static double BoundOf(const xkg::Xkg& xkg, const Alternative& alt);
+
+ private:
+  void OpenNext();
+  /// Opens alternatives while an unopened bound dominates the open ones.
+  void EnsureInvariant();
+  BindingStream* BestOpen();
+
+  const xkg::Xkg& xkg_;
+  const scoring::LmScorer& scorer_;
+  const query::VarTable& global_vars_;
+  std::vector<Alternative> alternatives_;  // sorted by descending bound
+  std::vector<double> bounds_;             // aligned with alternatives_
+  size_t pattern_index_;
+  size_t next_unopened_ = 0;
+  std::vector<std::unique_ptr<BindingStream>> open_;
+};
+
+/// Builds the sorted alternative list for one pattern of `query` by
+/// enumerating rewrites of the single-pattern sub-query with `rewriter`.
+std::vector<Alternative> AlternativesForPattern(
+    const relax::Rewriter& rewriter, const query::TriplePattern& pattern);
+
+}  // namespace trinit::topk
+
+#endif  // TRINIT_TOPK_RELAXED_STREAM_H_

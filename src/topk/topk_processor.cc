@@ -1,0 +1,207 @@
+#include "topk/topk_processor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "topk/relaxed_stream.h"
+#include "util/logging.h"
+
+namespace trinit::topk {
+
+rdf::TermId TopKResult::ValueAt(size_t rank, size_t idx) const {
+  TRINIT_CHECK(rank < answers.size());
+  TRINIT_CHECK(idx < projection.size());
+  return answers[rank].binding.Get(static_cast<query::VarId>(idx));
+}
+
+TopKProcessor::TopKProcessor(const xkg::Xkg& xkg,
+                             const relax::RuleSet& rules,
+                             scoring::ScorerOptions scorer_options,
+                             ProcessorOptions options)
+    : xkg_(xkg),
+      rules_(rules),
+      scorer_(xkg, scorer_options),
+      options_(options) {
+  options_.join.k = options_.k;
+  if (options_.exhaustive) {
+    options_.join.drain = true;
+    options_.join.max_pulls = SIZE_MAX;
+  }
+  for (const relax::Rule& r : rules_.rules()) {
+    if (r.lhs.size() > 1) {
+      Status s = structural_rules_.Add(r);
+      TRINIT_CHECK(s.ok());
+    }
+  }
+}
+
+std::vector<TopKProcessor::Variant> TopKProcessor::QueryVariants(
+    const query::Query& q) const {
+  std::vector<Variant> variants;
+  if (!options_.enable_relaxation || structural_rules_.size() == 0) {
+    variants.push_back(Variant{q, 1.0, {}});
+    return variants;
+  }
+  relax::Rewriter::Options ropts = options_.rewrite;
+  ropts.max_rewrites = options_.max_query_variants;
+  relax::Rewriter rewriter(structural_rules_, ropts);
+  for (relax::RewriteResult& rw : rewriter.EnumerateRewrites(q)) {
+    variants.push_back(
+        Variant{std::move(rw.query), rw.weight, std::move(rw.applied)});
+  }
+  return variants;
+}
+
+void TopKProcessor::EvaluateVariant(
+    const Variant& variant, const std::vector<std::string>& projection,
+    TopKResult* result) const {
+  const query::Query& vq = variant.query;
+  query::VarTable vars(vq);
+  std::vector<query::VarId> projection_ids;
+  projection_ids.reserve(projection.size());
+  for (const std::string& name : projection) {
+    std::optional<query::VarId> id = vars.Find(name);
+    if (!id.has_value()) return;  // variant lost a projection variable
+    projection_ids.push_back(*id);
+  }
+
+  relax::Rewriter pattern_rewriter(rules_, options_.rewrite);
+
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  std::vector<RelaxedStream*> relaxed;  // borrowed, for stats
+  for (size_t i = 0; i < vq.patterns().size(); ++i) {
+    if (options_.enable_relaxation && !options_.exhaustive) {
+      std::vector<Alternative> alts =
+          AlternativesForPattern(pattern_rewriter, vq.patterns()[i]);
+      result->stats.alternatives_total += alts.size();
+      auto stream = std::make_unique<RelaxedStream>(xkg_, scorer_, vars,
+                                                    std::move(alts), i);
+      relaxed.push_back(stream.get());
+      streams.push_back(std::move(stream));
+    } else if (options_.enable_relaxation) {
+      // Exhaustive mode: pay for every alternative up front.
+      std::vector<Alternative> alts =
+          AlternativesForPattern(pattern_rewriter, vq.patterns()[i]);
+      result->stats.alternatives_total += alts.size();
+      result->stats.alternatives_opened += alts.size();
+      std::vector<std::unique_ptr<BindingStream>> opened;
+      for (const Alternative& alt : alts) {
+        if (alt.patterns.size() == 1) {
+          opened.push_back(std::make_unique<LeafStream>(
+              xkg_, scorer_, vars, alt.patterns[0], i, alt.rules,
+              scoring::LmScorer::LogWeight(alt.weight)));
+        } else {
+          opened.push_back(
+              std::make_unique<GroupStream>(xkg_, scorer_, vars, alt, i));
+        }
+      }
+      streams.push_back(std::make_unique<MergeStream>(std::move(opened)));
+    } else {
+      streams.push_back(std::make_unique<LeafStream>(
+          xkg_, scorer_, vars, vq.patterns()[i], i));
+      ++result->stats.alternatives_total;
+      ++result->stats.alternatives_opened;
+    }
+  }
+
+  JoinEngine engine(std::move(streams), vars, projection_ids,
+                    options_.join);
+  std::vector<topk::Answer> variant_answers = engine.Run();
+
+  result->stats.items_pulled += engine.stats().items_pulled;
+  result->stats.combinations_tried += engine.stats().combinations_tried;
+  for (RelaxedStream* rs : relaxed) {
+    result->stats.alternatives_opened += rs->opened_alternatives();
+  }
+
+  double variant_log = scoring::LmScorer::LogWeight(variant.weight);
+  for (topk::Answer& ans : variant_answers) {
+    ans.score += variant_log;
+    if (!variant.rules.empty() && !ans.derivation.empty()) {
+      // Structural whole-query rules precede per-pattern relaxations in
+      // the derivation narrative.
+      auto& first_rules = ans.derivation.front().rules;
+      first_rules.insert(first_rules.begin(), variant.rules.begin(),
+                         variant.rules.end());
+    }
+    // Re-map the full variant binding onto the projection-ordered
+    // binding the caller sees.
+    query::Binding projected(projection_ids.size());
+    bool ok = true;
+    for (size_t i = 0; i < projection_ids.size(); ++i) {
+      rdf::TermId value = ans.binding.Get(projection_ids[i]);
+      if (value == rdf::kNullTerm) {
+        ok = false;
+        break;
+      }
+      projected.Bind(static_cast<query::VarId>(i), value);
+    }
+    if (!ok) continue;
+    ans.binding = std::move(projected);
+
+    // Merge into the cross-variant answer pool (max over derivations).
+    std::string key;
+    for (size_t i = 0; i < projection_ids.size(); ++i) {
+      key += std::to_string(ans.binding.Get(static_cast<query::VarId>(i)));
+      key.push_back('|');
+    }
+    bool found = false;
+    for (topk::Answer& existing : result->answers) {
+      std::string existing_key;
+      for (size_t i = 0; i < projection_ids.size(); ++i) {
+        existing_key += std::to_string(
+            existing.binding.Get(static_cast<query::VarId>(i)));
+        existing_key.push_back('|');
+      }
+      if (existing_key == key) {
+        found = true;
+        if (ans.score > existing.score) existing = std::move(ans);
+        break;
+      }
+    }
+    if (!found) result->answers.push_back(std::move(ans));
+  }
+}
+
+Result<TopKResult> TopKProcessor::Answer(const query::Query& q) const {
+  TRINIT_RETURN_IF_ERROR(q.Validate());
+  // Canonicalize: resolve constants and pin the projection explicitly so
+  // rewrites cannot silently drop projected variables.
+  query::Query canonical(q.patterns(), q.EffectiveProjection());
+  canonical.ResolveAgainst(xkg_.dict());
+
+  TopKResult result;
+  result.projection = canonical.projection();
+
+  std::vector<Variant> variants = QueryVariants(canonical);
+  result.stats.query_variants_total = variants.size();
+
+  for (const Variant& variant : variants) {
+    // A variant's answers score at most log(weight); skip it once the
+    // current top-k is already beyond reach (the same "only when it can
+    // contribute" cutoff as inside RelaxedStream).
+    if (!options_.exhaustive &&
+        result.answers.size() >= static_cast<size_t>(options_.k)) {
+      std::vector<double> scores;
+      scores.reserve(result.answers.size());
+      for (const topk::Answer& a : result.answers) scores.push_back(a.score);
+      std::nth_element(scores.begin(), scores.begin() + (options_.k - 1),
+                       scores.end(), std::greater<double>());
+      double kth = scores[options_.k - 1];
+      if (scoring::LmScorer::LogWeight(variant.weight) <= kth) continue;
+    }
+    ++result.stats.query_variants_evaluated;
+    EvaluateVariant(variant, canonical.projection(), &result);
+  }
+
+  std::sort(result.answers.begin(), result.answers.end(),
+            [](const topk::Answer& a, const topk::Answer& b) {
+              return a.score > b.score;
+            });
+  if (result.answers.size() > static_cast<size_t>(options_.k)) {
+    result.answers.resize(options_.k);
+  }
+  return result;
+}
+
+}  // namespace trinit::topk

@@ -1,0 +1,104 @@
+#ifndef TRINIT_TOPK_TOPK_PROCESSOR_H_
+#define TRINIT_TOPK_TOPK_PROCESSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "relax/rewriter.h"
+#include "relax/rule_set.h"
+#include "scoring/lm_scorer.h"
+#include "topk/answer.h"
+#include "topk/join_engine.h"
+#include "util/result.h"
+#include "xkg/xkg.h"
+
+namespace trinit::topk {
+
+/// Result of a top-k run: answers in descending score order, projected
+/// onto the original query's effective projection, plus processing
+/// statistics (how much of the rewrite space was actually touched).
+struct TopKResult {
+  /// Projection variable names, the order `Answer::binding` prefixes
+  /// refer to... (bindings are over the evaluated query's full variable
+  /// table; `projection_ids` indexes them).
+  std::vector<std::string> projection;
+
+  std::vector<Answer> answers;
+
+  struct RunStats {
+    size_t query_variants_total = 0;     ///< multi-pattern-rule variants
+    size_t query_variants_evaluated = 0;
+    size_t alternatives_total = 0;   ///< per-pattern relaxed forms known
+    size_t alternatives_opened = 0;  ///< ... actually materialized
+    size_t items_pulled = 0;
+    size_t combinations_tried = 0;
+  } stats;
+
+  /// Value bound to projection variable `idx` of `answers[rank]`.
+  rdf::TermId ValueAt(size_t rank, size_t idx) const;
+};
+
+/// Configuration of the incremental processor.
+struct ProcessorOptions {
+  int k = 10;
+  bool enable_relaxation = true;
+  relax::Rewriter::Options rewrite;  ///< per-pattern alternative chains
+  JoinEngine::Options join;          ///< k is overridden from `k` above
+  /// Cap on whole-query variants produced by multi-pattern-LHS rules
+  /// (e.g. Figure 4 rule 1); per-pattern rules are unlimited-by-count
+  /// and bounded by weight instead.
+  size_t max_query_variants = 24;
+  /// Explore the *same* rewrite space with no laziness: evaluate every
+  /// variant, open every alternative eagerly, drain every stream. Same
+  /// answers, strictly more work — the paper's "entire space of possible
+  /// rewritings" comparator (§4). Use via `ExhaustiveProcessor`.
+  bool exhaustive = false;
+};
+
+/// TriniT's incremental top-k query processor (paper §4): per-pattern
+/// index lists served in score order, relaxed forms merged in lazily
+/// ("invoking a relaxation only when it can contribute to the top-k
+/// answers"), rank-join with early termination.
+///
+/// Rules whose LHS spans multiple patterns (structural rules like
+/// Figure 4 rule 1) cannot be confined to one pattern's alternative
+/// list; they are handled as whole-query *variants*, themselves
+/// processed best-weight-first with the same "only if it can still
+/// contribute" cutoff.
+class TopKProcessor {
+ public:
+  TopKProcessor(const xkg::Xkg& xkg, const relax::RuleSet& rules,
+                scoring::ScorerOptions scorer_options = {},
+                ProcessorOptions options = {});
+
+  /// Answers `q` (which need not be resolved yet) and returns the top-k.
+  Result<TopKResult> Answer(const query::Query& q) const;
+
+  const ProcessorOptions& options() const { return options_; }
+
+ private:
+  struct Variant {
+    query::Query query;
+    double weight = 1.0;
+    std::vector<const relax::Rule*> rules;
+  };
+
+  std::vector<Variant> QueryVariants(const query::Query& q) const;
+
+  void EvaluateVariant(const Variant& variant,
+                       const std::vector<std::string>& projection,
+                       TopKResult* result) const;
+
+  const xkg::Xkg& xkg_;
+  const relax::RuleSet& rules_;
+  scoring::LmScorer scorer_;
+  ProcessorOptions options_;
+  // Rules with multi-pattern LHS, for whole-query variant enumeration.
+  relax::RuleSet structural_rules_;
+};
+
+}  // namespace trinit::topk
+
+#endif  // TRINIT_TOPK_TOPK_PROCESSOR_H_

@@ -1,0 +1,35 @@
+#ifndef TRINIT_UTIL_HASH_H_
+#define TRINIT_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace trinit {
+
+/// 64-bit FNV-1a over arbitrary bytes; stable across platforms and runs
+/// (used for deterministic synthetic-world generation and hash joins).
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value (splitmix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace trinit
+
+#endif  // TRINIT_UTIL_HASH_H_

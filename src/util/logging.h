@@ -1,0 +1,37 @@
+#ifndef TRINIT_UTIL_LOGGING_H_
+#define TRINIT_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Minimal CHECK macros in the spirit of glog. Library invariants are
+/// enforced with these; user-facing errors go through Status instead.
+
+#define TRINIT_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define TRINIT_CHECK_EQ(a, b) TRINIT_CHECK((a) == (b))
+#define TRINIT_CHECK_NE(a, b) TRINIT_CHECK((a) != (b))
+#define TRINIT_CHECK_LT(a, b) TRINIT_CHECK((a) < (b))
+#define TRINIT_CHECK_LE(a, b) TRINIT_CHECK((a) <= (b))
+#define TRINIT_CHECK_GT(a, b) TRINIT_CHECK((a) > (b))
+#define TRINIT_CHECK_GE(a, b) TRINIT_CHECK((a) >= (b))
+
+#define TRINIT_DCHECK(cond) \
+  do {                      \
+    if (!(cond)) {          \
+    }                       \
+  } while (false)
+
+#ifndef NDEBUG
+#undef TRINIT_DCHECK
+#define TRINIT_DCHECK(cond) TRINIT_CHECK(cond)
+#endif
+
+#endif  // TRINIT_UTIL_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef TRINIT_UTIL_RANDOM_H_
+#define TRINIT_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace trinit {
+
+/// Deterministic 64-bit PRNG (xoshiro-style splitmix core). All synthetic
+/// data in TriniT flows from instances of this class so that every test,
+/// example, and benchmark is reproducible bit-for-bit from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 -> uniform).
+  /// Rank 0 is the most popular. Uses the classic inverse-CDF over the
+  /// precomputed harmonic table owned by `ZipfTable`.
+  class ZipfTable {
+   public:
+    ZipfTable(size_t n, double s);
+    /// Samples a rank using `rng`.
+    size_t Sample(Rng& rng) const;
+    size_t size() const { return cdf_.size(); }
+
+   private:
+    std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  };
+
+  /// Picks a uniformly random element index from a non-empty container size.
+  template <typename Container>
+  const typename Container::value_type& Pick(const Container& c) {
+    return c[Uniform(c.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace trinit
+
+#endif  // TRINIT_UTIL_RANDOM_H_

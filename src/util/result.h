@@ -1,0 +1,86 @@
+#ifndef TRINIT_UTIL_RESULT_H_
+#define TRINIT_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace trinit {
+
+/// Holds either a value of type `T` or an error `Status` (never both,
+/// never neither). The TriniT analogue of absl::StatusOr / arrow::Result.
+///
+/// Usage:
+///   Result<Dictionary> r = Dictionary::Load(path);
+///   if (!r.ok()) return r.status();
+///   Dictionary dict = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (or OK when a value is held).
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // kOk iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace trinit
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds
+/// the value to `lhs`.
+#define TRINIT_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  TRINIT_ASSIGN_OR_RETURN_IMPL_(                                  \
+      TRINIT_RESULT_CONCAT_(trinit_result_, __LINE__), lhs, rexpr)
+
+#define TRINIT_RESULT_CONCAT_INNER_(a, b) a##b
+#define TRINIT_RESULT_CONCAT_(a, b) TRINIT_RESULT_CONCAT_INNER_(a, b)
+#define TRINIT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // TRINIT_UTIL_RESULT_H_

@@ -1,0 +1,109 @@
+#ifndef TRINIT_UTIL_STATUS_H_
+#define TRINIT_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace trinit {
+
+/// Error categories used across the TriniT library. Library code never
+/// throws across its public API; fallible operations return a `Status`
+/// (or a `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller passed something malformed
+  kNotFound = 2,         ///< requested item does not exist
+  kAlreadyExists = 3,    ///< insertion would collide
+  kOutOfRange = 4,       ///< index / offset beyond limits
+  kFailedPrecondition = 5,  ///< object not in the required state
+  kParseError = 6,       ///< malformed input text (queries, TSV, rules)
+  kIoError = 7,          ///< file-system failure
+  kResourceExhausted = 8,  ///< budget/limit exceeded
+  kInternal = 9,         ///< invariant violation inside the library
+  kUnimplemented = 10,   ///< feature intentionally not provided
+};
+
+/// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// The success path carries no allocation: `Status::Ok()` is trivially
+/// copyable state with an empty message. Error statuses carry a code and
+/// a message describing the failure for the caller (not for end users).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace trinit
+
+/// Propagates an error Status out of the current function.
+#define TRINIT_RETURN_IF_ERROR(expr)                    \
+  do {                                                  \
+    ::trinit::Status trinit_status_tmp_ = (expr);       \
+    if (!trinit_status_tmp_.ok()) return trinit_status_tmp_; \
+  } while (false)
+
+#endif  // TRINIT_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef TRINIT_UTIL_STRING_UTIL_H_
+#define TRINIT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trinit {
+
+/// Splits `s` on every occurrence of `sep`. Adjacent separators yield
+/// empty fields; an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; never yields empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (KG labels and token phrases are ASCII in this
+/// reproduction; full Unicode folding is out of scope).
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// printf-style float formatting helpers used by table printers.
+std::string FormatDouble(double v, int precision);
+
+/// Renders 1234567 as "1,234,567" for human-readable bench output.
+std::string WithThousands(long long v);
+
+}  // namespace trinit
+
+#endif  // TRINIT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace trinit {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  if (rows_.back().empty()) {
+    // An intentionally empty data row would be ambiguous with the
+    // separator encoding; render it as a single empty cell instead.
+    rows_.back().push_back("");
+  }
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::ToString() const {
+  size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+
+  std::vector<size_t> width(cols, 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = std::max(width[c], headers_[c].size());
+  }
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < cols; ++c) {
+      line += std::string(width[c] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule();
+  out += render_row(headers_);
+  out += rule();
+  for (const auto& r : rows_) {
+    out += r.empty() ? rule() : render_row(r);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace trinit

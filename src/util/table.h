@@ -1,0 +1,35 @@
+#ifndef TRINIT_UTIL_TABLE_H_
+#define TRINIT_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace trinit {
+
+/// Renders paper-style result tables as aligned ASCII for the bench
+/// binaries (every bench prints the rows/series of the exhibit it
+/// reproduces; see DESIGN.md §3).
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a data row; missing cells render empty, extra cells are kept
+  /// (the layout widens to the widest row).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Renders the full table with a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trinit
+
+#endif  // TRINIT_UTIL_TABLE_H_

@@ -1,0 +1,34 @@
+#ifndef TRINIT_UTIL_TIMER_H_
+#define TRINIT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace trinit {
+
+/// Monotonic wall-clock stopwatch used by the bench harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace trinit
+
+#endif  // TRINIT_UTIL_TIMER_H_

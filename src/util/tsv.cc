@@ -1,0 +1,99 @@
+#include "util/tsv.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace trinit {
+namespace {
+
+Status ProcessLines(
+    std::istream& in,
+    const std::function<Status(size_t, const std::vector<std::string>&)>&
+        row_fn) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    TRINIT_RETURN_IF_ERROR(row_fn(line_number, Split(line, '\t')));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TsvReader::ForEachRow(
+    const std::string& path,
+    const std::function<Status(size_t, const std::vector<std::string>&)>&
+        row_fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return ForEachRowInString(content, row_fn);
+}
+
+Status TsvReader::ForEachRowInString(
+    const std::string& content,
+    const std::function<Status(size_t, const std::vector<std::string>&)>&
+        row_fn) {
+  std::istringstream in(content);
+  return ProcessLines(in, row_fn);
+}
+
+TsvWriter::TsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+TsvWriter::~TsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return;
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back('\t');
+    for (char c : fields[i]) {
+      line.push_back(c == '\t' || c == '\n' ? ' ' : c);
+    }
+  }
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    status_ = Status::IoError("short write");
+  }
+}
+
+void TsvWriter::WriteComment(const std::string& text) {
+  if (!status_.ok()) return;
+  std::string line = "# " + text + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    status_ = Status::IoError("short write");
+  }
+}
+
+Status TsvWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+}  // namespace trinit

@@ -1,0 +1,60 @@
+#ifndef TRINIT_UTIL_TSV_H_
+#define TRINIT_UTIL_TSV_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trinit {
+
+/// Streaming reader for tab-separated files (the serialization format of
+/// KG and XKG dumps in this project, mirroring common RDF N-Triples-like
+/// TSV exports). Lines starting with '#' and blank lines are skipped.
+class TsvReader {
+ public:
+  /// Calls `row_fn(line_number, fields)` for every data row in `path`.
+  /// Stops and propagates the first non-OK status returned by `row_fn`.
+  static Status ForEachRow(
+      const std::string& path,
+      const std::function<Status(size_t, const std::vector<std::string>&)>&
+          row_fn);
+
+  /// Parses in-memory TSV content (used by tests).
+  static Status ForEachRowInString(
+      const std::string& content,
+      const std::function<Status(size_t, const std::vector<std::string>&)>&
+          row_fn);
+};
+
+/// Buffered writer producing tab-separated rows.
+class TsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `status()` before use.
+  explicit TsvWriter(const std::string& path);
+  ~TsvWriter();
+
+  TsvWriter(const TsvWriter&) = delete;
+  TsvWriter& operator=(const TsvWriter&) = delete;
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row; embedded tabs/newlines in fields are replaced by
+  /// spaces (labels never legitimately contain them).
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes a '#'-prefixed comment line.
+  void WriteComment(const std::string& text);
+
+  /// Flushes and closes; returns the final status.
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace trinit
+
+#endif  // TRINIT_UTIL_TSV_H_

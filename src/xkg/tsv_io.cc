@@ -1,0 +1,162 @@
+#include "xkg/tsv_io.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+#include "util/tsv.h"
+#include "xkg/xkg_builder.h"
+
+namespace trinit::xkg {
+namespace {
+
+std::string EncodeTerm(const rdf::Dictionary& dict, rdf::TermId id) {
+  switch (dict.kind(id)) {
+    case rdf::TermKind::kResource:
+      return "R:" + std::string(dict.label(id));
+    case rdf::TermKind::kToken:
+      return "K:" + std::string(dict.label(id));
+    case rdf::TermKind::kLiteral:
+      return "L:" + std::string(dict.label(id));
+  }
+  return "?:";
+}
+
+Result<rdf::TermId> DecodeTerm(rdf::Dictionary& dict, const std::string& enc,
+                               size_t line) {
+  if (enc.size() < 2 || enc[1] != ':') {
+    return Status::ParseError("line " + std::to_string(line) +
+                              ": bad term encoding '" + enc + "'");
+  }
+  std::string_view label(enc);
+  label.remove_prefix(2);
+  switch (enc[0]) {
+    case 'R':
+      return dict.InternResource(label);
+    case 'K':
+      return dict.InternToken(label);
+    case 'L':
+      return dict.InternLiteral(label);
+    default:
+      return Status::ParseError("line " + std::to_string(line) +
+                                ": unknown term kind '" + enc.substr(0, 1) +
+                                "'");
+  }
+}
+
+struct PendingTriple {
+  rdf::TermId s = rdf::kNullTerm, p = rdf::kNullTerm, o = rdf::kNullTerm;
+  float confidence = 1.0f;
+  uint32_t count = 1;
+  bool valid = false;
+  std::vector<Provenance> provenance;
+};
+
+Result<Xkg> LoadImpl(
+    const std::function<Status(
+        const std::function<Status(size_t, const std::vector<std::string>&)>&)>&
+        source) {
+  XkgBuilder builder;
+  PendingTriple pending;
+
+  auto flush = [&builder](PendingTriple& t) {
+    if (!t.valid) return;
+    if (t.provenance.empty()) {
+      // KG fact; `count` copies collapse in the store anyway.
+      builder.AddKgFact(t.s, t.p, t.o);
+    } else {
+      for (Provenance& prov : t.provenance) {
+        builder.AddExtraction(t.s, t.p, t.o, t.confidence, std::move(prov));
+      }
+    }
+    t = PendingTriple{};
+  };
+
+  Status st = source([&](size_t line, const std::vector<std::string>& f)
+                         -> Status {
+    if (f.empty()) return Status::Ok();
+    if (f[0] == "T") {
+      flush(pending);
+      if (f.size() < 4) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": T row needs s, p, o");
+      }
+      TRINIT_ASSIGN_OR_RETURN(pending.s,
+                              DecodeTerm(builder.dict(), f[1], line));
+      TRINIT_ASSIGN_OR_RETURN(pending.p,
+                              DecodeTerm(builder.dict(), f[2], line));
+      TRINIT_ASSIGN_OR_RETURN(pending.o,
+                              DecodeTerm(builder.dict(), f[3], line));
+      pending.confidence =
+          f.size() > 4 ? static_cast<float>(std::atof(f[4].c_str())) : 1.0f;
+      pending.count = f.size() > 5
+                          ? static_cast<uint32_t>(std::atoll(f[5].c_str()))
+                          : 1;
+      pending.valid = true;
+      return Status::Ok();
+    }
+    if (f[0] == "P") {
+      if (!pending.valid) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": P row without preceding T row");
+      }
+      if (f.size() < 5) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": P row needs doc, sentence_idx, conf, "
+                                  "sentence");
+      }
+      Provenance prov;
+      prov.doc_id = static_cast<uint32_t>(std::atoll(f[1].c_str()));
+      prov.sentence_idx = static_cast<uint32_t>(std::atoll(f[2].c_str()));
+      prov.extraction_confidence = std::atof(f[3].c_str());
+      prov.sentence = f[4];
+      pending.provenance.push_back(std::move(prov));
+      return Status::Ok();
+    }
+    return Status::ParseError("line " + std::to_string(line) +
+                              ": unknown row tag '" + f[0] + "'");
+  });
+  TRINIT_RETURN_IF_ERROR(st);
+  flush(pending);
+  return builder.Build();
+}
+
+}  // namespace
+
+Status XkgTsv::Save(const Xkg& xkg, const std::string& path) {
+  TsvWriter writer(path);
+  TRINIT_RETURN_IF_ERROR(writer.status());
+  writer.WriteComment("TriniT XKG dump");
+  writer.WriteComment(
+      "triples: " + std::to_string(xkg.store().size()) + " (kg " +
+      std::to_string(xkg.kg_triple_count()) + ", extraction " +
+      std::to_string(xkg.extraction_triple_count()) + ")");
+  const rdf::Dictionary& dict = xkg.dict();
+  for (rdf::TripleId id = 0; id < xkg.store().size(); ++id) {
+    const rdf::Triple& t = xkg.store().triple(id);
+    writer.WriteRow({"T", EncodeTerm(dict, t.s), EncodeTerm(dict, t.p),
+                     EncodeTerm(dict, t.o),
+                     FormatDouble(t.confidence, 6),
+                     std::to_string(t.count)});
+    for (const Provenance& prov : xkg.ProvenanceFor(id)) {
+      writer.WriteRow({"P", std::to_string(prov.doc_id),
+                       std::to_string(prov.sentence_idx),
+                       FormatDouble(prov.extraction_confidence, 6),
+                       prov.sentence});
+    }
+  }
+  return writer.Close();
+}
+
+Result<Xkg> XkgTsv::Load(const std::string& path) {
+  return LoadImpl([&path](const auto& row_fn) {
+    return TsvReader::ForEachRow(path, row_fn);
+  });
+}
+
+Result<Xkg> XkgTsv::LoadFromString(const std::string& content) {
+  return LoadImpl([&content](const auto& row_fn) {
+    return TsvReader::ForEachRowInString(content, row_fn);
+  });
+}
+
+}  // namespace trinit::xkg

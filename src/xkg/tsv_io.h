@@ -1,0 +1,36 @@
+#ifndef TRINIT_XKG_TSV_IO_H_
+#define TRINIT_XKG_TSV_IO_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "xkg/xkg.h"
+
+namespace trinit::xkg {
+
+/// Serialization of an XKG as a single TSV file, in the spirit of the
+/// N-Triples-like TSV dumps Yago2s ships as.
+///
+/// Row formats (tab-separated):
+///   T  <s> <p> <o> <confidence> <count>          -- one per triple
+///   P  <doc_id> <sentence_idx> <conf> <sentence>  -- provenance of the
+///                                                    preceding T row
+/// Terms are encoded with a kind prefix: `R:Label` (resource),
+/// `K:token phrase` (token), `L:literal`. A T row with confidence 1 and
+/// no preceding provenance is a curated KG fact; rows followed by P rows
+/// are extraction triples.
+class XkgTsv {
+ public:
+  /// Writes `xkg` to `path`, overwriting.
+  static Status Save(const Xkg& xkg, const std::string& path);
+
+  /// Reads an XKG previously written by Save (or hand-authored).
+  static Result<Xkg> Load(const std::string& path);
+
+  /// Parses XKG TSV content from a string (tests, embedded fixtures).
+  static Result<Xkg> LoadFromString(const std::string& content);
+};
+
+}  // namespace trinit::xkg
+
+#endif  // TRINIT_XKG_TSV_IO_H_

@@ -1,0 +1,16 @@
+#include "xkg/xkg.h"
+
+namespace trinit::xkg {
+
+const std::vector<Provenance>& Xkg::ProvenanceFor(rdf::TripleId id) const {
+  auto it = provenance_.find(id);
+  return it == provenance_.end() ? empty_provenance_ : it->second;
+}
+
+std::string Xkg::RenderTriple(rdf::TripleId id) const {
+  const rdf::Triple& t = store_.triple(id);
+  return dict_->DebugLabel(t.s) + " --" + dict_->DebugLabel(t.p) + "--> " +
+         dict_->DebugLabel(t.o);
+}
+
+}  // namespace trinit::xkg

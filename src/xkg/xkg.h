@@ -1,0 +1,78 @@
+#ifndef TRINIT_XKG_XKG_H_
+#define TRINIT_XKG_XKG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph_stats.h"
+#include "rdf/triple_store.h"
+#include "text/phrase_index.h"
+
+namespace trinit::xkg {
+
+/// Provenance record for one supporting extraction of a triple
+/// (paper §5: answer explanation shows "the XKG triples that contributed
+/// to an answer and their provenance").
+struct Provenance {
+  uint32_t doc_id = 0;        ///< document the extraction came from
+  uint32_t sentence_idx = 0;  ///< sentence offset within the document
+  std::string sentence;       ///< the supporting sentence text
+  double extraction_confidence = 1.0;
+};
+
+/// The Extended Knowledge Graph: curated KG triples plus Open IE
+/// extraction triples, sharing one dictionary and one triple index.
+///
+/// Immutable once built (see `XkgBuilder`). The paper's instance combined
+/// ~50M Yago2s triples with ~390M ClueWeb extractions; ours is built from
+/// the synthetic world at configurable scale preserving that ratio.
+class Xkg {
+ public:
+  Xkg(const Xkg&) = delete;
+  Xkg& operator=(const Xkg&) = delete;
+  Xkg(Xkg&&) = default;
+  Xkg& operator=(Xkg&&) = default;
+
+  const rdf::Dictionary& dict() const { return *dict_; }
+  const rdf::TripleStore& store() const { return store_; }
+  const rdf::GraphStats& stats() const { return *stats_; }
+  const text::PhraseIndex& phrase_index() const { return *phrase_index_; }
+
+  /// True iff the triple has curated-KG provenance.
+  bool IsKgTriple(rdf::TripleId id) const {
+    return store_.triple(id).source == rdf::kKgSource;
+  }
+
+  /// Number of distinct triples with curated-KG provenance.
+  size_t kg_triple_count() const { return kg_triple_count_; }
+
+  /// Number of distinct triples that exist only through extraction.
+  size_t extraction_triple_count() const {
+    return store_.size() - kg_triple_count_;
+  }
+
+  /// Supporting extractions of a triple, empty for pure-KG triples.
+  const std::vector<Provenance>& ProvenanceFor(rdf::TripleId id) const;
+
+  /// Human-readable one-line rendering "S --P--> O" of a triple.
+  std::string RenderTriple(rdf::TripleId id) const;
+
+ private:
+  friend class XkgBuilder;
+  Xkg() = default;
+
+  std::unique_ptr<rdf::Dictionary> dict_;
+  rdf::TripleStore store_;
+  std::unique_ptr<rdf::GraphStats> stats_;
+  std::unique_ptr<text::PhraseIndex> phrase_index_;
+  std::unordered_map<rdf::TripleId, std::vector<Provenance>> provenance_;
+  std::vector<Provenance> empty_provenance_;
+  size_t kg_triple_count_ = 0;
+};
+
+}  // namespace trinit::xkg
+
+#endif  // TRINIT_XKG_XKG_H_

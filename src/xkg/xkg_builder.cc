@@ -1,0 +1,91 @@
+#include "xkg/xkg_builder.h"
+
+#include "text/phrase.h"
+#include "util/logging.h"
+
+namespace trinit::xkg {
+
+XkgBuilder::XkgBuilder() : dict_(std::make_unique<rdf::Dictionary>()) {}
+
+XkgBuilder XkgBuilder::FromXkg(const Xkg& xkg) {
+  XkgBuilder builder;
+  const rdf::Dictionary& src = xkg.dict();
+  // Re-intern every term; ids may shift but labels are authoritative.
+  auto reintern = [&builder, &src](rdf::TermId id) {
+    return builder.dict_->Intern(src.kind(id), src.label(id));
+  };
+  for (rdf::TripleId id = 0; id < xkg.store().size(); ++id) {
+    const rdf::Triple& t = xkg.store().triple(id);
+    rdf::TermId s = reintern(t.s), p = reintern(t.p), o = reintern(t.o);
+    const auto& provenance = xkg.ProvenanceFor(id);
+    if (xkg.IsKgTriple(id)) {
+      builder.AddKgFact(s, p, o);
+    }
+    for (const Provenance& prov : provenance) {
+      builder.AddExtraction(s, p, o, t.confidence, prov);
+    }
+  }
+  return builder;
+}
+
+void XkgBuilder::AddKgFact(std::string_view s, std::string_view p,
+                           std::string_view o, bool object_literal) {
+  rdf::TermId sid = dict_->InternResource(s);
+  rdf::TermId pid = dict_->InternResource(p);
+  rdf::TermId oid = object_literal ? dict_->InternLiteral(o)
+                                   : dict_->InternResource(o);
+  AddKgFact(sid, pid, oid);
+}
+
+void XkgBuilder::AddKgFact(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+  store_builder_.Add(s, p, o, /*confidence=*/1.0f, /*count=*/1,
+                     rdf::kKgSource);
+  ++kg_pending_;
+}
+
+void XkgBuilder::AddExtraction(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                               float confidence, Provenance provenance) {
+  rdf::Triple t{s, p, o, confidence, /*count=*/1, next_source_++};
+  store_builder_.Add(t);
+  provenance_pending_.emplace_back(t, std::move(provenance));
+}
+
+void XkgBuilder::AddExtraction(std::string_view s, bool s_is_entity,
+                               std::string_view p, std::string_view o,
+                               bool o_is_entity, float confidence,
+                               Provenance provenance) {
+  rdf::TermId sid = s_is_entity
+                        ? dict_->InternResource(s)
+                        : dict_->InternToken(text::NormalizePhrase(s));
+  rdf::TermId pid = dict_->InternToken(text::NormalizePhrase(p));
+  rdf::TermId oid = o_is_entity
+                        ? dict_->InternResource(o)
+                        : dict_->InternToken(text::NormalizePhrase(o));
+  AddExtraction(sid, pid, oid, confidence, std::move(provenance));
+}
+
+Result<Xkg> XkgBuilder::Build() {
+  Xkg xkg;
+  TRINIT_ASSIGN_OR_RETURN(xkg.store_, store_builder_.Build());
+  xkg.dict_ = std::move(dict_);
+
+  // Count triples whose best provenance is the curated KG and attach
+  // extraction provenance records to their final triple ids.
+  for (const rdf::Triple& t : xkg.store_.triples()) {
+    if (t.source == rdf::kKgSource) ++xkg.kg_triple_count_;
+  }
+  for (auto& [triple, prov] : provenance_pending_) {
+    rdf::TripleId id = xkg.store_.Find(triple.s, triple.p, triple.o);
+    TRINIT_CHECK(id != rdf::kInvalidTriple);
+    xkg.provenance_[id].push_back(std::move(prov));
+  }
+  provenance_pending_.clear();
+
+  xkg.stats_ = std::make_unique<rdf::GraphStats>(
+      rdf::GraphStats::Compute(xkg.store_));
+  xkg.phrase_index_ = std::make_unique<text::PhraseIndex>(
+      text::PhraseIndex::Build(*xkg.dict_));
+  return xkg;
+}
+
+}  // namespace trinit::xkg

@@ -1,0 +1,75 @@
+#ifndef TRINIT_XKG_XKG_BUILDER_H_
+#define TRINIT_XKG_XKG_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "util/result.h"
+#include "xkg/xkg.h"
+
+namespace trinit::xkg {
+
+/// Accumulates curated KG facts and Open IE extraction triples, then
+/// freezes them into an immutable `Xkg` (dictionary, 6-permutation triple
+/// index, graph statistics, phrase index, provenance store).
+class XkgBuilder {
+ public:
+  XkgBuilder();
+
+  XkgBuilder(const XkgBuilder&) = delete;
+  XkgBuilder& operator=(const XkgBuilder&) = delete;
+  XkgBuilder(XkgBuilder&&) = default;
+  XkgBuilder& operator=(XkgBuilder&&) = default;
+
+  /// Seeds a builder with every triple (and provenance record) of an
+  /// existing XKG, so the graph can be *extended* and rebuilt — the
+  /// demo's "allows users to extend the KG to make up for missing
+  /// knowledge" (paper §1). Rebuilding is O(n log n); the store itself
+  /// stays immutable.
+  static XkgBuilder FromXkg(const Xkg& xkg);
+
+  /// Dictionary being populated; callers may intern terms directly (the
+  /// synthetic generators do) as long as they do it before Build().
+  rdf::Dictionary& dict() { return *dict_; }
+
+  /// Adds a curated KG fact. Labels are interned as resources, except
+  /// that `object_literal=true` interns the object as a literal.
+  void AddKgFact(std::string_view s, std::string_view p, std::string_view o,
+                 bool object_literal = false);
+
+  /// Adds a curated KG fact from already-interned ids.
+  void AddKgFact(rdf::TermId s, rdf::TermId p, rdf::TermId o);
+
+  /// Adds one extraction-layer triple with provenance. Slots may be any
+  /// mix of resources and token terms (ids must already be interned).
+  void AddExtraction(rdf::TermId s, rdf::TermId p, rdf::TermId o,
+                     float confidence, Provenance provenance);
+
+  /// Convenience overload interning S/O as resources when `s_is_entity` /
+  /// `o_is_entity`, as normalized tokens otherwise; P is interned as a
+  /// normalized token.
+  void AddExtraction(std::string_view s, bool s_is_entity,
+                     std::string_view p, std::string_view o, bool o_is_entity,
+                     float confidence, Provenance provenance);
+
+  size_t pending_kg() const { return kg_pending_; }
+  size_t pending_extractions() const { return provenance_pending_.size(); }
+
+  /// Freezes everything into an `Xkg`. The builder must not be reused.
+  Result<Xkg> Build();
+
+ private:
+  std::unique_ptr<rdf::Dictionary> dict_;
+  rdf::TripleStoreBuilder store_builder_;
+  // Extraction provenance, resolved to triple ids at Build time.
+  std::vector<std::pair<rdf::Triple, Provenance>> provenance_pending_;
+  size_t kg_pending_ = 0;
+  uint32_t next_source_ = 1;  // 0 is kKgSource
+};
+
+}  // namespace trinit::xkg
+
+#endif  // TRINIT_XKG_XKG_BUILDER_H_

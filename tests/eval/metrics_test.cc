@@ -1,0 +1,112 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace trinit::eval {
+namespace {
+
+TEST(DcgTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(DcgAtK({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(DcgAtK({3, 2}, 0), 0.0);
+}
+
+TEST(DcgTest, SingleItem) {
+  // gain(3) = 2^3 - 1 = 7; discount log2(2) = 1.
+  EXPECT_DOUBLE_EQ(DcgAtK({3}, 5), 7.0);
+}
+
+TEST(DcgTest, DiscountByRank) {
+  double expected = 7.0 + 3.0 / std::log2(3.0);
+  EXPECT_NEAR(DcgAtK({3, 2}, 5), expected, 1e-12);
+}
+
+TEST(DcgTest, CutoffIgnoresTail) {
+  EXPECT_DOUBLE_EQ(DcgAtK({3, 3, 3}, 1), 7.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({3, 2, 1}, {1, 2, 3}, 5), 1.0);
+}
+
+TEST(NdcgTest, WorstOrderingBelowOne) {
+  double v = NdcgAtK({1, 2, 3}, {1, 2, 3}, 5);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(NdcgTest, NoRelevantAnswersIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 0}, {}, 5), 0.0);
+}
+
+TEST(NdcgTest, MissingAnswersPenalized) {
+  // Retrieved only one of two relevant.
+  double partial = NdcgAtK({3}, {3, 3}, 5);
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(NdcgTest, PaperHeadlineShape) {
+  // Sanity: a system finding the right answers at ranks 1-2 crushes one
+  // finding a single partial answer at rank 4 (0.775 vs 0.419 flavor).
+  double good = NdcgAtK({3, 3, 0, 0, 0}, {3, 3}, 5);
+  double poor = NdcgAtK({0, 0, 0, 1, 0}, {3, 3}, 5);
+  EXPECT_GT(good, 2 * poor);
+}
+
+TEST(PrecisionTest, Basics) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3, 0, 1, 0}, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({3}, 5), 0.2);  // missing ranks count
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1}, 0), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 1}, 2), 1.0);
+}
+
+TEST(AveragePrecisionTest, LateHitsPenalized) {
+  // Hits at ranks 2 and 4: AP = (1/2 + 2/4) / 2 = 0.5.
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 1, 0, 1}, 2), 0.5);
+}
+
+TEST(AveragePrecisionTest, UnretrievedRelevantLowersScore) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({1}, 0), 0.0);
+}
+
+TEST(ReciprocalRankTest, Basics) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0, 0, 2}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({3}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}), 0.0);
+}
+
+// Property sweep: NDCG is within [0,1] and monotone under swapping a
+// better answer earlier.
+class NdcgPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NdcgPropertyTest, BoundedAndMonotone) {
+  int n = GetParam();
+  std::vector<int> grades, ideal;
+  for (int i = 0; i < n; ++i) {
+    grades.push_back((i * 7 + 3) % 4);
+    ideal.push_back((i * 7 + 3) % 4);
+  }
+  double v = NdcgAtK(grades, ideal, n);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0 + 1e-12);
+  // Swapping a higher grade to the front never lowers NDCG.
+  std::vector<int> improved = grades;
+  auto best = std::max_element(improved.begin(), improved.end());
+  std::iter_swap(improved.begin(), best);
+  EXPECT_GE(NdcgAtK(improved, ideal, n) + 1e-12, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NdcgPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25));
+
+}  // namespace
+}  // namespace trinit::eval

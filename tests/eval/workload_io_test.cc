@@ -1,0 +1,93 @@
+#include "eval/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace trinit::eval {
+namespace {
+
+Workload MakeSample() {
+  Workload w;
+  EvalQuery q1;
+  q1.id = "q0";
+  q1.text = "?x bornIn Germania";
+  q1.archetype = "granularity";
+  q1.description = "persons born in the country";
+  w.queries.push_back(q1);
+  EvalQuery q2;
+  q2.id = "q1";
+  q2.text = "SELECT ?x WHERE ?x affiliation ?u ; ?u campusIn Ulmhof_0";
+  q2.archetype = "join-campus";
+  w.queries.push_back(q2);
+  w.qrels.Set("q0", "Anna_Keller_3|", 3);
+  w.qrels.Set("q0", "Boris_Brandt_5|", 1);
+  w.qrels.Set("q1", "Clara_Curie_7|", 3);
+  return w;
+}
+
+TEST(WorkloadIoTest, SaveLoadRoundTrip) {
+  Workload original = MakeSample();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "trinit_workload.tsv")
+          .string();
+  ASSERT_TRUE(WorkloadIo::Save(original, path).ok());
+  auto loaded = WorkloadIo::Load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->queries.size(), 2u);
+  EXPECT_EQ(loaded->queries[0].id, "q0");
+  EXPECT_EQ(loaded->queries[0].text, "?x bornIn Germania");
+  EXPECT_EQ(loaded->queries[0].archetype, "granularity");
+  EXPECT_EQ(loaded->queries[0].description,
+            "persons born in the country");
+  EXPECT_EQ(loaded->queries[1].archetype, "join-campus");
+
+  EXPECT_EQ(loaded->qrels.Grade("q0", "Anna_Keller_3|"), 3);
+  EXPECT_EQ(loaded->qrels.Grade("q0", "Boris_Brandt_5|"), 1);
+  EXPECT_EQ(loaded->qrels.Grade("q1", "Clara_Curie_7|"), 3);
+  EXPECT_EQ(loaded->qrels.RelevantCount("q0"), 2u);
+}
+
+TEST(WorkloadIoTest, LoadFromStringMinimal) {
+  auto w = WorkloadIo::LoadFromString(
+      "# comment\n"
+      "Q\tq0\tinversion\tA hasAdvisor ?x\n"
+      "J\tq0\tB|\t3\n");
+  ASSERT_TRUE(w.ok()) << w.status();
+  ASSERT_EQ(w->queries.size(), 1u);
+  EXPECT_EQ(w->qrels.Grade("q0", "B|"), 3);
+}
+
+TEST(WorkloadIoTest, RejectsMalformedRows) {
+  EXPECT_FALSE(WorkloadIo::LoadFromString("Q\tq0\n").ok());
+  EXPECT_FALSE(WorkloadIo::LoadFromString("J\tq0\tkey\n").ok());
+  EXPECT_FALSE(WorkloadIo::LoadFromString("Z\twhat\n").ok());
+}
+
+TEST(WorkloadIoTest, MissingFileIsIoError) {
+  auto w = WorkloadIo::Load("/nonexistent/workload.tsv");
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kIoError);
+}
+
+TEST(QrelsForEachTest, VisitsAllJudgments) {
+  Qrels qrels;
+  qrels.Set("q", "a|", 3);
+  qrels.Set("q", "b|", 1);
+  size_t visits = 0;
+  int total = 0;
+  qrels.ForEach("q", [&](const std::string&, int grade) {
+    ++visits;
+    total += grade;
+  });
+  EXPECT_EQ(visits, 2u);
+  EXPECT_EQ(total, 4);
+  qrels.ForEach("missing", [&](const std::string&, int) { ++visits; });
+  EXPECT_EQ(visits, 2u);
+}
+
+}  // namespace
+}  // namespace trinit::eval

@@ -1,0 +1,145 @@
+#include "eval/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/parser.h"
+
+namespace trinit::eval {
+namespace {
+
+synth::World SmallWorld() {
+  synth::WorldSpec spec;
+  spec.seed = 5;
+  spec.num_persons = 80;
+  spec.num_universities = 10;
+  spec.num_institutes = 6;
+  spec.num_cities = 15;
+  spec.num_countries = 4;
+  spec.num_prizes = 4;
+  spec.num_fields = 6;
+  spec.predicates = synth::WorldSpec::DefaultPredicates();
+  return synth::KgGenerator::Generate(spec);
+}
+
+TEST(QrelsTest, SetAndGrade) {
+  Qrels qrels;
+  qrels.Set("q1", "A|", 3);
+  qrels.Set("q1", "B|", 1);
+  EXPECT_EQ(qrels.Grade("q1", "A|"), 3);
+  EXPECT_EQ(qrels.Grade("q1", "B|"), 1);
+  EXPECT_EQ(qrels.Grade("q1", "C|"), 0);
+  EXPECT_EQ(qrels.Grade("q2", "A|"), 0);
+  EXPECT_EQ(qrels.RelevantCount("q1"), 2u);
+}
+
+TEST(QrelsTest, SetKeepsMaxGrade) {
+  Qrels qrels;
+  qrels.Set("q1", "A|", 1);
+  qrels.Set("q1", "A|", 3);
+  qrels.Set("q1", "A|", 2);
+  EXPECT_EQ(qrels.Grade("q1", "A|"), 3);
+}
+
+TEST(MakeAnswerKeyTest, JoinsLabels) {
+  EXPECT_EQ(MakeAnswerKey({"A"}), "A|");
+  EXPECT_EQ(MakeAnswerKey({"A", "B"}), "A|B|");
+  EXPECT_EQ(MakeAnswerKey({""}), "?|");
+}
+
+TEST(WorkloadGeneratorTest, GeneratesRequestedCount) {
+  // A world large enough that no archetype saturates below its share.
+  synth::WorldSpec spec;
+  spec.seed = 5;
+  spec.num_persons = 250;
+  spec.num_universities = 25;
+  spec.num_institutes = 12;
+  spec.num_cities = 35;
+  spec.num_countries = 10;
+  spec.num_prizes = 10;
+  spec.num_fields = 10;
+  spec.predicates = synth::WorldSpec::DefaultPredicates();
+  synth::World world = synth::KgGenerator::Generate(spec);
+  WorkloadGenerator::Options opts;
+  opts.num_queries = 70;  // the paper's size
+  Workload workload = WorkloadGenerator::Generate(world, opts);
+  EXPECT_EQ(workload.queries.size(), 70u);
+}
+
+TEST(WorkloadGeneratorTest, SaturatedWorldYieldsFewerButValidQueries) {
+  synth::World world = SmallWorld();
+  WorkloadGenerator::Options opts;
+  opts.num_queries = 500;  // more than the small world can express
+  Workload workload = WorkloadGenerator::Generate(world, opts);
+  EXPECT_GT(workload.queries.size(), 30u);
+  EXPECT_LT(workload.queries.size(), 500u);
+  for (const EvalQuery& q : workload.queries) {
+    EXPECT_GT(workload.qrels.RelevantCount(q.id), 0u);
+  }
+}
+
+TEST(WorkloadGeneratorTest, Deterministic) {
+  synth::World world = SmallWorld();
+  Workload a = WorkloadGenerator::Generate(world);
+  Workload b = WorkloadGenerator::Generate(world);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].text, b.queries[i].text);
+  }
+}
+
+TEST(WorkloadGeneratorTest, QueriesAreParseable) {
+  synth::World world = SmallWorld();
+  Workload workload = WorkloadGenerator::Generate(world);
+  for (const EvalQuery& q : workload.queries) {
+    auto parsed = query::Parser::Parse(q.text);
+    EXPECT_TRUE(parsed.ok()) << q.id << ": " << q.text << " -> "
+                             << parsed.status();
+  }
+}
+
+TEST(WorkloadGeneratorTest, EveryQueryHasRelevantAnswers) {
+  synth::World world = SmallWorld();
+  Workload workload = WorkloadGenerator::Generate(world);
+  for (const EvalQuery& q : workload.queries) {
+    EXPECT_GT(workload.qrels.RelevantCount(q.id), 0u) << q.id;
+  }
+}
+
+TEST(WorkloadGeneratorTest, CoversAllArchetypes) {
+  synth::World world = SmallWorld();
+  Workload workload = WorkloadGenerator::Generate(world);
+  std::set<std::string> archetypes;
+  for (const EvalQuery& q : workload.queries) {
+    archetypes.insert(q.archetype);
+  }
+  EXPECT_GE(archetypes.size(), 5u) << "archetype mix collapsed";
+  EXPECT_TRUE(archetypes.count("granularity"));
+  EXPECT_TRUE(archetypes.count("text-only"));
+  EXPECT_TRUE(archetypes.count("paraphrase"));
+}
+
+TEST(WorkloadGeneratorTest, UniqueQueryTexts) {
+  synth::World world = SmallWorld();
+  Workload workload = WorkloadGenerator::Generate(world);
+  std::set<std::string> texts;
+  for (const EvalQuery& q : workload.queries) {
+    EXPECT_TRUE(texts.insert(q.text).second) << "duplicate " << q.text;
+  }
+}
+
+TEST(WorkloadGeneratorTest, JoinQueriesHaveTwoPatterns) {
+  synth::World world = SmallWorld();
+  Workload workload = WorkloadGenerator::Generate(world);
+  for (const EvalQuery& q : workload.queries) {
+    if (q.archetype.rfind("join", 0) == 0) {
+      auto parsed = query::Parser::Parse(q.text);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(parsed->patterns().size(), 2u) << q.text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trinit::eval

@@ -1,0 +1,105 @@
+#include "explain/explanation.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "testing/paper_world.h"
+#include "topk/topk_processor.h"
+
+namespace trinit::explain {
+namespace {
+
+class ExplanationTest : public ::testing::Test {
+ protected:
+  ExplanationTest()
+      : xkg_(testing::BuildPaperXkg()),
+        rules_(testing::BuildPaperRules()) {}
+
+  topk::TopKResult Run(const char* text) {
+    topk::ProcessorOptions opts;
+    opts.k = 5;
+    topk::TopKProcessor processor(xkg_, rules_, {}, opts);
+    auto q = query::Parser::Parse(text, &xkg_.dict());
+    EXPECT_TRUE(q.ok());
+    auto r = processor.Answer(*q);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  xkg::Xkg xkg_;
+  relax::RuleSet rules_;
+};
+
+TEST_F(ExplanationTest, UserCExplanationHasAllThreeParts) {
+  // Paper §5: the explanation shows (i) KG triples, (ii) XKG triples
+  // with provenance, (iii) rules invoked.
+  topk::TopKResult result = Run(
+      "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member "
+      "IvyLeague");
+  ASSERT_FALSE(result.answers.empty());
+  ExplanationBuilder builder(xkg_);
+  Explanation ex = builder.Explain(result.projection, result.answers[0]);
+
+  EXPECT_EQ(ex.answer_rendering, "?x = PrincetonUniversity");
+  // (i) KG triples: affiliation IAS and/or member IvyLeague.
+  EXPECT_FALSE(ex.kg_triples.empty());
+  // (ii) XKG triple with its supporting sentence.
+  ASSERT_FALSE(ex.xkg_triples.empty());
+  bool has_provenance = false;
+  for (const auto& t : ex.xkg_triples) {
+    if (!t.provenance.empty()) has_provenance = true;
+  }
+  EXPECT_TRUE(has_provenance);
+  // (iii) the relaxation rule.
+  ASSERT_FALSE(ex.rules.empty());
+}
+
+TEST_F(ExplanationTest, KgOnlyAnswerHasNoXkgSection) {
+  topk::TopKResult result = Run("AlbertEinstein bornIn ?x");
+  ASSERT_FALSE(result.answers.empty());
+  ExplanationBuilder builder(xkg_);
+  Explanation ex = builder.Explain(result.projection, result.answers[0]);
+  EXPECT_FALSE(ex.kg_triples.empty());
+  EXPECT_TRUE(ex.xkg_triples.empty());
+  EXPECT_TRUE(ex.rules.empty());
+}
+
+TEST_F(ExplanationTest, SoftMatchRecordedAsSubstitution) {
+  topk::TopKResult result = Run("AlbertEinstein 'won a nobel prize' ?x");
+  ASSERT_FALSE(result.answers.empty());
+  ExplanationBuilder builder(xkg_);
+  Explanation ex = builder.Explain(result.projection, result.answers[0]);
+  ASSERT_FALSE(ex.substitutions.empty());
+  EXPECT_EQ(ex.substitutions[0].matched_phrase, "won nobel for");
+  EXPECT_GT(ex.substitutions[0].similarity, 0.0);
+}
+
+TEST_F(ExplanationTest, ToStringRendersSections) {
+  topk::TopKResult result = Run(
+      "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member "
+      "IvyLeague");
+  ASSERT_FALSE(result.answers.empty());
+  ExplanationBuilder builder(xkg_);
+  std::string text =
+      builder.Explain(result.projection, result.answers[0]).ToString();
+  EXPECT_NE(text.find("Answer: ?x = PrincetonUniversity"),
+            std::string::npos);
+  EXPECT_NE(text.find("XKG triples (Open IE):"), std::string::npos);
+  EXPECT_NE(text.find("Relaxation rules invoked:"), std::string::npos);
+  EXPECT_NE(text.find("[doc "), std::string::npos);
+}
+
+TEST_F(ExplanationTest, DuplicateEvidenceDeduplicated) {
+  topk::TopKResult result = Run("AlbertEinstein affiliation ?x");
+  ASSERT_FALSE(result.answers.empty());
+  ExplanationBuilder builder(xkg_);
+  Explanation ex = builder.Explain(result.projection, result.answers[0]);
+  std::set<std::string> rendered;
+  for (const auto& t : ex.kg_triples) {
+    EXPECT_TRUE(rendered.insert(t.rendered).second)
+        << "duplicate: " << t.rendered;
+  }
+}
+
+}  // namespace
+}  // namespace trinit::explain

@@ -1,0 +1,87 @@
+#include "openie/chunker.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::openie {
+namespace {
+
+std::vector<std::string> NounPhrases(std::string_view sentence) {
+  std::vector<std::string> out;
+  for (const Chunk& c : Chunker::Segment(sentence)) {
+    if (c.kind == Chunk::Kind::kNounPhrase) out.push_back(c.text);
+  }
+  return out;
+}
+
+TEST(ChunkerTest, FindsCapitalizedRuns) {
+  auto nps = NounPhrases("Anna Keller works at Graustadt University.");
+  ASSERT_EQ(nps.size(), 2u);
+  EXPECT_EQ(nps[0], "Anna Keller");
+  EXPECT_EQ(nps[1], "Graustadt University");
+}
+
+TEST(ChunkerTest, OfGluesNounPhrases) {
+  auto nps = NounPhrases("Boris Brandt lectured at University of Heisee.");
+  ASSERT_EQ(nps.size(), 2u);
+  EXPECT_EQ(nps[1], "University of Heisee");
+}
+
+TEST(ChunkerTest, SentenceInitialFunctionWordIsNotNp) {
+  auto nps = NounPhrases("The Institute for Physics is housed in Ulmstad.");
+  // "The" must not merge into the NP; "Institute for Physics" starts at
+  // "Institute"... "for" is not glue, so the NP is just "Institute".
+  ASSERT_FALSE(nps.empty());
+  EXPECT_EQ(nps[0], "Institute");
+}
+
+TEST(ChunkerTest, YearPrefixDoesNotOpenNp) {
+  auto nps = NounPhrases("In 1905, Anna Keller won the Keller Prize.");
+  ASSERT_EQ(nps.size(), 2u);
+  EXPECT_EQ(nps[0], "Anna Keller");
+  EXPECT_EQ(nps[1], "Keller Prize");
+}
+
+TEST(ChunkerTest, DigitsExtendNps) {
+  auto nps = NounPhrases("Clara Curie visited Ulmberg7 yesterday.");
+  ASSERT_EQ(nps.size(), 2u);
+  EXPECT_EQ(nps[1], "Ulmberg7");
+}
+
+TEST(ChunkerTest, TextSpansBetweenNps) {
+  auto chunks = Chunker::Segment("Anna Keller is employed by Norlin "
+                                 "University.");
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].kind, Chunk::Kind::kNounPhrase);
+  EXPECT_EQ(chunks[1].kind, Chunk::Kind::kText);
+  EXPECT_EQ(chunks[1].text, "is employed by");
+  EXPECT_EQ(chunks[2].kind, Chunk::Kind::kNounPhrase);
+}
+
+TEST(ChunkerTest, TrailingTailIsTextChunk) {
+  auto chunks =
+      Chunker::Segment("Anna Keller won the Keller Prize for work on "
+                       "physics.");
+  ASSERT_GE(chunks.size(), 4u);
+  EXPECT_EQ(chunks.back().kind, Chunk::Kind::kText);
+  EXPECT_EQ(chunks.back().text, "for work on physics");
+}
+
+TEST(ChunkerTest, EmptyAndNoNpSentences) {
+  EXPECT_TRUE(Chunker::Segment("").empty());
+  auto chunks = Chunker::Segment("it rained all day.");
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].kind, Chunk::Kind::kText);
+}
+
+TEST(ChunkerTest, TokenOffsetsAreConsistent) {
+  auto chunks = Chunker::Segment("Anna Keller met Boris Brandt.");
+  size_t prev_end = 0;
+  for (const Chunk& c : chunks) {
+    EXPECT_EQ(c.token_begin, prev_end);
+    EXPECT_GT(c.token_end, c.token_begin);
+    prev_end = c.token_end;
+  }
+}
+
+}  // namespace
+}  // namespace trinit::openie

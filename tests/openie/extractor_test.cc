@@ -1,0 +1,108 @@
+#include "openie/extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::openie {
+namespace {
+
+TEST(ExtractorTest, ExtractsNpVpNp) {
+  Extractor extractor;
+  auto exs = extractor.ExtractSentence(
+      "Anna Keller works at Norlin University.");
+  ASSERT_EQ(exs.size(), 1u);
+  EXPECT_EQ(exs[0].arg1, "Anna Keller");
+  EXPECT_EQ(exs[0].relation, "works at");
+  EXPECT_EQ(exs[0].arg2, "Norlin University");
+  EXPECT_TRUE(exs[0].arg2_is_np);
+  EXPECT_GT(exs[0].confidence, 0.5);
+}
+
+TEST(ExtractorTest, ExtractsFigure3Sentence) {
+  Extractor extractor;
+  auto exs = extractor.ExtractSentence(
+      "Einstein won a Nobel for his discovery of the photoelectric "
+      "effect.");
+  // NP1 = Einstein, NP2 = Nobel ("a" lowercase splits), rationale tail.
+  ASSERT_GE(exs.size(), 1u);
+  EXPECT_EQ(exs[0].arg1, "Einstein");
+  EXPECT_EQ(exs[0].arg2, "Nobel");
+}
+
+TEST(ExtractorTest, RationalePatternYieldsTokenObject) {
+  Extractor extractor;
+  auto exs = extractor.ExtractSentence(
+      "Anna Keller won the Keller Prize for work on physics.");
+  ASSERT_EQ(exs.size(), 2u);
+  // Pattern 1: NP VP NP.
+  EXPECT_EQ(exs[0].arg2, "Keller Prize");
+  // Pattern 2: the rationale with a non-NP object.
+  EXPECT_EQ(exs[1].arg1, "Anna Keller");
+  EXPECT_EQ(exs[1].relation, "won the Keller Prize for");
+  EXPECT_EQ(exs[1].arg2, "work on physics");
+  EXPECT_FALSE(exs[1].arg2_is_np);
+  EXPECT_LT(exs[1].confidence, exs[0].confidence);
+}
+
+TEST(ExtractorTest, MultipleClausesYieldMultipleExtractions) {
+  Extractor extractor;
+  auto exs = extractor.ExtractSentence(
+      "Anna Keller met Boris Brandt and Clara Curie visited Heifeld "
+      "University.");
+  // (Anna Keller, met, Boris Brandt) and (Clara Curie, visited,
+  // Heifeld University) — the middle "and" span belongs to the second
+  // pair's gap (Boris Brandt —and— Clara Curie also qualifies).
+  ASSERT_GE(exs.size(), 2u);
+  EXPECT_EQ(exs.front().arg1, "Anna Keller");
+  EXPECT_EQ(exs.back().arg2, "Heifeld University");
+}
+
+TEST(ExtractorTest, LongConnectiveRejected) {
+  Extractor::Options opts;
+  opts.max_relation_tokens = 3;
+  Extractor extractor(opts);
+  auto exs = extractor.ExtractSentence(
+      "Anna Keller spent many of her later productive years at Norlin "
+      "University.");
+  EXPECT_TRUE(exs.empty());
+}
+
+TEST(ExtractorTest, ConfidenceDecreasesWithGapLength) {
+  Extractor extractor;
+  auto short_gap =
+      extractor.ExtractSentence("Anna Keller met Boris Brandt.");
+  auto long_gap = extractor.ExtractSentence(
+      "Anna Keller wrote quite often to Boris Brandt.");
+  ASSERT_EQ(short_gap.size(), 1u);
+  ASSERT_EQ(long_gap.size(), 1u);
+  EXPECT_GT(short_gap[0].confidence, long_gap[0].confidence);
+}
+
+TEST(ExtractorTest, AppendixClauseTrimmedFromTail) {
+  Extractor extractor;
+  auto exs = extractor.ExtractSentence(
+      "Anna Keller won the Keller Prize for work on physics, according "
+      "to several sources.");
+  ASSERT_EQ(exs.size(), 2u);
+  EXPECT_EQ(exs[1].arg2, "work on physics");
+}
+
+TEST(ExtractorTest, NoExtractionWithoutTwoNps) {
+  Extractor extractor;
+  EXPECT_TRUE(extractor.ExtractSentence("Anna Keller slept.").empty());
+  EXPECT_TRUE(extractor.ExtractSentence("it rained.").empty());
+}
+
+TEST(ExtractorTest, ConfidenceBoundedBelow) {
+  Extractor::Options opts;
+  opts.min_confidence = 0.3;
+  Extractor extractor(opts);
+  auto exs = extractor.ExtractSentence(
+      "Anna Keller debated at length with the one and only Boris Brandt "
+      "about Clara Curie and Heifeld University.");
+  for (const Extraction& ex : exs) {
+    EXPECT_GE(ex.confidence, 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace trinit::openie

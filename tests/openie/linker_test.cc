@@ -1,0 +1,77 @@
+#include "openie/linker.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::openie {
+namespace {
+
+TEST(LinkerTest, UnambiguousAliasLinks) {
+  Linker linker;
+  linker.AddAlias("Anna Keller", "Anna_Keller_3", 0.5);
+  LinkResult r = linker.Link("Anna Keller");
+  ASSERT_TRUE(r.linked);
+  EXPECT_EQ(r.entity, "Anna_Keller_3");
+  EXPECT_DOUBLE_EQ(r.confidence, 0.95);
+  EXPECT_EQ(r.candidates, 1u);
+}
+
+TEST(LinkerTest, NormalizesSurfaceForms) {
+  Linker linker;
+  linker.AddAlias("Anna Keller", "Anna_Keller_3", 0.5);
+  EXPECT_TRUE(linker.Link("anna  KELLER").linked);
+  EXPECT_TRUE(linker.Link("Anna Keller,").linked);
+}
+
+TEST(LinkerTest, UnknownPhraseStaysToken) {
+  Linker linker;
+  linker.AddAlias("Anna Keller", "Anna_Keller_3", 0.5);
+  LinkResult r = linker.Link("work on physics");
+  EXPECT_FALSE(r.linked);
+  EXPECT_EQ(r.candidates, 0u);
+}
+
+TEST(LinkerTest, AmbiguousAliasLinksOnlyWhenDominant) {
+  Linker linker;
+  linker.AddAlias("Keller", "Anna_Keller_3", 0.9);
+  linker.AddAlias("Keller", "Karl_Keller_7", 0.1);
+  LinkResult dominant = linker.Link("Keller");
+  ASSERT_TRUE(dominant.linked);
+  EXPECT_EQ(dominant.entity, "Anna_Keller_3");
+  EXPECT_DOUBLE_EQ(dominant.confidence, 0.7);
+  EXPECT_EQ(dominant.candidates, 2u);
+
+  Linker balanced;
+  balanced.AddAlias("Keller", "Anna_Keller_3", 0.5);
+  balanced.AddAlias("Keller", "Karl_Keller_7", 0.5);
+  EXPECT_FALSE(balanced.Link("Keller").linked);
+}
+
+TEST(LinkerTest, DominanceThresholdConfigurable) {
+  Linker::Options opts;
+  opts.dominance_threshold = 0.45;
+  Linker linker(opts);
+  linker.AddAlias("Keller", "Anna_Keller_3", 0.5);
+  linker.AddAlias("Keller", "Karl_Keller_7", 0.5);
+  // 0.5 share >= 0.45 threshold: the (max-popularity) candidate links.
+  EXPECT_TRUE(linker.Link("Keller").linked);
+}
+
+TEST(LinkerTest, DuplicateAliasKeepsMaxPopularity) {
+  Linker linker;
+  linker.AddAlias("Keller", "Anna_Keller_3", 0.2);
+  linker.AddAlias("Keller", "Anna_Keller_3", 0.8);
+  linker.AddAlias("Keller", "Karl_Keller_7", 0.1);
+  LinkResult r = linker.Link("Keller");
+  EXPECT_EQ(r.candidates, 2u);
+  ASSERT_TRUE(r.linked);
+  EXPECT_EQ(r.entity, "Anna_Keller_3");
+}
+
+TEST(LinkerTest, EmptyAliasIgnored) {
+  Linker linker;
+  linker.AddAlias("...", "X", 0.5);  // normalizes to nothing
+  EXPECT_EQ(linker.alias_count(), 0u);
+}
+
+}  // namespace
+}  // namespace trinit::openie

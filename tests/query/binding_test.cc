@@ -1,0 +1,100 @@
+#include "query/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace trinit::query {
+namespace {
+
+Query ParseOk(const char* text) {
+  auto r = Parser::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(VarTableTest, AssignsIdsInFirstOccurrenceOrder) {
+  Query q = ParseOk("?y p ?x ; ?x q ?z");
+  VarTable table(q);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.Require("y"), 0u);
+  EXPECT_EQ(table.Require("x"), 1u);
+  EXPECT_EQ(table.Require("z"), 2u);
+  EXPECT_FALSE(table.Find("missing").has_value());
+}
+
+TEST(BindingTest, BindAndGet) {
+  Binding b(2);
+  EXPECT_FALSE(b.IsBound(0));
+  EXPECT_TRUE(b.Bind(0, 42));
+  EXPECT_TRUE(b.IsBound(0));
+  EXPECT_EQ(b.Get(0), 42u);
+  EXPECT_FALSE(b.IsComplete());
+  EXPECT_TRUE(b.Bind(1, 7));
+  EXPECT_TRUE(b.IsComplete());
+}
+
+TEST(BindingTest, RebindSameValueOk) {
+  Binding b(1);
+  EXPECT_TRUE(b.Bind(0, 5));
+  EXPECT_TRUE(b.Bind(0, 5));
+  EXPECT_FALSE(b.Bind(0, 6));  // join conflict
+  EXPECT_EQ(b.Get(0), 5u);
+}
+
+TEST(BindingTest, MergeCompatible) {
+  Binding a(3), b(3);
+  a.Bind(0, 1);
+  a.Bind(1, 2);
+  b.Bind(1, 2);
+  b.Bind(2, 3);
+  auto merged = a.MergedWith(b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->Get(0), 1u);
+  EXPECT_EQ(merged->Get(1), 2u);
+  EXPECT_EQ(merged->Get(2), 3u);
+}
+
+TEST(BindingTest, MergeConflictFails) {
+  Binding a(2), b(2);
+  a.Bind(0, 1);
+  b.Bind(0, 9);
+  EXPECT_FALSE(a.MergedWith(b).has_value());
+}
+
+TEST(BindingTest, KeyForIsStableAndProjectionScoped) {
+  Binding a(3), b(3);
+  a.Bind(0, 10);
+  a.Bind(1, 20);
+  a.Bind(2, 30);
+  b.Bind(0, 10);
+  b.Bind(1, 99);
+  b.Bind(2, 30);
+  std::vector<VarId> proj{0, 2};
+  EXPECT_EQ(a.KeyFor(proj), b.KeyFor(proj));  // differ only off-projection
+  std::vector<VarId> all{0, 1, 2};
+  EXPECT_NE(a.KeyFor(all), b.KeyFor(all));
+}
+
+TEST(BindingTest, KeyDistinguishesOrderedValues) {
+  Binding a(2), b(2);
+  a.Bind(0, 1);
+  a.Bind(1, 12);
+  b.Bind(0, 11);
+  b.Bind(1, 2);
+  // Without the separator "1|12|" vs "11|2|" could collide as "112".
+  EXPECT_NE(a.KeyFor({0, 1}), b.KeyFor({0, 1}));
+}
+
+TEST(BindingTest, ToStringRendersBoundVars) {
+  rdf::Dictionary dict;
+  rdf::TermId e = dict.InternResource("AlbertEinstein");
+  Query q = ParseOk("?x p ?y");
+  VarTable table(q);
+  Binding b(2);
+  b.Bind(0, e);
+  EXPECT_EQ(b.ToString(table, dict), "?x=AlbertEinstein");
+}
+
+}  // namespace
+}  // namespace trinit::query

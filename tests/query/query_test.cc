@@ -1,0 +1,98 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::query {
+namespace {
+
+TEST(TermTest, FactoriesSetKind) {
+  EXPECT_TRUE(Term::Variable("x").is_variable());
+  EXPECT_TRUE(Term::Resource("Ulm").is_constant());
+  EXPECT_EQ(Term::Token("Won A Nobel").text, "won a nobel");  // normalized
+  EXPECT_EQ(Term::Literal("1879-03-14").kind, Term::Kind::kLiteral);
+}
+
+TEST(TermTest, ToStringUsesQuerySyntax) {
+  EXPECT_EQ(Term::Variable("x").ToString(), "?x");
+  EXPECT_EQ(Term::Resource("Ulm").ToString(), "Ulm");
+  EXPECT_EQ(Term::Token("won nobel for").ToString(), "'won nobel for'");
+  EXPECT_EQ(Term::Literal("1879-03-14").ToString(), "\"1879-03-14\"");
+}
+
+TEST(TriplePatternTest, VariablesDeduplicated) {
+  TriplePattern p{Term::Variable("x"), Term::Resource("knows"),
+                  Term::Variable("x")};
+  EXPECT_EQ(p.Variables(), (std::vector<std::string>{"x"}));
+}
+
+TEST(QueryTest, VariablesInFirstOccurrenceOrder) {
+  Query q({{Term::Variable("y"), Term::Resource("p"), Term::Variable("x")},
+           {Term::Variable("x"), Term::Resource("q"), Term::Variable("z")}},
+          {});
+  EXPECT_EQ(q.Variables(), (std::vector<std::string>{"y", "x", "z"}));
+}
+
+TEST(QueryTest, EffectiveProjectionDefaultsToAllVariables) {
+  Query q({{Term::Variable("x"), Term::Resource("p"), Term::Variable("y")}},
+          {});
+  EXPECT_EQ(q.EffectiveProjection(), (std::vector<std::string>{"x", "y"}));
+  Query q2({{Term::Variable("x"), Term::Resource("p"), Term::Variable("y")}},
+           {"y"});
+  EXPECT_EQ(q2.EffectiveProjection(), (std::vector<std::string>{"y"}));
+}
+
+TEST(QueryTest, ValidateRejectsEmptyQuery) {
+  Query q;
+  EXPECT_EQ(q.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ValidateRejectsUnknownProjectionVariable) {
+  Query q({{Term::Variable("x"), Term::Resource("p"), Term::Resource("O")}},
+          {"nope"});
+  EXPECT_EQ(q.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ValidateAcceptsPaperQueryC) {
+  // AlbertEinstein affiliation ?x ; ?x member IvyLeague
+  Query q({{Term::Resource("AlbertEinstein"), Term::Resource("affiliation"),
+            Term::Variable("x")},
+           {Term::Variable("x"), Term::Resource("member"),
+            Term::Resource("IvyLeague")}},
+          {"x"});
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryTest, ResolveAgainstBindsIds) {
+  rdf::Dictionary dict;
+  rdf::TermId ulm = dict.InternResource("Ulm");
+  rdf::TermId phrase = dict.InternToken("won a nobel for");
+  Query q({{Term::Variable("x"), Term::Token("won a nobel for"),
+            Term::Resource("Ulm")}},
+          {});
+  q.ResolveAgainst(dict);
+  EXPECT_EQ(q.patterns()[0].p.id, phrase);
+  EXPECT_EQ(q.patterns()[0].o.id, ulm);
+}
+
+TEST(QueryTest, ResolveAgainstLeavesMissingUnresolved) {
+  rdf::Dictionary dict;
+  Query q({{Term::Variable("x"), Term::Resource("noSuchPredicate"),
+            Term::Variable("y")}},
+          {});
+  q.ResolveAgainst(dict);
+  EXPECT_EQ(q.patterns()[0].p.id, rdf::kNullTerm);
+}
+
+TEST(QueryTest, ToStringRoundsTrip) {
+  Query q({{Term::Resource("AlbertEinstein"), Term::Resource("affiliation"),
+            Term::Variable("x")},
+           {Term::Variable("x"), Term::Resource("member"),
+            Term::Resource("IvyLeague")}},
+          {"x"});
+  EXPECT_EQ(q.ToString(),
+            "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member "
+            "IvyLeague");
+}
+
+}  // namespace
+}  // namespace trinit::query

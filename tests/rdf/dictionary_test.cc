@@ -1,0 +1,114 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::rdf {
+namespace {
+
+TEST(DictionaryTest, InternAssignsSequentialIds) {
+  Dictionary dict;
+  TermId a = dict.InternResource("AlbertEinstein");
+  TermId b = dict.InternResource("Ulm");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternResource("bornIn");
+  TermId b = dict.InternResource("bornIn");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, KindsNamespaceLabels) {
+  Dictionary dict;
+  TermId res = dict.InternResource("ulm");
+  TermId tok = dict.InternToken("ulm");
+  TermId lit = dict.InternLiteral("ulm");
+  EXPECT_NE(res, tok);
+  EXPECT_NE(tok, lit);
+  EXPECT_NE(res, lit);
+  EXPECT_EQ(dict.kind(res), TermKind::kResource);
+  EXPECT_EQ(dict.kind(tok), TermKind::kToken);
+  EXPECT_EQ(dict.kind(lit), TermKind::kLiteral);
+}
+
+TEST(DictionaryTest, RoundTripLabel) {
+  Dictionary dict;
+  TermId id = dict.InternToken("won a nobel for");
+  EXPECT_EQ(dict.label(id), "won a nobel for");
+}
+
+TEST(DictionaryTest, FindReturnsNullForMissing) {
+  Dictionary dict;
+  dict.InternResource("exists");
+  EXPECT_EQ(dict.Find(TermKind::kResource, "missing"), kNullTerm);
+  EXPECT_EQ(dict.Find(TermKind::kToken, "exists"), kNullTerm);
+  EXPECT_NE(dict.Find(TermKind::kResource, "exists"), kNullTerm);
+}
+
+TEST(DictionaryTest, ContainsRejectsOutOfRange) {
+  Dictionary dict;
+  TermId id = dict.InternResource("x");
+  EXPECT_TRUE(dict.Contains(id));
+  EXPECT_FALSE(dict.Contains(kNullTerm));
+  EXPECT_FALSE(dict.Contains(id + 1));
+}
+
+TEST(DictionaryTest, DebugLabelNeverFails) {
+  Dictionary dict;
+  TermId res = dict.InternResource("IAS");
+  TermId tok = dict.InternToken("housed in");
+  EXPECT_EQ(dict.DebugLabel(res), "IAS");
+  EXPECT_EQ(dict.DebugLabel(tok), "'housed in'");  // tokens are quoted
+  EXPECT_EQ(dict.DebugLabel(kNullTerm), "<null>");
+  EXPECT_EQ(dict.DebugLabel(999), "<unknown:999>");
+}
+
+TEST(DictionaryTest, CountOfKindTracksInserts) {
+  Dictionary dict;
+  dict.InternResource("r1");
+  dict.InternResource("r2");
+  dict.InternToken("t1");
+  dict.InternLiteral("l1");
+  dict.InternResource("r1");  // duplicate, no effect
+  EXPECT_EQ(dict.CountOfKind(TermKind::kResource), 2u);
+  EXPECT_EQ(dict.CountOfKind(TermKind::kToken), 1u);
+  EXPECT_EQ(dict.CountOfKind(TermKind::kLiteral), 1u);
+}
+
+TEST(DictionaryTest, ForEachVisitsAllIdsInOrder) {
+  Dictionary dict;
+  dict.InternResource("a");
+  dict.InternToken("b");
+  dict.InternLiteral("c");
+  std::vector<TermId> seen;
+  dict.ForEach([&](TermId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<TermId>{1, 2, 3}));
+}
+
+class DictionaryScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DictionaryScaleTest, RoundTripManyTerms) {
+  const int n = GetParam();
+  Dictionary dict;
+  std::vector<TermId> ids;
+  ids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(dict.InternResource("entity_" + std::to_string(i)));
+  }
+  EXPECT_EQ(dict.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(dict.label(ids[i]), "entity_" + std::to_string(i));
+    EXPECT_EQ(dict.Find(TermKind::kResource, "entity_" + std::to_string(i)),
+              ids[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DictionaryScaleTest,
+                         ::testing::Values(1, 10, 1000, 20000));
+
+}  // namespace
+}  // namespace trinit::rdf

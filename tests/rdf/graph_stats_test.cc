@@ -1,0 +1,132 @@
+#include "rdf/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+
+namespace trinit::rdf {
+namespace {
+
+// World mirroring the paper's mined-rule example: two predicates that
+// share argument pairs, plus an inverse pair.
+class GraphStatsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // affiliation connects: (e1,u1) (e2,u1) (e3,u2)
+    // 'works at'  connects: (e1,u1) (e2,u1) (e4,u3)
+    // hasAdvisor: (s1,a1) (s2,a2);  hasStudent: (a1,s1) (a2,s2) (a3,s3)
+    affiliation_ = dict_.InternResource("affiliation");
+    works_at_ = dict_.InternToken("works at");
+    has_advisor_ = dict_.InternResource("hasAdvisor");
+    has_student_ = dict_.InternResource("hasStudent");
+    for (int i = 1; i <= 4; ++i) {
+      e_[i] = dict_.InternResource("e" + std::to_string(i));
+      u_[i] = dict_.InternResource("u" + std::to_string(i));
+      s_[i] = dict_.InternResource("s" + std::to_string(i));
+      a_[i] = dict_.InternResource("a" + std::to_string(i));
+    }
+    TripleStoreBuilder b;
+    b.Add(e_[1], affiliation_, u_[1]);
+    b.Add(e_[2], affiliation_, u_[1]);
+    b.Add(e_[3], affiliation_, u_[2]);
+    b.Add(e_[1], works_at_, u_[1]);
+    b.Add(e_[2], works_at_, u_[1]);
+    b.Add(e_[4], works_at_, u_[3]);
+    b.Add(s_[1], has_advisor_, a_[1]);
+    b.Add(s_[2], has_advisor_, a_[2]);
+    b.Add(a_[1], has_student_, s_[1]);
+    b.Add(a_[2], has_student_, s_[2]);
+    b.Add(a_[3], has_student_, s_[3]);
+    auto r = b.Build();
+    ASSERT_TRUE(r.ok());
+    store_ = std::move(r).value();
+    stats_.emplace(GraphStats::Compute(store_));
+  }
+
+  Dictionary dict_;
+  TermId affiliation_, works_at_, has_advisor_, has_student_;
+  TermId e_[5], u_[5], s_[5], a_[5];
+  TripleStore store_;
+  std::optional<GraphStats> stats_;
+};
+
+TEST_F(GraphStatsFixture, PredicateListIsComplete) {
+  EXPECT_EQ(stats_->predicates().size(), 4u);
+}
+
+TEST_F(GraphStatsFixture, PerPredicateCounts) {
+  const auto* ps = stats_->ForPredicate(affiliation_);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_EQ(ps->triple_count, 3u);
+  EXPECT_EQ(ps->distinct_subjects, 3u);
+  EXPECT_EQ(ps->distinct_objects, 2u);
+}
+
+TEST_F(GraphStatsFixture, UnknownPredicateIsNull) {
+  EXPECT_EQ(stats_->ForPredicate(e_[1]), nullptr);
+  EXPECT_TRUE(stats_->Args(e_[1]).empty());
+}
+
+TEST_F(GraphStatsFixture, ArgsAreSortedDistinctPairs) {
+  const auto& args = stats_->Args(affiliation_);
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(args.begin(), args.end()));
+}
+
+TEST_F(GraphStatsFixture, ArgsOverlapCountsSharedPairs) {
+  // affiliation and 'works at' share (e1,u1) and (e2,u1).
+  EXPECT_EQ(stats_->ArgsOverlap(affiliation_, works_at_), 2u);
+  EXPECT_EQ(stats_->ArgsOverlap(works_at_, affiliation_), 2u);
+  EXPECT_EQ(stats_->ArgsOverlap(affiliation_, has_advisor_), 0u);
+}
+
+TEST_F(GraphStatsFixture, MinedWeightMatchesPaperFormula) {
+  // w(p1 -> p2) = |args(p1) ∩ args(p2)| / |args(p2)|
+  EXPECT_DOUBLE_EQ(stats_->MinedWeight(affiliation_, works_at_), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats_->MinedWeight(works_at_, affiliation_), 2.0 / 3.0);
+  // Weight is asymmetric in general: give works_at an extra pair.
+  EXPECT_DOUBLE_EQ(stats_->MinedWeight(affiliation_, affiliation_), 1.0);
+}
+
+TEST_F(GraphStatsFixture, InverseOverlapDetectsInversePredicates) {
+  // hasAdvisor (s,a) pairs vs hasStudent (a,s) pairs: both advisor pairs
+  // appear inverted in hasStudent.
+  EXPECT_EQ(stats_->InverseArgsOverlap(has_advisor_, has_student_), 2u);
+  EXPECT_DOUBLE_EQ(stats_->MinedInverseWeight(has_advisor_, has_student_),
+                   2.0 / 3.0);
+  // And the plain overlap is zero.
+  EXPECT_EQ(stats_->ArgsOverlap(has_advisor_, has_student_), 0u);
+}
+
+TEST_F(GraphStatsFixture, MinedWeightZeroForUnknown) {
+  EXPECT_DOUBLE_EQ(stats_->MinedWeight(affiliation_, e_[1]), 0.0);
+  EXPECT_DOUBLE_EQ(stats_->MinedInverseWeight(e_[1], affiliation_), 0.0);
+}
+
+TEST(GraphStatsTest, EvidenceCountSumsTripleCounts) {
+  TripleStoreBuilder b;
+  b.Add(1, 10, 2, 1.0f, 3);
+  b.Add(3, 10, 4, 1.0f, 5);
+  b.Add(1, 10, 2, 1.0f, 2);  // merges with first triple
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  GraphStats stats = GraphStats::Compute(*r);
+  const auto* ps = stats.ForPredicate(10);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_EQ(ps->triple_count, 2u);
+  EXPECT_EQ(ps->evidence_count, 10u);
+}
+
+TEST(GraphStatsTest, DuplicatePairsCollapseInArgs) {
+  TripleStoreBuilder b;
+  b.Add(1, 10, 2);
+  b.Add(1, 10, 2);
+  b.Add(1, 10, 3);
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  GraphStats stats = GraphStats::Compute(*r);
+  EXPECT_EQ(stats.Args(10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace trinit::rdf

@@ -1,0 +1,228 @@
+#include "rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/dictionary.h"
+#include "util/random.h"
+
+namespace trinit::rdf {
+namespace {
+
+// Builds the Figure 1 sample KG of the paper.
+struct Figure1Fixture {
+  Dictionary dict;
+  TermId einstein = dict.InternResource("AlbertEinstein");
+  TermId ulm = dict.InternResource("Ulm");
+  TermId germany = dict.InternResource("Germany");
+  TermId kleiner = dict.InternResource("AlfredKleiner");
+  TermId ias = dict.InternResource("IAS");
+  TermId princeton = dict.InternResource("PrincetonUniversity");
+  TermId ivy = dict.InternResource("IvyLeague");
+  TermId born_in = dict.InternResource("bornIn");
+  TermId located_in = dict.InternResource("locatedIn");
+  TermId born_on = dict.InternResource("bornOn");
+  TermId has_student = dict.InternResource("hasStudent");
+  TermId affiliation = dict.InternResource("affiliation");
+  TermId member = dict.InternResource("member");
+  TermId birth_date = dict.InternLiteral("1879-03-14");
+  TripleStore store;
+
+  Figure1Fixture() {
+    TripleStoreBuilder b;
+    b.Add(einstein, born_in, ulm);
+    b.Add(ulm, located_in, germany);
+    b.Add(einstein, born_on, birth_date);
+    b.Add(kleiner, has_student, einstein);
+    b.Add(einstein, affiliation, ias);
+    b.Add(princeton, member, ivy);
+    auto r = std::move(b).Build();
+    EXPECT_TRUE(r.ok());
+    store = std::move(r).value();
+  }
+};
+
+TEST(TripleStoreTest, BuildsFigure1Kg) {
+  Figure1Fixture f;
+  EXPECT_EQ(f.store.size(), 6u);
+  EXPECT_TRUE(f.store.Contains(f.einstein, f.born_in, f.ulm));
+  EXPECT_FALSE(f.store.Contains(f.einstein, f.born_in, f.germany));
+}
+
+TEST(TripleStoreTest, FullyBoundMatch) {
+  Figure1Fixture f;
+  auto ids = f.store.Match(f.einstein, f.born_in, f.ulm);
+  ASSERT_EQ(ids.size(), 1u);
+  const Triple& t = f.store.triple(ids[0]);
+  EXPECT_EQ(t.s, f.einstein);
+  EXPECT_EQ(t.p, f.born_in);
+  EXPECT_EQ(t.o, f.ulm);
+}
+
+TEST(TripleStoreTest, SubjectOnlyMatch) {
+  Figure1Fixture f;
+  auto ids = f.store.Match(f.einstein, kNullTerm, kNullTerm);
+  EXPECT_EQ(ids.size(), 3u);  // bornIn, bornOn, affiliation
+  for (TripleId id : ids) {
+    EXPECT_EQ(f.store.triple(id).s, f.einstein);
+  }
+}
+
+TEST(TripleStoreTest, PredicateOnlyMatch) {
+  Figure1Fixture f;
+  auto ids = f.store.Match(kNullTerm, f.born_in, kNullTerm);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(f.store.triple(ids[0]).o, f.ulm);
+}
+
+TEST(TripleStoreTest, ObjectOnlyMatch) {
+  Figure1Fixture f;
+  auto ids = f.store.Match(kNullTerm, kNullTerm, f.einstein);
+  ASSERT_EQ(ids.size(), 1u);  // AlfredKleiner hasStudent AlbertEinstein
+  EXPECT_EQ(f.store.triple(ids[0]).s, f.kleiner);
+}
+
+TEST(TripleStoreTest, SubjectObjectMatch) {
+  Figure1Fixture f;
+  auto ids = f.store.Match(f.einstein, kNullTerm, f.ias);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(f.store.triple(ids[0]).p, f.affiliation);
+}
+
+TEST(TripleStoreTest, WildcardMatchesAll) {
+  Figure1Fixture f;
+  EXPECT_EQ(f.store.Match(kNullTerm, kNullTerm, kNullTerm).size(), 6u);
+}
+
+TEST(TripleStoreTest, EmptyStoreMatchesNothing) {
+  TripleStore store;
+  EXPECT_EQ(store.Match(kNullTerm, kNullTerm, kNullTerm).size(), 0u);
+  EXPECT_EQ(store.Find(1, 2, 3), kInvalidTriple);
+}
+
+TEST(TripleStoreBuilderTest, RejectsNullSlots) {
+  TripleStoreBuilder b;
+  b.Add(kNullTerm, 1, 2);
+  auto r = std::move(b).Build();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TripleStoreBuilderTest, DeduplicatesAndAggregates) {
+  TripleStoreBuilder b;
+  b.Add(1, 2, 3, 0.6f, 2, 5);
+  b.Add(1, 2, 3, 0.9f, 3, 7);
+  b.Add(1, 2, 3, 0.7f, 1, kKgSource);
+  auto r = std::move(b).Build();
+  ASSERT_TRUE(r.ok());
+  const TripleStore& store = *r;
+  ASSERT_EQ(store.size(), 1u);
+  const Triple& t = store.triple(0);
+  EXPECT_EQ(t.count, 6u);                  // counts summed
+  EXPECT_FLOAT_EQ(t.confidence, 0.9f);     // max confidence
+  EXPECT_EQ(t.source, kKgSource);          // KG provenance wins
+  EXPECT_EQ(store.total_count(), 6u);
+}
+
+TEST(TripleStoreTest, TotalCountSumsEvidence) {
+  TripleStoreBuilder b;
+  b.Add(1, 2, 3, 1.0f, 4);
+  b.Add(4, 5, 6, 1.0f, 9);
+  auto r = std::move(b).Build();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total_count(), 13u);
+}
+
+// ---------------------------------------------------------------------
+// Property test: on random graphs, every pattern shape must return
+// exactly the triples a brute-force scan returns, for all 8 shapes.
+// ---------------------------------------------------------------------
+
+struct RandomGraphParams {
+  uint64_t seed;
+  int num_triples;
+  int num_terms;
+};
+
+class TripleStorePropertyTest
+    : public ::testing::TestWithParam<RandomGraphParams> {};
+
+TEST_P(TripleStorePropertyTest, AllPatternShapesMatchBruteForce) {
+  const RandomGraphParams param = GetParam();
+  Rng rng(param.seed);
+  std::vector<Triple> raw;
+  TripleStoreBuilder b;
+  for (int i = 0; i < param.num_triples; ++i) {
+    Triple t;
+    t.s = static_cast<TermId>(1 + rng.Uniform(param.num_terms));
+    t.p = static_cast<TermId>(1 + rng.Uniform(param.num_terms / 4 + 1));
+    t.o = static_cast<TermId>(1 + rng.Uniform(param.num_terms));
+    raw.push_back(t);
+    b.Add(t);
+  }
+  auto r = std::move(b).Build();
+  ASSERT_TRUE(r.ok());
+  const TripleStore& store = *r;
+
+  // Dedup raw triples for the reference set.
+  std::set<std::tuple<TermId, TermId, TermId>> reference;
+  for (const Triple& t : raw) reference.insert({t.s, t.p, t.o});
+  ASSERT_EQ(store.size(), reference.size());
+
+  auto check_pattern = [&](TermId s, TermId p, TermId o) {
+    std::set<std::tuple<TermId, TermId, TermId>> expected;
+    for (const auto& t : reference) {
+      auto [ts, tp, to] = t;
+      if ((s == kNullTerm || ts == s) && (p == kNullTerm || tp == p) &&
+          (o == kNullTerm || to == o)) {
+        expected.insert(t);
+      }
+    }
+    std::set<std::tuple<TermId, TermId, TermId>> actual;
+    for (TripleId id : store.Match(s, p, o)) {
+      const Triple& t = store.triple(id);
+      actual.insert({t.s, t.p, t.o});
+    }
+    EXPECT_EQ(actual, expected)
+        << "pattern (" << s << "," << p << "," << o << ")";
+  };
+
+  // Probe with terms that exist (drawn from stored triples) and a few
+  // that may not.
+  for (int probe = 0; probe < 30; ++probe) {
+    const Triple& t = store.triple(
+        static_cast<TripleId>(rng.Uniform(store.size())));
+    TermId s = t.s, p = t.p, o = t.o;
+    TermId miss = static_cast<TermId>(1 + rng.Uniform(param.num_terms * 2));
+    check_pattern(s, p, o);
+    check_pattern(s, kNullTerm, kNullTerm);
+    check_pattern(kNullTerm, p, kNullTerm);
+    check_pattern(kNullTerm, kNullTerm, o);
+    check_pattern(s, p, kNullTerm);
+    check_pattern(s, kNullTerm, o);
+    check_pattern(kNullTerm, p, o);
+    check_pattern(miss, kNullTerm, miss);
+  }
+  check_pattern(kNullTerm, kNullTerm, kNullTerm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, TripleStorePropertyTest,
+    ::testing::Values(RandomGraphParams{101, 50, 10},
+                      RandomGraphParams{202, 500, 40},
+                      RandomGraphParams{303, 2000, 100},
+                      RandomGraphParams{404, 5000, 30},   // dense collisions
+                      RandomGraphParams{505, 1, 1},       // degenerate
+                      RandomGraphParams{606, 300, 300})); // sparse
+
+TEST(TripleStoreTest, MatchCountAgreesWithMatchSize) {
+  Figure1Fixture f;
+  EXPECT_EQ(f.store.MatchCount(f.einstein, kNullTerm, kNullTerm),
+            f.store.Match(f.einstein, kNullTerm, kNullTerm).size());
+  EXPECT_EQ(f.store.MatchCount(kNullTerm, f.born_in, kNullTerm), 1u);
+}
+
+}  // namespace
+}  // namespace trinit::rdf

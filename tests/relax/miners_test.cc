@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "relax/bridge_miner.h"
+#include "relax/inversion_miner.h"
+#include "relax/synonym_miner.h"
+#include "xkg/xkg_builder.h"
+
+namespace trinit::relax {
+namespace {
+
+// World where `affiliation` (KG) and 'works at' (XKG) share argument
+// pairs: 3 of 'works at's 4 pairs coincide with affiliation pairs.
+xkg::Xkg BuildSynonymWorld() {
+  xkg::XkgBuilder b;
+  b.AddKgFact("E1", "affiliation", "U1");
+  b.AddKgFact("E2", "affiliation", "U1");
+  b.AddKgFact("E3", "affiliation", "U2");
+  b.AddKgFact("E4", "affiliation", "U2");
+  auto ext = [&](const char* s, const char* o) {
+    b.AddExtraction(s, true, "works at", o, true, 0.8f,
+                    {1, 0, std::string(s) + " works at " + o + ".", 0.8});
+  };
+  ext("E1", "U1");
+  ext("E2", "U1");
+  ext("E3", "U2");
+  ext("E9", "U3");  // extra pair only in the extraction layer
+  auto r = b.Build();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+const Rule* FindRule(const RuleSet& rules, const std::string& name) {
+  for (const Rule& r : rules.rules()) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+TEST(SynonymMinerTest, MinesPaperFormulaWeights) {
+  xkg::Xkg xkg = BuildSynonymWorld();
+  SynonymMiner::Options opts;
+  opts.min_weight = 0.0;
+  opts.min_overlap = 1;
+  SynonymMiner miner(opts);
+  RuleSet rules;
+  ASSERT_TRUE(miner.Generate(xkg, &rules).ok());
+
+  // w(affiliation -> 'works at') = |∩| / |args(works at)| = 3/4.
+  const Rule* fwd = FindRule(rules, "syn:affiliation->works at");
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_DOUBLE_EQ(fwd->weight, 3.0 / 4.0);
+  EXPECT_EQ(fwd->kind, RuleKind::kSynonym);
+  // RHS predicate is a token term.
+  EXPECT_EQ(fwd->rhs[0].p.kind, query::Term::Kind::kToken);
+
+  // w('works at' -> affiliation) = 3/4 as well (|args(affiliation)|=4).
+  const Rule* bwd = FindRule(rules, "syn:works at->affiliation");
+  ASSERT_NE(bwd, nullptr);
+  EXPECT_DOUBLE_EQ(bwd->weight, 3.0 / 4.0);
+}
+
+TEST(SynonymMinerTest, ThresholdsFilterRules) {
+  xkg::Xkg xkg = BuildSynonymWorld();
+  SynonymMiner::Options opts;
+  opts.min_weight = 0.9;  // 0.75 < 0.9
+  SynonymMiner miner(opts);
+  RuleSet rules;
+  ASSERT_TRUE(miner.Generate(xkg, &rules).ok());
+  EXPECT_EQ(rules.size(), 0u);
+
+  opts.min_weight = 0.0;
+  opts.min_overlap = 4;  // only 3 shared pairs
+  SynonymMiner strict(opts);
+  RuleSet rules2;
+  ASSERT_TRUE(strict.Generate(xkg, &rules2).ok());
+  EXPECT_EQ(rules2.size(), 0u);
+}
+
+TEST(InversionMinerTest, MinesInverseRules) {
+  xkg::XkgBuilder b;
+  b.AddKgFact("S1", "hasAdvisor", "A1");
+  b.AddKgFact("S2", "hasAdvisor", "A2");
+  b.AddKgFact("A1", "hasStudent", "S1");
+  b.AddKgFact("A2", "hasStudent", "S2");
+  b.AddKgFact("A3", "hasStudent", "S3");
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+
+  InversionMiner::Options opts;
+  opts.min_weight = 0.0;
+  opts.min_overlap = 1;
+  InversionMiner miner(opts);
+  RuleSet rules;
+  ASSERT_TRUE(miner.Generate(*r, &rules).ok());
+
+  // w = |args(hasAdvisor) ∩ swap(args(hasStudent))| / |args(hasStudent)|
+  //   = 2/3.
+  const Rule* rule = FindRule(rules, "inv:hasAdvisor->hasStudent");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_DOUBLE_EQ(rule->weight, 2.0 / 3.0);
+  EXPECT_EQ(rule->kind, RuleKind::kInversion);
+  // The RHS swaps the variables: ?y hasStudent ?x.
+  EXPECT_EQ(rule->rhs[0].s, query::Term::Variable("y"));
+  EXPECT_EQ(rule->rhs[0].o, query::Term::Variable("x"));
+}
+
+TEST(InversionMinerTest, DetectsSymmetricPredicates) {
+  xkg::XkgBuilder b;
+  b.AddKgFact("A", "marriedTo", "B");
+  b.AddKgFact("B", "marriedTo", "A");
+  b.AddKgFact("C", "marriedTo", "D");
+  b.AddKgFact("D", "marriedTo", "C");
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  InversionMiner::Options opts;
+  opts.min_weight = 0.0;
+  opts.min_overlap = 1;
+  InversionMiner miner(opts);
+  RuleSet rules;
+  ASSERT_TRUE(miner.Generate(*r, &rules).ok());
+  const Rule* rule = FindRule(rules, "inv:marriedTo->marriedTo");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_DOUBLE_EQ(rule->weight, 1.0);  // fully symmetric
+}
+
+TEST(BridgeMinerTest, MinesTwoHopExpansion) {
+  // Some people have bornIn pointing directly at the country (the
+  // granularity mismatch of user A), so args(bornIn) overlaps
+  // compose(bornIn, locatedIn).
+  xkg::XkgBuilder b;
+  b.AddKgFact("P1", "bornIn", "City1");
+  b.AddKgFact("P2", "bornIn", "City2");
+  b.AddKgFact("P1", "bornIn", "Country1");  // coarse-grained duplicate
+  b.AddKgFact("P2", "bornIn", "Country1");
+  b.AddKgFact("City1", "locatedIn", "Country1");
+  b.AddKgFact("City2", "locatedIn", "Country1");
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+
+  BridgeMiner::Options opts;
+  opts.min_weight = 0.0;
+  opts.min_overlap = 1;
+  BridgeMiner miner(opts);
+  RuleSet rules;
+  ASSERT_TRUE(miner.Generate(*r, &rules).ok());
+
+  // compose(bornIn, locatedIn) = {(P1,Country1),(P2,Country1)}; both are
+  // also direct bornIn pairs -> w = 2/2 = 1.
+  const Rule* rule = FindRule(rules, "exp:bornIn-via-locatedIn");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_DOUBLE_EQ(rule->weight, 1.0);
+  EXPECT_EQ(rule->kind, RuleKind::kExpansion);
+  ASSERT_EQ(rule->rhs.size(), 2u);
+  // RHS introduces the existential middle variable.
+  EXPECT_EQ(rule->rhs[0].o, rule->rhs[1].s);
+}
+
+TEST(BridgeMinerTest, NoRuleWithoutDirectOverlap) {
+  // Fine-grained only: bornIn never points at countries, so the
+  // expansion's compose pairs never coincide with direct pairs.
+  xkg::XkgBuilder b;
+  b.AddKgFact("P1", "bornIn", "City1");
+  b.AddKgFact("City1", "locatedIn", "Country1");
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  BridgeMiner::Options opts;
+  opts.min_weight = 0.0;
+  opts.min_overlap = 1;
+  BridgeMiner miner(opts);
+  RuleSet rules;
+  ASSERT_TRUE(miner.Generate(*r, &rules).ok());
+  EXPECT_EQ(FindRule(rules, "exp:bornIn-via-locatedIn"), nullptr);
+}
+
+TEST(MinersTest, EmptyXkgProducesNoRules) {
+  xkg::XkgBuilder b;
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  RuleSet rules;
+  SynonymMiner syn;
+  InversionMiner inv;
+  BridgeMiner bridge;
+  ASSERT_TRUE(syn.Generate(*r, &rules).ok());
+  ASSERT_TRUE(inv.Generate(*r, &rules).ok());
+  ASSERT_TRUE(bridge.Generate(*r, &rules).ok());
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+TEST(MinersTest, OperatorApiNames) {
+  SynonymMiner syn;
+  InversionMiner inv;
+  BridgeMiner bridge;
+  EXPECT_EQ(syn.name(), "synonym-miner");
+  EXPECT_EQ(inv.name(), "inversion-miner");
+  EXPECT_EQ(bridge.name(), "bridge-miner");
+  // All three satisfy the RelaxationOperator interface.
+  std::vector<RelaxationOperator*> ops{&syn, &inv, &bridge};
+  EXPECT_EQ(ops.size(), 3u);
+}
+
+}  // namespace
+}  // namespace trinit::relax

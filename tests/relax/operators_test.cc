@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "relax/paraphrase_operator.h"
+#include "relax/rule_io.h"
+#include "xkg/xkg_builder.h"
+
+namespace trinit::relax {
+namespace {
+
+xkg::Xkg EmptyXkg() {
+  xkg::XkgBuilder b;
+  auto r = b.Build();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(ParaphraseOperatorTest, ParsesRepository) {
+  auto clusters = ParaphraseOperator::ParseRepository(
+      "# comment\n"
+      "0.8: affiliation | 'works at' | 'is employed by'\n"
+      "0.7: bornIn | 'was born in'\n");
+  ASSERT_TRUE(clusters.ok()) << clusters.status();
+  ASSERT_EQ(clusters->size(), 2u);
+  EXPECT_DOUBLE_EQ((*clusters)[0].weight, 0.8);
+  ASSERT_EQ((*clusters)[0].members.size(), 3u);
+  EXPECT_EQ((*clusters)[0].members[0].kind, query::Term::Kind::kResource);
+  EXPECT_EQ((*clusters)[0].members[1].kind, query::Term::Kind::kToken);
+  EXPECT_EQ((*clusters)[0].members[1].text, "works at");
+}
+
+TEST(ParaphraseOperatorTest, RejectsMalformedRepositories) {
+  EXPECT_FALSE(ParaphraseOperator::ParseRepository("no colon here\n").ok());
+  EXPECT_FALSE(ParaphraseOperator::ParseRepository("2.0: a | b\n").ok());
+  EXPECT_FALSE(ParaphraseOperator::ParseRepository("x: a | b\n").ok());
+  EXPECT_FALSE(ParaphraseOperator::ParseRepository("0.5: lonely\n").ok());
+}
+
+TEST(ParaphraseOperatorTest, EmitsAllOrderedPairs) {
+  auto op = ParaphraseOperator::FromText(
+      "0.8: affiliation | 'works at' | 'is employed by'\n");
+  ASSERT_TRUE(op.ok());
+  xkg::Xkg xkg = EmptyXkg();
+  RuleSet rules;
+  ASSERT_TRUE(op->Generate(xkg, &rules).ok());
+  // 3 members -> 6 ordered pairs.
+  EXPECT_EQ(rules.size(), 6u);
+  for (const Rule& rule : rules.rules()) {
+    EXPECT_EQ(rule.kind, RuleKind::kOperator);
+    EXPECT_DOUBLE_EQ(rule.weight, 0.8);
+  }
+}
+
+TEST(ParaphraseOperatorTest, BuiltinRepositoryParses) {
+  auto op = ParaphraseOperator::FromText(
+      ParaphraseOperator::BuiltinRepository());
+  ASSERT_TRUE(op.ok()) << op.status();
+  EXPECT_GE(op->cluster_count(), 8u);
+  xkg::Xkg xkg = EmptyXkg();
+  RuleSet rules;
+  ASSERT_TRUE(op->Generate(xkg, &rules).ok());
+  EXPECT_GT(rules.size(), 20u);
+}
+
+TEST(RuleIoTest, SaveLoadRoundTrip) {
+  RuleSet rules;
+  auto op = ParaphraseOperator::FromText("0.8: a | 'b phrase'\n");
+  ASSERT_TRUE(op.ok());
+  xkg::Xkg xkg = EmptyXkg();
+  ASSERT_TRUE(op->Generate(xkg, &rules).ok());
+  ASSERT_EQ(rules.size(), 2u);
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "trinit_rules.tsv")
+          .string();
+  ASSERT_TRUE(RuleIo::Save(rules, path).ok());
+
+  RuleSet loaded;
+  Status s = RuleIo::Load(path, &loaded);
+  std::remove(path.c_str());
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_EQ(loaded.size(), rules.size());
+  // Kinds and weights survive.
+  for (const Rule& rule : loaded.rules()) {
+    EXPECT_EQ(rule.kind, RuleKind::kOperator);
+    EXPECT_DOUBLE_EQ(rule.weight, 0.8);
+  }
+}
+
+TEST(RuleIoTest, LoadMergesIntoExistingSet) {
+  RuleSet rules;
+  ASSERT_TRUE(RuleIo::LoadFromString(
+                  "manual\tr1: ?x a ?y => ?x b ?y @ 0.5\n", &rules)
+                  .ok());
+  ASSERT_TRUE(RuleIo::LoadFromString(
+                  "synonym\tr2: ?x a ?y => ?x c ?y @ 0.4\n", &rules)
+                  .ok());
+  EXPECT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules.CountOfKind(RuleKind::kManual), 1u);
+  EXPECT_EQ(rules.CountOfKind(RuleKind::kSynonym), 1u);
+}
+
+TEST(RuleIoTest, RejectsBadContent) {
+  RuleSet rules;
+  EXPECT_FALSE(RuleIo::LoadFromString("onlyonefield\n", &rules).ok());
+  EXPECT_FALSE(RuleIo::LoadFromString(
+                   "badkind\tr: ?x a ?y => ?x b ?y @ 0.5\n", &rules)
+                   .ok());
+  EXPECT_FALSE(RuleIo::LoadFromString(
+                   "manual\tnot a rule at all\n", &rules)
+                   .ok());
+}
+
+TEST(RuleIoTest, LoadMissingFileIsIoError) {
+  RuleSet rules;
+  EXPECT_EQ(RuleIo::Load("/nonexistent/rules.tsv", &rules).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace trinit::relax

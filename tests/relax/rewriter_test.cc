@@ -1,0 +1,213 @@
+#include "relax/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "relax/manual_rules.h"
+
+namespace trinit::relax {
+namespace {
+
+query::Query ParseQuery(const char* text) {
+  auto r = query::Parser::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+Rule ParseRule(const char* text) {
+  auto r = ParseManualRule(text, 1);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+RuleSet MakeRules(std::initializer_list<const char*> lines) {
+  RuleSet rules;
+  for (const char* line : lines) {
+    EXPECT_TRUE(rules.Add(ParseRule(line)).ok());
+  }
+  return rules;
+}
+
+TEST(RewriterTest, AppliesInversionRule) {
+  // Figure 4 rule 2 on user B's query.
+  RuleSet rules = MakeRules({"?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0"});
+  Rewriter rewriter(rules);
+  query::Query q = ParseQuery("AlbertEinstein hasAdvisor ?x");
+  auto apps = rewriter.ApplyRule(q, rules.rules()[0]);
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].query.ToString(), "?x hasStudent AlbertEinstein");
+  EXPECT_DOUBLE_EQ(apps[0].weight, 1.0);
+}
+
+TEST(RewriterTest, AppliesExpansionRuleWithFreshVariable) {
+  // Figure 4 rule 3 on user C's first pattern.
+  RuleSet rules = MakeRules(
+      {"?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y @ 0.8"});
+  Rewriter rewriter(rules);
+  query::Query q = ParseQuery("AlbertEinstein affiliation ?u");
+  auto apps = rewriter.ApplyRule(q, rules.rules()[0]);
+  ASSERT_EQ(apps.size(), 1u);
+  const query::Query& rw = apps[0].query;
+  ASSERT_EQ(rw.patterns().size(), 2u);
+  // The fresh variable must not collide with ?u.
+  const query::Term& fresh = rw.patterns()[0].o;
+  EXPECT_TRUE(fresh.is_variable());
+  EXPECT_NE(fresh.text, "u");
+  // Second pattern joins fresh var to ?u through the token predicate.
+  EXPECT_EQ(rw.patterns()[1].s.text, fresh.text);
+  EXPECT_EQ(rw.patterns()[1].p.kind, query::Term::Kind::kToken);
+  EXPECT_EQ(rw.patterns()[1].o, query::Term::Variable("u"));
+}
+
+TEST(RewriterTest, AppliesMultiPatternLhsRule) {
+  // Figure 4 rule 1 needs both bornIn and the type pattern.
+  RuleSet rules = MakeRules(
+      {"?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z type city ; "
+       "?z locatedIn ?y @ 1.0"});
+  Rewriter rewriter(rules);
+  query::Query with_type = ParseQuery("?p bornIn Germany ; Germany type "
+                                      "country");
+  auto apps = rewriter.ApplyRule(with_type, rules.rules()[0]);
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].query.patterns().size(), 3u);
+
+  // Without the type pattern the rule must not fire.
+  query::Query bare = ParseQuery("?p bornIn Germany");
+  EXPECT_TRUE(rewriter.ApplyRule(bare, rules.rules()[0]).empty());
+}
+
+TEST(RewriterTest, RuleConstantDoesNotMatchQueryVariable) {
+  RuleSet rules = MakeRules({"?x bornIn Germany => ?x bornIn Berlin @ 0.5"});
+  Rewriter rewriter(rules);
+  // Query has a variable where the rule wants the constant Germany.
+  query::Query q = ParseQuery("?x bornIn ?where");
+  EXPECT_TRUE(rewriter.ApplyRule(q, rules.rules()[0]).empty());
+  // With the constant present it fires.
+  query::Query q2 = ParseQuery("?x bornIn Germany");
+  EXPECT_EQ(rewriter.ApplyRule(q2, rules.rules()[0]).size(), 1u);
+}
+
+TEST(RewriterTest, RepeatedRuleVariableRequiresEqualTerms) {
+  RuleSet rules =
+      MakeRules({"?x knows ?x => ?x 'knows self' ?x @ 0.9"});
+  Rewriter rewriter(rules);
+  EXPECT_EQ(rewriter.ApplyRule(ParseQuery("?a knows ?a"), rules.rules()[0])
+                .size(),
+            1u);
+  EXPECT_TRUE(rewriter.ApplyRule(ParseQuery("?a knows ?b"), rules.rules()[0])
+                  .empty());
+}
+
+TEST(RewriterTest, RuleVariableBindsQueryConstant) {
+  RuleSet rules = MakeRules({"?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0"});
+  Rewriter rewriter(rules);
+  query::Query q = ParseQuery("AlbertEinstein hasAdvisor AlfredKleiner");
+  auto apps = rewriter.ApplyRule(q, rules.rules()[0]);
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].query.ToString(),
+            "AlfredKleiner hasStudent AlbertEinstein");
+}
+
+TEST(RewriterTest, MultiplePositionsYieldMultipleApplications) {
+  RuleSet rules = MakeRules({"?x p ?y => ?x q ?y @ 0.5"});
+  Rewriter rewriter(rules);
+  query::Query q = ParseQuery("?a p ?b ; ?b p ?c");
+  auto apps = rewriter.ApplyRule(q, rules.rules()[0]);
+  EXPECT_EQ(apps.size(), 2u);  // fires on either pattern
+}
+
+TEST(RewriterTest, DiscardsApplicationsDroppingProjectionVars) {
+  RuleSet rules = MakeRules({"?x p ?y => ?x q C @ 0.5"});
+  Rewriter rewriter(rules);
+  // ?y is projected but the RHS loses it.
+  auto parsed = query::Parser::Parse("SELECT ?y WHERE ?x p ?y");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(rewriter.ApplyRule(*parsed, rules.rules()[0]).empty());
+}
+
+TEST(RewriterTest, EnumerateIncludesOriginalFirst) {
+  RuleSet rules = MakeRules({"?x p ?y => ?x q ?y @ 0.5"});
+  Rewriter rewriter(rules);
+  query::Query q = ParseQuery("?a p ?b");
+  auto all = rewriter.EnumerateRewrites(q);
+  ASSERT_GE(all.size(), 2u);
+  EXPECT_EQ(all[0].query.ToString(), q.ToString());
+  EXPECT_DOUBLE_EQ(all[0].weight, 1.0);
+  EXPECT_TRUE(all[0].applied.empty());
+}
+
+TEST(RewriterTest, EnumerateChainsUpToDepth) {
+  RuleSet rules = MakeRules({"?x p ?y => ?x q ?y @ 0.8",
+                             "?x q ?y => ?x r ?y @ 0.5"});
+  Rewriter::Options opts;
+  opts.max_depth = 2;
+  opts.min_weight = 0.0;
+  Rewriter rewriter(rules, opts);
+  auto all = rewriter.EnumerateRewrites(ParseQuery("?a p ?b"));
+  // original, p->q (0.8), p->q->r (0.4).
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[1].weight, 0.8);
+  EXPECT_DOUBLE_EQ(all[2].weight, 0.4);
+  EXPECT_EQ(all[2].applied.size(), 2u);
+
+  Rewriter::Options shallow;
+  shallow.max_depth = 1;
+  Rewriter rewriter1(rules, shallow);
+  EXPECT_EQ(rewriter1.EnumerateRewrites(ParseQuery("?a p ?b")).size(), 2u);
+}
+
+TEST(RewriterTest, EnumeratePrunesByMinWeight) {
+  RuleSet rules = MakeRules({"?x p ?y => ?x q ?y @ 0.2"});
+  Rewriter::Options opts;
+  opts.min_weight = 0.3;
+  Rewriter rewriter(rules, opts);
+  EXPECT_EQ(rewriter.EnumerateRewrites(ParseQuery("?a p ?b")).size(), 1u);
+}
+
+TEST(RewriterTest, EnumerateDedupsKeepingMaxWeight) {
+  // Two derivation paths to `?a r ?b`: direct (0.3) and via q (0.8*0.5 =
+  // 0.4). Max-over-derivations must keep 0.4.
+  RuleSet rules = MakeRules({"?x p ?y => ?x q ?y @ 0.8",
+                             "?x q ?y => ?x r ?y @ 0.5",
+                             "?x p ?y => ?x r ?y @ 0.3"});
+  Rewriter::Options opts;
+  opts.max_depth = 2;
+  opts.min_weight = 0.0;
+  Rewriter rewriter(rules, opts);
+  auto all = rewriter.EnumerateRewrites(ParseQuery("?a p ?b"));
+  double r_weight = -1;
+  for (const auto& rw : all) {
+    if (rw.query.ToString() == "?a r ?b") r_weight = rw.weight;
+  }
+  EXPECT_DOUBLE_EQ(r_weight, 0.4);
+}
+
+TEST(RewriterTest, EnumerateRespectsMaxRewritesCap) {
+  RuleSet rules;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rules
+                    .Add(ParseRule(("?x p ?y => ?x q" + std::to_string(i) +
+                                    " ?y @ 0.9")
+                                       .c_str()))
+                    .ok());
+  }
+  Rewriter::Options opts;
+  opts.max_rewrites = 10;
+  Rewriter rewriter(rules, opts);
+  EXPECT_LE(rewriter.EnumerateRewrites(ParseQuery("?a p ?b")).size(), 10u);
+}
+
+TEST(RewriterTest, WeightsAreOrderedDescendingAfterOriginal) {
+  RuleSet rules = MakeRules({"?x p ?y => ?x q ?y @ 0.5",
+                             "?x p ?y => ?x r ?y @ 0.9",
+                             "?x p ?y => ?x s ?y @ 0.7"});
+  Rewriter rewriter(rules);
+  auto all = rewriter.EnumerateRewrites(ParseQuery("?a p ?b"));
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 2; i < all.size(); ++i) {
+    EXPECT_LE(all[i].weight, all[i - 1].weight);
+  }
+}
+
+}  // namespace
+}  // namespace trinit::relax

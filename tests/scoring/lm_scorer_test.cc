@@ -1,0 +1,130 @@
+#include "scoring/lm_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xkg/xkg_builder.h"
+
+namespace trinit::scoring {
+namespace {
+
+xkg::Xkg SmallWorld() {
+  xkg::XkgBuilder b;
+  b.AddKgFact("A", "p", "B");
+  b.AddExtraction("A", true, "works at", "C", true, 0.5f,
+                  {1, 0, "A works at C.", 0.5});
+  b.AddExtraction("A", true, "works at", "C", true, 0.5f,
+                  {2, 0, "A works at C!", 0.5});
+  b.AddExtraction("D", true, "works at", "C", true, 1.0f,
+                  {3, 0, "D works at C.", 1.0});
+  auto r = b.Build();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(LmScorerTest, PatternMassSumsCounts) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  auto all = xkg.store().Match(rdf::kNullTerm, rdf::kNullTerm,
+                               rdf::kNullTerm);
+  EXPECT_EQ(scorer.PatternMass(all), 4u);  // 1 + 2 + 1
+}
+
+TEST(LmScorerTest, ScoreIsLogProbability) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  rdf::Triple t;
+  t.count = 2;
+  t.confidence = 0.5f;
+  // p = (2 * 0.5) / 4 = 0.25.
+  EXPECT_NEAR(scorer.ScoreTriple(t, 4), std::log(0.25), 1e-12);
+}
+
+TEST(LmScorerTest, TfEffectPrefersFrequentTriples) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  rdf::Triple frequent;
+  frequent.count = 3;
+  rdf::Triple rare;
+  rare.count = 1;
+  EXPECT_GT(scorer.ScoreTriple(frequent, 10), scorer.ScoreTriple(rare, 10));
+}
+
+TEST(LmScorerTest, IdfEffectPenalizesUnselectivePatterns) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  rdf::Triple t;
+  t.count = 1;
+  EXPECT_GT(scorer.ScoreTriple(t, 2), scorer.ScoreTriple(t, 100));
+}
+
+TEST(LmScorerTest, ConfidenceAttenuates) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  rdf::Triple sure;
+  sure.confidence = 1.0f;
+  rdf::Triple shaky;
+  shaky.confidence = 0.3f;
+  EXPECT_GT(scorer.ScoreTriple(sure, 5), scorer.ScoreTriple(shaky, 5));
+}
+
+TEST(LmScorerTest, AblationSwitchesChangeBehaviour) {
+  xkg::Xkg xkg = SmallWorld();
+  rdf::Triple t;
+  t.count = 3;
+  t.confidence = 0.5f;
+
+  ScorerOptions no_tf;
+  no_tf.use_tf = false;
+  LmScorer s1(xkg, no_tf);
+  EXPECT_NEAR(s1.ScoreTriple(t, 4), std::log(0.5 / 4), 1e-12);
+
+  ScorerOptions no_conf;
+  no_conf.use_confidence = false;
+  LmScorer s2(xkg, no_conf);
+  EXPECT_NEAR(s2.ScoreTriple(t, 4), std::log(3.0 / 4), 1e-12);
+
+  ScorerOptions no_idf;
+  no_idf.use_idf = false;
+  LmScorer s3(xkg, no_idf);
+  // Denominator becomes the collection mass (4).
+  EXPECT_NEAR(s3.ScoreTriple(t, 2), std::log(1.5 / 4), 1e-12);
+}
+
+TEST(LmScorerTest, ScoresNeverExceedUpperBound) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  for (uint32_t count : {1u, 2u, 5u}) {
+    for (float conf : {0.1f, 0.5f, 1.0f}) {
+      rdf::Triple t;
+      t.count = count;
+      t.confidence = conf;
+      EXPECT_LE(scorer.ScoreTriple(t, count),  // mass == count: p <= 1
+                LmScorer::kMaxPatternScore);
+    }
+  }
+}
+
+TEST(LmScorerTest, ZeroMassAndZeroConfidenceAreFinite) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  rdf::Triple t;
+  t.confidence = 0.0f;
+  double s = scorer.ScoreTriple(t, 0);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_LE(s, LmScorer::kMinScore);
+}
+
+TEST(LogWeightTest, MonotoneAndClamped) {
+  EXPECT_DOUBLE_EQ(LmScorer::LogWeight(1.0), 0.0);
+  EXPECT_LT(LmScorer::LogWeight(0.5), 0.0);
+  EXPECT_LT(LmScorer::LogWeight(0.1), LmScorer::LogWeight(0.5));
+  EXPECT_DOUBLE_EQ(LmScorer::LogWeight(0.0), LmScorer::kMinScore);
+  EXPECT_DOUBLE_EQ(LmScorer::LogWeight(-1.0), LmScorer::kMinScore);
+  // Weights above 1 clamp to 0 (probabilities cannot amplify).
+  EXPECT_DOUBLE_EQ(LmScorer::LogWeight(2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace trinit::scoring

@@ -1,0 +1,82 @@
+#include "suggest/autocomplete.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_world.h"
+
+namespace trinit::suggest {
+namespace {
+
+class AutocompleteTest : public ::testing::Test {
+ protected:
+  AutocompleteTest()
+      : xkg_(testing::BuildPaperXkg()), complete_(xkg_) {}
+
+  xkg::Xkg xkg_;
+  Autocomplete complete_;
+};
+
+TEST_F(AutocompleteTest, PrefixOfResourceLabel) {
+  auto completions = complete_.Complete("Princ");
+  ASSERT_FALSE(completions.empty());
+  EXPECT_EQ(completions[0].text, "PrincetonUniversity");
+}
+
+TEST_F(AutocompleteTest, CaseInsensitive) {
+  auto completions = complete_.Complete("albert");
+  ASSERT_FALSE(completions.empty());
+  EXPECT_EQ(completions[0].text, "AlbertEinstein");
+}
+
+TEST_F(AutocompleteTest, TokenPhrasesCompleteByWord) {
+  // "housed" is a word inside the token phrase 'housed in'.
+  auto completions = complete_.Complete("housed");
+  ASSERT_FALSE(completions.empty());
+  EXPECT_EQ(completions[0].text, "'housed in'");
+  EXPECT_EQ(completions[0].kind, rdf::TermKind::kToken);
+}
+
+TEST_F(AutocompleteTest, RanksByOccurrence) {
+  // AlbertEinstein occurs in far more triples than AlfredKleiner; both
+  // complete from "al".
+  auto completions = complete_.Complete("al");
+  ASSERT_GE(completions.size(), 2u);
+  EXPECT_EQ(completions[0].text, "AlbertEinstein");
+  for (size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_LE(completions[i].score, completions[i - 1].score);
+  }
+}
+
+TEST_F(AutocompleteTest, PredicateModeFiltersToPredicates) {
+  auto all = complete_.Complete("b");
+  auto preds = complete_.CompletePredicate("b");
+  // "bornIn"/"bornOn" are predicates; "b..." entities are not.
+  ASSERT_FALSE(preds.empty());
+  for (const Completion& c : preds) {
+    EXPECT_NE(xkg_.stats().ForPredicate(c.term), nullptr) << c.text;
+  }
+  EXPECT_GE(all.size(), preds.size());
+}
+
+TEST_F(AutocompleteTest, LimitRespected) {
+  auto completions = complete_.Complete("a", 1);
+  EXPECT_EQ(completions.size(), 1u);
+}
+
+TEST_F(AutocompleteTest, EmptyAndUnknownPrefixes) {
+  EXPECT_TRUE(complete_.Complete("").empty());
+  EXPECT_TRUE(complete_.Complete("zzzzz").empty());
+}
+
+TEST_F(AutocompleteTest, NoDuplicateTerms) {
+  // 'won nobel for' contains both "won" and "nobel"; completing "won"
+  // must return the phrase once.
+  auto completions = complete_.Complete("won");
+  std::set<rdf::TermId> seen;
+  for (const Completion& c : completions) {
+    EXPECT_TRUE(seen.insert(c.term).second) << c.text;
+  }
+}
+
+}  // namespace
+}  // namespace trinit::suggest

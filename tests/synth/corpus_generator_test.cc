@@ -1,0 +1,109 @@
+#include "synth/corpus_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::synth {
+namespace {
+
+WorldSpec SmallSpec() {
+  WorldSpec spec;
+  spec.seed = 11;
+  spec.num_persons = 40;
+  spec.num_universities = 6;
+  spec.num_institutes = 4;
+  spec.num_cities = 10;
+  spec.num_countries = 3;
+  spec.num_prizes = 3;
+  spec.num_fields = 5;
+  spec.predicates = WorldSpec::DefaultPredicates();
+  return spec;
+}
+
+TEST(CorpusGeneratorTest, Deterministic) {
+  World world = KgGenerator::Generate(SmallSpec());
+  auto a = CorpusGenerator::Generate(world);
+  auto b = CorpusGenerator::Generate(world);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+TEST(CorpusGeneratorTest, DocumentsHaveSequentialIdsAndText) {
+  World world = KgGenerator::Generate(SmallSpec());
+  auto docs = CorpusGenerator::Generate(world);
+  ASSERT_FALSE(docs.empty());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].id, i);
+    EXPECT_FALSE(docs[i].text.empty());
+  }
+}
+
+TEST(CorpusGeneratorTest, HeldOutFactsAreVerbalized) {
+  World world = KgGenerator::Generate(SmallSpec());
+  auto docs = CorpusGenerator::Generate(world);
+  std::string all_text;
+  for (const Document& d : docs) all_text += d.text + " ";
+
+  // Every held-out fact's subject must appear in the corpus through at
+  // least one alias (the sentence embedding its fact).
+  size_t checked = 0;
+  for (const Fact& f : world.facts) {
+    if (f.in_kg) continue;
+    if (++checked > 50) break;  // sample to keep the test fast
+    const Entity& subject = world.entities[f.subject];
+    bool found = false;
+    for (const std::string& alias : subject.aliases) {
+      if (all_text.find(alias) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << "held-out subject " << subject.name
+                       << " never mentioned";
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(CorpusGeneratorTest, ParaphrasesAppear) {
+  World world = KgGenerator::Generate(SmallSpec());
+  auto docs = CorpusGenerator::Generate(world);
+  std::string all_text;
+  for (const Document& d : docs) all_text += d.text + " ";
+  // The canonical and at least one alternative phrasing of affiliation
+  // must both occur (that co-occurrence is what the synonym miner needs).
+  EXPECT_NE(all_text.find("works at"), std::string::npos);
+  EXPECT_NE(all_text.find("is employed by"), std::string::npos);
+}
+
+TEST(CorpusGeneratorTest, FactSentenceShape) {
+  World world = KgGenerator::Generate(SmallSpec());
+  Rng rng(3);
+  // Find an affiliation fact.
+  const Fact* fact = nullptr;
+  size_t pi = world.PredicateIndex("affiliation");
+  for (const Fact& f : world.facts) {
+    if (f.predicate == pi) {
+      fact = &f;
+      break;
+    }
+  }
+  ASSERT_NE(fact, nullptr);
+  std::string s = CorpusGenerator::FactSentence(world, *fact, 0, rng);
+  EXPECT_EQ(s.back(), '.');
+  EXPECT_NE(s.find("works at"), std::string::npos);
+}
+
+TEST(CorpusGeneratorTest, RationaleSentencesExist) {
+  World world = KgGenerator::Generate(SmallSpec());
+  auto docs = CorpusGenerator::Generate(world);
+  std::string all_text;
+  for (const Document& d : docs) all_text += d.text + " ";
+  // Prize rationales produce "... for work on <field>"-style tails.
+  bool has_rationale =
+      all_text.find(" for work on ") != std::string::npos ||
+      all_text.find(" for the discovery of ") != std::string::npos ||
+      all_text.find(" for contributions to ") != std::string::npos ||
+      all_text.find(" for a theory of ") != std::string::npos;
+  EXPECT_TRUE(has_rationale);
+}
+
+}  // namespace
+}  // namespace trinit::synth

@@ -1,0 +1,76 @@
+#ifndef TRINIT_TESTS_TESTING_PAPER_WORLD_H_
+#define TRINIT_TESTS_TESTING_PAPER_WORLD_H_
+
+#include <string>
+
+#include "relax/manual_rules.h"
+#include "relax/rule_set.h"
+#include "xkg/xkg_builder.h"
+
+namespace trinit::testing {
+
+/// Builds the paper's running example: the Figure 1 sample KG, the
+/// Figure 3 Open-IE extension, plus the type facts Figure 4's rule 1
+/// presupposes. Shared by relax/topk/explain tests and the quickstart
+/// benches.
+inline xkg::Xkg BuildPaperXkg() {
+  xkg::XkgBuilder b;
+  // Figure 1.
+  b.AddKgFact("AlbertEinstein", "bornIn", "Ulm");
+  b.AddKgFact("Ulm", "locatedIn", "Germany");
+  b.AddKgFact("AlbertEinstein", "bornOn", "1879-03-14",
+              /*object_literal=*/true);
+  b.AddKgFact("AlfredKleiner", "hasStudent", "AlbertEinstein");
+  b.AddKgFact("AlbertEinstein", "affiliation", "IAS");
+  b.AddKgFact("PrincetonUniversity", "member", "IvyLeague");
+  // Types presupposed by Figure 4 rule 1.
+  b.AddKgFact("Germany", "type", "country");
+  b.AddKgFact("Ulm", "type", "city");
+  // Figure 3 extension triples.
+  b.AddExtraction("AlbertEinstein", true, "won Nobel for",
+                  "discovery of the photoelectric effect", false, 0.8f,
+                  {1, 0,
+                   "Einstein won a Nobel for his discovery of the "
+                   "photoelectric effect.",
+                   0.8});
+  b.AddExtraction("IAS", true, "housed in", "PrincetonUniversity", true,
+                  0.9f, {2, 3, "The IAS is housed in Princeton.", 0.9});
+  b.AddExtraction("AlbertEinstein", true, "lectured at",
+                  "PrincetonUniversity", true, 0.7f,
+                  {3, 1, "Einstein lectured at Princeton University.", 0.7});
+  b.AddExtraction("AlbertEinstein", true, "met his teacher", "Prof. Kleiner",
+                  false, 0.5f,
+                  {4, 2, "Einstein met his teacher Prof. Kleiner.", 0.5});
+  auto r = b.Build();
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+/// The Figure 4 rules, verbatim, plus a type-free geographic expansion
+/// ("geo") so user A's bare `?x bornIn Germany` query can relax without
+/// stating `Germany type country` (the demo mined such rules; we pin it
+/// manually for determinism).
+inline const char* kPaperRulesText =
+    "rule1: ?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z type city "
+    "; ?z locatedIn ?y @ 1.0\n"
+    "rule2: ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0\n"
+    "rule3: ?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y "
+    "@ 0.8\n"
+    "rule4: ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7\n"
+    "geo: ?x bornIn ?y => ?x bornIn ?z ; ?z locatedIn ?y @ 0.9\n";
+
+/// Rule set holding the Figure 4 rules (resolved against `xkg`'s
+/// dictionary via the query parser's term syntax).
+inline relax::RuleSet BuildPaperRules() {
+  relax::RuleSet rules;
+  auto parsed = relax::ParseManualRules(kPaperRulesText);
+  if (!parsed.ok()) std::abort();
+  for (relax::Rule& rule : *parsed) {
+    if (!rules.Add(std::move(rule)).ok()) std::abort();
+  }
+  return rules;
+}
+
+}  // namespace trinit::testing
+
+#endif  // TRINIT_TESTS_TESTING_PAPER_WORLD_H_

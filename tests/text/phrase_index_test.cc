@@ -1,0 +1,85 @@
+#include "text/phrase_index.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+
+namespace trinit::text {
+namespace {
+
+class PhraseIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    won_nobel_ = dict_.InternToken("won a nobel for");
+    won_prize_ = dict_.InternToken("won the nobel prize for");
+    lectured_ = dict_.InternToken("lectured at");
+    housed_ = dict_.InternToken("housed in");
+    // Resources must not be indexed.
+    dict_.InternResource("NobelPrize");
+    index_.emplace(PhraseIndex::Build(dict_));
+  }
+
+  rdf::Dictionary dict_;
+  rdf::TermId won_nobel_, won_prize_, lectured_, housed_;
+  std::optional<PhraseIndex> index_;
+};
+
+TEST_F(PhraseIndexTest, CountsOnlyTokenTerms) {
+  EXPECT_EQ(index_->phrase_count(), 4u);
+}
+
+TEST_F(PhraseIndexTest, PostingsForContentToken) {
+  const auto& postings = index_->PostingsFor("nobel");
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], won_nobel_);
+  EXPECT_EQ(postings[1], won_prize_);
+}
+
+TEST_F(PhraseIndexTest, StopwordsNotIndexedForMixedPhrases) {
+  // "a", "the", "for" are stopwords inside phrases that also carry
+  // content tokens, so they get no postings from those phrases.
+  EXPECT_TRUE(index_->PostingsFor("a").empty());
+  EXPECT_TRUE(index_->PostingsFor("the").empty());
+}
+
+TEST_F(PhraseIndexTest, UnknownTokenHasEmptyPostings) {
+  EXPECT_TRUE(index_->PostingsFor("quantum").empty());
+}
+
+TEST_F(PhraseIndexTest, FindSimilarRanksExactFirst) {
+  auto cands = index_->FindSimilar("won a nobel for", 0.01);
+  ASSERT_GE(cands.size(), 2u);
+  EXPECT_EQ(cands[0].term, won_nobel_);
+  EXPECT_DOUBLE_EQ(cands[0].similarity, 1.0);
+  EXPECT_EQ(cands[1].term, won_prize_);
+  EXPECT_LT(cands[1].similarity, 1.0);
+}
+
+TEST_F(PhraseIndexTest, FindSimilarHonorsThreshold) {
+  auto all = index_->FindSimilar("won nobel", 0.0);
+  auto strict = index_->FindSimilar("won nobel", 0.99);
+  EXPECT_GE(all.size(), strict.size());
+  for (const auto& c : strict) {
+    EXPECT_GE(c.similarity, 0.99);
+  }
+}
+
+TEST_F(PhraseIndexTest, FindSimilarUnrelatedProbeIsEmpty) {
+  EXPECT_TRUE(index_->FindSimilar("married to", 0.01).empty());
+}
+
+TEST_F(PhraseIndexTest, ProbeNeedNotBeInterned) {
+  auto cands = index_->FindSimilar("nobel prize winner", 0.01);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0].term, won_prize_);
+}
+
+TEST(PhraseIndexEmptyTest, EmptyDictionary) {
+  rdf::Dictionary dict;
+  PhraseIndex index = PhraseIndex::Build(dict);
+  EXPECT_EQ(index.phrase_count(), 0u);
+  EXPECT_TRUE(index.FindSimilar("anything", 0.0).empty());
+}
+
+}  // namespace
+}  // namespace trinit::text

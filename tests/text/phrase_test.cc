@@ -1,0 +1,44 @@
+#include "text/phrase.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::text {
+namespace {
+
+TEST(NormalizePhraseTest, CanonicalizesCaseAndSpacing) {
+  EXPECT_EQ(NormalizePhrase("Won  a NOBEL for"), "won a nobel for");
+  EXPECT_EQ(NormalizePhrase("  housed in "), "housed in");
+}
+
+TEST(NormalizePhraseTest, StripsPunctuation) {
+  EXPECT_EQ(NormalizePhrase("won a Nobel, for!"), "won a nobel for");
+}
+
+TEST(NormalizePhraseTest, EmptyForNonWordInput) {
+  EXPECT_EQ(NormalizePhrase("..."), "");
+  EXPECT_EQ(NormalizePhrase(""), "");
+}
+
+TEST(NormalizePhraseTest, Idempotent) {
+  std::string once = NormalizePhrase("Met His  Teacher");
+  EXPECT_EQ(NormalizePhrase(once), once);
+}
+
+TEST(PhraseTokensTest, SplitsNormalizedPhrase) {
+  EXPECT_EQ(PhraseTokens("won a nobel for"),
+            (std::vector<std::string>{"won", "a", "nobel", "for"}));
+}
+
+TEST(ContentTokensTest, DropsStopwords) {
+  EXPECT_EQ(ContentTokens("won a nobel for"),
+            (std::vector<std::string>{"won", "nobel"}));
+}
+
+TEST(ContentTokensTest, FallsBackWhenAllStopwords) {
+  // "is in" is all stopwords; the fallback keeps them so the phrase
+  // still has a token signature.
+  EXPECT_EQ(ContentTokens("is in"), (std::vector<std::string>{"is", "in"}));
+}
+
+}  // namespace
+}  // namespace trinit::text

@@ -1,0 +1,89 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::text {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(JaccardTest, IdenticalSetsAreOne) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "a"}), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsAreZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"won", "nobel"}, {"won", "prize"}),
+                   1.0 / 3.0);
+}
+
+TEST(JaccardTest, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 0.0);
+}
+
+TEST(JaccardTest, DuplicatesCollapse) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 1.0);
+}
+
+TEST(ContainmentTest, AsymmetricByDesign) {
+  Tokens small{"nobel"};
+  Tokens large{"won", "nobel", "prize"};
+  EXPECT_DOUBLE_EQ(Containment(small, large), 1.0);
+  EXPECT_DOUBLE_EQ(Containment(large, small), 1.0 / 3.0);
+}
+
+TEST(ContainmentTest, EmptyProbeIsFullyContained) {
+  EXPECT_DOUBLE_EQ(Containment({}, {"x"}), 1.0);
+}
+
+TEST(DiceTest, Basics) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 0.0);
+}
+
+TEST(PhraseSimilarityTest, StopwordsIgnored) {
+  // After stopword removal both sides are {won, nobel} vs {won, nobel}.
+  EXPECT_DOUBLE_EQ(PhraseSimilarity("won a nobel for", "won the nobel"), 1.0);
+}
+
+TEST(PhraseSimilarityTest, RelatedPhrasesScoreBetweenZeroAndOne) {
+  double sim = PhraseSimilarity("won nobel prize", "won a nobel for");
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(PhraseSimilarityTest, UnrelatedPhrasesScoreZero) {
+  EXPECT_DOUBLE_EQ(PhraseSimilarity("lectured at", "married to"), 0.0);
+}
+
+// Property sweep: similarity measures stay within [0,1] and are
+// symmetric (Jaccard/Dice) over generated token sets.
+class SimilarityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityPropertyTest, BoundedAndSymmetric) {
+  int n = GetParam();
+  Tokens a, b;
+  for (int i = 0; i < n; ++i) {
+    a.push_back("t" + std::to_string(i));
+    b.push_back("t" + std::to_string(i + n / 2));
+  }
+  double j1 = JaccardSimilarity(a, b), j2 = JaccardSimilarity(b, a);
+  double d1 = DiceSimilarity(a, b), d2 = DiceSimilarity(b, a);
+  EXPECT_DOUBLE_EQ(j1, j2);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  for (double v : {j1, d1, Containment(a, b)}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Jaccard <= Dice <= 2*Jaccard/(1+Jaccard) relation sanity: Jaccard <= Dice.
+  EXPECT_LE(j1, d1 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimilarityPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace trinit::text

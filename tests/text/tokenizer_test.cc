@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Tokenizer::Tokenize("Einstein won a Nobel!"),
+            (std::vector<std::string>{"einstein", "won", "a", "nobel"}));
+}
+
+TEST(TokenizerTest, KeepsIntraWordHyphenAndApostrophe) {
+  EXPECT_EQ(Tokenizer::Tokenize("state-of-the-art O'Neill"),
+            (std::vector<std::string>{"state-of-the-art", "o'neill"}));
+}
+
+TEST(TokenizerTest, TrailingHyphenDropped) {
+  EXPECT_EQ(Tokenizer::Tokenize("well- known"),
+            (std::vector<std::string>{"well", "known"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenizer::Tokenize("").empty());
+  EXPECT_TRUE(Tokenizer::Tokenize("?!.,;").empty());
+}
+
+TEST(TokenizerTest, NumbersAndDates) {
+  EXPECT_EQ(Tokenizer::Tokenize("born 1879-03-14."),
+            (std::vector<std::string>{"born", "1879-03-14"}));
+}
+
+TEST(SentenceSplitTest, SplitsOnTerminators) {
+  auto s = Tokenizer::SplitSentences(
+      "Einstein was born in Ulm. He worked at the IAS! Where did he "
+      "lecture? At Princeton.");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], "Einstein was born in Ulm.");
+  EXPECT_EQ(s[1], "He worked at the IAS!");
+  EXPECT_EQ(s[2], "Where did he lecture?");
+  EXPECT_EQ(s[3], "At Princeton.");
+}
+
+TEST(SentenceSplitTest, KeepsUnterminatedTail) {
+  auto s = Tokenizer::SplitSentences("First. trailing fragment");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "trailing fragment");
+}
+
+TEST(SentenceSplitTest, DoesNotSplitInsideNumbers) {
+  auto s = Tokenizer::SplitSentences("Pi is 3.14 roughly.");
+  ASSERT_EQ(s.size(), 1u);
+}
+
+TEST(StopwordTest, CommonFunctionWords) {
+  EXPECT_TRUE(Tokenizer::IsStopword("the"));
+  EXPECT_TRUE(Tokenizer::IsStopword("of"));
+  EXPECT_TRUE(Tokenizer::IsStopword("was"));
+  EXPECT_FALSE(Tokenizer::IsStopword("nobel"));
+  EXPECT_FALSE(Tokenizer::IsStopword("einstein"));
+}
+
+}  // namespace
+}  // namespace trinit::text

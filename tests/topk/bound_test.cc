@@ -1,0 +1,115 @@
+// Tests for RelaxedStream's cheap index-metadata bounds: dead
+// alternatives are dropped, hopeless ones stay unopened, and the bound
+// is sound (never below an actually emitted score).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/parser.h"
+#include "relax/manual_rules.h"
+#include "testing/paper_world.h"
+#include "topk/relaxed_stream.h"
+
+namespace trinit::topk {
+namespace {
+
+class BoundTest : public ::testing::Test {
+ protected:
+  BoundTest() : xkg_(testing::BuildPaperXkg()), scorer_(xkg_) {}
+
+  query::TriplePattern Pattern(const char* text) {
+    auto q = query::Parser::Parse(text, &xkg_.dict());
+    EXPECT_TRUE(q.ok()) << q.status();
+    return q->patterns()[0];
+  }
+
+  Alternative Alt(const char* text, double weight) {
+    auto q = query::Parser::Parse(text, &xkg_.dict());
+    EXPECT_TRUE(q.ok());
+    return Alternative{q->patterns(), weight, {}};
+  }
+
+  xkg::Xkg xkg_;
+  scoring::LmScorer scorer_;
+};
+
+TEST_F(BoundTest, UnresolvableConstantIsDead) {
+  EXPECT_EQ(RelaxedStream::BoundOf(xkg_, Alt("?x NoSuchPred ?y", 1.0)),
+            BindingStream::kExhausted);
+}
+
+TEST_F(BoundTest, EmptyMatchSpanIsDead) {
+  // Ulm is never a subject of bornIn.
+  EXPECT_EQ(RelaxedStream::BoundOf(xkg_, Alt("Ulm bornIn ?y", 1.0)),
+            BindingStream::kExhausted);
+}
+
+TEST_F(BoundTest, BoundNeverBelowEmittedScores) {
+  for (const char* text :
+       {"AlbertEinstein ?p ?o", "?x bornIn ?y", "?x affiliation IAS",
+        "AlbertEinstein 'won nobel for' ?x", "?s ?p ?o"}) {
+    Alternative alt = Alt(text, 0.8);
+    double bound = RelaxedStream::BoundOf(xkg_, alt);
+    query::VarTable vars(query::Query(alt.patterns, {}));
+    LeafStream stream(xkg_, scorer_, vars, alt.patterns[0], 0, {},
+                      std::log(0.8));
+    while (const auto* item = stream.Peek()) {
+      EXPECT_LE(item->log_score, bound + 1e-9) << text;
+      stream.Pop();
+    }
+  }
+}
+
+TEST_F(BoundTest, LargerSpanGivesTighterBound) {
+  // Emission probability is count/mass: the broader the match span, the
+  // smaller any single item's probability can be, so the all-wildcard
+  // pattern (12 matches) must have a *lower* bound than the 1-match
+  // bornIn pattern.
+  double selective = RelaxedStream::BoundOf(xkg_, Alt("?x bornIn ?y", 1.0));
+  double broad = RelaxedStream::BoundOf(xkg_, Alt("?s ?p ?o", 1.0));
+  EXPECT_LE(broad, selective + 1e-12);
+  EXPECT_LT(broad, 0.0);
+}
+
+TEST_F(BoundTest, DeadAlternativesAreDroppedFromStream) {
+  auto rule = relax::ParseManualRule(
+      "dead: ?x affiliation ?y => ?x worksForNobody ?y @ 0.9", 1);
+  ASSERT_TRUE(rule.ok());
+  query::TriplePattern original = Pattern("AlbertEinstein affiliation ?x");
+  std::vector<Alternative> alts;
+  alts.push_back(Alternative{{original}, 1.0, {}});
+  // The rewritten form's predicate does not exist: dead on arrival.
+  auto rewritten = query::Parser::Parse(
+      "AlbertEinstein worksForNobody ?x", &xkg_.dict());
+  ASSERT_TRUE(rewritten.ok());
+  alts.push_back(Alternative{rewritten->patterns(), 0.9, {}});
+
+  query::VarTable vars(query::Query({original}, {}));
+  RelaxedStream stream(xkg_, scorer_, vars, std::move(alts), 0);
+  EXPECT_EQ(stream.total_alternatives(), 1u);  // dead one dropped
+  size_t items = 0;
+  while (stream.Peek() != nullptr) {
+    stream.Pop();
+    ++items;
+  }
+  EXPECT_EQ(items, 1u);  // just the IAS fact
+}
+
+TEST_F(BoundTest, TokenPatternsFallBackToWeightBound) {
+  // Token constants cannot be cheaply bounded; the bound equals log(w).
+  double bound =
+      RelaxedStream::BoundOf(xkg_, Alt("?x 'won nobel for' ?y", 0.7));
+  EXPECT_NEAR(bound, std::log(0.7), 1e-12);
+}
+
+TEST_F(BoundTest, GroupBoundUsesTightestMember) {
+  // Group of two patterns: the 1-match bornIn member caps the bound.
+  Alternative group = Alt("?x bornIn ?z ; ?z locatedIn ?y", 1.0);
+  double bound = RelaxedStream::BoundOf(xkg_, group);
+  double single = RelaxedStream::BoundOf(xkg_, Alt("?x bornIn ?z", 1.0));
+  EXPECT_LE(bound, single + 1e-12);
+}
+
+}  // namespace
+}  // namespace trinit::topk

@@ -1,0 +1,219 @@
+#include "topk/join_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace trinit::topk {
+namespace {
+
+// A scripted stream for driving the join engine directly.
+class ScriptedStream : public BindingStream {
+ public:
+  ScriptedStream(size_t num_vars, size_t pattern_index,
+                 std::vector<std::pair<std::vector<rdf::TermId>, double>>
+                     rows) {
+    for (auto& [values, score] : rows) {
+      Item item;
+      item.binding = query::Binding(num_vars);
+      for (query::VarId v = 0; v < values.size(); ++v) {
+        if (values[v] != rdf::kNullTerm) item.binding.Bind(v, values[v]);
+      }
+      item.log_score = score;
+      item.step.pattern_index = pattern_index;
+      item.step.log_score = score;
+      items_.push_back(std::move(item));
+    }
+  }
+
+  const Item* Peek() override {
+    return next_ < items_.size() ? &items_[next_] : nullptr;
+  }
+  void Pop() override { ++next_; }
+  double BestPossible() override {
+    return next_ < items_.size() ? items_[next_].log_score : kExhausted;
+  }
+
+  size_t consumed() const { return next_; }
+
+ private:
+  std::vector<Item> items_;
+  size_t next_ = 0;
+};
+
+// Vars: 0 = ?x, 1 = ?y.
+query::VarTable TwoVars() {
+  return query::VarTable(std::vector<std::string>{"x", "y"});
+}
+
+TEST(JoinEngineTest, SingleStreamPassesThrough) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 0}, -1.0}, {{11, 0}, -2.0}, {{12, 0}, -3.0}}));
+  JoinEngine::Options opts;
+  opts.k = 2;
+  JoinEngine engine(std::move(streams), vars, {0}, opts);
+  auto answers = engine.Run();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].binding.Get(0), 10u);
+  EXPECT_DOUBLE_EQ(answers[0].score, -1.0);
+  EXPECT_EQ(answers[1].binding.Get(0), 11u);
+}
+
+TEST(JoinEngineTest, JoinsOnSharedVariable) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  // Stream 0 binds ?x; stream 1 binds (?x, ?y): join on ?x.
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 0}, -1.0}, {{11, 0}, -1.5}}));
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 1,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 20}, -0.5}, {{99, 21}, -0.6}}));
+  JoinEngine::Options opts;
+  opts.k = 10;
+  JoinEngine engine(std::move(streams), vars, {0, 1}, opts);
+  auto answers = engine.Run();
+  // Only x=10 joins (x=11 and x=99 have no partner).
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].binding.Get(0), 10u);
+  EXPECT_EQ(answers[0].binding.Get(1), 20u);
+  EXPECT_DOUBLE_EQ(answers[0].score, -1.5);
+  EXPECT_EQ(answers[0].derivation.size(), 2u);
+}
+
+TEST(JoinEngineTest, EarlyTerminationSkipsTail) {
+  query::VarTable vars = TwoVars();
+  // Two streams with no shared variables: cross product; top-1 is
+  // determined after the heads are combined and the threshold drops
+  // below the best answer.
+  auto s0 = std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 0}, -1.0}, {{11, 0}, -50.0}, {{12, 0}, -60.0}});
+  auto s1 = std::make_unique<ScriptedStream>(
+      2, 1,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{0, 20}, -1.0}, {{0, 21}, -50.0}, {{0, 22}, -60.0}});
+  ScriptedStream* s0_raw = s0.get();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::move(s0));
+  streams.push_back(std::move(s1));
+  JoinEngine::Options opts;
+  opts.k = 1;
+  JoinEngine engine(std::move(streams), vars, {0, 1}, opts);
+  auto answers = engine.Run();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(answers[0].score, -2.0);
+  EXPECT_TRUE(engine.stats().early_terminated);
+  // The -60 tail of stream 0 must never have been pulled.
+  EXPECT_LT(s0_raw->consumed(), 3u);
+}
+
+TEST(JoinEngineTest, DrainModeConsumesEverything) {
+  query::VarTable vars = TwoVars();
+  auto s0 = std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 0}, -1.0}, {{11, 0}, -50.0}, {{12, 0}, -60.0}});
+  ScriptedStream* s0_raw = s0.get();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::move(s0));
+  JoinEngine::Options opts;
+  opts.k = 1;
+  opts.drain = true;
+  JoinEngine engine(std::move(streams), vars, {0}, opts);
+  auto answers = engine.Run();
+  EXPECT_EQ(answers.size(), 1u);  // still truncated to k
+  EXPECT_EQ(s0_raw->consumed(), 3u);
+  EXPECT_FALSE(engine.stats().early_terminated);
+}
+
+TEST(JoinEngineTest, DeduplicatesByProjectionKeepingMax) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 20}, -1.0}, {{10, 21}, -0.5}}));
+  JoinEngine::Options opts;
+  opts.k = 10;
+  // Project only ?x: both items share the key; max (=-0.5) wins.
+  JoinEngine engine(std::move(streams), vars, {0}, opts);
+  auto answers = engine.Run();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(answers[0].score, -0.5);
+  EXPECT_EQ(answers[0].binding.Get(1), 21u);
+}
+
+TEST(JoinEngineTest, SumOverDerivationsAccumulates) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 20}, std::log(0.25)}, {{10, 21}, std::log(0.25)}}));
+  JoinEngine::Options opts;
+  opts.k = 10;
+  opts.max_over_derivations = false;
+  JoinEngine engine(std::move(streams), vars, {0}, opts);
+  auto answers = engine.Run();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_NEAR(answers[0].score, std::log(0.5), 1e-12);
+}
+
+TEST(JoinEngineTest, UnboundProjectionVariableRejected) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  // Binds only ?x but the projection demands ?y too.
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 0}, -1.0}}));
+  JoinEngine::Options opts;
+  JoinEngine engine(std::move(streams), vars, {0, 1}, opts);
+  EXPECT_TRUE(engine.Run().empty());
+}
+
+TEST(JoinEngineTest, ConflictingBindingsNeverCombine) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 0,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 20}, -1.0}}));
+  streams.push_back(std::make_unique<ScriptedStream>(
+      2, 1,
+      std::vector<std::pair<std::vector<rdf::TermId>, double>>{
+          {{10, 99}, -1.0}}));  // same ?x, different ?y
+  JoinEngine::Options opts;
+  JoinEngine engine(std::move(streams), vars, {0}, opts);
+  EXPECT_TRUE(engine.Run().empty());
+}
+
+TEST(JoinEngineTest, MaxPullsCapStopsRunaways) {
+  query::VarTable vars = TwoVars();
+  std::vector<std::pair<std::vector<rdf::TermId>, double>> many;
+  for (int i = 0; i < 100; ++i) {
+    many.push_back({{static_cast<rdf::TermId>(10 + i), 0},
+                    -1.0 - 0.01 * i});
+  }
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.push_back(std::make_unique<ScriptedStream>(2, 0, many));
+  JoinEngine::Options opts;
+  opts.k = 100;
+  opts.max_pulls = 10;
+  JoinEngine engine(std::move(streams), vars, {0}, opts);
+  auto answers = engine.Run();
+  EXPECT_LE(answers.size(), 10u);
+  EXPECT_EQ(engine.stats().items_pulled, 10u);
+}
+
+}  // namespace
+}  // namespace trinit::topk

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/parser.h"
+#include "relax/manual_rules.h"
+#include "testing/paper_world.h"
+#include "topk/relaxed_stream.h"
+
+namespace trinit::topk {
+namespace {
+
+query::Query ParseQuery(const xkg::Xkg& xkg, const char* text) {
+  auto r = query::Parser::Parse(text, &xkg.dict());
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  StreamTest() : xkg_(testing::BuildPaperXkg()), scorer_(xkg_) {}
+
+  xkg::Xkg xkg_;
+  scoring::LmScorer scorer_;
+};
+
+TEST_F(StreamTest, LeafStreamMatchesResolvedPattern) {
+  query::Query q = ParseQuery(xkg_, "AlbertEinstein bornIn ?x");
+  query::VarTable vars(q);
+  LeafStream stream(xkg_, scorer_, vars, q.patterns()[0], 0);
+  ASSERT_EQ(stream.size(), 1u);
+  const auto* item = stream.Peek();
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(xkg_.dict().DebugLabel(item->binding.Get(0)), "Ulm");
+  EXPECT_LE(item->log_score, 0.0);
+  stream.Pop();
+  EXPECT_EQ(stream.Peek(), nullptr);
+  EXPECT_EQ(stream.BestPossible(), BindingStream::kExhausted);
+}
+
+TEST_F(StreamTest, LeafStreamDescendingScores) {
+  query::Query q = ParseQuery(xkg_, "?s ?p ?o");
+  query::VarTable vars(q);
+  LeafStream stream(xkg_, scorer_, vars, q.patterns()[0], 0);
+  EXPECT_EQ(stream.size(), xkg_.store().size());
+  double prev = 0.0;
+  while (const auto* item = stream.Peek()) {
+    EXPECT_LE(item->log_score, prev);
+    prev = item->log_score;
+    stream.Pop();
+  }
+}
+
+TEST_F(StreamTest, LeafStreamUnresolvedResourceMatchesNothing) {
+  query::Query q = ParseQuery(xkg_, "?x NoSuchEntity ?y");
+  query::VarTable vars(q);
+  LeafStream stream(xkg_, scorer_, vars, q.patterns()[0], 0);
+  EXPECT_EQ(stream.size(), 0u);
+}
+
+TEST_F(StreamTest, LeafStreamTokenExactMatch) {
+  // User D's query hits the XKG directly (paper Figure 2 D + Figure 3).
+  query::Query q = ParseQuery(xkg_, "AlbertEinstein 'won nobel for' ?x");
+  query::VarTable vars(q);
+  LeafStream stream(xkg_, scorer_, vars, q.patterns()[0], 0);
+  ASSERT_GE(stream.size(), 1u);
+  const auto* item = stream.Peek();
+  EXPECT_EQ(xkg_.dict().DebugLabel(item->binding.Get(0)),
+            "'discovery of the photoelectric effect'");
+  // Exact vocabulary hit: no soft-match attenuation recorded.
+  EXPECT_TRUE(item->step.soft_matches.empty());
+}
+
+TEST_F(StreamTest, LeafStreamTokenSoftMatch) {
+  // 'won a nobel prize' is not an interned phrase; it soft-matches
+  // 'won nobel for' with partial content-token overlap ({won,nobel} of
+  // {won,nobel,prize} -> Jaccard 2/3).
+  query::Query q = ParseQuery(xkg_, "AlbertEinstein 'won a nobel prize' ?x");
+  query::VarTable vars(q);
+  LeafStream stream(xkg_, scorer_, vars, q.patterns()[0], 0);
+  ASSERT_GE(stream.size(), 1u);
+  const auto* item = stream.Peek();
+  ASSERT_EQ(item->step.soft_matches.size(), 1u);
+  EXPECT_EQ(item->step.soft_matches[0].matched_phrase, "won nobel for");
+  EXPECT_NEAR(item->step.soft_matches[0].similarity, 2.0 / 3.0, 1e-12);
+  // The attenuation shows up in the score relative to the exact query.
+  LeafStream exact(xkg_, scorer_, vars,
+                   ParseQuery(xkg_, "AlbertEinstein 'won nobel for' ?x")
+                       .patterns()[0],
+                   0);
+  ASSERT_GE(exact.size(), 1u);
+  EXPECT_LT(item->log_score, exact.Peek()->log_score);
+}
+
+TEST_F(StreamTest, LeafStreamRepeatedVariableJoinsWithinPattern) {
+  xkg::XkgBuilder b;
+  b.AddKgFact("A", "knows", "A");
+  b.AddKgFact("A", "knows", "B");
+  auto world = b.Build();
+  ASSERT_TRUE(world.ok());
+  scoring::LmScorer scorer(*world);
+  query::Query q = ParseQuery(*world, "?x knows ?x");
+  query::VarTable vars(q);
+  LeafStream stream(*world, scorer, vars, q.patterns()[0], 0);
+  ASSERT_EQ(stream.size(), 1u);  // only the self-loop satisfies ?x=?x
+  EXPECT_EQ(world->dict().DebugLabel(stream.Peek()->binding.Get(0)), "A");
+}
+
+TEST_F(StreamTest, GroupStreamJoinsExpansionRhs) {
+  // RHS of Figure 4 rule 3, instantiated for user C's first pattern:
+  // AlbertEinstein affiliation ?z ; ?z 'housed in' ?x.
+  auto rule = relax::ParseManualRule(
+      "rule3: ?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y "
+      "@ 0.8",
+      1);
+  ASSERT_TRUE(rule.ok());
+  query::Query q = ParseQuery(
+      xkg_, "AlbertEinstein affiliation ?z_0 ; ?z_0 'housed in' ?x");
+  query::VarTable global(
+      std::vector<std::string>{"x"});  // ?z_0 is existential
+  Alternative alt{q.patterns(), 0.8, {}};
+  GroupStream stream(xkg_, scorer_, global, alt, 0);
+  ASSERT_EQ(stream.size(), 1u);
+  const auto* item = stream.Peek();
+  // Binding is projected onto the global table: only ?x.
+  EXPECT_EQ(item->binding.size(), 1u);
+  EXPECT_EQ(xkg_.dict().DebugLabel(item->binding.Get(0)),
+            "PrincetonUniversity");
+  // Both triples recorded for explanation.
+  EXPECT_EQ(item->step.triples.size(), 2u);
+  // Chain weight attenuates: score <= log(0.8).
+  EXPECT_LE(item->log_score, std::log(0.8) + 1e-12);
+}
+
+TEST_F(StreamTest, RelaxedStreamLazyOpening) {
+  // Alternatives: original (weight 1) with answers, plus a relaxed form
+  // (weight 0.7). As long as original items score above log(0.7), the
+  // relaxation must stay unopened.
+  auto rules = relax::ParseManualRules(
+      "rule4: ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7\n");
+  ASSERT_TRUE(rules.ok());
+  relax::RuleSet rule_set;
+  ASSERT_TRUE(rule_set.Add((*rules)[0]).ok());
+  relax::Rewriter rewriter(rule_set);
+
+  query::Query q = ParseQuery(xkg_, "AlbertEinstein affiliation ?x");
+  query::VarTable vars(q);
+  std::vector<Alternative> alts =
+      AlternativesForPattern(rewriter, q.patterns()[0]);
+  ASSERT_EQ(alts.size(), 2u);
+  RelaxedStream stream(xkg_, scorer_, vars, std::move(alts), 0);
+  EXPECT_EQ(stream.total_alternatives(), 2u);
+  EXPECT_EQ(stream.opened_alternatives(), 1u);  // only the original
+
+  // First item: the original KG fact (affiliation IAS, the only
+  // affiliation triple: p = 1 -> log 0 > log 0.7)... whether the
+  // relaxation opens depends on the original's top score; verify merged
+  // order is globally descending and relaxed answers appear eventually.
+  std::vector<double> scores;
+  std::vector<std::string> bindings;
+  while (const auto* item = stream.Peek()) {
+    scores.push_back(item->log_score);
+    bindings.push_back(xkg_.dict().DebugLabel(item->binding.Get(0)));
+    stream.Pop();
+  }
+  ASSERT_GE(scores.size(), 2u);
+  for (size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_LE(scores[i], scores[i - 1] + 1e-12);
+  }
+  // Both the KG answer and the relaxed answer surfaced.
+  EXPECT_NE(std::find(bindings.begin(), bindings.end(), "IAS"),
+            bindings.end());
+  EXPECT_NE(std::find(bindings.begin(), bindings.end(),
+                      "PrincetonUniversity"),
+            bindings.end());
+  EXPECT_EQ(stream.opened_alternatives(), 2u);  // opened by the drain
+}
+
+TEST_F(StreamTest, RelaxedStreamNeverOpensUselessAlternative) {
+  // The relaxed form has weight 0.7 but k consumption stops after the
+  // first item; with the original's top score of log(1.0) = 0 >
+  // log(0.7), peeking once must not open the alternative.
+  auto rules = relax::ParseManualRules(
+      "rule4: ?x affiliation ?y => ?x 'lectured at' ?y @ 0.7\n");
+  ASSERT_TRUE(rules.ok());
+  relax::RuleSet rule_set;
+  ASSERT_TRUE(rule_set.Add((*rules)[0]).ok());
+  relax::Rewriter rewriter(rule_set);
+  query::Query q = ParseQuery(xkg_, "AlbertEinstein affiliation ?x");
+  query::VarTable vars(q);
+  RelaxedStream stream(xkg_, scorer_, vars,
+                       AlternativesForPattern(rewriter, q.patterns()[0]),
+                       0);
+  const auto* first = stream.Peek();
+  ASSERT_NE(first, nullptr);
+  if (first->log_score > std::log(0.7)) {
+    EXPECT_EQ(stream.opened_alternatives(), 1u);
+  }
+}
+
+TEST_F(StreamTest, MergeStreamInterleavesByScore) {
+  query::Query q = ParseQuery(xkg_, "?s ?p ?o");
+  query::VarTable vars(q);
+  std::vector<std::unique_ptr<BindingStream>> inputs;
+  inputs.push_back(std::make_unique<LeafStream>(
+      xkg_, scorer_, vars,
+      ParseQuery(xkg_, "AlbertEinstein ?p ?o").patterns()[0], 0));
+  inputs.push_back(std::make_unique<LeafStream>(
+      xkg_, scorer_, vars, ParseQuery(xkg_, "Ulm ?p ?o").patterns()[0], 0));
+  MergeStream merged(std::move(inputs));
+  double prev = 0.0;
+  size_t count = 0;
+  while (const auto* item = merged.Peek()) {
+    EXPECT_LE(item->log_score, prev + 1e-12);
+    prev = item->log_score;
+    merged.Pop();
+    ++count;
+  }
+  EXPECT_GE(count, 5u);  // Einstein has 4+ triples, Ulm has 2
+}
+
+}  // namespace
+}  // namespace trinit::topk

@@ -1,0 +1,107 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace trinit {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(17), b(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Rng rng(23);
+  Rng::ZipfTable table(4, 0.0);
+  std::map<size_t, int> counts;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(rng)]++;
+  for (const auto& [rank, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SkewPrefersLowRanks) {
+  Rng rng(29);
+  Rng::ZipfTable table(100, 1.2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[table.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[50] * 5);
+  for (const auto& [rank, c] : counts) {
+    EXPECT_LT(rank, 100u);
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+}  // namespace
+}  // namespace trinit

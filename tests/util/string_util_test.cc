@@ -1,0 +1,72 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit {
+namespace {
+
+TEST(SplitTest, BasicAndEdgeCases) {
+  EXPECT_EQ(Split("a\tb\tc", '\t'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", '\t'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a\t\tb", '\t'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("\ta", '\t'), (std::vector<std::string>{"", "a"}));
+  EXPECT_EQ(Split("a\t", '\t'), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, RemovesEdgesOnly) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AlbertEinstein"), "alberteinstein");
+  EXPECT_EQ(ToLower("a-B_c9"), "a-b_c9");
+}
+
+TEST(PrefixSuffixTest, Basic) {
+  EXPECT_TRUE(StartsWith("bornIn", "born"));
+  EXPECT_FALSE(StartsWith("born", "bornIn"));
+  EXPECT_TRUE(EndsWith("hasStudent", "Student"));
+  EXPECT_FALSE(EndsWith("x", "xx"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(IsDigitsTest, Basic) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-1"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.775, 3), "0.775");
+  EXPECT_EQ(FormatDouble(0.5, 1), "0.5");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+}
+
+TEST(WithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(440000000), "440,000,000");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace trinit

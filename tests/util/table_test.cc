@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace trinit {
+namespace {
+
+TEST(AsciiTableTest, RendersAlignedColumns) {
+  AsciiTable t({"System", "NDCG@5"});
+  t.AddRow({"TriniT", "0.775"});
+  t.AddRow({"Baseline", "0.419"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| System   | NDCG@5 |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| TriniT   | 0.775  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| Baseline | 0.419  |"), std::string::npos) << s;
+}
+
+TEST(AsciiTableTest, WidensForLongCells) {
+  AsciiTable t({"a"});
+  t.AddRow({"a-very-long-cell"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(AsciiTableTest, SeparatorRendersRule) {
+  AsciiTable t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string s = t.ToString();
+  // Header rule + top + bottom + explicit separator = 5 rules total.
+  size_t rules = 0;
+  for (size_t pos = 0; (pos = s.find("+--", pos)) != std::string::npos; ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u) << s;
+}
+
+TEST(AsciiTableTest, RowsWiderThanHeaderAreKept) {
+  AsciiTable t({"only"});
+  t.AddRow({"a", "b", "c"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("| c"), std::string::npos);
+}
+
+TEST(AsciiTableTest, EmptyTableStillRendersHeader) {
+  AsciiTable t({"h1", "h2"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("h1"), std::string::npos);
+  EXPECT_NE(s.find("h2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trinit

@@ -1,0 +1,101 @@
+#include "xkg/tsv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "xkg/xkg_builder.h"
+
+namespace trinit::xkg {
+namespace {
+
+Xkg MakeSample() {
+  XkgBuilder b;
+  b.AddKgFact("AlbertEinstein", "bornIn", "Ulm");
+  b.AddKgFact("AlbertEinstein", "bornOn", "1879-03-14", true);
+  b.AddExtraction("IAS", true, "housed in", "PrincetonUniversity", true,
+                  0.9f, {7, 2, "The IAS is housed in Princeton.", 0.9});
+  auto r = b.Build();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(XkgTsvTest, SaveLoadRoundTrip) {
+  Xkg original = MakeSample();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "trinit_xkg_io.tsv").string();
+  ASSERT_TRUE(XkgTsv::Save(original, path).ok());
+
+  auto loaded = XkgTsv::Load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->store().size(), original.store().size());
+  EXPECT_EQ(loaded->kg_triple_count(), original.kg_triple_count());
+  EXPECT_EQ(loaded->extraction_triple_count(),
+            original.extraction_triple_count());
+
+  const auto& dict = loaded->dict();
+  rdf::TermId ias = dict.Find(rdf::TermKind::kResource, "IAS");
+  rdf::TermId housed = dict.Find(rdf::TermKind::kToken, "housed in");
+  rdf::TermId princeton =
+      dict.Find(rdf::TermKind::kResource, "PrincetonUniversity");
+  rdf::TripleId id = loaded->store().Find(ias, housed, princeton);
+  ASSERT_NE(id, rdf::kInvalidTriple);
+  const auto& prov = loaded->ProvenanceFor(id);
+  ASSERT_EQ(prov.size(), 1u);
+  EXPECT_EQ(prov[0].doc_id, 7u);
+  EXPECT_EQ(prov[0].sentence_idx, 2u);
+  EXPECT_EQ(prov[0].sentence, "The IAS is housed in Princeton.");
+  EXPECT_NEAR(prov[0].extraction_confidence, 0.9, 1e-6);
+
+  // Literal kind survives.
+  EXPECT_NE(dict.Find(rdf::TermKind::kLiteral, "1879-03-14"),
+            rdf::kNullTerm);
+  EXPECT_EQ(dict.Find(rdf::TermKind::kResource, "1879-03-14"),
+            rdf::kNullTerm);
+}
+
+TEST(XkgTsvTest, LoadFromStringMinimal) {
+  auto r = XkgTsv::LoadFromString(
+      "# comment\n"
+      "T\tR:A\tR:p\tR:B\n"
+      "T\tR:A\tK:works at\tR:C\t0.75\t2\n"
+      "P\t3\t1\t0.75\tA works at C.\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->store().size(), 2u);
+  EXPECT_EQ(r->kg_triple_count(), 1u);
+}
+
+TEST(XkgTsvTest, RejectsProvenanceWithoutTriple) {
+  auto r = XkgTsv::LoadFromString("P\t1\t0\t0.5\torphan sentence\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XkgTsvTest, RejectsBadTermEncoding) {
+  auto r = XkgTsv::LoadFromString("T\tX:A\tR:p\tR:B\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XkgTsvTest, RejectsShortTripleRow) {
+  auto r = XkgTsv::LoadFromString("T\tR:A\tR:p\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XkgTsvTest, RejectsUnknownTag) {
+  auto r = XkgTsv::LoadFromString("Z\tfoo\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(XkgTsvTest, LoadMissingFileIsIoError) {
+  auto r = XkgTsv::Load("/nonexistent/xkg.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace trinit::xkg

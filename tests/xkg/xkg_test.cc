@@ -1,0 +1,156 @@
+#include "xkg/xkg.h"
+
+#include <gtest/gtest.h>
+
+#include "xkg/xkg_builder.h"
+
+namespace trinit::xkg {
+namespace {
+
+// Builds the paper's Figure 1 KG + Figure 3 extension.
+class XkgFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XkgBuilder b;
+    // Figure 1.
+    b.AddKgFact("AlbertEinstein", "bornIn", "Ulm");
+    b.AddKgFact("Ulm", "locatedIn", "Germany");
+    b.AddKgFact("AlbertEinstein", "bornOn", "1879-03-14",
+                /*object_literal=*/true);
+    b.AddKgFact("AlfredKleiner", "hasStudent", "AlbertEinstein");
+    b.AddKgFact("AlbertEinstein", "affiliation", "IAS");
+    b.AddKgFact("PrincetonUniversity", "member", "IvyLeague");
+    // Figure 3.
+    b.AddExtraction("AlbertEinstein", true, "won Nobel for",
+                    "discovery of the photoelectric effect", false, 0.8f,
+                    {1, 0,
+                     "Einstein won a Nobel for his discovery of the "
+                     "photoelectric effect",
+                     0.8});
+    b.AddExtraction("IAS", true, "housed in", "PrincetonUniversity", true,
+                    0.9f, {2, 3, "The IAS is housed in Princeton.", 0.9});
+    b.AddExtraction("AlbertEinstein", true, "lectured at",
+                    "PrincetonUniversity", true, 0.7f,
+                    {3, 1, "Einstein lectured at Princeton University.",
+                     0.7});
+    b.AddExtraction("AlbertEinstein", true, "met his teacher",
+                    "Prof. Kleiner", false, 0.5f,
+                    {4, 2, "Einstein met his teacher Prof. Kleiner.", 0.5});
+    auto r = b.Build();
+    ASSERT_TRUE(r.ok()) << r.status();
+    xkg_.emplace(std::move(r).value());
+  }
+
+  std::optional<Xkg> xkg_;
+};
+
+TEST_F(XkgFixture, CountsKgAndExtractionLayers) {
+  EXPECT_EQ(xkg_->store().size(), 10u);
+  EXPECT_EQ(xkg_->kg_triple_count(), 6u);
+  EXPECT_EQ(xkg_->extraction_triple_count(), 4u);
+}
+
+TEST_F(XkgFixture, KgTriplesHaveKgProvenance) {
+  const auto& dict = xkg_->dict();
+  rdf::TermId einstein = dict.Find(rdf::TermKind::kResource, "AlbertEinstein");
+  rdf::TermId born_in = dict.Find(rdf::TermKind::kResource, "bornIn");
+  rdf::TermId ulm = dict.Find(rdf::TermKind::kResource, "Ulm");
+  rdf::TripleId id = xkg_->store().Find(einstein, born_in, ulm);
+  ASSERT_NE(id, rdf::kInvalidTriple);
+  EXPECT_TRUE(xkg_->IsKgTriple(id));
+  EXPECT_TRUE(xkg_->ProvenanceFor(id).empty());
+}
+
+TEST_F(XkgFixture, ExtractionTriplesCarryProvenance) {
+  const auto& dict = xkg_->dict();
+  rdf::TermId ias = dict.Find(rdf::TermKind::kResource, "IAS");
+  rdf::TermId housed = dict.Find(rdf::TermKind::kToken, "housed in");
+  rdf::TermId princeton =
+      dict.Find(rdf::TermKind::kResource, "PrincetonUniversity");
+  ASSERT_NE(housed, rdf::kNullTerm);
+  rdf::TripleId id = xkg_->store().Find(ias, housed, princeton);
+  ASSERT_NE(id, rdf::kInvalidTriple);
+  EXPECT_FALSE(xkg_->IsKgTriple(id));
+  const auto& prov = xkg_->ProvenanceFor(id);
+  ASSERT_EQ(prov.size(), 1u);
+  EXPECT_EQ(prov[0].doc_id, 2u);
+  EXPECT_EQ(prov[0].sentence, "The IAS is housed in Princeton.");
+}
+
+TEST_F(XkgFixture, TokenPhrasesAreNormalized) {
+  // "won Nobel for" was interned via NormalizePhrase -> "won nobel for".
+  EXPECT_NE(xkg_->dict().Find(rdf::TermKind::kToken, "won nobel for"),
+            rdf::kNullTerm);
+  EXPECT_EQ(xkg_->dict().Find(rdf::TermKind::kToken, "won Nobel for"),
+            rdf::kNullTerm);
+}
+
+TEST_F(XkgFixture, PhraseIndexCoversExtractionVocabulary) {
+  auto cands = xkg_->phrase_index().FindSimilar("nobel", 0.01);
+  ASSERT_FALSE(cands.empty());
+}
+
+TEST_F(XkgFixture, StatsCoverBothLayers) {
+  const auto& dict = xkg_->dict();
+  rdf::TermId housed = dict.Find(rdf::TermKind::kToken, "housed in");
+  EXPECT_NE(xkg_->stats().ForPredicate(housed), nullptr);
+  rdf::TermId born_in = dict.Find(rdf::TermKind::kResource, "bornIn");
+  EXPECT_NE(xkg_->stats().ForPredicate(born_in), nullptr);
+}
+
+TEST_F(XkgFixture, RenderTripleUsesQuotedTokens) {
+  const auto& dict = xkg_->dict();
+  rdf::TermId ias = dict.Find(rdf::TermKind::kResource, "IAS");
+  rdf::TermId housed = dict.Find(rdf::TermKind::kToken, "housed in");
+  rdf::TermId princeton =
+      dict.Find(rdf::TermKind::kResource, "PrincetonUniversity");
+  rdf::TripleId id = xkg_->store().Find(ias, housed, princeton);
+  EXPECT_EQ(xkg_->RenderTriple(id),
+            "IAS --'housed in'--> PrincetonUniversity");
+}
+
+TEST(XkgBuilderTest, DuplicateExtractionsAggregateEvidence) {
+  XkgBuilder b;
+  b.AddExtraction("E1", true, "works at", "U1", true, 0.6f,
+                  {1, 0, "E1 works at U1.", 0.6});
+  b.AddExtraction("E1", true, "works at", "U1", true, 0.8f,
+                  {2, 0, "E1 has worked at U1.", 0.8});
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->store().size(), 1u);
+  const rdf::Triple& t = r->store().triple(0);
+  EXPECT_EQ(t.count, 2u);  // tf evidence accumulates
+  EXPECT_FLOAT_EQ(t.confidence, 0.8f);
+  EXPECT_EQ(r->ProvenanceFor(0).size(), 2u);
+}
+
+TEST(XkgBuilderTest, KgWinsProvenanceOverExtraction) {
+  XkgBuilder b;
+  b.AddExtraction("E1", true, "livesIn", "C1", true, 0.5f,
+                  {1, 0, "E1 lives in C1.", 0.5});
+  // Same fact also curated (extraction P slot is a token, so use ids to
+  // force the exact same triple).
+  rdf::TermId e1 = b.dict().Find(rdf::TermKind::kResource, "E1");
+  rdf::TermId p = b.dict().Find(rdf::TermKind::kToken, "livesin");
+  rdf::TermId c1 = b.dict().Find(rdf::TermKind::kResource, "C1");
+  ASSERT_NE(p, rdf::kNullTerm);
+  b.AddKgFact(e1, p, c1);
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->store().size(), 1u);
+  EXPECT_TRUE(r->IsKgTriple(0));
+  EXPECT_EQ(r->kg_triple_count(), 1u);
+  // Provenance of the extraction is still retrievable.
+  EXPECT_EQ(r->ProvenanceFor(0).size(), 1u);
+}
+
+TEST(XkgBuilderTest, EmptyBuildSucceeds) {
+  XkgBuilder b;
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->store().size(), 0u);
+  EXPECT_EQ(r->kg_triple_count(), 0u);
+}
+
+}  // namespace
+}  // namespace trinit::xkg
