@@ -15,17 +15,17 @@ namespace {
 using namespace trinit;
 
 double Ndcg5For(const synth::World& world, const eval::Workload& workload,
-                const core::TrinitOptions& options) {
+                const core::TrinitOptions& options,
+                bool enable_relaxation) {
   auto engine = core::Trinit::FromWorld(world, options);
   if (!engine.ok()) return -1.0;
-  eval::SystemUnderTest system{
-      "sut",
-      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-        auto r = engine->Query(q.text, k);
-        if (!r.ok()) return {};
-        return eval::KeysFromResult(engine->xkg(), *r);
-      }};
-  auto reports = eval::Runner::Run(workload, {system}, 10);
+  eval::EngineUnderTest sut;
+  sut.name = "sut";
+  sut.engine = &engine.value();
+  // The relaxation toggle is a per-request override — the engine itself
+  // is configured identically to the full condition.
+  sut.base.enable_relaxation = enable_relaxation;
+  auto reports = eval::Runner::Run(workload, {sut}, 10);
   return reports[0].ndcg5;
 }
 
@@ -58,8 +58,7 @@ int main() {
     options.mine_synonyms = config.synonyms;
     options.mine_inversions = config.inversions;
     options.mine_expansions = config.expansions;
-    options.processor.enable_relaxation = config.relaxation;
-    double ndcg = Ndcg5For(world, workload, options);
+    double ndcg = Ndcg5For(world, workload, options, config.relaxation);
     if (full < 0) full = ndcg;
     table.AddRow({config.name, FormatDouble(ndcg, 3),
                   FormatDouble(ndcg - full, 3)});

@@ -2,6 +2,10 @@
 // tf-like evidence counts, idf-like selectivity, extraction confidence,
 // and max-vs-sum combination over derivations. Each switch is disabled
 // in turn on the E1 workload.
+//
+// All five configurations are query-time knobs, so one engine serves the
+// whole sweep through per-request option overrides — no per-configuration
+// rebuild (this bench is also the regression canary for that API).
 
 #include <cstdio>
 
@@ -10,25 +14,9 @@
 #include "util/string_util.h"
 #include "util/table.h"
 
-namespace {
-
-using namespace trinit;
-
-double Ndcg5For(const core::Trinit& engine,
-                const eval::Workload& workload) {
-  eval::SystemUnderTest system{
-      "sut",
-      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-        auto r = engine.Query(q.text, k);
-        if (!r.ok()) return {};
-        return eval::KeysFromResult(engine.xkg(), *r);
-      }};
-  return eval::Runner::Run(workload, {system}, 10)[0].ndcg5;
-}
-
-}  // namespace
-
 int main() {
+  using namespace trinit;
+
   std::printf("[A2] scoring-component ablation (NDCG@5 on the E1 "
               "workload)\n\n");
 
@@ -36,6 +24,9 @@ int main() {
   eval::WorkloadGenerator::Options wopts;
   wopts.num_queries = 40;
   eval::Workload workload = eval::WorkloadGenerator::Generate(world, wopts);
+
+  auto engine = core::Trinit::FromWorld(world);
+  if (!engine.ok()) return 1;
 
   struct Config {
     const char* name;
@@ -48,21 +39,29 @@ int main() {
       {"sum over derivations", true, true, true, false},
   };
 
-  AsciiTable table({"configuration", "NDCG@5", "delta vs full"});
-  double full = -1.0;
+  // One shared engine, one request template per configuration.
+  std::vector<eval::EngineUnderTest> systems;
   for (const Config& config : configs) {
-    core::TrinitOptions options;
-    options.scorer.use_tf = config.tf;
-    options.scorer.use_idf = config.idf;
-    options.scorer.use_confidence = config.confidence;
-    options.processor.join.max_over_derivations =
-        config.max_over_derivations;
-    auto engine = core::Trinit::FromWorld(world, options);
-    if (!engine.ok()) return 1;
-    double ndcg = Ndcg5For(*engine, workload);
-    if (full < 0) full = ndcg;
-    table.AddRow({config.name, FormatDouble(ndcg, 3),
-                  FormatDouble(ndcg - full, 3)});
+    eval::EngineUnderTest sut;
+    sut.name = config.name;
+    sut.engine = &engine.value();
+    scoring::ScorerOptions scorer;
+    scorer.use_tf = config.tf;
+    scorer.use_idf = config.idf;
+    scorer.use_confidence = config.confidence;
+    sut.base.scorer = scorer;
+    topk::ProcessorOptions processor;
+    processor.join.max_over_derivations = config.max_over_derivations;
+    sut.base.processor = processor;
+    systems.push_back(std::move(sut));
+  }
+  auto reports = eval::Runner::Run(workload, systems, 10);
+
+  AsciiTable table({"configuration", "NDCG@5", "delta vs full"});
+  double full = reports[0].ndcg5;
+  for (const auto& report : reports) {
+    table.AddRow({report.name, FormatDouble(report.ndcg5, 3),
+                  FormatDouble(report.ndcg5 - full, 3)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("the language-model components are complementary; the "

@@ -31,14 +31,10 @@ double Ndcg5(const synth::World& world, const eval::Workload& workload,
   auto engine = core::Trinit::Open(std::move(xkg).value());
   if (!engine.ok()) return -1.0;
 
-  eval::SystemUnderTest system{
-      "sut",
-      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-        auto r = engine->Query(q.text, k);
-        if (!r.ok()) return {};
-        return eval::KeysFromResult(engine->xkg(), *r);
-      }};
-  return eval::Runner::Run(workload, {system}, 10)[0].ndcg5;
+  eval::EngineUnderTest sut;
+  sut.name = "sut";
+  sut.engine = &engine.value();
+  return eval::Runner::Run(workload, {sut}, 10)[0].ndcg5;
 }
 
 }  // namespace

@@ -50,41 +50,15 @@ int main() {
                 return n;
               }());
 
-  std::vector<eval::SystemUnderTest> systems;
-  systems.push_back(
-      {"TriniT (relax + XKG)",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto r = engine->Query(q.text, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(engine->xkg(), *r);
-       }});
-  systems.push_back(
-      {"XKG exact (no relax)",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto parsed = query::Parser::Parse(q.text, &engine->xkg().dict());
-         if (!parsed.ok()) return {};
-         auto r = xkg_exact.Answer(*parsed, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(engine->xkg(), *r);
-       }});
-  systems.push_back(
-      {"KG exact (SPARQL-ish)",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto parsed = query::Parser::Parse(q.text, &kg_only->dict());
-         if (!parsed.ok()) return {};
-         auto r = kg_exact.Answer(*parsed, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(*kg_only, *r);
-       }});
-  systems.push_back(
-      {"Keyword (SLQ-ish)",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto parsed = query::Parser::Parse(q.text, &engine->xkg().dict());
-         if (!parsed.ok()) return {};
-         auto r = keyword.Answer(*parsed, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(engine->xkg(), *r);
-       }});
+  // All four systems ride the unified core::Engine interface: each row
+  // is a display name + engine pointer, parsing and key extraction are
+  // the runner's job.
+  std::vector<eval::EngineUnderTest> systems = {
+      {"TriniT (relax + XKG)", &engine.value(), {}},
+      {"XKG exact (no relax)", &xkg_exact, {}},
+      {"KG exact (SPARQL-ish)", &kg_exact, {}},
+      {"Keyword (SLQ-ish)", &keyword, {}},
+  };
 
   auto reports = eval::Runner::Run(workload, systems, 10);
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify line plus a smoke run of the
+# microbenchmarks. Usage: ./ci.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")" && pwd)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S "$ROOT"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke =="
+# Keep CI honest about the hot path without paying for a full bench run:
+# every microbenchmark once, minimal measuring time.
+if [ -x "$BUILD_DIR/bench/bench_m1_micro" ]; then
+  "$BUILD_DIR/bench/bench_m1_micro" \
+    --benchmark_min_time=0.01 --benchmark_repetitions=1
+else
+  echo "bench_m1_micro not built (google-benchmark missing); skipping"
+fi
+
+echo "CI OK"

@@ -83,33 +83,13 @@ int main(int argc, char** argv) {
   baselines::ExactEngine kg_exact(*kg_only, {});
   baselines::KeywordEngine keyword(engine->xkg(), {});
 
-  std::vector<eval::SystemUnderTest> systems;
-  systems.push_back(
-      {"TriniT",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto r = engine->Query(q.text, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(engine->xkg(), *r);
-       }});
-  systems.push_back(
-      {"KG exact",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto parsed = query::Parser::Parse(q.text, &kg_only->dict());
-         if (!parsed.ok()) return {};
-         auto r = kg_exact.Answer(*parsed, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(*kg_only, *r);
-       }});
-  systems.push_back(
-      {"Keyword",
-       [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-         auto parsed =
-             query::Parser::Parse(q.text, &engine->xkg().dict());
-         if (!parsed.ok()) return {};
-         auto r = keyword.Answer(*parsed, k);
-         if (!r.ok()) return {};
-         return eval::KeysFromResult(engine->xkg(), *r);
-       }});
+  // Every system implements core::Engine, so the harness is just names
+  // and pointers — the runner drives them uniformly.
+  std::vector<eval::EngineUnderTest> systems = {
+      {"TriniT", &engine.value(), {}},
+      {"KG exact", &kg_exact, {}},
+      {"Keyword", &keyword, {}},
+  };
 
   // 4. Score (the workload round-trips through its artifact to prove the
   // file is usable).

@@ -43,20 +43,24 @@ trinit::xkg::Xkg BuildSampleXkg() {
 void Ask(const trinit::core::Trinit& engine, const char* question,
          const char* query) {
   std::printf("\n\"%s\"\n  query: %s\n", question, query);
-  auto result = engine.Query(query, 3);
-  if (!result.ok()) {
-    std::printf("  error: %s\n", result.status().ToString().c_str());
+  // The request/response front door: per-request k, timings included.
+  auto request = trinit::core::QueryRequest::Text(query, 3);
+  auto response = engine.Execute(request);
+  if (!response.ok()) {
+    std::printf("  error: %s\n", response.status().ToString().c_str());
     return;
   }
-  if (result->answers.empty()) {
-    std::printf("  (no answers)\n");
+  const auto& result = response->result;
+  if (result.answers.empty()) {
+    std::printf("  (no answers, %.2f ms)\n", response->wall_ms);
     return;
   }
-  for (size_t i = 0; i < result->answers.size(); ++i) {
+  for (size_t i = 0; i < result.answers.size(); ++i) {
     std::printf("  #%zu %s%s\n", i + 1,
-                engine.RenderAnswer(*result, i).c_str(),
-                result->answers[i].used_relaxation() ? "  [relaxed]" : "");
+                engine.RenderAnswer(result, i).c_str(),
+                result.answers[i].used_relaxation() ? "  [relaxed]" : "");
   }
+  std::printf("  (%.2f ms)\n", response->wall_ms);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 //   .rules             list loaded rules
 //   .explain <rank>    explain answer <rank> of the last query
 //   .k <n>             set the number of answers
+//   .timeout <ms>      per-query wall-clock budget (0 = unlimited)
 //   .stats             XKG statistics
 //   .quit
 
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   std::printf("Type a query, or .help for commands.\n");
 
   int k = 10;
+  double timeout_ms = 0.0;
   std::optional<trinit::topk::TopKResult> last_result;
   std::optional<trinit::query::Query> last_query;
 
@@ -79,8 +81,8 @@ int main(int argc, char** argv) {
     if (input == ".quit" || input == ".exit") break;
     if (input == ".help") {
       std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
-                  ".explain <rank> | .complete <prefix> | .k <n> | .stats "
-                  "| .quit\n");
+                  ".explain <rank> | .complete <prefix> | .k <n> | "
+                  ".timeout <ms> | .stats | .quit\n");
       continue;
     }
     if (input == ".stats") {
@@ -109,6 +111,14 @@ int main(int argc, char** argv) {
       k = std::atoi(std::string(input.substr(3)).c_str());
       if (k <= 0) k = 10;
       std::printf("  k = %d\n", k);
+      continue;
+    }
+    if (input.rfind(".timeout ", 0) == 0) {
+      timeout_ms = std::atof(std::string(input.substr(9)).c_str());
+      if (timeout_ms < 0) timeout_ms = 0.0;
+      std::printf("  timeout = %s\n",
+                  timeout_ms > 0 ? (std::to_string(timeout_ms) + " ms").c_str()
+                                 : "unlimited");
       continue;
     }
     if (input.rfind(".rule ", 0) == 0) {
@@ -148,31 +158,36 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", parsed.status().ToString().c_str());
       continue;
     }
-    auto result = engine->Answer(*parsed, k);
-    if (!result.ok()) {
-      std::printf("  %s\n", result.status().ToString().c_str());
+    trinit::core::QueryRequest request =
+        trinit::core::QueryRequest::Parsed(*parsed, k);
+    request.timeout_ms = timeout_ms;
+    auto response = engine->Execute(request);
+    if (!response.ok()) {
+      std::printf("  %s\n", response.status().ToString().c_str());
       continue;
     }
-    if (result->answers.empty()) {
+    trinit::topk::TopKResult result = std::move(response->result);
+    if (result.answers.empty()) {
       std::printf("  no answers\n");
     }
-    for (size_t i = 0; i < result->answers.size(); ++i) {
+    for (size_t i = 0; i < result.answers.size(); ++i) {
       std::printf("  #%zu  %-50s score %.3f%s\n", i + 1,
-                  engine->RenderAnswer(*result, i).c_str(),
-                  result->answers[i].score,
-                  result->answers[i].used_relaxation() ? "  [relaxed]"
-                                                       : "");
+                  engine->RenderAnswer(result, i).c_str(),
+                  result.answers[i].score,
+                  result.answers[i].used_relaxation() ? "  [relaxed]"
+                                                      : "");
     }
-    std::printf("  (%zu/%zu relaxations opened, %zu items pulled; "
-                ".explain <rank> for provenance)\n",
-                result->stats.alternatives_opened,
-                result->stats.alternatives_total,
-                result->stats.items_pulled);
-    for (const auto& suggestion : engine->Suggest(*parsed, *result)) {
+    std::printf("  (%.2f ms, %zu/%zu relaxations opened, %zu items "
+                "pulled%s; .explain <rank> for provenance)\n",
+                response->wall_ms, result.stats.alternatives_opened,
+                result.stats.alternatives_total, result.stats.items_pulled,
+                response->deadline_hit ? "; TIMEOUT — partial answers"
+                                       : "");
+    for (const auto& suggestion : engine->Suggest(*parsed, result)) {
       std::printf("  suggestion: %s\n", suggestion.message.c_str());
     }
     last_query = std::move(*parsed);
-    last_result = std::move(*result);
+    last_result = std::move(result);
   }
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "baselines/exact_engine.h"
 
+#include "query/parser.h"
+#include "util/timer.h"
+
 namespace trinit::baselines {
 
 ExactEngine::ExactEngine(const xkg::Xkg& xkg,
@@ -9,14 +12,47 @@ ExactEngine::ExactEngine(const xkg::Xkg& xkg,
       scorer_options_(scorer_options),
       default_k_(default_k) {}
 
+Result<core::QueryResponse> ExactEngine::Execute(
+    const core::QueryRequest& request) const {
+  WallTimer total;
+  core::QueryResponse response;
+
+  topk::ProcessorOptions engine_defaults;
+  engine_defaults.k = default_k_;
+  core::ResolvedOptions resolved = core::ResolveRequestOptions(
+      scorer_options_, engine_defaults, request);
+  // Exact semantics are the point of this baseline: not overridable.
+  resolved.processor.enable_relaxation = false;
+
+  WallTimer stage;
+  query::Query parsed_storage;
+  TRINIT_ASSIGN_OR_RETURN(
+      const query::Query* q,
+      core::ResolveRequestQuery(request, xkg_.dict(), &parsed_storage));
+  if (request.trace) {
+    response.stages.push_back({"parse", stage.ElapsedMillis()});
+  }
+
+  stage.Reset();
+  topk::TopKProcessor processor(xkg_, empty_rules_, resolved.scorer,
+                                resolved.processor);
+  TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
+  if (request.trace) {
+    response.stages.push_back({"process", stage.ElapsedMillis()});
+  }
+
+  response.effective_scorer = resolved.scorer;
+  response.effective_processor = resolved.processor;
+  response.deadline_hit = response.result.stats.deadline_hit;
+  response.wall_ms = total.ElapsedMillis();
+  return response;
+}
+
 Result<topk::TopKResult> ExactEngine::Answer(const query::Query& q,
                                              int k) const {
-  topk::ProcessorOptions options;
-  options.k = k > 0 ? k : default_k_;
-  options.enable_relaxation = false;
-  topk::TopKProcessor processor(xkg_, empty_rules_, scorer_options_,
-                                options);
-  return processor.Answer(q);
+  core::QueryRequest request = core::QueryRequest::Parsed(q, k);
+  TRINIT_ASSIGN_OR_RETURN(core::QueryResponse response, Execute(request));
+  return std::move(response.result);
 }
 
 }  // namespace trinit::baselines

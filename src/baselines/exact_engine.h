@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/engine.h"
 #include "relax/rule_set.h"
 #include "topk/topk_processor.h"
 
@@ -14,12 +15,22 @@ namespace trinit::baselines {
 /// experience the paper's users A-C suffer under. Run it against a
 /// KG-only Xkg for the "plain KG" condition or the full Xkg for the
 /// "XKG without relaxation" ablation.
-class ExactEngine {
+class ExactEngine : public core::Engine {
  public:
   ExactEngine(const xkg::Xkg& xkg, scoring::ScorerOptions scorer_options,
               int default_k = 10);
 
-  /// Evaluates `q` with the engine's exact semantics.
+  std::string_view name() const override { return "exact"; }
+  const xkg::Xkg& xkg() const override { return xkg_; }
+
+  /// Executes one request with exact semantics: per-request scorer and
+  /// processor overrides apply, but relaxation stays off — that is what
+  /// makes this engine this baseline.
+  Result<core::QueryResponse> Execute(
+      const core::QueryRequest& request) const override;
+
+  /// Evaluates `q` with the engine's exact semantics (shim over
+  /// `Execute`).
   Result<topk::TopKResult> Answer(const query::Query& q, int k) const;
 
  private:

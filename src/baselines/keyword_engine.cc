@@ -5,14 +5,61 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "query/parser.h"
+#include "util/timer.h"
+
 namespace trinit::baselines {
 
 KeywordEngine::KeywordEngine(const xkg::Xkg& xkg,
                              scoring::ScorerOptions scorer_options)
     : xkg_(xkg), scorer_(xkg, scorer_options) {}
 
+Result<core::QueryResponse> KeywordEngine::Execute(
+    const core::QueryRequest& request) const {
+  WallTimer total;
+  core::QueryResponse response;
+  core::ResolvedOptions resolved = core::ResolveRequestOptions(
+      scorer_.options(), topk::ProcessorOptions{}, request);
+
+  WallTimer stage;
+  query::Query parsed_storage;
+  TRINIT_ASSIGN_OR_RETURN(
+      const query::Query* q,
+      core::ResolveRequestQuery(request, xkg_.dict(), &parsed_storage));
+  if (request.trace) {
+    response.stages.push_back({"parse", stage.ElapsedMillis()});
+  }
+
+  stage.Reset();
+  if (request.scorer.has_value()) {
+    // LmScorer is a thin view over the XKG; building one per request is
+    // how the scorer override stays engine-state-free.
+    scoring::LmScorer scorer(xkg_, resolved.scorer);
+    TRINIT_ASSIGN_OR_RETURN(response.result,
+                            AnswerWith(scorer, *q, resolved.processor.k));
+  } else {
+    TRINIT_ASSIGN_OR_RETURN(response.result,
+                            AnswerWith(scorer_, *q, resolved.processor.k));
+  }
+  if (request.trace) {
+    response.stages.push_back({"process", stage.ElapsedMillis()});
+  }
+
+  response.effective_scorer = resolved.scorer;
+  response.effective_processor = resolved.processor;
+  response.wall_ms = total.ElapsedMillis();
+  return response;
+}
+
 Result<topk::TopKResult> KeywordEngine::Answer(const query::Query& q,
                                                int k) const {
+  core::QueryRequest request = core::QueryRequest::Parsed(q, k);
+  TRINIT_ASSIGN_OR_RETURN(core::QueryResponse response, Execute(request));
+  return std::move(response.result);
+}
+
+Result<topk::TopKResult> KeywordEngine::AnswerWith(
+    const scoring::LmScorer& scorer, const query::Query& q, int k) const {
   TRINIT_RETURN_IF_ERROR(q.Validate());
   query::Query canonical(q.patterns(), q.EffectiveProjection());
   canonical.ResolveAgainst(xkg_.dict());
@@ -24,7 +71,7 @@ Result<topk::TopKResult> KeywordEngine::Answer(const query::Query& q,
       if (slot->is_variable()) continue;
       if (slot->kind == query::Term::Kind::kToken) {
         for (const auto& cand : xkg_.phrase_index().FindSimilar(
-                 slot->text, scorer_.options().token_match_threshold)) {
+                 slot->text, scorer.options().token_match_threshold)) {
           double& w = keywords[cand.term];
           w = std::max(w, cand.similarity);
         }
@@ -47,11 +94,11 @@ Result<topk::TopKResult> KeywordEngine::Answer(const query::Query& q,
                       xkg_.store().Match(rdf::kNullTerm, term, rdf::kNullTerm),
                       xkg_.store().Match(rdf::kNullTerm, rdf::kNullTerm,
                                          term)}) {
-      uint64_t mass = scorer_.PatternMass(span);
+      uint64_t mass = scorer.PatternMass(span);
       for (rdf::TripleId id : span) {
         const rdf::Triple& t = xkg_.store().triple(id);
         double emission =
-            std::exp(scorer_.ScoreTriple(t, mass)) * weight;
+            std::exp(scorer.ScoreTriple(t, mass)) * weight;
         for (rdf::TermId other : {t.s, t.o}) {
           if (other == term) continue;
           if (keywords.count(other) > 0) continue;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/engine.h"
 #include "query/query.h"
 #include "scoring/lm_scorer.h"
 #include "topk/topk_processor.h"
@@ -24,13 +25,29 @@ namespace trinit::baselines {
 /// handles single-hop look-ups respectably but cannot express joins —
 /// exactly the gap the paper's evaluation exposes (NDCG@5 0.419 vs
 /// 0.775).
-class KeywordEngine {
+class KeywordEngine : public core::Engine {
  public:
   KeywordEngine(const xkg::Xkg& xkg, scoring::ScorerOptions scorer_options);
 
+  std::string_view name() const override { return "keyword"; }
+  const xkg::Xkg& xkg() const override { return xkg_; }
+
+  /// Executes one request with keyword semantics. Of the processor
+  /// overrides only `k` is meaningful here (there is no join and no
+  /// relaxation to configure); scorer overrides apply in full. The
+  /// budget caps (`timeout_ms`, `max_items_budget`) are likewise not
+  /// enforced — the keyword scan has no incremental streams to cut
+  /// short — so `deadline_hit` is always false from this engine.
+  Result<core::QueryResponse> Execute(
+      const core::QueryRequest& request) const override;
+
+  /// Shim over `Execute` for already-parsed queries.
   Result<topk::TopKResult> Answer(const query::Query& q, int k) const;
 
  private:
+  Result<topk::TopKResult> AnswerWith(const scoring::LmScorer& scorer,
+                                      const query::Query& q, int k) const;
+
   const xkg::Xkg& xkg_;
   scoring::LmScorer scorer_;
 };

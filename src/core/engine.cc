@@ -1,0 +1,7 @@
+#include "core/engine.h"
+
+namespace trinit::core {
+
+Engine::~Engine() = default;
+
+}  // namespace trinit::core

@@ -1,0 +1,50 @@
+#include "core/request.h"
+
+#include "query/parser.h"
+
+namespace trinit::core {
+
+QueryRequest QueryRequest::Text(std::string text, int k) {
+  QueryRequest request;
+  request.text = std::move(text);
+  request.k = k;
+  return request;
+}
+
+QueryRequest QueryRequest::Parsed(query::Query query, int k) {
+  QueryRequest request;
+  request.query = std::move(query);
+  request.k = k;
+  return request;
+}
+
+ResolvedOptions ResolveRequestOptions(
+    const scoring::ScorerOptions& engine_scorer,
+    const topk::ProcessorOptions& engine_processor,
+    const QueryRequest& request) {
+  ResolvedOptions resolved;
+  resolved.scorer = request.scorer.value_or(engine_scorer);
+  resolved.processor = request.processor.value_or(engine_processor);
+  if (request.k > 0) resolved.processor.k = request.k;
+  if (request.enable_relaxation.has_value()) {
+    resolved.processor.enable_relaxation = *request.enable_relaxation;
+  }
+  if (request.timeout_ms > 0) {
+    resolved.processor.deadline_ms = request.timeout_ms;
+  }
+  if (request.max_items_budget > 0) {
+    resolved.processor.join.max_pulls = request.max_items_budget;
+  }
+  return resolved;
+}
+
+Result<const query::Query*> ResolveRequestQuery(
+    const QueryRequest& request, const rdf::Dictionary& dict,
+    query::Query* storage) {
+  if (request.query.has_value()) return &*request.query;
+  TRINIT_ASSIGN_OR_RETURN(*storage,
+                          query::Parser::Parse(request.text, &dict));
+  return storage;
+}
+
+}  // namespace trinit::core

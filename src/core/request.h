@@ -1,0 +1,121 @@
+#ifndef TRINIT_CORE_REQUEST_H_
+#define TRINIT_CORE_REQUEST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "scoring/lm_scorer.h"
+#include "topk/topk_processor.h"
+
+namespace trinit::core {
+
+/// One query execution request — everything that can vary per call, so a
+/// single engine opened over one immutable XKG + rule set can serve
+/// mixed workloads (ablation configurations, interactive sessions,
+/// baselines) without being rebuilt.
+///
+/// All fields are optional overrides: an unset field inherits the
+/// engine's configuration from `Open()` time. Requests are plain values;
+/// build them with the `Text`/`Parsed` factories or designated
+/// initializers and reuse/copy them freely.
+struct QueryRequest {
+  /// Query text in the extended triple-pattern syntax. Ignored when
+  /// `query` is set.
+  std::string text;
+
+  /// Pre-parsed query; takes precedence over `text` when set (saves the
+  /// parse for callers that already hold a `query::Query`).
+  std::optional<query::Query> query;
+
+  /// Number of answers wanted; <= 0 means the engine's configured
+  /// default.
+  int k = 0;
+
+  /// Per-request scoring override (bench A2 tweaks these per run).
+  std::optional<scoring::ScorerOptions> scorer;
+
+  /// Per-request processor override (rewrite caps, join options, ...).
+  /// `k`, `enable_relaxation`, and the budget caps below are applied on
+  /// top of this when set.
+  std::optional<topk::ProcessorOptions> processor;
+
+  /// Per-request relaxation toggle — the A1 "no relaxation" condition
+  /// without a second engine.
+  std::optional<bool> enable_relaxation;
+
+  /// Wall-clock budget for this request, in milliseconds; <= 0 means
+  /// unlimited. On expiry the processor stops opening new work and
+  /// returns the best answers found so far (`QueryResponse::deadline_hit`
+  /// reports the truncation).
+  double timeout_ms = 0.0;
+
+  /// Cap on rank-join items pulled across the whole request; 0 keeps the
+  /// processor's configured cap.
+  size_t max_items_budget = 0;
+
+  /// Collect per-stage wall times into `QueryResponse::stages`.
+  bool trace = false;
+
+  /// Convenience: a request for `text` with `k` answers.
+  static QueryRequest Text(std::string text, int k = 0);
+
+  /// Convenience: a request for an already-parsed query.
+  static QueryRequest Parsed(query::Query query, int k = 0);
+};
+
+/// One timed execution stage of a request (filled when
+/// `QueryRequest::trace` is set).
+struct StageTiming {
+  std::string stage;  ///< "parse", "process", ...
+  double millis = 0.0;
+};
+
+/// The answer to a `QueryRequest`: the ranked top-k plus everything an
+/// operator needs to understand how the request was served.
+struct QueryResponse {
+  topk::TopKResult result;
+
+  /// End-to-end wall time of `Execute`, milliseconds.
+  double wall_ms = 0.0;
+
+  /// Per-stage wall times; empty unless the request asked for a trace.
+  std::vector<StageTiming> stages;
+
+  /// The options the request actually ran with, after merging the
+  /// engine's defaults with the per-request overrides.
+  scoring::ScorerOptions effective_scorer;
+  topk::ProcessorOptions effective_processor;
+
+  /// True when the request's deadline expired before the processor
+  /// finished — `result` holds the best answers found in budget.
+  bool deadline_hit = false;
+};
+
+/// Merges an engine's configured defaults with a request's overrides
+/// into the options one execution runs with. Shared by every `Engine`
+/// implementation so the resolution order is uniform:
+/// engine defaults -> request.processor/scorer -> request.k /
+/// enable_relaxation / budget caps.
+struct ResolvedOptions {
+  scoring::ScorerOptions scorer;
+  topk::ProcessorOptions processor;
+};
+ResolvedOptions ResolveRequestOptions(
+    const scoring::ScorerOptions& engine_scorer,
+    const topk::ProcessorOptions& engine_processor,
+    const QueryRequest& request);
+
+/// Yields the query a request asks for without copying: the pre-parsed
+/// `request.query` when present, otherwise `request.text` parsed against
+/// `dict` into `*storage`. The returned pointer aliases `request` or
+/// `storage` and is valid for their lifetime. Shared by every `Engine`
+/// implementation.
+Result<const query::Query*> ResolveRequestQuery(
+    const QueryRequest& request, const rdf::Dictionary& dict,
+    query::Query* storage);
+
+}  // namespace trinit::core
+
+#endif  // TRINIT_CORE_REQUEST_H_

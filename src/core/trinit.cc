@@ -1,10 +1,15 @@
 #include "core/trinit.h"
 
+#include <atomic>
+#include <optional>
+#include <thread>
+
 #include "query/parser.h"
 #include "relax/manual_rules.h"
 #include "synth/kg_generator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace trinit::core {
 
@@ -16,17 +21,20 @@ Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options)
       explainer_(std::make_unique<explain::ExplanationBuilder>(*xkg_)) {}
 
 Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
-  Trinit engine(std::move(xkg), options);
-  if (options.mine_synonyms) {
-    relax::SynonymMiner miner(options.synonym_options);
+  // The options are stored exactly once; the miner setup below reads the
+  // engine's copy so the two can never drift apart.
+  Trinit engine(std::move(xkg), std::move(options));
+  const TrinitOptions& opts = engine.options_;
+  if (opts.mine_synonyms) {
+    relax::SynonymMiner miner(opts.synonym_options);
     TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
   }
-  if (options.mine_inversions) {
-    relax::InversionMiner miner(options.inversion_options);
+  if (opts.mine_inversions) {
+    relax::InversionMiner miner(opts.inversion_options);
     TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
   }
-  if (options.mine_expansions) {
-    relax::BridgeMiner miner(options.bridge_options);
+  if (opts.mine_expansions) {
+    relax::BridgeMiner miner(opts.bridge_options);
     TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
   }
   return engine;
@@ -115,19 +123,86 @@ Status Trinit::ExtendKg(std::string_view facts_text) {
   return Status::Ok();
 }
 
+Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
+  WallTimer total;
+  QueryResponse response;
+  ResolvedOptions resolved =
+      ResolveRequestOptions(options_.scorer, options_.processor, request);
+
+  WallTimer stage;
+  query::Query parsed_storage;
+  TRINIT_ASSIGN_OR_RETURN(
+      const query::Query* q,
+      ResolveRequestQuery(request, xkg_->dict(), &parsed_storage));
+  if (request.trace) {
+    response.stages.push_back({"parse", stage.ElapsedMillis()});
+  }
+
+  stage.Reset();
+  topk::TopKProcessor processor(*xkg_, rules_, resolved.scorer,
+                                resolved.processor);
+  TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
+  if (request.trace) {
+    response.stages.push_back({"process", stage.ElapsedMillis()});
+  }
+
+  response.effective_scorer = resolved.scorer;
+  response.effective_processor = resolved.processor;
+  response.deadline_hit = response.result.stats.deadline_hit;
+  response.wall_ms = total.ElapsedMillis();
+  return response;
+}
+
+std::vector<Result<QueryResponse>> Trinit::ExecuteBatch(
+    std::span<const QueryRequest> requests, int num_threads) const {
+  size_t n = requests.size();
+  if (num_threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = static_cast<int>(hw == 0 ? 1 : hw);
+  }
+  // Never spawn more workers than there are requests to claim.
+  num_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads), n));
+
+  // Slots keep results aligned with requests regardless of which worker
+  // finishes first; each slot is written by exactly one worker.
+  std::vector<std::optional<Result<QueryResponse>>> slots(n);
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      slots[i] = Execute(requests[i]);
+    }
+  };
+
+  if (num_threads <= 1 || n <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  std::vector<Result<QueryResponse>> results;
+  results.reserve(n);
+  for (std::optional<Result<QueryResponse>>& slot : slots) {
+    TRINIT_CHECK(slot.has_value());
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
 Result<topk::TopKResult> Trinit::Query(std::string_view text, int k) const {
-  TRINIT_ASSIGN_OR_RETURN(query::Query q,
-                          query::Parser::Parse(text, &xkg_->dict()));
-  return Answer(q, k);
+  TRINIT_ASSIGN_OR_RETURN(QueryResponse response,
+                          Execute(QueryRequest::Text(std::string(text), k)));
+  return std::move(response.result);
 }
 
 Result<topk::TopKResult> Trinit::Answer(const query::Query& q,
                                         int k) const {
-  topk::ProcessorOptions processor_options = options_.processor;
-  processor_options.k = k;
-  topk::TopKProcessor processor(*xkg_, rules_, options_.scorer,
-                                processor_options);
-  return processor.Answer(q);
+  TRINIT_ASSIGN_OR_RETURN(QueryResponse response,
+                          Execute(QueryRequest::Parsed(q, k)));
+  return std::move(response.result);
 }
 
 explain::Explanation Trinit::Explain(const topk::TopKResult& result,

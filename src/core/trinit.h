@@ -2,10 +2,13 @@
 #define TRINIT_CORE_TRINIT_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/engine.h"
+#include "core/request.h"
 #include "explain/explanation.h"
 #include "openie/pipeline.h"
 #include "relax/bridge_miner.h"
@@ -19,7 +22,9 @@
 
 namespace trinit::core {
 
-/// Everything tunable about a TriniT instance.
+/// Everything tunable about a TriniT instance. These are *defaults*: any
+/// of the query-time knobs can be overridden per request through
+/// `QueryRequest` without reopening the engine.
 struct TrinitOptions {
   scoring::ScorerOptions scorer;
   topk::ProcessorOptions processor;
@@ -38,7 +43,13 @@ struct TrinitOptions {
 /// knowledge graph, a relaxation rule set (mined + manual + plugged-in
 /// operators), the incremental top-k processor, answer explanation, and
 /// query suggestion.
-class Trinit {
+///
+/// Threading: `Execute` (and the `Query`/`Answer` shims over it) is
+/// `const` and holds no per-query engine state, so any number of threads
+/// may query one engine concurrently — `ExecuteBatch` does exactly that.
+/// The mutating members (`AddManualRules`, `ExtendKg`, `RunOperator`)
+/// must not run concurrently with queries.
+class Trinit : public Engine {
  public:
   /// Statistics of a FromWorld build.
   struct BuildReport {
@@ -80,11 +91,37 @@ class Trinit {
   /// operator API) and absorbs its rules.
   Status RunOperator(relax::RelaxationOperator& op);
 
-  /// Parses and answers a query.
+  // ------------------------------------------------------- Engine API
+
+  std::string_view name() const override { return "TriniT"; }
+  const xkg::Xkg& xkg() const override { return *xkg_; }
+
+  /// The single query entry point: resolves the request's per-call
+  /// overrides against the engine defaults, parses `request.text`
+  /// (unless a parsed query was supplied), runs the incremental top-k
+  /// processor, and reports the answers with timings and the effective
+  /// options. Thread-safe (see class comment).
+  Result<QueryResponse> Execute(const QueryRequest& request) const override;
+
+  /// Fans a batch of requests across `num_threads` workers over this one
+  /// engine (the serving path's first concrete step). `num_threads <= 0`
+  /// picks `min(batch size, hardware_concurrency)`. Results are aligned
+  /// with `requests`; each is its request's independent success/error.
+  std::vector<Result<QueryResponse>> ExecuteBatch(
+      std::span<const QueryRequest> requests, int num_threads = 0) const;
+
+  // ------------------------------------- compatibility shims (legacy)
+
+  /// Parses and answers a query. Thin shim over `Execute`; prefer the
+  /// request/response API, which exposes per-request options and
+  /// timings. Kept for source compatibility (see docs/API.md).
   Result<topk::TopKResult> Query(std::string_view text, int k = 10) const;
 
-  /// Answers an already-built query.
+  /// Answers an already-built query. Thin shim over `Execute` (see
+  /// `Query`).
   Result<topk::TopKResult> Answer(const query::Query& q, int k = 10) const;
+
+  // ----------------------------------------------- exploration extras
 
   /// Structured explanation of `result.answers[rank]` (demo §5).
   explain::Explanation Explain(const topk::TopKResult& result,
@@ -104,7 +141,6 @@ class Trinit {
     return *autocomplete_;
   }
 
-  const xkg::Xkg& xkg() const { return *xkg_; }
   const relax::RuleSet& rules() const { return rules_; }
   const TrinitOptions& options() const { return options_; }
 

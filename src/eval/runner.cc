@@ -28,6 +28,30 @@ std::vector<std::string> KeysFromResult(const xkg::Xkg& xkg,
 }
 
 std::vector<SystemReport> Runner::Run(
+    const Workload& workload, const std::vector<EngineUnderTest>& engines,
+    int k) {
+  std::vector<SystemUnderTest> systems;
+  systems.reserve(engines.size());
+  for (const EngineUnderTest& sut : engines) {
+    const core::Engine* engine = sut.engine;
+    core::QueryRequest base = sut.base;
+    systems.push_back(
+        {sut.name,
+         [engine, base](const EvalQuery& query,
+                        int wanted) -> std::vector<std::string> {
+           core::QueryRequest request = base;
+           request.text = query.text;
+           request.query.reset();
+           request.k = wanted;
+           auto response = engine->Execute(request);
+           if (!response.ok()) return {};
+           return KeysFromResult(engine->xkg(), response->result);
+         }});
+  }
+  return Run(workload, systems, k);
+}
+
+std::vector<SystemReport> Runner::Run(
     const Workload& workload, const std::vector<SystemUnderTest>& systems,
     int k) {
   std::vector<SystemReport> reports;

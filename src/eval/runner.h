@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "eval/metrics.h"
 #include "eval/workload.h"
 #include "topk/topk_processor.h"
@@ -19,6 +20,20 @@ namespace trinit::eval {
 struct SystemUnderTest {
   std::string name;
   std::function<std::vector<std::string>(const EvalQuery&, int k)> answer;
+};
+
+/// A system under evaluation expressed directly as a `core::Engine` —
+/// the preferred form: the runner drives the engine through the unified
+/// request/response API, so the ad-hoc parse-and-answer lambdas of the
+/// bench harnesses collapse to a name + pointer (+ an optional request
+/// template for per-system option overrides).
+struct EngineUnderTest {
+  std::string name;                         ///< display label for reports
+  const core::Engine* engine = nullptr;     ///< not owned; must outlive Run
+  /// Template for every request sent to this engine: `text` and `k` are
+  /// filled in per workload query, everything else (scorer/processor
+  /// overrides, relaxation toggle, budgets) is forwarded as-is.
+  core::QueryRequest base;
 };
 
 /// Per-system aggregate results over a workload.
@@ -42,6 +57,12 @@ class Runner {
   static std::vector<SystemReport> Run(
       const Workload& workload,
       const std::vector<SystemUnderTest>& systems, int k = 10);
+
+  /// Unified-interface form: every engine is driven through
+  /// `core::Engine::Execute`; failed requests score as "no answers".
+  static std::vector<SystemReport> Run(
+      const Workload& workload,
+      const std::vector<EngineUnderTest>& engines, int k = 10);
 };
 
 /// Converts a processor result into ranked label-based answer keys using

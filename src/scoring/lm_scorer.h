@@ -19,6 +19,11 @@ struct ScorerOptions {
   /// Minimum phrase similarity for a query token term to soft-match an
   /// XKG token term (extended triple patterns, paper §2).
   double token_match_threshold = 0.35;
+
+  /// Value comparison (request tests assert the effective options an
+  /// execution resolved to).
+  friend bool operator==(const ScorerOptions&,
+                         const ScorerOptions&) = default;
 };
 
 /// Query-likelihood scoring of answers (paper §4): "a triple pattern is

@@ -136,7 +136,15 @@ void JoinEngine::Combine(size_t stream_idx,
 }
 
 std::vector<Answer> JoinEngine::Run() {
+  constexpr size_t kDeadlineCheckMask = 63;  // amortize the clock reads
+  const bool has_deadline =
+      options_.deadline != std::chrono::steady_clock::time_point{};
   while (stats_.items_pulled < options_.max_pulls) {
+    if (has_deadline && (stats_.items_pulled & kDeadlineCheckMask) == 0 &&
+        std::chrono::steady_clock::now() >= options_.deadline) {
+      stats_.deadline_hit = true;
+      break;
+    }
     if (!options_.drain) {
       // Termination test first: with k answers at or above the
       // threshold, no unseen combination can change the top-k.

@@ -1,6 +1,7 @@
 #ifndef TRINIT_TOPK_JOIN_ENGINE_H_
 #define TRINIT_TOPK_JOIN_ENGINE_H_
 
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,10 @@ class JoinEngine {
   struct Options {
     int k = 10;
     size_t max_pulls = 200000;  ///< hard safety cap
+    /// Absolute wall-clock cutoff for the run; the default-constructed
+    /// time point (the epoch) disables it. Checked periodically, so the
+    /// engine may overshoot by a handful of pulls.
+    std::chrono::steady_clock::time_point deadline{};
     /// Answer-combination semantics across derivations of the same
     /// projection binding: max (paper §4) or probabilistic sum
     /// (ablation A2).
@@ -46,6 +51,7 @@ class JoinEngine {
     size_t combinations_tried = 0;
     bool early_terminated = false;  ///< stopped via threshold, not
                                     ///< exhaustion
+    bool deadline_hit = false;  ///< stopped because `deadline` expired
   };
 
   /// `projection` are ids into `vars` that define answer identity; they

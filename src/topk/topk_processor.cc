@@ -54,6 +54,7 @@ std::vector<TopKProcessor::Variant> TopKProcessor::QueryVariants(
 
 void TopKProcessor::EvaluateVariant(
     const Variant& variant, const std::vector<std::string>& projection,
+    std::chrono::steady_clock::time_point deadline,
     TopKResult* result) const {
   const query::Query& vq = variant.query;
   query::VarTable vars(vq);
@@ -104,12 +105,23 @@ void TopKProcessor::EvaluateVariant(
     }
   }
 
+  JoinEngine::Options join_options = options_.join;
+  join_options.deadline = deadline;
+  // max_pulls is a whole-request budget: charge the items previous
+  // variants already pulled against this variant's allowance.
+  if (join_options.max_pulls != SIZE_MAX) {
+    join_options.max_pulls =
+        join_options.max_pulls > result->stats.items_pulled
+            ? join_options.max_pulls - result->stats.items_pulled
+            : 0;
+  }
   JoinEngine engine(std::move(streams), vars, projection_ids,
-                    options_.join);
+                    join_options);
   std::vector<topk::Answer> variant_answers = engine.Run();
 
   result->stats.items_pulled += engine.stats().items_pulled;
   result->stats.combinations_tried += engine.stats().combinations_tried;
+  result->stats.deadline_hit |= engine.stats().deadline_hit;
   for (RelaxedStream* rs : relaxed) {
     result->stats.alternatives_opened += rs->opened_alternatives();
   }
@@ -173,10 +185,23 @@ Result<TopKResult> TopKProcessor::Answer(const query::Query& q) const {
   TopKResult result;
   result.projection = canonical.projection();
 
+  std::chrono::steady_clock::time_point deadline{};
+  if (options_.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       options_.deadline_ms));
+  }
+
   std::vector<Variant> variants = QueryVariants(canonical);
   result.stats.query_variants_total = variants.size();
 
   for (const Variant& variant : variants) {
+    if (deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= deadline) {
+      result.stats.deadline_hit = true;
+      break;
+    }
     // A variant's answers score at most log(weight); skip it once the
     // current top-k is already beyond reach (the same "only when it can
     // contribute" cutoff as inside RelaxedStream).
@@ -191,7 +216,7 @@ Result<TopKResult> TopKProcessor::Answer(const query::Query& q) const {
       if (scoring::LmScorer::LogWeight(variant.weight) <= kth) continue;
     }
     ++result.stats.query_variants_evaluated;
-    EvaluateVariant(variant, canonical.projection(), &result);
+    EvaluateVariant(variant, canonical.projection(), deadline, &result);
   }
 
   std::sort(result.answers.begin(), result.answers.end(),

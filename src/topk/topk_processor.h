@@ -1,6 +1,7 @@
 #ifndef TRINIT_TOPK_TOPK_PROCESSOR_H_
 #define TRINIT_TOPK_TOPK_PROCESSOR_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,9 @@ struct TopKResult {
     size_t alternatives_opened = 0;  ///< ... actually materialized
     size_t items_pulled = 0;
     size_t combinations_tried = 0;
+    /// The run's wall-clock deadline expired before the rewrite space
+    /// was fully explored; `answers` holds the best found in budget.
+    bool deadline_hit = false;
   } stats;
 
   /// Value bound to projection variable `idx` of `answers[rank]`.
@@ -50,6 +54,10 @@ struct ProcessorOptions {
   /// (e.g. Figure 4 rule 1); per-pattern rules are unlimited-by-count
   /// and bounded by weight instead.
   size_t max_query_variants = 24;
+  /// Wall-clock budget for one `Answer` call, in milliseconds; <= 0
+  /// means unlimited. On expiry the processor stops pulling work and
+  /// returns the best answers found so far (`RunStats::deadline_hit`).
+  double deadline_ms = 0.0;
   /// Explore the *same* rewrite space with no laziness: evaluate every
   /// variant, open every alternative eagerly, drain every stream. Same
   /// answers, strictly more work — the paper's "entire space of possible
@@ -89,6 +97,7 @@ class TopKProcessor {
 
   void EvaluateVariant(const Variant& variant,
                        const std::vector<std::string>& projection,
+                       std::chrono::steady_clock::time_point deadline,
                        TopKResult* result) const;
 
   const xkg::Xkg& xkg_;

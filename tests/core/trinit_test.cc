@@ -128,6 +128,41 @@ TEST(TrinitTest, RunOperatorAbsorbsCustomRules) {
   EXPECT_EQ(engine->rules().size(), before + 1);
 }
 
+TEST(TrinitTest, PerRequestOverridesServeMixedWorkloadsFromOneEngine) {
+  // One engine; two requests differing only in k and relaxation must
+  // match engines *built* with those settings.
+  auto engine = Trinit::Open(testing::BuildPaperXkg());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->AddManualRules(testing::kPaperRulesText).ok());
+
+  TrinitOptions strict_options;
+  strict_options.processor.enable_relaxation = false;
+  auto strict_engine =
+      Trinit::Open(testing::BuildPaperXkg(), strict_options);
+  ASSERT_TRUE(strict_engine.ok());
+  ASSERT_TRUE(strict_engine->AddManualRules(testing::kPaperRulesText).ok());
+
+  QueryRequest relaxed = QueryRequest::Text("?x bornIn Germany", 3);
+  QueryRequest strict = relaxed;
+  strict.enable_relaxation = false;
+
+  auto relaxed_response = engine->Execute(relaxed);
+  auto strict_response = engine->Execute(strict);
+  auto strict_reference = strict_engine->Query("?x bornIn Germany", 3);
+  ASSERT_TRUE(relaxed_response.ok());
+  ASSERT_TRUE(strict_response.ok());
+  ASSERT_TRUE(strict_reference.ok());
+
+  // Relaxation finds Einstein via the geo rule; strict matching cannot.
+  ASSERT_FALSE(relaxed_response->result.answers.empty());
+  EXPECT_EQ(engine->RenderAnswer(relaxed_response->result, 0),
+            "?x = AlbertEinstein");
+  EXPECT_EQ(strict_response->result.answers.size(),
+            strict_reference->answers.size());
+  EXPECT_TRUE(strict_response->result.answers.empty());
+  EXPECT_LE(relaxed_response->result.answers.size(), 3u);
+}
+
 TEST(TrinitTest, QueryParseErrorsPropagate) {
   auto engine = Trinit::Open(testing::BuildPaperXkg());
   ASSERT_TRUE(engine.ok());
@@ -155,25 +190,12 @@ TEST(TrinitEvalTest, TrinitBeatsBaselinesOnWorkload) {
   eval::Workload workload = eval::WorkloadGenerator::Generate(world, wopts);
   ASSERT_FALSE(workload.queries.empty());
 
-  auto trinit_system = eval::SystemUnderTest{
-      "TriniT",
-      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-        auto r = engine->Query(q.text, k);
-        if (!r.ok()) return {};
-        return eval::KeysFromResult(engine->xkg(), *r);
-      }};
-  auto kg_system = eval::SystemUnderTest{
-      "KG-exact",
-      [&](const eval::EvalQuery& q, int k) -> std::vector<std::string> {
-        auto parsed = query::Parser::Parse(q.text, &kg_only->dict());
-        if (!parsed.ok()) return {};
-        auto r = kg_exact.Answer(*parsed, k);
-        if (!r.ok()) return {};
-        return eval::KeysFromResult(*kg_only, *r);
-      }};
-
-  auto reports =
-      eval::Runner::Run(workload, {trinit_system, kg_system}, 10);
+  // Both systems run through the unified core::Engine interface.
+  std::vector<eval::EngineUnderTest> systems = {
+      {"TriniT", &engine.value(), {}},
+      {"KG-exact", &kg_exact, {}},
+  };
+  auto reports = eval::Runner::Run(workload, systems, 10);
   ASSERT_EQ(reports.size(), 2u);
   EXPECT_GT(reports[0].ndcg5, reports[1].ndcg5)
       << "TriniT must beat the KG-exact baseline";

@@ -1,0 +1,135 @@
+// Concurrency smoke test for the thread-safe engine front door: many
+// threads hammering Execute on one shared engine must produce exactly
+// the answers serial execution produces, and ExecuteBatch must line its
+// results up with its requests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trinit.h"
+#include "testing/paper_world.h"
+
+namespace trinit::core {
+namespace {
+
+std::vector<std::string> Rendered(const Trinit& engine,
+                                  const topk::TopKResult& result) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < result.answers.size(); ++i) {
+    out.push_back(engine.RenderAnswer(result, i));
+  }
+  return out;
+}
+
+Result<Trinit> BuildEngine() {
+  auto engine = Trinit::Open(testing::BuildPaperXkg());
+  if (engine.ok()) {
+    Status s = engine->AddManualRules(testing::kPaperRulesText);
+    if (!s.ok()) return s;
+  }
+  return engine;
+}
+
+const char* kQueries[] = {
+    "?x bornIn Germany",
+    "AlbertEinstein hasAdvisor ?x",
+    "AlbertEinstein 'won nobel for' ?x",
+    "SELECT ?x WHERE AlbertEinstein affiliation ?x ; ?x member IvyLeague",
+    "AlbertEinstein ?p ?o",
+    "?x 'lectured' ?y",
+};
+
+TEST(ConcurrentQueryTest, ThreadedExecuteMatchesSerial) {
+  auto engine = BuildEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Serial reference run.
+  std::vector<std::vector<std::string>> expected;
+  for (const char* text : kQueries) {
+    auto response = engine->Execute(QueryRequest::Text(text, 5));
+    ASSERT_TRUE(response.ok()) << text;
+    expected.push_back(Rendered(*engine, response->result));
+  }
+
+  // N threads, each running every query several times against the one
+  // shared engine.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+          auto response =
+              engine->Execute(QueryRequest::Text(kQueries[qi], 5));
+          if (!response.ok() ||
+              Rendered(*engine, response->result) != expected[qi]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentQueryTest, ExecuteBatchAlignsResultsWithRequests) {
+  auto engine = BuildEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // A batch interleaving every query (including a malformed one, which
+  // must fail in place without disturbing its neighbours).
+  std::vector<QueryRequest> requests;
+  for (int round = 0; round < 4; ++round) {
+    for (const char* text : kQueries) {
+      requests.push_back(QueryRequest::Text(text, 5));
+    }
+    requests.push_back(QueryRequest::Text("?x bornIn", 5));  // parse error
+  }
+
+  auto results = engine->ExecuteBatch(requests, /*num_threads=*/4);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].text == "?x bornIn") {
+      EXPECT_FALSE(results[i].ok()) << i;
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok()) << requests[i].text;
+    auto serial = engine->Execute(requests[i]);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(Rendered(*engine, results[i]->result),
+              Rendered(*engine, serial->result))
+        << requests[i].text;
+  }
+}
+
+TEST(ConcurrentQueryTest, ExecuteBatchMixedPerRequestOptions) {
+  auto engine = BuildEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Same query, different per-request settings, one batch.
+  QueryRequest relaxed = QueryRequest::Text("?x bornIn Germany", 5);
+  QueryRequest strict = relaxed;
+  strict.enable_relaxation = false;
+  QueryRequest single = relaxed;
+  single.k = 1;
+  std::vector<QueryRequest> requests = {relaxed, strict, single};
+
+  auto results = engine->ExecuteBatch(requests, /*num_threads=*/3);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(results[0]->result.answers.empty());  // relaxation finds Ulm
+  EXPECT_TRUE(results[1]->result.answers.empty());   // strict finds nothing
+  EXPECT_EQ(results[2]->result.answers.size(), 1u);
+  EXPECT_EQ(Rendered(*engine, results[2]->result)[0],
+            Rendered(*engine, results[0]->result)[0]);
+}
+
+}  // namespace
+}  // namespace trinit::core
