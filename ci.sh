@@ -25,4 +25,15 @@ else
   echo "bench_m1_micro not built (google-benchmark missing); skipping"
 fi
 
+echo "== release perf (P1: lazy vs eager streaming) =="
+# Optimized build for the latency exhibit — the perf trajectory is
+# tracked in BENCH_P1.json from PR 2 on. bench_p1_latency exits
+# non-zero if lazy streaming stops saving work or answers diverge.
+RELEASE_DIR="${BUILD_DIR}-release"
+cmake -B "$RELEASE_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" \
+  -DTRINIT_BUILD_TESTS=OFF -DTRINIT_BUILD_EXAMPLES=OFF
+cmake --build "$RELEASE_DIR" -j --target bench_p1_latency
+"$RELEASE_DIR/bench/bench_p1_latency" "$ROOT/BENCH_P1.json"
+
 echo "CI OK"

@@ -161,6 +161,7 @@ int main(int argc, char** argv) {
     trinit::core::QueryRequest request =
         trinit::core::QueryRequest::Parsed(*parsed, k);
     request.timeout_ms = timeout_ms;
+    request.trace = true;
     auto response = engine->Execute(request);
     if (!response.ok()) {
       std::printf("  %s\n", response.status().ToString().c_str());
@@ -183,6 +184,16 @@ int main(int argc, char** argv) {
                 result.stats.alternatives_total, result.stats.items_pulled,
                 response->deadline_hit ? "; TIMEOUT — partial answers"
                                        : "");
+    // Laziness trace: how much of the score-ordered index lists the run
+    // actually decoded vs left untouched.
+    std::printf("  trace:");
+    for (const auto& counter : response->counters) {
+      std::printf(" %s=%.0f", counter.name.c_str(), counter.value);
+    }
+    for (const auto& timing : response->stages) {
+      std::printf(" %s_ms=%.2f", timing.stage.c_str(), timing.millis);
+    }
+    std::printf("\n");
     for (const auto& suggestion : engine->Suggest(*parsed, result)) {
       std::printf("  suggestion: %s\n", suggestion.message.c_str());
     }

@@ -39,6 +39,7 @@ Result<core::QueryResponse> ExactEngine::Execute(
   TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
+    core::AppendRunStatsTrace(response.result.stats, &response);
   }
 
   response.effective_scorer = resolved.scorer;

@@ -43,6 +43,7 @@ Result<core::QueryResponse> KeywordEngine::Execute(
   }
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
+    core::AppendRunStatsTrace(response.result.stats, &response);
   }
 
   response.effective_scorer = resolved.scorer;

@@ -47,4 +47,21 @@ Result<const query::Query*> ResolveRequestQuery(
   return storage;
 }
 
+void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
+                         QueryResponse* response) {
+  auto add = [response](const char* name, double value) {
+    response->counters.push_back({name, value});
+  };
+  add("query_variants_total", static_cast<double>(stats.query_variants_total));
+  add("query_variants_evaluated",
+      static_cast<double>(stats.query_variants_evaluated));
+  add("alternatives_total", static_cast<double>(stats.alternatives_total));
+  add("alternatives_opened", static_cast<double>(stats.alternatives_opened));
+  add("items_pulled", static_cast<double>(stats.items_pulled));
+  add("items_decoded", static_cast<double>(stats.items_decoded));
+  add("items_skipped", static_cast<double>(stats.items_skipped));
+  add("combinations_tried", static_cast<double>(stats.combinations_tried));
+  add("deadline_hit", stats.deadline_hit ? 1.0 : 0.0);
+}
+
 }  // namespace trinit::core

@@ -72,6 +72,15 @@ struct StageTiming {
   double millis = 0.0;
 };
 
+/// One named processing counter of a traced request ("items_pulled",
+/// "alternatives_opened", ...) — the `TopKResult::RunStats` of the run,
+/// flattened so clients, the shell, and benches can observe how lazy
+/// the execution actually was without knowing the processor's types.
+struct TraceCounter {
+  std::string name;
+  double value = 0.0;
+};
+
 /// The answer to a `QueryRequest`: the ranked top-k plus everything an
 /// operator needs to understand how the request was served.
 struct QueryResponse {
@@ -82,6 +91,10 @@ struct QueryResponse {
 
   /// Per-stage wall times; empty unless the request asked for a trace.
   std::vector<StageTiming> stages;
+
+  /// Processing counters (the run's `RunStats`); empty unless the
+  /// request asked for a trace.
+  std::vector<TraceCounter> counters;
 
   /// The options the request actually ran with, after merging the
   /// engine's defaults with the per-request overrides.
@@ -115,6 +128,12 @@ ResolvedOptions ResolveRequestOptions(
 Result<const query::Query*> ResolveRequestQuery(
     const QueryRequest& request, const rdf::Dictionary& dict,
     query::Query* storage);
+
+/// Flattens a run's `RunStats` into `response->counters`. Shared by
+/// every `Engine` implementation so traced responses expose a uniform
+/// counter vocabulary.
+void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
+                         QueryResponse* response);
 
 }  // namespace trinit::core
 

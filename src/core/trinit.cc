@@ -144,6 +144,7 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
   TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
+    AppendRunStatsTrace(response.result.stats, &response);
   }
 
   response.effective_scorer = resolved.scorer;

@@ -1,0 +1,114 @@
+#include "rdf/score_order_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace trinit::rdf {
+
+ScoreOrderIndex::Key ScoreOrderIndex::KeyFor(Shape shape, const Triple& t) {
+  switch (shape) {
+    case kAll:
+      return {0, 0};
+    case kS:
+      return {t.s, 0};
+    case kP:
+      return {t.p, 0};
+    case kO:
+      return {t.o, 0};
+    case kSP:
+      return {t.s, t.p};
+    case kSO:
+      return {t.s, t.o};
+    case kPO:
+      return {t.p, t.o};
+    default:
+      TRINIT_CHECK(false);
+      return {};
+  }
+}
+
+ScoreOrderIndex ScoreOrderIndex::Build(std::span<const Triple> triples) {
+  ScoreOrderIndex index;
+  const size_t n = triples.size();
+
+  // Decorate once per shape instead of re-deriving keys and weights in
+  // every comparison: 7 sorts over n records dominate the build.
+  struct Record {
+    Key key;
+    double weight;
+    TripleId id;
+  };
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) weights[i] = WeightOf(triples[i]);
+  std::vector<Record> records(n);
+
+  for (int shape = 0; shape < kNumShapes; ++shape) {
+    for (size_t i = 0; i < n; ++i) {
+      records[i] = {KeyFor(static_cast<Shape>(shape), triples[i]),
+                    weights[i], static_cast<TripleId>(i)};
+    }
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) {
+                if (a.key != b.key) return a.key < b.key;
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.id < b.id;
+              });
+    std::vector<TripleId>& ids = index.lists_[shape];
+    ids.resize(n);
+    std::vector<uint64_t>& mass = index.prefix_mass_[shape];
+    mass.resize(n + 1);
+    mass[0] = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = records[i].id;
+      mass[i + 1] = mass[i] + triples[records[i].id].count;
+    }
+  }
+  return index;
+}
+
+ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
+                                             Shape shape, TermId first,
+                                             TermId second) const {
+  const std::vector<TripleId>& ids = lists_[shape];
+  // Bound slots form the primary sort key; within a block the order is
+  // by weight, which both search keys ignore (b spans the whole block
+  // when `second` is a wildcard).
+  Key lo{first, second == kNullTerm ? 0 : second};
+  Key hi{first, second == kNullTerm ? UINT32_MAX : second};
+  auto begin = std::lower_bound(
+      ids.begin(), ids.end(), lo, [shape, &triples](TripleId id, const Key& k) {
+        return KeyFor(shape, triples[id]) < k;
+      });
+  auto end = std::upper_bound(
+      begin, ids.end(), hi, [shape, &triples](const Key& k, TripleId id) {
+        return k < KeyFor(shape, triples[id]);
+      });
+  size_t b_idx = static_cast<size_t>(begin - ids.begin());
+  size_t e_idx = static_cast<size_t>(end - ids.begin());
+  const std::vector<uint64_t>& mass = prefix_mass_[shape];
+  return {std::span<const TripleId>(ids.data() + b_idx, e_idx - b_idx),
+          mass[e_idx] - mass[b_idx]};
+}
+
+ScoreOrderIndex::List ScoreOrderIndex::Lookup(std::span<const Triple> triples,
+                                              TermId s, TermId p,
+                                              TermId o) const {
+  if (triples.empty()) return {};
+  const bool bs = s != kNullTerm, bp = p != kNullTerm, bo = o != kNullTerm;
+  TRINIT_CHECK(!(bs && bp && bo));  // exact lookups use TripleStore::Match
+  if (bs) {
+    if (bp) return Range(triples, kSP, s, p);
+    if (bo) return Range(triples, kSO, s, o);
+    return Range(triples, kS, s, kNullTerm);
+  }
+  if (bp) {
+    if (bo) return Range(triples, kPO, p, o);
+    return Range(triples, kP, p, kNullTerm);
+  }
+  if (bo) return Range(triples, kO, o, kNullTerm);
+  return {std::span<const TripleId>(lists_[kAll].data(), lists_[kAll].size()),
+          prefix_mass_[kAll].back()};
+}
+
+}  // namespace trinit::rdf

@@ -1,0 +1,80 @@
+#ifndef TRINIT_RDF_SCORE_ORDER_INDEX_H_
+#define TRINIT_RDF_SCORE_ORDER_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace trinit::rdf {
+
+/// Score-ordered posting lists over a finished triple set — the "index
+/// lists accessible in sorted order of scores" the paper's incremental
+/// top-k processing (§4) assumes of its backend.
+///
+/// For every bound-slot shape of a triple pattern (none, S, P, O, SP,
+/// SO, PO) the index keeps one permutation of the triple ids sorted by
+/// the bound slots first and then by *descending emission weight*
+/// (`count * confidence`, the numerator of the scoring model's emission
+/// probability; ties by id for determinism). A pattern lookup is then a
+/// binary search to a contiguous block whose triples stream out
+/// best-first — consumers can stop early instead of fetching, scoring,
+/// and sorting the whole match set.
+///
+/// Each permutation carries a prefix sum of triple counts, so the total
+/// evidence mass of any block (`LmScorer::PatternMass`, the emission
+/// denominator) is O(1) after the O(log n) block search instead of a
+/// full span walk.
+///
+/// Fully-bound (s,p,o) lookups are not served here: a single triple
+/// needs no ordering, and `TripleStore::ScoreOrdered` answers it from
+/// the exact-match path.
+class ScoreOrderIndex {
+ public:
+  /// One score-ordered posting list: ids in descending `WeightOf` order
+  /// plus the block's total evidence mass (sum of counts).
+  struct List {
+    std::span<const TripleId> ids;
+    uint64_t mass = 0;
+  };
+
+  ScoreOrderIndex() = default;
+
+  /// Builds all shape permutations over `triples` (which must stay alive
+  /// and unchanged for the lifetime of lookups; the index itself stores
+  /// only ids and masses, so it moves freely with its owner).
+  static ScoreOrderIndex Build(std::span<const Triple> triples);
+
+  /// Score-ordered ids of all triples matching the pattern
+  /// (`kNullTerm` = wildcard). At most two slots may be bound. `triples`
+  /// must be the array the index was built over.
+  List Lookup(std::span<const Triple> triples, TermId s, TermId p,
+              TermId o) const;
+
+  /// The emission weight the lists are ordered by: the numerator of the
+  /// scoring model's emission probability under production options.
+  static double WeightOf(const Triple& t) {
+    return static_cast<double>(t.count) * static_cast<double>(t.confidence);
+  }
+
+ private:
+  enum Shape { kAll, kS, kP, kO, kSP, kSO, kPO, kNumShapes };
+
+  struct Key {
+    TermId a = 0, b = 0;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  /// Bound-slot key of `t` under `shape`; single-slot shapes use b = 0.
+  static Key KeyFor(Shape shape, const Triple& t);
+
+  List Range(std::span<const Triple> triples, Shape shape, TermId first,
+             TermId second) const;
+
+  std::vector<TripleId> lists_[kNumShapes];
+  // prefix_mass_[shape][i] = sum of counts over lists_[shape][0..i).
+  std::vector<uint64_t> prefix_mass_[kNumShapes];
+};
+
+}  // namespace trinit::rdf
+
+#endif  // TRINIT_RDF_SCORE_ORDER_INDEX_H_

@@ -71,6 +71,19 @@ std::span<const TripleId> TripleStore::Match(TermId s, TermId p,
   return {identity_.data(), identity_.size()};
 }
 
+ScoreOrderIndex::List TripleStore::ScoreOrdered(TermId s, TermId p,
+                                                TermId o) const {
+  if (triples_.empty()) return {};
+  if (s != kNullTerm && p != kNullTerm && o != kNullTerm) {
+    // A fully-bound pattern matches at most one triple; serve it from
+    // the exact-match path (trivially score-ordered).
+    std::span<const TripleId> exact = Match(s, p, o);
+    uint64_t mass = exact.empty() ? 0 : triples_[exact.front()].count;
+    return {exact, mass};
+  }
+  return score_index_.Lookup(triples_, s, p, o);
+}
+
 TripleId TripleStore::Find(TermId s, TermId p, TermId o) const {
   std::span<const TripleId> r = Match(s, p, o);
   return r.empty() ? kInvalidTriple : r.front();
@@ -117,6 +130,7 @@ Result<TripleStore> TripleStoreBuilder::Build() {
                           store.triples_[b]);
     });
   }
+  store.score_index_ = ScoreOrderIndex::Build(store.triples_);
   return store;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "rdf/score_order_index.h"
 #include "rdf/triple.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -27,7 +28,10 @@ namespace trinit::rdf {
 ///
 /// This mirrors the "index lists accessible in sorted order" requirement
 /// of the paper's top-k processing (§4); the ElasticSearch backend of the
-/// original demo provided the same access path.
+/// original demo provided the same access path. On top of the six
+/// SPO-ordered permutations, `ScoreOrdered()` serves every non-exact
+/// pattern shape in descending emission-weight order from a
+/// `ScoreOrderIndex` built alongside them.
 ///
 /// Construction goes through `TripleStoreBuilder` (RocksDB-style builder
 /// idiom: mutation before Build, immutability after).
@@ -62,6 +66,15 @@ class TripleStore {
     return Match(s, p, o).size();
   }
 
+  /// Ids of all triples matching the pattern in *descending emission
+  /// weight* order (`ScoreOrderIndex::WeightOf`: count × confidence),
+  /// with the block's total evidence mass. This is the score-ordered
+  /// access path of the paper's top-k processing (§4): consumers stream
+  /// matches best-first and stop early; the mass (the scoring model's
+  /// emission denominator) comes from a prefix sum instead of a span
+  /// walk. The span aliases internal storage (store lifetime).
+  ScoreOrderIndex::List ScoreOrdered(TermId s, TermId p, TermId o) const;
+
   /// Dense id of the exact triple, or kInvalidTriple.
   TripleId Find(TermId s, TermId p, TermId o) const;
 
@@ -95,6 +108,7 @@ class TripleStore {
   std::vector<Triple> triples_;  // ascending SPO
   std::vector<TripleId> perms_[kNumPerms];
   std::vector<TripleId> identity_;  // 0..n-1 (SPO view for uniform spans)
+  ScoreOrderIndex score_index_;     // score-ordered shape permutations
   uint64_t total_count_ = 0;
   uint32_t max_count_ = 0;
 };

@@ -37,6 +37,34 @@ double LmScorer::ScoreTriple(const rdf::Triple& t,
   return std::min(std::log(p), kMaxPatternScore);
 }
 
+double LmScorer::UpperBoundForList(double max_weight,
+                                   uint64_t pattern_mass) const {
+  double numerator;
+  if (options_.use_tf && options_.use_confidence) {
+    // Production config: the emission numerator *is* the list weight.
+    numerator = max_weight;
+  } else if (options_.use_tf) {
+    // Confidence stripped: a low-weight triple can still carry a large
+    // count (even at weight 0, via confidence 0), so only the
+    // store-wide cap is sound.
+    numerator = static_cast<double>(
+        std::max<uint32_t>(xkg_->store().max_count(), 1));
+  } else if (options_.use_confidence) {
+    // Count stripped: confidence <= 1 and, since count >= 1,
+    // confidence <= weight.
+    numerator = std::min(1.0, max_weight);
+  } else {
+    numerator = 1.0;
+  }
+  if (numerator <= 0.0) return kMinScore;
+  double denominator =
+      options_.use_idf
+          ? static_cast<double>(std::max<uint64_t>(pattern_mass, 1))
+          : static_cast<double>(std::max<uint64_t>(
+                xkg_->store().total_count(), 1));
+  return std::min(std::log(numerator / denominator), kMaxPatternScore);
+}
+
 double LmScorer::LogWeight(double w) {
   if (w <= 0.0) return kMinScore;
   return std::min(std::log(w), 0.0);

@@ -51,6 +51,18 @@ class LmScorer {
   /// `pattern_mass` (must be >= the triple's own count).
   double ScoreTriple(const rdf::Triple& t, uint64_t pattern_mass) const;
 
+  /// Monotone upper bound on `ScoreTriple(t, pattern_mass)` over every
+  /// triple whose emission weight (`ScoreOrderIndex::WeightOf`: count ×
+  /// confidence) is <= `max_weight` — i.e. over any suffix of a
+  /// score-ordered index list whose next entry has that weight. This is
+  /// what lets a lazy stream's `BestPossible()` speak for items it has
+  /// not decoded yet: the bound is non-increasing as the list is
+  /// consumed, so early termination stays sound under every scoring
+  /// ablation (the tf/confidence-off configs fall back to looser but
+  /// still valid caps). Assumes triple counts >= 1 (all builders
+  /// guarantee it).
+  double UpperBoundForList(double max_weight, uint64_t pattern_mass) const;
+
   /// log(w) for a relaxation weight or soft-match similarity, clamped so
   /// that w=0 yields a large-but-finite penalty (keeps sorting total).
   static double LogWeight(double w);

@@ -177,6 +177,13 @@ std::vector<Answer> JoinEngine::Run() {
     Combine(best_idx, seen_[best_idx].back());
   }
 
+  // Laziness accounting: how much of the underlying index lists the
+  // streams decoded on this run's behalf, and what they never touched.
+  BindingStream::Stats decode_stats;
+  for (const auto& stream : streams_) decode_stats += stream->DecodeStats();
+  stats_.items_decoded += decode_stats.items_decoded;
+  stats_.items_skipped += decode_stats.items_skipped;
+
   std::vector<Answer> out;
   out.reserve(answers_.size());
   for (auto& [key, ans] : answers_) out.push_back(std::move(ans));

@@ -48,6 +48,12 @@ class JoinEngine {
 
   struct Stats {
     size_t items_pulled = 0;
+    /// Index-list entries the streams actually fetched and scored; with
+    /// lazy streams this can exceed `items_pulled` only by the decode
+    /// lookahead, and is how much of `items_decoded + items_skipped`
+    /// (the full materialization cost) was really paid.
+    size_t items_decoded = 0;
+    size_t items_skipped = 0;  ///< known index entries never decoded
     size_t combinations_tried = 0;
     bool early_terminated = false;  ///< stopped via threshold, not
                                     ///< exhaustion

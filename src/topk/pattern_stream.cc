@@ -1,13 +1,20 @@
 #include "topk/pattern_stream.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 
+#include "rdf/score_order_index.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace trinit::topk {
 namespace {
+
+// Entries decoded from a cursor's posting list per refill round. Small
+// enough that a top-1 consumer touches a handful of entries; large
+// enough to amortize the heap pushes when a list is drained.
+constexpr size_t kDecodeChunk = 16;
 
 // One way to make a pattern slot concrete: a bound term id (or wildcard
 // kNullTerm for variables) plus the log-similarity cost of getting there
@@ -72,12 +79,25 @@ std::vector<SlotAlternative> ExpandSlot(const xkg::Xkg& xkg,
 
 }  // namespace
 
+// Max-heap ordering: higher score wins, earlier decode order breaks
+// ties (keeps the emission sequence deterministic).
+bool LeafStream::PendingLess(const Pending& a, const Pending& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.seq > b.seq;
+}
+
 LeafStream::LeafStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
                        const query::VarTable& vars,
                        const query::TriplePattern& pattern,
                        size_t pattern_index,
                        std::vector<const relax::Rule*> chain_rules,
-                       double chain_weight_log) {
+                       double chain_weight_log)
+    : xkg_(xkg),
+      scorer_(scorer),
+      pattern_index_(pattern_index),
+      matched_form_(pattern.ToString()),
+      chain_rules_(std::move(chain_rules)),
+      num_vars_(vars.size()) {
   std::vector<SlotAlternative> s_alts = ExpandSlot(xkg, scorer, pattern.s);
   std::vector<SlotAlternative> p_alts = ExpandSlot(xkg, scorer, pattern.p);
   std::vector<SlotAlternative> o_alts = ExpandSlot(xkg, scorer, pattern.o);
@@ -87,90 +107,195 @@ LeafStream::LeafStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
     if (!t.is_variable()) return std::nullopt;
     return vars.Find(t.text);
   };
-  std::optional<query::VarId> sv = var_id(pattern.s);
-  std::optional<query::VarId> pv = var_id(pattern.p);
-  std::optional<query::VarId> ov = var_id(pattern.o);
+  sv_ = var_id(pattern.s);
+  pv_ = var_id(pattern.p);
+  ov_ = var_id(pattern.o);
 
-  // (triple, binding-key) -> best item index, for soft-match dedup.
-  std::unordered_set<uint64_t> seen;
-
+  // One cursor per distinct slot-alternative combination with matches.
+  // Nothing is decoded here: a cursor is a span into the score-ordered
+  // posting list plus an upper bound from its first (= heaviest) entry.
+  struct ComboHash {
+    size_t operator()(const std::array<rdf::TermId, 3>& c) const {
+      return HashCombine(c[0], HashCombine(c[1], c[2]));
+    }
+  };
+  std::unordered_set<std::array<rdf::TermId, 3>, ComboHash> combos_seen;
   for (const SlotAlternative& sa : s_alts) {
     for (const SlotAlternative& pa : p_alts) {
       for (const SlotAlternative& oa : o_alts) {
-        std::span<const rdf::TripleId> matches =
-            xkg.store().Match(sa.id, pa.id, oa.id);
-        if (matches.empty()) continue;
-        uint64_t mass = scorer.PatternMass(matches);
-        double alt_log = sa.log_sim + pa.log_sim + oa.log_sim;
-        for (rdf::TripleId id : matches) {
-          const rdf::Triple& t = xkg.store().triple(id);
-          // A triple reached through several soft-match combinations
-          // keeps only its best-scoring occurrence; since combinations
-          // with smaller attenuation come first only after sorting, we
-          // dedup conservatively on (triple, alternative-signature).
-          uint64_t key = HashCombine(id, HashCombine(sa.id,
-                                                     HashCombine(pa.id,
-                                                                 oa.id)));
-          if (!seen.insert(key).second) continue;
+        if (!combos_seen.insert({sa.id, pa.id, oa.id}).second) continue;
 
-          Item item;
-          item.binding = query::Binding(vars.size());
-          bool ok = true;
-          if (sv) ok = ok && item.binding.Bind(*sv, t.s);
-          if (pv) ok = ok && item.binding.Bind(*pv, t.p);
-          if (ov) ok = ok && item.binding.Bind(*ov, t.o);
-          if (!ok) continue;  // repeated variable with conflicting terms
+        rdf::ScoreOrderIndex::List list =
+            xkg.store().ScoreOrdered(sa.id, pa.id, oa.id);
+        if (list.ids.empty()) continue;
 
-          item.log_score = scorer.ScoreTriple(t, mass) + alt_log +
-                           chain_weight_log;
-          item.step.pattern_index = pattern_index;
-          item.step.matched_form = pattern.ToString();
-          item.step.rules = chain_rules;
-          item.step.triples = {id};
-          for (const SlotAlternative* alt : {&sa, &pa, &oa}) {
-            if (alt->has_soft_match) {
-              item.step.soft_matches.push_back(alt->soft_match);
-            }
+        Cursor cursor;
+        cursor.ids = list.ids;
+        cursor.mass = list.mass;
+        cursor.alt_log =
+            sa.log_sim + pa.log_sim + oa.log_sim + chain_weight_log;
+        for (const SlotAlternative* alt : {&sa, &pa, &oa}) {
+          if (alt->has_soft_match) {
+            cursor.soft_matches.push_back(alt->soft_match);
           }
-          item.step.log_score = item.log_score;
-          items_.push_back(std::move(item));
         }
+        cursor.bound =
+            scorer.UpperBoundForList(
+                rdf::ScoreOrderIndex::WeightOf(
+                    xkg.store().triple(cursor.ids.front())),
+                cursor.mass) +
+            cursor.alt_log;
+        total_entries_ += cursor.ids.size();
+        cursors_.push_back(std::move(cursor));
       }
     }
   }
-  std::stable_sort(items_.begin(), items_.end(),
-                   [](const Item& a, const Item& b) {
-                     return a.log_score > b.log_score;
-                   });
+}
+
+void LeafStream::DecodeChunk(Cursor& cursor) {
+  size_t limit = std::min(cursor.pos + kDecodeChunk, cursor.ids.size());
+  for (; cursor.pos < limit; ++cursor.pos) {
+    rdf::TripleId id = cursor.ids[cursor.pos];
+    const rdf::Triple& t = xkg_.store().triple(id);
+    ++decoded_;
+
+    Pending pending;
+    pending.item.binding = query::Binding(num_vars_);
+    bool ok = true;
+    if (sv_) ok = ok && pending.item.binding.Bind(*sv_, t.s);
+    if (pv_) ok = ok && pending.item.binding.Bind(*pv_, t.p);
+    if (ov_) ok = ok && pending.item.binding.Bind(*ov_, t.o);
+    if (!ok) continue;  // repeated variable with conflicting terms
+
+    pending.score = scorer_.ScoreTriple(t, cursor.mass) + cursor.alt_log;
+    pending.seq = next_seq_++;
+    pending.item.log_score = pending.score;
+    pending.item.step.pattern_index = pattern_index_;
+    pending.item.step.matched_form = matched_form_;
+    pending.item.step.rules = chain_rules_;
+    pending.item.step.triples = {id};
+    pending.item.step.soft_matches = cursor.soft_matches;
+    pending.item.step.log_score = pending.score;
+    heap_.push_back(std::move(pending));
+    std::push_heap(heap_.begin(), heap_.end(), PendingLess);
+  }
+  bound_dirty_ = true;
+  // Undecoded remainder bound, from the next (= heaviest remaining)
+  // entry; monotone because the list descends by weight.
+  cursor.bound =
+      cursor.pos < cursor.ids.size()
+          ? scorer_.UpperBoundForList(
+                rdf::ScoreOrderIndex::WeightOf(
+                    xkg_.store().triple(cursor.ids[cursor.pos])),
+                cursor.mass) +
+                cursor.alt_log
+          : kExhausted;
+}
+
+void LeafStream::Advance() {
+  while (true) {
+    Cursor* best_cursor = nullptr;
+    for (Cursor& c : cursors_) {
+      if (c.pos >= c.ids.size()) continue;
+      if (best_cursor == nullptr || c.bound > best_cursor->bound) {
+        best_cursor = &c;
+      }
+    }
+    double frontier =
+        best_cursor == nullptr ? kExhausted : best_cursor->bound;
+    if (!heap_.empty() && heap_.front().score >= frontier) {
+      // Nothing undecoded can outrank the heap top: emit it.
+      std::pop_heap(heap_.begin(), heap_.end(), PendingLess);
+      current_ = std::move(heap_.back().item);
+      heap_.pop_back();
+      return;
+    }
+    if (best_cursor == nullptr) {
+      current_.reset();  // heap empty and every cursor drained
+      return;
+    }
+    DecodeChunk(*best_cursor);
+  }
 }
 
 const BindingStream::Item* LeafStream::Peek() {
-  return next_ < items_.size() ? &items_[next_] : nullptr;
+  if (!current_.has_value()) Advance();
+  return current_.has_value() ? &*current_ : nullptr;
 }
 
 void LeafStream::Pop() {
-  TRINIT_CHECK(next_ < items_.size());
-  ++next_;
+  if (!current_.has_value()) Advance();
+  TRINIT_CHECK(current_.has_value());
+  current_.reset();
+  ++popped_;
+  bound_dirty_ = true;
 }
 
 double LeafStream::BestPossible() {
-  return next_ < items_.size() ? items_[next_].log_score : kExhausted;
+  if (current_.has_value()) return current_->log_score;
+  if (!bound_dirty_) return cached_bound_;
+  double bound = heap_.empty() ? kExhausted : heap_.front().score;
+  for (const Cursor& c : cursors_) {
+    if (c.pos < c.ids.size()) bound = std::max(bound, c.bound);
+  }
+  cached_bound_ = bound;
+  bound_dirty_ = false;
+  return bound;
+}
+
+BindingStream::Stats LeafStream::DecodeStats() const {
+  return {decoded_, total_entries_ - decoded_};
+}
+
+size_t LeafStream::size() {
+  // Force-decode everything; what survives binding is what will emit.
+  for (Cursor& c : cursors_) {
+    while (c.pos < c.ids.size()) DecodeChunk(c);
+  }
+  return popped_ + heap_.size() + (current_.has_value() ? 1 : 0);
+}
+
+void StreamHeap::Add(BindingStream* stream) {
+  const BindingStream::Item* item = stream->Peek();
+  if (item == nullptr) return;
+  heap_.push_back({item->log_score, stream});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const Entry& a, const Entry& b) {
+                   return a.score < b.score;
+                 });
+}
+
+BindingStream* StreamHeap::Best() {
+  auto less = [](const Entry& a, const Entry& b) {
+    return a.score < b.score;
+  };
+  while (!heap_.empty()) {
+    Entry top = heap_.front();
+    const BindingStream::Item* item = top.stream->Peek();
+    if (item == nullptr) {
+      std::pop_heap(heap_.begin(), heap_.end(), less);
+      heap_.pop_back();
+      continue;
+    }
+    if (item->log_score >= top.score) return top.stream;
+    // The head descended since this entry was keyed (an item was popped
+    // off the stream): re-key and sift, then re-check the new top.
+    std::pop_heap(heap_.begin(), heap_.end(), less);
+    heap_.back().score = item->log_score;
+    std::push_heap(heap_.begin(), heap_.end(), less);
+  }
+  return nullptr;
 }
 
 MergeStream::MergeStream(std::vector<std::unique_ptr<BindingStream>> inputs)
     : inputs_(std::move(inputs)) {}
 
 BindingStream* MergeStream::Best() {
-  BindingStream* best = nullptr;
-  double best_score = kExhausted;
-  for (const auto& in : inputs_) {
-    const Item* item = in->Peek();
-    if (item != nullptr && item->log_score > best_score) {
-      best = in.get();
-      best_score = item->log_score;
-    }
+  if (!heap_primed_) {
+    for (const auto& in : inputs_) heap_.Add(in.get());
+    heap_primed_ = true;
   }
-  return best;
+  return heap_.Best();
 }
 
 const BindingStream::Item* MergeStream::Peek() {
@@ -190,6 +315,12 @@ double MergeStream::BestPossible() {
     bound = std::max(bound, in->BestPossible());
   }
   return bound;
+}
+
+BindingStream::Stats MergeStream::DecodeStats() const {
+  Stats stats;
+  for (const auto& in : inputs_) stats += in->DecodeStats();
+  return stats;
 }
 
 }  // namespace trinit::topk

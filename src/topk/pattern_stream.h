@@ -1,7 +1,11 @@
 #ifndef TRINIT_TOPK_PATTERN_STREAM_H_
 #define TRINIT_TOPK_PATTERN_STREAM_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "query/binding.h"
@@ -15,6 +19,12 @@ namespace trinit::topk {
 /// A stream of scored variable bindings in descending score order — the
 /// "index list accessible in sorted order of scores" that the paper's
 /// incremental top-k algorithm (§4, after [11]) consumes.
+///
+/// Laziness contract: a stream does only the work its consumer pays
+/// for. `Peek()`/`Pop()` may decode and score index entries; calling
+/// `BestPossible()` must stay cheap (no decoding) so rank-join
+/// threshold checks are free. `DecodeStats()` reports how much of the
+/// underlying index lists was actually touched.
 class BindingStream {
  public:
   struct Item {
@@ -23,9 +33,22 @@ class BindingStream {
     DerivationStep step;
   };
 
+  /// Laziness accounting over the stream's underlying index lists.
+  struct Stats {
+    size_t items_decoded = 0;  ///< index entries fetched and scored
+    size_t items_skipped = 0;  ///< entries in known lists never decoded
+
+    Stats& operator+=(const Stats& other) {
+      items_decoded += other.items_decoded;
+      items_skipped += other.items_skipped;
+      return *this;
+    }
+  };
+
   virtual ~BindingStream() = default;
 
-  /// Current best remaining item, or nullptr when exhausted.
+  /// Current best remaining item, or nullptr when exhausted. The
+  /// returned pointer stays valid until the next Pop().
   virtual const Item* Peek() = 0;
 
   /// Advances past the current item. Requires Peek() != nullptr.
@@ -35,19 +58,51 @@ class BindingStream {
   /// must be non-increasing over time. -inf (kExhausted) when done.
   virtual double BestPossible() = 0;
 
+  /// Work accounting; streams without index lists report zeros.
+  virtual Stats DecodeStats() const { return {}; }
+
   static constexpr double kExhausted = -1e18;
 };
 
+/// Lazy max-heap over the current head items of a set of streams.
+///
+/// Entries are keyed by the head score observed at push time; since
+/// stream heads only descend, a stale top is detected by re-peeking and
+/// pushed back down. This replaces the O(n) per-`Peek` linear rescans
+/// of `MergeStream`/`RelaxedStream` with O(log n) heap maintenance.
+class StreamHeap {
+ public:
+  /// Registers a stream; peeks it once (exhausted streams are dropped).
+  void Add(BindingStream* stream);
+
+  /// The stream with the best current head item, or nullptr when every
+  /// registered stream is exhausted. The winner's `Peek()` is hot.
+  BindingStream* Best();
+
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    double score;
+    BindingStream* stream;
+  };
+  std::vector<Entry> heap_;  // std::push_heap max-heap on score
+};
+
 /// Evaluates one concrete triple pattern against the XKG and serves its
-/// matches best-first.
+/// matches best-first, *incrementally*: each (soft-match) slot
+/// combination is a cursor over a score-ordered posting list
+/// (`TripleStore::ScoreOrdered`), entries are decoded in small chunks,
+/// and an item is emitted only once nothing still undecoded can outrank
+/// it (`LmScorer::UpperBoundForList` bounds every cursor's remainder).
+/// Deadlines and rank-join thresholds therefore save real work: what
+/// the consumer never pulls is never fetched or scored.
 ///
 /// Token constants soft-match interned token phrases through the phrase
 /// index (threshold from ScorerOptions); each substitution attenuates
 /// the score by log(similarity) and is recorded as a SoftMatch.
 /// Unresolved resource/literal constants match nothing (relaxation rules
-/// are the rescue path). The stream is fully materialized at
-/// construction — the incrementality exploited by the processor is in
-/// *opening* streams lazily, not inside a single pattern's list.
+/// are the rescue path).
 class LeafStream : public BindingStream {
  public:
   /// `pattern_index` tags emitted derivation steps; `chain_rules` /
@@ -62,17 +117,62 @@ class LeafStream : public BindingStream {
   const Item* Peek() override;
   void Pop() override;
   double BestPossible() override;
+  Stats DecodeStats() const override;
 
-  /// Number of materialized items (test/bench introspection).
-  size_t size() const { return items_.size(); }
+  /// Total number of items this stream will ever emit. Forces a full
+  /// decode — test/bench introspection only; defeats the laziness.
+  size_t size();
 
  private:
-  std::vector<Item> items_;  // descending score
-  size_t next_ = 0;
+  /// One slot-alternative combination: a score-ordered posting list
+  /// with its attenuation and soft-match records.
+  struct Cursor {
+    std::span<const rdf::TripleId> ids;  // descending emission weight
+    size_t pos = 0;                      // next undecoded entry
+    uint64_t mass = 0;                   // emission denominator
+    double alt_log = 0.0;  // soft-match + chain attenuation (<= 0)
+    double bound = 0.0;    // upper bound on any undecoded item
+    std::vector<SoftMatch> soft_matches;
+  };
+
+  /// Entry of the decoded-but-unemitted heap.
+  struct Pending {
+    double score = 0.0;
+    uint64_t seq = 0;  // decode order; earlier wins ties (determinism)
+    Item item;
+  };
+  static bool PendingLess(const Pending& a, const Pending& b);
+
+  void DecodeChunk(Cursor& cursor);
+  /// Decodes until the heap's best is safe to emit (no cursor bound
+  /// above it), then moves it into `current_`.
+  void Advance();
+
+  const xkg::Xkg& xkg_;
+  const scoring::LmScorer& scorer_;
+  std::vector<Cursor> cursors_;
+  std::vector<Pending> heap_;  // std::push_heap max-heap
+  std::optional<Item> current_;
+  size_t decoded_ = 0;
+  size_t total_entries_ = 0;
+  size_t popped_ = 0;
+  uint64_t next_seq_ = 0;
+  // BestPossible() cache: the bound only moves when something decodes
+  // or emits, but the rank-join threshold reads it on every pull.
+  double cached_bound_ = 0.0;
+  bool bound_dirty_ = true;
+
+  // Shared item metadata.
+  size_t pattern_index_;
+  std::string matched_form_;
+  std::vector<const relax::Rule*> chain_rules_;
+  std::optional<query::VarId> sv_, pv_, ov_;
+  size_t num_vars_ = 0;
 };
 
-/// Merges several already-constructed streams, best-first. Used by tests
-/// and by the relaxed-stream machinery.
+/// Merges several already-constructed streams, best-first, through a
+/// lazy max-heap keyed by head scores. Used by tests and by the
+/// exhaustive-mode machinery.
 class MergeStream : public BindingStream {
  public:
   explicit MergeStream(std::vector<std::unique_ptr<BindingStream>> inputs);
@@ -80,10 +180,13 @@ class MergeStream : public BindingStream {
   const Item* Peek() override;
   void Pop() override;
   double BestPossible() override;
+  Stats DecodeStats() const override;
 
  private:
   BindingStream* Best();
   std::vector<std::unique_ptr<BindingStream>> inputs_;
+  StreamHeap heap_;
+  bool heap_primed_ = false;
 };
 
 }  // namespace trinit::topk

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "rdf/score_order_index.h"
 #include "scoring/lm_scorer.h"
 #include "util/logging.h"
 
@@ -26,6 +27,35 @@ query::VarTable LocalVarTable(const query::VarTable& global_vars,
   return query::VarTable(std::move(names));
 }
 
+// Resolves the constant slots of `pattern` for cheap index-metadata
+// bounding. Returns false when a token constant makes the pattern not
+// cheaply boundable; `dead` is set when a resource/literal constant
+// cannot resolve at all (the pattern can never match).
+bool ResolveForBound(const xkg::Xkg& xkg, const query::TriplePattern& pattern,
+                     rdf::TermId ids[3], bool* dead) {
+  *dead = false;
+  const query::Term* slots[3] = {&pattern.s, &pattern.p, &pattern.o};
+  for (int i = 0; i < 3; ++i) {
+    const query::Term& t = *slots[i];
+    if (t.is_variable()) {
+      ids[i] = rdf::kNullTerm;
+      continue;
+    }
+    if (t.kind == query::Term::Kind::kToken) return false;
+    ids[i] = t.id != rdf::kNullTerm
+                 ? t.id
+                 : xkg.dict().Find(t.kind == query::Term::Kind::kResource
+                                       ? rdf::TermKind::kResource
+                                       : rdf::TermKind::kLiteral,
+                                   t.text);
+    if (ids[i] == rdf::kNullTerm) {
+      *dead = true;
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 GroupStream::GroupStream(const xkg::Xkg& xkg,
@@ -36,30 +66,26 @@ GroupStream::GroupStream(const xkg::Xkg& xkg,
   query::VarTable local = LocalVarTable(global_vars, alternative.patterns);
   double chain_log = scoring::LmScorer::LogWeight(alternative.weight);
 
-  // Materialize each member pattern once (chain weight applied at the
-  // group level, not per member).
-  std::vector<std::unique_ptr<LeafStream>> leaves;
-  leaves.reserve(alternative.patterns.size());
-  for (const query::TriplePattern& p : alternative.patterns) {
-    leaves.push_back(std::make_unique<LeafStream>(xkg, scorer, local, p,
-                                                  pattern_index));
+  // Open and drain each member pattern once (chain weight applied at
+  // the group level, not per member; the group join needs every member
+  // solution anyway). Items are copied out because lazy streams recycle
+  // their Peek storage on Pop.
+  std::vector<std::vector<Item>> lists(alternative.patterns.size());
+  for (size_t i = 0; i < alternative.patterns.size(); ++i) {
+    LeafStream leaf(xkg, scorer, local, alternative.patterns[i],
+                    pattern_index);
+    while (const Item* item = leaf.Peek()) {
+      lists[i].push_back(*item);
+      leaf.Pop();
+    }
+    stats_ += leaf.DecodeStats();
   }
   // Join cheapest-first to keep the backtracking narrow.
-  std::vector<size_t> order(leaves.size());
+  std::vector<size_t> order(lists.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&leaves](size_t a, size_t b) {
-    return leaves[a]->size() < leaves[b]->size();
+  std::sort(order.begin(), order.end(), [&lists](size_t a, size_t b) {
+    return lists[a].size() < lists[b].size();
   });
-
-  // Collect each leaf's items (they are already sorted; order within the
-  // join does not matter because the group is evaluated exhaustively).
-  std::vector<std::vector<const Item*>> lists(leaves.size());
-  for (size_t i = 0; i < leaves.size(); ++i) {
-    while (const Item* item = leaves[i]->Peek()) {
-      lists[i].push_back(item);
-      leaves[i]->Pop();
-    }
-  }
 
   // Backtracking join over the member patterns.
   struct Frame {
@@ -96,14 +122,14 @@ GroupStream::GroupStream(const xkg::Xkg& xkg,
       out.push_back(std::move(item));
       return;
     }
-    for (const Item* cand : lists[order[depth]]) {
-      auto merged = frame.binding.MergedWith(cand->binding);
+    for (const Item& cand : lists[order[depth]]) {
+      auto merged = frame.binding.MergedWith(cand.binding);
       if (!merged.has_value()) continue;
       Frame next;
       next.binding = std::move(*merged);
-      next.score = frame.score + cand->log_score;
+      next.score = frame.score + cand.log_score;
       next.picked = frame.picked;
-      next.picked.push_back(cand);
+      next.picked.push_back(&cand);
       recurse(depth + 1, next);
     }
   };
@@ -129,39 +155,47 @@ double GroupStream::BestPossible() {
   return next_ < items_.size() ? items_[next_].log_score : kExhausted;
 }
 
+BindingStream::Stats GroupStream::DecodeStats() const { return stats_; }
+
+double RelaxedStream::BoundOf(const xkg::Xkg& xkg,
+                              const scoring::LmScorer& scorer,
+                              const Alternative& alt) {
+  double bound = scoring::LmScorer::LogWeight(alt.weight);
+  double cheapest_pattern_cap = 0.0;
+  for (const query::TriplePattern& pattern : alt.patterns) {
+    rdf::TermId ids[3];
+    bool dead = false;
+    if (!ResolveForBound(xkg, pattern, ids, &dead)) {
+      if (dead) return BindingStream::kExhausted;
+      continue;  // token constant: not cheaply boundable, cap stays 0
+    }
+    // Head of the score-ordered posting list: the heaviest entry over
+    // the block's prefix mass is exactly the scorer's list bound.
+    rdf::ScoreOrderIndex::List list =
+        xkg.store().ScoreOrdered(ids[0], ids[1], ids[2]);
+    if (list.ids.empty()) return BindingStream::kExhausted;
+    double cap = scorer.UpperBoundForList(
+        rdf::ScoreOrderIndex::WeightOf(xkg.store().triple(list.ids.front())),
+        list.mass);
+    cheapest_pattern_cap = std::min(cheapest_pattern_cap, cap);
+  }
+  return bound + cheapest_pattern_cap;
+}
+
 double RelaxedStream::BoundOf(const xkg::Xkg& xkg, const Alternative& alt) {
   double bound = scoring::LmScorer::LogWeight(alt.weight);
   double cheapest_pattern_cap = 0.0;
   for (const query::TriplePattern& pattern : alt.patterns) {
-    // Resolve slots without token expansion; token constants make a
-    // pattern not cheaply boundable (skip it, cap stays 0).
     rdf::TermId ids[3];
-    bool boundable = true;
-    const query::Term* slots[3] = {&pattern.s, &pattern.p, &pattern.o};
-    for (int i = 0; i < 3; ++i) {
-      const query::Term& t = *slots[i];
-      if (t.is_variable()) {
-        ids[i] = rdf::kNullTerm;
-        continue;
-      }
-      if (t.kind == query::Term::Kind::kToken) {
-        boundable = false;
-        break;
-      }
-      ids[i] = t.id != rdf::kNullTerm
-                   ? t.id
-                   : xkg.dict().Find(t.kind == query::Term::Kind::kResource
-                                         ? rdf::TermKind::kResource
-                                         : rdf::TermKind::kLiteral,
-                                     t.text);
-      if (ids[i] == rdf::kNullTerm) {
-        // Unresolvable constant: this pattern can never match.
-        return BindingStream::kExhausted;
-      }
+    bool dead = false;
+    if (!ResolveForBound(xkg, pattern, ids, &dead)) {
+      if (dead) return BindingStream::kExhausted;
+      continue;
     }
-    if (!boundable) continue;
     size_t span = xkg.store().MatchCount(ids[0], ids[1], ids[2]);
     if (span == 0) return BindingStream::kExhausted;
+    // Config-agnostic cap: numerator <= max_count under every scoring
+    // ablation, mass >= span (counts are >= 1).
     double cap = std::log(
         std::min(1.0, static_cast<double>(xkg.store().max_count()) /
                           static_cast<double>(span)));
@@ -190,7 +224,7 @@ RelaxedStream::RelaxedStream(const xkg::Xkg& xkg,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::vector<double> raw_bounds(alternatives_.size());
   for (size_t i = 0; i < alternatives_.size(); ++i) {
-    raw_bounds[i] = BoundOf(xkg, alternatives_[i]);
+    raw_bounds[i] = BoundOf(xkg, scorer, alternatives_[i]);
   }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return raw_bounds[a] > raw_bounds[b];
@@ -217,20 +251,10 @@ void RelaxedStream::OpenNext() {
     open_.push_back(std::make_unique<GroupStream>(xkg_, scorer_, global_vars_,
                                                   alt, pattern_index_));
   }
+  open_heap_.Add(open_.back().get());
 }
 
-BindingStream* RelaxedStream::BestOpen() {
-  BindingStream* best = nullptr;
-  double best_score = kExhausted;
-  for (const auto& s : open_) {
-    const Item* item = s->Peek();
-    if (item != nullptr && item->log_score > best_score) {
-      best = s.get();
-      best_score = item->log_score;
-    }
-  }
-  return best;
-}
+BindingStream* RelaxedStream::BestOpen() { return open_heap_.Best(); }
 
 void RelaxedStream::EnsureInvariant() {
   // Open further alternatives while an unopened one could outscore the
@@ -268,6 +292,12 @@ double RelaxedStream::BestPossible() {
     bound = std::max(bound, bounds_[next_unopened_]);
   }
   return bound;
+}
+
+BindingStream::Stats RelaxedStream::DecodeStats() const {
+  Stats stats;
+  for (const auto& s : open_) stats += s->DecodeStats();
+  return stats;
 }
 
 std::vector<Alternative> AlternativesForPattern(

@@ -21,7 +21,9 @@ struct Alternative {
 /// expansion rule such as Figure 4 rule 3) and serves its solutions
 /// best-first. Fresh existential variables introduced by the rule are
 /// joined over internally and projected away; the emitted bindings cover
-/// only the original query's variables.
+/// only the original query's variables. Groups are the one deliberately
+/// eager spot in the pipeline: their internal join needs every member
+/// solution anyway, so the member streams are drained at construction.
 class GroupStream : public BindingStream {
  public:
   GroupStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
@@ -31,12 +33,14 @@ class GroupStream : public BindingStream {
   const Item* Peek() override;
   void Pop() override;
   double BestPossible() override;
+  Stats DecodeStats() const override;
 
   size_t size() const { return items_.size(); }
 
  private:
   std::vector<Item> items_;
   size_t next_ = 0;
+  Stats stats_;  // member streams' decode work, absorbed at construction
 };
 
 /// The incremental merge of an original pattern with its relaxed forms
@@ -44,13 +48,12 @@ class GroupStream : public BindingStream {
 /// patterns and their relaxed forms, invoking a relaxation only when it
 /// can contribute to the top-k answers").
 ///
-/// Alternatives are kept *unopened* — at the cost bound log(weight),
-/// valid because every per-pattern score is <= 0 — until the bound
-/// exceeds what the already-open streams can still deliver. Opening an
-/// alternative is the expensive step (it materializes and scores the
-/// relaxed pattern's match list), so `opened_alternatives()` is the
-/// number the processor actually paid for, the quantity bench E3
-/// compares against the exhaustive rewriter.
+/// Alternatives are kept *unopened* — at a cheap index-metadata bound —
+/// until the bound exceeds what the already-open streams can still
+/// deliver. Opening an alternative now only binds cursors over the
+/// score-ordered posting lists (no materialization), but it still adds
+/// per-Peek work, so `opened_alternatives()` remains the quantity bench
+/// E3 compares against the exhaustive rewriter.
 class RelaxedStream : public BindingStream {
  public:
   /// `alternatives` must be sorted by descending weight and start with
@@ -62,15 +65,25 @@ class RelaxedStream : public BindingStream {
   const Item* Peek() override;
   void Pop() override;
   double BestPossible() override;
+  Stats DecodeStats() const override;
 
   size_t opened_alternatives() const { return next_unopened_; }
   size_t total_alternatives() const { return alternatives_.size(); }
 
   /// Cheap upper bound on any item the alternative can emit, computed
-  /// from index metadata only (match-span sizes via binary search; no
-  /// materialization): log(weight) + min over cheaply-boundable member
-  /// patterns of log(max_count / |span|). Alternatives whose resolved
-  /// pattern matches nothing bound to kExhausted and are never opened.
+  /// from index metadata only: log(weight) + min over cheaply-boundable
+  /// member patterns of the scorer's list bound for the pattern's
+  /// score-ordered posting list (its heaviest entry over its mass — no
+  /// materialization; O(log n) block search plus an O(1) prefix-mass
+  /// read). Alternatives whose resolved pattern matches nothing bound to
+  /// kExhausted and are never opened.
+  static double BoundOf(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
+                        const Alternative& alt);
+
+  /// Scorer-free variant: sound under every ScorerOptions configuration
+  /// but looser (store-wide max_count over the span). The stream itself
+  /// always uses the scorer-aware overload; this one is the
+  /// config-agnostic baseline the bound tests compare it against.
   static double BoundOf(const xkg::Xkg& xkg, const Alternative& alt);
 
  private:
@@ -87,6 +100,7 @@ class RelaxedStream : public BindingStream {
   size_t pattern_index_;
   size_t next_unopened_ = 0;
   std::vector<std::unique_ptr<BindingStream>> open_;
+  StreamHeap open_heap_;  // lazy max-heap over open streams' heads
 };
 
 /// Builds the sorted alternative list for one pattern of `query` by

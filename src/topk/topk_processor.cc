@@ -120,6 +120,8 @@ void TopKProcessor::EvaluateVariant(
   std::vector<topk::Answer> variant_answers = engine.Run();
 
   result->stats.items_pulled += engine.stats().items_pulled;
+  result->stats.items_decoded += engine.stats().items_decoded;
+  result->stats.items_skipped += engine.stats().items_skipped;
   result->stats.combinations_tried += engine.stats().combinations_tried;
   result->stats.deadline_hit |= engine.stats().deadline_hit;
   for (RelaxedStream* rs : relaxed) {

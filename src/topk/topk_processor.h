@@ -32,8 +32,10 @@ struct TopKResult {
     size_t query_variants_total = 0;     ///< multi-pattern-rule variants
     size_t query_variants_evaluated = 0;
     size_t alternatives_total = 0;   ///< per-pattern relaxed forms known
-    size_t alternatives_opened = 0;  ///< ... actually materialized
-    size_t items_pulled = 0;
+    size_t alternatives_opened = 0;  ///< ... actually opened
+    size_t items_pulled = 0;   ///< items the rank-join consumed
+    size_t items_decoded = 0;  ///< index-list entries fetched and scored
+    size_t items_skipped = 0;  ///< known index entries never decoded
     size_t combinations_tried = 0;
     /// The run's wall-clock deadline expired before the rewrite space
     /// was fully explored; `answers` holds the best found in budget.

@@ -14,7 +14,9 @@ namespace trinit::xkg {
 
 /// Accumulates curated KG facts and Open IE extraction triples, then
 /// freezes them into an immutable `Xkg` (dictionary, 6-permutation triple
-/// index, graph statistics, phrase index, provenance store).
+/// index plus score-ordered posting lists per pattern shape — the lazy
+/// top-k access path, see `rdf::ScoreOrderIndex` — graph statistics,
+/// phrase index, provenance store).
 class XkgBuilder {
  public:
   XkgBuilder();

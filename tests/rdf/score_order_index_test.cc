@@ -1,0 +1,124 @@
+// Tests for the score-ordered posting lists: every pattern shape must
+// return exactly the Match() id set, in descending emission-weight
+// order, with the block mass equal to the summed counts — on a curated
+// store and on randomized ones.
+
+#include "rdf/score_order_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/triple_store.h"
+#include "util/random.h"
+
+namespace trinit::rdf {
+namespace {
+
+TripleStore SmallStore() {
+  TripleStoreBuilder b;
+  // Distinct weights within the p=1 block: 5*1.0, 2*0.9, 1*0.4.
+  b.Add(1, 1, 2, /*confidence=*/1.0f, /*count=*/5);
+  b.Add(1, 1, 3, 0.9f, 2);
+  b.Add(2, 1, 3, 0.4f, 1);
+  b.Add(2, 2, 3, 1.0f, 1);
+  b.Add(3, 2, 2, 0.5f, 4);
+  auto r = b.Build();
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+void CheckList(const TripleStore& store, TermId s, TermId p, TermId o) {
+  ScoreOrderIndex::List list = store.ScoreOrdered(s, p, o);
+  std::span<const TripleId> match = store.Match(s, p, o);
+
+  // Same id set as the unordered access path.
+  std::set<TripleId> list_ids(list.ids.begin(), list.ids.end());
+  std::set<TripleId> match_ids(match.begin(), match.end());
+  EXPECT_EQ(list_ids, match_ids) << "(" << s << "," << p << "," << o << ")";
+
+  // Descending emission weight, ids break ties ascending.
+  for (size_t i = 1; i < list.ids.size(); ++i) {
+    double prev = ScoreOrderIndex::WeightOf(store.triple(list.ids[i - 1]));
+    double cur = ScoreOrderIndex::WeightOf(store.triple(list.ids[i]));
+    EXPECT_GE(prev, cur);
+    if (prev == cur) EXPECT_LT(list.ids[i - 1], list.ids[i]);
+  }
+
+  // Prefix-mass sums match a span walk.
+  uint64_t mass = 0;
+  for (TripleId id : match) mass += store.triple(id).count;
+  EXPECT_EQ(list.mass, mass);
+}
+
+TEST(ScoreOrderIndexTest, AllShapesMatchAndDescend) {
+  TripleStore store = SmallStore();
+  const TermId kAny = kNullTerm;
+  for (TermId s : {kAny, TermId{1}, TermId{2}, TermId{3}, TermId{9}}) {
+    for (TermId p : {kAny, TermId{1}, TermId{2}, TermId{9}}) {
+      for (TermId o : {kAny, TermId{2}, TermId{3}, TermId{9}}) {
+        CheckList(store, s, p, o);
+      }
+    }
+  }
+}
+
+TEST(ScoreOrderIndexTest, PredicateListOrderedByWeight) {
+  TripleStore store = SmallStore();
+  ScoreOrderIndex::List list = store.ScoreOrdered(kNullTerm, 1, kNullTerm);
+  ASSERT_EQ(list.ids.size(), 3u);
+  EXPECT_EQ(store.triple(list.ids[0]).count, 5u);   // weight 5.0
+  EXPECT_EQ(store.triple(list.ids[1]).count, 2u);   // weight 1.8
+  EXPECT_EQ(store.triple(list.ids[2]).count, 1u);   // weight 0.4
+  EXPECT_EQ(list.mass, 8u);
+}
+
+TEST(ScoreOrderIndexTest, EmptyStoreAndEmptyBlocks) {
+  TripleStore empty;
+  EXPECT_TRUE(empty.ScoreOrdered(kNullTerm, kNullTerm, kNullTerm).ids.empty());
+  TripleStore store = SmallStore();
+  ScoreOrderIndex::List miss = store.ScoreOrdered(9, kNullTerm, kNullTerm);
+  EXPECT_TRUE(miss.ids.empty());
+  EXPECT_EQ(miss.mass, 0u);
+}
+
+TEST(ScoreOrderIndexTest, ExactPatternServedFromMatchPath) {
+  TripleStore store = SmallStore();
+  ScoreOrderIndex::List exact = store.ScoreOrdered(1, 1, 2);
+  ASSERT_EQ(exact.ids.size(), 1u);
+  EXPECT_EQ(exact.mass, 5u);  // the triple's own count
+  EXPECT_TRUE(store.ScoreOrdered(1, 2, 2).ids.empty());
+}
+
+TEST(ScoreOrderIndexTest, RandomizedStoresAgreeWithMatch) {
+  Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    TripleStoreBuilder b;
+    int n = 50 + static_cast<int>(rng.Uniform(200));
+    for (int i = 0; i < n; ++i) {
+      b.Add(1 + static_cast<TermId>(rng.Uniform(12)),
+            1 + static_cast<TermId>(rng.Uniform(5)),
+            1 + static_cast<TermId>(rng.Uniform(12)),
+            0.1f + 0.9f * static_cast<float>(rng.UniformDouble()),
+            1 + static_cast<uint32_t>(rng.Uniform(6)));
+    }
+    auto r = b.Build();
+    ASSERT_TRUE(r.ok());
+    for (int probe = 0; probe < 30; ++probe) {
+      TermId s = rng.Bernoulli(0.5)
+                     ? 1 + static_cast<TermId>(rng.Uniform(12))
+                     : kNullTerm;
+      TermId p = rng.Bernoulli(0.5)
+                     ? 1 + static_cast<TermId>(rng.Uniform(5))
+                     : kNullTerm;
+      TermId o = rng.Bernoulli(0.5)
+                     ? 1 + static_cast<TermId>(rng.Uniform(12))
+                     : kNullTerm;
+      CheckList(*r, s, p, o);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trinit::rdf

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "rdf/score_order_index.h"
 #include "xkg/xkg_builder.h"
 
 namespace trinit::scoring {
@@ -114,6 +115,84 @@ TEST(LmScorerTest, ZeroMassAndZeroConfidenceAreFinite) {
   double s = scorer.ScoreTriple(t, 0);
   EXPECT_TRUE(std::isfinite(s));
   EXPECT_LE(s, LmScorer::kMinScore);
+}
+
+TEST(LmScorerTest, UpperBoundForListDominatesEveryConfig) {
+  // The list bound must dominate ScoreTriple for every triple whose
+  // emission weight is <= the bound's weight argument, under all four
+  // tf/confidence ablation combinations (and both idf settings) — the
+  // soundness contract lazy streams rely on.
+  xkg::Xkg xkg = SmallWorld();
+  for (bool use_tf : {true, false}) {
+    for (bool use_confidence : {true, false}) {
+      for (bool use_idf : {true, false}) {
+        ScorerOptions opts;
+        opts.use_tf = use_tf;
+        opts.use_confidence = use_confidence;
+        opts.use_idf = use_idf;
+        LmScorer scorer(xkg, opts);
+        auto all = xkg.store().ScoreOrdered(rdf::kNullTerm, rdf::kNullTerm,
+                                            rdf::kNullTerm);
+        // Every suffix: the bound keyed by the suffix head's weight
+        // covers every triple at or below it.
+        for (size_t i = 0; i < all.ids.size(); ++i) {
+          double w = rdf::ScoreOrderIndex::WeightOf(
+              xkg.store().triple(all.ids[i]));
+          double bound = scorer.UpperBoundForList(w, all.mass);
+          for (size_t j = i; j < all.ids.size(); ++j) {
+            const rdf::Triple& t = xkg.store().triple(all.ids[j]);
+            EXPECT_LE(scorer.ScoreTriple(t, all.mass), bound + 1e-12)
+                << "tf=" << use_tf << " conf=" << use_confidence
+                << " idf=" << use_idf << " i=" << i << " j=" << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LmScorerTest, UpperBoundSoundForZeroConfidenceInTfOnlyConfig) {
+  // Regression: a zero-confidence triple sorts last in the weight-ordered
+  // posting lists (weight = count × 0 = 0), but with confidence ablated
+  // off it still scores log(count/denominator) — near the top of the
+  // real ranking when its count is large. The bound keyed by weight 0
+  // must cover it instead of collapsing to kMinScore.
+  xkg::XkgBuilder b;
+  b.AddKgFact("A", "p", "B");
+  for (int i = 0; i < 5; ++i) {
+    b.AddExtraction("A", true, "rumored at", "C", true, 0.0f,
+                    {static_cast<uint32_t>(i), 0, "A ... C", 0.0});
+  }
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  ScorerOptions tf_only;
+  tf_only.use_confidence = false;
+  LmScorer scorer(*r, tf_only);
+
+  auto all = r->store().ScoreOrdered(rdf::kNullTerm, rdf::kNullTerm,
+                                     rdf::kNullTerm);
+  const rdf::Triple& last = r->store().triple(all.ids.back());
+  ASSERT_EQ(last.confidence, 0.0f);
+  ASSERT_EQ(last.count, 5u);
+  double bound = scorer.UpperBoundForList(
+      rdf::ScoreOrderIndex::WeightOf(last), all.mass);
+  EXPECT_LE(scorer.ScoreTriple(last, all.mass), bound + 1e-12);
+  EXPECT_GT(bound, LmScorer::kMinScore);
+}
+
+TEST(LmScorerTest, UpperBoundForListIsMonotoneInWeight) {
+  xkg::Xkg xkg = SmallWorld();
+  LmScorer scorer(xkg);
+  double prev = LmScorer::kMinScore;
+  for (double w : {0.25, 0.5, 1.0, 2.0}) {
+    double bound = scorer.UpperBoundForList(w, /*pattern_mass=*/4);
+    EXPECT_GE(bound, prev);
+    prev = bound;
+  }
+  // Production config: the bound is exactly the emission probability of
+  // a triple with that weight (clamped at 0).
+  EXPECT_NEAR(scorer.UpperBoundForList(1.0, 4), std::log(0.25), 1e-12);
+  EXPECT_DOUBLE_EQ(scorer.UpperBoundForList(0.0, 4), LmScorer::kMinScore);
 }
 
 TEST(LogWeightTest, MonotoneAndClamped) {

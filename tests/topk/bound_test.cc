@@ -96,6 +96,34 @@ TEST_F(BoundTest, DeadAlternativesAreDroppedFromStream) {
   EXPECT_EQ(items, 1u);  // just the IAS fact
 }
 
+TEST_F(BoundTest, ScorerAwareBoundIsSharperButStillSound) {
+  // The scorer-aware overload reads the head of the score-ordered
+  // posting list: never looser than the config-agnostic max_count/span
+  // cap, and still above everything the stream emits.
+  for (const char* text :
+       {"AlbertEinstein ?p ?o", "?x bornIn ?y", "?x affiliation IAS",
+        "?s ?p ?o"}) {
+    Alternative alt = Alt(text, 0.8);
+    double agnostic = RelaxedStream::BoundOf(xkg_, alt);
+    double aware = RelaxedStream::BoundOf(xkg_, scorer_, alt);
+    EXPECT_LE(aware, agnostic + 1e-12) << text;
+    query::VarTable vars(query::Query(alt.patterns, {}));
+    LeafStream stream(xkg_, scorer_, vars, alt.patterns[0], 0, {},
+                      std::log(0.8));
+    while (const auto* item = stream.Peek()) {
+      EXPECT_LE(item->log_score, aware + 1e-9) << text;
+      stream.Pop();
+    }
+  }
+}
+
+TEST_F(BoundTest, ScorerAwareBoundDropsDeadAlternatives) {
+  EXPECT_EQ(RelaxedStream::BoundOf(xkg_, scorer_, Alt("?x NoSuchPred ?y", 1.0)),
+            BindingStream::kExhausted);
+  EXPECT_EQ(RelaxedStream::BoundOf(xkg_, scorer_, Alt("Ulm bornIn ?y", 1.0)),
+            BindingStream::kExhausted);
+}
+
 TEST_F(BoundTest, TokenPatternsFallBackToWeightBound) {
   // Token constants cannot be cheaply bounded; the bound equals log(w).
   double bound =
