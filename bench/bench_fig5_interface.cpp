@@ -54,7 +54,7 @@ int main() {
               result->stats.alternatives_opened,
               result->stats.alternatives_total,
               result->stats.items_pulled,
-              result->stats.combinations_tried);
+              result->stats.combinations_emitted);
 
   // The interface also offers auto-completion; emulate the lookup that
   // backs it.

@@ -8,7 +8,12 @@
 // property-tested), reports p50/p95 latency per query, and writes
 // BENCH_P1.json so CI tracks the perf trajectory from this PR on.
 //
-//   ./build/bench/bench_p1_latency [out.json]   (default: BENCH_P1.json)
+//   ./build/bench/bench_p1_latency [--counters-only] [out.json]
+//                                  (default: BENCH_P1.json)
+//
+// --counters-only omits the machine-local p50/p95 wall-times from the
+// JSON so cross-machine comparisons see only deterministic work
+// counters (the stdout table still shows latencies).
 //
 // Exit code is non-zero if the lazy processor fails to pull fewer items
 // than the eager one in aggregate or their answers diverge.
@@ -28,22 +33,8 @@
 
 namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-double Percentile(std::vector<double> samples, double pct) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  size_t idx = static_cast<size_t>(pct * (samples.size() - 1) + 0.5);
-  return samples[std::min(idx, samples.size() - 1)];
-}
+using trinit::bench::JsonEscape;
+using trinit::bench::Percentile;
 
 struct Side {
   std::vector<double> ms;
@@ -54,7 +45,9 @@ struct Side {
 
 int main(int argc, char** argv) {
   using namespace trinit;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_P1.json";
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv, "BENCH_P1.json");
+  const bool counters_only = args.counters_only;
+  const char* out_path = args.out_path;
   constexpr int kReps = 9;
   constexpr int kK = 5;
 
@@ -101,8 +94,10 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"p1_latency\",\n  \"k\": %d,\n"
                "  \"reps\": %d,\n  \"world_triples\": %zu,\n"
+               "  \"counters_only\": %s,\n"
                "  \"queries\": [\n",
-               kK, kReps, xkg.store().size());
+               kK, kReps, xkg.store().size(),
+               counters_only ? "true" : "false");
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const std::string& text = queries[qi];
@@ -155,21 +150,27 @@ int main(int argc, char** argv) {
                   std::to_string(es.items_decoded),
                   std::to_string(ls.items_skipped)});
 
-    std::fprintf(
-        json,
-        "    {\"query\": \"%s\",\n"
-        "     \"lazy\": {\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
-        "\"items_pulled\": %zu, \"items_decoded\": %zu, "
-        "\"items_skipped\": %zu, \"alternatives_opened\": %zu},\n"
-        "     \"eager\": {\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
-        "\"items_pulled\": %zu, \"items_decoded\": %zu, "
-        "\"alternatives_opened\": %zu}}%s\n",
-        JsonEscape(text).c_str(), Percentile(lz.ms, 0.5),
-        Percentile(lz.ms, 0.95),
-        ls.items_pulled, ls.items_decoded, ls.items_skipped,
-        ls.alternatives_opened, Percentile(eg.ms, 0.5),
-        Percentile(eg.ms, 0.95), es.items_pulled, es.items_decoded,
-        es.alternatives_opened, qi + 1 < queries.size() ? "," : "");
+    std::fprintf(json, "    {\"query\": \"%s\",\n     \"lazy\": {",
+                 JsonEscape(text).c_str());
+    if (!counters_only) {
+      std::fprintf(json, "\"p50_ms\": %.4f, \"p95_ms\": %.4f, ",
+                   Percentile(lz.ms, 0.5), Percentile(lz.ms, 0.95));
+    }
+    std::fprintf(json,
+                 "\"items_pulled\": %zu, \"items_decoded\": %zu, "
+                 "\"items_skipped\": %zu, \"alternatives_opened\": %zu},\n"
+                 "     \"eager\": {",
+                 ls.items_pulled, ls.items_decoded, ls.items_skipped,
+                 ls.alternatives_opened);
+    if (!counters_only) {
+      std::fprintf(json, "\"p50_ms\": %.4f, \"p95_ms\": %.4f, ",
+                   Percentile(eg.ms, 0.5), Percentile(eg.ms, 0.95));
+    }
+    std::fprintf(json,
+                 "\"items_pulled\": %zu, \"items_decoded\": %zu, "
+                 "\"alternatives_opened\": %zu}}%s\n",
+                 es.items_pulled, es.items_decoded, es.alternatives_opened,
+                 qi + 1 < queries.size() ? "," : "");
   }
 
   std::fprintf(json,

@@ -1,15 +1,58 @@
 #ifndef TRINIT_BENCH_BENCH_UTIL_H_
 #define TRINIT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/trinit.h"
 #include "synth/kg_generator.h"
 #include "xkg/xkg_builder.h"
 
 namespace trinit::bench {
+
+/// Backslash-escapes quotes/backslashes for a JSON string value.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Nearest-rank percentile (`pct` in [0,1]) over a copy of `samples`.
+inline double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(pct * (samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// The shared CLI surface of the JSON-writing benches:
+/// `[--counters-only] [out.json]`. `--counters-only` strips the
+/// machine-local p50/p95 wall-times from the JSON so cross-machine
+/// comparisons see only deterministic work counters.
+struct BenchArgs {
+  bool counters_only = false;
+  const char* out_path;
+};
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                const char* default_out) {
+  BenchArgs args;
+  args.out_path = default_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--counters-only") {
+      args.counters_only = true;
+    } else {
+      args.out_path = argv[i];
+    }
+  }
+  return args;
+}
 
 /// The paper's Figure 1 KG + Figure 3 extension + rule-1 type facts
 /// (same data as tests/testing/paper_world.h; duplicated here so bench

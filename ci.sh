@@ -25,15 +25,19 @@ else
   echo "bench_m1_micro not built (google-benchmark missing); skipping"
 fi
 
-echo "== release perf (P1: lazy vs eager streaming) =="
-# Optimized build for the latency exhibit — the perf trajectory is
-# tracked in BENCH_P1.json from PR 2 on. bench_p1_latency exits
-# non-zero if lazy streaming stops saving work or answers diverge.
+echo "== release perf (P1: lazy vs eager streaming; P2: planned join) =="
+# Optimized build for the latency exhibits — the perf trajectory is
+# tracked in BENCH_P1.json (PR 2 on) and BENCH_P2.json (PR 3 on). Both
+# benches exit non-zero if their optimization stops saving work or
+# answers diverge. The JSONs are written counters-only: wall-times are
+# machine-local noise, the work counters are what cross-machine
+# comparisons can trust (latencies still print to stdout).
 RELEASE_DIR="${BUILD_DIR}-release"
 cmake -B "$RELEASE_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" \
   -DTRINIT_BUILD_TESTS=OFF -DTRINIT_BUILD_EXAMPLES=OFF
-cmake --build "$RELEASE_DIR" -j --target bench_p1_latency
-"$RELEASE_DIR/bench/bench_p1_latency" "$ROOT/BENCH_P1.json"
+cmake --build "$RELEASE_DIR" -j --target bench_p1_latency --target bench_p2_join
+"$RELEASE_DIR/bench/bench_p1_latency" --counters-only "$ROOT/BENCH_P1.json"
+"$RELEASE_DIR/bench/bench_p2_join" --counters-only "$ROOT/BENCH_P2.json"
 
 echo "CI OK"

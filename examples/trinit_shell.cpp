@@ -194,6 +194,16 @@ int main(int argc, char** argv) {
       std::printf(" %s_ms=%.2f", timing.stage.c_str(), timing.millis);
     }
     std::printf("\n");
+    // Query plan: the cost-based pattern order with estimated vs actual
+    // per-pattern cardinalities.
+    if (!result.plan.empty()) {
+      std::printf("  plan:");
+      for (const auto& step : result.plan) {
+        std::printf(" p%zu(est=%.0f pulled=%zu)", step.pattern,
+                    step.estimated, step.pulled);
+      }
+      std::printf("\n");
+    }
     for (const auto& suggestion : engine->Suggest(*parsed, result)) {
       std::printf("  suggestion: %s\n", suggestion.message.c_str());
     }

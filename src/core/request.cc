@@ -61,6 +61,13 @@ void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
   add("items_decoded", static_cast<double>(stats.items_decoded));
   add("items_skipped", static_cast<double>(stats.items_skipped));
   add("combinations_tried", static_cast<double>(stats.combinations_tried));
+  add("combinations_emitted",
+      static_cast<double>(stats.combinations_emitted));
+  add("partition_probes", static_cast<double>(stats.partition_probes));
+  add("partition_fallbacks",
+      static_cast<double>(stats.partition_fallbacks));
+  add("plan_cache_hits", static_cast<double>(stats.plan_cache_hits));
+  add("plan_cache_misses", static_cast<double>(stats.plan_cache_misses));
   add("deadline_hit", stats.deadline_hit ? 1.0 : 0.0);
 }
 

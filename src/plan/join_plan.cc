@@ -1,0 +1,58 @@
+#include "plan/join_plan.h"
+
+namespace trinit::plan {
+namespace {
+
+void AppendSlot(const query::Term& slot, bool is_predicate,
+                const query::VarTable& vars, std::string* out) {
+  if (slot.is_variable()) {
+    // Variables are identified by their dense id so that renamed but
+    // isomorphic queries still hash apart only when the join shape
+    // actually differs.
+    std::optional<query::VarId> id = vars.Find(slot.text);
+    out->push_back('v');
+    *out += id.has_value() ? std::to_string(*id) : slot.text;
+  } else {
+    switch (slot.kind) {
+      case query::Term::Kind::kResource:
+        out->push_back('r');
+        break;
+      case query::Term::Kind::kToken:
+        out->push_back('t');
+        break;
+      default:
+        out->push_back('l');
+        break;
+    }
+    if (is_predicate) {
+      // Predicate identity stays in the key: it dominates cardinality
+      // (GraphStats is per-predicate), so two queries that differ only
+      // in predicate must not share a plan. Subject/object constants
+      // remain erased — that is the reuse the cache exists for
+      // (rule-produced variants substituting entities/literals).
+      if (slot.id != rdf::kNullTerm) {
+        *out += std::to_string(slot.id);
+      } else {
+        *out += slot.text;
+      }
+    }
+  }
+  out->push_back(',');
+}
+
+}  // namespace
+
+std::string JoinPlan::StructureOf(const query::Query& q,
+                                  const query::VarTable& vars) {
+  std::string out;
+  out.reserve(q.patterns().size() * 16);
+  for (const query::TriplePattern& p : q.patterns()) {
+    AppendSlot(p.s, false, vars, &out);
+    AppendSlot(p.p, true, vars, &out);
+    AppendSlot(p.o, false, vars, &out);
+    out.push_back(';');
+  }
+  return out;
+}
+
+}  // namespace trinit::plan

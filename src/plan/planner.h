@@ -1,0 +1,78 @@
+#ifndef TRINIT_PLAN_PLANNER_H_
+#define TRINIT_PLAN_PLANNER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "plan/join_plan.h"
+#include "xkg/xkg.h"
+
+namespace trinit::plan {
+
+/// Compiles a (possibly rewritten) query into a `JoinPlan`.
+///
+/// Cardinality estimation is pure index metadata — a `ScoreOrdered`
+/// block search per pattern (O(log n)) plus `GraphStats` lookups for
+/// predicate-bound shapes — so planning never decodes a triple. The
+/// pattern order is greedy: start from the most selective pattern, then
+/// repeatedly append the cheapest pattern *connected* to the ordered
+/// prefix by a shared variable; a disconnected pattern (cross product)
+/// is only chosen when nothing connected remains.
+class Planner {
+ public:
+  /// `vars` must be the variable table of `q`. The plan holds no
+  /// references into `q` or `xkg` and outlives both. With
+  /// `cost_order == false` the execution order stays the parser's
+  /// pattern order (the bench comparator that isolates ordering from
+  /// hash partitioning); estimates and join-key signatures are computed
+  /// either way.
+  static std::shared_ptr<const JoinPlan> Compile(const query::Query& q,
+                                                 const query::VarTable& vars,
+                                                 const xkg::Xkg& xkg,
+                                                 bool cost_order = true);
+};
+
+/// Thread-safe cache of compiled plans keyed by the query's structural
+/// signature (`JoinPlan::StructureOf`): rewrite variants with the same
+/// pattern shapes but different constants reuse one plan instead of
+/// re-deriving order and join-key signatures per variant.
+///
+/// Lifetime: the cache lives as long as its owner — `TopKProcessor`
+/// holds one, so in the serving path (`Trinit::Execute` constructs a
+/// processor per request) plans are shared across the variants of one
+/// request and released with it. A longer-lived processor (benches,
+/// tests) amortizes planning across every query it answers.
+class PlanCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  /// Returns the cached plan for `q`'s structure, compiling (and
+  /// caching) it on first sight. Safe for concurrent callers.
+  /// Cost-ordered and parser-ordered plans cache under distinct keys.
+  /// `was_hit` (optional) reports whether this call was served from
+  /// cache — per-call, so concurrent callers can attribute hits/misses
+  /// to their own run (the aggregate `stats()` is cache-global).
+  std::shared_ptr<const JoinPlan> Get(const query::Query& q,
+                                      const query::VarTable& vars,
+                                      const xkg::Xkg& xkg,
+                                      bool cost_order = true,
+                                      bool* was_hit = nullptr) const;
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const JoinPlan>>
+      cache_;
+  mutable Stats stats_;
+};
+
+}  // namespace trinit::plan
+
+#endif  // TRINIT_PLAN_PLANNER_H_

@@ -23,6 +23,16 @@ VarId VarTable::Require(const std::string& name) const {
   return *id;
 }
 
+std::vector<VarId> VarTable::IdsIn(const TriplePattern& pattern) const {
+  std::vector<VarId> out;
+  for (const std::string& name : pattern.Variables()) {
+    std::optional<VarId> id = Find(name);
+    if (id.has_value()) out.push_back(*id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool Binding::Bind(VarId var, rdf::TermId value) {
   TRINIT_DCHECK(var < values_.size());
   TRINIT_DCHECK(value != rdf::kNullTerm);

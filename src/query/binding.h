@@ -31,6 +31,11 @@ class VarTable {
   /// Id of `name`; the variable must exist.
   VarId Require(const std::string& name) const;
 
+  /// Sorted ids of the variables `pattern` uses, skipping names not in
+  /// the table (a rewriter-introduced existential projected elsewhere).
+  /// Sorted form so join signatures compare and intersect directly.
+  std::vector<VarId> IdsIn(const TriplePattern& pattern) const;
+
  private:
   std::vector<std::string> names_;
 };

@@ -29,24 +29,30 @@ ScoreOrderIndex::Key ScoreOrderIndex::KeyFor(Shape shape, const Triple& t) {
 }
 
 ScoreOrderIndex ScoreOrderIndex::Build(std::span<const Triple> triples) {
+  (void)triples;
   ScoreOrderIndex index;
-  const size_t n = triples.size();
+  // Lazy: only the (stable-address) shape slots are allocated here; each
+  // permutation sorts on its first Lookup.
+  index.shapes_ = std::make_unique<std::array<ShapeIndex, kNumShapes>>();
+  return index;
+}
 
-  // Decorate once per shape instead of re-deriving keys and weights in
-  // every comparison: 7 sorts over n records dominate the build.
-  struct Record {
-    Key key;
-    double weight;
-    TripleId id;
-  };
-  std::vector<double> weights(n);
-  for (size_t i = 0; i < n; ++i) weights[i] = WeightOf(triples[i]);
-  std::vector<Record> records(n);
-
-  for (int shape = 0; shape < kNumShapes; ++shape) {
+ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
+    std::span<const Triple> triples, Shape shape) const {
+  ShapeIndex& shaped = (*shapes_)[shape];
+  std::call_once(shaped.once, [&triples, shape, &shaped]() {
+    const size_t n = triples.size();
+    // Decorate once instead of re-deriving keys and weights in every
+    // comparison: the sort dominates the build.
+    struct Record {
+      Key key;
+      double weight;
+      TripleId id;
+    };
+    std::vector<Record> records(n);
     for (size_t i = 0; i < n; ++i) {
-      records[i] = {KeyFor(static_cast<Shape>(shape), triples[i]),
-                    weights[i], static_cast<TripleId>(i)};
+      records[i] = {KeyFor(shape, triples[i]), WeightOf(triples[i]),
+                    static_cast<TripleId>(i)};
     }
     std::sort(records.begin(), records.end(),
               [](const Record& a, const Record& b) {
@@ -54,23 +60,33 @@ ScoreOrderIndex ScoreOrderIndex::Build(std::span<const Triple> triples) {
                 if (a.weight != b.weight) return a.weight > b.weight;
                 return a.id < b.id;
               });
-    std::vector<TripleId>& ids = index.lists_[shape];
-    ids.resize(n);
-    std::vector<uint64_t>& mass = index.prefix_mass_[shape];
-    mass.resize(n + 1);
-    mass[0] = 0;
+    shaped.ids.resize(n);
+    shaped.prefix_mass.resize(n + 1);
+    shaped.prefix_mass[0] = 0;
     for (size_t i = 0; i < n; ++i) {
-      ids[i] = records[i].id;
-      mass[i + 1] = mass[i] + triples[records[i].id].count;
+      shaped.ids[i] = records[i].id;
+      shaped.prefix_mass[i + 1] =
+          shaped.prefix_mass[i] + triples[records[i].id].count;
     }
+    shaped.built.store(true, std::memory_order_release);
+  });
+  return shaped;
+}
+
+size_t ScoreOrderIndex::built_shapes() const {
+  if (shapes_ == nullptr) return 0;
+  size_t built = 0;
+  for (const ShapeIndex& shaped : *shapes_) {
+    if (shaped.built.load(std::memory_order_acquire)) ++built;
   }
-  return index;
+  return built;
 }
 
 ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
                                              Shape shape, TermId first,
                                              TermId second) const {
-  const std::vector<TripleId>& ids = lists_[shape];
+  const ShapeIndex& shaped = Shaped(triples, shape);
+  const std::vector<TripleId>& ids = shaped.ids;
   // Bound slots form the primary sort key; within a block the order is
   // by weight, which both search keys ignore (b spans the whole block
   // when `second` is a wildcard).
@@ -86,7 +102,7 @@ ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
       });
   size_t b_idx = static_cast<size_t>(begin - ids.begin());
   size_t e_idx = static_cast<size_t>(end - ids.begin());
-  const std::vector<uint64_t>& mass = prefix_mass_[shape];
+  const std::vector<uint64_t>& mass = shaped.prefix_mass;
   return {std::span<const TripleId>(ids.data() + b_idx, e_idx - b_idx),
           mass[e_idx] - mass[b_idx]};
 }
@@ -94,7 +110,7 @@ ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
 ScoreOrderIndex::List ScoreOrderIndex::Lookup(std::span<const Triple> triples,
                                               TermId s, TermId p,
                                               TermId o) const {
-  if (triples.empty()) return {};
+  if (triples.empty() || shapes_ == nullptr) return {};
   const bool bs = s != kNullTerm, bp = p != kNullTerm, bo = o != kNullTerm;
   TRINIT_CHECK(!(bs && bp && bo));  // exact lookups use TripleStore::Match
   if (bs) {
@@ -107,8 +123,9 @@ ScoreOrderIndex::List ScoreOrderIndex::Lookup(std::span<const Triple> triples,
     return Range(triples, kP, p, kNullTerm);
   }
   if (bo) return Range(triples, kO, o, kNullTerm);
-  return {std::span<const TripleId>(lists_[kAll].data(), lists_[kAll].size()),
-          prefix_mass_[kAll].back()};
+  const ShapeIndex& all = Shaped(triples, kAll);
+  return {std::span<const TripleId>(all.ids.data(), all.ids.size()),
+          all.prefix_mass.back()};
 }
 
 }  // namespace trinit::rdf

@@ -1,6 +1,10 @@
 #ifndef TRINIT_RDF_SCORE_ORDER_INDEX_H_
 #define TRINIT_RDF_SCORE_ORDER_INDEX_H_
 
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -26,6 +30,14 @@ namespace trinit::rdf {
 /// denominator) is O(1) after the O(log n) block search instead of a
 /// full span walk.
 ///
+/// Shape permutations are built *lazily*: `Build` allocates only the
+/// per-shape slots, and each permutation is sorted on its first lookup
+/// behind a `std::once_flag` — a consumer that never queries a shape
+/// never pays its sort or its ~12 B/triple. Concurrent first touches of
+/// the same shape serialize on the flag; different shapes build in
+/// parallel. All lookups after the once-body are wait-free reads, so
+/// `const` query paths (`Engine::Execute`) stay thread-safe.
+///
 /// Fully-bound (s,p,o) lookups are not served here: a single triple
 /// needs no ordering, and `TripleStore::ScoreOrdered` answers it from
 /// the exact-match path.
@@ -40,14 +52,18 @@ class ScoreOrderIndex {
 
   ScoreOrderIndex() = default;
 
-  /// Builds all shape permutations over `triples` (which must stay alive
+  /// Prepares lazy shape slots over `triples` (which must stay alive
   /// and unchanged for the lifetime of lookups; the index itself stores
-  /// only ids and masses, so it moves freely with its owner).
+  /// only ids and masses, so it moves freely with its owner — the
+  /// per-shape state sits behind a stable-address allocation so
+  /// `std::once_flag`s survive the move). No permutation is sorted
+  /// here.
   static ScoreOrderIndex Build(std::span<const Triple> triples);
 
   /// Score-ordered ids of all triples matching the pattern
   /// (`kNullTerm` = wildcard). At most two slots may be bound. `triples`
-  /// must be the array the index was built over.
+  /// must be the array the index was built over. Builds the shape's
+  /// permutation on first use (thread-safe).
   List Lookup(std::span<const Triple> triples, TermId s, TermId p,
               TermId o) const;
 
@@ -56,6 +72,10 @@ class ScoreOrderIndex {
   static double WeightOf(const Triple& t) {
     return static_cast<double>(t.count) * static_cast<double>(t.confidence);
   }
+
+  /// Number of shape permutations materialized so far (laziness
+  /// introspection for tests and benches; 0..7).
+  size_t built_shapes() const;
 
  private:
   enum Shape { kAll, kS, kP, kO, kSP, kSO, kPO, kNumShapes };
@@ -67,12 +87,27 @@ class ScoreOrderIndex {
   /// Bound-slot key of `t` under `shape`; single-slot shapes use b = 0.
   static Key KeyFor(Shape shape, const Triple& t);
 
+  /// One lazily-built shape permutation. `built` is the publication
+  /// flag: set (release) at the end of the once-body, checked (acquire)
+  /// by `built_shapes`; readers inside `Lookup` are ordered by
+  /// `call_once` itself.
+  struct ShapeIndex {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    std::vector<TripleId> ids;
+    // prefix_mass[i] = sum of counts over ids[0..i).
+    std::vector<uint64_t> prefix_mass;
+  };
+
+  /// The shape's permutation, sorted on first call.
+  ShapeIndex& Shaped(std::span<const Triple> triples, Shape shape) const;
+
   List Range(std::span<const Triple> triples, Shape shape, TermId first,
              TermId second) const;
 
-  std::vector<TripleId> lists_[kNumShapes];
-  // prefix_mass_[shape][i] = sum of counts over lists_[shape][0..i).
-  std::vector<uint64_t> prefix_mass_[kNumShapes];
+  // Heap-allocated so once_flags keep a stable address across moves of
+  // the owning TripleStore; null for a default-constructed index.
+  std::unique_ptr<std::array<ShapeIndex, kNumShapes>> shapes_;
 };
 
 }  // namespace trinit::rdf

@@ -31,7 +31,9 @@ namespace trinit::rdf {
 /// original demo provided the same access path. On top of the six
 /// SPO-ordered permutations, `ScoreOrdered()` serves every non-exact
 /// pattern shape in descending emission-weight order from a
-/// `ScoreOrderIndex` built alongside them.
+/// `ScoreOrderIndex` whose per-shape permutations are sorted lazily on
+/// first lookup (thread-safe; a workload that never queries a shape
+/// never pays for it).
 ///
 /// Construction goes through `TripleStoreBuilder` (RocksDB-style builder
 /// idiom: mutation before Build, immutability after).
@@ -89,6 +91,10 @@ class TripleStore {
   /// Largest per-triple `count` (used for cheap upper bounds on emission
   /// probabilities: p(t|q) <= max_count / |match span|).
   uint32_t max_count() const { return max_count_; }
+
+  /// Score-ordered shape permutations materialized so far (laziness
+  /// introspection for tests and benches; 0..7).
+  size_t score_shapes_built() const { return score_index_.built_shapes(); }
 
  private:
   friend class TripleStoreBuilder;

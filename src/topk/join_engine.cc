@@ -6,9 +6,29 @@
 #include <string>
 
 #include "scoring/lm_scorer.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace trinit::topk {
+namespace {
+
+/// Hash of `binding`'s values over the signature vars. Returns false
+/// when any signature variable is unbound (the caller must treat the
+/// item/probe as a wildcard). Collisions are harmless: `MergedWith`
+/// remains the correctness gate, the buckets only pre-filter.
+bool HashSignature(const query::Binding& binding,
+                   const std::vector<query::VarId>& sig, uint64_t* hash) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (query::VarId v : sig) {
+    rdf::TermId value = binding.Get(v);
+    if (value == rdf::kNullTerm) return false;
+    h = HashCombine(h, value);
+  }
+  *hash = h;
+  return true;
+}
+
+}  // namespace
 
 JoinEngine::JoinEngine(std::vector<std::unique_ptr<BindingStream>> streams,
                        const query::VarTable& vars,
@@ -16,9 +36,62 @@ JoinEngine::JoinEngine(std::vector<std::unique_ptr<BindingStream>> streams,
     : streams_(std::move(streams)),
       vars_(vars),
       projection_(std::move(projection)),
-      options_(options) {
-  seen_.resize(streams_.size());
-  top1_.assign(streams_.size(), BindingStream::kExhausted);
+      options_(std::move(options)) {
+  const size_t n = streams_.size();
+  hash_probing_ = options_.probe_mode == ProbeMode::kHashPartition &&
+                  options_.plan != nullptr &&
+                  options_.plan->num_patterns() == n;
+  seen_.resize(n);
+  if (hash_probing_) {
+    for (SeenState& state : seen_) {
+      state.buckets.resize(n);
+      state.wildcard.resize(n);
+    }
+    // Per pulled stream, a visitation order over the other streams that
+    // keeps every step hash-probable: prefer the stream whose widest
+    // join signature points at something already in the frame (the
+    // pulled stream or an earlier visit); only a genuinely disconnected
+    // stream joins as a cross product (kNoPartner, linear scan).
+    visit_order_.resize(n);
+    probe_partner_.resize(n);
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<bool> in_frame(n, false);
+      in_frame[s] = true;
+      std::vector<bool> placed(n, false);
+      placed[s] = true;
+      for (size_t step = 0; step + 1 < n; ++step) {
+        size_t best = kNoPartner;
+        size_t best_partner = kNoPartner;
+        size_t best_width = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (placed[j]) continue;
+          size_t partner = kNoPartner;
+          for (size_t a : options_.plan->probe_preference[j]) {
+            if (in_frame[a]) {
+              partner = a;
+              break;
+            }
+          }
+          if (best == kNoPartner && partner == kNoPartner) {
+            best = j;  // disconnected placeholder; a keyed one may win
+            continue;
+          }
+          if (partner == kNoPartner) continue;
+          size_t width = options_.plan->JoinKey(j, partner).size();
+          if (best_partner == kNoPartner || width > best_width) {
+            best = j;
+            best_partner = partner;
+            best_width = width;
+          }
+        }
+        visit_order_[s].push_back(best);
+        probe_partner_[s].push_back(best_partner);
+        placed[best] = true;
+        in_frame[best] = true;
+      }
+    }
+  }
+  top1_.assign(n, BindingStream::kExhausted);
 }
 
 double JoinEngine::KthBest() const {
@@ -95,40 +168,107 @@ void JoinEngine::Emit(const query::Binding& binding, double score,
   }
 }
 
+void JoinEngine::Insert(size_t stream_idx, BindingStream::Item item) {
+  SeenState& state = seen_[stream_idx];
+  state.items.push_back(std::move(item));
+  if (!hash_probing_) return;
+  const uint32_t pos = static_cast<uint32_t>(state.items.size() - 1);
+  const query::Binding& binding = state.items.back().binding;
+  for (size_t a = 0; a < streams_.size(); ++a) {
+    if (a == stream_idx) continue;
+    const std::vector<query::VarId>& sig =
+        options_.plan->JoinKey(stream_idx, a);
+    if (sig.empty()) continue;  // cross-product pair: linear anyway
+    uint64_t h = 0;
+    if (HashSignature(binding, sig, &h)) {
+      state.buckets[a][h].push_back(pos);
+    } else {
+      state.wildcard[a].push_back(pos);
+    }
+  }
+}
+
 void JoinEngine::Combine(size_t stream_idx,
                          const BindingStream::Item& item) {
   // Backtracking join of `item` with one seen item from every other
-  // stream.
+  // stream. In hash mode the streams are visited in the precomputed
+  // connectivity order for `stream_idx`, so every step (except genuine
+  // cross products) probes a hash partition keyed off something already
+  // merged into the frame; in linear mode (the seed behavior) they are
+  // visited in index order with full seen-list scans.
   struct Frame {
     query::Binding binding;
     double score;
   };
-  size_t n = streams_.size();
+  const size_t n = streams_.size();
   std::vector<const BindingStream::Item*> picked(n, nullptr);
   picked[stream_idx] = &item;
 
   std::function<void(size_t, const Frame&)> recurse =
-      [&](size_t idx, const Frame& frame) {
-        if (idx == n) {
-          ++stats_.combinations_tried;
+      [&](size_t depth, const Frame& frame) {
+        if (depth + 1 == n) {
+          ++stats_.combinations_emitted;
           std::vector<DerivationStep> derivation;
           derivation.reserve(n);
           for (const BindingStream::Item* p : picked) {
             derivation.push_back(p->step);
           }
+          // `picked` is indexed by execution position; report the
+          // derivation in original pattern order so explanations (and
+          // the structural-rule attribution on the first step) never
+          // depend on the plan.
+          std::sort(derivation.begin(), derivation.end(),
+                    [](const DerivationStep& a, const DerivationStep& b) {
+                      return a.pattern_index < b.pattern_index;
+                    });
           Emit(frame.binding, frame.score, std::move(derivation));
           return;
         }
-        if (idx == stream_idx) {
-          recurse(idx + 1, frame);
-          return;
+        size_t idx;
+        size_t partner = kNoPartner;
+        if (hash_probing_) {
+          idx = visit_order_[stream_idx][depth];
+          partner = probe_partner_[stream_idx][depth];
+        } else {
+          // Seed order: stream indices ascending, skipping the pull.
+          idx = depth < stream_idx ? depth : depth + 1;
         }
-        for (const BindingStream::Item& cand : seen_[idx]) {
+        const SeenState& state = seen_[idx];
+        auto try_candidate = [&](const BindingStream::Item& cand) {
+          ++stats_.combinations_tried;
           auto merged = frame.binding.MergedWith(cand.binding);
-          if (!merged.has_value()) continue;
+          if (!merged.has_value()) return;
           picked[idx] = &cand;
-          recurse(idx + 1, Frame{std::move(*merged),
-                                 frame.score + cand.log_score});
+          recurse(depth + 1, Frame{std::move(*merged),
+                                   frame.score + cand.log_score});
+        };
+
+        bool probed = false;
+        if (partner != kNoPartner) {
+          uint64_t h = 0;
+          if (HashSignature(frame.binding,
+                            options_.plan->JoinKey(idx, partner), &h)) {
+            ++stats_.partition_probes;
+            auto bucket = state.buckets[partner].find(h);
+            if (bucket != state.buckets[partner].end()) {
+              for (uint32_t pos : bucket->second) {
+                try_candidate(state.items[pos]);
+              }
+            }
+            for (uint32_t pos : state.wildcard[partner]) {
+              try_candidate(state.items[pos]);
+            }
+            probed = true;
+          } else {
+            // The frame leaves a signature var unbound (a relaxed form
+            // dropped it): the key cannot be computed, scan linearly.
+            ++stats_.partition_fallbacks;
+          }
+        }
+        if (!probed) {
+          for (const BindingStream::Item& cand : state.items) {
+            try_candidate(cand);
+          }
         }
         picked[idx] = nullptr;
       };
@@ -173,8 +313,8 @@ std::vector<Answer> JoinEngine::Run() {
     streams_[best_idx]->Pop();
     ++stats_.items_pulled;
     top1_[best_idx] = std::max(top1_[best_idx], item.log_score);
-    seen_[best_idx].push_back(item);
-    Combine(best_idx, seen_[best_idx].back());
+    Insert(best_idx, std::move(item));
+    Combine(best_idx, seen_[best_idx].items.back());
   }
 
   // Laziness accounting: how much of the underlying index lists the
@@ -183,6 +323,10 @@ std::vector<Answer> JoinEngine::Run() {
   for (const auto& stream : streams_) decode_stats += stream->DecodeStats();
   stats_.items_decoded += decode_stats.items_decoded;
   stats_.items_skipped += decode_stats.items_skipped;
+  stats_.per_stream_pulled.reserve(seen_.size());
+  for (const SeenState& state : seen_) {
+    stats_.per_stream_pulled.push_back(state.items.size());
+  }
 
   std::vector<Answer> out;
   out.reserve(answers_.size());

@@ -150,6 +150,21 @@ LeafStream::LeafStream(const xkg::Xkg& xkg, const scoring::LmScorer& scorer,
       }
     }
   }
+  // Bound-keyed cursor selection: cursor bounds only descend (lists are
+  // sorted by weight), so the lazy heap's stale-entry re-keying applies.
+  // Pushing in index order makes heap ties resolve exactly like the
+  // first-maximum linear scan they replace.
+  for (size_t ci = 0; ci < cursors_.size(); ++ci) {
+    cursor_heap_.Push(ci, cursors_[ci].bound);
+  }
+}
+
+std::optional<size_t> LeafStream::BestCursor() {
+  return cursor_heap_.Best([this](size_t ci) -> std::optional<double> {
+    const Cursor& c = cursors_[ci];
+    if (c.pos >= c.ids.size()) return std::nullopt;
+    return c.bound;
+  });
 }
 
 void LeafStream::DecodeChunk(Cursor& cursor) {
@@ -194,15 +209,8 @@ void LeafStream::DecodeChunk(Cursor& cursor) {
 
 void LeafStream::Advance() {
   while (true) {
-    Cursor* best_cursor = nullptr;
-    for (Cursor& c : cursors_) {
-      if (c.pos >= c.ids.size()) continue;
-      if (best_cursor == nullptr || c.bound > best_cursor->bound) {
-        best_cursor = &c;
-      }
-    }
-    double frontier =
-        best_cursor == nullptr ? kExhausted : best_cursor->bound;
+    std::optional<size_t> best = BestCursor();
+    double frontier = best.has_value() ? cursors_[*best].bound : kExhausted;
     if (!heap_.empty() && heap_.front().score >= frontier) {
       // Nothing undecoded can outrank the heap top: emit it.
       std::pop_heap(heap_.begin(), heap_.end(), PendingLess);
@@ -210,11 +218,11 @@ void LeafStream::Advance() {
       heap_.pop_back();
       return;
     }
-    if (best_cursor == nullptr) {
+    if (!best.has_value()) {
       current_.reset();  // heap empty and every cursor drained
       return;
     }
-    DecodeChunk(*best_cursor);
+    DecodeChunk(cursors_[*best]);
   }
 }
 
@@ -235,9 +243,8 @@ double LeafStream::BestPossible() {
   if (current_.has_value()) return current_->log_score;
   if (!bound_dirty_) return cached_bound_;
   double bound = heap_.empty() ? kExhausted : heap_.front().score;
-  for (const Cursor& c : cursors_) {
-    if (c.pos < c.ids.size()) bound = std::max(bound, c.bound);
-  }
+  std::optional<size_t> best = BestCursor();
+  if (best.has_value()) bound = std::max(bound, cursors_[*best].bound);
   cached_bound_ = bound;
   bound_dirty_ = false;
   return bound;
@@ -258,33 +265,17 @@ size_t LeafStream::size() {
 void StreamHeap::Add(BindingStream* stream) {
   const BindingStream::Item* item = stream->Peek();
   if (item == nullptr) return;
-  heap_.push_back({item->log_score, stream});
-  std::push_heap(heap_.begin(), heap_.end(),
-                 [](const Entry& a, const Entry& b) {
-                   return a.score < b.score;
-                 });
+  heap_.Push(stream, item->log_score);
 }
 
 BindingStream* StreamHeap::Best() {
-  auto less = [](const Entry& a, const Entry& b) {
-    return a.score < b.score;
-  };
-  while (!heap_.empty()) {
-    Entry top = heap_.front();
-    const BindingStream::Item* item = top.stream->Peek();
-    if (item == nullptr) {
-      std::pop_heap(heap_.begin(), heap_.end(), less);
-      heap_.pop_back();
-      continue;
-    }
-    if (item->log_score >= top.score) return top.stream;
-    // The head descended since this entry was keyed (an item was popped
-    // off the stream): re-key and sift, then re-check the new top.
-    std::pop_heap(heap_.begin(), heap_.end(), less);
-    heap_.back().score = item->log_score;
-    std::push_heap(heap_.begin(), heap_.end(), less);
-  }
-  return nullptr;
+  std::optional<BindingStream*> best =
+      heap_.Best([](BindingStream* stream) -> std::optional<double> {
+        const BindingStream::Item* item = stream->Peek();
+        if (item == nullptr) return std::nullopt;
+        return item->log_score;
+      });
+  return best.value_or(nullptr);
 }
 
 MergeStream::MergeStream(std::vector<std::unique_ptr<BindingStream>> inputs)

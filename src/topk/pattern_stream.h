@@ -1,6 +1,7 @@
 #ifndef TRINIT_TOPK_PATTERN_STREAM_H_
 #define TRINIT_TOPK_PATTERN_STREAM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -64,6 +65,65 @@ class BindingStream {
   static constexpr double kExhausted = -1e18;
 };
 
+/// Lazy max-heap over handles whose keys only *descend* over time.
+///
+/// Entries are keyed by the value observed at push time; a stale top is
+/// detected by re-reading the handle's current key and sifted back
+/// down, so callers never pay a full rescan. Ties break by insertion
+/// order (earliest wins), keeping selection deterministic and identical
+/// to a first-maximum linear scan. This is the machinery behind
+/// `StreamHeap` (handles = streams, key = head score) and the
+/// `LeafStream` cursor selection (handles = cursor indices, key =
+/// undecoded-remainder bound).
+template <typename Handle>
+class LazyMaxHeap {
+ public:
+  void Push(Handle handle, double key) {
+    heap_.push_back({key, next_order_++, handle});
+    std::push_heap(heap_.begin(), heap_.end(), Less);
+  }
+
+  /// The handle with the highest current key, or nullopt when empty.
+  /// `current_key(handle)` must return the handle's present key — at or
+  /// below the key it was pushed with — or nullopt to drop the handle
+  /// for good (exhausted). The returned handle's entry stays in the
+  /// heap; a later key decrease is picked up on the next call.
+  template <typename KeyFn>
+  std::optional<Handle> Best(KeyFn&& current_key) {
+    while (!heap_.empty()) {
+      Entry top = heap_.front();
+      std::optional<double> key = current_key(top.handle);
+      if (!key.has_value()) {
+        std::pop_heap(heap_.begin(), heap_.end(), Less);
+        heap_.pop_back();
+        continue;
+      }
+      if (*key >= top.key) return top.handle;
+      // The key descended since this entry was keyed: re-key and sift,
+      // then re-check the new top.
+      std::pop_heap(heap_.begin(), heap_.end(), Less);
+      heap_.back().key = *key;
+      std::push_heap(heap_.begin(), heap_.end(), Less);
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    double key;
+    uint64_t order;  // insertion order; earlier wins ties (determinism)
+    Handle handle;
+  };
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.order > b.order;
+  }
+  std::vector<Entry> heap_;  // std::push_heap max-heap on key
+  uint64_t next_order_ = 0;
+};
+
 /// Lazy max-heap over the current head items of a set of streams.
 ///
 /// Entries are keyed by the head score observed at push time; since
@@ -82,11 +142,7 @@ class StreamHeap {
   bool empty() const { return heap_.empty(); }
 
  private:
-  struct Entry {
-    double score;
-    BindingStream* stream;
-  };
-  std::vector<Entry> heap_;  // std::push_heap max-heap on score
+  LazyMaxHeap<BindingStream*> heap_;
 };
 
 /// Evaluates one concrete triple pattern against the XKG and serves its
@@ -147,10 +203,15 @@ class LeafStream : public BindingStream {
   /// Decodes until the heap's best is safe to emit (no cursor bound
   /// above it), then moves it into `current_`.
   void Advance();
+  /// Index of the cursor with the highest undecoded-remainder bound via
+  /// the lazy heap (cursor bounds only descend), or nullopt when every
+  /// cursor is drained.
+  std::optional<size_t> BestCursor();
 
   const xkg::Xkg& xkg_;
   const scoring::LmScorer& scorer_;
   std::vector<Cursor> cursors_;
+  LazyMaxHeap<size_t> cursor_heap_;  // bound-keyed cursor selection
   std::vector<Pending> heap_;  // std::push_heap max-heap
   std::optional<Item> current_;
   size_t decoded_ = 0;

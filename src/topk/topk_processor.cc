@@ -21,7 +21,8 @@ TopKProcessor::TopKProcessor(const xkg::Xkg& xkg,
     : xkg_(xkg),
       rules_(rules),
       scorer_(xkg, scorer_options),
-      options_(options) {
+      options_(options),
+      plan_cache_(std::make_unique<plan::PlanCache>()) {
   options_.join.k = options_.k;
   if (options_.exhaustive) {
     options_.join.drain = true;
@@ -68,9 +69,30 @@ void TopKProcessor::EvaluateVariant(
 
   relax::Rewriter pattern_rewriter(rules_, options_.rewrite);
 
+  // Compile (or fetch) the variant's plan; streams are then built in
+  // the plan's execution order so the join engine's hash partitions can
+  // use the precomputed pair signatures directly. Derivation steps keep
+  // the *original* pattern index — execution order is invisible to
+  // answers and explanations.
+  std::shared_ptr<const plan::JoinPlan> jplan;
+  if (options_.use_cost_order ||
+      options_.join.probe_mode == JoinEngine::ProbeMode::kHashPartition) {
+    bool cache_hit = false;
+    jplan = plan_cache_->Get(vq, vars, xkg_, options_.use_cost_order,
+                             &cache_hit);
+    // Attributed per call, not via cache-global deltas, so concurrent
+    // Answer runs on one processor never report each other's counters.
+    if (cache_hit) {
+      ++result->stats.plan_cache_hits;
+    } else {
+      ++result->stats.plan_cache_misses;
+    }
+  }
+
   std::vector<std::unique_ptr<BindingStream>> streams;
   std::vector<RelaxedStream*> relaxed;  // borrowed, for stats
-  for (size_t i = 0; i < vq.patterns().size(); ++i) {
+  for (size_t pos = 0; pos < vq.patterns().size(); ++pos) {
+    const size_t i = jplan != nullptr ? jplan->order[pos] : pos;
     if (options_.enable_relaxation && !options_.exhaustive) {
       std::vector<Alternative> alts =
           AlternativesForPattern(pattern_rewriter, vq.patterns()[i]);
@@ -107,6 +129,7 @@ void TopKProcessor::EvaluateVariant(
 
   JoinEngine::Options join_options = options_.join;
   join_options.deadline = deadline;
+  join_options.plan = jplan;
   // max_pulls is a whole-request budget: charge the items previous
   // variants already pulled against this variant's allowance.
   if (join_options.max_pulls != SIZE_MAX) {
@@ -123,7 +146,23 @@ void TopKProcessor::EvaluateVariant(
   result->stats.items_decoded += engine.stats().items_decoded;
   result->stats.items_skipped += engine.stats().items_skipped;
   result->stats.combinations_tried += engine.stats().combinations_tried;
+  result->stats.combinations_emitted += engine.stats().combinations_emitted;
+  result->stats.partition_probes += engine.stats().partition_probes;
+  result->stats.partition_fallbacks += engine.stats().partition_fallbacks;
   result->stats.deadline_hit |= engine.stats().deadline_hit;
+  if (jplan != nullptr && result->plan.empty()) {
+    // First evaluated variant: record the chosen order with estimated
+    // vs. actual per-pattern cardinalities for the trace.
+    const std::vector<size_t>& pulled = engine.stats().per_stream_pulled;
+    result->plan.reserve(jplan->order.size());
+    for (size_t pos = 0; pos < jplan->order.size(); ++pos) {
+      TopKResult::PlanStep step;
+      step.pattern = jplan->order[pos];
+      step.estimated = jplan->estimates[step.pattern].cardinality;
+      step.pulled = pos < pulled.size() ? pulled[pos] : 0;
+      result->plan.push_back(step);
+    }
+  }
   for (RelaxedStream* rs : relaxed) {
     result->stats.alternatives_opened += rs->opened_alternatives();
   }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "plan/planner.h"
 #include "query/query.h"
 #include "relax/rewriter.h"
 #include "relax/rule_set.h"
@@ -28,6 +29,22 @@ struct TopKResult {
 
   std::vector<Answer> answers;
 
+  /// One execution step of the original variant's compiled plan: which
+  /// pattern ran at this position, what the planner estimated for it,
+  /// and what the rank-join actually pulled — the estimated-vs-actual
+  /// cardinality exhibit of the trace.
+  struct PlanStep {
+    size_t pattern = 0;        ///< original pattern index
+    double estimated = 0.0;    ///< planner's cardinality estimate
+    size_t pulled = 0;         ///< items the stream actually delivered
+  };
+  /// Execution-ordered plan of the first evaluated variant (the
+  /// original query). Populated whenever a plan was compiled — cost
+  /// ordering on, or hash probing (the default) needing signatures;
+  /// with `use_cost_order == false` the order shown is the parser's.
+  /// Empty only when both cost ordering and hash probing are off.
+  std::vector<PlanStep> plan;
+
   struct RunStats {
     size_t query_variants_total = 0;     ///< multi-pattern-rule variants
     size_t query_variants_evaluated = 0;
@@ -36,7 +53,14 @@ struct TopKResult {
     size_t items_pulled = 0;   ///< items the rank-join consumed
     size_t items_decoded = 0;  ///< index-list entries fetched and scored
     size_t items_skipped = 0;  ///< known index entries never decoded
+    /// Candidate combinations the rank-join *examined* (probe work; see
+    /// `JoinEngine::Stats::combinations_tried`).
     size_t combinations_tried = 0;
+    size_t combinations_emitted = 0;  ///< complete join combinations
+    size_t partition_probes = 0;     ///< hash-narrowed seen-state probes
+    size_t partition_fallbacks = 0;  ///< probes degraded to linear scan
+    size_t plan_cache_hits = 0;    ///< variants served a cached plan
+    size_t plan_cache_misses = 0;  ///< structures compiled fresh
     /// The run's wall-clock deadline expired before the rewrite space
     /// was fully explored; `answers` holds the best found in budget.
     bool deadline_hit = false;
@@ -56,6 +80,12 @@ struct ProcessorOptions {
   /// (e.g. Figure 4 rule 1); per-pattern rules are unlimited-by-count
   /// and bounded by weight instead.
   size_t max_query_variants = 24;
+  /// Compile a cost-ordered `plan::JoinPlan` per variant structure and
+  /// build the streams in plan order (selective patterns first,
+  /// hash-partitioned seen state). False keeps the parser's pattern
+  /// order and — combined with `JoinEngine::ProbeMode::kLinear` — the
+  /// seed's linear probing, the bench_p2 comparators.
+  bool use_cost_order = true;
   /// Wall-clock budget for one `Answer` call, in milliseconds; <= 0
   /// means unlimited. On expiry the processor stops pulling work and
   /// returns the best answers found so far (`RunStats::deadline_hit`).
@@ -108,6 +138,11 @@ class TopKProcessor {
   ProcessorOptions options_;
   // Rules with multi-pattern LHS, for whole-query variant enumeration.
   relax::RuleSet structural_rules_;
+  // Compiled plans by structural signature; lives as long as the
+  // processor (one request in the serving path), thread-safe for
+  // concurrent Answer calls. Behind a unique_ptr so the processor stays
+  // movable (the cache holds a mutex).
+  std::unique_ptr<plan::PlanCache> plan_cache_;
 };
 
 }  // namespace trinit::topk

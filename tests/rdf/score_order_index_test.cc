@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "rdf/triple_store.h"
 #include "util/random.h"
@@ -118,6 +120,87 @@ TEST(ScoreOrderIndexTest, RandomizedStoresAgreeWithMatch) {
       CheckList(*r, s, p, o);
     }
   }
+}
+
+TEST(ScoreOrderIndexTest, ShapesBuildLazilyOnFirstLookup) {
+  TripleStore store = SmallStore();
+  // Build materializes nothing; each distinct shape sorts on first use.
+  EXPECT_EQ(store.score_shapes_built(), 0u);
+  store.ScoreOrdered(kNullTerm, 1, kNullTerm);  // P shape
+  EXPECT_EQ(store.score_shapes_built(), 1u);
+  store.ScoreOrdered(kNullTerm, 2, kNullTerm);  // P again: already built
+  EXPECT_EQ(store.score_shapes_built(), 1u);
+  store.ScoreOrdered(1, kNullTerm, 3);  // SO shape
+  EXPECT_EQ(store.score_shapes_built(), 2u);
+  store.ScoreOrdered(1, 1, 2);  // fully bound: exact path, no shape
+  EXPECT_EQ(store.score_shapes_built(), 2u);
+}
+
+TEST(ScoreOrderIndexTest, LazyShapesSurviveStoreMove) {
+  TripleStore store = SmallStore();
+  store.ScoreOrdered(kNullTerm, 1, kNullTerm);
+  // The once_flags sit behind a stable allocation: a moved-to store
+  // keeps the built shape and can still build the rest.
+  TripleStore moved = std::move(store);
+  EXPECT_EQ(moved.score_shapes_built(), 1u);
+  CheckList(moved, kNullTerm, 1, kNullTerm);
+  CheckList(moved, 2, kNullTerm, kNullTerm);
+  EXPECT_EQ(moved.score_shapes_built(), 2u);
+}
+
+TEST(ScoreOrderIndexTest, ConcurrentFirstTouchIsSafeAndConsistent) {
+  // Many threads race the first lookup of every shape at once; each
+  // must see a fully built permutation (same content as a fresh
+  // single-threaded store), never a partial sort.
+  Rng rng(23);
+  TripleStoreBuilder b1, b2;
+  for (int i = 0; i < 400; ++i) {
+    TermId s = 1 + static_cast<TermId>(rng.Uniform(15));
+    TermId p = 1 + static_cast<TermId>(rng.Uniform(6));
+    TermId o = 1 + static_cast<TermId>(rng.Uniform(15));
+    float conf = 0.1f + 0.9f * static_cast<float>(rng.UniformDouble());
+    uint32_t count = 1 + static_cast<uint32_t>(rng.Uniform(6));
+    b1.Add(s, p, o, conf, count);
+    b2.Add(s, p, o, conf, count);
+  }
+  auto shared = b1.Build();
+  auto reference = b2.Build();
+  ASSERT_TRUE(shared.ok() && reference.ok());
+
+  // Every (shape, key) probe each thread will run, precomputed so the
+  // threads only touch const store state.
+  struct Probe {
+    TermId s, p, o;
+  };
+  std::vector<Probe> probes;
+  for (TermId a = 1; a <= 6; ++a) {
+    probes.push_back({kNullTerm, kNullTerm, kNullTerm});
+    probes.push_back({a, kNullTerm, kNullTerm});
+    probes.push_back({kNullTerm, a, kNullTerm});
+    probes.push_back({kNullTerm, kNullTerm, a});
+    probes.push_back({a, a, kNullTerm});
+    probes.push_back({a, kNullTerm, a});
+    probes.push_back({kNullTerm, a, a});
+  }
+
+  std::atomic<size_t> mismatches{0};
+  auto worker = [&]() {
+    for (const Probe& probe : probes) {
+      ScoreOrderIndex::List got =
+          shared->ScoreOrdered(probe.s, probe.p, probe.o);
+      ScoreOrderIndex::List want =
+          reference->ScoreOrdered(probe.s, probe.p, probe.o);
+      if (got.mass != want.mass || got.ids.size() != want.ids.size() ||
+          !std::equal(got.ids.begin(), got.ids.end(), want.ids.begin())) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(shared->score_shapes_built(), 7u);
 }
 
 }  // namespace
