@@ -41,21 +41,9 @@
 
 namespace {
 
+using trinit::bench::AnswerBytes;
 using trinit::bench::JsonEscape;
 using trinit::bench::Percentile;
-
-/// Byte-comparable rendering of a ranked answer list: projection values
-/// and nano-rounded scores, rank order preserved.
-std::string AnswerBytes(const trinit::topk::TopKResult& result) {
-  std::ostringstream os;
-  for (const auto& ans : result.answers) {
-    for (size_t i = 0; i < result.projection.size(); ++i) {
-      os << ans.binding.Get(static_cast<trinit::query::VarId>(i)) << ',';
-    }
-    os << std::llround(ans.score * 1e9) << ';';
-  }
-  return os.str();
-}
 
 struct Config {
   const char* name;

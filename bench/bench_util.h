@@ -2,8 +2,10 @@
 #define TRINIT_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,21 @@
 #include "xkg/xkg_builder.h"
 
 namespace trinit::bench {
+
+/// Byte-comparable rendering of a ranked answer list: projection values
+/// and nano-rounded scores, rank order preserved. The equality
+/// definition behind every "byte-identical answers" bench gate (P2,
+/// P3) — single-sourced so the exhibits cannot drift apart.
+inline std::string AnswerBytes(const topk::TopKResult& result) {
+  std::ostringstream os;
+  for (const auto& ans : result.answers) {
+    for (size_t i = 0; i < result.projection.size(); ++i) {
+      os << ans.binding.Get(static_cast<query::VarId>(i)) << ',';
+    }
+    os << std::llround(ans.score * 1e9) << ';';
+  }
+  return os.str();
+}
 
 /// Backslash-escapes quotes/backslashes for a JSON string value.
 inline std::string JsonEscape(const std::string& s) {

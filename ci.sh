@@ -1,10 +1,41 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify line plus a smoke run of the
-# microbenchmarks. Usage: ./ci.sh [build_dir]
+# CI entry point. Stages:
+#
+#   format     clang-format --dry-run -Werror over the source tree
+#              (skipped with a notice when clang-format is not installed)
+#   build+test the tier-1 verify line (cmake + ctest)
+#   bench smoke  every microbenchmark once, minimal measuring time
+#   release perf P1/P2/P3 exhibits in an -O2 build; each bench enforces
+#              its own invariants (byte-identical answers, work saved)
+#   bench gate fresh work counters vs the committed BENCH_*.json; fails
+#              on any >10% regression in probes/pulls/decodes
+#   sanitize   (only with --sanitize) a second build dir under
+#              -fsanitize=address,undefined running the full ctest suite
+#
+# Usage: ./ci.sh [--sanitize] [build_dir]
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+SANITIZE=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 ROOT="$(cd "$(dirname "$0")" && pwd)"
+
+echo "== format check =="
+if command -v clang-format > /dev/null 2>&1; then
+  # shellcheck disable=SC2046  # word-splitting the file list is the point
+  clang-format --dry-run -Werror \
+    $(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" "$ROOT/examples" \
+        -name '*.h' -o -name '*.cc' -o -name '*.cpp')
+  echo "format OK"
+else
+  echo "clang-format not installed; skipping (style still enforced on"
+  echo "machines that have it — see .clang-format)"
+fi
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S "$ROOT"
@@ -25,19 +56,55 @@ else
   echo "bench_m1_micro not built (google-benchmark missing); skipping"
 fi
 
-echo "== release perf (P1: lazy vs eager streaming; P2: planned join) =="
+echo "== release perf (P1: lazy streaming; P2: planned join; P3: serving cache) =="
 # Optimized build for the latency exhibits — the perf trajectory is
-# tracked in BENCH_P1.json (PR 2 on) and BENCH_P2.json (PR 3 on). Both
-# benches exit non-zero if their optimization stops saving work or
-# answers diverge. The JSONs are written counters-only: wall-times are
-# machine-local noise, the work counters are what cross-machine
-# comparisons can trust (latencies still print to stdout).
+# tracked in BENCH_P1/P2/P3.json. Each bench exits non-zero if its
+# optimization stops saving work or answers diverge. The JSONs are
+# written counters-only: wall-times are machine-local noise, the work
+# counters are what cross-machine comparisons can trust (latencies
+# still print to stdout). Fresh JSONs land in the release dir first so
+# the bench gate below can diff them against the committed baselines.
 RELEASE_DIR="${BUILD_DIR}-release"
 cmake -B "$RELEASE_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" \
   -DTRINIT_BUILD_TESTS=OFF -DTRINIT_BUILD_EXAMPLES=OFF
-cmake --build "$RELEASE_DIR" -j --target bench_p1_latency --target bench_p2_join
-"$RELEASE_DIR/bench/bench_p1_latency" --counters-only "$ROOT/BENCH_P1.json"
-"$RELEASE_DIR/bench/bench_p2_join" --counters-only "$ROOT/BENCH_P2.json"
+cmake --build "$RELEASE_DIR" -j --target bench_p1_latency \
+  --target bench_p2_join --target bench_p3_serving
+"$RELEASE_DIR/bench/bench_p1_latency" --counters-only "$RELEASE_DIR/BENCH_P1.json"
+"$RELEASE_DIR/bench/bench_p2_join" --counters-only "$RELEASE_DIR/BENCH_P2.json"
+"$RELEASE_DIR/bench/bench_p3_serving" --counters-only "$RELEASE_DIR/BENCH_P3.json"
+
+echo "== bench gate (fresh counters vs committed baselines) =="
+python3 "$ROOT/bench/check_regression.py" \
+  "$ROOT/BENCH_P1.json" "$RELEASE_DIR/BENCH_P1.json" \
+  "$ROOT/BENCH_P2.json" "$RELEASE_DIR/BENCH_P2.json" \
+  "$ROOT/BENCH_P3.json" "$RELEASE_DIR/BENCH_P3.json"
+# Promote fresh counters to the working tree only when they are not
+# worse than the baselines (strict tolerance-0 pass). Promoting
+# within-tolerance regressions would let the 10% gate ratchet backwards
+# one small regression at a time; a PR that intentionally trades
+# counters away must update the committed BENCH_*.json by hand.
+for p in P1 P2 P3; do
+  if python3 "$ROOT/bench/check_regression.py" --tolerance 0 \
+      "$ROOT/BENCH_$p.json" "$RELEASE_DIR/BENCH_$p.json" > /dev/null; then
+    cp "$RELEASE_DIR/BENCH_$p.json" "$ROOT/BENCH_$p.json"
+  else
+    echo "BENCH_$p.json: fresh counters within tolerance but worse than" \
+         "baseline; NOT promoted (update the committed file deliberately" \
+         "if the regression is intended)"
+  fi
+done
+
+if [ "$SANITIZE" -eq 1 ]; then
+  echo "== sanitize (asan+ubsan ctest) =="
+  SAN_DIR="${BUILD_DIR}-sanitize"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  cmake -B "$SAN_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" \
+    -DTRINIT_BUILD_BENCHES=OFF -DTRINIT_BUILD_EXAMPLES=OFF
+  cmake --build "$SAN_DIR" -j
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+fi
 
 echo "CI OK"

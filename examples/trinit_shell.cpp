@@ -42,6 +42,17 @@ void PrintStats(const Trinit& engine) {
               engine.rules().size());
 }
 
+void PrintCache(const Trinit& engine) {
+  const auto c = engine.serving_cache().counters();
+  std::printf(
+      "serving cache: generation %llu\n"
+      "  answers: %zu hits / %zu misses, %zu entries, %zu evictions\n"
+      "  plans:   %zu hits / %zu misses, %zu entries, %zu invalidated\n",
+      static_cast<unsigned long long>(c.generation), c.answer_hits,
+      c.answer_misses, c.answer_entries, c.answer_evictions, c.plan_hits,
+      c.plan_misses, c.plan_entries, c.plan_invalidated);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,11 +93,15 @@ int main(int argc, char** argv) {
     if (input == ".help") {
       std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
                   ".explain <rank> | .complete <prefix> | .k <n> | "
-                  ".timeout <ms> | .stats | .quit\n");
+                  ".timeout <ms> | .stats | .cache | .quit\n");
       continue;
     }
     if (input == ".stats") {
       PrintStats(*engine);
+      continue;
+    }
+    if (input == ".cache") {
+      PrintCache(*engine);
       continue;
     }
     if (input.rfind(".complete ", 0) == 0) {
@@ -179,9 +194,10 @@ int main(int argc, char** argv) {
                                                       : "");
     }
     std::printf("  (%.2f ms, %zu/%zu relaxations opened, %zu items "
-                "pulled%s; .explain <rank> for provenance)\n",
+                "pulled%s%s; .explain <rank> for provenance)\n",
                 response->wall_ms, result.stats.alternatives_opened,
                 result.stats.alternatives_total, result.stats.items_pulled,
+                response->serving.answer_hit ? "; ANSWER CACHE HIT" : "",
                 response->deadline_hit ? "; TIMEOUT — partial answers"
                                        : "");
     // Laziness trace: how much of the score-ordered index lists the run

@@ -19,8 +19,11 @@ namespace trinit::core {
 /// Contract: `Execute` is `const` and safe to call concurrently from
 /// many threads over one engine, provided no mutating member (rule or KG
 /// edits) runs at the same time. All per-request state lives in the
-/// `QueryRequest` / local stack; implementations must not cache across
-/// calls.
+/// `QueryRequest` / local stack. Cross-call state is allowed only when
+/// it is internally synchronized and semantically transparent — a cached
+/// response must be identical to what uncached execution would return
+/// (see `serve::ServingCache`, which `core::Trinit` consults and reports
+/// through `QueryResponse::serving`).
 class Engine {
  public:
   virtual ~Engine();

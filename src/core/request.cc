@@ -71,4 +71,20 @@ void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
   add("deadline_hit", stats.deadline_hit ? 1.0 : 0.0);
 }
 
+void AppendServingStatsTrace(QueryResponse* response) {
+  const ServingStats& s = response->serving;
+  auto add = [response](const char* name, double value) {
+    response->counters.push_back({name, value});
+  };
+  add("serving_answer_hit", s.answer_hit ? 1.0 : 0.0);
+  add("serving_generation", static_cast<double>(s.generation));
+  add("serving_answer_hits", static_cast<double>(s.answer_hits));
+  add("serving_answer_misses", static_cast<double>(s.answer_misses));
+  add("serving_answer_evictions", static_cast<double>(s.answer_evictions));
+  add("serving_plan_hits", static_cast<double>(s.plan_hits));
+  add("serving_plan_misses", static_cast<double>(s.plan_misses));
+  add("serving_plan_invalidated",
+      static_cast<double>(s.plan_invalidated));
+}
+
 }  // namespace trinit::core

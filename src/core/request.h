@@ -81,10 +81,44 @@ struct TraceCounter {
   double value = 0.0;
 };
 
+/// Engine-level serving-cache observation for one request (PR 4): did
+/// this request hit the answer cache, and what does the shared cache
+/// look like now. All zeros when the engine has no serving cache (the
+/// baselines) or it is disabled.
+struct ServingStats {
+  /// This request was served from the answer cache: the ranked answers
+  /// are a stored complete run's (byte-identical to uncached
+  /// execution), and the rank-join never ran (`result.stats` is all
+  /// zeros).
+  bool answer_hit = false;
+
+  /// XKG generation the request ran against; bumped by every engine
+  /// mutation, so two responses with different generations may
+  /// legitimately disagree.
+  uint64_t generation = 0;
+
+  // Cumulative engine-level cache counters at response time (monotone
+  // across the engine's lifetime, not per-request deltas). Filled only
+  // for traced requests — the snapshot sweeps every cache shard's lock,
+  // which untraced hot-path requests must not pay for; untraced
+  // responses leave them zero (use `Trinit::serving_cache().counters()`
+  // for an on-demand snapshot).
+  size_t answer_hits = 0;
+  size_t answer_misses = 0;
+  size_t answer_evictions = 0;
+  size_t plan_hits = 0;
+  size_t plan_misses = 0;
+  size_t plan_invalidated = 0;
+};
+
 /// The answer to a `QueryRequest`: the ranked top-k plus everything an
 /// operator needs to understand how the request was served.
 struct QueryResponse {
   topk::TopKResult result;
+
+  /// Engine-level serving-cache state for this request (see
+  /// `ServingStats`).
+  ServingStats serving;
 
   /// End-to-end wall time of `Execute`, milliseconds.
   double wall_ms = 0.0;
@@ -134,6 +168,10 @@ Result<const query::Query*> ResolveRequestQuery(
 /// counter vocabulary.
 void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
                          QueryResponse* response);
+
+/// Flattens `response->serving` into `response->counters` (the
+/// `serving_*` names); engines without a serving cache skip it.
+void AppendServingStatsTrace(QueryResponse* response);
 
 }  // namespace trinit::core
 

@@ -18,7 +18,9 @@ Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options)
       options_(options),
       suggester_(std::make_unique<suggest::Suggester>(*xkg_)),
       autocomplete_(std::make_unique<suggest::Autocomplete>(*xkg_)),
-      explainer_(std::make_unique<explain::ExplanationBuilder>(*xkg_)) {}
+      explainer_(std::make_unique<explain::ExplanationBuilder>(*xkg_)),
+      serving_cache_(
+          std::make_unique<serve::ServingCache>(options_.serving)) {}
 
 Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
   // The options are stored exactly once; the miner setup below reads the
@@ -68,16 +70,28 @@ Result<Trinit> Trinit::FromWorld(const synth::World& world,
 }
 
 Status Trinit::AddManualRules(std::string_view text) {
+  // Parsing is pure; the rule set is only touched below.
   TRINIT_ASSIGN_OR_RETURN(std::vector<relax::Rule> parsed,
                           relax::ParseManualRules(text));
+  Status status = Status::Ok();
   for (relax::Rule& rule : parsed) {
-    TRINIT_RETURN_IF_ERROR(rules_.Add(std::move(rule)));
+    status = rules_.Add(std::move(rule));
+    if (!status.ok()) break;
   }
-  return Status::Ok();
+  // New rules change the rewrite space, hence cached answers (and,
+  // harmlessly, cached plans): invalidate everything lazily. Bump even
+  // on failure — a mid-loop error leaves earlier rules added, and a
+  // partially mutated rule set must not serve pre-mutation answers.
+  serving_cache_->BumpGeneration();
+  return status;
 }
 
 Status Trinit::RunOperator(relax::RelaxationOperator& op) {
-  return op.Generate(*xkg_, &rules_);
+  Status status = op.Generate(*xkg_, &rules_);
+  // A failing operator may have added rules before erroring; invalidate
+  // unconditionally before propagating.
+  serving_cache_->BumpGeneration();
+  return status;
 }
 
 Status Trinit::ExtendKg(std::string_view facts_text) {
@@ -120,6 +134,9 @@ Status Trinit::ExtendKg(std::string_view facts_text) {
   suggester_ = std::make_unique<suggest::Suggester>(*xkg_);
   autocomplete_ = std::make_unique<suggest::Autocomplete>(*xkg_);
   explainer_ = std::make_unique<explain::ExplanationBuilder>(*xkg_);
+  // Term ids, index lists, and statistics all changed: no cached plan
+  // or answer may be served again.
+  serving_cache_->BumpGeneration();
   return Status::Ok();
 }
 
@@ -138,20 +155,73 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
     response.stages.push_back({"parse", stage.ElapsedMillis()});
   }
 
+  auto finish = [&]() -> QueryResponse&& {
+    response.serving.generation = serving_cache_->generation();
+    if (request.trace) {
+      // The cumulative counters sweep every cache shard's lock; only
+      // traced requests pay for it (the per-request fields above are a
+      // single atomic read).
+      const serve::ServingCache::Counters cc = serving_cache_->counters();
+      response.serving.answer_hits = cc.answer_hits;
+      response.serving.answer_misses = cc.answer_misses;
+      response.serving.answer_evictions = cc.answer_evictions;
+      response.serving.plan_hits = cc.plan_hits;
+      response.serving.plan_misses = cc.plan_misses;
+      response.serving.plan_invalidated = cc.plan_invalidated;
+      AppendRunStatsTrace(response.result.stats, &response);
+      AppendServingStatsTrace(&response);
+    }
+    response.effective_scorer = resolved.scorer;
+    response.effective_processor = resolved.processor;
+    response.deadline_hit = response.result.stats.deadline_hit;
+    response.wall_ms = total.ElapsedMillis();
+    return std::move(response);
+  };
+
+  // Serving cache, answer layer: a complete result stored for the same
+  // canonical query under the same effective configuration and XKG
+  // generation short-circuits everything below — no planning, no
+  // streams, no rank-join.
+  std::string answer_key;
+  const bool try_answer_cache = serving_cache_->options().enabled &&
+                                serving_cache_->options().cache_answers;
+  if (try_answer_cache) {
+    stage.Reset();
+    // The processor's canonical form: projection pinned explicitly, so
+    // an implicit-projection spelling and its explicit equivalent land
+    // on one key. (Constant resolution is irrelevant to the key — it
+    // renders from term text — and is left to the processor.)
+    query::Query canonical(q->patterns(), q->EffectiveProjection());
+    answer_key = serve::ServingCache::AnswerKey(
+        canonical, resolved.scorer, resolved.processor,
+        serving_cache_->generation());
+    std::optional<topk::TopKResult> cached =
+        serving_cache_->LookupAnswer(answer_key);
+    if (request.trace) {
+      response.stages.push_back({"cache", stage.ElapsedMillis()});
+    }
+    if (cached.has_value()) {
+      response.result = std::move(*cached);
+      response.serving.answer_hit = true;
+      return finish();
+    }
+  }
+
   stage.Reset();
   topk::TopKProcessor processor(*xkg_, rules_, resolved.scorer,
-                                resolved.processor);
+                                resolved.processor,
+                                serving_cache_->plan_cache());
   TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
-    AppendRunStatsTrace(response.result.stats, &response);
   }
 
-  response.effective_scorer = resolved.scorer;
-  response.effective_processor = resolved.processor;
-  response.deadline_hit = response.result.stats.deadline_hit;
-  response.wall_ms = total.ElapsedMillis();
-  return response;
+  // Only complete runs are cacheable: a deadline-truncated result is
+  // not what uncached execution would produce tomorrow.
+  if (try_answer_cache && !response.result.stats.deadline_hit) {
+    serving_cache_->StoreAnswer(answer_key, response.result);
+  }
+  return finish();
 }
 
 std::vector<Result<QueryResponse>> Trinit::ExecuteBatch(

@@ -14,6 +14,7 @@
 #include "relax/bridge_miner.h"
 #include "relax/inversion_miner.h"
 #include "relax/synonym_miner.h"
+#include "serve/serving_cache.h"
 #include "suggest/autocomplete.h"
 #include "suggest/suggester.h"
 #include "synth/corpus_generator.h"
@@ -37,6 +38,11 @@ struct TrinitOptions {
   relax::SynonymMiner::Options synonym_options;
   relax::InversionMiner::Options inversion_options;
   relax::BridgeMiner::Options bridge_options;
+
+  /// Engine-level serving cache (cross-request plan reuse + answer
+  /// LRU). Defaults on; `serving.enabled = false` restores per-request
+  /// planning from scratch.
+  serve::ServingCacheOptions serving;
 };
 
 /// The TriniT engine — the system of the paper, end to end: an extended
@@ -45,10 +51,12 @@ struct TrinitOptions {
 /// query suggestion.
 ///
 /// Threading: `Execute` (and the `Query`/`Answer` shims over it) is
-/// `const` and holds no per-query engine state, so any number of threads
-/// may query one engine concurrently — `ExecuteBatch` does exactly that.
-/// The mutating members (`AddManualRules`, `ExtendKg`, `RunOperator`)
-/// must not run concurrently with queries.
+/// `const`; the only cross-request state it touches is the internally
+/// synchronized serving cache, so any number of threads may query one
+/// engine concurrently — `ExecuteBatch` does exactly that. The mutating
+/// members (`AddManualRules`, `ExtendKg`, `RunOperator`) must not run
+/// concurrently with queries; each bumps the serving cache's generation
+/// so no stale plan or answer survives the mutation.
 class Trinit : public Engine {
  public:
   /// Statistics of a FromWorld build.
@@ -144,6 +152,13 @@ class Trinit : public Engine {
   const relax::RuleSet& rules() const { return rules_; }
   const TrinitOptions& options() const { return options_; }
 
+  /// The engine-level serving cache: cross-request plan reuse plus the
+  /// bounded answer LRU, with its hit/miss/evict/invalidate counters.
+  /// Always present (its options may disable it).
+  const serve::ServingCache& serving_cache() const {
+    return *serving_cache_;
+  }
+
  private:
   Trinit(xkg::Xkg xkg, TrinitOptions options);
 
@@ -153,6 +168,9 @@ class Trinit : public Engine {
   std::unique_ptr<suggest::Suggester> suggester_;
   std::unique_ptr<suggest::Autocomplete> autocomplete_;
   std::unique_ptr<explain::ExplanationBuilder> explainer_;
+  // Shared across every request; survives mutations via generation
+  // bumps (stale entries are invalidated lazily, never served).
+  std::unique_ptr<serve::ServingCache> serving_cache_;
 };
 
 }  // namespace trinit::core

@@ -163,6 +163,13 @@ std::shared_ptr<const JoinPlan> Planner::Compile(const query::Query& q,
   return plan;
 }
 
+PlanCache::PlanCache(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
 std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
                                                const query::VarTable& vars,
                                                const xkg::Xkg& xkg,
@@ -171,34 +178,73 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
   std::string key =
       (cost_order ? "C|" : "P|") + JoinPlan::StructureOf(q, vars);
   if (was_hit != nullptr) *was_hit = false;
+  // Stamp the entry with the generation observed *before* compiling: if
+  // a mutation bumps the generation mid-compile, the entry is born
+  // stale and the next lookup recompiles against the new data.
+  const uint64_t gen = generation();
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++stats_.hits;
-      if (was_hit != nullptr) *was_hit = true;
-      return it->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.swept_generation != gen) {
+      // First touch of this shard since a bump: reap every stale entry
+      // (a rebuild may have moved the term ids inside the structural
+      // keys, so stale entries would otherwise be orphaned under dead
+      // keys forever). Amortized — one sweep per shard per mutation.
+      for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+        if (it->second.generation != gen) {
+          it = shard.entries.erase(it);
+          ++shard.stats.invalidated;
+        } else {
+          ++it;
+        }
+      }
+      shard.swept_generation = gen;
     }
-    ++stats_.misses;
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.generation == gen) {
+      ++shard.stats.hits;
+      if (was_hit != nullptr) *was_hit = true;
+      return it->second.plan;
+    }
+    if (it != shard.entries.end()) {
+      // A racing pre-bump compile slipped in after this shard's sweep;
+      // never serve it.
+      ++shard.stats.invalidated;
+      shard.entries.erase(it);
+    }
+    ++shard.stats.misses;
   }
   // Compile outside the lock: planning is read-only over the XKG, and a
   // racing duplicate compile of the same structure is cheaper than
   // serializing every planner behind one mutex.
   std::shared_ptr<const JoinPlan> plan =
       Planner::Compile(q, vars, xkg, cost_order);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = cache_.emplace(std::move(key), std::move(plan));
-  return it->second;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = shard.entries[key];
+  if (entry.plan == nullptr || entry.generation < gen) {
+    entry = Entry{gen, std::move(plan)};
+  }
+  return entry.plan;
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.invalidated += shard.stats.invalidated;
+  }
+  return total;
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 }  // namespace trinit::plan

@@ -1,10 +1,13 @@
 #ifndef TRINIT_PLAN_PLANNER_H_
 #define TRINIT_PLAN_PLANNER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "plan/join_plan.h"
 #include "xkg/xkg.h"
@@ -34,22 +37,38 @@ class Planner {
                                                  bool cost_order = true);
 };
 
-/// Thread-safe cache of compiled plans keyed by the query's structural
-/// signature (`JoinPlan::StructureOf`): rewrite variants with the same
-/// pattern shapes but different constants reuse one plan instead of
-/// re-deriving order and join-key signatures per variant.
+/// Thread-safe, sharded cache of compiled plans keyed by the query's
+/// structural signature (`JoinPlan::StructureOf`): rewrite variants with
+/// the same pattern shapes but different constants reuse one plan
+/// instead of re-deriving order and join-key signatures per variant.
 ///
-/// Lifetime: the cache lives as long as its owner — `TopKProcessor`
-/// holds one, so in the serving path (`Trinit::Execute` constructs a
-/// processor per request) plans are shared across the variants of one
-/// request and released with it. A longer-lived processor (benches,
-/// tests) amortizes planning across every query it answers.
+/// Lifetime: the cache lives as long as its owner. Since PR 4 the
+/// serving path shares one engine-level cache across requests
+/// (`serve::ServingCache` owns it; `TopKProcessor` *borrows* it), so
+/// plans are amortized over the whole workload, not one request. A
+/// processor constructed without a shared cache still owns a private
+/// one (benches, tests, direct processor users).
+///
+/// Invalidation: entries are stamped with the cache's *generation* at
+/// insert. `BumpGeneration()` (called on any XKG/rule mutation) is O(1)
+/// and never blocks readers; each shard lazily reaps its stale entries
+/// on its first lookup after the bump (`Stats::invalidated` counts
+/// them), so nothing stale is ever served and orphaned keys (a rebuild
+/// moves term ids inside structural signatures) cannot accumulate.
 class PlanCache {
  public:
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
+    /// Lookups that found an entry from an older generation; counted on
+    /// top of the miss they turn into.
+    size_t invalidated = 0;
   };
+
+  /// `num_shards` splits the key space across independently locked
+  /// maps; 1 (the default) is right for per-processor private caches,
+  /// the engine-level serving cache uses more.
+  explicit PlanCache(size_t num_shards = 1);
 
   /// Returns the cached plan for `q`'s structure, compiling (and
   /// caching) it on first sight. Safe for concurrent callers.
@@ -63,14 +82,41 @@ class PlanCache {
                                       bool cost_order = true,
                                       bool* was_hit = nullptr) const;
 
+  /// The current generation; entries from older generations are treated
+  /// as absent (and recompiled) on lookup.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Invalidates every cached plan, lazily: bumps the generation so
+  /// stale entries miss on their next lookup. Call after any mutation
+  /// of the data the plans were compiled against.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   Stats stats() const;
-  size_t size() const;
+  size_t size() const;  ///< entries held, including not-yet-reaped stale
 
  private:
-  mutable std::mutex mu_;
-  mutable std::unordered_map<std::string, std::shared_ptr<const JoinPlan>>
-      cache_;
-  mutable Stats stats_;
+  struct Entry {
+    uint64_t generation = 0;
+    std::shared_ptr<const JoinPlan> plan;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    Stats stats;
+    /// Generation this shard last reaped stale entries for (a rebuild
+    /// can move term ids inside structural keys, so stale entries must
+    /// be swept, not just overwritten on key collision).
+    uint64_t swept_generation = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  std::atomic<uint64_t> generation_{0};
+  mutable std::vector<Shard> shards_;
 };
 
 }  // namespace trinit::plan

@@ -1,0 +1,161 @@
+#ifndef TRINIT_SERVE_SERVING_CACHE_H_
+#define TRINIT_SERVE_SERVING_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/planner.h"
+#include "query/query.h"
+#include "scoring/lm_scorer.h"
+#include "topk/topk_processor.h"
+
+namespace trinit::serve {
+
+/// Sizing and behavior knobs of the engine-level serving cache.
+struct ServingCacheOptions {
+  /// Master switch; off restores the pre-PR-4 behavior (every request
+  /// plans and joins from scratch).
+  bool enabled = true;
+
+  /// Cache compiled `plan::JoinPlan`s across requests (keyed by
+  /// structural signature + generation).
+  bool cache_plans = true;
+
+  /// Cache complete top-k results across requests (keyed by canonical
+  /// query + k + scorer/relaxation config + generation).
+  bool cache_answers = true;
+
+  /// Total answer-cache entries across all shards (LRU per shard; the
+  /// shard count is clamped so the bound holds exactly). 0 disables
+  /// answer caching. Plans are unbounded (the structure space is tiny —
+  /// one entry per distinct query/rewrite shape).
+  size_t answer_capacity = 1024;
+
+  /// Lock striping for both caches. More shards = less contention under
+  /// `ExecuteBatch`-style concurrency; 1 degenerates to a single map.
+  size_t num_shards = 8;
+};
+
+/// The engine-level serving cache (paper §4's long-lived endpoint
+/// assumption made real): one per `core::Trinit`, shared by every
+/// request, thread-safe throughout.
+///
+/// Two layers, both keyed under an XKG *generation* counter that the
+/// engine bumps on any mutation (KG extension, rule addition, operator
+/// run):
+///
+/// - **Plan cache** — the per-request `plan::PlanCache` of PR 3
+///   promoted to cross-request scope. Keyed by structural signature;
+///   generation-stamped entries are invalidated lazily on first stale
+///   lookup (`PlanCache::BumpGeneration`).
+/// - **Answer cache** — a bounded, sharded LRU of complete
+///   `topk::TopKResult`s keyed by the full canonical query text plus
+///   `k`, the effective scorer/relaxation configuration, and the
+///   generation. A hit returns the ranked answers without touching the
+///   rank-join at all (zero pulls). Only *complete* results are stored:
+///   a deadline-truncated run is never cached, so a cached answer
+///   always equals what uncached execution would produce. Generation
+///   bumps invalidate by key mismatch — stale entries age out through
+///   the LRU bound rather than a stop-the-world sweep.
+class ServingCache {
+ public:
+  /// Cumulative cache-activity counters (monotone since construction;
+  /// `*_entries` and `generation` are point-in-time).
+  struct Counters {
+    uint64_t generation = 0;
+    size_t answer_hits = 0;
+    size_t answer_misses = 0;
+    size_t answer_insertions = 0;
+    size_t answer_evictions = 0;  ///< LRU pressure, stale entries included
+    size_t answer_entries = 0;
+    size_t plan_hits = 0;
+    size_t plan_misses = 0;
+    size_t plan_invalidated = 0;  ///< stale plans recompiled after a bump
+    size_t plan_entries = 0;
+  };
+
+  explicit ServingCache(ServingCacheOptions options = {});
+
+  ServingCache(const ServingCache&) = delete;
+  ServingCache& operator=(const ServingCache&) = delete;
+
+  const ServingCacheOptions& options() const { return options_; }
+
+  /// Current XKG generation. Part of every answer key; the plan cache
+  /// tracks it internally.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Invalidates everything, lazily: bumps the generation (new answer
+  /// keys stop matching old entries; the plan cache marks its entries
+  /// stale). O(1), never blocks concurrent readers behind a sweep.
+  void BumpGeneration();
+
+  /// The shared cross-request plan cache, or nullptr when plan caching
+  /// is disabled (callers then fall back to private per-processor
+  /// caches).
+  const plan::PlanCache* plan_cache() const {
+    return options_.enabled && options_.cache_plans ? &plan_cache_ : nullptr;
+  }
+
+  /// Cache key for an answer lookup: the canonical query (projection
+  /// pinned explicitly — `ToString()` of the same pattern/projection
+  /// shape the processor evaluates; constant *text* identifies
+  /// constants), the effective `k`, every scorer and relaxation knob
+  /// that can change the answer set, and `generation`.
+  /// Wall-clock deadlines are deliberately excluded: they do not change
+  /// what the ideal answer is, and truncated results are never stored.
+  static std::string AnswerKey(const query::Query& canonical,
+                               const scoring::ScorerOptions& scorer,
+                               const topk::ProcessorOptions& processor,
+                               uint64_t generation);
+
+  /// Returns a copy of the cached result for `key` and refreshes its
+  /// LRU position, or nullopt. The copy's `stats` are zeroed — a cache
+  /// hit did no processing work — while answers, projection, and plan
+  /// trace are the stored run's, byte-identical to uncached execution.
+  std::optional<topk::TopKResult> LookupAnswer(const std::string& key) const;
+
+  /// Stores a *complete* result under `key` (callers must not pass
+  /// deadline-truncated runs), evicting the shard's LRU tail beyond
+  /// capacity. No-op when answer caching is disabled.
+  void StoreAnswer(const std::string& key,
+                   const topk::TopKResult& result) const;
+
+  Counters counters() const;
+
+ private:
+  struct AnswerShard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The list owns key + value; the index
+    /// points into it.
+    std::list<std::pair<std::string, topk::TopKResult>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string,
+                                           topk::TopKResult>>::iterator>
+        index;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+  };
+
+  AnswerShard& ShardFor(const std::string& key) const;
+  size_t ShardCapacity() const;
+
+  ServingCacheOptions options_;
+  std::atomic<uint64_t> generation_{0};
+  plan::PlanCache plan_cache_;
+  mutable std::vector<AnswerShard> answer_shards_;
+};
+
+}  // namespace trinit::serve
+
+#endif  // TRINIT_SERVE_SERVING_CACHE_H_

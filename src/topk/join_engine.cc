@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "scoring/lm_scorer.h"
@@ -279,6 +280,24 @@ std::vector<Answer> JoinEngine::Run() {
   constexpr size_t kDeadlineCheckMask = 63;  // amortize the clock reads
   const bool has_deadline =
       options_.deadline != std::chrono::steady_clock::time_point{};
+  // Heap-mode pull selection: stream heads only descend, so the lazy
+  // max-heap re-peeks at most the stale top instead of every stream
+  // every round (the seed's O(#patterns) scan, kept as
+  // PullMode::kLinear). Ties break by stream index in both modes
+  // (insertion order below), so the pull sequence is identical.
+  const bool heap_pull = options_.pull_mode == PullMode::kHeap;
+  LazyMaxHeap<size_t> pull_heap;
+  if (heap_pull) {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      const BindingStream::Item* item = streams_[i]->Peek();
+      if (item != nullptr) pull_heap.Push(i, item->log_score);
+    }
+  }
+  auto head_score = [this](size_t i) -> std::optional<double> {
+    const BindingStream::Item* item = streams_[i]->Peek();
+    if (item == nullptr) return std::nullopt;
+    return item->log_score;
+  };
   while (stats_.items_pulled < options_.max_pulls) {
     if (has_deadline && (stats_.items_pulled & kDeadlineCheckMask) == 0 &&
         std::chrono::steady_clock::now() >= options_.deadline) {
@@ -299,12 +318,17 @@ std::vector<Answer> JoinEngine::Run() {
 
     // Pull from the stream with the highest next item.
     size_t best_idx = streams_.size();
-    double best_score = BindingStream::kExhausted;
-    for (size_t i = 0; i < streams_.size(); ++i) {
-      const BindingStream::Item* item = streams_[i]->Peek();
-      if (item != nullptr && item->log_score > best_score) {
-        best_idx = i;
-        best_score = item->log_score;
+    if (heap_pull) {
+      std::optional<size_t> best = pull_heap.Best(head_score);
+      if (best.has_value()) best_idx = *best;
+    } else {
+      double best_score = BindingStream::kExhausted;
+      for (size_t i = 0; i < streams_.size(); ++i) {
+        const BindingStream::Item* item = streams_[i]->Peek();
+        if (item != nullptr && item->log_score > best_score) {
+          best_idx = i;
+          best_score = item->log_score;
+        }
       }
     }
     if (best_idx == streams_.size()) break;  // everything exhausted

@@ -45,6 +45,12 @@ class JoinEngine {
     kLinear,         ///< full scan of every seen list (seed behavior)
   };
 
+  /// How `Run` selects the stream to pull from each round.
+  enum class PullMode {
+    kHeap,    ///< lazy max-heap over head scores, O(log #patterns)
+    kLinear,  ///< peek every stream per pull (seed behavior), O(#patterns)
+  };
+
   struct Options {
     int k = 10;
     size_t max_pulls = 200000;  ///< hard safety cap
@@ -60,6 +66,11 @@ class JoinEngine {
     /// threshold (the exhaustive comparator of bench E3).
     bool drain = false;
     ProbeMode probe_mode = ProbeMode::kHashPartition;
+    /// Pull selection. The two modes choose the identical stream
+    /// sequence (heads only descend; ties break by stream index either
+    /// way) — kLinear exists as the determinism comparator and forces
+    /// every stream's head to materialize every round.
+    PullMode pull_mode = PullMode::kHeap;
     /// The compiled plan the streams were built under: stream index `i`
     /// must hold the pattern at the plan's execution position `i`. Null
     /// degrades every probe to the linear scan (join keys unknown).

@@ -17,12 +17,17 @@ rdf::TermId TopKResult::ValueAt(size_t rank, size_t idx) const {
 TopKProcessor::TopKProcessor(const xkg::Xkg& xkg,
                              const relax::RuleSet& rules,
                              scoring::ScorerOptions scorer_options,
-                             ProcessorOptions options)
+                             ProcessorOptions options,
+                             const plan::PlanCache* shared_plan_cache)
     : xkg_(xkg),
       rules_(rules),
       scorer_(xkg, scorer_options),
       options_(options),
-      plan_cache_(std::make_unique<plan::PlanCache>()) {
+      owned_plan_cache_(shared_plan_cache != nullptr
+                            ? nullptr
+                            : std::make_unique<plan::PlanCache>()),
+      plan_cache_(shared_plan_cache != nullptr ? shared_plan_cache
+                                               : owned_plan_cache_.get()) {
   options_.join.k = options_.k;
   if (options_.exhaustive) {
     options_.join.drain = true;

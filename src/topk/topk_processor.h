@@ -109,9 +109,15 @@ struct ProcessorOptions {
 /// contribute" cutoff.
 class TopKProcessor {
  public:
+  /// `shared_plan_cache`, when non-null, is *borrowed* — the serving
+  /// path hands every request's processor the engine-level cross-request
+  /// cache (see `serve::ServingCache`) and keeps it alive longer than
+  /// the processor. Null (the default) gives the processor a private
+  /// cache with its own lifetime, the pre-PR-4 behavior.
   TopKProcessor(const xkg::Xkg& xkg, const relax::RuleSet& rules,
                 scoring::ScorerOptions scorer_options = {},
-                ProcessorOptions options = {});
+                ProcessorOptions options = {},
+                const plan::PlanCache* shared_plan_cache = nullptr);
 
   /// Answers `q` (which need not be resolved yet) and returns the top-k.
   Result<TopKResult> Answer(const query::Query& q) const;
@@ -138,11 +144,13 @@ class TopKProcessor {
   ProcessorOptions options_;
   // Rules with multi-pattern LHS, for whole-query variant enumeration.
   relax::RuleSet structural_rules_;
-  // Compiled plans by structural signature; lives as long as the
-  // processor (one request in the serving path), thread-safe for
-  // concurrent Answer calls. Behind a unique_ptr so the processor stays
-  // movable (the cache holds a mutex).
-  std::unique_ptr<plan::PlanCache> plan_cache_;
+  // Compiled plans by structural signature, thread-safe for concurrent
+  // Answer calls. Either borrowed from the engine's serving cache
+  // (cross-request scope; `owned_plan_cache_` stays null) or private to
+  // this processor (owned, behind a unique_ptr so the processor stays
+  // movable — the cache holds mutexes).
+  std::unique_ptr<plan::PlanCache> owned_plan_cache_;
+  const plan::PlanCache* plan_cache_;
 };
 
 }  // namespace trinit::topk

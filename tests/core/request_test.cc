@@ -176,9 +176,10 @@ TEST(RequestTest, TraceCollectsStages) {
   request.trace = true;
   auto response = engine->Execute(request);
   ASSERT_TRUE(response.ok());
-  ASSERT_EQ(response->stages.size(), 2u);
+  ASSERT_EQ(response->stages.size(), 3u);
   EXPECT_EQ(response->stages[0].stage, "parse");
-  EXPECT_EQ(response->stages[1].stage, "process");
+  EXPECT_EQ(response->stages[1].stage, "cache");
+  EXPECT_EQ(response->stages[2].stage, "process");
   EXPECT_GT(response->wall_ms, 0.0);
 
   // No trace -> no stages.

@@ -1,0 +1,264 @@
+// Engine-level serving-cache behavior: repeated requests are served
+// from the answer cache without touching the rank-join, mutations bump
+// the generation so nothing stale is ever served, truncated runs are
+// never stored, and a concurrent mixed workload keeps the counters
+// reconciled and the answers identical to uncached execution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trinit.h"
+#include "testing/paper_world.h"
+
+namespace trinit::core {
+namespace {
+
+std::vector<std::string> Rendered(const Trinit& engine,
+                                  const topk::TopKResult& result) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < result.answers.size(); ++i) {
+    std::ostringstream os;
+    os << engine.RenderAnswer(result, i) << " @ "
+       << std::llround(result.answers[i].score * 1e9);
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+Trinit OpenPaperEngine(TrinitOptions options = {}) {
+  auto engine = Trinit::Open(testing::BuildPaperXkg(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+TEST(ServingTest, RepeatedRequestServedFromAnswerCacheWithZeroWork) {
+  Trinit engine = OpenPaperEngine();
+  QueryRequest request = QueryRequest::Text("?x bornIn Ulm", 5);
+
+  auto cold = engine.Execute(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->serving.answer_hit);
+  EXPECT_GT(cold->result.stats.items_pulled, 0u);
+
+  auto warm = engine.Execute(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->serving.answer_hit);
+  // The join never ran: zero pulls, zero probes, zero planning.
+  EXPECT_EQ(warm->result.stats.items_pulled, 0u);
+  EXPECT_EQ(warm->result.stats.combinations_tried, 0u);
+  EXPECT_EQ(warm->result.stats.plan_cache_misses, 0u);
+  // Same ranked answers, byte for byte.
+  EXPECT_EQ(Rendered(engine, warm->result), Rendered(engine, cold->result));
+
+  const serve::ServingCache::Counters c = engine.serving_cache().counters();
+  EXPECT_EQ(c.answer_hits, 1u);
+  EXPECT_EQ(c.answer_misses, 1u);
+
+  // Untraced responses carry only the cheap per-request fields; the
+  // cumulative snapshot costs shard locks and needs `trace`.
+  EXPECT_EQ(warm->serving.answer_hits, 0u);
+  QueryRequest traced = request;
+  traced.trace = true;
+  auto traced_warm = engine.Execute(traced);
+  ASSERT_TRUE(traced_warm.ok());
+  EXPECT_TRUE(traced_warm->serving.answer_hit);
+  EXPECT_EQ(traced_warm->serving.answer_hits, 2u);
+  EXPECT_EQ(traced_warm->serving.answer_misses, 1u);
+}
+
+TEST(ServingTest, CanonicalKeySharesAcrossSpellings) {
+  Trinit engine = OpenPaperEngine();
+  auto a = engine.Execute(QueryRequest::Text("?x bornIn Ulm", 5));
+  ASSERT_TRUE(a.ok());
+  // Same query with an explicit (redundant) projection and different
+  // whitespace: canonicalization must land on the same key.
+  auto b = engine.Execute(
+      QueryRequest::Text("SELECT ?x   WHERE ?x bornIn Ulm", 5));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->serving.answer_hit);
+  EXPECT_EQ(Rendered(engine, b->result), Rendered(engine, a->result));
+}
+
+TEST(ServingTest, DifferentKOrConfigMissesTheCache) {
+  Trinit engine = OpenPaperEngine();
+  ASSERT_TRUE(engine.Execute(QueryRequest::Text("?x bornIn Ulm", 5)).ok());
+
+  auto other_k = engine.Execute(QueryRequest::Text("?x bornIn Ulm", 3));
+  ASSERT_TRUE(other_k.ok());
+  EXPECT_FALSE(other_k->serving.answer_hit);
+
+  QueryRequest no_relax = QueryRequest::Text("?x bornIn Ulm", 5);
+  no_relax.enable_relaxation = false;
+  auto r = engine.Execute(no_relax);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->serving.answer_hit);
+}
+
+TEST(ServingTest, ExtendKgInvalidatesPlanAndAnswerEntries) {
+  Trinit engine = OpenPaperEngine();
+  QueryRequest request = QueryRequest::Text("?x bornIn Ulm", 5);
+
+  auto before = engine.Execute(request);
+  ASSERT_TRUE(before.ok());
+  const uint64_t gen_before = before->serving.generation;
+  ASSERT_TRUE(engine.Execute(request)->serving.answer_hit);  // warm
+
+  ASSERT_TRUE(engine.ExtendKg("ElsaEinstein bornIn Ulm").ok());
+
+  auto after = engine.Execute(request);
+  ASSERT_TRUE(after.ok());
+  // No stale answer: the mutation bumped the generation, the cached
+  // entry stopped matching, and the fresh run sees the new fact.
+  EXPECT_FALSE(after->serving.answer_hit);
+  EXPECT_GT(after->serving.generation, gen_before);
+  EXPECT_GT(after->result.answers.size(), before->result.answers.size());
+
+  // The old plan entries are stale too: the first post-mutation run
+  // recompiles (invalidated or fresh-miss, never a stale hit), and the
+  // plan cache's generation moved with the engine's.
+  auto warm_again = engine.Execute(request);
+  ASSERT_TRUE(warm_again.ok());
+  EXPECT_TRUE(warm_again->serving.answer_hit);
+  EXPECT_EQ(Rendered(engine, warm_again->result),
+            Rendered(engine, after->result));
+}
+
+TEST(ServingTest, AddManualRulesInvalidatesAnswers) {
+  Trinit engine = OpenPaperEngine();
+  QueryRequest request = QueryRequest::Text("AlbertEinstein hasAdvisor ?x", 5);
+  auto before = engine.Execute(request);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine.Execute(request)->serving.answer_hit);
+
+  ASSERT_TRUE(engine
+                  .AddManualRules(
+                      "rule2: ?x hasAdvisor ?y => ?y hasStudent ?x @ 1.0")
+                  .ok());
+  auto after = engine.Execute(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->serving.answer_hit);
+  // The new inversion rule rescues the empty advisor query through
+  // hasStudent — the post-mutation run must see it.
+  EXPECT_GT(after->result.answers.size(), before->result.answers.size());
+}
+
+TEST(ServingTest, TruncatedRunsAreNeverCached) {
+  Trinit engine = OpenPaperEngine();
+  QueryRequest rushed = QueryRequest::Text("?x bornIn Ulm", 5);
+  rushed.timeout_ms = 1e-6;  // expires before the first variant opens
+  auto truncated = engine.Execute(rushed);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_TRUE(truncated->deadline_hit);
+  EXPECT_FALSE(truncated->serving.answer_hit);
+
+  // Same key (deadlines are not part of it), but nothing was stored:
+  // the unhurried request must run and produce the full answer.
+  QueryRequest unhurried = QueryRequest::Text("?x bornIn Ulm", 5);
+  auto full = engine.Execute(unhurried);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->serving.answer_hit);
+  EXPECT_FALSE(full->result.answers.empty());
+
+  // The complete run *is* cached — and serves the rushed request too.
+  auto warm = engine.Execute(rushed);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->serving.answer_hit);
+  EXPECT_EQ(Rendered(engine, warm->result), Rendered(engine, full->result));
+}
+
+TEST(ServingTest, DisabledServingCacheRestoresPerRequestExecution) {
+  TrinitOptions options;
+  options.serving.enabled = false;
+  Trinit engine = OpenPaperEngine(options);
+  QueryRequest request = QueryRequest::Text("?x bornIn Ulm", 5);
+  ASSERT_TRUE(engine.Execute(request).ok());
+  auto second = engine.Execute(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->serving.answer_hit);
+  EXPECT_GT(second->result.stats.items_pulled, 0u);
+  const serve::ServingCache::Counters c = engine.serving_cache().counters();
+  EXPECT_EQ(c.answer_hits, 0u);
+  EXPECT_EQ(c.answer_misses, 0u);
+}
+
+TEST(ServingTest, ConcurrentMixedWorkloadReconcilesAndMatchesUncached) {
+  Trinit cached_engine = OpenPaperEngine();
+  TrinitOptions uncached_options;
+  uncached_options.serving.enabled = false;
+  Trinit uncached_engine = OpenPaperEngine(uncached_options);
+
+  const std::vector<std::string> repeated = {
+      "?x bornIn Ulm",
+      "SELECT ?x WHERE ?x bornIn ?c ; ?c locatedIn Germany",
+      "?x affiliation ?u",
+  };
+  const std::vector<std::string> unique = {
+      "AlbertEinstein bornIn ?x",
+      "?x locatedIn Germany",
+      "AlfredKleiner hasStudent ?x",
+      "?x 'won nobel for' ?y",
+      "SELECT ?x WHERE ?x affiliation ?u ; ?u 'housed in' ?p",
+      "Ulm type ?t",
+  };
+
+  // Mixed hammer: every repeated query many times, every unique query
+  // once, interleaved.
+  std::vector<QueryRequest> batch;
+  for (int round = 0; round < 8; ++round) {
+    for (const std::string& text : repeated) {
+      batch.push_back(QueryRequest::Text(text, 5));
+    }
+    if (round < static_cast<int>(unique.size())) {
+      batch.push_back(QueryRequest::Text(unique[round], 5));
+    }
+  }
+
+  std::vector<Result<QueryResponse>> responses =
+      cached_engine.ExecuteBatch(batch, /*num_threads=*/8);
+  ASSERT_EQ(responses.size(), batch.size());
+
+  // Reference answers from the uncached engine, computed serially.
+  std::map<std::string, std::vector<std::string>> reference;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (reference.count(batch[i].text) != 0) continue;
+    auto r = uncached_engine.Execute(batch[i]);
+    ASSERT_TRUE(r.ok());
+    reference[batch[i].text] = Rendered(uncached_engine, r->result);
+  }
+
+  size_t hits_observed = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << batch[i].text;
+    const QueryResponse& response = *responses[i];
+    // Cached or not, the ranked answers equal uncached execution.
+    EXPECT_EQ(Rendered(cached_engine, response.result),
+              reference[batch[i].text])
+        << batch[i].text;
+    if (response.serving.answer_hit) {
+      ++hits_observed;
+      EXPECT_EQ(response.result.stats.items_pulled, 0u);
+      EXPECT_EQ(response.result.stats.combinations_tried, 0u);
+    }
+  }
+
+  // Counter reconciliation: every request did exactly one lookup.
+  const serve::ServingCache::Counters c =
+      cached_engine.serving_cache().counters();
+  EXPECT_EQ(c.answer_hits + c.answer_misses, batch.size());
+  EXPECT_EQ(c.answer_hits, hits_observed);
+  // Every distinct query missed at least once; entry count is bounded
+  // by the distinct queries (racing duplicate stores refresh in place).
+  const size_t distinct = reference.size();
+  EXPECT_GE(c.answer_misses, distinct);
+  EXPECT_LE(c.answer_entries, distinct);
+  // The repeated queries dominated: most requests were cache hits.
+  EXPECT_GE(c.answer_hits, batch.size() / 2);
+}
+
+}  // namespace
+}  // namespace trinit::core

@@ -1,0 +1,215 @@
+// Unit tests for the engine-level serving cache: answer-LRU mechanics
+// (bounded capacity, eviction order, hit copies with zeroed stats),
+// key construction (every answer-changing knob and the generation are
+// in), and the plan cache's lazy generation invalidation.
+
+#include "serve/serving_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/parser.h"
+#include "testing/paper_world.h"
+
+namespace trinit::serve {
+namespace {
+
+query::Query Parse(const char* text) {
+  auto r = query::Parser::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+topk::TopKResult FakeResult(rdf::TermId value, size_t pulled) {
+  topk::TopKResult result;
+  result.projection = {"x"};
+  topk::Answer ans;
+  ans.binding = query::Binding(1);
+  ans.binding.Bind(0, value);
+  ans.score = -0.5;
+  result.answers.push_back(std::move(ans));
+  result.stats.items_pulled = pulled;
+  return result;
+}
+
+TEST(AnswerKeyTest, DistinguishesEveryAnswerChangingKnob) {
+  query::Query q = Parse("?x bornIn Ulm");
+  scoring::ScorerOptions scorer;
+  topk::ProcessorOptions processor;
+  const std::string base = ServingCache::AnswerKey(q, scorer, processor, 0);
+
+  // Same inputs -> same key (the cache's whole premise).
+  EXPECT_EQ(ServingCache::AnswerKey(q, scorer, processor, 0), base);
+
+  topk::ProcessorOptions k_changed = processor;
+  k_changed.k = processor.k + 1;
+  EXPECT_NE(ServingCache::AnswerKey(q, scorer, k_changed, 0), base);
+
+  topk::ProcessorOptions relax_off = processor;
+  relax_off.enable_relaxation = false;
+  EXPECT_NE(ServingCache::AnswerKey(q, scorer, relax_off, 0), base);
+
+  topk::ProcessorOptions depth_changed = processor;
+  depth_changed.rewrite.max_depth = processor.rewrite.max_depth + 1;
+  EXPECT_NE(ServingCache::AnswerKey(q, scorer, depth_changed, 0), base);
+
+  topk::ProcessorOptions budget_changed = processor;
+  budget_changed.join.max_pulls = 7;
+  EXPECT_NE(ServingCache::AnswerKey(q, scorer, budget_changed, 0), base);
+
+  scoring::ScorerOptions scorer_changed = scorer;
+  scorer_changed.use_idf = false;
+  EXPECT_NE(ServingCache::AnswerKey(q, scorer_changed, processor, 0), base);
+
+  // A generation bump changes every key — that is the invalidation.
+  EXPECT_NE(ServingCache::AnswerKey(q, scorer, processor, 1), base);
+
+  // A different query, obviously.
+  query::Query other = Parse("?x bornIn Germany");
+  EXPECT_NE(ServingCache::AnswerKey(other, scorer, processor, 0), base);
+
+  // The wall-clock deadline is deliberately NOT part of the key:
+  // truncated runs are never stored, complete ones serve any deadline.
+  topk::ProcessorOptions deadline_changed = processor;
+  deadline_changed.deadline_ms = 123.0;
+  EXPECT_EQ(ServingCache::AnswerKey(q, scorer, deadline_changed, 0), base);
+}
+
+TEST(ServingCacheTest, AnswerRoundtripZeroesStatsOnHitCopy) {
+  ServingCache cache;
+  EXPECT_FALSE(cache.LookupAnswer("k1").has_value());
+  cache.StoreAnswer("k1", FakeResult(42, /*pulled=*/99));
+
+  auto hit = cache.LookupAnswer("k1");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->answers.size(), 1u);
+  EXPECT_EQ(hit->answers[0].binding.Get(0), 42u);
+  EXPECT_EQ(hit->projection, std::vector<std::string>{"x"});
+  // The hit did no work; the stored run's counters must not leak into
+  // the served copy.
+  EXPECT_EQ(hit->stats.items_pulled, 0u);
+
+  ServingCache::Counters c = cache.counters();
+  EXPECT_EQ(c.answer_hits, 1u);
+  EXPECT_EQ(c.answer_misses, 1u);
+  EXPECT_EQ(c.answer_insertions, 1u);
+  EXPECT_EQ(c.answer_entries, 1u);
+}
+
+TEST(ServingCacheTest, LruEvictsOldestWithinCapacity) {
+  ServingCacheOptions options;
+  options.answer_capacity = 2;
+  options.num_shards = 1;  // single shard: capacity is exact
+  ServingCache cache(options);
+
+  cache.StoreAnswer("a", FakeResult(1, 0));
+  cache.StoreAnswer("b", FakeResult(2, 0));
+  ASSERT_TRUE(cache.LookupAnswer("a").has_value());  // refresh a; b is LRU
+  cache.StoreAnswer("c", FakeResult(3, 0));          // evicts b
+
+  EXPECT_TRUE(cache.LookupAnswer("a").has_value());
+  EXPECT_FALSE(cache.LookupAnswer("b").has_value());
+  EXPECT_TRUE(cache.LookupAnswer("c").has_value());
+
+  ServingCache::Counters c = cache.counters();
+  EXPECT_EQ(c.answer_evictions, 1u);
+  EXPECT_EQ(c.answer_entries, 2u);
+}
+
+TEST(ServingCacheTest, CapacityBelowShardCountIsHonoredExactly) {
+  ServingCacheOptions options;
+  options.answer_capacity = 2;
+  options.num_shards = 8;  // clamped to 2 answer shards internally
+  ServingCache cache(options);
+  for (int i = 0; i < 10; ++i) {
+    cache.StoreAnswer("k" + std::to_string(i), FakeResult(i + 1, 0));
+  }
+  EXPECT_LE(cache.counters().answer_entries, 2u);
+
+  ServingCacheOptions zero;
+  zero.answer_capacity = 0;  // means: no answer caching at all
+  ServingCache none(zero);
+  none.StoreAnswer("k", FakeResult(1, 0));
+  EXPECT_FALSE(none.LookupAnswer("k").has_value());
+  EXPECT_EQ(none.counters().answer_entries, 0u);
+}
+
+TEST(ServingCacheTest, DisabledCacheStoresAndServesNothing) {
+  ServingCacheOptions options;
+  options.enabled = false;
+  ServingCache cache(options);
+  cache.StoreAnswer("k", FakeResult(1, 0));
+  EXPECT_FALSE(cache.LookupAnswer("k").has_value());
+  EXPECT_EQ(cache.plan_cache(), nullptr);
+  EXPECT_EQ(cache.counters().answer_entries, 0u);
+}
+
+TEST(ServingCacheTest, BumpGenerationInvalidatesPlansLazily) {
+  xkg::Xkg xkg = testing::BuildPaperXkg();
+  ServingCache cache;
+  const plan::PlanCache* plans = cache.plan_cache();
+  ASSERT_NE(plans, nullptr);
+
+  query::Query q = Parse("?x bornIn Ulm");
+  q.ResolveAgainst(xkg.dict());
+  query::VarTable vars(q);
+
+  auto p1 = plans->Get(q, vars, xkg);
+  auto p1_again = plans->Get(q, vars, xkg);
+  EXPECT_EQ(p1.get(), p1_again.get());
+  EXPECT_EQ(cache.counters().plan_hits, 1u);
+
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.generation(), 1u);
+  // Lazy invalidation: the bump itself sweeps nothing; the next lookup
+  // reaps the shard's stale entries and recompiles.
+  auto p2 = plans->Get(q, vars, xkg);
+  EXPECT_NE(p1.get(), p2.get());
+  ServingCache::Counters c = cache.counters();
+  EXPECT_EQ(c.plan_invalidated, 1u);
+  EXPECT_EQ(c.plan_misses, 2u);
+  // The stale entry was reaped, not just shadowed: one live entry.
+  EXPECT_EQ(c.plan_entries, 1u);
+  // And the recompiled entry is cached again under the new generation.
+  auto p2_again = plans->Get(q, vars, xkg);
+  EXPECT_EQ(p2.get(), p2_again.get());
+}
+
+TEST(ServingCacheTest, ConcurrentStoresAndLookupsStayCoherent) {
+  ServingCacheOptions options;
+  options.answer_capacity = 16;
+  options.num_shards = 4;
+  ServingCache cache(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t]() {
+      for (int i = 0; i < kRounds; ++i) {
+        std::string key = "q" + std::to_string((t + i) % 6);
+        auto hit = cache.LookupAnswer(key);
+        if (hit.has_value()) {
+          // Values are keyed deterministically; a hit must carry the
+          // key's value, never a torn or foreign one.
+          ASSERT_EQ(hit->answers[0].binding.Get(0),
+                    static_cast<rdf::TermId>((t + i) % 6 + 1));
+        } else {
+          cache.StoreAnswer(key, FakeResult((t + i) % 6 + 1, 0));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServingCache::Counters c = cache.counters();
+  EXPECT_EQ(c.answer_hits + c.answer_misses,
+            static_cast<size_t>(kThreads * kRounds));
+  EXPECT_LE(c.answer_entries, 16u);
+}
+
+}  // namespace
+}  // namespace trinit::serve

@@ -144,13 +144,15 @@ struct RunOutcome {
 
 RunOutcome RunEngine(const RandomSetup& setup, const query::VarTable& vars,
                      JoinEngine::ProbeMode mode,
-                     std::shared_ptr<const plan::JoinPlan> plan) {
+                     std::shared_ptr<const plan::JoinPlan> plan,
+                     JoinEngine::PullMode pull = JoinEngine::PullMode::kHeap) {
   std::vector<std::unique_ptr<BindingStream>> streams;
   for (const auto& items : setup.items) {
     streams.push_back(std::make_unique<ScriptedStream>(items));
   }
   JoinEngine::Options options = setup.options;
   options.probe_mode = mode;
+  options.pull_mode = pull;
   options.plan = std::move(plan);
   JoinEngine engine(std::move(streams), vars, setup.projection, options);
   RunOutcome outcome;
@@ -200,6 +202,42 @@ TEST(JoinEnginePropertyTest, HashPartitionedMatchesLinearProbing) {
 }
 
 // ---------------------------------------------------------------------
+// Pull-selection determinism: the lazy max-heap over head scores must
+// choose the exact same stream sequence as the seed's linear
+// highest-head scan (ties break by stream index in both), so answers,
+// total pulls, and the per-stream pull distribution all coincide.
+// ---------------------------------------------------------------------
+
+TEST(JoinEnginePropertyTest, HeapPullMatchesLinearHighestHeadScan) {
+  query::VarTable vars(std::vector<std::string>{"a", "b", "c", "d"});
+  Rng rng(17);
+  for (int round = 0; round < 300; ++round) {
+    RandomSetup setup = MakeSetup(rng);
+    RunOutcome linear = RunEngine(setup, vars, JoinEngine::ProbeMode::kLinear,
+                                  nullptr, JoinEngine::PullMode::kLinear);
+    RunOutcome heap = RunEngine(setup, vars, JoinEngine::ProbeMode::kLinear,
+                                nullptr, JoinEngine::PullMode::kHeap);
+
+    ASSERT_EQ(heap.answers.size(), linear.answers.size()) << "round "
+                                                          << round;
+    for (size_t i = 0; i < heap.answers.size(); ++i) {
+      EXPECT_EQ(heap.answers[i].first, linear.answers[i].first)
+          << "round " << round << " answer " << i;
+      EXPECT_NEAR(heap.answers[i].second, linear.answers[i].second, 1e-12);
+    }
+    EXPECT_EQ(heap.stats.items_pulled, linear.stats.items_pulled)
+        << "round " << round;
+    EXPECT_EQ(heap.stats.per_stream_pulled, linear.stats.per_stream_pulled)
+        << "round " << round;
+    EXPECT_EQ(heap.stats.early_terminated, linear.stats.early_terminated)
+        << "round " << round;
+    EXPECT_EQ(heap.stats.combinations_emitted,
+              linear.stats.combinations_emitted)
+        << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
 // Processor-level equivalence and plan-order invariance on the paper
 // world (relaxation machinery included).
 // ---------------------------------------------------------------------
@@ -210,13 +248,15 @@ class PlanEquivalenceTest : public ::testing::Test {
       : xkg_(testing::BuildPaperXkg()), rules_(testing::BuildPaperRules()) {}
 
   TopKResult Run(const std::string& text, bool cost_order,
-                 JoinEngine::ProbeMode mode, int k = 10) {
+                 JoinEngine::ProbeMode mode, int k = 10,
+                 JoinEngine::PullMode pull = JoinEngine::PullMode::kHeap) {
     auto q = query::Parser::Parse(text, &xkg_.dict());
     EXPECT_TRUE(q.ok()) << q.status();
     ProcessorOptions opts;
     opts.k = k;
     opts.use_cost_order = cost_order;
     opts.join.probe_mode = mode;
+    opts.join.pull_mode = pull;
     TopKProcessor processor(xkg_, rules_, {}, opts);
     auto r = processor.Answer(*q);
     EXPECT_TRUE(r.ok()) << r.status();
@@ -259,6 +299,29 @@ TEST_F(PlanEquivalenceTest, PlannedHashMatchesSeedLinearAcrossQueries) {
     TopKResult seed =
         Run(text, /*cost_order=*/false, JoinEngine::ProbeMode::kLinear);
     EXPECT_EQ(Rendered(planned), Rendered(seed)) << text;
+  }
+}
+
+TEST_F(PlanEquivalenceTest, HeapPullMatchesLinearThroughFullProcessor) {
+  // End to end — relaxed streams, variants, lazy decode — the pull-mode
+  // switch must be invisible: identical ranked answers and identical
+  // pull counts (the heap picks the same stream every round, it just
+  // stops re-peeking the others).
+  const char* queries[] = {
+      "?x bornIn Germany",
+      "SELECT ?x WHERE ?x bornIn ?c ; ?c locatedIn Germany",
+      "SELECT ?x WHERE ?c ?p ?o ; ?x bornIn ?c ; ?c locatedIn Germany",
+      "?x 'won nobel for' ?y",
+  };
+  for (const char* text : queries) {
+    TopKResult heap = Run(text, /*cost_order=*/true,
+                          JoinEngine::ProbeMode::kHashPartition, /*k=*/10,
+                          JoinEngine::PullMode::kHeap);
+    TopKResult linear = Run(text, /*cost_order=*/true,
+                            JoinEngine::ProbeMode::kHashPartition, /*k=*/10,
+                            JoinEngine::PullMode::kLinear);
+    EXPECT_EQ(Rendered(heap), Rendered(linear)) << text;
+    EXPECT_EQ(heap.stats.items_pulled, linear.stats.items_pulled) << text;
   }
 }
 
