@@ -141,14 +141,14 @@ int main(int argc, char** argv) {
                        response.status().ToString().c_str());
           return 1;
         }
-        const auto& stats = response->result.stats;
+        const auto& stats = response->stats;
         pc.items_pulled += stats.items_pulled;
         pc.combinations_tried += stats.combinations_tried;
         pc.plan_hits += stats.plan_cache_hits;
         pc.plan_misses += stats.plan_cache_misses;
         if (response->serving.answer_hit) ++pc.answer_hits;
 
-        std::string bytes = AnswerBytes(response->result);
+        std::string bytes = AnswerBytes(response->result());
         if (pass == 0) {
           cold_bytes[e].push_back(bytes);
           if (e > 0 && bytes != cold_bytes[0][qi]) answers_match = false;

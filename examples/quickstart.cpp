@@ -50,7 +50,7 @@ void Ask(const trinit::core::Trinit& engine, const char* question,
     std::printf("  error: %s\n", response.status().ToString().c_str());
     return;
   }
-  const auto& result = response->result;
+  const auto& result = response->result();
   if (result.answers.empty()) {
     std::printf("  (no answers, %.2f ms)\n", response->wall_ms);
     return;

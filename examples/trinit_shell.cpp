@@ -16,6 +16,9 @@
 //   .k <n>             set the number of answers
 //   .timeout <ms>      per-query wall-clock budget (0 = unlimited)
 //   .stats             XKG statistics
+//   .save <path>       write a binary snapshot of the serving state
+//   .load <path>       replace the engine from a snapshot (instant
+//                      cold start: no rebuild, no re-mining)
 //   .quit
 
 #include <cstdio>
@@ -93,7 +96,8 @@ int main(int argc, char** argv) {
     if (input == ".help") {
       std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
                   ".explain <rank> | .complete <prefix> | .k <n> | "
-                  ".timeout <ms> | .stats | .cache | .quit\n");
+                  ".timeout <ms> | .stats | .cache | .save <path> | "
+                  ".load <path> | .quit\n");
       continue;
     }
     if (input == ".stats") {
@@ -150,6 +154,34 @@ int main(int argc, char** argv) {
                   s.ok() ? "fact added (XKG rebuilt)" : s.ToString().c_str());
       continue;
     }
+    if (input.rfind(".save ", 0) == 0) {
+      std::string path(trinit::Trim(input.substr(6)));
+      trinit::Status s = engine->Save(path);
+      if (s.ok()) {
+        std::printf("  snapshot written to %s\n", path.c_str());
+      } else {
+        std::printf("  %s\n", s.ToString().c_str());
+      }
+      continue;
+    }
+    if (input.rfind(".load ", 0) == 0) {
+      std::string path(trinit::Trim(input.substr(6)));
+      trinit::storage::LoadReport report;
+      auto loaded = Trinit::Open(path, {}, &report);
+      if (!loaded.ok()) {
+        std::printf("  %s\n", loaded.status().ToString().c_str());
+        continue;
+      }
+      engine = std::move(loaded);
+      last_result.reset();
+      last_query.reset();
+      std::printf("  snapshot loaded: %zu terms, %zu triples, %zu rules, "
+                  "%zu score shapes pre-built, %zu index rebuilds\n",
+                  report.terms, report.triples, report.rules,
+                  report.score_shapes_restored, report.index_rebuilds);
+      PrintStats(*engine);
+      continue;
+    }
     if (input.rfind(".explain ", 0) == 0) {
       if (!last_result.has_value()) {
         std::printf("  no previous query\n");
@@ -182,7 +214,10 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", response.status().ToString().c_str());
       continue;
     }
-    trinit::topk::TopKResult result = std::move(response->result);
+    // The body may be shared with the engine's answer cache; copy it
+    // for `.explain` and adopt the per-request stats (zero on a hit).
+    trinit::topk::TopKResult result = response->result();
+    result.stats = response->stats;
     if (result.answers.empty()) {
       std::printf("  no answers\n");
     }

@@ -36,15 +36,16 @@ Result<core::QueryResponse> ExactEngine::Execute(
   stage.Reset();
   topk::TopKProcessor processor(xkg_, empty_rules_, resolved.scorer,
                                 resolved.processor);
-  TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
+  TRINIT_ASSIGN_OR_RETURN(topk::TopKResult computed, processor.Answer(*q));
+  response.AdoptResult(std::move(computed));
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
-    core::AppendRunStatsTrace(response.result.stats, &response);
+    core::AppendRunStatsTrace(response.stats, &response);
   }
 
   response.effective_scorer = resolved.scorer;
   response.effective_processor = resolved.processor;
-  response.deadline_hit = response.result.stats.deadline_hit;
+  response.deadline_hit = response.stats.deadline_hit;
   response.wall_ms = total.ElapsedMillis();
   return response;
 }
@@ -53,7 +54,7 @@ Result<topk::TopKResult> ExactEngine::Answer(const query::Query& q,
                                              int k) const {
   core::QueryRequest request = core::QueryRequest::Parsed(q, k);
   TRINIT_ASSIGN_OR_RETURN(core::QueryResponse response, Execute(request));
-  return std::move(response.result);
+  return response.ReleaseResult();  // no cache shares the body: a move
 }
 
 }  // namespace trinit::baselines

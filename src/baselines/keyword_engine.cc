@@ -31,19 +31,21 @@ Result<core::QueryResponse> KeywordEngine::Execute(
   }
 
   stage.Reset();
+  topk::TopKResult computed;
   if (request.scorer.has_value()) {
     // LmScorer is a thin view over the XKG; building one per request is
     // how the scorer override stays engine-state-free.
     scoring::LmScorer scorer(xkg_, resolved.scorer);
-    TRINIT_ASSIGN_OR_RETURN(response.result,
+    TRINIT_ASSIGN_OR_RETURN(computed,
                             AnswerWith(scorer, *q, resolved.processor.k));
   } else {
-    TRINIT_ASSIGN_OR_RETURN(response.result,
+    TRINIT_ASSIGN_OR_RETURN(computed,
                             AnswerWith(scorer_, *q, resolved.processor.k));
   }
+  response.AdoptResult(std::move(computed));
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
-    core::AppendRunStatsTrace(response.result.stats, &response);
+    core::AppendRunStatsTrace(response.stats, &response);
   }
 
   response.effective_scorer = resolved.scorer;
@@ -56,7 +58,7 @@ Result<topk::TopKResult> KeywordEngine::Answer(const query::Query& q,
                                                int k) const {
   core::QueryRequest request = core::QueryRequest::Parsed(q, k);
   TRINIT_ASSIGN_OR_RETURN(core::QueryResponse response, Execute(request));
-  return std::move(response.result);
+  return response.ReleaseResult();  // no cache shares the body: a move
 }
 
 Result<topk::TopKResult> KeywordEngine::AnswerWith(

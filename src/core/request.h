@@ -1,6 +1,7 @@
 #ifndef TRINIT_CORE_REQUEST_H_
 #define TRINIT_CORE_REQUEST_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -88,8 +89,8 @@ struct TraceCounter {
 struct ServingStats {
   /// This request was served from the answer cache: the ranked answers
   /// are a stored complete run's (byte-identical to uncached
-  /// execution), and the rank-join never ran (`result.stats` is all
-  /// zeros).
+  /// execution), and the rank-join never ran (`QueryResponse::stats` is
+  /// all zeros).
   bool answer_hit = false;
 
   /// XKG generation the request ran against; bumped by every engine
@@ -114,7 +115,38 @@ struct ServingStats {
 /// The answer to a `QueryRequest`: the ranked top-k plus everything an
 /// operator needs to understand how the request was served.
 struct QueryResponse {
-  topk::TopKResult result;
+  /// The ranked answers, projection, and plan trace — one immutable
+  /// body, possibly *shared* with the engine's serving cache: an
+  /// answer-cache hit aliases the stored entry instead of deep-copying
+  /// k answers, and a cacheable miss stores the very body this response
+  /// holds. Always set on a successful `Execute`. Note the body's
+  /// embedded `result().stats` are the stats of the run that *produced*
+  /// it (nonzero even when served from cache); this request's own work
+  /// is `stats` below.
+  std::shared_ptr<const topk::TopKResult> result_body;
+
+  /// The result body. Requires a successful Execute (non-null body).
+  const topk::TopKResult& result() const { return *result_body; }
+
+  /// This request's processing work — the copy-on-serve stats: equal to
+  /// `result().stats` when the request actually executed; all zeros on
+  /// an answer-cache hit, because the hit did no planning, pulling, or
+  /// probing.
+  topk::TopKResult::RunStats stats;
+
+  /// Installs an owned, freshly computed result body and adopts its
+  /// stats as this request's work (the non-cached execution path of
+  /// every `Engine`).
+  void AdoptResult(topk::TopKResult result);
+
+  /// Takes the body out as an owned value carrying this request's
+  /// `stats`, leaving the response without a body (a second call, or a
+  /// call on a body-less response, yields an empty result). Moves when
+  /// the body is uniquely owned (no answer cache shares it — the
+  /// baselines and cache-off paths), copies otherwise; the legacy
+  /// by-value `Query()`/`Answer()` shims use this to keep their
+  /// pre-shared-body cost profile.
+  topk::TopKResult ReleaseResult();
 
   /// Engine-level serving-cache state for this request (see
   /// `ServingStats`).
@@ -136,7 +168,7 @@ struct QueryResponse {
   topk::ProcessorOptions effective_processor;
 
   /// True when the request's deadline expired before the processor
-  /// finished — `result` holds the best answers found in budget.
+  /// finished — `result()` holds the best answers found in budget.
   bool deadline_hit = false;
 };
 

@@ -13,14 +13,15 @@
 
 namespace trinit::core {
 
-Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options)
+Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options,
+               uint64_t initial_generation)
     : xkg_(std::make_unique<xkg::Xkg>(std::move(xkg))),
       options_(options),
       suggester_(std::make_unique<suggest::Suggester>(*xkg_)),
       autocomplete_(std::make_unique<suggest::Autocomplete>(*xkg_)),
       explainer_(std::make_unique<explain::ExplanationBuilder>(*xkg_)),
-      serving_cache_(
-          std::make_unique<serve::ServingCache>(options_.serving)) {}
+      serving_cache_(std::make_unique<serve::ServingCache>(
+          options_.serving, initial_generation)) {}
 
 Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
   // The options are stored exactly once; the miner setup below reads the
@@ -40,6 +41,26 @@ Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
     TRINIT_RETURN_IF_ERROR(engine.RunOperator(miner));
   }
   return engine;
+}
+
+Result<Trinit> Trinit::Open(const std::string& path, TrinitOptions options,
+                            storage::LoadReport* report) {
+  TRINIT_ASSIGN_OR_RETURN(storage::LoadedSnapshot snapshot,
+                          storage::SnapshotReader::Read(path));
+  if (report != nullptr) *report = snapshot.report;
+  // No mining on this path: the snapshot's rule set *is* the serving
+  // state (mined + manual + operator rules as of the save). The stamped
+  // generation seeds the serving cache so the loaded engine continues
+  // the saved engine's coherent invalidation sequence.
+  Trinit engine(std::move(snapshot.xkg), std::move(options),
+                snapshot.generation);
+  engine.rules_ = std::move(snapshot.rules);
+  return engine;
+}
+
+Status Trinit::Save(const std::string& path) const {
+  return storage::SnapshotWriter::Write(*xkg_, rules_,
+                                        serving_cache_->generation(), path);
 }
 
 Result<Trinit> Trinit::FromWorld(const synth::World& world,
@@ -168,12 +189,12 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
       response.serving.plan_hits = cc.plan_hits;
       response.serving.plan_misses = cc.plan_misses;
       response.serving.plan_invalidated = cc.plan_invalidated;
-      AppendRunStatsTrace(response.result.stats, &response);
+      AppendRunStatsTrace(response.stats, &response);
       AppendServingStatsTrace(&response);
     }
     response.effective_scorer = resolved.scorer;
     response.effective_processor = resolved.processor;
-    response.deadline_hit = response.result.stats.deadline_hit;
+    response.deadline_hit = response.stats.deadline_hit;
     response.wall_ms = total.ElapsedMillis();
     return std::move(response);
   };
@@ -195,13 +216,16 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
     answer_key = serve::ServingCache::AnswerKey(
         canonical, resolved.scorer, resolved.processor,
         serving_cache_->generation());
-    std::optional<topk::TopKResult> cached =
+    std::shared_ptr<const topk::TopKResult> cached =
         serving_cache_->LookupAnswer(answer_key);
     if (request.trace) {
       response.stages.push_back({"cache", stage.ElapsedMillis()});
     }
-    if (cached.has_value()) {
-      response.result = std::move(*cached);
+    if (cached != nullptr) {
+      // Alias the stored immutable body — no deep copy of k answers.
+      // `response.stats` stays all-zero: the hit did no processing work
+      // (the body's own stats are the stored run's).
+      response.result_body = std::move(cached);
       response.serving.answer_hit = true;
       return finish();
     }
@@ -211,15 +235,17 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
   topk::TopKProcessor processor(*xkg_, rules_, resolved.scorer,
                                 resolved.processor,
                                 serving_cache_->plan_cache());
-  TRINIT_ASSIGN_OR_RETURN(response.result, processor.Answer(*q));
+  TRINIT_ASSIGN_OR_RETURN(topk::TopKResult computed, processor.Answer(*q));
+  response.AdoptResult(std::move(computed));
   if (request.trace) {
     response.stages.push_back({"process", stage.ElapsedMillis()});
   }
 
   // Only complete runs are cacheable: a deadline-truncated result is
-  // not what uncached execution would produce tomorrow.
-  if (try_answer_cache && !response.result.stats.deadline_hit) {
-    serving_cache_->StoreAnswer(answer_key, response.result);
+  // not what uncached execution would produce tomorrow. Storing shares
+  // the response's own body — the cache never deep-copies either.
+  if (try_answer_cache && !response.stats.deadline_hit) {
+    serving_cache_->StoreAnswer(answer_key, response.result_body);
   }
   return finish();
 }
@@ -266,14 +292,16 @@ std::vector<Result<QueryResponse>> Trinit::ExecuteBatch(
 Result<topk::TopKResult> Trinit::Query(std::string_view text, int k) const {
   TRINIT_ASSIGN_OR_RETURN(QueryResponse response,
                           Execute(QueryRequest::Text(std::string(text), k)));
-  return std::move(response.result);
+  // Moves when the body is not shared with the answer cache, copies
+  // when it is; stats are per-request, zero on a hit.
+  return response.ReleaseResult();
 }
 
 Result<topk::TopKResult> Trinit::Answer(const query::Query& q,
                                         int k) const {
   TRINIT_ASSIGN_OR_RETURN(QueryResponse response,
                           Execute(QueryRequest::Parsed(q, k)));
-  return std::move(response.result);
+  return response.ReleaseResult();
 }
 
 explain::Explanation Trinit::Explain(const topk::TopKResult& result,

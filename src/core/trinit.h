@@ -15,6 +15,7 @@
 #include "relax/inversion_miner.h"
 #include "relax/synonym_miner.h"
 #include "serve/serving_cache.h"
+#include "storage/snapshot.h"
 #include "suggest/autocomplete.h"
 #include "suggest/suggester.h"
 #include "synth/corpus_generator.h"
@@ -75,6 +76,28 @@ class Trinit : public Engine {
   /// Opens an engine over an existing XKG; mines relaxation rules from
   /// it per `options`.
   static Result<Trinit> Open(xkg::Xkg xkg, TrinitOptions options = {});
+
+  /// Opens an engine from a binary snapshot written by `Save` — the
+  /// instant cold start: no TSV parse, no index sort, no rule
+  /// re-mining. The dictionary, triple store, permutation indexes,
+  /// every score-ordered shape built before the save, graph statistics,
+  /// provenance, and the active rule set are restored verbatim, and the
+  /// serving cache starts at the snapshot's stamped XKG generation.
+  /// `report` (optional) receives what was restored. Corrupt, foreign,
+  /// or version-mismatched files yield the typed errors documented on
+  /// `storage::SnapshotReader`.
+  static Result<Trinit> Open(const std::string& path,
+                             TrinitOptions options = {},
+                             storage::LoadReport* report = nullptr);
+
+  /// Persists the complete serving state — XKG (dictionary, triples +
+  /// confidences + provenance, graph statistics, all permutation
+  /// indexes and lazily-built score-ordered shapes as currently
+  /// materialized), the active rule set, and the serving-cache
+  /// generation — into one versioned binary snapshot at `path`. A
+  /// `Trinit::Open(path)` of the result answers byte-identically to
+  /// this engine. Must not run concurrently with mutators.
+  Status Save(const std::string& path) const;
 
   /// Full reproduction pipeline: generate the synthetic world's KG,
   /// verbalize it (plus held-out facts) into a corpus, run Open IE +
@@ -160,7 +183,10 @@ class Trinit : public Engine {
   }
 
  private:
-  Trinit(xkg::Xkg xkg, TrinitOptions options);
+  /// `initial_generation` seeds the serving cache — 0 for fresh builds,
+  /// the snapshot's stamped generation on the `Open(path)` path.
+  Trinit(xkg::Xkg xkg, TrinitOptions options,
+         uint64_t initial_generation = 0);
 
   std::unique_ptr<xkg::Xkg> xkg_;  // stable address for sub-components
   TrinitOptions options_;

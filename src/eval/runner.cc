@@ -45,7 +45,7 @@ std::vector<SystemReport> Runner::Run(
            request.k = wanted;
            auto response = engine->Execute(request);
            if (!response.ok()) return {};
-           return KeysFromResult(engine->xkg(), response->result);
+           return KeysFromResult(engine->xkg(), response->result());
          }});
   }
   return Run(workload, systems, k);

@@ -20,10 +20,19 @@ struct PatternEstimate {
   uint64_t mass = 0;         ///< score-ordered block evidence mass
   /// False when a token (soft-match) slot forced a wildcard guess; the
   /// cardinality is then a coarse upper bound rather than an exact
-  /// count. Diagnostic (trace/tests) — the greedy order currently
-  /// ranks exact and inexact estimates uniformly (see ROADMAP's
-  /// fan-out-aware cost model item).
+  /// count. Diagnostic (trace/tests) — the greedy order ranks exact and
+  /// inexact estimates uniformly.
   bool exact = true;
+  /// Fan-out statistics of the pattern's constant predicate, from
+  /// `GraphStats` (0 when the predicate is a variable, a token, or
+  /// unknown). The greedy order divides `cardinality` by these when the
+  /// corresponding slot's variable is already bound by the ordered
+  /// prefix: `cardinality / distinct_subjects` is the expected rows
+  /// *per subject binding* — an estimate of join **output**, not input
+  /// size, so a huge-but-narrow pattern (many triples, one object per
+  /// subject) ranks ahead of a small-but-fanning one.
+  double distinct_subjects = 0.0;
+  double distinct_objects = 0.0;
 };
 
 /// The compiled execution shape of one conjunctive query: a cost-based

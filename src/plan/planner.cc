@@ -43,6 +43,18 @@ PatternEstimate EstimatePattern(const xkg::Xkg& xkg,
     ids[i] = id;
   }
 
+  // A constant predicate's distinct subject/object counts feed the
+  // fan-out-aware join cost: expected rows per bound subject binding is
+  // cardinality / distinct_subjects (ditto objects).
+  if (ids[1] != rdf::kNullTerm) {
+    const rdf::GraphStats::PredicateStats* ps =
+        xkg.stats().ForPredicate(ids[1]);
+    if (ps != nullptr) {
+      est.distinct_subjects = ps->distinct_subjects;
+      est.distinct_objects = ps->distinct_objects;
+    }
+  }
+
   // GraphStats serves the common predicate-only shape in O(1) — its
   // per-predicate triple and evidence counts are exactly the P-block's
   // length and mass — without even touching (and thus lazily building)
@@ -96,12 +108,41 @@ std::shared_ptr<const JoinPlan> Planner::Compile(const query::Query& q,
     for (size_t i = 0; i < n; ++i) plan->order[i] = i;
   }
 
+  // Slot variables for the fan-out discount: a pattern whose subject
+  // (object) variable is already bound by the ordered prefix joins at
+  // its per-subject (per-object) fan-out, not its full cardinality.
+  std::vector<std::optional<query::VarId>> svar(n), ovar(n);
+  for (size_t i = 0; i < n; ++i) {
+    const query::TriplePattern& pattern = q.patterns()[i];
+    if (pattern.s.is_variable()) svar[i] = vars.Find(pattern.s.text);
+    if (pattern.o.is_variable()) ovar[i] = vars.Find(pattern.o.text);
+  }
+
   // Greedy cost order: cheapest first, connected-to-prefix preferred
   // over cheaper-but-disconnected (a cross product always costs more
-  // than the connectivity it defers), ties by mass then original index
-  // for determinism.
+  // than the connectivity it defers). The cost of a connected pattern
+  // is its estimated join *output* — cardinality divided by the
+  // predicate's distinct-subject/object count for each slot variable
+  // the prefix already binds — falling back to raw cardinality when the
+  // predicate has no stats. Ties by raw cardinality, then mass, then
+  // original index for determinism.
   std::vector<bool> used(n, false);
   std::vector<query::VarId> bound_vars;
+  auto effective_cost = [&](size_t i) {
+    const PatternEstimate& e = plan->estimates[i];
+    double cost = e.cardinality;
+    if (svar[i].has_value() && e.distinct_subjects > 0 &&
+        std::binary_search(bound_vars.begin(), bound_vars.end(),
+                           *svar[i])) {
+      cost /= e.distinct_subjects;
+    }
+    if (ovar[i].has_value() && e.distinct_objects > 0 &&
+        std::binary_search(bound_vars.begin(), bound_vars.end(),
+                           *ovar[i])) {
+      cost /= e.distinct_objects;
+    }
+    return cost;
+  };
   plan->order.reserve(n);
   for (size_t step = 0; cost_order && step < n; ++step) {
     size_t best = n;
@@ -124,9 +165,13 @@ std::shared_ptr<const JoinPlan> Planner::Compile(const query::Query& q,
       }
       const PatternEstimate& a = plan->estimates[i];
       const PatternEstimate& b = plan->estimates[best];
-      if (a.cardinality != b.cardinality
-              ? a.cardinality < b.cardinality
-              : a.mass < b.mass) {
+      const double cost_a = effective_cost(i);
+      const double cost_b = effective_cost(best);
+      if (cost_a != cost_b
+              ? cost_a < cost_b
+              : (a.cardinality != b.cardinality
+                     ? a.cardinality < b.cardinality
+                     : a.mass < b.mass)) {
         best = i;
       }
     }
@@ -163,8 +208,9 @@ std::shared_ptr<const JoinPlan> Planner::Compile(const query::Query& q,
   return plan;
 }
 
-PlanCache::PlanCache(size_t num_shards)
-    : shards_(num_shards == 0 ? 1 : num_shards) {}
+PlanCache::PlanCache(size_t num_shards, uint64_t initial_generation)
+    : generation_(initial_generation),
+      shards_(num_shards == 0 ? 1 : num_shards) {}
 
 PlanCache::Shard& PlanCache::ShardFor(const std::string& key) const {
   return shards_[std::hash<std::string>{}(key) % shards_.size()];

@@ -22,7 +22,12 @@ namespace trinit::plan {
 /// pattern order is greedy: start from the most selective pattern, then
 /// repeatedly append the cheapest pattern *connected* to the ordered
 /// prefix by a shared variable; a disconnected pattern (cross product)
-/// is only chosen when nothing connected remains.
+/// is only chosen when nothing connected remains. "Cheapest" is
+/// fan-out-aware: for a connected pattern the cost is the estimated
+/// join *output* — match cardinality divided by the predicate's
+/// distinct subjects/objects for every slot variable the prefix
+/// already binds (`PatternEstimate::distinct_*`) — so joins are ranked
+/// by what they produce, not by input list length.
 class Planner {
  public:
   /// `vars` must be the variable table of `q`. The plan holds no
@@ -67,8 +72,11 @@ class PlanCache {
 
   /// `num_shards` splits the key space across independently locked
   /// maps; 1 (the default) is right for per-processor private caches,
-  /// the engine-level serving cache uses more.
-  explicit PlanCache(size_t num_shards = 1);
+  /// the engine-level serving cache uses more. `initial_generation`
+  /// seeds the invalidation counter — a snapshot-restored engine
+  /// continues the saved engine's generation sequence instead of
+  /// restarting at 0 (see `serve::ServingCache`).
+  explicit PlanCache(size_t num_shards = 1, uint64_t initial_generation = 0);
 
   /// Returns the cached plan for `q`'s structure, compiling (and
   /// caching) it on first sight. Safe for concurrent callers.

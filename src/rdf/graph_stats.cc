@@ -49,6 +49,39 @@ GraphStats GraphStats::Compute(const TripleStore& store) {
   return gs;
 }
 
+Result<GraphStats> GraphStats::FromSnapshot(
+    std::vector<TermId> predicates,
+    std::unordered_map<TermId, PredicateStats> stats,
+    std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
+        args) {
+  if (stats.size() != predicates.size() || args.size() != predicates.size()) {
+    return Status::InvalidArgument("graph-stats snapshot size mismatch");
+  }
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0 && predicates[i - 1] >= predicates[i]) {
+      return Status::InvalidArgument(
+          "graph-stats snapshot predicates not strictly ascending");
+    }
+    auto it = args.find(predicates[i]);
+    if (stats.find(predicates[i]) == stats.end() || it == args.end()) {
+      return Status::InvalidArgument(
+          "graph-stats snapshot missing predicate entry");
+    }
+    const auto& pairs = it->second;
+    for (size_t j = 1; j < pairs.size(); ++j) {
+      if (!(pairs[j - 1] < pairs[j])) {
+        return Status::InvalidArgument(
+            "graph-stats snapshot args not sorted for a predicate");
+      }
+    }
+  }
+  GraphStats gs;
+  gs.predicates_ = std::move(predicates);
+  gs.stats_ = std::move(stats);
+  gs.args_ = std::move(args);
+  return gs;
+}
+
 const GraphStats::PredicateStats* GraphStats::ForPredicate(TermId p) const {
   auto it = stats_.find(p);
   return it == stats_.end() ? nullptr : &it->second;

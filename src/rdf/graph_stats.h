@@ -29,6 +29,18 @@ class GraphStats {
   /// The store must outlive the stats object.
   static GraphStats Compute(const TripleStore& store);
 
+  /// Reassembles stats persisted in a binary snapshot (the storage
+  /// layer's load path), skipping the per-predicate sorts `Compute`
+  /// pays. `predicates` must be strictly ascending and `args` sorted
+  /// strictly ascending per predicate (the miners' set intersections
+  /// rely on it); both are re-verified in O(n), content is otherwise
+  /// trusted to the snapshot's checksums.
+  static Result<GraphStats> FromSnapshot(
+      std::vector<TermId> predicates,
+      std::unordered_map<TermId, PredicateStats> stats,
+      std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
+          args);
+
   GraphStats(const GraphStats&) = delete;
   GraphStats& operator=(const GraphStats&) = delete;
   GraphStats(GraphStats&&) = default;

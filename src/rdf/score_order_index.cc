@@ -82,6 +82,89 @@ size_t ScoreOrderIndex::built_shapes() const {
   return built;
 }
 
+std::vector<ScoreOrderIndex::ShapeView> ScoreOrderIndex::BuiltShapeViews()
+    const {
+  std::vector<ShapeView> out;
+  if (shapes_ == nullptr) return out;
+  for (uint32_t shape = 0; shape < kNumShapes; ++shape) {
+    const ShapeIndex& shaped = (*shapes_)[shape];
+    if (!shaped.built.load(std::memory_order_acquire)) continue;
+    out.push_back({shape, shaped.ids, shaped.prefix_mass});
+  }
+  return out;
+}
+
+Status ScoreOrderIndex::RestoreShape(ShapeSnapshot snapshot,
+                                     std::span<const Triple> triples) {
+  const size_t num_triples = triples.size();
+  if (shapes_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RestoreShape on a default-constructed index (call Build first)");
+  }
+  if (snapshot.shape >= kNumShapes) {
+    return Status::InvalidArgument("score shape id out of range: " +
+                                   std::to_string(snapshot.shape));
+  }
+  const Shape shape = static_cast<Shape>(snapshot.shape);
+  if (snapshot.ids.size() != num_triples ||
+      snapshot.prefix_mass.size() != num_triples + 1 ||
+      snapshot.prefix_mass.front() != 0) {
+    return Status::InvalidArgument("score shape size mismatch for shape " +
+                                   std::to_string(snapshot.shape));
+  }
+  // Re-verify, in O(n), everything Range()/Lookup() rely on: the ids
+  // must be a permutation (a duplicate silently drops a triple), in
+  // exactly the build order — key blocks ascending, weight descending
+  // within a block, id tiebreak — or the binary searches and the
+  // emit-best-first contract break; and each prefix mass must equal the
+  // running count sum, or unsigned mass subtraction wraps. Corruption
+  // must yield a typed error, never wrong answers.
+  std::vector<bool> seen(num_triples, false);
+  for (size_t i = 0; i < num_triples; ++i) {
+    const TripleId id = snapshot.ids[i];
+    if (id >= num_triples || seen[id]) {
+      return Status::InvalidArgument(
+          "score shape ids are not a permutation of the triple ids");
+    }
+    seen[id] = true;
+    if (i > 0) {
+      const TripleId prev = snapshot.ids[i - 1];
+      const Key pk = KeyFor(shape, triples[prev]);
+      const Key ck = KeyFor(shape, triples[id]);
+      const double pw = WeightOf(triples[prev]);
+      const double cw = WeightOf(triples[id]);
+      const bool ordered =
+          pk != ck ? pk < ck : (pw != cw ? pw > cw : prev < id);
+      if (!ordered) {
+        return Status::InvalidArgument(
+            "score shape ids are not in shape order for shape " +
+            std::to_string(snapshot.shape));
+      }
+    }
+    if (snapshot.prefix_mass[i + 1] !=
+        snapshot.prefix_mass[i] + triples[id].count) {
+      return Status::InvalidArgument(
+          "score shape prefix masses do not match triple counts");
+    }
+  }
+  ShapeIndex& shaped = (*shapes_)[snapshot.shape];
+  if (shaped.built.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("score shape restored twice: " +
+                                      std::to_string(snapshot.shape));
+  }
+  std::call_once(shaped.once, [&shaped, &snapshot]() {
+    shaped.ids = std::move(snapshot.ids);
+    shaped.prefix_mass = std::move(snapshot.prefix_mass);
+    shaped.built.store(true, std::memory_order_release);
+  });
+  if (!shaped.built.load(std::memory_order_acquire)) {
+    // The once-flag had been consumed without publishing (unreachable in
+    // the single-threaded load path; defensive).
+    return Status::Internal("score shape once-flag already consumed");
+  }
+  return Status::Ok();
+}
+
 ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
                                              Shape shape, TermId first,
                                              TermId second) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/status.h"
 
 namespace trinit::rdf {
 
@@ -50,6 +51,16 @@ class ScoreOrderIndex {
     uint64_t mass = 0;
   };
 
+  /// One built shape permutation exported verbatim for binary snapshots
+  /// (`storage::SnapshotWriter`): the shape's id order and prefix-mass
+  /// sums exactly as the lazy build produced them, so a loaded index
+  /// never re-sorts.
+  struct ShapeSnapshot {
+    uint32_t shape = 0;  ///< Shape enum value, 0..kNumShapes-1
+    std::vector<TripleId> ids;
+    std::vector<uint64_t> prefix_mass;  ///< size ids.size() + 1
+  };
+
   ScoreOrderIndex() = default;
 
   /// Prepares lazy shape slots over `triples` (which must stay alive
@@ -76,6 +87,32 @@ class ScoreOrderIndex {
   /// Number of shape permutations materialized so far (laziness
   /// introspection for tests and benches; 0..7).
   size_t built_shapes() const;
+
+  /// Zero-copy view of one built shape (snapshot writer): spans alias
+  /// the index and stay valid for its lifetime.
+  struct ShapeView {
+    uint32_t shape = 0;
+    std::span<const TripleId> ids;
+    std::span<const uint64_t> prefix_mass;
+  };
+
+  /// Views of every shape built so far, cheap (no array copies).
+  /// Unbuilt shapes are omitted — a snapshot preserves exactly the
+  /// laziness state of the index at save time (a shape nobody queried
+  /// is not persisted and stays lazy after load).
+  std::vector<ShapeView> BuiltShapeViews() const;
+
+  /// Installs a snapshot-restored shape permutation, marking the shape
+  /// built so the first-touch sort is skipped. Intended for freshly
+  /// `Build`-prepared indexes during snapshot load, before any lookup
+  /// touches the shape. Every invariant `Lookup`/`Range` rely on is
+  /// re-verified in O(n) against `triples` (the array the index was
+  /// built over): ids a permutation, (key, weight desc, id) order, and
+  /// prefix masses equal to the running count sums — so a corrupt
+  /// snapshot yields InvalidArgument, never wrong answers.
+  /// FailedPrecondition when the shape was already built.
+  Status RestoreShape(ShapeSnapshot snapshot,
+                      std::span<const Triple> triples);
 
  private:
   enum Shape { kAll, kS, kP, kO, kSP, kSO, kPO, kNumShapes };

@@ -89,6 +89,78 @@ TripleId TripleStore::Find(TermId s, TermId p, TermId o) const {
   return r.empty() ? kInvalidTriple : r.front();
 }
 
+std::span<const TripleId> TripleStore::IndexPermutation(size_t i) const {
+  static_assert(TripleStore::kNumIndexPermutations ==
+                static_cast<size_t>(TripleStore::kNumPerms));
+  TRINIT_CHECK(i < kNumIndexPermutations);
+  return perms_[i];
+}
+
+Result<TripleStore> TripleStore::FromSnapshot(std::vector<Triple> triples,
+                                              IndexSnapshot indexes) {
+  const size_t n = triples.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Triple& t = triples[i];
+    if (t.s == kNullTerm || t.p == kNullTerm || t.o == kNullTerm) {
+      return Status::InvalidArgument("snapshot triple with null slot");
+    }
+    if (i > 0 && !SpoLess(triples[i - 1], t)) {
+      return Status::InvalidArgument(
+          "snapshot triples not strictly SPO-sorted at index " +
+          std::to_string(i));
+    }
+  }
+  if (indexes.perms.size() != static_cast<size_t>(kNumPerms)) {
+    return Status::InvalidArgument(
+        "snapshot permutation count mismatch: got " +
+        std::to_string(indexes.perms.size()));
+  }
+
+  TripleStore store;
+  store.triples_ = std::move(triples);
+  store.identity_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    store.identity_[i] = static_cast<TripleId>(i);
+    store.total_count_ += store.triples_[i].count;
+    store.max_count_ = std::max(store.max_count_, store.triples_[i].count);
+  }
+  std::vector<bool> seen(n);
+  for (int perm = 0; perm < kNumPerms; ++perm) {
+    std::vector<TripleId>& ids = indexes.perms[perm];
+    if (ids.size() != n) {
+      return Status::InvalidArgument("snapshot permutation size mismatch");
+    }
+    seen.assign(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      // A permutation must hold every triple id exactly once — a
+      // duplicate would silently drop its sort-order neighbor from
+      // query answers.
+      if (ids[i] >= n || seen[ids[i]]) {
+        return Status::InvalidArgument(
+            "snapshot permutation is not a permutation of the triple ids");
+      }
+      seen[ids[i]] = true;
+      // Binary searches over the permutation assume key order; verify it
+      // (O(n) compares, still no sort on the load path).
+      if (i > 0 &&
+          store.KeyFor(static_cast<Perm>(perm), store.triples_[ids[i]]) <
+              store.KeyFor(static_cast<Perm>(perm),
+                           store.triples_[ids[i - 1]])) {
+        return Status::InvalidArgument(
+            "snapshot permutation not sorted for perm " +
+            std::to_string(perm));
+      }
+    }
+    store.perms_[perm] = std::move(ids);
+  }
+  store.score_index_ = ScoreOrderIndex::Build(store.triples_);
+  for (ScoreOrderIndex::ShapeSnapshot& shape : indexes.score_shapes) {
+    TRINIT_RETURN_IF_ERROR(
+        store.score_index_.RestoreShape(std::move(shape), store.triples_));
+  }
+  return store;
+}
+
 Result<TripleStore> TripleStoreBuilder::Build() {
   for (const Triple& t : pending_) {
     if (t.s == kNullTerm || t.p == kNullTerm || t.o == kNullTerm) {

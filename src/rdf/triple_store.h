@@ -96,6 +96,43 @@ class TripleStore {
   /// introspection for tests and benches; 0..7).
   size_t score_shapes_built() const { return score_index_.built_shapes(); }
 
+  /// Number of non-SPO permutation index arrays (the canonical SPO
+  /// order is the triple array itself).
+  static constexpr size_t kNumIndexPermutations = 5;
+
+  /// Read-only view of permutation array `i` (0 ..
+  /// kNumIndexPermutations-1), in the writer's fixed order. Zero-copy:
+  /// the span aliases the store (snapshot writer access path).
+  std::span<const TripleId> IndexPermutation(size_t i) const;
+
+  /// Zero-copy views of every score-ordered shape built so far (see
+  /// `ScoreOrderIndex::BuiltShapeViews`).
+  std::vector<ScoreOrderIndex::ShapeView> BuiltScoreShapes() const {
+    return score_index_.BuiltShapeViews();
+  }
+
+  /// The store's decoded index state on the snapshot *load* path: the
+  /// five permutation arrays plus every persisted score-ordered shape.
+  /// Together with the triples this is everything `FromSnapshot` needs
+  /// to reassemble the store without a single sort.
+  struct IndexSnapshot {
+    std::vector<std::vector<TripleId>> perms;  ///< kNumIndexPermutations
+    std::vector<ScoreOrderIndex::ShapeSnapshot> score_shapes;
+  };
+
+  /// Reassembles a store from snapshot parts without re-sorting
+  /// anything: `triples` must be strictly ascending SPO (deduplicated),
+  /// and `indexes.perms` must be the arrays the snapshot writer
+  /// serialized from `IndexPermutation(0..4)`, in that order. Every
+  /// invariant that later code relies on for memory safety or
+  /// correctness is re-verified in O(n) — triple order, each
+  /// permutation a bounds-checked true permutation in key order,
+  /// score-shape order and mass consistency — so a corrupt snapshot
+  /// that slipped past its checksums still yields a typed error, never
+  /// UB or silently wrong answers.
+  static Result<TripleStore> FromSnapshot(std::vector<Triple> triples,
+                                          IndexSnapshot indexes);
+
  private:
   friend class TripleStoreBuilder;
 

@@ -20,9 +20,12 @@ size_t EffectiveAnswerShards(const ServingCacheOptions& options) {
 
 }  // namespace
 
-ServingCache::ServingCache(ServingCacheOptions options)
+ServingCache::ServingCache(ServingCacheOptions options,
+                           uint64_t initial_generation)
     : options_(options),
-      plan_cache_(options.num_shards == 0 ? 1 : options.num_shards),
+      generation_(initial_generation),
+      plan_cache_(options.num_shards == 0 ? 1 : options.num_shards,
+                  initial_generation),
       answer_shards_(EffectiveAnswerShards(options)) {
   if (options_.answer_capacity == 0) options_.cache_answers = false;
 }
@@ -80,39 +83,42 @@ std::string ServingCache::AnswerKey(const query::Query& canonical,
   return key;
 }
 
-std::optional<topk::TopKResult> ServingCache::LookupAnswer(
+std::shared_ptr<const topk::TopKResult> ServingCache::LookupAnswer(
     const std::string& key) const {
-  if (!options_.enabled || !options_.cache_answers) return std::nullopt;
+  if (!options_.enabled || !options_.cache_answers) return nullptr;
   AnswerShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
-    return std::nullopt;
+    return nullptr;
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  topk::TopKResult copy = it->second->second;
-  // The hit did no planning, pulling, or probing; the copy's stats say
-  // so. Answers/projection/plan stay the stored run's.
-  copy.stats = topk::TopKResult::RunStats{};
-  return copy;
+  // Shared immutable body: the lock covers only the refcount bump and
+  // LRU splice — no deep copy of k answers. Per-request "the hit did no
+  // work" stats are the serving layer's copy-on-serve concern
+  // (`core::QueryResponse::stats`), not the stored body's.
+  return it->second->second;
 }
 
-void ServingCache::StoreAnswer(const std::string& key,
-                               const topk::TopKResult& result) const {
+void ServingCache::StoreAnswer(
+    const std::string& key,
+    std::shared_ptr<const topk::TopKResult> result) const {
   if (!options_.enabled || !options_.cache_answers) return;
+  if (result == nullptr) return;
   AnswerShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Racing duplicate store (two threads missed on the same key):
-    // refresh the value and position, no growth.
-    it->second->second = result;
+    // refresh the value and position, no growth. Readers still holding
+    // the old body keep it alive through their own shared_ptr.
+    it->second->second = std::move(result);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key, result);
+  shard.lru.emplace_front(key, std::move(result));
   shard.index.emplace(key, shard.lru.begin());
   ++shard.insertions;
   const size_t capacity = ShardCapacity();

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,11 +58,20 @@ struct ServingCacheOptions {
 ///   `topk::TopKResult`s keyed by the full canonical query text plus
 ///   `k`, the effective scorer/relaxation configuration, and the
 ///   generation. A hit returns the ranked answers without touching the
-///   rank-join at all (zero pulls). Only *complete* results are stored:
+///   rank-join at all (zero pulls). Entries are *shared immutable*
+///   bodies (`shared_ptr<const TopKResult>`): storing shares the run's
+///   own result and a hit hands the caller the same body — no deep copy
+///   of k answers on either side of the cache, and the shard lock is
+///   held only for a refcount bump. Only *complete* results are stored:
 ///   a deadline-truncated run is never cached, so a cached answer
 ///   always equals what uncached execution would produce. Generation
 ///   bumps invalidate by key mismatch — stale entries age out through
 ///   the LRU bound rather than a stop-the-world sweep.
+///
+/// An engine restored from a binary snapshot passes the snapshot's
+/// stamped XKG generation as `initial_generation`, so the loaded
+/// process's cache keys continue the saved engine's coherent sequence
+/// instead of restarting at 0.
 class ServingCache {
  public:
   /// Cumulative cache-activity counters (monotone since construction;
@@ -80,7 +89,8 @@ class ServingCache {
     size_t plan_entries = 0;
   };
 
-  explicit ServingCache(ServingCacheOptions options = {});
+  explicit ServingCache(ServingCacheOptions options = {},
+                        uint64_t initial_generation = 0);
 
   ServingCache(const ServingCache&) = delete;
   ServingCache& operator=(const ServingCache&) = delete;
@@ -117,30 +127,35 @@ class ServingCache {
                                const topk::ProcessorOptions& processor,
                                uint64_t generation);
 
-  /// Returns a copy of the cached result for `key` and refreshes its
-  /// LRU position, or nullopt. The copy's `stats` are zeroed — a cache
-  /// hit did no processing work — while answers, projection, and plan
-  /// trace are the stored run's, byte-identical to uncached execution.
-  std::optional<topk::TopKResult> LookupAnswer(const std::string& key) const;
+  /// Returns the shared immutable result stored under `key` (refreshing
+  /// its LRU position), or nullptr on a miss. No deep copy: the caller
+  /// aliases the stored body, whose `stats` are the *stored run's*
+  /// work — serving layers report per-request (zero) work separately
+  /// (copy-on-serve stats, see `core::QueryResponse::stats`). Answers,
+  /// projection, and plan trace are byte-identical to uncached
+  /// execution.
+  std::shared_ptr<const topk::TopKResult> LookupAnswer(
+      const std::string& key) const;
 
   /// Stores a *complete* result under `key` (callers must not pass
-  /// deadline-truncated runs), evicting the shard's LRU tail beyond
-  /// capacity. No-op when answer caching is disabled.
+  /// deadline-truncated runs; null is rejected), evicting the shard's
+  /// LRU tail beyond capacity. The body is shared, not copied — callers
+  /// typically pass the same `shared_ptr` their response aliases. No-op
+  /// when answer caching is disabled.
   void StoreAnswer(const std::string& key,
-                   const topk::TopKResult& result) const;
+                   std::shared_ptr<const topk::TopKResult> result) const;
 
   Counters counters() const;
 
  private:
+  using AnswerEntry =
+      std::pair<std::string, std::shared_ptr<const topk::TopKResult>>;
   struct AnswerShard {
     mutable std::mutex mu;
-    /// Front = most recently used. The list owns key + value; the index
-    /// points into it.
-    std::list<std::pair<std::string, topk::TopKResult>> lru;
-    std::unordered_map<std::string,
-                       std::list<std::pair<std::string,
-                                           topk::TopKResult>>::iterator>
-        index;
+    /// Front = most recently used. The list owns key + shared body; the
+    /// index points into it.
+    std::list<AnswerEntry> lru;
+    std::unordered_map<std::string, std::list<AnswerEntry>::iterator> index;
     size_t hits = 0;
     size_t misses = 0;
     size_t insertions = 0;

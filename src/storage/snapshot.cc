@@ -1,0 +1,709 @@
+#include "storage/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph_stats.h"
+#include "rdf/triple_store.h"
+#include "util/hash.h"
+
+namespace trinit::storage {
+namespace {
+
+// ------------------------------------------------------------- layout
+
+// Section ids of format version 1. Every section is present exactly
+// once; the reader rejects files missing any of them.
+enum SectionId : uint32_t {
+  kMeta = 1,
+  kDictionary = 2,
+  kTriples = 3,
+  kPermutations = 4,
+  kScoreShapes = 5,
+  kGraphStats = 6,
+  kProvenance = 7,
+  kRules = 8,
+};
+constexpr uint32_t kNumSections = 8;
+
+// Written after the magic; a big-endian reader sees it byte-swapped and
+// rejects the file instead of mis-decoding every integer.
+constexpr uint32_t kEndianTag = 0x01020304u;
+
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 4 + 4;  // 32
+constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8 + 8;  // 32
+
+// --------------------------------------------------------- encoding
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutU32(out, bits);
+}
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked forward reader over one section payload. Every
+/// accessor fails (returns false) instead of reading past the end, so
+/// hostile bytes can at worst produce a typed error, never UB.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    std::memcpy(v, data_ + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    std::memcpy(v, data_ + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadF32(float* v) {
+    uint32_t bits;
+    if (!ReadU32(&bits)) return false;
+    std::memcpy(v, &bits, 4);
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+  bool ReadStr(std::string* v) {
+    uint32_t len;
+    if (!ReadU32(&len) || remaining() < len) return false;
+    v->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  /// Reads `n` fixed-width values; fails before allocating when the
+  /// section cannot possibly hold them (corrupt huge counts must not
+  /// trigger an OOM before the bounds check).
+  template <typename T>
+  bool ReadArray(size_t n, size_t elem_bytes, std::vector<T>* out,
+                 bool (Cursor::*read_one)(T*)) {
+    if (remaining() / elem_bytes < n) return false;
+    out->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!(this->*read_one)(&(*out)[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("snapshot corrupt: " + what);
+}
+
+// ----------------------------------------------------- section writers
+
+std::string EncodeMeta(const xkg::Xkg& xkg, const relax::RuleSet& rules) {
+  std::string out;
+  PutU64(&out, xkg.kg_triple_count());
+  PutU64(&out, xkg.dict().size());
+  PutU64(&out, xkg.store().size());
+  PutU64(&out, rules.size());
+  return out;
+}
+
+std::string EncodeDictionary(const rdf::Dictionary& dict) {
+  std::string out;
+  PutU64(&out, dict.size());
+  dict.ForEach([&](rdf::TermId id) {
+    PutU8(&out, static_cast<uint8_t>(dict.kind(id)));
+    PutStr(&out, dict.label(id));
+  });
+  return out;
+}
+
+std::string EncodeTriples(const rdf::TripleStore& store) {
+  std::string out;
+  PutU64(&out, store.size());
+  for (const rdf::Triple& t : store.triples()) {
+    PutU32(&out, t.s);
+    PutU32(&out, t.p);
+    PutU32(&out, t.o);
+    PutF32(&out, t.confidence);
+    PutU32(&out, t.count);
+    PutU32(&out, t.source);
+  }
+  return out;
+}
+
+std::string EncodePermutations(const rdf::TripleStore& store) {
+  std::string out;
+  PutU32(&out,
+         static_cast<uint32_t>(rdf::TripleStore::kNumIndexPermutations));
+  for (size_t i = 0; i < rdf::TripleStore::kNumIndexPermutations; ++i) {
+    // Zero-copy: the span aliases the store's own array.
+    std::span<const rdf::TripleId> perm = store.IndexPermutation(i);
+    PutU64(&out, perm.size());
+    for (rdf::TripleId id : perm) PutU32(&out, id);
+  }
+  return out;
+}
+
+std::string EncodeScoreShapes(const rdf::TripleStore& store) {
+  std::string out;
+  std::vector<rdf::ScoreOrderIndex::ShapeView> shapes =
+      store.BuiltScoreShapes();
+  PutU32(&out, static_cast<uint32_t>(shapes.size()));
+  for (const rdf::ScoreOrderIndex::ShapeView& shape : shapes) {
+    PutU32(&out, shape.shape);
+    PutU64(&out, shape.ids.size());
+    for (rdf::TripleId id : shape.ids) PutU32(&out, id);
+    for (uint64_t mass : shape.prefix_mass) PutU64(&out, mass);
+  }
+  return out;
+}
+
+std::string EncodeGraphStats(const rdf::GraphStats& stats) {
+  std::string out;
+  PutU64(&out, stats.predicates().size());
+  for (rdf::TermId p : stats.predicates()) {
+    const rdf::GraphStats::PredicateStats* ps = stats.ForPredicate(p);
+    PutU32(&out, p);
+    PutU32(&out, ps->triple_count);
+    PutU64(&out, ps->evidence_count);
+    PutU32(&out, ps->distinct_subjects);
+    PutU32(&out, ps->distinct_objects);
+    const auto& args = stats.Args(p);
+    PutU64(&out, args.size());
+    for (const auto& [s, o] : args) {
+      PutU32(&out, s);
+      PutU32(&out, o);
+    }
+  }
+  return out;
+}
+
+std::string EncodeProvenance(const xkg::Xkg& xkg) {
+  std::string out;
+  std::string body;
+  uint64_t entries = 0;
+  for (rdf::TripleId id = 0; id < xkg.store().size(); ++id) {
+    const std::vector<xkg::Provenance>& records = xkg.ProvenanceFor(id);
+    if (records.empty()) continue;
+    ++entries;
+    PutU32(&body, id);
+    PutU32(&body, static_cast<uint32_t>(records.size()));
+    for (const xkg::Provenance& prov : records) {
+      PutU32(&body, prov.doc_id);
+      PutU32(&body, prov.sentence_idx);
+      PutF64(&body, prov.extraction_confidence);
+      PutStr(&body, prov.sentence);
+    }
+  }
+  PutU64(&out, entries);
+  out += body;
+  return out;
+}
+
+void EncodeTerm(std::string* out, const query::Term& term) {
+  PutU8(out, static_cast<uint8_t>(term.kind));
+  PutStr(out, term.text);  // ids are cache; re-resolved after load
+}
+
+std::string EncodeRules(const relax::RuleSet& rules) {
+  std::string out;
+  PutU64(&out, rules.size());
+  for (const relax::Rule& rule : rules.rules()) {
+    PutStr(&out, rule.name);
+    PutU8(&out, static_cast<uint8_t>(rule.kind));
+    PutF64(&out, rule.weight);
+    for (const std::vector<query::TriplePattern>* side :
+         {&rule.lhs, &rule.rhs}) {
+      PutU32(&out, static_cast<uint32_t>(side->size()));
+      for (const query::TriplePattern& pattern : *side) {
+        EncodeTerm(&out, pattern.s);
+        EncodeTerm(&out, pattern.p);
+        EncodeTerm(&out, pattern.o);
+      }
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------- section readers
+
+Status DecodeDictionary(Cursor* c, rdf::Dictionary* dict) {
+  uint64_t count;
+  if (!c->ReadU64(&count)) return Corrupt("dictionary count");
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t kind;
+    std::string label;
+    if (!c->ReadU8(&kind) || !c->ReadStr(&label)) {
+      return Corrupt("dictionary entry " + std::to_string(i));
+    }
+    if (kind > static_cast<uint8_t>(rdf::TermKind::kLiteral)) {
+      return Corrupt("dictionary term kind " + std::to_string(kind));
+    }
+    // Interning in id order reproduces the original ids; a duplicate
+    // (kind, label) pair collapses and breaks the sequence — corrupt.
+    rdf::TermId id =
+        dict->Intern(static_cast<rdf::TermKind>(kind), label);
+    if (id != static_cast<rdf::TermId>(i + 1)) {
+      return Corrupt("duplicate dictionary entry '" + label + "'");
+    }
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after dictionary");
+  return Status::Ok();
+}
+
+Status DecodeTriples(Cursor* c, std::vector<rdf::Triple>* triples) {
+  uint64_t count;
+  if (!c->ReadU64(&count)) return Corrupt("triple count");
+  if (c->remaining() / 24 < count) return Corrupt("triple section short");
+  triples->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    rdf::Triple& t = (*triples)[i];
+    if (!c->ReadU32(&t.s) || !c->ReadU32(&t.p) || !c->ReadU32(&t.o) ||
+        !c->ReadF32(&t.confidence) || !c->ReadU32(&t.count) ||
+        !c->ReadU32(&t.source)) {
+      return Corrupt("triple " + std::to_string(i));
+    }
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after triples");
+  return Status::Ok();
+}
+
+Status DecodePermutations(Cursor* c,
+                          rdf::TripleStore::IndexSnapshot* indexes) {
+  uint32_t num;
+  if (!c->ReadU32(&num)) return Corrupt("permutation count");
+  // Each permutation carries at least its u64 size; a hostile count
+  // must fail here, not in a gigantic resize (bad_alloc is not a typed
+  // error).
+  if (c->remaining() / 8 < num) return Corrupt("permutation section short");
+  indexes->perms.resize(num);
+  for (uint32_t p = 0; p < num; ++p) {
+    uint64_t n;
+    if (!c->ReadU64(&n)) return Corrupt("permutation size");
+    if (!c->ReadArray(n, 4, &indexes->perms[p], &Cursor::ReadU32)) {
+      return Corrupt("permutation " + std::to_string(p));
+    }
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after permutations");
+  return Status::Ok();
+}
+
+Status DecodeScoreShapes(Cursor* c,
+                         rdf::TripleStore::IndexSnapshot* indexes) {
+  uint32_t num;
+  if (!c->ReadU32(&num)) return Corrupt("score shape count");
+  // Each shape carries at least its u32 id + u64 size + u64 zeroth
+  // prefix mass; bound the count before allocating (see above).
+  if (c->remaining() / 20 < num) return Corrupt("score shape section short");
+  indexes->score_shapes.resize(num);
+  uint32_t seen_shapes = 0;  // bitmask; shape ids are < 32
+  for (uint32_t i = 0; i < num; ++i) {
+    rdf::ScoreOrderIndex::ShapeSnapshot& shape = indexes->score_shapes[i];
+    uint64_t n;
+    if (!c->ReadU32(&shape.shape) || !c->ReadU64(&n) ||
+        !c->ReadArray(n, 4, &shape.ids, &Cursor::ReadU32) ||
+        !c->ReadArray(n + 1, 8, &shape.prefix_mass, &Cursor::ReadU64)) {
+      return Corrupt("score shape " + std::to_string(i));
+    }
+    // Duplicates are corruption, not a "restored twice" precondition
+    // failure (that status code is reserved for version mismatch).
+    if (shape.shape >= 32 || (seen_shapes & (1u << shape.shape)) != 0) {
+      return Corrupt("duplicate or out-of-range score shape id " +
+                     std::to_string(shape.shape));
+    }
+    seen_shapes |= 1u << shape.shape;
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after score shapes");
+  return Status::Ok();
+}
+
+Status DecodeGraphStats(Cursor* c, Result<rdf::GraphStats>* out) {
+  uint64_t count;
+  if (!c->ReadU64(&count)) return Corrupt("graph-stats count");
+  std::vector<rdf::TermId> predicates;
+  std::unordered_map<rdf::TermId, rdf::GraphStats::PredicateStats> stats;
+  std::unordered_map<rdf::TermId,
+                     std::vector<std::pair<rdf::TermId, rdf::TermId>>>
+      args;
+  if (c->remaining() / 32 < count) return Corrupt("graph-stats short");
+  predicates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    rdf::TermId p;
+    rdf::GraphStats::PredicateStats ps;
+    uint64_t argn;
+    if (!c->ReadU32(&p) || !c->ReadU32(&ps.triple_count) ||
+        !c->ReadU64(&ps.evidence_count) ||
+        !c->ReadU32(&ps.distinct_subjects) ||
+        !c->ReadU32(&ps.distinct_objects) || !c->ReadU64(&argn)) {
+      return Corrupt("graph-stats predicate " + std::to_string(i));
+    }
+    if (c->remaining() / 8 < argn) return Corrupt("graph-stats args short");
+    std::vector<std::pair<rdf::TermId, rdf::TermId>> pairs(argn);
+    for (uint64_t j = 0; j < argn; ++j) {
+      if (!c->ReadU32(&pairs[j].first) || !c->ReadU32(&pairs[j].second)) {
+        return Corrupt("graph-stats arg pair");
+      }
+    }
+    predicates.push_back(p);
+    stats.emplace(p, ps);
+    args.emplace(p, std::move(pairs));
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after graph stats");
+  *out = rdf::GraphStats::FromSnapshot(std::move(predicates),
+                                       std::move(stats), std::move(args));
+  return out->ok() ? Status::Ok() : out->status();
+}
+
+Status DecodeProvenance(
+    Cursor* c,
+    std::unordered_map<rdf::TripleId, std::vector<xkg::Provenance>>* prov,
+    size_t* records_out) {
+  uint64_t entries;
+  if (!c->ReadU64(&entries)) return Corrupt("provenance count");
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint32_t triple_id, nrec;
+    if (!c->ReadU32(&triple_id) || !c->ReadU32(&nrec) || nrec == 0) {
+      return Corrupt("provenance entry " + std::to_string(i));
+    }
+    if (c->remaining() / 20 < nrec) return Corrupt("provenance short");
+    if (prov->count(triple_id) != 0) {
+      return Corrupt("duplicate provenance entry");
+    }
+    std::vector<xkg::Provenance>& records = (*prov)[triple_id];
+    records.resize(nrec);
+    for (uint32_t j = 0; j < nrec; ++j) {
+      xkg::Provenance& p = records[j];
+      if (!c->ReadU32(&p.doc_id) || !c->ReadU32(&p.sentence_idx) ||
+          !c->ReadF64(&p.extraction_confidence) ||
+          !c->ReadStr(&p.sentence)) {
+        return Corrupt("provenance record");
+      }
+    }
+    *records_out += nrec;
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after provenance");
+  return Status::Ok();
+}
+
+Status DecodeTerm(Cursor* c, query::Term* term) {
+  uint8_t kind;
+  if (!c->ReadU8(&kind) || !c->ReadStr(&term->text)) {
+    return Corrupt("rule term");
+  }
+  if (kind > static_cast<uint8_t>(query::Term::Kind::kLiteral)) {
+    return Corrupt("rule term kind " + std::to_string(kind));
+  }
+  term->kind = static_cast<query::Term::Kind>(kind);
+  term->id = rdf::kNullTerm;  // re-resolved against the loaded dictionary
+  return Status::Ok();
+}
+
+Status DecodeRules(Cursor* c, relax::RuleSet* rules) {
+  uint64_t count;
+  if (!c->ReadU64(&count)) return Corrupt("rule count");
+  for (uint64_t i = 0; i < count; ++i) {
+    relax::Rule rule;
+    uint8_t kind;
+    if (!c->ReadStr(&rule.name) || !c->ReadU8(&kind) ||
+        !c->ReadF64(&rule.weight)) {
+      return Corrupt("rule " + std::to_string(i));
+    }
+    if (kind > static_cast<uint8_t>(relax::RuleKind::kOperator)) {
+      return Corrupt("rule kind " + std::to_string(kind));
+    }
+    rule.kind = static_cast<relax::RuleKind>(kind);
+    for (std::vector<query::TriplePattern>* side : {&rule.lhs, &rule.rhs}) {
+      uint32_t n;
+      if (!c->ReadU32(&n)) return Corrupt("rule pattern count");
+      if (c->remaining() / 15 < n) return Corrupt("rule patterns short");
+      side->resize(n);
+      for (query::TriplePattern& pattern : *side) {
+        TRINIT_RETURN_IF_ERROR(DecodeTerm(c, &pattern.s));
+        TRINIT_RETURN_IF_ERROR(DecodeTerm(c, &pattern.p));
+        TRINIT_RETURN_IF_ERROR(DecodeTerm(c, &pattern.o));
+      }
+    }
+    // Add() re-validates structure; a corrupt rule that decodes into an
+    // invalid shape is rejected here with its own message.
+    TRINIT_RETURN_IF_ERROR(rules->Add(std::move(rule)));
+  }
+  if (!c->AtEnd()) return Corrupt("trailing bytes after rules");
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- write
+
+Status SnapshotWriter::Write(const xkg::Xkg& xkg,
+                             const relax::RuleSet& rules,
+                             uint64_t generation, const std::string& path) {
+  // Index arrays are encoded straight from the store's own memory
+  // (span views), so the transient cost of a save is one encoded copy
+  // of the state, not an intermediate export on top of it.
+  const std::pair<uint32_t, std::string> sections[kNumSections] = {
+      {kMeta, EncodeMeta(xkg, rules)},
+      {kDictionary, EncodeDictionary(xkg.dict())},
+      {kTriples, EncodeTriples(xkg.store())},
+      {kPermutations, EncodePermutations(xkg.store())},
+      {kScoreShapes, EncodeScoreShapes(xkg.store())},
+      {kGraphStats, EncodeGraphStats(xkg.stats())},
+      {kProvenance, EncodeProvenance(xkg)},
+      {kRules, EncodeRules(rules)},
+  };
+
+  // Header + table, then 8-aligned payloads — streamed section by
+  // section so peak memory stays one copy of the encoded state, not
+  // two.
+  std::string head;
+  head.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&head, kSnapshotVersion);
+  PutU32(&head, kEndianTag);
+  PutU64(&head, generation);
+  PutU32(&head, kNumSections);
+  // Header checksum (low 32 bits of FNV-1a over the 28 bytes above):
+  // the generation field has no section covering it, and it must not
+  // load silently wrong.
+  PutU32(&head, static_cast<uint32_t>(Fnv1a64(head)));
+
+  size_t offset = kHeaderBytes + kNumSections * kTableEntryBytes;
+  for (const auto& [id, payload] : sections) {
+    offset = (offset + 7) & ~size_t{7};
+    PutU32(&head, id);
+    PutU32(&head, 0);  // reserved
+    PutU64(&head, offset);
+    PutU64(&head, payload.size());
+    PutU64(&head, Fnv1a64(payload));
+    offset += payload.size();
+  }
+
+  // Write to a sibling temp file and rename into place: a mid-write
+  // failure (disk full, crash) must not destroy a previously good
+  // snapshot at `path` — replicas rely on "serialize once, load many
+  // times".
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp_path);
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+    size_t written = head.size();
+    for (const auto& [id, payload] : sections) {
+      static constexpr char kPad[8] = {};
+      const size_t pad = ((written + 7) & ~size_t{7}) - written;
+      out.write(kPad, static_cast<std::streamsize>(pad));
+      out.write(payload.data(),
+                static_cast<std::streamsize>(payload.size()));
+      written += pad + payload.size();
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("write failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- read
+
+Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string file(static_cast<size_t>(size), '\0');
+  if (!in.read(file.data(), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+
+  // Header. Foreign files fail on the magic (InvalidArgument), old or
+  // newer snapshots on the version (FailedPrecondition) — distinct
+  // codes so callers can tell "not ours" from "ours, re-save it".
+  if (file.size() < kHeaderBytes ||
+      std::memcmp(file.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+          0) {
+    return Status::InvalidArgument("not a TriniT snapshot: " + path);
+  }
+  // Cursor starts past the just-compared magic.
+  Cursor header(file.data() + sizeof(kSnapshotMagic),
+                file.size() - sizeof(kSnapshotMagic));
+  uint32_t version, endian, section_count, header_crc;
+  uint64_t generation;
+  header.ReadU32(&version);
+  header.ReadU32(&endian);
+  header.ReadU64(&generation);
+  header.ReadU32(&section_count);
+  header.ReadU32(&header_crc);
+  if (endian != kEndianTag) {
+    return Status::InvalidArgument(
+        "snapshot byte order does not match this machine");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "snapshot format version " + std::to_string(version) +
+        "; this build reads version " + std::to_string(kSnapshotVersion) +
+        " (re-save from source)");
+  }
+  // The generation lives only in the header (no section checksum covers
+  // it); verify the header's own checksum before trusting it.
+  if (header_crc !=
+      static_cast<uint32_t>(Fnv1a64({file.data(), kHeaderBytes - 4}))) {
+    return Corrupt("header checksum mismatch");
+  }
+  if (section_count != kNumSections) {
+    return Corrupt("expected " + std::to_string(kNumSections) +
+                   " sections, header says " +
+                   std::to_string(section_count));
+  }
+  if (file.size() < kHeaderBytes + kNumSections * kTableEntryBytes) {
+    return Corrupt("truncated section table");
+  }
+
+  // Section table: bounds, then checksums, before any payload decode.
+  struct Section {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  std::unordered_map<uint32_t, Section> table;
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    uint32_t id, rsvd;
+    Section s;
+    uint64_t checksum;
+    header.ReadU32(&id);
+    header.ReadU32(&rsvd);
+    (void)rsvd;
+    header.ReadU64(&s.offset);
+    header.ReadU64(&s.length);
+    header.ReadU64(&checksum);
+    if (s.offset > file.size() || s.length > file.size() - s.offset) {
+      return Corrupt("section " + std::to_string(id) +
+                     " out of bounds (truncated file?)");
+    }
+    if (Fnv1a64({file.data() + s.offset,
+                 static_cast<size_t>(s.length)}) != checksum) {
+      return Corrupt("checksum mismatch in section " + std::to_string(id));
+    }
+    if (!table.emplace(id, s).second) {
+      return Corrupt("duplicate section " + std::to_string(id));
+    }
+  }
+  auto cursor_for = [&](uint32_t id) {
+    const Section& s = table.at(id);
+    return Cursor(file.data() + s.offset, static_cast<size_t>(s.length));
+  };
+  for (uint32_t id = kMeta; id <= kRules; ++id) {
+    if (table.count(id) == 0) {
+      return Corrupt("missing section " + std::to_string(id));
+    }
+  }
+
+  // Meta cross-checks let a truncation that happens to preserve section
+  // framing still fail loudly.
+  Cursor meta = cursor_for(kMeta);
+  uint64_t kg_triples, dict_terms, triple_count, rule_count;
+  if (!meta.ReadU64(&kg_triples) || !meta.ReadU64(&dict_terms) ||
+      !meta.ReadU64(&triple_count) || !meta.ReadU64(&rule_count)) {
+    return Corrupt("meta section");
+  }
+
+  LoadReport report;
+  report.bytes = file.size();
+
+  auto dict = std::make_unique<rdf::Dictionary>();
+  Cursor dict_cursor = cursor_for(kDictionary);
+  TRINIT_RETURN_IF_ERROR(DecodeDictionary(&dict_cursor, dict.get()));
+  if (dict->size() != dict_terms) return Corrupt("dictionary count vs meta");
+  report.terms = dict->size();
+
+  std::vector<rdf::Triple> triples;
+  Cursor triple_cursor = cursor_for(kTriples);
+  TRINIT_RETURN_IF_ERROR(DecodeTriples(&triple_cursor, &triples));
+  if (triples.size() != triple_count) return Corrupt("triple count vs meta");
+  report.triples = triples.size();
+
+  rdf::TripleStore::IndexSnapshot indexes;
+  Cursor perm_cursor = cursor_for(kPermutations);
+  TRINIT_RETURN_IF_ERROR(DecodePermutations(&perm_cursor, &indexes));
+  Cursor shape_cursor = cursor_for(kScoreShapes);
+  TRINIT_RETURN_IF_ERROR(DecodeScoreShapes(&shape_cursor, &indexes));
+  report.permutations_restored = indexes.perms.size();
+  report.score_shapes_restored = indexes.score_shapes.size();
+
+  Result<rdf::GraphStats> stats = Status::Internal("unset");
+  Cursor stats_cursor = cursor_for(kGraphStats);
+  TRINIT_RETURN_IF_ERROR(DecodeGraphStats(&stats_cursor, &stats));
+
+  std::unordered_map<rdf::TripleId, std::vector<xkg::Provenance>> provenance;
+  Cursor prov_cursor = cursor_for(kProvenance);
+  TRINIT_RETURN_IF_ERROR(
+      DecodeProvenance(&prov_cursor, &provenance, &report.provenance_records));
+
+  TRINIT_ASSIGN_OR_RETURN(
+      rdf::TripleStore store,
+      rdf::TripleStore::FromSnapshot(std::move(triples), std::move(indexes)));
+
+  TRINIT_ASSIGN_OR_RETURN(
+      xkg::Xkg xkg,
+      xkg::Xkg::FromParts(std::move(dict), std::move(store),
+                          std::move(stats).value(),
+                          static_cast<size_t>(kg_triples),
+                          std::move(provenance)));
+
+  relax::RuleSet rules;
+  Cursor rule_cursor = cursor_for(kRules);
+  TRINIT_RETURN_IF_ERROR(DecodeRules(&rule_cursor, &rules));
+  if (rules.size() != rule_count) return Corrupt("rule count vs meta");
+  rules.ResolveAgainst(xkg.dict());
+  report.rules = rules.size();
+
+  return LoadedSnapshot{std::move(xkg), std::move(rules), generation,
+                        report};
+}
+
+}  // namespace trinit::storage

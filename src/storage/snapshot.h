@@ -1,0 +1,105 @@
+#ifndef TRINIT_STORAGE_SNAPSHOT_H_
+#define TRINIT_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relax/rule_set.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "xkg/xkg.h"
+
+namespace trinit::storage {
+
+/// Binary snapshot persistence of the complete TriniT serving state —
+/// the engine-side answer to "real engines serialize their inverted
+/// structures once and load them many times" (cf. the demo's
+/// ElasticSearch backend, which persisted its postings natively, while
+/// this reproduction rebuilt everything from TSV on every start).
+///
+/// One snapshot file holds, in this order:
+///
+///   header    magic "TRNTSNAP", format version, endianness tag, the
+///             XKG generation at save time, section count
+///   table     one entry per section: id, byte offset, byte length,
+///             FNV-1a 64 checksum of the payload
+///   sections  8-byte-aligned, fixed-width little-endian payloads:
+///             META, DICT, TRIPLES, PERMS, SCORE, STATS, PROV, RULES
+///
+/// The layout is mmap-friendly by construction — every section is a
+/// run of aligned fixed-width records addressed through the offset
+/// table — though the current reader copies into the owning structures
+/// (std::vector-backed indexes) rather than aliasing the mapping.
+///
+/// What is persisted is the *serving* state, index bytes included: the
+/// dictionary (labels + kinds in id order), the deduplicated triples
+/// with confidences/counts/sources, all five non-SPO permutation
+/// arrays, every `rdf::ScoreOrderIndex` shape built so far (ids +
+/// prefix-mass sums verbatim, so the lazy first-touch sort is skipped
+/// after load; unbuilt shapes stay lazy), the graph statistics, the
+/// extraction provenance, and the active relaxation rule set. Loading
+/// therefore performs no sort, no mining, and no TSV parse.
+///
+/// Versioning policy: `kSnapshotVersion` is bumped on ANY layout
+/// change; there is no in-place migration — a reader only accepts its
+/// own version (FailedPrecondition otherwise) and callers re-save from
+/// the TSV/world source. Error taxonomy, all typed `util::Status`
+/// (never a crash, no UB on hostile bytes):
+///
+///   kIoError            file cannot be opened/read/written
+///   kInvalidArgument    not a TriniT snapshot (bad magic/endianness),
+///                       or a decoded structure violates an invariant
+///   kFailedPrecondition snapshot written by a different format version
+///   kParseError         corrupt bytes: truncation, out-of-bounds
+///                       section, checksum mismatch, malformed payload
+class SnapshotWriter {
+ public:
+  /// Writes `xkg` + `rules` (and the serving `generation`) to `path`,
+  /// overwriting. The XKG is not mutated; lazily-built index shapes are
+  /// persisted exactly as currently materialized.
+  static Status Write(const xkg::Xkg& xkg, const relax::RuleSet& rules,
+                      uint64_t generation, const std::string& path);
+};
+
+/// What a snapshot load actually did — the cold-start work counters
+/// `bench_p4_coldstart` contrasts with a TSV rebuild.
+struct LoadReport {
+  size_t terms = 0;                   ///< dictionary entries restored
+  size_t triples = 0;                 ///< store triples restored
+  size_t permutations_restored = 0;   ///< SPO-permutation arrays, verbatim
+  size_t score_shapes_restored = 0;   ///< lazy shapes restored pre-built
+  size_t provenance_records = 0;
+  size_t rules = 0;                   ///< rule set entries (no re-mining)
+  size_t bytes = 0;                   ///< snapshot file size
+  /// Index structures that had to be rebuilt (sorted) during load —
+  /// always 0 on the snapshot path; the TSV cold start's contrast.
+  size_t index_rebuilds = 0;
+};
+
+/// A successfully loaded snapshot: the serving state plus the XKG
+/// generation stamped at save time (seed for a coherent serving cache).
+struct LoadedSnapshot {
+  xkg::Xkg xkg;
+  relax::RuleSet rules;
+  uint64_t generation = 0;
+  LoadReport report;
+};
+
+class SnapshotReader {
+ public:
+  /// Reads a snapshot previously written by `SnapshotWriter::Write`.
+  /// Rejects foreign, truncated, corrupt, and version-mismatched files
+  /// with the typed errors documented above.
+  static Result<LoadedSnapshot> Read(const std::string& path);
+};
+
+/// Format version this build writes and is able to read.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Leading 8 bytes of every TriniT snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'T', 'R', 'N', 'T',
+                                           'S', 'N', 'A', 'P'};
+
+}  // namespace trinit::storage
+
+#endif  // TRINIT_STORAGE_SNAPSHOT_H_

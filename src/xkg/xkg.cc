@@ -1,6 +1,48 @@
 #include "xkg/xkg.h"
 
+#include <utility>
+
 namespace trinit::xkg {
+
+Result<Xkg> Xkg::FromParts(
+    std::unique_ptr<rdf::Dictionary> dict, rdf::TripleStore store,
+    rdf::GraphStats stats, size_t kg_triple_count,
+    std::unordered_map<rdf::TripleId, std::vector<Provenance>> provenance) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("FromParts: null dictionary");
+  }
+  if (kg_triple_count > store.size()) {
+    return Status::InvalidArgument("snapshot kg_triple_count " +
+                                   std::to_string(kg_triple_count) +
+                                   " exceeds triple count " +
+                                   std::to_string(store.size()));
+  }
+  for (const rdf::Triple& t : store.triples()) {
+    if (!dict->Contains(t.s) || !dict->Contains(t.p) || !dict->Contains(t.o)) {
+      return Status::InvalidArgument(
+          "snapshot triple references a term id outside the dictionary");
+    }
+  }
+  for (const auto& [id, records] : provenance) {
+    if (id >= store.size()) {
+      return Status::InvalidArgument(
+          "snapshot provenance references triple id out of range");
+    }
+    if (records.empty()) {
+      return Status::InvalidArgument(
+          "snapshot provenance entry with no records");
+    }
+  }
+  Xkg xkg;
+  xkg.dict_ = std::move(dict);
+  xkg.store_ = std::move(store);
+  xkg.stats_ = std::make_unique<rdf::GraphStats>(std::move(stats));
+  xkg.phrase_index_ =
+      std::make_unique<text::PhraseIndex>(text::PhraseIndex::Build(*xkg.dict_));
+  xkg.provenance_ = std::move(provenance);
+  xkg.kg_triple_count_ = kg_triple_count;
+  return xkg;
+}
 
 const std::vector<Provenance>& Xkg::ProvenanceFor(rdf::TripleId id) const {
   auto it = provenance_.find(id);

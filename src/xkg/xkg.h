@@ -36,6 +36,17 @@ class Xkg {
   Xkg(Xkg&&) = default;
   Xkg& operator=(Xkg&&) = default;
 
+  /// Reassembles an XKG from snapshot-restored parts — the storage
+  /// layer's load path (everything else builds through `XkgBuilder`).
+  /// The phrase index is derived data and is rebuilt from `dict` (an
+  /// O(tokens) hash build, no sorts); every triple's term ids and every
+  /// provenance triple id are bounds-checked so a corrupt snapshot
+  /// yields a typed error instead of out-of-range indexing later.
+  static Result<Xkg> FromParts(
+      std::unique_ptr<rdf::Dictionary> dict, rdf::TripleStore store,
+      rdf::GraphStats stats, size_t kg_triple_count,
+      std::unordered_map<rdf::TripleId, std::vector<Provenance>> provenance);
+
   const rdf::Dictionary& dict() const { return *dict_; }
   const rdf::TripleStore& store() const { return store_; }
   const rdf::GraphStats& stats() const { return *stats_; }

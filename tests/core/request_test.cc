@@ -73,14 +73,14 @@ TEST(RequestTest, PerRequestKMatchesPerEngineK) {
   auto r5 = engine->Execute(QueryRequest::Text("AlbertEinstein ?p ?o", 5));
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r5.ok());
-  EXPECT_EQ(r1->result.answers.size(), 1u);
-  EXPECT_GT(r5->result.answers.size(), 1u);
+  EXPECT_EQ(r1->result().answers.size(), 1u);
+  EXPECT_GT(r5->result().answers.size(), 1u);
   EXPECT_EQ(r1->effective_processor.k, 1);
   EXPECT_EQ(r5->effective_processor.k, 5);
   // Both rankings agree on the best score (the head itself can differ
   // under ties, which this star query has plenty of).
-  EXPECT_DOUBLE_EQ(r1->result.answers[0].score,
-                   r5->result.answers[0].score);
+  EXPECT_DOUBLE_EQ(r1->result().answers[0].score,
+                   r5->result().answers[0].score);
 }
 
 TEST(RequestTest, RelaxationOverrideMatchesEngineBuiltWithoutRelaxation) {
@@ -108,7 +108,7 @@ TEST(RequestTest, RelaxationOverrideMatchesEngineBuiltWithoutRelaxation) {
     auto reference = no_relax_engine->Query(text, 5);
     ASSERT_TRUE(overridden.ok()) << text;
     ASSERT_TRUE(reference.ok()) << text;
-    EXPECT_EQ(Rendered(*engine, overridden->result),
+    EXPECT_EQ(Rendered(*engine, overridden->result()),
               Rendered(*no_relax_engine, *reference))
         << text;
     EXPECT_FALSE(overridden->effective_processor.enable_relaxation);
@@ -118,8 +118,8 @@ TEST(RequestTest, RelaxationOverrideMatchesEngineBuiltWithoutRelaxation) {
     auto on = engine->Execute(QueryRequest::Text(text, 5));
     ASSERT_TRUE(on.ok());
     EXPECT_TRUE(on->effective_processor.enable_relaxation);
-    EXPECT_GE(on->result.answers.size(),
-              overridden->result.answers.size());
+    EXPECT_GE(on->result().answers.size(),
+              overridden->result().answers.size());
   }
 }
 
@@ -144,9 +144,9 @@ TEST(RequestTest, ScorerOverrideMatchesEngineBuiltWithThatScorer) {
       reference_engine->Query("AlbertEinstein 'won nobel for' ?x", 5);
   ASSERT_TRUE(overridden.ok());
   ASSERT_TRUE(reference.ok());
-  ASSERT_EQ(overridden->result.answers.size(), reference->answers.size());
+  ASSERT_EQ(overridden->result().answers.size(), reference->answers.size());
   for (size_t i = 0; i < reference->answers.size(); ++i) {
-    EXPECT_DOUBLE_EQ(overridden->result.answers[i].score,
+    EXPECT_DOUBLE_EQ(overridden->result().answers[i].score,
                      reference->answers[i].score);
   }
   EXPECT_EQ(overridden->effective_scorer, no_confidence);
@@ -164,8 +164,8 @@ TEST(RequestTest, ParsedQueryAndTextAgree) {
   auto from_parsed = engine->Execute(QueryRequest::Parsed(*parsed, 5));
   ASSERT_TRUE(from_text.ok());
   ASSERT_TRUE(from_parsed.ok());
-  EXPECT_EQ(Rendered(*engine, from_text->result),
-            Rendered(*engine, from_parsed->result));
+  EXPECT_EQ(Rendered(*engine, from_text->result()),
+            Rendered(*engine, from_parsed->result()));
 }
 
 TEST(RequestTest, TraceCollectsStages) {
@@ -206,7 +206,7 @@ TEST(RequestTest, ItemBudgetCapsWork) {
   request.max_items_budget = 1;
   auto response = engine->Execute(request);
   ASSERT_TRUE(response.ok());
-  EXPECT_LE(response->result.stats.items_pulled, 1u);
+  EXPECT_LE(response->stats.items_pulled, 1u);
   EXPECT_EQ(response->effective_processor.join.max_pulls, 1u);
 }
 
@@ -220,7 +220,7 @@ TEST(RequestTest, ExpiredDeadlineTruncatesInsteadOfFailing) {
   auto response = engine->Execute(request);
   ASSERT_TRUE(response.ok());  // truncation is not an error
   EXPECT_TRUE(response->deadline_hit);
-  EXPECT_TRUE(response->result.stats.deadline_hit);
+  EXPECT_TRUE(response->stats.deadline_hit);
   EXPECT_DOUBLE_EQ(response->effective_processor.deadline_ms, 1e-6);
 }
 
@@ -236,9 +236,9 @@ TEST(RequestTest, BaselinesServeRequestsThroughEngineInterface) {
     auto response =
         engine->Execute(QueryRequest::Text("AlbertEinstein bornIn ?x", 5));
     ASSERT_TRUE(response.ok()) << engine->name();
-    ASSERT_FALSE(response->result.answers.empty()) << engine->name();
+    ASSERT_FALSE(response->result().answers.empty()) << engine->name();
     EXPECT_EQ(engine->xkg().dict().DebugLabel(
-                  response->result.ValueAt(0, 0)),
+                  response->result().ValueAt(0, 0)),
               "Ulm")
         << engine->name();
     EXPECT_FALSE(engine->name().empty());
@@ -252,7 +252,7 @@ TEST(RequestTest, ExactEngineIgnoresRelaxationOverride) {
   request.enable_relaxation = true;  // must not turn the baseline soft
   auto response = exact.Execute(request);
   ASSERT_TRUE(response.ok());
-  EXPECT_TRUE(response->result.answers.empty());
+  EXPECT_TRUE(response->result().answers.empty());
   EXPECT_FALSE(response->effective_processor.enable_relaxation);
 }
 

@@ -43,17 +43,17 @@ TEST(ServingTest, RepeatedRequestServedFromAnswerCacheWithZeroWork) {
   auto cold = engine.Execute(request);
   ASSERT_TRUE(cold.ok());
   EXPECT_FALSE(cold->serving.answer_hit);
-  EXPECT_GT(cold->result.stats.items_pulled, 0u);
+  EXPECT_GT(cold->stats.items_pulled, 0u);
 
   auto warm = engine.Execute(request);
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->serving.answer_hit);
   // The join never ran: zero pulls, zero probes, zero planning.
-  EXPECT_EQ(warm->result.stats.items_pulled, 0u);
-  EXPECT_EQ(warm->result.stats.combinations_tried, 0u);
-  EXPECT_EQ(warm->result.stats.plan_cache_misses, 0u);
+  EXPECT_EQ(warm->stats.items_pulled, 0u);
+  EXPECT_EQ(warm->stats.combinations_tried, 0u);
+  EXPECT_EQ(warm->stats.plan_cache_misses, 0u);
   // Same ranked answers, byte for byte.
-  EXPECT_EQ(Rendered(engine, warm->result), Rendered(engine, cold->result));
+  EXPECT_EQ(Rendered(engine, warm->result()), Rendered(engine, cold->result()));
 
   const serve::ServingCache::Counters c = engine.serving_cache().counters();
   EXPECT_EQ(c.answer_hits, 1u);
@@ -81,7 +81,7 @@ TEST(ServingTest, CanonicalKeySharesAcrossSpellings) {
       QueryRequest::Text("SELECT ?x   WHERE ?x bornIn Ulm", 5));
   ASSERT_TRUE(b.ok());
   EXPECT_TRUE(b->serving.answer_hit);
-  EXPECT_EQ(Rendered(engine, b->result), Rendered(engine, a->result));
+  EXPECT_EQ(Rendered(engine, b->result()), Rendered(engine, a->result()));
 }
 
 TEST(ServingTest, DifferentKOrConfigMissesTheCache) {
@@ -116,7 +116,7 @@ TEST(ServingTest, ExtendKgInvalidatesPlanAndAnswerEntries) {
   // entry stopped matching, and the fresh run sees the new fact.
   EXPECT_FALSE(after->serving.answer_hit);
   EXPECT_GT(after->serving.generation, gen_before);
-  EXPECT_GT(after->result.answers.size(), before->result.answers.size());
+  EXPECT_GT(after->result().answers.size(), before->result().answers.size());
 
   // The old plan entries are stale too: the first post-mutation run
   // recompiles (invalidated or fresh-miss, never a stale hit), and the
@@ -124,8 +124,8 @@ TEST(ServingTest, ExtendKgInvalidatesPlanAndAnswerEntries) {
   auto warm_again = engine.Execute(request);
   ASSERT_TRUE(warm_again.ok());
   EXPECT_TRUE(warm_again->serving.answer_hit);
-  EXPECT_EQ(Rendered(engine, warm_again->result),
-            Rendered(engine, after->result));
+  EXPECT_EQ(Rendered(engine, warm_again->result()),
+            Rendered(engine, after->result()));
 }
 
 TEST(ServingTest, AddManualRulesInvalidatesAnswers) {
@@ -144,7 +144,7 @@ TEST(ServingTest, AddManualRulesInvalidatesAnswers) {
   EXPECT_FALSE(after->serving.answer_hit);
   // The new inversion rule rescues the empty advisor query through
   // hasStudent — the post-mutation run must see it.
-  EXPECT_GT(after->result.answers.size(), before->result.answers.size());
+  EXPECT_GT(after->result().answers.size(), before->result().answers.size());
 }
 
 TEST(ServingTest, TruncatedRunsAreNeverCached) {
@@ -162,13 +162,13 @@ TEST(ServingTest, TruncatedRunsAreNeverCached) {
   auto full = engine.Execute(unhurried);
   ASSERT_TRUE(full.ok());
   EXPECT_FALSE(full->serving.answer_hit);
-  EXPECT_FALSE(full->result.answers.empty());
+  EXPECT_FALSE(full->result().answers.empty());
 
   // The complete run *is* cached — and serves the rushed request too.
   auto warm = engine.Execute(rushed);
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->serving.answer_hit);
-  EXPECT_EQ(Rendered(engine, warm->result), Rendered(engine, full->result));
+  EXPECT_EQ(Rendered(engine, warm->result()), Rendered(engine, full->result()));
 }
 
 TEST(ServingTest, DisabledServingCacheRestoresPerRequestExecution) {
@@ -180,7 +180,7 @@ TEST(ServingTest, DisabledServingCacheRestoresPerRequestExecution) {
   auto second = engine.Execute(request);
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(second->serving.answer_hit);
-  EXPECT_GT(second->result.stats.items_pulled, 0u);
+  EXPECT_GT(second->stats.items_pulled, 0u);
   const serve::ServingCache::Counters c = engine.serving_cache().counters();
   EXPECT_EQ(c.answer_hits, 0u);
   EXPECT_EQ(c.answer_misses, 0u);
@@ -228,7 +228,7 @@ TEST(ServingTest, ConcurrentMixedWorkloadReconcilesAndMatchesUncached) {
     if (reference.count(batch[i].text) != 0) continue;
     auto r = uncached_engine.Execute(batch[i]);
     ASSERT_TRUE(r.ok());
-    reference[batch[i].text] = Rendered(uncached_engine, r->result);
+    reference[batch[i].text] = Rendered(uncached_engine, r->result());
   }
 
   size_t hits_observed = 0;
@@ -236,13 +236,13 @@ TEST(ServingTest, ConcurrentMixedWorkloadReconcilesAndMatchesUncached) {
     ASSERT_TRUE(responses[i].ok()) << batch[i].text;
     const QueryResponse& response = *responses[i];
     // Cached or not, the ranked answers equal uncached execution.
-    EXPECT_EQ(Rendered(cached_engine, response.result),
+    EXPECT_EQ(Rendered(cached_engine, response.result()),
               reference[batch[i].text])
         << batch[i].text;
     if (response.serving.answer_hit) {
       ++hits_observed;
-      EXPECT_EQ(response.result.stats.items_pulled, 0u);
-      EXPECT_EQ(response.result.stats.combinations_tried, 0u);
+      EXPECT_EQ(response.stats.items_pulled, 0u);
+      EXPECT_EQ(response.stats.combinations_tried, 0u);
     }
   }
 

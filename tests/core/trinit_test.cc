@@ -154,13 +154,13 @@ TEST(TrinitTest, PerRequestOverridesServeMixedWorkloadsFromOneEngine) {
   ASSERT_TRUE(strict_reference.ok());
 
   // Relaxation finds Einstein via the geo rule; strict matching cannot.
-  ASSERT_FALSE(relaxed_response->result.answers.empty());
-  EXPECT_EQ(engine->RenderAnswer(relaxed_response->result, 0),
+  ASSERT_FALSE(relaxed_response->result().answers.empty());
+  EXPECT_EQ(engine->RenderAnswer(relaxed_response->result(), 0),
             "?x = AlbertEinstein");
-  EXPECT_EQ(strict_response->result.answers.size(),
+  EXPECT_EQ(strict_response->result().answers.size(),
             strict_reference->answers.size());
-  EXPECT_TRUE(strict_response->result.answers.empty());
-  EXPECT_LE(relaxed_response->result.answers.size(), 3u);
+  EXPECT_TRUE(strict_response->result().answers.empty());
+  EXPECT_LE(relaxed_response->result().answers.size(), 3u);
 }
 
 TEST(TrinitTest, QueryParseErrorsPropagate) {

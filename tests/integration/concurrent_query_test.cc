@@ -52,7 +52,7 @@ TEST(ConcurrentQueryTest, ThreadedExecuteMatchesSerial) {
   for (const char* text : kQueries) {
     auto response = engine->Execute(QueryRequest::Text(text, 5));
     ASSERT_TRUE(response.ok()) << text;
-    expected.push_back(Rendered(*engine, response->result));
+    expected.push_back(Rendered(*engine, response->result()));
   }
 
   // N threads, each running every query several times against the one
@@ -68,7 +68,7 @@ TEST(ConcurrentQueryTest, ThreadedExecuteMatchesSerial) {
           auto response =
               engine->Execute(QueryRequest::Text(kQueries[qi], 5));
           if (!response.ok() ||
-              Rendered(*engine, response->result) != expected[qi]) {
+              Rendered(*engine, response->result()) != expected[qi]) {
             mismatches.fetch_add(1);
           }
         }
@@ -103,8 +103,8 @@ TEST(ConcurrentQueryTest, ExecuteBatchAlignsResultsWithRequests) {
     ASSERT_TRUE(results[i].ok()) << requests[i].text;
     auto serial = engine->Execute(requests[i]);
     ASSERT_TRUE(serial.ok());
-    EXPECT_EQ(Rendered(*engine, results[i]->result),
-              Rendered(*engine, serial->result))
+    EXPECT_EQ(Rendered(*engine, results[i]->result()),
+              Rendered(*engine, serial->result()))
         << requests[i].text;
   }
 }
@@ -124,11 +124,11 @@ TEST(ConcurrentQueryTest, ExecuteBatchMixedPerRequestOptions) {
   auto results = engine->ExecuteBatch(requests, /*num_threads=*/3);
   ASSERT_EQ(results.size(), 3u);
   for (const auto& result : results) ASSERT_TRUE(result.ok());
-  EXPECT_FALSE(results[0]->result.answers.empty());  // relaxation finds Ulm
-  EXPECT_TRUE(results[1]->result.answers.empty());   // strict finds nothing
-  EXPECT_EQ(results[2]->result.answers.size(), 1u);
-  EXPECT_EQ(Rendered(*engine, results[2]->result)[0],
-            Rendered(*engine, results[0]->result)[0]);
+  EXPECT_FALSE(results[0]->result().answers.empty());  // relaxation finds Ulm
+  EXPECT_TRUE(results[1]->result().answers.empty());   // strict finds nothing
+  EXPECT_EQ(results[2]->result().answers.size(), 1u);
+  EXPECT_EQ(Rendered(*engine, results[2]->result())[0],
+            Rendered(*engine, results[0]->result())[0]);
 }
 
 }  // namespace

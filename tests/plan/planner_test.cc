@@ -81,6 +81,48 @@ TEST_F(PlannerTest, ConnectivityBeatsRawSelectivity) {
   EXPECT_EQ(plan->order[2], 1u);
 }
 
+TEST_F(PlannerTest, EstimatesCarryPredicateFanOutStats) {
+  auto plan = Compile("?x bornIn ?c");
+  ASSERT_EQ(plan->estimates.size(), 1u);
+  // One bornIn triple in the paper KG: one distinct subject and object.
+  EXPECT_DOUBLE_EQ(plan->estimates[0].distinct_subjects, 1.0);
+  EXPECT_DOUBLE_EQ(plan->estimates[0].distinct_objects, 1.0);
+  // Variable predicate: no stats to attribute.
+  auto wild = Compile("?x ?p ?o");
+  EXPECT_DOUBLE_EQ(wild->estimates[0].distinct_subjects, 0.0);
+}
+
+TEST_F(PlannerTest, FanOutAwareCostRanksByJoinOutputNotInputSize) {
+  // `fans`: 6 triples, all from one subject (fan-out 6 per binding).
+  // `narrow`: 8 triples across 8 distinct subjects (fan-out 1). Input-
+  // size ordering would pick `fans` right after the seed (6 < 8); the
+  // fan-out-aware cost knows a bound ?x expects 6 rows through `fans`
+  // but only 1 through `narrow`, and flips them.
+  xkg::XkgBuilder b;
+  b.AddKgFact("S1", "isSeed", "Seed");
+  for (int i = 1; i <= 6; ++i) {
+    b.AddKgFact("S1", "fans", "F" + std::to_string(i));
+  }
+  for (int i = 1; i <= 8; ++i) {
+    b.AddKgFact("S" + std::to_string(i), "narrow",
+                "N" + std::to_string(i));
+  }
+  auto built = b.Build();
+  ASSERT_TRUE(built.ok());
+  xkg::Xkg xkg = std::move(built).value();
+
+  query::Query q = Parse(
+      xkg, "SELECT ?x WHERE ?x fans ?a ; ?x narrow ?b ; ?x isSeed Seed");
+  query::VarTable vars(q);
+  auto plan = Planner::Compile(q, vars, xkg);
+  ASSERT_EQ(plan->order.size(), 3u);
+  EXPECT_EQ(plan->order[0], 2u);  // the 1-match seed leads
+  EXPECT_EQ(plan->order[1], 1u);  // narrow: 8/8 = 1 expected row
+  EXPECT_EQ(plan->order[2], 0u);  // fans: 6/1 = 6 expected rows
+  EXPECT_DOUBLE_EQ(plan->estimates[0].distinct_subjects, 1.0);
+  EXPECT_DOUBLE_EQ(plan->estimates[1].distinct_subjects, 8.0);
+}
+
 TEST_F(PlannerTest, JoinKeysAreSharedVarsByExecPosition) {
   auto plan = Compile("SELECT ?x WHERE ?x bornIn ?c ; ?c locatedIn Germany");
   ASSERT_EQ(plan->order.size(), 2u);

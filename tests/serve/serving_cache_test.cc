@@ -1,12 +1,14 @@
 // Unit tests for the engine-level serving cache: answer-LRU mechanics
-// (bounded capacity, eviction order, hit copies with zeroed stats),
-// key construction (every answer-changing knob and the generation are
-// in), and the plan cache's lazy generation invalidation.
+// (bounded capacity, eviction order, shared immutable bodies served
+// without a deep copy), key construction (every answer-changing knob
+// and the generation are in), and the plan cache's lazy generation
+// invalidation.
 
 #include "serve/serving_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,7 +25,8 @@ query::Query Parse(const char* text) {
   return std::move(r).value();
 }
 
-topk::TopKResult FakeResult(rdf::TermId value, size_t pulled) {
+std::shared_ptr<const topk::TopKResult> FakeResult(rdf::TermId value,
+                                                   size_t pulled) {
   topk::TopKResult result;
   result.projection = {"x"};
   topk::Answer ans;
@@ -32,7 +35,7 @@ topk::TopKResult FakeResult(rdf::TermId value, size_t pulled) {
   ans.score = -0.5;
   result.answers.push_back(std::move(ans));
   result.stats.items_pulled = pulled;
-  return result;
+  return std::make_shared<const topk::TopKResult>(std::move(result));
 }
 
 TEST(AnswerKeyTest, DistinguishesEveryAnswerChangingKnob) {
@@ -78,19 +81,25 @@ TEST(AnswerKeyTest, DistinguishesEveryAnswerChangingKnob) {
   EXPECT_EQ(ServingCache::AnswerKey(q, scorer, deadline_changed, 0), base);
 }
 
-TEST(ServingCacheTest, AnswerRoundtripZeroesStatsOnHitCopy) {
+TEST(ServingCacheTest, AnswerRoundtripSharesTheStoredBody) {
   ServingCache cache;
-  EXPECT_FALSE(cache.LookupAnswer("k1").has_value());
-  cache.StoreAnswer("k1", FakeResult(42, /*pulled=*/99));
+  EXPECT_EQ(cache.LookupAnswer("k1"), nullptr);
+  std::shared_ptr<const topk::TopKResult> stored =
+      FakeResult(42, /*pulled=*/99);
+  cache.StoreAnswer("k1", stored);
 
   auto hit = cache.LookupAnswer("k1");
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit, nullptr);
+  // Shared immutable body: the very pointer that was stored comes back —
+  // no deep copy of the answers on either side of the cache. Its
+  // embedded stats are the stored run's; per-request zero-work stats
+  // are the serving layer's copy-on-serve concern
+  // (core::QueryResponse::stats).
+  EXPECT_EQ(hit.get(), stored.get());
   ASSERT_EQ(hit->answers.size(), 1u);
   EXPECT_EQ(hit->answers[0].binding.Get(0), 42u);
   EXPECT_EQ(hit->projection, std::vector<std::string>{"x"});
-  // The hit did no work; the stored run's counters must not leak into
-  // the served copy.
-  EXPECT_EQ(hit->stats.items_pulled, 0u);
+  EXPECT_EQ(hit->stats.items_pulled, 99u);
 
   ServingCache::Counters c = cache.counters();
   EXPECT_EQ(c.answer_hits, 1u);
@@ -107,12 +116,12 @@ TEST(ServingCacheTest, LruEvictsOldestWithinCapacity) {
 
   cache.StoreAnswer("a", FakeResult(1, 0));
   cache.StoreAnswer("b", FakeResult(2, 0));
-  ASSERT_TRUE(cache.LookupAnswer("a").has_value());  // refresh a; b is LRU
-  cache.StoreAnswer("c", FakeResult(3, 0));          // evicts b
+  ASSERT_NE(cache.LookupAnswer("a"), nullptr);  // refresh a; b is LRU
+  cache.StoreAnswer("c", FakeResult(3, 0));     // evicts b
 
-  EXPECT_TRUE(cache.LookupAnswer("a").has_value());
-  EXPECT_FALSE(cache.LookupAnswer("b").has_value());
-  EXPECT_TRUE(cache.LookupAnswer("c").has_value());
+  EXPECT_NE(cache.LookupAnswer("a"), nullptr);
+  EXPECT_EQ(cache.LookupAnswer("b"), nullptr);
+  EXPECT_NE(cache.LookupAnswer("c"), nullptr);
 
   ServingCache::Counters c = cache.counters();
   EXPECT_EQ(c.answer_evictions, 1u);
@@ -133,7 +142,7 @@ TEST(ServingCacheTest, CapacityBelowShardCountIsHonoredExactly) {
   zero.answer_capacity = 0;  // means: no answer caching at all
   ServingCache none(zero);
   none.StoreAnswer("k", FakeResult(1, 0));
-  EXPECT_FALSE(none.LookupAnswer("k").has_value());
+  EXPECT_EQ(none.LookupAnswer("k"), nullptr);
   EXPECT_EQ(none.counters().answer_entries, 0u);
 }
 
@@ -142,7 +151,7 @@ TEST(ServingCacheTest, DisabledCacheStoresAndServesNothing) {
   options.enabled = false;
   ServingCache cache(options);
   cache.StoreAnswer("k", FakeResult(1, 0));
-  EXPECT_FALSE(cache.LookupAnswer("k").has_value());
+  EXPECT_EQ(cache.LookupAnswer("k"), nullptr);
   EXPECT_EQ(cache.plan_cache(), nullptr);
   EXPECT_EQ(cache.counters().answer_entries, 0u);
 }
@@ -178,6 +187,18 @@ TEST(ServingCacheTest, BumpGenerationInvalidatesPlansLazily) {
   EXPECT_EQ(p2.get(), p2_again.get());
 }
 
+TEST(ServingCacheTest, InitialGenerationSeedsBothLayers) {
+  // A snapshot-restored engine continues the saved generation sequence:
+  // the answer keys and the plan cache both start at the stamp.
+  ServingCache cache(ServingCacheOptions{}, /*initial_generation=*/41);
+  EXPECT_EQ(cache.generation(), 41u);
+  ASSERT_NE(cache.plan_cache(), nullptr);
+  EXPECT_EQ(cache.plan_cache()->generation(), 41u);
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.generation(), 42u);
+  EXPECT_EQ(cache.plan_cache()->generation(), 42u);
+}
+
 TEST(ServingCacheTest, ConcurrentStoresAndLookupsStayCoherent) {
   ServingCacheOptions options;
   options.answer_capacity = 16;
@@ -192,7 +213,7 @@ TEST(ServingCacheTest, ConcurrentStoresAndLookupsStayCoherent) {
       for (int i = 0; i < kRounds; ++i) {
         std::string key = "q" + std::to_string((t + i) % 6);
         auto hit = cache.LookupAnswer(key);
-        if (hit.has_value()) {
+        if (hit != nullptr) {
           // Values are keyed deterministically; a hit must carry the
           // key's value, never a torn or foreign one.
           ASSERT_EQ(hit->answers[0].binding.Get(0),
