@@ -15,7 +15,8 @@ namespace trinit::core {
 
 Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options,
                uint64_t initial_generation)
-    : xkg_(std::make_unique<xkg::Xkg>(std::move(xkg))),
+    : state_mu_(std::make_unique<SharedMutex>()),
+      xkg_(std::make_unique<xkg::Xkg>(std::move(xkg))),
       options_(options),
       suggester_(std::make_unique<suggest::Suggester>(*xkg_)),
       autocomplete_(std::make_unique<suggest::Autocomplete>(*xkg_)),
@@ -54,11 +55,17 @@ Result<Trinit> Trinit::Open(const std::string& path, TrinitOptions options,
   // the saved engine's coherent invalidation sequence.
   Trinit engine(std::move(snapshot.xkg), std::move(options),
                 snapshot.generation);
-  engine.rules_ = std::move(snapshot.rules);
+  {
+    WriterMutexLock lock(*engine.state_mu_);
+    engine.rules_ = std::move(snapshot.rules);
+  }
   return engine;
 }
 
 Status Trinit::Save(const std::string& path) const {
+  // Shared: a save is a consistent read of the engine state; racing
+  // queries proceed, a racing mutator waits (or we wait for it).
+  ReaderMutexLock lock(*state_mu_);
   return storage::SnapshotWriter::Write(*xkg_, rules_,
                                         serving_cache_->generation(), path);
 }
@@ -85,7 +92,7 @@ Result<Trinit> Trinit::FromWorld(const synth::World& world,
   }
   TRINIT_ASSIGN_OR_RETURN(Trinit engine, Open(std::move(xkg), options));
   if (report != nullptr) {
-    report->rules_mined = engine.rules_.size();
+    report->rules_mined = engine.rules().size();
   }
   return engine;
 }
@@ -94,6 +101,7 @@ Status Trinit::AddManualRules(std::string_view text) {
   // Parsing is pure; the rule set is only touched below.
   TRINIT_ASSIGN_OR_RETURN(std::vector<relax::Rule> parsed,
                           relax::ParseManualRules(text));
+  WriterMutexLock lock(*state_mu_);
   Status status = Status::Ok();
   for (relax::Rule& rule : parsed) {
     status = rules_.Add(std::move(rule));
@@ -108,6 +116,7 @@ Status Trinit::AddManualRules(std::string_view text) {
 }
 
 Status Trinit::RunOperator(relax::RelaxationOperator& op) {
+  WriterMutexLock lock(*state_mu_);
   Status status = op.Generate(*xkg_, &rules_);
   // A failing operator may have added rules before erroring; invalidate
   // unconditionally before propagating.
@@ -116,6 +125,10 @@ Status Trinit::RunOperator(relax::RelaxationOperator& op) {
 }
 
 Status Trinit::ExtendKg(std::string_view facts_text) {
+  // Exclusive for the whole parse-rebuild-swap: a concurrent query must
+  // never observe the XKG pointee mid-replacement or a sub-component
+  // indexed against the old dictionary.
+  WriterMutexLock lock(*state_mu_);
   xkg::XkgBuilder builder = xkg::XkgBuilder::FromXkg(*xkg_);
   size_t added = 0;
   for (const std::string& raw : Split(facts_text, '\n')) {
@@ -162,6 +175,11 @@ Status Trinit::ExtendKg(std::string_view facts_text) {
 }
 
 Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
+  // Shared: every concurrent Execute reads the same immutable engine
+  // state; mutators take the lock exclusive, so a request sees the
+  // engine strictly before or strictly after a mutation. The internally
+  // synchronized serving cache's shard mutexes nest *inside* this lock.
+  ReaderMutexLock state_lock(*state_mu_);
   WallTimer total;
   QueryResponse response;
   ResolvedOptions resolved =
@@ -307,17 +325,20 @@ Result<topk::TopKResult> Trinit::Answer(const query::Query& q,
 explain::Explanation Trinit::Explain(const topk::TopKResult& result,
                                      size_t rank) const {
   TRINIT_CHECK(rank < result.answers.size());
+  ReaderMutexLock lock(*state_mu_);
   return explainer_->Explain(result.projection, result.answers[rank]);
 }
 
 std::vector<suggest::Suggestion> Trinit::Suggest(
     const query::Query& q, const topk::TopKResult& result) const {
+  ReaderMutexLock lock(*state_mu_);
   return suggester_->Suggest(q, result.answers);
 }
 
 std::string Trinit::RenderAnswer(const topk::TopKResult& result,
                                  size_t rank) const {
   TRINIT_CHECK(rank < result.answers.size());
+  ReaderMutexLock lock(*state_mu_);
   std::vector<std::string> parts;
   for (size_t i = 0; i < result.projection.size(); ++i) {
     parts.push_back("?" + result.projection[i] + " = " +

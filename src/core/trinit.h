@@ -20,7 +20,9 @@
 #include "suggest/suggester.h"
 #include "synth/corpus_generator.h"
 #include "topk/topk_processor.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace trinit::core {
 
@@ -51,13 +53,24 @@ struct TrinitOptions {
 /// operators), the incremental top-k processor, answer explanation, and
 /// query suggestion.
 ///
-/// Threading: `Execute` (and the `Query`/`Answer` shims over it) is
-/// `const`; the only cross-request state it touches is the internally
-/// synchronized serving cache, so any number of threads may query one
-/// engine concurrently — `ExecuteBatch` does exactly that. The mutating
-/// members (`AddManualRules`, `ExtendKg`, `RunOperator`) must not run
-/// concurrently with queries; each bumps the serving cache's generation
-/// so no stale plan or answer survives the mutation.
+/// Threading: the engine is internally synchronized by a single
+/// reader-writer lock (`state_mu_`). `Execute` (and the `Query`/
+/// `Answer` shims over it), `Save`, `Explain`, `Suggest`, and
+/// `RenderAnswer` take it shared, so any number of threads may query
+/// one engine concurrently — `ExecuteBatch` does exactly that. The
+/// mutating members (`AddManualRules`, `ExtendKg`, `RunOperator`) take
+/// it exclusive: they may now run concurrently with queries — a query
+/// observes the engine strictly before or strictly after the mutation,
+/// never mid-rebuild — and each bumps the serving cache's generation
+/// before releasing the lock so no stale plan or answer survives.
+/// Lock ordering: `state_mu_` is always acquired before any serving- or
+/// plan-cache shard mutex, never after (see docs/CONCURRENCY.md).
+///
+/// The reference-returning accessors (`xkg()`, `rules()`,
+/// `autocomplete()`) are deliberately unlocked: the references they
+/// return would outlive any internal guard. They are safe on a quiesced
+/// engine (no concurrent mutator) — the benches' and explorers' usage —
+/// and the returned references are invalidated by any mutation.
 class Trinit : public Engine {
  public:
   /// Statistics of a FromWorld build.
@@ -96,7 +109,9 @@ class Trinit : public Engine {
   /// materialized), the active rule set, and the serving-cache
   /// generation — into one versioned binary snapshot at `path`. A
   /// `Trinit::Open(path)` of the result answers byte-identically to
-  /// this engine. Must not run concurrently with mutators.
+  /// this engine. Takes the engine-state lock shared, so saving is safe
+  /// concurrently with queries and with mutators (the snapshot captures
+  /// the state strictly before or after any racing mutation).
   Status Save(const std::string& path) const;
 
   /// Full reproduction pipeline: generate the synthetic world's KG,
@@ -125,7 +140,10 @@ class Trinit : public Engine {
   // ------------------------------------------------------- Engine API
 
   std::string_view name() const override { return "TriniT"; }
-  const xkg::Xkg& xkg() const override { return *xkg_; }
+
+  /// Unlocked snapshot accessor (see class comment): must not race a
+  /// mutator; the reference is invalidated by `ExtendKg`.
+  const xkg::Xkg& xkg() const override { return XkgUnlocked(); }
 
   /// The single query entry point: resolves the request's per-call
   /// overrides against the engine defaults, parses `request.text`
@@ -168,11 +186,18 @@ class Trinit : public Engine {
                            size_t rank) const;
 
   /// Prefix auto-completion over the XKG vocabulary (demo §5).
-  const suggest::Autocomplete& autocomplete() const {
+  /// Unlocked snapshot accessor (see class comment): must not race a
+  /// mutator.
+  const suggest::Autocomplete& autocomplete() const
+      TRINIT_NO_THREAD_SAFETY_ANALYSIS {
     return *autocomplete_;
   }
 
-  const relax::RuleSet& rules() const { return rules_; }
+  /// Unlocked snapshot accessor (see class comment): must not race a
+  /// mutator.
+  const relax::RuleSet& rules() const TRINIT_NO_THREAD_SAFETY_ANALYSIS {
+    return rules_;
+  }
   const TrinitOptions& options() const { return options_; }
 
   /// The engine-level serving cache: cross-request plan reuse plus the
@@ -188,14 +213,31 @@ class Trinit : public Engine {
   Trinit(xkg::Xkg xkg, TrinitOptions options,
          uint64_t initial_generation = 0);
 
-  std::unique_ptr<xkg::Xkg> xkg_;  // stable address for sub-components
-  TrinitOptions options_;
-  relax::RuleSet rules_;
-  std::unique_ptr<suggest::Suggester> suggester_;
-  std::unique_ptr<suggest::Autocomplete> autocomplete_;
-  std::unique_ptr<explain::ExplanationBuilder> explainer_;
+  /// The unlocked body behind `xkg()` (see class comment for the
+  /// no-concurrent-mutator contract the escape hatch encodes).
+  const xkg::Xkg& XkgUnlocked() const TRINIT_NO_THREAD_SAFETY_ANALYSIS {
+    return *xkg_;
+  }
+
+  /// Engine-state reader-writer lock: queries/Save share, mutators
+  /// exclude. Heap-allocated so the (non-movable) mutex survives the
+  /// factory-return move of the engine; never null after construction.
+  /// Acquired before any cache shard mutex, never after.
+  std::unique_ptr<SharedMutex> state_mu_;
+
+  // Stable address for sub-components; the *pointee* is rebuilt by
+  // `ExtendKg` under the exclusive lock.
+  std::unique_ptr<xkg::Xkg> xkg_ TRINIT_PT_GUARDED_BY(state_mu_);
+  TrinitOptions options_;  // immutable after construction
+  relax::RuleSet rules_ TRINIT_GUARDED_BY(state_mu_);
+  std::unique_ptr<suggest::Suggester> suggester_ TRINIT_GUARDED_BY(state_mu_);
+  std::unique_ptr<suggest::Autocomplete> autocomplete_
+      TRINIT_GUARDED_BY(state_mu_);
+  std::unique_ptr<explain::ExplanationBuilder> explainer_
+      TRINIT_GUARDED_BY(state_mu_);
   // Shared across every request; survives mutations via generation
   // bumps (stale entries are invalidated lazily, never served).
+  // Internally synchronized — safe to touch under the shared lock.
   std::unique_ptr<serve::ServingCache> serving_cache_;
 };
 

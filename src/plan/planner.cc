@@ -230,7 +230,7 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
   const uint64_t gen = generation();
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.swept_generation != gen) {
       // First touch of this shard since a bump: reap every stale entry
       // (a rebuild may have moved the term ids inside the structural
@@ -265,7 +265,7 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
   // serializing every planner behind one mutex.
   std::shared_ptr<const JoinPlan> plan =
       Planner::Compile(q, vars, xkg, cost_order);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   Entry& entry = shard.entries[key];
   if (entry.plan == nullptr || entry.generation < gen) {
     entry = Entry{gen, std::move(plan)};
@@ -276,7 +276,7 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
 PlanCache::Stats PlanCache::stats() const {
   Stats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.invalidated += shard.stats.invalidated;
@@ -287,7 +287,7 @@ PlanCache::Stats PlanCache::stats() const {
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.entries.size();
   }
   return total;

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "plan/join_plan.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "xkg/xkg.h"
 
 namespace trinit::plan {
@@ -112,13 +113,13 @@ class PlanCache {
     std::shared_ptr<const JoinPlan> plan;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> entries;
-    Stats stats;
+    mutable Mutex mu;
+    std::unordered_map<std::string, Entry> entries TRINIT_GUARDED_BY(mu);
+    Stats stats TRINIT_GUARDED_BY(mu);
     /// Generation this shard last reaped stale entries for (a rebuild
     /// can move term ids inside structural keys, so stale entries must
     /// be swept, not just overwritten on key collision).
-    uint64_t swept_generation = 0;
+    uint64_t swept_generation TRINIT_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key) const;

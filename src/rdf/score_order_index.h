@@ -127,7 +127,12 @@ class ScoreOrderIndex {
   /// One lazily-built shape permutation. `built` is the publication
   /// flag: set (release) at the end of the once-body, checked (acquire)
   /// by `built_shapes`; readers inside `Lookup` are ordered by
-  /// `call_once` itself.
+  /// `call_once` itself. This publication protocol is outside what
+  /// Clang TSA can annotate (no capability is ever held after the
+  /// build); it is documented in docs/CONCURRENCY.md and exhausted by
+  /// ContendedStressTest.ConcurrentLazyShapeFirstTouch under
+  /// `ci.sh --tsan`. `ids`/`prefix_mass` are written only inside the
+  /// once-body and immutable once `built` is observed true.
   struct ShapeIndex {
     std::once_flag once;
     std::atomic<bool> built{false};

@@ -35,6 +35,13 @@ namespace trinit::rdf {
 /// first lookup (thread-safe; a workload that never queries a shape
 /// never pays for it).
 ///
+/// Threading: everything here is immutable after Build() except the
+/// lazy score-shape materialization, which publishes through
+/// `ScoreOrderIndex::ShapeIndex`'s once_flag/atomic protocol (see
+/// docs/CONCURRENCY.md — concurrent first touches are exercised under
+/// TSan by the contended stress suite). Any number of threads may read
+/// one store with no external lock.
+///
 /// Construction goes through `TripleStoreBuilder` (RocksDB-style builder
 /// idiom: mutation before Build, immutability after).
 class TripleStore {

@@ -3,6 +3,8 @@
 #include <functional>
 #include <utility>
 
+#include "util/mutex.h"
+
 namespace trinit::serve {
 
 namespace {
@@ -87,7 +89,7 @@ std::shared_ptr<const topk::TopKResult> ServingCache::LookupAnswer(
     const std::string& key) const {
   if (!options_.enabled || !options_.cache_answers) return nullptr;
   AnswerShard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -108,7 +110,7 @@ void ServingCache::StoreAnswer(
   if (!options_.enabled || !options_.cache_answers) return;
   if (result == nullptr) return;
   AnswerShard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Racing duplicate store (two threads missed on the same key):
@@ -133,7 +135,7 @@ ServingCache::Counters ServingCache::counters() const {
   Counters out;
   out.generation = generation();
   for (const AnswerShard& shard : answer_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     out.answer_hits += shard.hits;
     out.answer_misses += shard.misses;
     out.answer_insertions += shard.insertions;

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "query/query.h"
 #include "scoring/lm_scorer.h"
 #include "topk/topk_processor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace trinit::serve {
 
@@ -151,15 +152,16 @@ class ServingCache {
   using AnswerEntry =
       std::pair<std::string, std::shared_ptr<const topk::TopKResult>>;
   struct AnswerShard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used. The list owns key + shared body; the
     /// index points into it.
-    std::list<AnswerEntry> lru;
-    std::unordered_map<std::string, std::list<AnswerEntry>::iterator> index;
-    size_t hits = 0;
-    size_t misses = 0;
-    size_t insertions = 0;
-    size_t evictions = 0;
+    std::list<AnswerEntry> lru TRINIT_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<AnswerEntry>::iterator> index
+        TRINIT_GUARDED_BY(mu);
+    size_t hits TRINIT_GUARDED_BY(mu) = 0;
+    size_t misses TRINIT_GUARDED_BY(mu) = 0;
+    size_t insertions TRINIT_GUARDED_BY(mu) = 0;
+    size_t evictions TRINIT_GUARDED_BY(mu) = 0;
   };
 
   AnswerShard& ShardFor(const std::string& key) const;

@@ -107,6 +107,13 @@ struct ProcessorOptions {
 /// list; they are handled as whole-query *variants*, themselves
 /// processed best-weight-first with the same "only if it can still
 /// contribute" cutoff.
+///
+/// Threading: a processor holds no per-call mutable state — rank-join
+/// seen-state, streams, and deadlines live on `Answer`'s stack — so
+/// one processor serves concurrent `Answer` calls with no lock of its
+/// own. The two structures it touches that *are* shared (the borrowed
+/// `plan::PlanCache` and the XKG's lazy score shapes) are internally
+/// synchronized; see docs/CONCURRENCY.md.
 class TopKProcessor {
  public:
   /// `shared_plan_cache`, when non-null, is *borrowed* — the serving

@@ -16,8 +16,10 @@ namespace trinit {
 ///   Result<Dictionary> r = Dictionary::Load(path);
 ///   if (!r.ok()) return r.status();
 ///   Dictionary dict = std::move(r).value();
+/// `[[nodiscard]]` for the same reason as `Status`: a dropped Result is
+/// a dropped error (see status.h; `tools/lint.py` ratchets this).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in functions returning
   /// Result<T>.

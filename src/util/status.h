@@ -32,7 +32,13 @@ const char* StatusCodeName(StatusCode code);
 /// The success path carries no allocation: `Status::Ok()` is trivially
 /// copyable state with an empty message. Error statuses carry a code and
 /// a message describing the failure for the caller (not for end users).
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a returned Status is a latent-bug
+/// class (a failed mutation that "succeeds"); the compiler flags every
+/// discarded return, and `tools/lint.py` keeps the attribute from being
+/// removed. Intentional discards must be explicit: `(void)Foo();` with a
+/// comment saying why failure is acceptable there.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

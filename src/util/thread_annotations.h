@@ -1,0 +1,94 @@
+#ifndef TRINIT_UTIL_THREAD_ANNOTATIONS_H_
+#define TRINIT_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety), in the
+/// style of abseil's thread_annotations.h. Under any compiler without
+/// the capability attributes (GCC, MSVC) every macro expands to nothing,
+/// so annotated code is zero-cost and portable; under clang the locking
+/// discipline they declare is checked at compile time and CI escalates
+/// violations to errors (see ci.sh and CMakeLists.txt's
+/// TRINIT_HAS_THREAD_SAFETY feature detection).
+///
+/// The vocabulary, briefly:
+///
+///   TRINIT_CAPABILITY("mutex")   the class is a lockable capability
+///   TRINIT_SCOPED_CAPABILITY     RAII guard that acquires/releases one
+///   TRINIT_GUARDED_BY(mu)        member may only be touched holding mu
+///   TRINIT_PT_GUARDED_BY(mu)     ...the pointee behind a stable pointer
+///   TRINIT_REQUIRES(mu)          caller must hold mu (exclusive)
+///   TRINIT_REQUIRES_SHARED(mu)   caller must hold mu (at least shared)
+///   TRINIT_EXCLUDES(mu)          caller must NOT hold mu (deadlock fence)
+///   TRINIT_ACQUIRE / _SHARED     function acquires the capability
+///   TRINIT_RELEASE / _SHARED     function releases it
+///   TRINIT_TRY_ACQUIRE(b)        acquires iff the return value is b
+///   TRINIT_ACQUIRED_BEFORE/AFTER global lock-ordering declarations
+///   TRINIT_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (escape
+///                                hatch for deliberately unlocked
+///                                accessors; always pair with a comment
+///                                stating the external contract)
+///
+/// See docs/CONCURRENCY.md for the repo-wide locking model the
+/// annotations encode.
+
+#if defined(__clang__) && !defined(SWIG)
+#define TRINIT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TRINIT_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define TRINIT_CAPABILITY(x) TRINIT_THREAD_ANNOTATION_(capability(x))
+
+#define TRINIT_SCOPED_CAPABILITY TRINIT_THREAD_ANNOTATION_(scoped_lockable)
+
+#define TRINIT_GUARDED_BY(x) TRINIT_THREAD_ANNOTATION_(guarded_by(x))
+
+#define TRINIT_PT_GUARDED_BY(x) TRINIT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define TRINIT_ACQUIRED_BEFORE(...) \
+  TRINIT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define TRINIT_ACQUIRED_AFTER(...) \
+  TRINIT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define TRINIT_REQUIRES(...) \
+  TRINIT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define TRINIT_REQUIRES_SHARED(...) \
+  TRINIT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define TRINIT_ACQUIRE(...) \
+  TRINIT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define TRINIT_ACQUIRE_SHARED(...) \
+  TRINIT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define TRINIT_RELEASE(...) \
+  TRINIT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define TRINIT_RELEASE_SHARED(...) \
+  TRINIT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define TRINIT_RELEASE_GENERIC(...) \
+  TRINIT_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define TRINIT_TRY_ACQUIRE(...) \
+  TRINIT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define TRINIT_TRY_ACQUIRE_SHARED(...) \
+  TRINIT_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define TRINIT_EXCLUDES(...) \
+  TRINIT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define TRINIT_ASSERT_CAPABILITY(x) \
+  TRINIT_THREAD_ANNOTATION_(assert_capability(x))
+
+#define TRINIT_ASSERT_SHARED_CAPABILITY(x) \
+  TRINIT_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define TRINIT_RETURN_CAPABILITY(x) TRINIT_THREAD_ANNOTATION_(lock_returned(x))
+
+#define TRINIT_NO_THREAD_SAFETY_ANALYSIS \
+  TRINIT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TRINIT_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,329 @@
+#!/usr/bin/env python3
+"""Repo lint: the concurrency/correctness rules ci.sh enforces on every PR.
+
+Rules (each finding prints as ``path:line: [rule] message``):
+
+  mutex-member      ``std::mutex`` / ``std::shared_mutex`` (and friends)
+                    or ``std::lock_guard``-style raw guards in src/ —
+                    library code must use the annotated ``trinit::Mutex``
+                    / ``MutexLock`` wrappers (util/mutex.h) so Clang
+                    Thread Safety Analysis can see every lock.
+  nodiscard-ratchet ``util::Status`` / ``util::Result`` must stay
+                    declared ``[[nodiscard]]`` (silently dropped errors
+                    are a latent-bug class; the compiler does the
+                    per-call-site work, this rule stops the attribute
+                    from quietly disappearing).
+  discarded-status  a bare-statement call of a function whose every
+                    declaration in src/ returns Status/Result (the
+                    textual complement of [[nodiscard]] for code built
+                    without warnings-as-errors). Intentional discards
+                    are written ``(void)Foo();``.
+  naked-new         ``new`` / ``malloc`` / ``free`` outside the smart-
+                    pointer factories — ownership must be typed.
+  include-style     project includes are quote-form paths rooted at
+                    src/ (or tests/, bench/, examples/ for those trees);
+                    no ``../`` escapes, no angle-form project headers.
+  header-guard      every header carries an include guard (or
+                    ``#pragma once``).
+
+Findings can be suppressed by ``tools/lint_allowlist.txt`` entries of
+the form ``rule path/relative/to/repo`` — the committed allowlist is the
+ratchet: it only ever shrinks.
+
+Usage: lint.py [--root REPO] [--allowlist FILE] [files...]
+Exits non-zero iff un-allowlisted findings exist.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTS = (".h", ".cc", ".cpp")
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_)?(?:shared_)?(?:timed_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+NAKED_NEW_RE = re.compile(r"(?:^|[^_\w.])new\s+[A-Za-z_(]")
+MALLOC_RE = re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+GUARD_RE = re.compile(r"^\s*#\s*(?:ifndef\s+\w+|pragma\s+once)")
+# A function declaration that returns Status or Result<...>; captures the
+# name. Indented enough to be a member or free declaration.
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|friend\s+|\[\[nodiscard\]\]\s+)*"
+    r"(?:util::|trinit::)?(?:Status|Result<[^;=]*>)\s+(\w+)\s*\(")
+ANY_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|friend\s+|constexpr\s+|inline\s+|"
+    r"\[\[nodiscard\]\]\s+)*"
+    r"((?:[\w:]+(?:<[^;={}]*>)?(?:[&*\s]|::)+))(\w+)\s*\(")
+# A bare statement `obj.Foo(...)` / `Foo(...);` — no assignment, return,
+# condition, or (void) cast in front. The optional receiver prefix
+# deliberately excludes parentheses: a paren means the line is a
+# continuation or a wrapping call (macro, EXPECT_*), not a bare discard.
+BARE_CALL_RE = re.compile(r"^\s*(?:[\w\]\[.>*-]+(?:\.|->))?(\w+)\(")
+
+
+def strip_comments_and_strings(line, in_block):
+    """Returns (code-only text, still-in-block-comment) for one line."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            break
+        if c == "/" and nxt == "*":
+            in_block = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(" ")  # keep column alignment cheapness; content gone
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def code_lines(path):
+    """Yields (1-based line number, comment/string-stripped text)."""
+    in_block = False
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for lineno, line in enumerate(f, start=1):
+            raw = line.rstrip("\n")
+            # Preprocessor directives keep their "string" content — an
+            # #include path is exactly what include-style inspects.
+            if not in_block and raw.lstrip().startswith("#"):
+                yield lineno, raw.split("//", 1)[0]
+                continue
+            code, in_block = strip_comments_and_strings(raw, in_block)
+            yield lineno, code
+
+
+def collect_status_returners(root, files):
+    """Names whose every src/ declaration returns Status/Result.
+
+    A name also declared with a different return type anywhere in src/
+    (e.g. an overload returning void) is dropped: the textual check only
+    fires where it cannot be wrong about the return type.
+    """
+    status_names = set()
+    other_names = set()
+    for path in files:
+        rel = os.path.relpath(path, root)
+        if not rel.startswith("src" + os.sep) or not rel.endswith(".h"):
+            continue
+        for _, code in code_lines(path):
+            m = STATUS_DECL_RE.match(code)
+            if m:
+                status_names.add(m.group(1))
+                continue
+            m = ANY_DECL_RE.match(code)
+            if m and "(" not in m.group(1):
+                ret = m.group(1).strip()
+                if ret and not ret.startswith(("return", "if", "for",
+                                              "while", "else")):
+                    other_names.add(m.group(2))
+    return status_names - other_names
+
+
+CONTROL_PREFIXES = ("if", "for", "while", "switch", "return", "case",
+                    "else", "do", "co_return", "co_await")
+
+
+def check_file(root, path, status_names, findings):
+    rel = os.path.relpath(path, root)
+    is_header = rel.endswith(".h")
+    in_src = rel.startswith("src" + os.sep)
+    saw_guard = False
+    saw_code = False
+    # True when the next code line begins a new statement (the previous
+    # one ended in ; { or }) — the only place a bare discard can start.
+    at_statement_start = True
+
+    for lineno, code in code_lines(path):
+        stripped = code.strip()
+        if not stripped:
+            continue
+        if is_header and not saw_guard and GUARD_RE.match(code):
+            saw_guard = True
+        if not stripped.startswith("#"):
+            saw_code = True
+
+        if in_src and rel != os.path.join("src", "util", "mutex.h"):
+            m = RAW_MUTEX_RE.search(code)
+            if m:
+                findings.append((rel, lineno, "mutex-member",
+                                 f"raw {m.group(0)} — use the annotated "
+                                 "trinit::Mutex/MutexLock wrappers "
+                                 "(src/util/mutex.h)"))
+
+        if in_src:
+            if NAKED_NEW_RE.search(code):
+                findings.append((rel, lineno, "naked-new",
+                                 "naked `new` — use std::make_unique/"
+                                 "make_shared or a container"))
+            if MALLOC_RE.search(code):
+                findings.append((rel, lineno, "naked-new",
+                                 "C allocation call — use RAII ownership"))
+
+        m = INCLUDE_RE.match(code)
+        if m:
+            inc = m.group(1)
+            target = inc[1:-1]
+            if "../" in target:
+                findings.append((rel, lineno, "include-style",
+                                 f"relative include {inc} — include "
+                                 "project headers by their src/-rooted "
+                                 "path"))
+            elif inc.startswith('"'):
+                roots = ["src"]
+                top = rel.split(os.sep)[0]
+                if top in ("tests", "bench", "examples"):
+                    roots.append(top)
+                if not any(os.path.exists(os.path.join(root, r, target))
+                           for r in roots):
+                    findings.append((rel, lineno, "include-style",
+                                     f"quoted include {inc} does not "
+                                     f"resolve under {' or '.join(roots)}/"))
+            else:
+                if os.path.exists(os.path.join(root, "src", target)):
+                    findings.append((rel, lineno, "include-style",
+                                     f"project header included angle-form "
+                                     f"{inc} — use quotes"))
+
+        if at_statement_start and (in_src or rel.split(os.sep)[0]
+                                   in ("tests", "bench", "examples")):
+            m = BARE_CALL_RE.match(code)
+            if (m and m.group(1) in status_names
+                    and stripped.endswith(";")
+                    and "=" not in code
+                    and "(void)" not in code
+                    and not any(stripped.startswith(p)
+                                for p in CONTROL_PREFIXES)):
+                findings.append((rel, lineno, "discarded-status",
+                                 f"return value of Status/Result-returning "
+                                 f"`{m.group(1)}` discarded — handle it or "
+                                 "cast to (void) with a reason"))
+        if not stripped.startswith("#"):
+            at_statement_start = stripped[-1] in ";{}" or stripped.endswith(
+                ":")
+
+    if is_header and saw_code and not saw_guard:
+        findings.append((rel, 1, "header-guard",
+                         "header has neither an include guard nor "
+                         "#pragma once"))
+
+
+def check_nodiscard_ratchet(root, findings):
+    for rel, cls in ((os.path.join("src", "util", "status.h"), "Status"),
+                     (os.path.join("src", "util", "result.h"), "Result")):
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        text = open(path, encoding="utf-8").read()
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, text):
+            findings.append((rel, 1, "nodiscard-ratchet",
+                             f"class {cls} must be declared "
+                             "`class [[nodiscard]] " + cls + "`"))
+
+
+def load_allowlist(path):
+    allowed = set()
+    if not path or not os.path.exists(path):
+        return allowed
+    for raw in open(path, encoding="utf-8"):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            print(f"lint: malformed allowlist entry: {raw.rstrip()}",
+                  file=sys.stderr)
+            sys.exit(2)
+        allowed.add((parts[0], parts[1]))
+    return allowed
+
+
+def gather_files(root, explicit):
+    if explicit:
+        return [os.path.abspath(f) for f in explicit]
+    files = []
+    for d in CXX_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            for name in sorted(names):
+                if name.endswith(CXX_EXTS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             "tools/lint_allowlist.txt under root)")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: the tree)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root or
+                           os.path.join(os.path.dirname(__file__), ".."))
+    allowlist_path = args.allowlist
+    if allowlist_path is None:
+        allowlist_path = os.path.join(root, "tools", "lint_allowlist.txt")
+    allowed = load_allowlist(allowlist_path)
+
+    files = gather_files(root, args.files)
+    status_names = collect_status_returners(root, files)
+
+    findings = []
+    check_nodiscard_ratchet(root, findings)
+    for path in files:
+        check_file(root, path, status_names, findings)
+
+    kept = []
+    used = set()
+    for rel, lineno, rule, msg in findings:
+        key = (rule, rel.replace(os.sep, "/"))
+        if key in allowed:
+            used.add(key)
+            continue
+        kept.append((rel, lineno, rule, msg))
+
+    for key in sorted(allowed - used):
+        print(f"lint: stale allowlist entry (nothing to suppress): "
+              f"{key[0]} {key[1]} — ratchet it out", file=sys.stderr)
+
+    for rel, lineno, rule, msg in kept:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if kept:
+        print(f"lint: {len(kept)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint OK ({len(files)} files, "
+          f"{len(status_names)} Status-returning names tracked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py: every rule must fire on a known-bad
+snippet and stay quiet on the idiomatic spelling, and the allowlist must
+suppress (and report staleness) correctly.
+
+Run directly (``python3 tools/lint_test.py``) or through ctest (the
+``lint_selftest`` test registered in CMakeLists.txt).
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from io import StringIO
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint  # noqa: E402
+
+
+GUARD = "#ifndef X_H_\n#define X_H_\n"
+GUARD_END = "#endif  // X_H_\n"
+
+
+class LintRepo:
+    """A throwaway repo layout for one lint invocation."""
+
+    def __init__(self):
+        self.root = tempfile.mkdtemp(prefix="lint_test_")
+        for d in ("src/util", "tests", "bench", "examples", "tools"):
+            os.makedirs(os.path.join(self.root, d), exist_ok=True)
+        # Minimal nodiscard-clean Status/Result so only the rule under
+        # test fires.
+        self.write("src/util/status.h",
+                   GUARD + "class [[nodiscard]] Status {};\n" + GUARD_END)
+        self.write("src/util/result.h",
+                   GUARD + "template <typename T>\n"
+                   "class [[nodiscard]] Result {};\n" + GUARD_END)
+        self.write("src/util/mutex.h",
+                   GUARD + "#include <mutex>\n"
+                   "class Mutex { std::timed_mutex mu_; };\n" + GUARD_END)
+
+    def write(self, rel, text):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+    def allow(self, *entries):
+        self.write("tools/lint_allowlist.txt",
+                   "".join(f"{rule} {path}\n" for rule, path in entries))
+
+    def run(self):
+        out, err = StringIO(), StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            rc = lint.main(["--root", self.root])
+        return rc, out.getvalue(), err.getvalue()
+
+    def cleanup(self):
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+class LintRuleTest(unittest.TestCase):
+    def setUp(self):
+        self.repo = LintRepo()
+        self.addCleanup(self.repo.cleanup)
+
+    def assert_fires(self, rule, path_fragment=None):
+        rc, out, _ = self.repo.run()
+        self.assertEqual(rc, 1, f"expected a finding, got:\n{out}")
+        self.assertIn(f"[{rule}]", out)
+        if path_fragment:
+            self.assertIn(path_fragment, out)
+        return out
+
+    def assert_clean(self):
+        rc, out, _ = self.repo.run()
+        self.assertEqual(rc, 0, f"expected clean, got:\n{out}")
+
+    # ------------------------------------------------------ mutex-member
+    def test_raw_mutex_member_fires(self):
+        self.repo.write("src/bad_mutex.h",
+                        GUARD + "#include <mutex>\n"
+                        "struct S { std::mutex mu; };\n" + GUARD_END)
+        self.assert_fires("mutex-member", "src/bad_mutex.h")
+
+    def test_raw_lock_guard_fires(self):
+        self.repo.write("src/bad_guard.cc",
+                        "void f() { std::lock_guard<std::mutex> l(m); }\n")
+        self.assert_fires("mutex-member", "src/bad_guard.cc")
+
+    def test_shared_timed_mutex_fires(self):
+        self.repo.write("src/bad_shared.h",
+                        GUARD + "struct S { std::shared_timed_mutex mu; };\n"
+                        + GUARD_END)
+        self.assert_fires("mutex-member", "src/bad_shared.h")
+
+    def test_wrapper_and_comments_clean(self):
+        # util/mutex.h itself (written in setUp) wraps std::timed_mutex;
+        # mentions in comments and tests/ are fine too.
+        self.repo.write("src/good.h",
+                        GUARD + "// std::mutex is banned; use Mutex.\n"
+                        "struct S { int x; };\n" + GUARD_END)
+        self.repo.write("tests/uses_std_mutex_test.cc",
+                        "#include <mutex>\nstd::mutex test_only;\n")
+        self.assert_clean()
+
+    # ------------------------------------------------- nodiscard-ratchet
+    def test_removed_nodiscard_fires(self):
+        self.repo.write("src/util/status.h",
+                        GUARD + "class Status {};\n" + GUARD_END)
+        self.assert_fires("nodiscard-ratchet", "src/util/status.h")
+
+    # -------------------------------------------------- discarded-status
+    def test_bare_status_call_fires(self):
+        self.repo.write("src/api.h",
+                        GUARD + "Status Mutate(int x);\n" + GUARD_END)
+        self.repo.write("src/use.cc", "void f() {\n  Mutate(1);\n}\n")
+        self.assert_fires("discarded-status", "src/use.cc")
+
+    def test_member_call_on_receiver_fires(self):
+        self.repo.write("src/api.h",
+                        GUARD + "struct E {\n"
+                        "  Status ExtendKg(int);\n"
+                        "};\n" + GUARD_END)
+        self.repo.write("src/use.cc",
+                        "void f(E* e) {\n  e->ExtendKg(2);\n}\n")
+        self.assert_fires("discarded-status", "src/use.cc")
+
+    def test_handled_and_void_cast_clean(self):
+        self.repo.write("src/api.h",
+                        GUARD + "Status Mutate(int x);\n"
+                        "Result<int> Load(int x);\n" + GUARD_END)
+        self.repo.write(
+            "src/use.cc",
+            "void f() {\n"
+            "  Status s = Mutate(1);\n"
+            "  (void)Mutate(2);  // shutdown path, failure is fine\n"
+            "  if (!Mutate(3).ok()) return;\n"
+            "  CHECK_OK(\n"
+            "      Mutate(4));\n"  # continuation line, not a discard
+            "  return Mutate(5);\n"
+            "}\n")
+        self.assert_clean()
+
+    def test_ambiguous_name_not_tracked(self):
+        # `Add` returns Status in one class and void in another: the
+        # textual rule must not guess.
+        self.repo.write("src/api.h",
+                        GUARD + "struct A { Status Add(int); };\n"
+                        "struct B { void Add(int); };\n" + GUARD_END)
+        self.repo.write("src/use.cc", "void f(B* b) {\n  b->Add(1);\n}\n")
+        self.assert_clean()
+
+    # ------------------------------------------------------- naked-new
+    def test_naked_new_fires(self):
+        self.repo.write("src/leaky.cc", "int* f() { return new int(3); }\n")
+        self.assert_fires("naked-new", "src/leaky.cc")
+
+    def test_malloc_fires(self):
+        self.repo.write("src/leaky.cc",
+                        "void* f() { return malloc(16); }\n")
+        self.assert_fires("naked-new", "src/leaky.cc")
+
+    def test_make_unique_and_words_clean(self):
+        self.repo.write("src/fine.cc",
+                        "#include <memory>\n"
+                        "auto f() { return std::make_unique<int>(3); }\n"
+                        "int renew_count;  // 'new' inside a word\n")
+        self.assert_clean()
+
+    # ---------------------------------------------------- include-style
+    def test_relative_include_fires(self):
+        self.repo.write("src/a.cc", '#include "../tests/helper.h"\n')
+        self.assert_fires("include-style", "src/a.cc")
+
+    def test_unresolvable_quoted_include_fires(self):
+        self.repo.write("src/a.cc", '#include "nope/missing.h"\n')
+        self.assert_fires("include-style", "src/a.cc")
+
+    def test_angle_project_header_fires(self):
+        self.repo.write("src/util/hash.h", GUARD + GUARD_END)
+        self.repo.write("src/a.cc", "#include <util/hash.h>\n")
+        self.assert_fires("include-style", "src/a.cc")
+
+    def test_good_includes_clean(self):
+        self.repo.write("src/util/hash.h", GUARD + GUARD_END)
+        self.repo.write("src/a.cc",
+                        "#include <vector>\n"
+                        '#include "util/hash.h"\n')
+        self.repo.write("tests/t_test.cc",
+                        '#include "util/hash.h"\n'
+                        '#include "testing/world.h"\n')
+        self.repo.write("tests/testing/world.h", GUARD + GUARD_END)
+        self.assert_clean()
+
+    # ----------------------------------------------------- header-guard
+    def test_missing_guard_fires(self):
+        self.repo.write("src/naked.h", "struct S { int x; };\n")
+        self.assert_fires("header-guard", "src/naked.h")
+
+    def test_pragma_once_clean(self):
+        self.repo.write("src/pragma.h",
+                        "#pragma once\nstruct S { int x; };\n")
+        self.assert_clean()
+
+    # -------------------------------------------------------- allowlist
+    def test_allowlist_suppresses(self):
+        self.repo.write("src/leaky.cc", "int* f() { return new int(3); }\n")
+        self.repo.allow(("naked-new", "src/leaky.cc"))
+        self.assert_clean()
+
+    def test_allowlist_is_per_rule(self):
+        self.repo.write("src/leaky.cc",
+                        "int* f() { return new int(3); }\n"
+                        '#include "../x.h"\n')
+        self.repo.allow(("naked-new", "src/leaky.cc"))
+        out = self.assert_fires("include-style", "src/leaky.cc")
+        self.assertNotIn("[naked-new]", out)
+
+    def test_stale_allowlist_entry_reported(self):
+        self.repo.allow(("naked-new", "src/gone.cc"))
+        rc, _, err = self.repo.run()
+        self.assertEqual(rc, 0)  # stale entries warn, not fail
+        self.assertIn("stale allowlist entry", err)
+
+
+if __name__ == "__main__":
+    unittest.main()
