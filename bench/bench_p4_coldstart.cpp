@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "storage/mapped_file.h"
 #include "storage/snapshot.h"
 #include "util/timer.h"
 #include "xkg/tsv_io.h"
@@ -182,6 +183,101 @@ int main(int argc, char** argv) {
       snap_engine->xkg().store().score_shapes_built();
   const size_t snap_work = report.index_rebuilds;  // nothing re-sorted
 
+  // --------------------------------------- load-mode x codec matrix
+  // One varint-coded snapshot of the same engine, then every load
+  // mode / verification / codec combination replays the mix. Gates:
+  // the codec must at least halve the file, a trusted mmap open must
+  // touch under 10% of the file's bytes before the first query, and
+  // every combination must answer byte-identically with identical
+  // work counters.
+  const std::string varint_path = scratch + ".varint.trinit";
+  struct VarintGuard {
+    const std::string& path;
+    ~VarintGuard() { std::remove(path.c_str()); }
+  } varint_guard{varint_path};
+  if (!storage::SnapshotWriter::Write(
+           tsv_engine->xkg(), tsv_engine->rules(),
+           tsv_engine->serving_cache().generation(), varint_path,
+           {storage::SectionCodec::kVarintDelta, storage::kSnapshotVersion})
+           .ok()) {
+    std::fprintf(stderr, "varint snapshot save failed\n");
+    return 1;
+  }
+
+  struct Combo {
+    const char* label;
+    const std::string& path;
+    storage::ReadOptions options;
+  };
+  const storage::ReadOptions copy_full{storage::LoadMode::kCopy,
+                                       rdf::SnapshotValidation::kFull};
+  const storage::ReadOptions mmap_full{storage::LoadMode::kMapped,
+                                       rdf::SnapshotValidation::kFull};
+  const storage::ReadOptions mmap_trusted{storage::LoadMode::kMapped,
+                                          rdf::SnapshotValidation::kTrusted};
+  const Combo combos[] = {
+      {"raw/mmap", snap_path, mmap_full},
+      {"raw/mmap-trusted", snap_path, mmap_trusted},
+      {"varint/copy", varint_path, copy_full},
+      {"varint/mmap", varint_path, mmap_full},
+      {"varint/mmap-trusted", varint_path, mmap_trusted},
+  };
+  bool matrix_match = true;
+  size_t varint_bytes = 0;
+  storage::LoadReport trusted_report;  // raw/mmap-trusted open
+  double trusted_ms = 0.0;
+  for (const Combo& combo : combos) {
+    core::TrinitOptions options;
+    options.snapshot_read = combo.options;
+    WallTimer combo_timer;
+    storage::LoadReport combo_report;
+    auto combo_engine = core::Trinit::Open(combo.path, options,
+                                           &combo_report);
+    const double combo_ms = combo_timer.ElapsedMillis();
+    if (!combo_engine.ok()) {
+      std::fprintf(stderr, "%s open failed: %s\n", combo.label,
+                   combo_engine.status().ToString().c_str());
+      return 1;
+    }
+    MixRun combo_run = RunMix(*combo_engine, queries, kK);
+    if (!combo_run.ok) return 1;
+    const bool match =
+        combo_run.bytes == tsv_run.bytes &&
+        combo_run.counters.items_pulled == tsv_run.counters.items_pulled &&
+        combo_run.counters.items_decoded ==
+            tsv_run.counters.items_decoded &&
+        combo_run.counters.combinations_tried ==
+            tsv_run.counters.combinations_tried &&
+        combo_run.counters.partition_probes ==
+            tsv_run.counters.partition_probes;
+    if (!match) {
+      std::fprintf(stderr, "P4 REGRESSION: %s diverged from the "
+                           "TSV-built engine\n",
+                   combo.label);
+      matrix_match = false;
+    }
+    std::printf("%-18s open %6.2f ms, touched %zu/%zu bytes, "
+                "sections %zu mapped / %zu decoded%s\n",
+                combo.label, combo_ms, combo_report.bytes_touched,
+                combo_report.bytes, combo_report.sections_mapped,
+                combo_report.sections_decoded,
+                combo_report.provenance_deferred
+                    ? ", provenance deferred"
+                    : "");
+    if (combo.path == varint_path) varint_bytes = combo_report.bytes;
+    if (&combo == &combos[1]) {
+      trusted_report = combo_report;
+      trusted_ms = combo_ms;
+    }
+  }
+  const bool mmap_supported = storage::MappedFile::Supported();
+  const bool codec_2x = report.bytes >= 2 * varint_bytes;
+  // bytes_touched is meaningful only when the trusted open actually
+  // mapped (platforms without mmap fall back to the fully-read path).
+  const bool mmap_touch_10pct =
+      !mmap_supported ||
+      10 * trusted_report.bytes_touched < trusted_report.bytes;
+
   // ------------------------------------------------------- verdicts
   bool answers_match = tsv_run.bytes == snap_run.bytes;
   bool counters_match =
@@ -206,6 +302,18 @@ int main(int argc, char** argv) {
               tsv_work, tsv_index_rows_sorted, tsv_rules_mined,
               tsv_rows_parsed, snap_work, shapes_at_save,
               snap_shapes_at_load);
+  std::printf("codec: raw %zu B, varint+delta %zu B (%.2fx smaller); "
+              "trusted mmap open %.2f ms touched %.1f%% of file\n",
+              report.bytes, varint_bytes,
+              varint_bytes > 0
+                  ? static_cast<double>(report.bytes) /
+                        static_cast<double>(varint_bytes)
+                  : 0.0,
+              trusted_ms,
+              trusted_report.bytes > 0
+                  ? 100.0 * static_cast<double>(trusted_report.bytes_touched) /
+                        static_cast<double>(trusted_report.bytes)
+                  : 0.0);
   std::printf("mix: pulls %zu/%zu decodes %zu/%zu probes %zu/%zu "
               "(tsv/snapshot)\n\n",
               tsv_run.counters.items_pulled, snap_run.counters.items_pulled,
@@ -251,15 +359,23 @@ int main(int argc, char** argv) {
                "  ],\n  \"totals\": {\"tsv_index_rows_sorted\": %zu, "
                "\"tsv_rules_mined\": %zu, \"snapshot_index_rebuilds\": "
                "%zu, \"shapes_at_save\": %zu, \"shapes_restored\": %zu, "
-               "\"snapshot_bytes\": %zu, \"answers_match\": %s, "
+               "\"snapshot_bytes\": %zu, \"snapshot_bytes_varint\": %zu, "
+               "\"mmap_supported\": %s, \"mmap_bytes_touched\": %zu, "
+               "\"mmap_resident_bytes\": %zu, \"answers_match\": %s, "
                "\"counters_match\": %s, \"no_rebuild\": %s, "
-               "\"work_saved_5x\": %s}\n}\n",
+               "\"work_saved_5x\": %s, \"codec_2x\": %s, "
+               "\"mmap_touch_10pct\": %s, \"matrix_match\": %s}\n}\n",
                tsv_index_rows_sorted, tsv_rules_mined,
                report.index_rebuilds, shapes_at_save, snap_shapes_at_load,
-               report.bytes, answers_match ? "true" : "false",
+               report.bytes, varint_bytes,
+               mmap_supported ? "true" : "false",
+               trusted_report.bytes_touched, trusted_report.resident_bytes,
+               answers_match ? "true" : "false",
                counters_match ? "true" : "false",
                no_rebuild ? "true" : "false",
-               work_saved ? "true" : "false");
+               work_saved ? "true" : "false", codec_2x ? "true" : "false",
+               mmap_touch_10pct ? "true" : "false",
+               matrix_match ? "true" : "false");
   std::fclose(json);
   std::printf("wrote %s\n", args.out_path);
 
@@ -287,5 +403,18 @@ int main(int argc, char** argv) {
                  tsv_work, snap_work);
     return 1;
   }
+  if (!codec_2x) {
+    std::fprintf(stderr, "P4 REGRESSION: varint+delta snapshot (%zu B) "
+                         "is not >= 2x smaller than raw (%zu B)\n",
+                 varint_bytes, report.bytes);
+    return 1;
+  }
+  if (!mmap_touch_10pct) {
+    std::fprintf(stderr, "P4 REGRESSION: trusted mmap open touched %zu "
+                         "of %zu file bytes (>= 10%%)\n",
+                 trusted_report.bytes_touched, trusted_report.bytes);
+    return 1;
+  }
+  if (!matrix_match) return 1;
   return 0;
 }

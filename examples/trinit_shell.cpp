@@ -17,8 +17,12 @@
 //   .timeout <ms>      per-query wall-clock budget (0 = unlimited)
 //   .stats             XKG statistics
 //   .save <path>       write a binary snapshot of the serving state
-//   .load <path>       replace the engine from a snapshot (instant
-//                      cold start: no rebuild, no re-mining)
+//   .load <path> [mmap|copy] [trusted]
+//                      replace the engine from a snapshot (instant
+//                      cold start: no rebuild, no re-mining); `mmap`
+//                      serves fixed-width sections zero-copy, `trusted`
+//                      additionally skips checksums and defers
+//                      provenance decode (see storage/snapshot.h)
 //   .quit
 
 #include <cstdio>
@@ -97,7 +101,7 @@ int main(int argc, char** argv) {
       std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
                   ".explain <rank> | .complete <prefix> | .k <n> | "
                   ".timeout <ms> | .stats | .cache | .save <path> | "
-                  ".load <path> | .quit\n");
+                  ".load <path> [mmap|copy] [trusted] | .quit\n");
       continue;
     }
     if (input == ".stats") {
@@ -165,9 +169,39 @@ int main(int argc, char** argv) {
       continue;
     }
     if (input.rfind(".load ", 0) == 0) {
-      std::string path(trinit::Trim(input.substr(6)));
+      // `.load <path> [mmap|copy] [trusted]` — trailing keywords pick
+      // the snapshot load mode and verification level.
+      std::string_view rest = trinit::Trim(input.substr(6));
+      trinit::core::TrinitOptions options;
+      std::string path;
+      {
+        size_t space = rest.find(' ');
+        path = std::string(rest.substr(0, space));
+        std::string_view flags =
+            space == std::string_view::npos ? "" : rest.substr(space);
+        bool bad_flag = false;
+        while (!(flags = trinit::Trim(flags)).empty()) {
+          size_t end = flags.find(' ');
+          std::string_view flag = flags.substr(0, end);
+          flags = end == std::string_view::npos ? "" : flags.substr(end);
+          if (flag == "mmap") {
+            options.snapshot_read.mode = trinit::storage::LoadMode::kMapped;
+          } else if (flag == "copy") {
+            options.snapshot_read.mode = trinit::storage::LoadMode::kCopy;
+          } else if (flag == "trusted") {
+            options.snapshot_read.verify =
+                trinit::rdf::SnapshotValidation::kTrusted;
+          } else {
+            std::printf("  unknown .load flag '%s' (want mmap|copy|trusted)\n",
+                        std::string(flag).c_str());
+            bad_flag = true;
+            break;
+          }
+        }
+        if (bad_flag) continue;
+      }
       trinit::storage::LoadReport report;
-      auto loaded = Trinit::Open(path, {}, &report);
+      auto loaded = Trinit::Open(path, options, &report);
       if (!loaded.ok()) {
         std::printf("  %s\n", loaded.status().ToString().c_str());
         continue;
@@ -179,6 +213,20 @@ int main(int argc, char** argv) {
                   "%zu score shapes pre-built, %zu index rebuilds\n",
                   report.terms, report.triples, report.rules,
                   report.score_shapes_restored, report.index_rebuilds);
+      std::printf("  load mode: %s%s, sections %zu mapped / %zu decoded, "
+                  "codecs %zu raw / %zu varint\n",
+                  report.mapped ? "mmap" : "copy",
+                  report.provenance_deferred ? " (provenance deferred)" : "",
+                  report.sections_mapped, report.sections_decoded,
+                  report.sections_raw, report.sections_varint);
+      std::printf("  bytes: %zu file, %zu touched at open (%.1f%%), "
+                  "~%zu resident\n",
+                  report.bytes, report.bytes_touched,
+                  report.bytes == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(report.bytes_touched) /
+                            static_cast<double>(report.bytes),
+                  report.resident_bytes);
       PrintStats(*engine);
       continue;
     }

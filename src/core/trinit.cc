@@ -46,8 +46,9 @@ Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
 
 Result<Trinit> Trinit::Open(const std::string& path, TrinitOptions options,
                             storage::LoadReport* report) {
-  TRINIT_ASSIGN_OR_RETURN(storage::LoadedSnapshot snapshot,
-                          storage::SnapshotReader::Read(path));
+  TRINIT_ASSIGN_OR_RETURN(
+      storage::LoadedSnapshot snapshot,
+      storage::SnapshotReader::Read(path, options.snapshot_read));
   if (report != nullptr) *report = snapshot.report;
   // No mining on this path: the snapshot's rule set *is* the serving
   // state (mined + manual + operator rules as of the save). The stamped
@@ -67,7 +68,8 @@ Status Trinit::Save(const std::string& path) const {
   // queries proceed, a racing mutator waits (or we wait for it).
   ReaderMutexLock lock(*state_mu_);
   return storage::SnapshotWriter::Write(*xkg_, rules_,
-                                        serving_cache_->generation(), path);
+                                        serving_cache_->generation(), path,
+                                        options_.snapshot_write);
 }
 
 Result<Trinit> Trinit::FromWorld(const synth::World& world,

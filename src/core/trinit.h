@@ -46,6 +46,14 @@ struct TrinitOptions {
   /// LRU). Defaults on; `serving.enabled = false` restores per-request
   /// planning from scratch.
   serve::ServingCacheOptions serving;
+
+  /// How `Open(path)` loads a snapshot: copy-and-decode (default) or
+  /// mmap with zero-copy section views, and how hard to verify. See
+  /// `storage::SnapshotReader` for the mode/verification contract.
+  storage::ReadOptions snapshot_read;
+  /// How `Save` encodes the snapshot: per-section codec and wire format
+  /// version. See `storage::SnapshotWriter`.
+  storage::WriteOptions snapshot_write;
 };
 
 /// The TriniT engine — the system of the paper, end to end: an extended

@@ -19,16 +19,17 @@ uint32_t CountDistinct(It begin, It end, Proj proj) {
 
 GraphStats GraphStats::Compute(const TripleStore& store) {
   GraphStats gs;
+  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>> raw_args;
   for (const Triple& t : store.triples()) {
     PredicateStats& ps = gs.stats_[t.p];
     if (ps.triple_count == 0) gs.predicates_.push_back(t.p);
     ++ps.triple_count;
     ps.evidence_count += t.count;
-    gs.args_[t.p].emplace_back(t.s, t.o);
+    raw_args[t.p].emplace_back(t.s, t.o);
   }
   std::sort(gs.predicates_.begin(), gs.predicates_.end());
   for (TermId p : gs.predicates_) {
-    auto& pairs = gs.args_[p];
+    auto& pairs = raw_args[p];
     std::sort(pairs.begin(), pairs.end());
     pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
     PredicateStats& ps = gs.stats_[p];
@@ -45,6 +46,7 @@ GraphStats GraphStats::Compute(const TripleStore& store) {
         CountDistinct(subjects.begin(), subjects.end(), [](TermId x) { return x; });
     ps.distinct_objects =
         CountDistinct(objects.begin(), objects.end(), [](TermId x) { return x; });
+    gs.args_.emplace(p, std::move(pairs));
   }
   return gs;
 }
@@ -52,8 +54,8 @@ GraphStats GraphStats::Compute(const TripleStore& store) {
 Result<GraphStats> GraphStats::FromSnapshot(
     std::vector<TermId> predicates,
     std::unordered_map<TermId, PredicateStats> stats,
-    std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
-        args) {
+    std::unordered_map<TermId, ArgPairs> args,
+    SnapshotValidation validation) {
   if (stats.size() != predicates.size() || args.size() != predicates.size()) {
     return Status::InvalidArgument("graph-stats snapshot size mismatch");
   }
@@ -67,11 +69,13 @@ Result<GraphStats> GraphStats::FromSnapshot(
       return Status::InvalidArgument(
           "graph-stats snapshot missing predicate entry");
     }
-    const auto& pairs = it->second;
-    for (size_t j = 1; j < pairs.size(); ++j) {
-      if (!(pairs[j - 1] < pairs[j])) {
-        return Status::InvalidArgument(
-            "graph-stats snapshot args not sorted for a predicate");
+    if (validation == SnapshotValidation::kFull) {
+      const ArgPairs& pairs = it->second;
+      for (size_t j = 1; j < pairs.size(); ++j) {
+        if (!(pairs[j - 1] < pairs[j])) {
+          return Status::InvalidArgument(
+              "graph-stats snapshot args not sorted for a predicate");
+        }
       }
     }
   }
@@ -87,10 +91,16 @@ const GraphStats::PredicateStats* GraphStats::ForPredicate(TermId p) const {
   return it == stats_.end() ? nullptr : &it->second;
 }
 
-const std::vector<std::pair<TermId, TermId>>& GraphStats::Args(
-    TermId p) const {
+std::span<const std::pair<TermId, TermId>> GraphStats::Args(TermId p) const {
   auto it = args_.find(p);
-  return it == args_.end() ? empty_args_ : it->second;
+  return it == args_.end() ? std::span<const std::pair<TermId, TermId>>{}
+                           : it->second.span();
+}
+
+size_t GraphStats::resident_bytes() const {
+  size_t bytes = 0;
+  for (const auto& [p, pairs] : args_) bytes += pairs.owned_bytes();
+  return bytes;
 }
 
 size_t GraphStats::ArgsOverlap(TermId p1, TermId p2) const {

@@ -1,11 +1,13 @@
 #ifndef TRINIT_RDF_GRAPH_STATS_H_
 #define TRINIT_RDF_GRAPH_STATS_H_
 
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "rdf/triple_store.h"
+#include "util/owned_span.h"
 
 namespace trinit::rdf {
 
@@ -29,17 +31,23 @@ class GraphStats {
   /// The store must outlive the stats object.
   static GraphStats Compute(const TripleStore& store);
 
+  /// The args array of one predicate, span-or-vector: the copying load
+  /// path decodes into owned vectors, the mmap path views the 8-byte
+  /// (s,o) pair records of the STATS section in place.
+  using ArgPairs = util::OwnedSpan<std::pair<TermId, TermId>>;
+
   /// Reassembles stats persisted in a binary snapshot (the storage
   /// layer's load path), skipping the per-predicate sorts `Compute`
   /// pays. `predicates` must be strictly ascending and `args` sorted
   /// strictly ascending per predicate (the miners' set intersections
-  /// rely on it); both are re-verified in O(n), content is otherwise
-  /// trusted to the snapshot's checksums.
+  /// rely on it); both are re-verified in O(n) (skipped under
+  /// SnapshotValidation::kTrusted), content is otherwise trusted to
+  /// the snapshot's checksums.
   static Result<GraphStats> FromSnapshot(
       std::vector<TermId> predicates,
       std::unordered_map<TermId, PredicateStats> stats,
-      std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
-          args);
+      std::unordered_map<TermId, ArgPairs> args,
+      SnapshotValidation validation = SnapshotValidation::kFull);
 
   GraphStats(const GraphStats&) = delete;
   GraphStats& operator=(const GraphStats&) = delete;
@@ -53,8 +61,13 @@ class GraphStats {
   const PredicateStats* ForPredicate(TermId p) const;
 
   /// Distinct (subject, object) pairs connected by `p`, sorted
-  /// lexicographically. Empty for unknown predicates.
-  const std::vector<std::pair<TermId, TermId>>& Args(TermId p) const;
+  /// lexicographically. Empty for unknown predicates. The span aliases
+  /// internal storage (stats lifetime).
+  std::span<const std::pair<TermId, TermId>> Args(TermId p) const;
+
+  /// Private (per-process) bytes held by the args arrays — 0 when they
+  /// all view a shared mapping.
+  size_t resident_bytes() const;
 
   /// |args(p1) ∩ args(p2)| — same argument order.
   size_t ArgsOverlap(TermId p1, TermId p2) const;
@@ -78,8 +91,7 @@ class GraphStats {
 
   std::vector<TermId> predicates_;
   std::unordered_map<TermId, PredicateStats> stats_;
-  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>> args_;
-  std::vector<std::pair<TermId, TermId>> empty_args_;
+  std::unordered_map<TermId, ArgPairs> args_;
 };
 
 }  // namespace trinit::rdf

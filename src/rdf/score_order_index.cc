@@ -60,14 +60,15 @@ ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
                 if (a.weight != b.weight) return a.weight > b.weight;
                 return a.id < b.id;
               });
-    shaped.ids.resize(n);
-    shaped.prefix_mass.resize(n + 1);
-    shaped.prefix_mass[0] = 0;
+    std::vector<TripleId> ids(n);
+    std::vector<uint64_t> prefix_mass(n + 1);
+    prefix_mass[0] = 0;
     for (size_t i = 0; i < n; ++i) {
-      shaped.ids[i] = records[i].id;
-      shaped.prefix_mass[i + 1] =
-          shaped.prefix_mass[i] + triples[records[i].id].count;
+      ids[i] = records[i].id;
+      prefix_mass[i + 1] = prefix_mass[i] + triples[records[i].id].count;
     }
+    shaped.ids = std::move(ids);
+    shaped.prefix_mass = std::move(prefix_mass);
     shaped.built.store(true, std::memory_order_release);
   });
   return shaped;
@@ -89,13 +90,24 @@ std::vector<ScoreOrderIndex::ShapeView> ScoreOrderIndex::BuiltShapeViews()
   for (uint32_t shape = 0; shape < kNumShapes; ++shape) {
     const ShapeIndex& shaped = (*shapes_)[shape];
     if (!shaped.built.load(std::memory_order_acquire)) continue;
-    out.push_back({shape, shaped.ids, shaped.prefix_mass});
+    out.push_back({shape, shaped.ids.span(), shaped.prefix_mass.span()});
   }
   return out;
 }
 
+size_t ScoreOrderIndex::resident_bytes() const {
+  if (shapes_ == nullptr) return 0;
+  size_t bytes = 0;
+  for (const ShapeIndex& shaped : *shapes_) {
+    if (!shaped.built.load(std::memory_order_acquire)) continue;
+    bytes += shaped.ids.owned_bytes() + shaped.prefix_mass.owned_bytes();
+  }
+  return bytes;
+}
+
 Status ScoreOrderIndex::RestoreShape(ShapeSnapshot snapshot,
-                                     std::span<const Triple> triples) {
+                                     std::span<const Triple> triples,
+                                     SnapshotValidation validation) {
   const size_t num_triples = triples.size();
   if (shapes_ == nullptr) {
     return Status::FailedPrecondition(
@@ -118,33 +130,37 @@ Status ScoreOrderIndex::RestoreShape(ShapeSnapshot snapshot,
   // within a block, id tiebreak — or the binary searches and the
   // emit-best-first contract break; and each prefix mass must equal the
   // running count sum, or unsigned mass subtraction wraps. Corruption
-  // must yield a typed error, never wrong answers.
-  std::vector<bool> seen(num_triples, false);
-  for (size_t i = 0; i < num_triples; ++i) {
-    const TripleId id = snapshot.ids[i];
-    if (id >= num_triples || seen[id]) {
-      return Status::InvalidArgument(
-          "score shape ids are not a permutation of the triple ids");
-    }
-    seen[id] = true;
-    if (i > 0) {
-      const TripleId prev = snapshot.ids[i - 1];
-      const Key pk = KeyFor(shape, triples[prev]);
-      const Key ck = KeyFor(shape, triples[id]);
-      const double pw = WeightOf(triples[prev]);
-      const double cw = WeightOf(triples[id]);
-      const bool ordered =
-          pk != ck ? pk < ck : (pw != cw ? pw > cw : prev < id);
-      if (!ordered) {
+  // must yield a typed error, never wrong answers. The trusted mmap
+  // mode skips this walk by explicit caller opt-in (the O(1) size
+  // checks above still ran).
+  if (validation == SnapshotValidation::kFull) {
+    std::vector<bool> seen(num_triples, false);
+    for (size_t i = 0; i < num_triples; ++i) {
+      const TripleId id = snapshot.ids[i];
+      if (id >= num_triples || seen[id]) {
         return Status::InvalidArgument(
-            "score shape ids are not in shape order for shape " +
-            std::to_string(snapshot.shape));
+            "score shape ids are not a permutation of the triple ids");
       }
-    }
-    if (snapshot.prefix_mass[i + 1] !=
-        snapshot.prefix_mass[i] + triples[id].count) {
-      return Status::InvalidArgument(
-          "score shape prefix masses do not match triple counts");
+      seen[id] = true;
+      if (i > 0) {
+        const TripleId prev = snapshot.ids[i - 1];
+        const Key pk = KeyFor(shape, triples[prev]);
+        const Key ck = KeyFor(shape, triples[id]);
+        const double pw = WeightOf(triples[prev]);
+        const double cw = WeightOf(triples[id]);
+        const bool ordered =
+            pk != ck ? pk < ck : (pw != cw ? pw > cw : prev < id);
+        if (!ordered) {
+          return Status::InvalidArgument(
+              "score shape ids are not in shape order for shape " +
+              std::to_string(snapshot.shape));
+        }
+      }
+      if (snapshot.prefix_mass[i + 1] !=
+          snapshot.prefix_mass[i] + triples[id].count) {
+        return Status::InvalidArgument(
+            "score shape prefix masses do not match triple counts");
+      }
     }
   }
   ShapeIndex& shaped = (*shapes_)[snapshot.shape];
@@ -169,7 +185,7 @@ ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
                                              Shape shape, TermId first,
                                              TermId second) const {
   const ShapeIndex& shaped = Shaped(triples, shape);
-  const std::vector<TripleId>& ids = shaped.ids;
+  const std::span<const TripleId> ids = shaped.ids.span();
   // Bound slots form the primary sort key; within a block the order is
   // by weight, which both search keys ignore (b spans the whole block
   // when `second` is a wildcard).
@@ -185,7 +201,7 @@ ScoreOrderIndex::List ScoreOrderIndex::Range(std::span<const Triple> triples,
       });
   size_t b_idx = static_cast<size_t>(begin - ids.begin());
   size_t e_idx = static_cast<size_t>(end - ids.begin());
-  const std::vector<uint64_t>& mass = shaped.prefix_mass;
+  const std::span<const uint64_t> mass = shaped.prefix_mass.span();
   return {std::span<const TripleId>(ids.data() + b_idx, e_idx - b_idx),
           mass[e_idx] - mass[b_idx]};
 }

@@ -9,9 +9,26 @@
 #include <vector>
 
 #include "rdf/triple.h"
+#include "util/owned_span.h"
 #include "util/status.h"
 
 namespace trinit::rdf {
+
+/// How much re-verification snapshot-restored index structures get.
+///
+///  * kFull     every invariant later code relies on for memory safety
+///              or correctness is re-checked in O(n) — the default, and
+///              what the copying load path and the default mapped mode
+///              use. Corrupt input yields a typed error, never UB.
+///  * kTrusted  only O(1) structural checks (sizes, counts) run; the
+///              content is trusted to be exactly what the writer
+///              produced. Reserved for the storage layer's explicit
+///              opt-in "trusted mmap" mode, where touching every byte
+///              at open would defeat the point of mapping (see
+///              storage::SnapshotReader). Feeding it a file whose
+///              *contents* were corrupted without breaking the section
+///              framing is undefined behavior by contract.
+enum class SnapshotValidation { kFull, kTrusted };
 
 /// Score-ordered posting lists over a finished triple set — the "index
 /// lists accessible in sorted order of scores" the paper's incremental
@@ -55,10 +72,12 @@ class ScoreOrderIndex {
   /// (`storage::SnapshotWriter`): the shape's id order and prefix-mass
   /// sums exactly as the lazy build produced them, so a loaded index
   /// never re-sorts.
+  /// Arrays arrive as span-or-vector: the copying load path decodes
+  /// into owned vectors, the mmap path views the mapping in place.
   struct ShapeSnapshot {
     uint32_t shape = 0;  ///< Shape enum value, 0..kNumShapes-1
-    std::vector<TripleId> ids;
-    std::vector<uint64_t> prefix_mass;  ///< size ids.size() + 1
+    util::OwnedSpan<TripleId> ids;
+    util::OwnedSpan<uint64_t> prefix_mass;  ///< size ids.size() + 1
   };
 
   ScoreOrderIndex() = default;
@@ -109,10 +128,15 @@ class ScoreOrderIndex {
   /// re-verified in O(n) against `triples` (the array the index was
   /// built over): ids a permutation, (key, weight desc, id) order, and
   /// prefix masses equal to the running count sums — so a corrupt
-  /// snapshot yields InvalidArgument, never wrong answers.
+  /// snapshot yields InvalidArgument, never wrong answers. Under
+  /// SnapshotValidation::kTrusted only the O(1) size checks run.
   /// FailedPrecondition when the shape was already built.
-  Status RestoreShape(ShapeSnapshot snapshot,
-                      std::span<const Triple> triples);
+  Status RestoreShape(ShapeSnapshot snapshot, std::span<const Triple> triples,
+                      SnapshotValidation validation = SnapshotValidation::kFull);
+
+  /// Private (per-process) bytes held by materialized shapes — 0 when
+  /// every built shape views a shared mapping.
+  size_t resident_bytes() const;
 
  private:
   enum Shape { kAll, kS, kP, kO, kSP, kSO, kPO, kNumShapes };
@@ -136,9 +160,9 @@ class ScoreOrderIndex {
   struct ShapeIndex {
     std::once_flag once;
     std::atomic<bool> built{false};
-    std::vector<TripleId> ids;
+    util::OwnedSpan<TripleId> ids;
     // prefix_mass[i] = sum of counts over ids[0..i).
-    std::vector<uint64_t> prefix_mass;
+    util::OwnedSpan<uint64_t> prefix_mass;
   };
 
   /// The shape's permutation, sorted on first call.

@@ -27,7 +27,7 @@ TripleStore::Key TripleStore::KeyFor(Perm perm, const Triple& t) const {
 
 std::span<const TripleId> TripleStore::PrefixRange(Perm perm, TermId first,
                                                    TermId second) const {
-  const std::vector<TripleId>& ids = perms_[perm];
+  const std::span<const TripleId> ids = perms_[perm].span();
   // Bound slots form a prefix: `first` is always bound; `second` may be
   // kNullTerm (wildcard), in which case we range over the whole block.
   Key lo{first, second == kNullTerm ? 0 : second, 0};
@@ -40,7 +40,7 @@ std::span<const TripleId> TripleStore::PrefixRange(Perm perm, TermId first,
   };
   auto begin = std::lower_bound(ids.begin(), ids.end(), lo, cmp);
   auto end = std::upper_bound(begin, ids.end(), hi, cmp2);
-  return {&*ids.begin() + (begin - ids.begin()),
+  return {ids.data() + (begin - ids.begin()),
           static_cast<size_t>(end - begin)};
 }
 
@@ -96,18 +96,21 @@ std::span<const TripleId> TripleStore::IndexPermutation(size_t i) const {
   return perms_[i];
 }
 
-Result<TripleStore> TripleStore::FromSnapshot(std::vector<Triple> triples,
-                                              IndexSnapshot indexes) {
+Result<TripleStore> TripleStore::FromSnapshot(util::OwnedSpan<Triple> triples,
+                                              IndexSnapshot indexes,
+                                              SnapshotValidation validation) {
   const size_t n = triples.size();
-  for (size_t i = 0; i < n; ++i) {
-    const Triple& t = triples[i];
-    if (t.s == kNullTerm || t.p == kNullTerm || t.o == kNullTerm) {
-      return Status::InvalidArgument("snapshot triple with null slot");
-    }
-    if (i > 0 && !SpoLess(triples[i - 1], t)) {
-      return Status::InvalidArgument(
-          "snapshot triples not strictly SPO-sorted at index " +
-          std::to_string(i));
+  if (validation == SnapshotValidation::kFull) {
+    for (size_t i = 0; i < n; ++i) {
+      const Triple& t = triples[i];
+      if (t.s == kNullTerm || t.p == kNullTerm || t.o == kNullTerm) {
+        return Status::InvalidArgument("snapshot triple with null slot");
+      }
+      if (i > 0 && !SpoLess(triples[i - 1], t)) {
+        return Status::InvalidArgument(
+            "snapshot triples not strictly SPO-sorted at index " +
+            std::to_string(i));
+      }
     }
   }
   if (indexes.perms.size() != static_cast<size_t>(kNumPerms)) {
@@ -126,39 +129,51 @@ Result<TripleStore> TripleStore::FromSnapshot(std::vector<Triple> triples,
   }
   std::vector<bool> seen(n);
   for (int perm = 0; perm < kNumPerms; ++perm) {
-    std::vector<TripleId>& ids = indexes.perms[perm];
+    util::OwnedSpan<TripleId>& ids = indexes.perms[perm];
     if (ids.size() != n) {
       return Status::InvalidArgument("snapshot permutation size mismatch");
     }
-    seen.assign(n, false);
-    for (size_t i = 0; i < n; ++i) {
-      // A permutation must hold every triple id exactly once — a
-      // duplicate would silently drop its sort-order neighbor from
-      // query answers.
-      if (ids[i] >= n || seen[ids[i]]) {
-        return Status::InvalidArgument(
-            "snapshot permutation is not a permutation of the triple ids");
-      }
-      seen[ids[i]] = true;
-      // Binary searches over the permutation assume key order; verify it
-      // (O(n) compares, still no sort on the load path).
-      if (i > 0 &&
-          store.KeyFor(static_cast<Perm>(perm), store.triples_[ids[i]]) <
-              store.KeyFor(static_cast<Perm>(perm),
-                           store.triples_[ids[i - 1]])) {
-        return Status::InvalidArgument(
-            "snapshot permutation not sorted for perm " +
-            std::to_string(perm));
+    if (validation == SnapshotValidation::kFull) {
+      seen.assign(n, false);
+      for (size_t i = 0; i < n; ++i) {
+        // A permutation must hold every triple id exactly once — a
+        // duplicate would silently drop its sort-order neighbor from
+        // query answers.
+        if (ids[i] >= n || seen[ids[i]]) {
+          return Status::InvalidArgument(
+              "snapshot permutation is not a permutation of the triple ids");
+        }
+        seen[ids[i]] = true;
+        // Binary searches over the permutation assume key order; verify
+        // it (O(n) compares, still no sort on the load path).
+        if (i > 0 &&
+            store.KeyFor(static_cast<Perm>(perm), store.triples_[ids[i]]) <
+                store.KeyFor(static_cast<Perm>(perm),
+                             store.triples_[ids[i - 1]])) {
+          return Status::InvalidArgument(
+              "snapshot permutation not sorted for perm " +
+              std::to_string(perm));
+        }
       }
     }
     store.perms_[perm] = std::move(ids);
   }
   store.score_index_ = ScoreOrderIndex::Build(store.triples_);
   for (ScoreOrderIndex::ShapeSnapshot& shape : indexes.score_shapes) {
-    TRINIT_RETURN_IF_ERROR(
-        store.score_index_.RestoreShape(std::move(shape), store.triples_));
+    TRINIT_RETURN_IF_ERROR(store.score_index_.RestoreShape(
+        std::move(shape), store.triples_, validation));
   }
   return store;
+}
+
+size_t TripleStore::resident_bytes() const {
+  size_t bytes = triples_.owned_bytes() +
+                 identity_.capacity() * sizeof(TripleId) +
+                 score_index_.resident_bytes();
+  for (const util::OwnedSpan<TripleId>& perm : perms_) {
+    bytes += perm.owned_bytes();
+  }
+  return bytes;
 }
 
 Result<TripleStore> TripleStoreBuilder::Build() {
@@ -171,21 +186,23 @@ Result<TripleStore> TripleStoreBuilder::Build() {
   std::sort(pending_.begin(), pending_.end(), SpoLess);
 
   // Deduplicate: sum counts, keep max confidence and min source id.
-  store.triples_.reserve(pending_.size());
+  std::vector<Triple> triples;
+  triples.reserve(pending_.size());
   for (const Triple& t : pending_) {
-    if (!store.triples_.empty() && store.triples_.back() == t) {
-      Triple& back = store.triples_.back();
+    if (!triples.empty() && triples.back() == t) {
+      Triple& back = triples.back();
       back.count += t.count;
       back.confidence = std::max(back.confidence, t.confidence);
       back.source = std::min(back.source, t.source);
     } else {
-      store.triples_.push_back(t);
+      triples.push_back(t);
     }
   }
   pending_.clear();
   pending_.shrink_to_fit();
 
-  const size_t n = store.triples_.size();
+  const size_t n = triples.size();
+  store.triples_ = std::move(triples);
   store.identity_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     store.identity_[i] = static_cast<TripleId>(i);
@@ -193,14 +210,14 @@ Result<TripleStore> TripleStoreBuilder::Build() {
     store.max_count_ = std::max(store.max_count_, store.triples_[i].count);
   }
   for (int perm = 0; perm < TripleStore::kNumPerms; ++perm) {
-    std::vector<TripleId>& ids = store.perms_[perm];
-    ids = store.identity_;
+    std::vector<TripleId> ids = store.identity_;
     std::sort(ids.begin(), ids.end(), [&store, perm](TripleId a, TripleId b) {
       return store.KeyFor(static_cast<TripleStore::Perm>(perm),
                           store.triples_[a]) <
              store.KeyFor(static_cast<TripleStore::Perm>(perm),
                           store.triples_[b]);
     });
+    store.perms_[perm] = std::move(ids);
   }
   store.score_index_ = ScoreOrderIndex::Build(store.triples_);
   return store;

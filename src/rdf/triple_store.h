@@ -6,6 +6,7 @@
 
 #include "rdf/score_order_index.h"
 #include "rdf/triple.h"
+#include "util/owned_span.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -61,7 +62,7 @@ class TripleStore {
   const Triple& triple(TripleId id) const { return triples_[id]; }
 
   /// All triples in SPO order.
-  std::span<const Triple> triples() const { return triples_; }
+  std::span<const Triple> triples() const { return triples_.span(); }
 
   /// Ids of all triples matching the pattern; `kNullTerm` in a slot means
   /// wildcard. The returned span aliases an internal permutation array
@@ -122,8 +123,10 @@ class TripleStore {
   /// five permutation arrays plus every persisted score-ordered shape.
   /// Together with the triples this is everything `FromSnapshot` needs
   /// to reassemble the store without a single sort.
+  /// Arrays arrive as span-or-vector: the copying load path decodes
+  /// into owned vectors, the mmap path views the mapping in place.
   struct IndexSnapshot {
-    std::vector<std::vector<TripleId>> perms;  ///< kNumIndexPermutations
+    std::vector<util::OwnedSpan<TripleId>> perms;  ///< kNumIndexPermutations
     std::vector<ScoreOrderIndex::ShapeSnapshot> score_shapes;
   };
 
@@ -136,9 +139,18 @@ class TripleStore {
   /// permutation a bounds-checked true permutation in key order,
   /// score-shape order and mass consistency — so a corrupt snapshot
   /// that slipped past its checksums still yields a typed error, never
-  /// UB or silently wrong answers.
-  static Result<TripleStore> FromSnapshot(std::vector<Triple> triples,
-                                          IndexSnapshot indexes);
+  /// UB or silently wrong answers. Under SnapshotValidation::kTrusted
+  /// (the storage layer's explicit trusted-mmap opt-in) only the O(1)
+  /// structural checks run.
+  static Result<TripleStore> FromSnapshot(
+      util::OwnedSpan<Triple> triples, IndexSnapshot indexes,
+      SnapshotValidation validation = SnapshotValidation::kFull);
+
+  /// Private (per-process) bytes held by the store's arrays: owned
+  /// triple/permutation/shape buffers plus the identity array. Views
+  /// over a shared mapping contribute 0 — the basis of the load
+  /// report's resident estimate.
+  size_t resident_bytes() const;
 
  private:
   friend class TripleStoreBuilder;
@@ -155,8 +167,8 @@ class TripleStore {
   std::span<const TripleId> PrefixRange(Perm perm, TermId first,
                                         TermId second) const;
 
-  std::vector<Triple> triples_;  // ascending SPO
-  std::vector<TripleId> perms_[kNumPerms];
+  util::OwnedSpan<Triple> triples_;  // ascending SPO
+  util::OwnedSpan<TripleId> perms_[kNumPerms];
   std::vector<TripleId> identity_;  // 0..n-1 (SPO view for uniform spans)
   ScoreOrderIndex score_index_;     // score-ordered shape permutations
   uint64_t total_count_ = 0;

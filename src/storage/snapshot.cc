@@ -1,24 +1,31 @@
 #include "storage/snapshot.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "rdf/graph_stats.h"
 #include "rdf/triple_store.h"
+#include "storage/mapped_file.h"
+#include "storage/varint.h"
 #include "util/hash.h"
+#include "util/owned_span.h"
 
 namespace trinit::storage {
 namespace {
 
 // ------------------------------------------------------------- layout
 
-// Section ids of format version 1. Every section is present exactly
-// once; the reader rejects files missing any of them.
+// Section ids (stable across format versions). Every section is present
+// exactly once; the reader rejects files missing any of them.
 enum SectionId : uint32_t {
   kMeta = 1,
   kDictionary = 2,
@@ -32,11 +39,32 @@ enum SectionId : uint32_t {
 constexpr uint32_t kNumSections = 8;
 
 // Written after the magic; a big-endian reader sees it byte-swapped and
-// rejects the file instead of mis-decoding every integer.
+// rejects the file instead of mis-decoding every integer. It also
+// guards the mmap view path: raw section records are only aliased in
+// place on a machine whose byte order matches the writer's.
 constexpr uint32_t kEndianTag = 0x01020304u;
 
 constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 4 + 4;  // 32
 constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8 + 8;  // 32
+
+// The raw TRIPLES section is viewed in place as `rdf::Triple` records
+// in mapped mode; these assert the in-memory layout matches the wire
+// layout (s, p, o, confidence-bits, count, source — 24 bytes).
+static_assert(sizeof(rdf::Triple) == 24);
+static_assert(std::is_trivially_copyable_v<rdf::Triple>);
+static_assert(offsetof(rdf::Triple, s) == 0);
+static_assert(offsetof(rdf::Triple, p) == 4);
+static_assert(offsetof(rdf::Triple, o) == 8);
+static_assert(offsetof(rdf::Triple, confidence) == 12);
+static_assert(offsetof(rdf::Triple, count) == 16);
+static_assert(offsetof(rdf::Triple, source) == 20);
+
+// Likewise for the STATS (s, o) pair arrays.
+using ArgPair = std::pair<rdf::TermId, rdf::TermId>;
+static_assert(sizeof(ArgPair) == 8);
+static_assert(std::is_standard_layout_v<ArgPair>);
+static_assert(offsetof(ArgPair, first) == 0);
+static_assert(offsetof(ArgPair, second) == 4);
 
 // --------------------------------------------------------- encoding
 
@@ -66,6 +94,26 @@ void PutF64(std::string* out, double v) {
 void PutStr(std::string* out, std::string_view s) {
   PutU32(out, static_cast<uint32_t>(s.size()));
   out->append(s);
+}
+// Zero-pads a v2 section payload to the next 8-byte boundary, keeping
+// every u64 field of the *next* record 8-aligned relative to the
+// (8-aligned) section start — the precondition for viewing arrays in
+// place.
+void PadTo8(std::string* out) {
+  while (out->size() % 8 != 0) out->push_back('\0');
+}
+
+// Little-endian loads at absolute positions, for the mapped-view
+// walkers (the copying decoders go through Cursor). Callers bounds-check.
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
 }
 
 /// Bounds-checked forward reader over one section payload. Every
@@ -138,14 +186,57 @@ Status Corrupt(const std::string& what) {
   return Status::ParseError("snapshot corrupt: " + what);
 }
 
+/// One parsed section-table entry.
+struct SectionRef {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+  SectionCodec codec = SectionCodec::kRaw;
+};
+
+std::span<const char> SectionSpan(std::span<const char> file,
+                                  const SectionRef& s) {
+  return file.subspan(static_cast<size_t>(s.offset),
+                      static_cast<size_t>(s.length));
+}
+
+/// Aliases `count` records of T starting at file offset `offset`.
+/// Bounds are the caller's job (walkers check before advancing); the
+/// runtime alignment check is the last line of defense for a hostile
+/// offset table — misalignment is corruption, never UB.
+template <typename T>
+bool MakeView(std::span<const char> file, uint64_t offset, uint64_t count,
+              std::span<const T>* out) {
+  const char* p = file.data() + offset;
+  if (reinterpret_cast<uintptr_t>(p) % alignof(T) != 0) return false;
+  *out = std::span<const T>(reinterpret_cast<const T*>(p),
+                            static_cast<size_t>(count));
+  return true;
+}
+
+/// Reads a zigzag delta whose magnitude must fit the 32-bit id space;
+/// bounding it here keeps the running accumulators far from signed
+/// overflow on hostile input.
+bool GetSmallZigzag(const char* data, size_t size, size_t* pos, int64_t* d) {
+  uint64_t raw;
+  if (!GetVarint(data, size, pos, &raw)) return false;
+  if (raw > (uint64_t{1} << 33)) return false;
+  *d = ZigzagDecode(raw);
+  return true;
+}
+
 // ----------------------------------------------------- section writers
 
-std::string EncodeMeta(const xkg::Xkg& xkg, const relax::RuleSet& rules) {
+std::string EncodeMeta(const xkg::Xkg& xkg, const relax::RuleSet& rules,
+                       uint32_t version, uint64_t prov_records) {
   std::string out;
   PutU64(&out, xkg.kg_triple_count());
   PutU64(&out, xkg.dict().size());
   PutU64(&out, xkg.store().size());
   PutU64(&out, rules.size());
+  // v2: the PROV record count lives in META so a trusted mapped load
+  // can report it without touching the (deferred) PROV section.
+  if (version >= 2) PutU64(&out, prov_records);
   return out;
 }
 
@@ -173,34 +264,111 @@ std::string EncodeTriples(const rdf::TripleStore& store) {
   return out;
 }
 
-std::string EncodePermutations(const rdf::TripleStore& store) {
+// Triples are SPO-sorted, so `s` is nondecreasing (plain varint delta)
+// while `p`/`o` jitter around their previous values (zigzag). The
+// confidence delta is taken on the float's bit pattern — runs of equal
+// confidence (the common case) cost one byte.
+std::string EncodeTriplesVarint(const rdf::TripleStore& store) {
+  std::string out;
+  PutVarint(&out, store.size());
+  uint32_t ps = 0, pp = 0, po = 0, pc = 0;
+  for (const rdf::Triple& t : store.triples()) {
+    uint32_t bits;
+    std::memcpy(&bits, &t.confidence, 4);
+    PutVarint(&out, t.s - ps);
+    PutZigzag(&out, static_cast<int64_t>(t.p) - pp);
+    PutZigzag(&out, static_cast<int64_t>(t.o) - po);
+    PutZigzag(&out, static_cast<int64_t>(bits) - pc);
+    PutVarint(&out, t.count);
+    PutVarint(&out, t.source);
+    ps = t.s;
+    pp = t.p;
+    po = t.o;
+    pc = bits;
+  }
+  return out;
+}
+
+// v1: u32 num, then per perm u64 n + n*u32 ids (unaligned after the
+// first odd-sized array — decode-only).
+// v2: u32 num + u32 reserved, per perm u64 n + ids, zero-padded to 8
+// so every array is viewable in place.
+std::string EncodePermutationsRaw(const rdf::TripleStore& store,
+                                  uint32_t version) {
   std::string out;
   PutU32(&out,
          static_cast<uint32_t>(rdf::TripleStore::kNumIndexPermutations));
+  if (version >= 2) PutU32(&out, 0);
   for (size_t i = 0; i < rdf::TripleStore::kNumIndexPermutations; ++i) {
     // Zero-copy: the span aliases the store's own array.
     std::span<const rdf::TripleId> perm = store.IndexPermutation(i);
     PutU64(&out, perm.size());
     for (rdf::TripleId id : perm) PutU32(&out, id);
+    if (version >= 2) PadTo8(&out);
   }
   return out;
 }
 
-std::string EncodeScoreShapes(const rdf::TripleStore& store) {
+std::string EncodePermutationsVarint(const rdf::TripleStore& store) {
+  std::string out;
+  PutVarint(&out, rdf::TripleStore::kNumIndexPermutations);
+  for (size_t i = 0; i < rdf::TripleStore::kNumIndexPermutations; ++i) {
+    std::span<const rdf::TripleId> perm = store.IndexPermutation(i);
+    PutVarint(&out, perm.size());
+    int64_t prev = 0;
+    for (rdf::TripleId id : perm) {
+      PutZigzag(&out, static_cast<int64_t>(id) - prev);
+      prev = id;
+    }
+  }
+  return out;
+}
+
+// v1: u32 num, per shape u32 shape + u64 n + ids + masses (unaligned —
+// decode-only). v2: u32 num + u32 reserved, per shape u32 shape +
+// u32 reserved + u64 n + ids + pad + (n+1) u64 masses, viewable.
+std::string EncodeScoreShapesRaw(const rdf::TripleStore& store,
+                                 uint32_t version) {
   std::string out;
   std::vector<rdf::ScoreOrderIndex::ShapeView> shapes =
       store.BuiltScoreShapes();
   PutU32(&out, static_cast<uint32_t>(shapes.size()));
+  if (version >= 2) PutU32(&out, 0);
   for (const rdf::ScoreOrderIndex::ShapeView& shape : shapes) {
     PutU32(&out, shape.shape);
+    if (version >= 2) PutU32(&out, 0);
     PutU64(&out, shape.ids.size());
     for (rdf::TripleId id : shape.ids) PutU32(&out, id);
+    if (version >= 2) PadTo8(&out);
     for (uint64_t mass : shape.prefix_mass) PutU64(&out, mass);
   }
   return out;
 }
 
-std::string EncodeGraphStats(const rdf::GraphStats& stats) {
+std::string EncodeScoreShapesVarint(const rdf::TripleStore& store) {
+  std::string out;
+  std::vector<rdf::ScoreOrderIndex::ShapeView> shapes =
+      store.BuiltScoreShapes();
+  PutVarint(&out, shapes.size());
+  for (const rdf::ScoreOrderIndex::ShapeView& shape : shapes) {
+    PutVarint(&out, shape.shape);
+    PutVarint(&out, shape.ids.size());
+    int64_t prev = 0;
+    for (rdf::TripleId id : shape.ids) {
+      PutZigzag(&out, static_cast<int64_t>(id) - prev);
+      prev = id;
+    }
+    // Prefix masses are nondecreasing by construction: plain deltas.
+    uint64_t prev_mass = 0;
+    for (uint64_t mass : shape.prefix_mass) {
+      PutVarint(&out, mass - prev_mass);
+      prev_mass = mass;
+    }
+  }
+  return out;
+}
+
+std::string EncodeGraphStatsRaw(const rdf::GraphStats& stats) {
   std::string out;
   PutU64(&out, stats.predicates().size());
   for (rdf::TermId p : stats.predicates()) {
@@ -220,7 +388,36 @@ std::string EncodeGraphStats(const rdf::GraphStats& stats) {
   return out;
 }
 
-std::string EncodeProvenance(const xkg::Xkg& xkg) {
+// Predicates are strictly ascending; each predicate's (s,o) pairs are
+// sorted lexicographically, so `first` takes plain varint deltas and
+// `second` zigzag deltas.
+std::string EncodeGraphStatsVarint(const rdf::GraphStats& stats) {
+  std::string out;
+  PutVarint(&out, stats.predicates().size());
+  uint64_t prev_p = 0;
+  for (rdf::TermId p : stats.predicates()) {
+    const rdf::GraphStats::PredicateStats* ps = stats.ForPredicate(p);
+    PutVarint(&out, p - prev_p);
+    prev_p = p;
+    PutVarint(&out, ps->triple_count);
+    PutVarint(&out, ps->evidence_count);
+    PutVarint(&out, ps->distinct_subjects);
+    PutVarint(&out, ps->distinct_objects);
+    const auto& args = stats.Args(p);
+    PutVarint(&out, args.size());
+    uint64_t prev_first = 0;
+    int64_t prev_second = 0;
+    for (const auto& [s, o] : args) {
+      PutVarint(&out, s - prev_first);
+      PutZigzag(&out, static_cast<int64_t>(o) - prev_second);
+      prev_first = s;
+      prev_second = o;
+    }
+  }
+  return out;
+}
+
+std::string EncodeProvenanceRaw(const xkg::Xkg& xkg, uint64_t* records_out) {
   std::string out;
   std::string body;
   uint64_t entries = 0;
@@ -235,10 +432,77 @@ std::string EncodeProvenance(const xkg::Xkg& xkg) {
       PutU32(&body, prov.sentence_idx);
       PutF64(&body, prov.extraction_confidence);
       PutStr(&body, prov.sentence);
+      ++*records_out;
     }
   }
   PutU64(&out, entries);
   out += body;
+  return out;
+}
+
+// PROV dominates snapshot bytes and its cost is sentence text, which
+// plain delta coding cannot touch. The varint codec therefore
+// deduplicates sentences into a sorted front-coded table (shared
+// prefix length + suffix) and stores per-record sentence *references*;
+// numeric fields take varints, confidence as a zigzag wraparound delta
+// of the f64 bit pattern (runs of equal confidence cost one byte).
+std::string EncodeProvenanceVarint(const xkg::Xkg& xkg,
+                                   uint64_t* records_out) {
+  struct Entry {
+    rdf::TripleId id;
+    const std::vector<xkg::Provenance>* records;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::string_view> sentences;
+  for (rdf::TripleId id = 0; id < xkg.store().size(); ++id) {
+    const std::vector<xkg::Provenance>& records = xkg.ProvenanceFor(id);
+    if (records.empty()) continue;
+    entries.push_back({id, &records});
+    for (const xkg::Provenance& prov : records) {
+      sentences.push_back(prov.sentence);
+    }
+  }
+  std::sort(sentences.begin(), sentences.end());
+  sentences.erase(std::unique(sentences.begin(), sentences.end()),
+                  sentences.end());
+  std::unordered_map<std::string_view, uint64_t> sentence_index;
+  sentence_index.reserve(sentences.size());
+  for (uint64_t i = 0; i < sentences.size(); ++i) {
+    sentence_index.emplace(sentences[i], i);
+  }
+
+  std::string out;
+  PutVarint(&out, entries.size());
+  PutVarint(&out, sentences.size());
+  std::string_view prev;
+  for (std::string_view s : sentences) {
+    size_t lcp = 0;
+    const size_t max = std::min(prev.size(), s.size());
+    while (lcp < max && prev[lcp] == s[lcp]) ++lcp;
+    PutVarint(&out, lcp);
+    PutVarint(&out, s.size() - lcp);
+    out.append(s.substr(lcp));
+    prev = s;
+  }
+  uint64_t prev_id_plus1 = 0;
+  uint64_t prev_bits = 0;
+  for (const Entry& e : entries) {
+    // Entry ids are strictly ascending: delta of (id + 1) is >= 1, and
+    // the decoder rejects 0 (a duplicate) structurally.
+    PutVarint(&out, uint64_t{e.id} + 1 - prev_id_plus1);
+    prev_id_plus1 = uint64_t{e.id} + 1;
+    PutVarint(&out, e.records->size());
+    for (const xkg::Provenance& prov : *e.records) {
+      uint64_t bits;
+      std::memcpy(&bits, &prov.extraction_confidence, 8);
+      PutVarint(&out, prov.doc_id);
+      PutVarint(&out, prov.sentence_idx);
+      PutZigzag(&out, static_cast<int64_t>(bits - prev_bits));
+      prev_bits = bits;
+      PutVarint(&out, sentence_index.at(prov.sentence));
+      ++*records_out;
+    }
+  }
   return out;
 }
 
@@ -283,8 +547,7 @@ Status DecodeDictionary(Cursor* c, rdf::Dictionary* dict) {
     }
     // Interning in id order reproduces the original ids; a duplicate
     // (kind, label) pair collapses and breaks the sequence — corrupt.
-    rdf::TermId id =
-        dict->Intern(static_cast<rdf::TermKind>(kind), label);
+    rdf::TermId id = dict->Intern(static_cast<rdf::TermKind>(kind), label);
     if (id != static_cast<rdf::TermId>(i + 1)) {
       return Corrupt("duplicate dictionary entry '" + label + "'");
     }
@@ -310,8 +573,80 @@ Status DecodeTriples(Cursor* c, std::vector<rdf::Triple>* triples) {
   return Status::Ok();
 }
 
-Status DecodePermutations(Cursor* c,
-                          rdf::TripleStore::IndexSnapshot* indexes) {
+Status DecodeTriplesVarint(std::span<const char> d,
+                           std::vector<rdf::Triple>* triples) {
+  const char* data = d.data();
+  const size_t size = d.size();
+  size_t pos = 0;
+  uint64_t count;
+  if (!GetVarint(data, size, &pos, &count)) return Corrupt("triple count");
+  // Each triple is at least 6 varint bytes; reject a hostile count
+  // before allocating.
+  if ((size - pos) / 6 < count) return Corrupt("triple section short");
+  triples->resize(count);
+  uint64_t ps = 0;
+  int64_t pp = 0, po = 0, pc = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    rdf::Triple& t = (*triples)[i];
+    uint64_t ds, cnt, src;
+    int64_t dp, dobj, dc;
+    if (!GetVarint(data, size, &pos, &ds) ||
+        !GetSmallZigzag(data, size, &pos, &dp) ||
+        !GetSmallZigzag(data, size, &pos, &dobj) ||
+        !GetSmallZigzag(data, size, &pos, &dc) ||
+        !GetVarint(data, size, &pos, &cnt) ||
+        !GetVarint(data, size, &pos, &src) || ds > UINT32_MAX) {
+      return Corrupt("triple " + std::to_string(i));
+    }
+    ps += ds;
+    pp += dp;
+    po += dobj;
+    pc += dc;
+    if (ps > UINT32_MAX || pp < 0 || pp > UINT32_MAX || po < 0 ||
+        po > UINT32_MAX || pc < 0 || pc > UINT32_MAX || cnt > UINT32_MAX ||
+        src > UINT32_MAX) {
+      return Corrupt("triple field out of range");
+    }
+    t.s = static_cast<uint32_t>(ps);
+    t.p = static_cast<uint32_t>(pp);
+    t.o = static_cast<uint32_t>(po);
+    const uint32_t bits = static_cast<uint32_t>(pc);
+    std::memcpy(&t.confidence, &bits, 4);
+    t.count = static_cast<uint32_t>(cnt);
+    t.source = static_cast<uint32_t>(src);
+  }
+  if (pos != size) return Corrupt("trailing bytes after triples");
+  return Status::Ok();
+}
+
+/// Raw TRIPLES, both formats (identical layout): decode, or view the
+/// 24-byte records in place when `view`.
+Status LoadTriplesRaw(std::span<const char> file, const SectionRef& s,
+                      bool view, util::OwnedSpan<rdf::Triple>* out,
+                      size_t* framing) {
+  if (view) {
+    if (s.length < 8) return Corrupt("triple count");
+    const uint64_t count = LoadU64(file.data() + s.offset);
+    if ((s.length - 8) / 24 != count || (s.length - 8) % 24 != 0) {
+      return Corrupt("triple section size");
+    }
+    std::span<const rdf::Triple> t;
+    if (!MakeView(file, s.offset + 8, count, &t)) {
+      return Corrupt("misaligned triple records");
+    }
+    *out = util::OwnedSpan<rdf::Triple>::View(t);
+    if (framing != nullptr) *framing += 8;
+    return Status::Ok();
+  }
+  Cursor c(file.data() + s.offset, static_cast<size_t>(s.length));
+  std::vector<rdf::Triple> triples;
+  TRINIT_RETURN_IF_ERROR(DecodeTriples(&c, &triples));
+  *out = std::move(triples);
+  return Status::Ok();
+}
+
+Status DecodePermutationsV1(Cursor* c,
+                            rdf::TripleStore::IndexSnapshot* indexes) {
   uint32_t num;
   if (!c->ReadU32(&num)) return Corrupt("permutation count");
   // Each permutation carries at least its u64 size; a hostile count
@@ -321,17 +656,95 @@ Status DecodePermutations(Cursor* c,
   indexes->perms.resize(num);
   for (uint32_t p = 0; p < num; ++p) {
     uint64_t n;
+    std::vector<rdf::TripleId> ids;
     if (!c->ReadU64(&n)) return Corrupt("permutation size");
-    if (!c->ReadArray(n, 4, &indexes->perms[p], &Cursor::ReadU32)) {
+    if (!c->ReadArray(n, 4, &ids, &Cursor::ReadU32)) {
       return Corrupt("permutation " + std::to_string(p));
     }
+    indexes->perms[p] = std::move(ids);
   }
   if (!c->AtEnd()) return Corrupt("trailing bytes after permutations");
   return Status::Ok();
 }
 
-Status DecodeScoreShapes(Cursor* c,
-                         rdf::TripleStore::IndexSnapshot* indexes) {
+/// v2 raw PERMS: walk the aligned layout, viewing each array in place
+/// (`view`) or copying it out.
+Status LoadPermutationsV2Raw(std::span<const char> file, const SectionRef& s,
+                             bool view,
+                             rdf::TripleStore::IndexSnapshot* indexes,
+                             size_t* framing) {
+  const char* base = file.data();
+  uint64_t pos = s.offset;
+  const uint64_t end = s.offset + s.length;
+  if (end - pos < 8) return Corrupt("permutation header");
+  const uint32_t num = LoadU32(base + pos);
+  const uint32_t reserved = LoadU32(base + pos + 4);
+  pos += 8;
+  if (reserved != 0) return Corrupt("permutation reserved word");
+  if ((end - pos) / 8 < num) return Corrupt("permutation section short");
+  indexes->perms.clear();
+  indexes->perms.reserve(num);
+  for (uint32_t p = 0; p < num; ++p) {
+    if (end - pos < 8) return Corrupt("permutation size");
+    const uint64_t n = LoadU64(base + pos);
+    pos += 8;
+    if ((end - pos) / 4 < n) return Corrupt("permutation " + std::to_string(p));
+    if (view) {
+      std::span<const rdf::TripleId> ids;
+      if (!MakeView(file, pos, n, &ids)) {
+        return Corrupt("misaligned permutation array");
+      }
+      indexes->perms.push_back(util::OwnedSpan<rdf::TripleId>::View(ids));
+    } else {
+      std::vector<rdf::TripleId> ids(n);
+      if (n > 0) std::memcpy(ids.data(), base + pos, n * 4);
+      indexes->perms.emplace_back(std::move(ids));
+    }
+    pos += n * 4;
+    const uint64_t pad = (8 - ((pos - s.offset) % 8)) % 8;
+    if (end - pos < pad) return Corrupt("permutation padding");
+    pos += pad;
+  }
+  if (pos != end) return Corrupt("trailing bytes after permutations");
+  if (view && framing != nullptr) *framing += 8 + 8 * size_t{num};
+  return Status::Ok();
+}
+
+Status DecodePermutationsVarint(std::span<const char> d,
+                                rdf::TripleStore::IndexSnapshot* indexes) {
+  const char* data = d.data();
+  const size_t size = d.size();
+  size_t pos = 0;
+  uint64_t num;
+  if (!GetVarint(data, size, &pos, &num)) return Corrupt("permutation count");
+  if (size - pos < num) return Corrupt("permutation section short");
+  indexes->perms.clear();
+  indexes->perms.reserve(num);
+  for (uint64_t p = 0; p < num; ++p) {
+    uint64_t n;
+    if (!GetVarint(data, size, &pos, &n)) return Corrupt("permutation size");
+    if (size - pos < n) return Corrupt("permutation " + std::to_string(p));
+    std::vector<rdf::TripleId> ids(n);
+    int64_t prev = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      int64_t delta;
+      if (!GetSmallZigzag(data, size, &pos, &delta)) {
+        return Corrupt("permutation " + std::to_string(p));
+      }
+      prev += delta;
+      if (prev < 0 || prev > UINT32_MAX) {
+        return Corrupt("permutation id out of range");
+      }
+      ids[i] = static_cast<uint32_t>(prev);
+    }
+    indexes->perms.emplace_back(std::move(ids));
+  }
+  if (pos != size) return Corrupt("trailing bytes after permutations");
+  return Status::Ok();
+}
+
+Status DecodeScoreShapesV1(Cursor* c,
+                           rdf::TripleStore::IndexSnapshot* indexes) {
   uint32_t num;
   if (!c->ReadU32(&num)) return Corrupt("score shape count");
   // Each shape carries at least its u32 id + u64 size + u64 zeroth
@@ -342,11 +755,15 @@ Status DecodeScoreShapes(Cursor* c,
   for (uint32_t i = 0; i < num; ++i) {
     rdf::ScoreOrderIndex::ShapeSnapshot& shape = indexes->score_shapes[i];
     uint64_t n;
+    std::vector<rdf::TripleId> ids;
+    std::vector<uint64_t> prefix_mass;
     if (!c->ReadU32(&shape.shape) || !c->ReadU64(&n) ||
-        !c->ReadArray(n, 4, &shape.ids, &Cursor::ReadU32) ||
-        !c->ReadArray(n + 1, 8, &shape.prefix_mass, &Cursor::ReadU64)) {
+        !c->ReadArray(n, 4, &ids, &Cursor::ReadU32) ||
+        !c->ReadArray(n + 1, 8, &prefix_mass, &Cursor::ReadU64)) {
       return Corrupt("score shape " + std::to_string(i));
     }
+    shape.ids = std::move(ids);
+    shape.prefix_mass = std::move(prefix_mass);
     // Duplicates are corruption, not a "restored twice" precondition
     // failure (that status code is reserved for version mismatch).
     if (shape.shape >= 32 || (seen_shapes & (1u << shape.shape)) != 0) {
@@ -359,14 +776,136 @@ Status DecodeScoreShapes(Cursor* c,
   return Status::Ok();
 }
 
-Status DecodeGraphStats(Cursor* c, Result<rdf::GraphStats>* out) {
+Status LoadScoreShapesV2Raw(std::span<const char> file, const SectionRef& s,
+                            bool view,
+                            rdf::TripleStore::IndexSnapshot* indexes,
+                            size_t* framing) {
+  const char* base = file.data();
+  uint64_t pos = s.offset;
+  const uint64_t end = s.offset + s.length;
+  if (end - pos < 8) return Corrupt("score shape header");
+  const uint32_t num = LoadU32(base + pos);
+  const uint32_t reserved = LoadU32(base + pos + 4);
+  pos += 8;
+  if (reserved != 0) return Corrupt("score shape reserved word");
+  // Each shape carries at least a 16-byte header plus the zeroth
+  // prefix mass.
+  if ((end - pos) / 24 < num) return Corrupt("score shape section short");
+  indexes->score_shapes.clear();
+  indexes->score_shapes.resize(num);
+  uint32_t seen_shapes = 0;
+  for (uint32_t i = 0; i < num; ++i) {
+    rdf::ScoreOrderIndex::ShapeSnapshot& shape = indexes->score_shapes[i];
+    if (end - pos < 16) return Corrupt("score shape " + std::to_string(i));
+    shape.shape = LoadU32(base + pos);
+    const uint32_t rsvd = LoadU32(base + pos + 4);
+    const uint64_t n = LoadU64(base + pos + 8);
+    pos += 16;
+    if (rsvd != 0) return Corrupt("score shape reserved word");
+    if (shape.shape >= 32 || (seen_shapes & (1u << shape.shape)) != 0) {
+      return Corrupt("duplicate or out-of-range score shape id " +
+                     std::to_string(shape.shape));
+    }
+    seen_shapes |= 1u << shape.shape;
+    if ((end - pos) / 4 < n) return Corrupt("score shape ids");
+    if (view) {
+      std::span<const rdf::TripleId> ids;
+      if (!MakeView(file, pos, n, &ids)) {
+        return Corrupt("misaligned score shape ids");
+      }
+      shape.ids = util::OwnedSpan<rdf::TripleId>::View(ids);
+    } else {
+      std::vector<rdf::TripleId> ids(n);
+      if (n > 0) std::memcpy(ids.data(), base + pos, n * 4);
+      shape.ids = std::move(ids);
+    }
+    pos += n * 4;
+    const uint64_t pad = (8 - ((pos - s.offset) % 8)) % 8;
+    if (end - pos < pad) return Corrupt("score shape padding");
+    pos += pad;
+    if ((end - pos) / 8 < n + 1) return Corrupt("score shape mass");
+    if (view) {
+      std::span<const uint64_t> mass;
+      if (!MakeView(file, pos, n + 1, &mass)) {
+        return Corrupt("misaligned score shape mass");
+      }
+      shape.prefix_mass = util::OwnedSpan<uint64_t>::View(mass);
+    } else {
+      std::vector<uint64_t> mass(n + 1);
+      std::memcpy(mass.data(), base + pos, (n + 1) * 8);
+      shape.prefix_mass = std::move(mass);
+    }
+    pos += (n + 1) * 8;
+  }
+  if (pos != end) return Corrupt("trailing bytes after score shapes");
+  if (view && framing != nullptr) *framing += 8 + 16 * size_t{num};
+  return Status::Ok();
+}
+
+Status DecodeScoreShapesVarint(std::span<const char> d,
+                               rdf::TripleStore::IndexSnapshot* indexes) {
+  const char* data = d.data();
+  const size_t size = d.size();
+  size_t pos = 0;
+  uint64_t num;
+  if (!GetVarint(data, size, &pos, &num)) return Corrupt("score shape count");
+  if (size - pos < num) return Corrupt("score shape section short");
+  indexes->score_shapes.clear();
+  indexes->score_shapes.resize(num);
+  uint32_t seen_shapes = 0;
+  for (uint64_t i = 0; i < num; ++i) {
+    rdf::ScoreOrderIndex::ShapeSnapshot& shape = indexes->score_shapes[i];
+    uint64_t shape_id, n;
+    if (!GetVarint(data, size, &pos, &shape_id) ||
+        !GetVarint(data, size, &pos, &n)) {
+      return Corrupt("score shape " + std::to_string(i));
+    }
+    if (shape_id >= 32 || (seen_shapes & (1u << shape_id)) != 0) {
+      return Corrupt("duplicate or out-of-range score shape id " +
+                     std::to_string(shape_id));
+    }
+    seen_shapes |= 1u << shape_id;
+    shape.shape = static_cast<uint32_t>(shape_id);
+    if (size - pos < n) return Corrupt("score shape ids");
+    std::vector<rdf::TripleId> ids(n);
+    int64_t prev = 0;
+    for (uint64_t j = 0; j < n; ++j) {
+      int64_t delta;
+      if (!GetSmallZigzag(data, size, &pos, &delta)) {
+        return Corrupt("score shape ids");
+      }
+      prev += delta;
+      if (prev < 0 || prev > UINT32_MAX) {
+        return Corrupt("score shape id out of range");
+      }
+      ids[j] = static_cast<uint32_t>(prev);
+    }
+    std::vector<uint64_t> mass(n + 1);
+    uint64_t prev_mass = 0;
+    for (uint64_t j = 0; j <= n; ++j) {
+      uint64_t delta;
+      if (!GetVarint(data, size, &pos, &delta)) {
+        return Corrupt("score shape mass");
+      }
+      if (delta > UINT64_MAX - prev_mass) {
+        return Corrupt("score shape mass overflow");
+      }
+      prev_mass += delta;
+      mass[j] = prev_mass;
+    }
+    shape.ids = std::move(ids);
+    shape.prefix_mass = std::move(mass);
+  }
+  if (pos != size) return Corrupt("trailing bytes after score shapes");
+  return Status::Ok();
+}
+
+Status DecodeGraphStatsRaw(Cursor* c, Result<rdf::GraphStats>* out) {
   uint64_t count;
   if (!c->ReadU64(&count)) return Corrupt("graph-stats count");
   std::vector<rdf::TermId> predicates;
   std::unordered_map<rdf::TermId, rdf::GraphStats::PredicateStats> stats;
-  std::unordered_map<rdf::TermId,
-                     std::vector<std::pair<rdf::TermId, rdf::TermId>>>
-      args;
+  std::unordered_map<rdf::TermId, rdf::GraphStats::ArgPairs> args;
   if (c->remaining() / 32 < count) return Corrupt("graph-stats short");
   predicates.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
@@ -396,10 +935,125 @@ Status DecodeGraphStats(Cursor* c, Result<rdf::GraphStats>* out) {
   return out->ok() ? Status::Ok() : out->status();
 }
 
-Status DecodeProvenance(
-    Cursor* c,
-    std::unordered_map<rdf::TripleId, std::vector<xkg::Provenance>>* prov,
-    size_t* records_out) {
+/// Raw STATS served from the mapping: only the 32-byte per-predicate
+/// headers are walked (and counted as touched); each predicate's (s,o)
+/// pair array becomes a view. Layout is identical in v1 and v2 and
+/// happens to be fully 8-aligned, so this path serves both.
+Status LoadGraphStatsRawView(std::span<const char> file, const SectionRef& s,
+                             rdf::SnapshotValidation validation,
+                             Result<rdf::GraphStats>* out, size_t* framing) {
+  const char* base = file.data();
+  uint64_t pos = s.offset;
+  const uint64_t end = s.offset + s.length;
+  if (end - pos < 8) return Corrupt("graph-stats count");
+  const uint64_t count = LoadU64(base + pos);
+  pos += 8;
+  if ((end - pos) / 32 < count) return Corrupt("graph-stats short");
+  std::vector<rdf::TermId> predicates;
+  predicates.reserve(count);
+  std::unordered_map<rdf::TermId, rdf::GraphStats::PredicateStats> stats;
+  std::unordered_map<rdf::TermId, rdf::GraphStats::ArgPairs> args;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (end - pos < 32) return Corrupt("graph-stats predicate");
+    const rdf::TermId p = LoadU32(base + pos);
+    rdf::GraphStats::PredicateStats ps;
+    ps.triple_count = LoadU32(base + pos + 4);
+    ps.evidence_count = LoadU64(base + pos + 8);
+    ps.distinct_subjects = LoadU32(base + pos + 16);
+    ps.distinct_objects = LoadU32(base + pos + 20);
+    const uint64_t argn = LoadU64(base + pos + 24);
+    pos += 32;
+    if ((end - pos) / 8 < argn) return Corrupt("graph-stats args short");
+    std::span<const ArgPair> pairs;
+    if (!MakeView(file, pos, argn, &pairs)) {
+      return Corrupt("misaligned graph-stats args");
+    }
+    pos += argn * 8;
+    if (stats.count(p) != 0) return Corrupt("duplicate graph-stats predicate");
+    predicates.push_back(p);
+    stats.emplace(p, ps);
+    args.emplace(p, rdf::GraphStats::ArgPairs::View(pairs));
+  }
+  if (pos != end) return Corrupt("trailing bytes after graph stats");
+  if (framing != nullptr) *framing += 8 + 32 * static_cast<size_t>(count);
+  *out = rdf::GraphStats::FromSnapshot(std::move(predicates),
+                                       std::move(stats), std::move(args),
+                                       validation);
+  return out->ok() ? Status::Ok() : out->status();
+}
+
+Status DecodeGraphStatsVarint(std::span<const char> d,
+                              rdf::SnapshotValidation validation,
+                              Result<rdf::GraphStats>* out) {
+  const char* data = d.data();
+  const size_t size = d.size();
+  size_t pos = 0;
+  uint64_t count;
+  if (!GetVarint(data, size, &pos, &count)) return Corrupt("graph-stats count");
+  // Each predicate costs at least 6 varint bytes.
+  if ((size - pos) / 6 < count) return Corrupt("graph-stats short");
+  std::vector<rdf::TermId> predicates;
+  predicates.reserve(count);
+  std::unordered_map<rdf::TermId, rdf::GraphStats::PredicateStats> stats;
+  std::unordered_map<rdf::TermId, rdf::GraphStats::ArgPairs> args;
+  uint64_t prev_p = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t dp, tc, ev, ds, dobj, argn;
+    if (!GetVarint(data, size, &pos, &dp) ||
+        !GetVarint(data, size, &pos, &tc) ||
+        !GetVarint(data, size, &pos, &ev) ||
+        !GetVarint(data, size, &pos, &ds) ||
+        !GetVarint(data, size, &pos, &dobj) ||
+        !GetVarint(data, size, &pos, &argn)) {
+      return Corrupt("graph-stats predicate " + std::to_string(i));
+    }
+    // Predicates are strictly ascending: a zero delta is structurally
+    // corrupt (and guarantees no duplicate map keys below).
+    if (dp == 0 || dp > UINT32_MAX - prev_p || tc > UINT32_MAX ||
+        ds > UINT32_MAX || dobj > UINT32_MAX) {
+      return Corrupt("graph-stats field out of range");
+    }
+    prev_p += dp;
+    const rdf::TermId p = static_cast<uint32_t>(prev_p);
+    rdf::GraphStats::PredicateStats ps;
+    ps.triple_count = static_cast<uint32_t>(tc);
+    ps.evidence_count = ev;
+    ps.distinct_subjects = static_cast<uint32_t>(ds);
+    ps.distinct_objects = static_cast<uint32_t>(dobj);
+    // Each pair costs at least 2 varint bytes.
+    if ((size - pos) / 2 < argn) return Corrupt("graph-stats args short");
+    std::vector<ArgPair> pairs(argn);
+    uint64_t prev_first = 0;
+    int64_t prev_second = 0;
+    for (uint64_t j = 0; j < argn; ++j) {
+      uint64_t df;
+      int64_t dsec;
+      if (!GetVarint(data, size, &pos, &df) ||
+          !GetSmallZigzag(data, size, &pos, &dsec) ||
+          df > UINT32_MAX - prev_first) {
+        return Corrupt("graph-stats arg pair");
+      }
+      prev_first += df;
+      prev_second += dsec;
+      if (prev_second < 0 || prev_second > UINT32_MAX) {
+        return Corrupt("graph-stats arg pair out of range");
+      }
+      pairs[j] = {static_cast<uint32_t>(prev_first),
+                  static_cast<uint32_t>(prev_second)};
+    }
+    predicates.push_back(p);
+    stats.emplace(p, ps);
+    args.emplace(p, std::move(pairs));
+  }
+  if (pos != size) return Corrupt("trailing bytes after graph stats");
+  *out = rdf::GraphStats::FromSnapshot(std::move(predicates),
+                                       std::move(stats), std::move(args),
+                                       validation);
+  return out->ok() ? Status::Ok() : out->status();
+}
+
+Status DecodeProvenanceRaw(Cursor* c, xkg::Xkg::ProvenanceMap* prov,
+                           size_t* records_out) {
   uint64_t entries;
   if (!c->ReadU64(&entries)) return Corrupt("provenance count");
   for (uint64_t i = 0; i < entries; ++i) {
@@ -425,6 +1079,93 @@ Status DecodeProvenance(
   }
   if (!c->AtEnd()) return Corrupt("trailing bytes after provenance");
   return Status::Ok();
+}
+
+Status DecodeProvenanceVarint(std::span<const char> d,
+                              xkg::Xkg::ProvenanceMap* prov,
+                              size_t* records_out) {
+  const char* data = d.data();
+  const size_t size = d.size();
+  size_t pos = 0;
+  uint64_t entries, uniq;
+  if (!GetVarint(data, size, &pos, &entries) ||
+      !GetVarint(data, size, &pos, &uniq)) {
+    return Corrupt("provenance count");
+  }
+  // Each front-coded sentence costs at least 2 varint bytes.
+  if ((size - pos) / 2 < uniq) return Corrupt("provenance sentence table");
+  std::vector<std::string> sentences;
+  sentences.reserve(uniq);
+  std::string prev_sentence;
+  for (uint64_t i = 0; i < uniq; ++i) {
+    uint64_t lcp, suffix;
+    if (!GetVarint(data, size, &pos, &lcp) ||
+        !GetVarint(data, size, &pos, &suffix)) {
+      return Corrupt("provenance sentence " + std::to_string(i));
+    }
+    if (lcp > prev_sentence.size() || suffix > size - pos) {
+      return Corrupt("provenance sentence " + std::to_string(i));
+    }
+    std::string s = prev_sentence.substr(0, static_cast<size_t>(lcp));
+    s.append(data + pos, static_cast<size_t>(suffix));
+    pos += static_cast<size_t>(suffix);
+    prev_sentence = s;
+    sentences.push_back(std::move(s));
+  }
+  // Each entry costs at least 6 varint bytes (id delta, record count,
+  // one 4-byte-minimum record).
+  if ((size - pos) / 6 < entries) return Corrupt("provenance short");
+  uint64_t prev_id_plus1 = 0;
+  uint64_t prev_bits = 0;
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint64_t did, nrec;
+    if (!GetVarint(data, size, &pos, &did) ||
+        !GetVarint(data, size, &pos, &nrec)) {
+      return Corrupt("provenance entry " + std::to_string(i));
+    }
+    // Ids are strictly ascending (delta of id+1 is >= 1): a zero delta
+    // is a duplicate, structurally corrupt.
+    if (did == 0 || did > (uint64_t{1} << 32) - prev_id_plus1 || nrec == 0) {
+      return Corrupt("provenance entry " + std::to_string(i));
+    }
+    prev_id_plus1 += did;
+    const rdf::TripleId id = static_cast<uint32_t>(prev_id_plus1 - 1);
+    if ((size - pos) / 4 < nrec) return Corrupt("provenance short");
+    std::vector<xkg::Provenance>& records = (*prov)[id];
+    records.resize(nrec);
+    for (uint64_t j = 0; j < nrec; ++j) {
+      xkg::Provenance& p = records[j];
+      uint64_t doc, sidx, ref;
+      int64_t dbits;
+      if (!GetVarint(data, size, &pos, &doc) ||
+          !GetVarint(data, size, &pos, &sidx) ||
+          !GetZigzag(data, size, &pos, &dbits) ||
+          !GetVarint(data, size, &pos, &ref) || doc > UINT32_MAX ||
+          sidx > UINT32_MAX || ref >= sentences.size()) {
+        return Corrupt("provenance record");
+      }
+      p.doc_id = static_cast<uint32_t>(doc);
+      p.sentence_idx = static_cast<uint32_t>(sidx);
+      // Confidence bits take wraparound deltas (unsigned arithmetic,
+      // lossless for any pair of f64 bit patterns).
+      prev_bits += static_cast<uint64_t>(dbits);
+      std::memcpy(&p.extraction_confidence, &prev_bits, 8);
+      p.sentence = sentences[ref];
+    }
+    *records_out += nrec;
+  }
+  if (pos != size) return Corrupt("trailing bytes after provenance");
+  return Status::Ok();
+}
+
+Status DecodeProvenanceAny(std::span<const char> d, SectionCodec codec,
+                           xkg::Xkg::ProvenanceMap* prov,
+                           size_t* records_out) {
+  if (codec == SectionCodec::kVarintDelta) {
+    return DecodeProvenanceVarint(d, prov, records_out);
+  }
+  Cursor c(d.data(), d.size());
+  return DecodeProvenanceRaw(&c, prov, records_out);
 }
 
 Status DecodeTerm(Cursor* c, query::Term* term) {
@@ -477,21 +1218,55 @@ Status DecodeRules(Cursor* c, relax::RuleSet* rules) {
 
 // --------------------------------------------------------------- write
 
-Status SnapshotWriter::Write(const xkg::Xkg& xkg,
-                             const relax::RuleSet& rules,
-                             uint64_t generation, const std::string& path) {
+Status SnapshotWriter::Write(const xkg::Xkg& xkg, const relax::RuleSet& rules,
+                             uint64_t generation, const std::string& path,
+                             const WriteOptions& options) {
+  const uint32_t version = options.format_version;
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(version));
+  }
+  if (version < 2 && options.codec != SectionCodec::kRaw) {
+    return Status::InvalidArgument(
+        "section codecs require snapshot format v2");
+  }
+  // A trusted-mapped engine defers provenance decode; saving forces it
+  // now and must not silently persist an empty map because that decode
+  // failed.
+  TRINIT_RETURN_IF_ERROR(xkg.provenance_status());
+
+  const bool varint = options.codec == SectionCodec::kVarintDelta;
+  const SectionCodec bulk = options.codec;
+  const rdf::TripleStore& store = xkg.store();
+  uint64_t prov_records = 0;
+  std::string prov = varint ? EncodeProvenanceVarint(xkg, &prov_records)
+                            : EncodeProvenanceRaw(xkg, &prov_records);
+
   // Index arrays are encoded straight from the store's own memory
   // (span views), so the transient cost of a save is one encoded copy
   // of the state, not an intermediate export on top of it.
-  const std::pair<uint32_t, std::string> sections[kNumSections] = {
-      {kMeta, EncodeMeta(xkg, rules)},
-      {kDictionary, EncodeDictionary(xkg.dict())},
-      {kTriples, EncodeTriples(xkg.store())},
-      {kPermutations, EncodePermutations(xkg.store())},
-      {kScoreShapes, EncodeScoreShapes(xkg.store())},
-      {kGraphStats, EncodeGraphStats(xkg.stats())},
-      {kProvenance, EncodeProvenance(xkg)},
-      {kRules, EncodeRules(rules)},
+  struct Section {
+    uint32_t id;
+    SectionCodec codec;
+    std::string payload;
+  };
+  const Section sections[kNumSections] = {
+      {kMeta, SectionCodec::kRaw,
+       EncodeMeta(xkg, rules, version, prov_records)},
+      {kDictionary, SectionCodec::kRaw, EncodeDictionary(xkg.dict())},
+      {kTriples, bulk,
+       varint ? EncodeTriplesVarint(store) : EncodeTriples(store)},
+      {kPermutations, bulk,
+       varint ? EncodePermutationsVarint(store)
+              : EncodePermutationsRaw(store, version)},
+      {kScoreShapes, bulk,
+       varint ? EncodeScoreShapesVarint(store)
+              : EncodeScoreShapesRaw(store, version)},
+      {kGraphStats, bulk,
+       varint ? EncodeGraphStatsVarint(xkg.stats())
+              : EncodeGraphStatsRaw(xkg.stats())},
+      {kProvenance, bulk, std::move(prov)},
+      {kRules, SectionCodec::kRaw, EncodeRules(rules)},
   };
 
   // Header + table, then 8-aligned payloads — streamed section by
@@ -499,7 +1274,7 @@ Status SnapshotWriter::Write(const xkg::Xkg& xkg,
   // two.
   std::string head;
   head.append(kSnapshotMagic, sizeof(kSnapshotMagic));
-  PutU32(&head, kSnapshotVersion);
+  PutU32(&head, version);
   PutU32(&head, kEndianTag);
   PutU64(&head, generation);
   PutU32(&head, kNumSections);
@@ -509,33 +1284,37 @@ Status SnapshotWriter::Write(const xkg::Xkg& xkg,
   PutU32(&head, static_cast<uint32_t>(Fnv1a64(head)));
 
   size_t offset = kHeaderBytes + kNumSections * kTableEntryBytes;
-  for (const auto& [id, payload] : sections) {
+  for (const Section& sec : sections) {
     offset = (offset + 7) & ~size_t{7};
-    PutU32(&head, id);
-    PutU32(&head, 0);  // reserved
+    PutU32(&head, sec.id);
+    // Flag word: low byte is the section codec (0 in v1 files, which
+    // is why v1 readers that required 0 here stay compatible).
+    PutU32(&head, static_cast<uint32_t>(sec.codec));
     PutU64(&head, offset);
-    PutU64(&head, payload.size());
-    PutU64(&head, Fnv1a64(payload));
-    offset += payload.size();
+    PutU64(&head, sec.payload.size());
+    PutU64(&head, Fnv1a64(sec.payload));
+    offset += sec.payload.size();
   }
 
   // Write to a sibling temp file and rename into place: a mid-write
   // failure (disk full, crash) must not destroy a previously good
   // snapshot at `path` — replicas rely on "serialize once, load many
-  // times".
+  // times". The rename also means a *mapped* reader of the old file
+  // keeps its pages; the file is never truncated in place under a
+  // live mapping.
   const std::string tmp_path = path + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open for write: " + tmp_path);
     out.write(head.data(), static_cast<std::streamsize>(head.size()));
     size_t written = head.size();
-    for (const auto& [id, payload] : sections) {
+    for (const Section& sec : sections) {
       static constexpr char kPad[8] = {};
       const size_t pad = ((written + 7) & ~size_t{7}) - written;
       out.write(kPad, static_cast<std::streamsize>(pad));
-      out.write(payload.data(),
-                static_cast<std::streamsize>(payload.size()));
-      written += pad + payload.size();
+      out.write(sec.payload.data(),
+                static_cast<std::streamsize>(sec.payload.size()));
+      written += pad + sec.payload.size();
     }
     out.flush();
     if (!out) {
@@ -552,14 +1331,34 @@ Status SnapshotWriter::Write(const xkg::Xkg& xkg,
 
 // ---------------------------------------------------------------- read
 
-Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open: " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string file(static_cast<size_t>(size), '\0');
-  if (!in.read(file.data(), size)) {
-    return Status::IoError("read failed: " + path);
+Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path,
+                                            const ReadOptions& options) {
+  // Acquire the bytes: mmap when asked for and available, else one
+  // copying read. A failed Map falls through to the copying open so
+  // the caller sees the same typed error (or a successful copy load)
+  // it would on a platform without mmap at all.
+  std::shared_ptr<MappedFile> mapping;
+  std::string owned;
+  std::span<const char> file;
+  bool mapped = false;
+  if (options.mode == LoadMode::kMapped && MappedFile::Supported()) {
+    auto m = MappedFile::Map(path);
+    if (m.ok()) {
+      mapping = std::make_shared<MappedFile>(std::move(m).value());
+      file = mapping->bytes();
+      mapped = true;
+    }
+  }
+  if (!mapped) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return Status::IoError("cannot open: " + path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    owned.assign(static_cast<size_t>(size), '\0');
+    if (!in.read(owned.data(), size)) {
+      return Status::IoError("read failed: " + path);
+    }
+    file = std::span<const char>(owned.data(), owned.size());
   }
 
   // Header. Foreign files fail on the magic (InvalidArgument), old or
@@ -584,11 +1383,12 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
     return Status::InvalidArgument(
         "snapshot byte order does not match this machine");
   }
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     return Status::FailedPrecondition(
         "snapshot format version " + std::to_string(version) +
-        "; this build reads version " + std::to_string(kSnapshotVersion) +
-        " (re-save from source)");
+        "; this build reads versions " +
+        std::to_string(kMinSnapshotVersion) + ".." +
+        std::to_string(kSnapshotVersion) + " (re-save from source)");
   }
   // The generation lives only in the header (no section checksum covers
   // it); verify the header's own checksum before trusting it.
@@ -605,41 +1405,93 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
     return Corrupt("truncated section table");
   }
 
-  // Section table: bounds, then checksums, before any payload decode.
-  struct Section {
-    uint64_t offset = 0;
-    uint64_t length = 0;
-  };
-  std::unordered_map<uint32_t, Section> table;
+  // Section table: bounds and codec sanity before any payload access.
+  std::unordered_map<uint32_t, SectionRef> table;
   for (uint32_t i = 0; i < kNumSections; ++i) {
-    uint32_t id, rsvd;
-    Section s;
-    uint64_t checksum;
+    uint32_t id, flags;
+    SectionRef s;
     header.ReadU32(&id);
-    header.ReadU32(&rsvd);
-    (void)rsvd;
+    header.ReadU32(&flags);
     header.ReadU64(&s.offset);
     header.ReadU64(&s.length);
-    header.ReadU64(&checksum);
+    header.ReadU64(&s.checksum);
     if (s.offset > file.size() || s.length > file.size() - s.offset) {
       return Corrupt("section " + std::to_string(id) +
                      " out of bounds (truncated file?)");
     }
-    if (Fnv1a64({file.data() + s.offset,
-                 static_cast<size_t>(s.length)}) != checksum) {
-      return Corrupt("checksum mismatch in section " + std::to_string(id));
+    if (flags > 0xff) return Corrupt("reserved section flag bits set");
+    if (flags > static_cast<uint32_t>(SectionCodec::kVarintDelta)) {
+      return Status::FailedPrecondition(
+          "section codec " + std::to_string(flags) +
+          " not supported by this build (re-save from source)");
+    }
+    s.codec = static_cast<SectionCodec>(flags);
+    if (version < 2 && s.codec != SectionCodec::kRaw) {
+      return Corrupt("codec byte in a v1 snapshot");
+    }
+    if (s.codec != SectionCodec::kRaw &&
+        (id == kMeta || id == kDictionary || id == kRules)) {
+      return Corrupt("codec on an uncompressible section " +
+                     std::to_string(id));
     }
     if (!table.emplace(id, s).second) {
       return Corrupt("duplicate section " + std::to_string(id));
     }
   }
-  auto cursor_for = [&](uint32_t id) {
-    const Section& s = table.at(id);
-    return Cursor(file.data() + s.offset, static_cast<size_t>(s.length));
-  };
   for (uint32_t id = kMeta; id <= kRules; ++id) {
     if (table.count(id) == 0) {
       return Corrupt("missing section " + std::to_string(id));
+    }
+  }
+  auto cursor_for = [&](uint32_t id) {
+    const SectionRef& s = table.at(id);
+    return Cursor(file.data() + s.offset, static_cast<size_t>(s.length));
+  };
+  auto span_for = [&](uint32_t id) {
+    return SectionSpan(file, table.at(id));
+  };
+
+  // Mode resolution. Views require the mapping *and* the v2 aligned
+  // layouts; v1 files load through the copying decoders even when
+  // mapped (no benefit, full compatibility). Trusted verification is
+  // only meaningful on the view path — every other combination keeps
+  // the full-verification guarantees.
+  const bool use_views = mapped && version >= 2;
+  const bool trusted =
+      use_views && options.verify == rdf::SnapshotValidation::kTrusted;
+  const rdf::SnapshotValidation validation =
+      trusted ? rdf::SnapshotValidation::kTrusted
+              : rdf::SnapshotValidation::kFull;
+
+  LoadReport report;
+  report.bytes = file.size();
+  report.mapped = mapped;
+  size_t touched = kHeaderBytes + kNumSections * kTableEntryBytes;
+
+  // Checksum pass. Full verification checksums everything (mapped or
+  // not — identical guarantees). Trusted checksums only what it will
+  // decode into memory anyway: META/DICT/RULES and varint sections.
+  // Viewed raw sections and the deferred PROV section are skipped —
+  // that is where the touched-bytes savings come from; PROV is
+  // checksummed at deferred-decode time instead.
+  for (const auto& [id, s] : table) {
+    if (s.codec == SectionCodec::kRaw) {
+      ++report.sections_raw;
+    } else {
+      ++report.sections_varint;
+    }
+    const bool deferred_prov = trusted && id == kProvenance;
+    const bool fully_read =
+        !trusted ||
+        (!deferred_prov &&
+         (id == kMeta || id == kDictionary || id == kRules ||
+          s.codec == SectionCodec::kVarintDelta));
+    if (fully_read) {
+      if (Fnv1a64({file.data() + s.offset,
+                   static_cast<size_t>(s.length)}) != s.checksum) {
+        return Corrupt("checksum mismatch in section " + std::to_string(id));
+      }
+      touched += static_cast<size_t>(s.length);
     }
   }
 
@@ -647,53 +1499,176 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
   // framing still fail loudly.
   Cursor meta = cursor_for(kMeta);
   uint64_t kg_triples, dict_terms, triple_count, rule_count;
+  uint64_t prov_records_meta = 0;
   if (!meta.ReadU64(&kg_triples) || !meta.ReadU64(&dict_terms) ||
-      !meta.ReadU64(&triple_count) || !meta.ReadU64(&rule_count)) {
+      !meta.ReadU64(&triple_count) || !meta.ReadU64(&rule_count) ||
+      (version >= 2 && !meta.ReadU64(&prov_records_meta)) ||
+      !meta.AtEnd()) {
     return Corrupt("meta section");
   }
-
-  LoadReport report;
-  report.bytes = file.size();
+  ++report.sections_decoded;  // META
 
   auto dict = std::make_unique<rdf::Dictionary>();
   Cursor dict_cursor = cursor_for(kDictionary);
   TRINIT_RETURN_IF_ERROR(DecodeDictionary(&dict_cursor, dict.get()));
   if (dict->size() != dict_terms) return Corrupt("dictionary count vs meta");
   report.terms = dict->size();
+  ++report.sections_decoded;  // DICT (hash index rebuilt by Intern)
 
-  std::vector<rdf::Triple> triples;
-  Cursor triple_cursor = cursor_for(kTriples);
-  TRINIT_RETURN_IF_ERROR(DecodeTriples(&triple_cursor, &triples));
+  util::OwnedSpan<rdf::Triple> triples;
+  {
+    const SectionRef& s = table.at(kTriples);
+    if (s.codec == SectionCodec::kVarintDelta) {
+      std::vector<rdf::Triple> decoded;
+      TRINIT_RETURN_IF_ERROR(DecodeTriplesVarint(span_for(kTriples),
+                                                 &decoded));
+      triples = std::move(decoded);
+      ++report.sections_decoded;
+    } else {
+      TRINIT_RETURN_IF_ERROR(
+          LoadTriplesRaw(file, s, use_views, &triples, &touched));
+      if (use_views) {
+        ++report.sections_mapped;
+      } else {
+        ++report.sections_decoded;
+      }
+    }
+  }
   if (triples.size() != triple_count) return Corrupt("triple count vs meta");
   report.triples = triples.size();
 
   rdf::TripleStore::IndexSnapshot indexes;
-  Cursor perm_cursor = cursor_for(kPermutations);
-  TRINIT_RETURN_IF_ERROR(DecodePermutations(&perm_cursor, &indexes));
-  Cursor shape_cursor = cursor_for(kScoreShapes);
-  TRINIT_RETURN_IF_ERROR(DecodeScoreShapes(&shape_cursor, &indexes));
+  {
+    const SectionRef& s = table.at(kPermutations);
+    if (s.codec == SectionCodec::kVarintDelta) {
+      TRINIT_RETURN_IF_ERROR(
+          DecodePermutationsVarint(span_for(kPermutations), &indexes));
+      ++report.sections_decoded;
+    } else if (version >= 2) {
+      TRINIT_RETURN_IF_ERROR(LoadPermutationsV2Raw(file, s, use_views,
+                                                   &indexes, &touched));
+      if (use_views) {
+        ++report.sections_mapped;
+      } else {
+        ++report.sections_decoded;
+      }
+    } else {
+      Cursor c = cursor_for(kPermutations);
+      TRINIT_RETURN_IF_ERROR(DecodePermutationsV1(&c, &indexes));
+      ++report.sections_decoded;
+    }
+  }
+  {
+    const SectionRef& s = table.at(kScoreShapes);
+    if (s.codec == SectionCodec::kVarintDelta) {
+      TRINIT_RETURN_IF_ERROR(
+          DecodeScoreShapesVarint(span_for(kScoreShapes), &indexes));
+      ++report.sections_decoded;
+    } else if (version >= 2) {
+      TRINIT_RETURN_IF_ERROR(LoadScoreShapesV2Raw(file, s, use_views,
+                                                  &indexes, &touched));
+      if (use_views) {
+        ++report.sections_mapped;
+      } else {
+        ++report.sections_decoded;
+      }
+    } else {
+      Cursor c = cursor_for(kScoreShapes);
+      TRINIT_RETURN_IF_ERROR(DecodeScoreShapesV1(&c, &indexes));
+      ++report.sections_decoded;
+    }
+  }
   report.permutations_restored = indexes.perms.size();
   report.score_shapes_restored = indexes.score_shapes.size();
 
   Result<rdf::GraphStats> stats = Status::Internal("unset");
-  Cursor stats_cursor = cursor_for(kGraphStats);
-  TRINIT_RETURN_IF_ERROR(DecodeGraphStats(&stats_cursor, &stats));
+  {
+    const SectionRef& s = table.at(kGraphStats);
+    if (s.codec == SectionCodec::kVarintDelta) {
+      TRINIT_RETURN_IF_ERROR(DecodeGraphStatsVarint(span_for(kGraphStats),
+                                                    validation, &stats));
+      ++report.sections_decoded;
+    } else if (use_views) {
+      TRINIT_RETURN_IF_ERROR(
+          LoadGraphStatsRawView(file, s, validation, &stats, &touched));
+      ++report.sections_mapped;
+    } else {
+      Cursor c = cursor_for(kGraphStats);
+      TRINIT_RETURN_IF_ERROR(DecodeGraphStatsRaw(&c, &stats));
+      ++report.sections_decoded;
+    }
+  }
 
-  std::unordered_map<rdf::TripleId, std::vector<xkg::Provenance>> provenance;
-  Cursor prov_cursor = cursor_for(kProvenance);
-  TRINIT_RETURN_IF_ERROR(
-      DecodeProvenance(&prov_cursor, &provenance, &report.provenance_records));
+  xkg::Xkg::ProvenanceMap provenance;
+  const bool defer_provenance = trusted;
+  if (defer_provenance) {
+    report.provenance_records = prov_records_meta;
+    report.provenance_deferred = true;
+    ++report.sections_mapped;
+  } else {
+    TRINIT_RETURN_IF_ERROR(DecodeProvenanceAny(
+        span_for(kProvenance), table.at(kProvenance).codec, &provenance,
+        &report.provenance_records));
+    if (version >= 2 && report.provenance_records != prov_records_meta) {
+      return Corrupt("provenance record count vs meta");
+    }
+    ++report.sections_decoded;
+  }
 
   TRINIT_ASSIGN_OR_RETURN(
       rdf::TripleStore store,
-      rdf::TripleStore::FromSnapshot(std::move(triples), std::move(indexes)));
+      rdf::TripleStore::FromSnapshot(std::move(triples), std::move(indexes),
+                                     validation));
 
-  TRINIT_ASSIGN_OR_RETURN(
-      xkg::Xkg xkg,
-      xkg::Xkg::FromParts(std::move(dict), std::move(store),
-                          std::move(stats).value(),
-                          static_cast<size_t>(kg_triples),
-                          std::move(provenance)));
+  // Resident estimate: owned index bytes plus the decoded side
+  // structures (section lengths stand in for the dictionary and rules;
+  // provenance is measured from the decoded map). Mapped views
+  // contribute nothing — their pages are shared and evictable.
+  size_t prov_resident = 0;
+  for (const auto& [id, records] : provenance) {
+    prov_resident += sizeof(id) + records.size() * sizeof(xkg::Provenance);
+    for (const xkg::Provenance& p : records) prov_resident += p.sentence.size();
+  }
+  report.resident_bytes =
+      store.resident_bytes() + stats.value().resident_bytes() +
+      static_cast<size_t>(table.at(kDictionary).length) + prov_resident +
+      static_cast<size_t>(table.at(kRules).length);
+
+  Result<xkg::Xkg> loaded = Status::Internal("unset");
+  if (defer_provenance) {
+    const SectionRef prov_ref = table.at(kProvenance);
+    std::shared_ptr<MappedFile> keepalive = mapping;
+    loaded = xkg::Xkg::FromPartsLazyProvenance(
+        std::move(dict), std::move(store), std::move(stats).value(),
+        static_cast<size_t>(kg_triples),
+        [keepalive, prov_ref]() -> Result<xkg::Xkg::ProvenanceMap> {
+          std::span<const char> data =
+              SectionSpan(keepalive->bytes(), prov_ref);
+          // The open skipped this section entirely; give the deferred
+          // decode the same checksum guarantee the eager path had.
+          if (Fnv1a64({data.data(), data.size()}) != prov_ref.checksum) {
+            return Corrupt("provenance checksum (deferred decode)");
+          }
+          xkg::Xkg::ProvenanceMap map;
+          size_t records = 0;
+          TRINIT_RETURN_IF_ERROR(
+              DecodeProvenanceAny(data, prov_ref.codec, &map, &records));
+          return map;
+        });
+  } else {
+    loaded = xkg::Xkg::FromParts(std::move(dict), std::move(store),
+                                 std::move(stats).value(),
+                                 static_cast<size_t>(kg_triples),
+                                 std::move(provenance));
+  }
+  if (!loaded.ok()) return loaded.status();
+  xkg::Xkg xkg = std::move(loaded).value();
+  if (use_views) {
+    // Index views (and the deferred PROV decode) alias the mapping; it
+    // must live exactly as long as this XKG. ExtendKg rebuilds into
+    // owned vectors and drops the old XKG — copy-on-write for free.
+    xkg.AttachBacking(std::shared_ptr<const void>(mapping));
+  }
 
   relax::RuleSet rules;
   Cursor rule_cursor = cursor_for(kRules);
@@ -701,6 +1676,9 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
   if (rules.size() != rule_count) return Corrupt("rule count vs meta");
   rules.ResolveAgainst(xkg.dict());
   report.rules = rules.size();
+  ++report.sections_decoded;  // RULES
+
+  report.bytes_touched = trusted ? touched : file.size();
 
   return LoadedSnapshot{std::move(xkg), std::move(rules), generation,
                         report};

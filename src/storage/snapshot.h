@@ -21,44 +21,128 @@ namespace trinit::storage {
 ///
 ///   header    magic "TRNTSNAP", format version, endianness tag, the
 ///             XKG generation at save time, section count
-///   table     one entry per section: id, byte offset, byte length,
-///             FNV-1a 64 checksum of the payload
-///   sections  8-byte-aligned, fixed-width little-endian payloads:
+///   table     one entry per section: id, flags (low byte = section
+///             codec), byte offset, byte length, FNV-1a 64 checksum of
+///             the payload
+///   sections  8-byte-aligned little-endian payloads:
 ///             META, DICT, TRIPLES, PERMS, SCORE, STATS, PROV, RULES
 ///
-/// The layout is mmap-friendly by construction — every section is a
-/// run of aligned fixed-width records addressed through the offset
-/// table — though the current reader copies into the owning structures
-/// (std::vector-backed indexes) rather than aliasing the mapping.
+/// Two orthogonal axes extend the plain "write raw, read a copy" story:
 ///
-/// What is persisted is the *serving* state, index bytes included: the
-/// dictionary (labels + kinds in id order), the deduplicated triples
-/// with confidences/counts/sources, all five non-SPO permutation
-/// arrays, every `rdf::ScoreOrderIndex` shape built so far (ids +
-/// prefix-mass sums verbatim, so the lazy first-touch sort is skipped
-/// after load; unbuilt shapes stay lazy), the graph statistics, the
-/// extraction provenance, and the active relaxation rule set. Loading
-/// therefore performs no sort, no mining, and no TSV parse.
+/// *Load mode* (`ReadOptions::mode`). `LoadMode::kCopy` reads the file
+/// into memory and decodes every section into owning structures.
+/// `LoadMode::kMapped` mmaps the file read-only and serves the
+/// fixed-width sections — TRIPLES records, the five PERMS arrays,
+/// SCORE ids/prefix-mass arrays, STATS (s,o) pair arrays — as zero-copy
+/// span views over the mapping (the page cache shares the physical
+/// bytes across replicas); only the structures that need hashing or
+/// pointers (DICT, STATS headers, RULES, META) are materialized. The
+/// mapping is parked behind a shared_ptr inside the loaded `xkg::Xkg`,
+/// so views cannot outlive their pages, and the first `ExtendKg`
+/// rebuild copies into owned vectors (copy-on-write; see
+/// docs/CONCURRENCY.md, "Mapping lifetime"). Mapped mode falls back to
+/// the copying path when mmap is unavailable, and to decoding when a
+/// section is codec-compressed or the file is format v1 (whose array
+/// layouts are not alignment-safe to view).
+///
+/// *Section codec* (`WriteOptions::codec`, recorded per section in the
+/// table's flag byte). `SectionCodec::kRaw` is byte-identical in
+/// semantics to format v1. `SectionCodec::kVarintDelta` applies the
+/// classic inverted-index compression — LEB128 varints over deltas of
+/// the sorted arrays, zigzag for signed residuals, and a front-coded
+/// sorted sentence table for provenance text — to the five bulk
+/// sections (TRIPLES, PERMS, SCORE, STATS, PROV). Encoded sections are
+/// always decoded into owned memory on load (codec-on trades mapped
+/// zero-copy for a >=2x smaller file; pick per deployment).
+///
+/// Verification (`ReadOptions::verify`). `kFull` (default) checksums
+/// every section and re-validates every decoded invariant in O(n) —
+/// identical guarantees in both load modes. `kTrusted` is the
+/// explicit opt-in for mapped serving of files this process (or a
+/// trusted pipeline) wrote: only O(1) structural checks run on the
+/// viewed sections, provenance decode is deferred until the first
+/// `Explain`, and a cold open touches a small fraction of the file's
+/// bytes (`LoadReport::bytes_touched`). Trusted mode still never
+/// exhibits UB on a malformed *frame* (every offset/length/count is
+/// bounds-checked before use), but corrupt array *contents* inside an
+/// intact frame are served as-is — that is the contract.
 ///
 /// Versioning policy: `kSnapshotVersion` is bumped on ANY layout
-/// change; there is no in-place migration — a reader only accepts its
-/// own version (FailedPrecondition otherwise) and callers re-save from
-/// the TSV/world source. Error taxonomy, all typed `util::Status`
-/// (never a crash, no UB on hostile bytes):
+/// change; the reader accepts `kMinSnapshotVersion`..`kSnapshotVersion`
+/// (FailedPrecondition otherwise) and callers re-save from the
+/// TSV/world source to upgrade. v1 files (no codec byte, unaligned
+/// array layouts) load correctly through the copying decode path.
+/// Error taxonomy, all typed `util::Status` (never a crash, no UB on
+/// hostile bytes):
 ///
 ///   kIoError            file cannot be opened/read/written
 ///   kInvalidArgument    not a TriniT snapshot (bad magic/endianness),
 ///                       or a decoded structure violates an invariant
-///   kFailedPrecondition snapshot written by a different format version
+///   kFailedPrecondition snapshot written by a different format
+///                       version, or carries a codec this build does
+///                       not know
 ///   kParseError         corrupt bytes: truncation, out-of-bounds
 ///                       section, checksum mismatch, malformed payload
+///
+/// Dictionary note: the term hash index is deliberately *not*
+/// persisted — terms are a small fraction of the state (measured ~3%
+/// of file bytes, ~480 terms vs ~2409 triples on the P4 world) and the
+/// id-order Intern replay that rebuilds the hash doubles as the
+/// section's integrity check; persisting a hash table would grow every
+/// snapshot to save microseconds.
+
+/// Newest format version this build writes and reads.
+inline constexpr uint32_t kSnapshotVersion = 2;
+/// Oldest format version this build still reads (and can be asked to
+/// write, for compatibility tests).
+inline constexpr uint32_t kMinSnapshotVersion = 1;
+
+/// Leading 8 bytes of every TriniT snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'T', 'R', 'N', 'T',
+                                           'S', 'N', 'A', 'P'};
+
+/// Per-section compression codec, recorded in the section table's flag
+/// byte. Values are wire format — do not renumber.
+enum class SectionCodec : uint8_t {
+  kRaw = 0,          ///< fixed-width little-endian records (v1 semantics)
+  kVarintDelta = 1,  ///< LEB128 varint + delta/zigzag (+ front-coded
+                     ///< sentence table in PROV)
+};
+
+struct WriteOptions {
+  /// Codec for the five bulk sections (TRIPLES, PERMS, SCORE, STATS,
+  /// PROV); META/DICT/RULES are always raw. Requires format_version 2.
+  SectionCodec codec = SectionCodec::kRaw;
+  /// Wire format to emit; `kMinSnapshotVersion`..`kSnapshotVersion`.
+  /// Writing v1 (compat escape hatch, exercised by tests) forbids
+  /// codecs.
+  uint32_t format_version = kSnapshotVersion;
+};
+
+enum class LoadMode : uint8_t {
+  kCopy = 0,    ///< read + decode everything into owned memory
+  kMapped = 1,  ///< mmap; view fixed-width sections zero-copy
+};
+
+struct ReadOptions {
+  LoadMode mode = LoadMode::kCopy;
+  /// kTrusted only changes behavior in mapped mode on v2 files; the
+  /// copying path always fully verifies.
+  rdf::SnapshotValidation verify = rdf::SnapshotValidation::kFull;
+};
+
 class SnapshotWriter {
  public:
   /// Writes `xkg` + `rules` (and the serving `generation`) to `path`,
   /// overwriting. The XKG is not mutated; lazily-built index shapes are
   /// persisted exactly as currently materialized.
   static Status Write(const xkg::Xkg& xkg, const relax::RuleSet& rules,
-                      uint64_t generation, const std::string& path);
+                      uint64_t generation, const std::string& path,
+                      const WriteOptions& options);
+  static Status Write(const xkg::Xkg& xkg, const relax::RuleSet& rules,
+                      uint64_t generation, const std::string& path) {
+    return Write(xkg, rules, generation, path, WriteOptions{});
+  }
 };
 
 /// What a snapshot load actually did — the cold-start work counters
@@ -74,6 +158,26 @@ struct LoadReport {
   /// Index structures that had to be rebuilt (sorted) during load —
   /// always 0 on the snapshot path; the TSV cold start's contrast.
   size_t index_rebuilds = 0;
+
+  /// True when the file was served through an mmap (LoadMode::kMapped
+  /// and the platform supports it).
+  bool mapped = false;
+  /// True when provenance decode was deferred to first use (trusted
+  /// mapped mode).
+  bool provenance_deferred = false;
+  /// Estimate of distinct file bytes this load actually read (header,
+  /// table, checksummed/decoded sections, and the framing words of
+  /// viewed sections). Equals `bytes` on every fully-verifying path;
+  /// a small fraction of it on the trusted mapped path.
+  size_t bytes_touched = 0;
+  /// Estimate of private (per-process) bytes held by the loaded state:
+  /// owned index arrays + decoded dictionary/provenance/rules. Mapped
+  /// views contribute 0 — their pages are shared and evictable.
+  size_t resident_bytes = 0;
+  size_t sections_mapped = 0;   ///< sections served as views (+ deferred)
+  size_t sections_decoded = 0;  ///< sections materialized into memory
+  size_t sections_raw = 0;      ///< table codec bytes: SectionCodec::kRaw
+  size_t sections_varint = 0;   ///< table codec bytes: kVarintDelta
 };
 
 /// A successfully loaded snapshot: the serving state plus the XKG
@@ -90,15 +194,12 @@ class SnapshotReader {
   /// Reads a snapshot previously written by `SnapshotWriter::Write`.
   /// Rejects foreign, truncated, corrupt, and version-mismatched files
   /// with the typed errors documented above.
-  static Result<LoadedSnapshot> Read(const std::string& path);
+  static Result<LoadedSnapshot> Read(const std::string& path,
+                                     const ReadOptions& options);
+  static Result<LoadedSnapshot> Read(const std::string& path) {
+    return Read(path, ReadOptions{});
+  }
 };
-
-/// Format version this build writes and is able to read.
-inline constexpr uint32_t kSnapshotVersion = 1;
-
-/// Leading 8 bytes of every TriniT snapshot file.
-inline constexpr char kSnapshotMagic[8] = {'T', 'R', 'N', 'T',
-                                           'S', 'N', 'A', 'P'};
 
 }  // namespace trinit::storage
 

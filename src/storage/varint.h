@@ -1,0 +1,74 @@
+#ifndef TRINIT_STORAGE_VARINT_H_
+#define TRINIT_STORAGE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace trinit::storage {
+
+/// LEB128 varint + zigzag primitives for the snapshot codec layer
+/// (`Codec::kVarintDelta`) — the classic compressed-posting-block
+/// encoding of inverted-index engines, applied to the TRNTSNAP
+/// sections whose arrays are sorted (delta-friendly).
+///
+/// Encoding: 7 payload bits per byte, LSB group first, high bit =
+/// continuation. A canonical u64 takes at most 10 bytes. Decoding is
+/// bounds-checked and rejects streams with more than 10 continuation
+/// bytes, so hostile bytes can at worst produce a typed error upstream,
+/// never UB or an unbounded scan.
+
+inline void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Zigzag-maps a signed delta into the small-unsigned range varints
+/// like: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline void PutZigzag(std::string* out, int64_t v) {
+  PutVarint(out, ZigzagEncode(v));
+}
+
+/// Reads one varint from [*pos, size). Returns false (leaving *pos
+/// unspecified) on truncation or a stream longer than the canonical
+/// 10 bytes.
+inline bool GetVarint(const char* data, size_t size, size_t* pos,
+                      uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= size) return false;
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte may only carry the single remaining high bit; a
+      // longer (non-canonical) stream is corruption.
+      if (shift == 63 && byte > 1) return false;
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool GetZigzag(const char* data, size_t size, size_t* pos,
+                      int64_t* v) {
+  uint64_t raw;
+  if (!GetVarint(data, size, pos, &raw)) return false;
+  *v = ZigzagDecode(raw);
+  return true;
+}
+
+}  // namespace trinit::storage
+
+#endif  // TRINIT_STORAGE_VARINT_H_

@@ -4,10 +4,9 @@
 
 namespace trinit::xkg {
 
-Result<Xkg> Xkg::FromParts(
-    std::unique_ptr<rdf::Dictionary> dict, rdf::TripleStore store,
-    rdf::GraphStats stats, size_t kg_triple_count,
-    std::unordered_map<rdf::TripleId, std::vector<Provenance>> provenance) {
+Result<Xkg> Xkg::FromParts(std::unique_ptr<rdf::Dictionary> dict,
+                           rdf::TripleStore store, rdf::GraphStats stats,
+                           size_t kg_triple_count, ProvenanceMap provenance) {
   if (dict == nullptr) {
     return Status::InvalidArgument("FromParts: null dictionary");
   }
@@ -44,9 +43,46 @@ Result<Xkg> Xkg::FromParts(
   return xkg;
 }
 
+Result<Xkg> Xkg::FromPartsLazyProvenance(
+    std::unique_ptr<rdf::Dictionary> dict, rdf::TripleStore store,
+    rdf::GraphStats stats, size_t kg_triple_count,
+    std::function<Result<ProvenanceMap>()> loader) {
+  if (loader == nullptr) {
+    return Status::InvalidArgument("FromPartsLazyProvenance: null loader");
+  }
+  auto xkg = FromParts(std::move(dict), std::move(store), std::move(stats),
+                       kg_triple_count, {});
+  if (!xkg.ok()) return xkg;
+  auto lazy = std::make_unique<LazyProvenance>();
+  lazy->loader = std::move(loader);
+  xkg.value().lazy_provenance_ = std::move(lazy);
+  return xkg;
+}
+
+const Xkg::ProvenanceMap& Xkg::DecodedProvenance() const {
+  if (lazy_provenance_ == nullptr) return provenance_;
+  LazyProvenance* lazy = lazy_provenance_.get();
+  std::call_once(lazy->once, [lazy] {
+    auto decoded = lazy->loader();
+    if (decoded.ok()) {
+      lazy->map = std::move(decoded).value();
+    } else {
+      lazy->status = decoded.status();
+    }
+    lazy->loader = nullptr;  // release captured backing references
+  });
+  return lazy->map;
+}
+
+Status Xkg::provenance_status() const {
+  DecodedProvenance();
+  return lazy_provenance_ == nullptr ? Status::Ok() : lazy_provenance_->status;
+}
+
 const std::vector<Provenance>& Xkg::ProvenanceFor(rdf::TripleId id) const {
-  auto it = provenance_.find(id);
-  return it == provenance_.end() ? empty_provenance_ : it->second;
+  const ProvenanceMap& map = DecodedProvenance();
+  auto it = map.find(id);
+  return it == map.end() ? empty_provenance_ : it->second;
 }
 
 std::string Xkg::RenderTriple(rdf::TripleId id) const {

@@ -1,7 +1,9 @@
 #ifndef TRINIT_XKG_XKG_H_
 #define TRINIT_XKG_XKG_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,16 +38,45 @@ class Xkg {
   Xkg(Xkg&&) = default;
   Xkg& operator=(Xkg&&) = default;
 
+  using ProvenanceMap =
+      std::unordered_map<rdf::TripleId, std::vector<Provenance>>;
+
   /// Reassembles an XKG from snapshot-restored parts — the storage
   /// layer's load path (everything else builds through `XkgBuilder`).
   /// The phrase index is derived data and is rebuilt from `dict` (an
   /// O(tokens) hash build, no sorts); every triple's term ids and every
   /// provenance triple id are bounds-checked so a corrupt snapshot
   /// yields a typed error instead of out-of-range indexing later.
-  static Result<Xkg> FromParts(
+  static Result<Xkg> FromParts(std::unique_ptr<rdf::Dictionary> dict,
+                               rdf::TripleStore store, rdf::GraphStats stats,
+                               size_t kg_triple_count,
+                               ProvenanceMap provenance);
+
+  /// Deferred-provenance variant for the trusted mmap load path:
+  /// `loader` decodes the snapshot's PROV section on the first
+  /// `ProvenanceFor` call (thread-safe, once) instead of at open time —
+  /// provenance is only read by `Explain`, so a replica that never
+  /// explains never touches those file bytes. A loader failure (the
+  /// deferred decode hit corrupt bytes) makes every triple's provenance
+  /// empty rather than failing the query path; the typed error is kept
+  /// and exposed through `provenance_status()`.
+  static Result<Xkg> FromPartsLazyProvenance(
       std::unique_ptr<rdf::Dictionary> dict, rdf::TripleStore store,
       rdf::GraphStats stats, size_t kg_triple_count,
-      std::unordered_map<rdf::TripleId, std::vector<Provenance>> provenance);
+      std::function<Result<ProvenanceMap>()> loader);
+
+  /// Parks an opaque keepalive that must outlive this XKG's index
+  /// views — the storage layer hands over the snapshot file mapping
+  /// when index arrays alias it (see docs/CONCURRENCY.md, "Mapping
+  /// lifetime"). `ExtendKg` rebuilds into owned vectors and drops the
+  /// old XKG, releasing the mapping with it (copy-on-write).
+  void AttachBacking(std::shared_ptr<const void> backing) {
+    backing_ = std::move(backing);
+  }
+
+  /// Ok unless a deferred provenance decode failed (see
+  /// `FromPartsLazyProvenance`); triggers the decode.
+  Status provenance_status() const;
 
   const rdf::Dictionary& dict() const { return *dict_; }
   const rdf::TripleStore& store() const { return store_; }
@@ -75,12 +106,34 @@ class Xkg {
   friend class XkgBuilder;
   Xkg() = default;
 
+  /// Deferred PROV-section decode state. Heap-allocated so the
+  /// once_flag keeps a stable address across moves of the owning Xkg
+  /// (same idiom as ScoreOrderIndex::ShapeIndex); the once_flag itself
+  /// is the publication protocol — `map`/`status` are written only
+  /// inside the once-body and immutable after, so post-once reads are
+  /// wait-free (documented in docs/CONCURRENCY.md, exercised under
+  /// `ci.sh --tsan`).
+  struct LazyProvenance {
+    std::once_flag once;
+    std::function<Result<ProvenanceMap>()> loader;
+    ProvenanceMap map;
+    Status status = Status::Ok();
+  };
+
+  /// Runs the deferred decode (at most once) and returns the map.
+  const ProvenanceMap& DecodedProvenance() const;
+
   std::unique_ptr<rdf::Dictionary> dict_;
   rdf::TripleStore store_;
   std::unique_ptr<rdf::GraphStats> stats_;
   std::unique_ptr<text::PhraseIndex> phrase_index_;
-  std::unordered_map<rdf::TripleId, std::vector<Provenance>> provenance_;
+  ProvenanceMap provenance_;
+  std::unique_ptr<LazyProvenance> lazy_provenance_;  // null = eager
   std::vector<Provenance> empty_provenance_;
+  // Keepalive for memory the index structures may view (the snapshot
+  // mapping); destroyed last-ish by member order, after no views
+  // remain reachable. Never dereferenced.
+  std::shared_ptr<const void> backing_;
   size_t kg_triple_count_ = 0;
 };
 

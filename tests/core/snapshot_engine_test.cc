@@ -126,17 +126,6 @@ TEST(SnapshotEngineTest, PropertySnapshotEqualsTsvBuiltAcrossWorlds) {
     auto tsv_engine = Trinit::Open(std::move(tsv_xkg).value());
     ASSERT_TRUE(tsv_engine.ok());
 
-    // Snapshot cold-start path: save the TSV-built engine, open the
-    // snapshot — no rebuild, same dictionary, same everything.
-    const std::string snap = TempPath("world_" + std::to_string(seed) +
-                                      ".trinit");
-    ASSERT_TRUE(tsv_engine->Save(snap).ok());
-    storage::LoadReport report;
-    auto snap_engine = Trinit::Open(snap, {}, &report);
-    ASSERT_TRUE(snap_engine.ok()) << snap_engine.status();
-    EXPECT_EQ(report.index_rebuilds, 0u);
-    EXPECT_EQ(snap_engine->rules().size(), tsv_engine->rules().size());
-
     // A mix of shapes over this world's entities: single patterns,
     // joins, soft matches, relax-rescued constants.
     const auto& unis = world.OfClass(synth::EntityClass::kUniversity);
@@ -152,11 +141,73 @@ TEST(SnapshotEngineTest, PropertySnapshotEqualsTsvBuiltAcrossWorlds) {
             world.entities[unis[1]].name,
         "?x wonPrize ?p",
     };
+    // Ground truth: the TSV-built engine's answers and work counters
+    // (first, uncached run of each query).
+    std::vector<std::pair<std::string, std::string>> expected;
+    expected.reserve(queries.size());
     for (const std::string& q : queries) {
-      auto [tsv_bytes, tsv_work] = RunOnce(*tsv_engine, q);
-      auto [snap_bytes, snap_work] = RunOnce(*snap_engine, q);
-      EXPECT_EQ(snap_bytes, tsv_bytes) << "seed " << seed << ": " << q;
-      EXPECT_EQ(snap_work, tsv_work) << "seed " << seed << ": " << q;
+      expected.push_back(RunOnce(*tsv_engine, q));
+    }
+
+    // Snapshot cold-start paths: save the TSV-built engine once per
+    // codec, open each file through every load mode / verification
+    // combination — answers AND pull/probe/decode work counters must be
+    // byte-identical to the TSV build in all of them.
+    struct Combo {
+      const char* label;
+      storage::SectionCodec codec;
+      storage::LoadMode mode;
+      rdf::SnapshotValidation verify;
+    };
+    const Combo combos[] = {
+        {"raw/copy", storage::SectionCodec::kRaw, storage::LoadMode::kCopy,
+         rdf::SnapshotValidation::kFull},
+        {"raw/mmap", storage::SectionCodec::kRaw, storage::LoadMode::kMapped,
+         rdf::SnapshotValidation::kFull},
+        {"raw/mmap-trusted", storage::SectionCodec::kRaw,
+         storage::LoadMode::kMapped, rdf::SnapshotValidation::kTrusted},
+        {"varint/copy", storage::SectionCodec::kVarintDelta,
+         storage::LoadMode::kCopy, rdf::SnapshotValidation::kFull},
+        {"varint/mmap", storage::SectionCodec::kVarintDelta,
+         storage::LoadMode::kMapped, rdf::SnapshotValidation::kFull},
+        {"varint/mmap-trusted", storage::SectionCodec::kVarintDelta,
+         storage::LoadMode::kMapped, rdf::SnapshotValidation::kTrusted},
+    };
+    for (const Combo& combo : combos) {
+      SCOPED_TRACE(std::string("seed ") + std::to_string(seed) + " " +
+                   combo.label);
+      const std::string snap =
+          TempPath("world_" + std::to_string(seed) + "_" +
+                   (combo.codec == storage::SectionCodec::kRaw ? "raw"
+                                                               : "varint") +
+                   ".trinit");
+      ASSERT_TRUE(storage::SnapshotWriter::Write(
+                      tsv_engine->xkg(), tsv_engine->rules(),
+                      tsv_engine->serving_cache().generation(), snap,
+                      {combo.codec, storage::kSnapshotVersion})
+                      .ok());
+      TrinitOptions options;
+      options.snapshot_read = {combo.mode, combo.verify};
+      storage::LoadReport report;
+      auto snap_engine = Trinit::Open(snap, options, &report);
+      ASSERT_TRUE(snap_engine.ok()) << snap_engine.status();
+      EXPECT_EQ(report.index_rebuilds, 0u);
+      EXPECT_EQ(snap_engine->rules().size(), tsv_engine->rules().size());
+
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto [snap_bytes, snap_work] = RunOnce(*snap_engine, queries[i]);
+        EXPECT_EQ(snap_bytes, expected[i].first) << queries[i];
+        EXPECT_EQ(snap_work, expected[i].second) << queries[i];
+      }
+      // A mutation after a mapped load copies the views into owned
+      // memory (copy-on-write) and keeps serving correct answers.
+      ASSERT_TRUE(snap_engine
+                      ->ExtendKg("ZZTestPerson bornIn " +
+                                 world.entities[cities[0]].name)
+                      .ok());
+      auto after = snap_engine->Execute(
+          QueryRequest::Text(queries[0], 50));
+      ASSERT_TRUE(after.ok()) << after.status();
     }
   }
 }

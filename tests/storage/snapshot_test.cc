@@ -1,20 +1,25 @@
 // Binary snapshot format: round-trip fidelity (dictionary, triples,
 // provenance, graph stats, score-ordered shapes in their exact laziness
-// state, rules, generation), and rejection of foreign, truncated,
-// version-mismatched, and bit-flipped files with typed errors — never a
-// crash, never UB.
+// state, rules, generation) across the {copy, mmap} x {raw,
+// varint+delta} matrix, and rejection of foreign, truncated,
+// version-mismatched, codec-tampered, and bit-flipped files with typed
+// errors — never a crash, never UB, in either load mode.
 
 #include "storage/snapshot.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "storage/mapped_file.h"
 #include "testing/paper_world.h"
+#include "util/hash.h"
 
 namespace trinit::storage {
 namespace {
@@ -36,6 +41,64 @@ void Spit(const std::string& path, const std::string& bytes) {
   ASSERT_TRUE(out.good());
 }
 
+// Wire-format constants the tampering helpers below rely on (see
+// snapshot.cc): a 32-byte header, then 8 table entries of 32 bytes
+// each — u32 id, u32 flags (low byte = codec), u64 offset, u64 length,
+// u64 FNV-1a checksum.
+constexpr size_t kHeaderBytes = 32;
+constexpr size_t kTableEntryBytes = 32;
+constexpr uint32_t kMetaId = 1;
+constexpr uint32_t kTriplesId = 3;
+constexpr uint32_t kProvenanceId = 7;
+
+size_t TableEntryPos(const std::string& bytes, uint32_t id) {
+  for (uint32_t i = 0; i < 8; ++i) {
+    size_t pos = kHeaderBytes + i * kTableEntryBytes;
+    uint32_t got = 0;
+    std::memcpy(&got, bytes.data() + pos, sizeof(got));
+    if (got == id) return pos;
+  }
+  ADD_FAILURE() << "section " << id << " not in table";
+  return 0;
+}
+
+void SetSectionFlags(std::string* bytes, uint32_t id, uint32_t flags) {
+  size_t pos = TableEntryPos(*bytes, id);
+  std::memcpy(bytes->data() + pos + 4, &flags, sizeof(flags));
+}
+
+void SetSectionLength(std::string* bytes, uint32_t id, uint64_t length) {
+  size_t pos = TableEntryPos(*bytes, id);
+  std::memcpy(bytes->data() + pos + 16, &length, sizeof(length));
+}
+
+std::pair<uint64_t, uint64_t> SectionExtent(const std::string& bytes,
+                                            uint32_t id) {
+  size_t pos = TableEntryPos(bytes, id);
+  uint64_t offset = 0, length = 0;
+  std::memcpy(&offset, bytes.data() + pos + 8, sizeof(offset));
+  std::memcpy(&length, bytes.data() + pos + 16, sizeof(length));
+  return {offset, length};
+}
+
+/// Recomputes a section's table checksum after its payload was
+/// tampered with — the way past the checksum gate and into the
+/// decoders, which must still reject garbage with typed errors.
+void FixSectionChecksum(std::string* bytes, uint32_t id) {
+  auto [offset, length] = SectionExtent(*bytes, id);
+  uint64_t sum = Fnv1a64({bytes->data() + offset,
+                          static_cast<size_t>(length)});
+  size_t pos = TableEntryPos(*bytes, id);
+  std::memcpy(bytes->data() + pos + 24, &sum, sizeof(sum));
+}
+
+constexpr ReadOptions kCopyRead{LoadMode::kCopy,
+                                rdf::SnapshotValidation::kFull};
+constexpr ReadOptions kMappedRead{LoadMode::kMapped,
+                                  rdf::SnapshotValidation::kFull};
+constexpr ReadOptions kTrustedRead{LoadMode::kMapped,
+                                   rdf::SnapshotValidation::kTrusted};
+
 /// Paper world + rules, with two score-ordered shapes forced built so
 /// the snapshot has a nontrivial laziness state to preserve.
 struct Fixture {
@@ -52,6 +115,54 @@ struct Fixture {
     EXPECT_EQ(xkg.store().score_shapes_built(), 2u);
   }
 };
+
+/// Full state equality between the fixture and a loaded snapshot —
+/// shared by the plain round-trip test and the mode/codec matrix.
+void ExpectSameState(const Fixture& f, const LoadedSnapshot& loaded,
+                     const char* label) {
+  SCOPED_TRACE(label);
+  const xkg::Xkg& out = loaded.xkg;
+  ASSERT_EQ(out.dict().size(), f.xkg.dict().size());
+  f.xkg.dict().ForEach([&](rdf::TermId id) {
+    EXPECT_EQ(out.dict().label(id), f.xkg.dict().label(id));
+    EXPECT_EQ(out.dict().kind(id), f.xkg.dict().kind(id));
+  });
+  ASSERT_EQ(out.store().size(), f.xkg.store().size());
+  for (rdf::TripleId id = 0; id < f.xkg.store().size(); ++id) {
+    const rdf::Triple& a = f.xkg.store().triple(id);
+    const rdf::Triple& b = out.store().triple(id);
+    EXPECT_EQ(a.s, b.s);
+    EXPECT_EQ(a.p, b.p);
+    EXPECT_EQ(a.o, b.o);
+    EXPECT_EQ(a.confidence, b.confidence);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.source, b.source);
+  }
+  EXPECT_EQ(out.kg_triple_count(), f.xkg.kg_triple_count());
+  EXPECT_EQ(out.store().score_shapes_built(),
+            f.xkg.store().score_shapes_built());
+  for (rdf::TermId p : f.xkg.stats().predicates()) {
+    EXPECT_TRUE(std::ranges::equal(f.xkg.stats().Args(p),
+                                   out.stats().Args(p)));
+  }
+  for (rdf::TripleId id = 0; id < f.xkg.store().size(); ++id) {
+    const auto& pa = f.xkg.ProvenanceFor(id);
+    const auto& pb = out.ProvenanceFor(id);
+    ASSERT_EQ(pa.size(), pb.size()) << "triple " << id;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].doc_id, pb[i].doc_id);
+      EXPECT_EQ(pa[i].sentence_idx, pb[i].sentence_idx);
+      EXPECT_EQ(pa[i].sentence, pb[i].sentence);
+      EXPECT_EQ(pa[i].extraction_confidence, pb[i].extraction_confidence);
+    }
+  }
+  EXPECT_TRUE(out.provenance_status().ok());
+  ASSERT_EQ(loaded.rules.size(), f.rules.size());
+  for (size_t i = 0; i < f.rules.size(); ++i) {
+    EXPECT_EQ(loaded.rules.rules()[i].ToString(),
+              f.rules.rules()[i].ToString());
+  }
+}
 
 TEST(SnapshotTest, RoundTripPreservesEverything) {
   Fixture f;
@@ -109,7 +220,8 @@ TEST(SnapshotTest, RoundTripPreservesEverything) {
     EXPECT_EQ(sa->evidence_count, sb->evidence_count);
     EXPECT_EQ(sa->distinct_subjects, sb->distinct_subjects);
     EXPECT_EQ(sa->distinct_objects, sb->distinct_objects);
-    EXPECT_EQ(f.xkg.stats().Args(p), out.stats().Args(p));
+    EXPECT_TRUE(std::ranges::equal(f.xkg.stats().Args(p),
+                                   out.stats().Args(p)));
   }
 
   // Provenance, sentence text included.
@@ -259,6 +371,317 @@ TEST(SnapshotTest, UnbuiltIndexStaysLazyAfterLoad) {
       loaded->xkg.store().ScoreOrdered(rdf::kNullTerm, born, rdf::kNullTerm);
   EXPECT_FALSE(list.ids.empty());
   EXPECT_EQ(loaded->xkg.store().score_shapes_built(), 1u);
+}
+
+// ------------------------------------------------- mode/codec matrix
+
+TEST(SnapshotTest, MatrixRoundTripsByteIdenticallyAcrossModesAndCodecs) {
+  Fixture f;
+  const std::string raw_path = TempPath("matrix_raw.trinit");
+  const std::string varint_path = TempPath("matrix_varint.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 9, raw_path,
+                                    {SectionCodec::kRaw, kSnapshotVersion})
+                  .ok());
+  ASSERT_TRUE(SnapshotWriter::Write(
+                  f.xkg, f.rules, 9, varint_path,
+                  {SectionCodec::kVarintDelta, kSnapshotVersion})
+                  .ok());
+  // The codec earns its keep on real worlds (bench-gated at >=2x); on
+  // the tiny paper fixture it must at least strictly shrink the file.
+  EXPECT_LT(Slurp(varint_path).size(), Slurp(raw_path).size());
+
+  struct Case {
+    const char* label;
+    const std::string& path;
+    ReadOptions options;
+  };
+  const Case cases[] = {
+      {"raw/copy", raw_path, kCopyRead},
+      {"raw/mmap", raw_path, kMappedRead},
+      {"raw/mmap-trusted", raw_path, kTrustedRead},
+      {"varint/copy", varint_path, kCopyRead},
+      {"varint/mmap", varint_path, kMappedRead},
+      {"varint/mmap-trusted", varint_path, kTrustedRead},
+  };
+  for (const Case& c : cases) {
+    auto loaded = SnapshotReader::Read(c.path, c.options);
+    ASSERT_TRUE(loaded.ok()) << c.label << ": " << loaded.status();
+    ExpectSameState(f, *loaded, c.label);
+    EXPECT_EQ(loaded->generation, 9u) << c.label;
+
+    const LoadReport& r = loaded->report;
+    EXPECT_EQ(r.sections_raw + r.sections_varint, 8u) << c.label;
+    const bool mapped_mode = c.options.mode == LoadMode::kMapped &&
+                             MappedFile::Supported();
+    EXPECT_EQ(r.mapped, mapped_mode) << c.label;
+    if (!mapped_mode) {
+      // Copying loads decode everything and read every byte.
+      EXPECT_EQ(r.sections_mapped, 0u) << c.label;
+      EXPECT_EQ(r.bytes_touched, r.bytes) << c.label;
+    } else if (c.options.verify == rdf::SnapshotValidation::kTrusted &&
+               c.path == raw_path) {
+      // The headline path: raw sections stay on disk, untouched.
+      EXPECT_GT(r.sections_mapped, 0u) << c.label;
+      EXPECT_TRUE(r.provenance_deferred) << c.label;
+      EXPECT_LT(r.bytes_touched, r.bytes) << c.label;
+    } else if (c.options.verify == rdf::SnapshotValidation::kFull) {
+      // Full verification checksums everything even when mapped.
+      EXPECT_EQ(r.bytes_touched, r.bytes) << c.label;
+      EXPECT_FALSE(r.provenance_deferred) << c.label;
+    }
+    EXPECT_EQ(r.sections_varint, c.path == varint_path ? 5u : 0u)
+        << c.label;
+  }
+}
+
+TEST(SnapshotTest, V1FormatStillWritesAndLoadsInBothModes) {
+  Fixture f;
+  const std::string path = TempPath("v1_compat.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 4, path,
+                                    {SectionCodec::kRaw, 1})
+                  .ok());
+  for (const ReadOptions& options : {kCopyRead, kMappedRead, kTrustedRead}) {
+    auto loaded = SnapshotReader::Read(path, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ExpectSameState(f, *loaded, "v1");
+    EXPECT_EQ(loaded->generation, 4u);
+    // v1 layouts are not alignment-safe to view: even mapped+trusted
+    // opens degrade to the fully-verifying copying decode.
+    EXPECT_EQ(loaded->report.sections_mapped, 0u);
+    EXPECT_FALSE(loaded->report.provenance_deferred);
+    EXPECT_EQ(loaded->report.bytes_touched, loaded->report.bytes);
+  }
+}
+
+TEST(SnapshotTest, WriterRejectsImpossibleOptions) {
+  Fixture f;
+  const std::string path = TempPath("bad_options.trinit");
+  // v1 has no codec byte to record a codec in.
+  auto s = SnapshotWriter::Write(f.xkg, f.rules, 0, path,
+                                 {SectionCodec::kVarintDelta, 1});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Unknown future format version.
+  s = SnapshotWriter::Write(f.xkg, f.rules, 0, path,
+                            {SectionCodec::kRaw, kSnapshotVersion + 1});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------- hostile mapped files
+
+TEST(SnapshotTest, UnknownCodecByteIsFailedPrecondition) {
+  Fixture f;
+  const std::string path = TempPath("unknown_codec.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  std::string bytes = Slurp(path);
+  SetSectionFlags(&bytes, kTriplesId, 2);  // codec this build never wrote
+  Spit(path, bytes);
+  for (const ReadOptions& options : {kCopyRead, kMappedRead, kTrustedRead}) {
+    auto r = SnapshotReader::Read(path, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(SnapshotTest, ReservedFlagBitsAreRejected) {
+  Fixture f;
+  const std::string path = TempPath("reserved_flags.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  std::string bytes = Slurp(path);
+  SetSectionFlags(&bytes, kTriplesId, 0x100);  // above the codec byte
+  Spit(path, bytes);
+  for (const ReadOptions& options : {kCopyRead, kTrustedRead}) {
+    auto r = SnapshotReader::Read(path, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(SnapshotTest, CodecOnUncompressibleSectionIsRejected) {
+  Fixture f;
+  const std::string path = TempPath("codec_on_meta.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  std::string bytes = Slurp(path);
+  SetSectionFlags(&bytes, kMetaId, 1);  // META is always raw
+  Spit(path, bytes);
+  auto r = SnapshotReader::Read(path, kTrustedRead);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, CodecByteInV1SnapshotIsRejected) {
+  Fixture f;
+  const std::string path = TempPath("v1_codec.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path,
+                                    {SectionCodec::kRaw, 1})
+                  .ok());
+  std::string bytes = Slurp(path);
+  SetSectionFlags(&bytes, kTriplesId, 1);  // v1 files carry no codecs
+  Spit(path, bytes);
+  auto r = SnapshotReader::Read(path, kCopyRead);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, SectionLengthOverflowingMappingIsRejected) {
+  Fixture f;
+  const std::string path = TempPath("overflow_len.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  const std::string pristine = Slurp(path);
+  // A length that runs past the mapping, one that wraps offset+length
+  // past 2^64, and one just one byte too long.
+  auto [offset, length] = SectionExtent(pristine, kTriplesId);
+  const uint64_t hostile[] = {pristine.size(), ~uint64_t{0} - offset + 2,
+                              pristine.size() - offset + 1};
+  for (uint64_t len : hostile) {
+    std::string bytes = pristine;
+    SetSectionLength(&bytes, kTriplesId, len);
+    Spit(path, bytes);
+    for (const ReadOptions& options : {kCopyRead, kTrustedRead}) {
+      auto r = SnapshotReader::Read(path, options);
+      ASSERT_FALSE(r.ok()) << "length " << len;
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << len;
+    }
+  }
+}
+
+TEST(SnapshotTest, TruncationsAreRejectedCleanlyInMappedMode) {
+  Fixture f;
+  const std::string path = TempPath("truncated_mmap.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  const std::string bytes = Slurp(path);
+  // Same cut schedule as the copying-path test, including mid-header
+  // and mid-section-table cuts, through the mmap reader — and through
+  // mmap+trusted, which must *still* catch every frame violation.
+  const size_t cuts[] = {0,  4,  8,  12, 16,  31,  32,  63,
+                         64, 100, bytes.size() / 2, bytes.size() - 1};
+  for (size_t cut : cuts) {
+    Spit(path, bytes.substr(0, cut));
+    for (const ReadOptions& options : {kMappedRead, kTrustedRead}) {
+      auto r = SnapshotReader::Read(path, options);
+      ASSERT_FALSE(r.ok()) << "cut at " << cut;
+      EXPECT_TRUE(r.status().code() == StatusCode::kInvalidArgument ||
+                  r.status().code() == StatusCode::kParseError)
+          << "cut at " << cut << ": " << r.status();
+    }
+  }
+}
+
+TEST(SnapshotTest, FlippedBytesNeverLoadSilentlyWrongInMappedMode) {
+  Fixture f;
+  const std::string path = TempPath("flipped_mmap.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, /*generation=*/3, path)
+                  .ok());
+  const std::string bytes = Slurp(path);
+  for (size_t pos = 0; pos < bytes.size(); pos += 37) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    Spit(path, mutated);
+    // Fully-verifying mapped loads give the copying path's guarantee.
+    auto r = SnapshotReader::Read(path, kMappedRead);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().code() == StatusCode::kInvalidArgument ||
+                  r.status().code() == StatusCode::kParseError ||
+                  r.status().code() == StatusCode::kFailedPrecondition)
+          << "flip at " << pos << ": " << r.status();
+    } else {
+      EXPECT_EQ(r->generation, 3u) << "flip at " << pos;
+    }
+    // Trusted mapped loads may *accept* a flip inside a viewed payload
+    // (the documented contract) but must never crash or corrupt memory
+    // — the sanitizer jobs run this loop too. Walking the store and
+    // provenance exercises every deferred path against the flip.
+    auto t = SnapshotReader::Read(path, kTrustedRead);
+    if (t.ok()) {
+      for (rdf::TripleId id = 0; id < t->xkg.store().size(); ++id) {
+        (void)t->xkg.ProvenanceFor(id);
+      }
+      (void)t->xkg.provenance_status();
+    }
+  }
+}
+
+TEST(SnapshotTest, CorruptVarintStreamIsRejectedNotUb) {
+  Fixture f;
+  const std::string path = TempPath("corrupt_varint.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(
+                  f.xkg, f.rules, 0, path,
+                  {SectionCodec::kVarintDelta, kSnapshotVersion})
+                  .ok());
+  const std::string pristine = Slurp(path);
+  auto [offset, length] = SectionExtent(pristine, kTriplesId);
+  ASSERT_GT(length, 0u);
+  // Every flip position inside the encoded stream, with the section
+  // checksum recomputed so the decoder (not the checksum gate) must
+  // catch the damage: a typed error or a successful decode of some
+  // other valid stream — never UB, never a crash.
+  size_t rejected = 0;
+  for (uint64_t pos = 0; pos < length; ++pos) {
+    std::string bytes = pristine;
+    bytes[offset + pos] = static_cast<char>(bytes[offset + pos] ^ 0xff);
+    FixSectionChecksum(&bytes, kTriplesId);
+    Spit(path, bytes);
+    for (const ReadOptions& options : {kCopyRead, kTrustedRead}) {
+      auto r = SnapshotReader::Read(path, options);
+      if (!r.ok()) {
+        ++rejected;
+        EXPECT_TRUE(r.status().code() == StatusCode::kInvalidArgument ||
+                    r.status().code() == StatusCode::kParseError)
+            << "flip at " << pos << ": " << r.status();
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(SnapshotTest, DeferredProvenanceCorruptionSurfacesAsStatus) {
+  Fixture f;
+  const std::string path = TempPath("deferred_prov.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  std::string bytes = Slurp(path);
+  auto [offset, length] = SectionExtent(bytes, kProvenanceId);
+  ASSERT_GT(length, 8u);
+  bytes[offset + length / 2] =
+      static_cast<char>(bytes[offset + length / 2] ^ 0x5a);
+  Spit(path, bytes);
+
+  // Full verification catches the flip at open, both modes.
+  for (const ReadOptions& options : {kCopyRead, kMappedRead}) {
+    auto r = SnapshotReader::Read(path, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+
+  // Trusted defers the provenance decode — the open succeeds, and the
+  // damage surfaces as a typed status (plus empty provenance, never
+  // garbage) on first touch.
+  auto t = SnapshotReader::Read(path, kTrustedRead);
+  if (!MappedFile::Supported()) return;
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_TRUE(t->report.provenance_deferred);
+  for (rdf::TripleId id = 0; id < t->xkg.store().size(); ++id) {
+    EXPECT_TRUE(t->xkg.ProvenanceFor(id).empty());
+  }
+  Status s = t->xkg.provenance_status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotTest, TrustedCopyModeStillFullyVerifies) {
+  Fixture f;
+  const std::string path = TempPath("trusted_copy.trinit");
+  ASSERT_TRUE(SnapshotWriter::Write(f.xkg, f.rules, 0, path).ok());
+  std::string bytes = Slurp(path);
+  auto [offset, length] = SectionExtent(bytes, kTriplesId);
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x5a);
+  Spit(path, bytes);
+  // kTrusted is only honored on the mapped view path; asking for it
+  // with a copying load keeps every checksum.
+  auto r = SnapshotReader::Read(
+      path, {LoadMode::kCopy, rdf::SnapshotValidation::kTrusted});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
 }  // namespace

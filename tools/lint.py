@@ -20,6 +20,10 @@ Rules (each finding prints as ``path:line: [rule] message``):
                     are written ``(void)Foo();``.
   naked-new         ``new`` / ``malloc`` / ``free`` outside the smart-
                     pointer factories — ownership must be typed.
+  pointer-punning   ``reinterpret_cast`` in src/ outside src/storage/ —
+                    type punning is the storage layer's privilege (mmap
+                    section views, with layout static_asserts alongside);
+                    everywhere else it is a strict-aliasing hazard.
   include-style     project includes are quote-form paths rooted at
                     src/ (or tests/, bench/, examples/ for those trees);
                     no ``../`` escapes, no angle-form project headers.
@@ -42,6 +46,7 @@ import sys
 CXX_DIRS = ("src", "tests", "bench", "examples")
 CXX_EXTS = (".h", ".cc", ".cpp")
 
+PUNNING_RE = re.compile(r"\breinterpret_cast\b")
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(?:recursive_)?(?:shared_)?(?:timed_)?mutex\b"
     r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
@@ -176,6 +181,14 @@ def check_file(root, path, status_names, findings):
                                  f"raw {m.group(0)} — use the annotated "
                                  "trinit::Mutex/MutexLock wrappers "
                                  "(src/util/mutex.h)"))
+
+        if in_src and not rel.startswith(os.path.join("src", "storage") +
+                                         os.sep):
+            if PUNNING_RE.search(code):
+                findings.append((rel, lineno, "pointer-punning",
+                                 "reinterpret_cast outside src/storage/ — "
+                                 "keep type punning confined to the "
+                                 "storage layer's checked view helpers"))
 
         if in_src:
             if NAKED_NEW_RE.search(code):

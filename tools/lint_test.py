@@ -170,6 +170,24 @@ class LintRuleTest(unittest.TestCase):
                         "int renew_count;  // 'new' inside a word\n")
         self.assert_clean()
 
+    # ------------------------------------------------- pointer-punning
+    def test_reinterpret_cast_outside_storage_fires(self):
+        self.repo.write("src/rdf/puns.cc",
+                        "const int* f(const char* p) {"
+                        " return reinterpret_cast<const int*>(p); }\n")
+        self.assert_fires("pointer-punning", "src/rdf/puns.cc")
+
+    def test_reinterpret_cast_in_storage_and_tests_clean(self):
+        # src/storage/ owns the checked mmap view helpers; tests and
+        # bench code are outside the rule's scope entirely.
+        self.repo.write("src/storage/views.cc",
+                        "const int* f(const char* p) {"
+                        " return reinterpret_cast<const int*>(p); }\n")
+        self.repo.write("tests/pun_test.cc",
+                        "auto f(char* p) {"
+                        " return reinterpret_cast<int*>(p); }\n")
+        self.assert_clean()
+
     # ---------------------------------------------------- include-style
     def test_relative_include_fires(self):
         self.repo.write("src/a.cc", '#include "../tests/helper.h"\n')
