@@ -1,0 +1,233 @@
+// Exhibit P5 — sharded scatter-gather serving.
+//
+// The XKG is hash-partitioned by subject into S in-process shards, each
+// with its own score-ordered posting lists and statistics; every leaf
+// stream becomes a merge over per-shard segments under one global
+// threshold, so the decomposition is *exact*: answers, scores, and
+// total pulls are byte-identical at any shard count. What sharding buys
+// is balance — the work any single shard (a node, in the multi-machine
+// reading) performs: this bench runs the P2 multi-pattern query mix at
+// S in {1, 2, 4, 8} over the same world and reports, per shard count,
+// the total pulls (must not change) and the hottest shard's pulls
+// (must shrink as S grows).
+//
+//   ./build/bench/bench_p5_shard [--counters-only] [out.json]
+//                                (default: BENCH_P5.json)
+//
+// --counters-only omits the machine-local p50/p95 wall-times from the
+// JSON so cross-machine comparisons see only deterministic counters.
+//
+// Exit code is non-zero if answers or total pulls diverge across shard
+// counts, or if the hottest shard at S=4 still pulls more than half of
+// the unsharded total (the scatter failed to spread the work).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using trinit::bench::AnswerBytes;
+using trinit::bench::JsonEscape;
+using trinit::bench::Percentile;
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 8};
+constexpr size_t kNumConfigs = 4;
+
+struct Side {
+  std::vector<double> ms;
+  std::string answer_bytes;
+  size_t items_pulled = 0;
+  size_t shard_pulls_max = 0;  // hottest shard of this one query
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trinit;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv, "BENCH_P5.json");
+  const bool counters_only = args.counters_only;
+  const char* out_path = args.out_path;
+  constexpr int kReps = 9;
+  constexpr int kK = 5;
+
+  std::printf("[P5] sharded scatter-gather serving (subject-hash XKG)\n\n");
+
+  synth::World world = bench::EvalWorld(2016);
+  std::vector<core::Trinit> engines;
+  engines.reserve(kNumConfigs);
+  for (size_t shard_count : kShardCounts) {
+    core::TrinitOptions options;
+    options.shard_count = shard_count;
+    // Every rep must run the rank-join for real: the answer cache would
+    // serve reps 2..N for free and zero their counters.
+    options.serving.enabled = false;
+    auto engine = core::Trinit::FromWorld(world, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "FromWorld(S=%zu) failed: %s\n", shard_count,
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    engines.push_back(std::move(engine).value());
+  }
+  std::printf("world: %zu triples, %zu relaxation rules, k=%d, %d reps\n\n",
+              engines[0].xkg().store().size(), engines[0].rules().size(), kK,
+              kReps);
+
+  const auto& unis = world.OfClass(synth::EntityClass::kUniversity);
+  const auto& cities = world.OfClass(synth::EntityClass::kCity);
+  const auto& persons = world.OfClass(synth::EntityClass::kPerson);
+  // The P2 multi-pattern mix: every query joins 2-3 streams.
+  std::vector<std::string> queries = {
+      "SELECT ?x WHERE ?x affiliation ?u ; ?u campusIn " +
+          world.entities[cities[0]].name,
+      "SELECT ?x WHERE ?x wonPrize ?p ; ?x affiliation " +
+          world.entities[unis[0]].name,
+      "SELECT ?x ?c WHERE ?x wonPrize ?p ; ?x bornIn ?c ; ?c locatedIn "
+      "?country",
+      "SELECT ?x WHERE ?x ?r ?y ; ?x hasAdvisor " +
+          world.entities[persons[1]].name,
+      "SELECT ?x ?u WHERE ?x affiliation ?u ; ?u campusIn " +
+          world.entities[cities[1]].name + " ; ?x bornIn ?b",
+      "SELECT ?a ?b WHERE ?a hasAdvisor ?b ; ?b affiliation " +
+          world.entities[unis[1]].name,
+  };
+
+  AsciiTable table({"query", "S=1 p50", "S=4 p50", "pulls", "S=2 max",
+                    "S=4 max", "S=8 max"});
+  size_t total_pulled[kNumConfigs] = {0, 0, 0, 0};
+  // Per-shard pulls accumulated across the whole mix, per shard count —
+  // the balance figure a per-query max would overstate.
+  std::vector<size_t> mix_shard_pulled[kNumConfigs];
+  bool answers_match = true;
+  bool pulls_match = true;
+
+  FILE* json = std::fopen(out_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"p5_shard\",\n  \"k\": %d,\n"
+               "  \"reps\": %d,\n  \"world_triples\": %zu,\n"
+               "  \"counters_only\": %s,\n  \"queries\": [\n",
+               kK, kReps, engines[0].xkg().store().size(),
+               counters_only ? "true" : "false");
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::string& text = queries[qi];
+    Side sides[kNumConfigs];
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (size_t c = 0; c < kNumConfigs; ++c) {
+        WallTimer timer;
+        auto response = engines[c].Execute(core::QueryRequest::Text(text, kK));
+        sides[c].ms.push_back(timer.ElapsedMillis());
+        if (!response.ok()) {
+          std::fprintf(stderr, "query failed (S=%zu): %s\n", kShardCounts[c],
+                       response.status().ToString().c_str());
+          return 1;
+        }
+        if (rep + 1 < kReps) continue;  // stats are deterministic
+        sides[c].answer_bytes = AnswerBytes(response->result());
+        sides[c].items_pulled = response->stats.items_pulled;
+        const std::vector<size_t>& per_shard =
+            response->stats.per_shard_pulled;
+        for (size_t i = 0; i < per_shard.size(); ++i) {
+          sides[c].shard_pulls_max =
+              std::max(sides[c].shard_pulls_max, per_shard[i]);
+          if (mix_shard_pulled[c].size() <= i) {
+            mix_shard_pulled[c].resize(i + 1, 0);
+          }
+          mix_shard_pulled[c][i] += per_shard[i];
+        }
+      }
+    }
+
+    for (size_t c = 1; c < kNumConfigs; ++c) {
+      if (sides[c].answer_bytes != sides[0].answer_bytes) {
+        answers_match = false;
+      }
+      if (sides[c].items_pulled != sides[0].items_pulled) pulls_match = false;
+    }
+
+    std::fprintf(json, "    {\"query\": \"%s\",\n", JsonEscape(text).c_str());
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      total_pulled[c] += sides[c].items_pulled;
+      std::fprintf(json, "     \"s%zu\": {", kShardCounts[c]);
+      if (!counters_only) {
+        std::fprintf(json, "\"p50_ms\": %.4f, \"p95_ms\": %.4f, ",
+                     Percentile(sides[c].ms, 0.5),
+                     Percentile(sides[c].ms, 0.95));
+      }
+      std::fprintf(json, "\"items_pulled\": %zu, \"shard_pulls_max\": %zu}%s\n",
+                   sides[c].items_pulled, sides[c].shard_pulls_max,
+                   c + 1 < kNumConfigs ? "," : "}");
+    }
+    std::fprintf(json, "%s\n", qi + 1 < queries.size() ? "    ," : "");
+
+    std::string label = text.size() > 34 ? text.substr(0, 31) + "..." : text;
+    table.AddRow({label, FormatDouble(Percentile(sides[0].ms, 0.5), 2),
+                  FormatDouble(Percentile(sides[2].ms, 0.5), 2),
+                  std::to_string(sides[0].items_pulled),
+                  std::to_string(sides[1].shard_pulls_max),
+                  std::to_string(sides[2].shard_pulls_max),
+                  std::to_string(sides[3].shard_pulls_max)});
+  }
+
+  size_t mix_max[kNumConfigs] = {0, 0, 0, 0};
+  for (size_t c = 0; c < kNumConfigs; ++c) {
+    for (size_t pulled : mix_shard_pulled[c]) {
+      mix_max[c] = std::max(mix_max[c], pulled);
+    }
+  }
+  const double s4_balance =
+      total_pulled[0] == 0 ? 0.0
+                           : static_cast<double>(mix_max[2]) /
+                                 static_cast<double>(total_pulled[0]);
+  std::fprintf(json,
+               "  ],\n  \"totals\": {\"s1_items_pulled\": %zu, "
+               "\"s2_max_shard_pulled\": %zu, "
+               "\"s4_max_shard_pulled\": %zu, "
+               "\"s8_max_shard_pulled\": %zu, "
+               "\"s4_balance\": %.4f, "
+               "\"pulls_match\": %s, \"answers_match\": %s}\n}\n",
+               total_pulled[0], mix_max[1], mix_max[2], mix_max[3],
+               s4_balance, pulls_match ? "true" : "false",
+               answers_match ? "true" : "false");
+  std::fclose(json);
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "totals: %zu pulls at every S; hottest shard %zu (S=2) %zu (S=4) "
+      "%zu (S=8); S=4 balance %.2f; answers %s\n",
+      total_pulled[0], mix_max[1], mix_max[2], mix_max[3], s4_balance,
+      answers_match ? "identical" : "DIVERGED");
+  std::printf("wrote %s\n", out_path);
+
+  if (!answers_match) {
+    std::fprintf(stderr, "P5 REGRESSION: answers diverged across shard "
+                         "counts\n");
+    return 1;
+  }
+  if (!pulls_match) {
+    std::fprintf(stderr, "P5 REGRESSION: total pulls changed under "
+                         "sharding (the merge is no longer exact)\n");
+    return 1;
+  }
+  // The scatter must actually spread the work: at S=4 the hottest shard
+  // may own at most half the unsharded mix total.
+  if (2 * mix_max[2] > total_pulled[0]) {
+    std::fprintf(stderr,
+                 "P5 REGRESSION: hottest S=4 shard pulled %zu of %zu "
+                 "(> 50%%)\n",
+                 mix_max[2], total_pulled[0]);
+    return 1;
+  }
+  return 0;
+}

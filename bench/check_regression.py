@@ -79,6 +79,23 @@ def check_invariants(fresh_path):
             print(f"[bench-gate] {name}: FAIL — trusted mmap open "
                   f"touched {touched} of {raw} file bytes (>= 10%)")
             ok = False
+    # P5 sharded scatter-gather: the decomposition must stay exact
+    # (identical answers and total pulls at every shard count) and must
+    # actually spread the work — the hottest S=4 shard may own at most
+    # half of the unsharded mix total.
+    for key in ("answers_match", "pulls_match"):
+        if totals.get(key) is False:
+            print(f"[bench-gate] {name}: FAIL — {key} is false")
+            ok = False
+    s1_pulled = totals.get("s1_items_pulled")
+    s4_max = totals.get("s4_max_shard_pulled")
+    if isinstance(s1_pulled, int) and isinstance(s4_max, int) and \
+            s1_pulled > 0:
+        if 2 * s4_max > s1_pulled:
+            print(f"[bench-gate] {name}: FAIL — hottest S=4 shard "
+                  f"pulled {s4_max} of {s1_pulled} unsharded pulls "
+                  f"(> 50%)")
+            ok = False
     return ok
 
 

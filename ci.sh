@@ -17,7 +17,7 @@
 #              and re-run the query checks (bench_p4's gates: answers
 #              and work counters byte-identical, zero index rebuilds)
 #   bench smoke  every microbenchmark once, minimal measuring time
-#   release perf P1/P2/P3/P4 exhibits in an -O2 build; each bench
+#   release perf P1/P2/P3/P4/P5 exhibits in an -O2 build; each bench
 #              enforces its own invariants (byte-identical answers,
 #              work saved)
 #   bench gate fresh work counters vs the committed BENCH_*.json; fails
@@ -101,7 +101,7 @@ else
   echo "bench_m1_micro not built (google-benchmark missing); skipping"
 fi
 
-echo "== release perf (P1: lazy streaming; P2: planned join; P3: serving cache; P4: snapshot cold start) =="
+echo "== release perf (P1: lazy streaming; P2: planned join; P3: serving cache; P4: snapshot cold start; P5: sharded scatter-gather) =="
 # Optimized build for the latency exhibits — the perf trajectory is
 # tracked in BENCH_P1/P2/P3.json. Each bench exits non-zero if its
 # optimization stops saving work or answers diverge. The JSONs are
@@ -115,24 +115,26 @@ cmake -B "$RELEASE_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DTRINIT_BUILD_TESTS=OFF -DTRINIT_BUILD_EXAMPLES=OFF
 cmake --build "$RELEASE_DIR" -j --target bench_p1_latency \
   --target bench_p2_join --target bench_p3_serving \
-  --target bench_p4_coldstart
+  --target bench_p4_coldstart --target bench_p5_shard
 "$RELEASE_DIR/bench/bench_p1_latency" --counters-only "$RELEASE_DIR/BENCH_P1.json"
 "$RELEASE_DIR/bench/bench_p2_join" --counters-only "$RELEASE_DIR/BENCH_P2.json"
 "$RELEASE_DIR/bench/bench_p3_serving" --counters-only "$RELEASE_DIR/BENCH_P3.json"
 "$RELEASE_DIR/bench/bench_p4_coldstart" --counters-only "$RELEASE_DIR/BENCH_P4.json"
+"$RELEASE_DIR/bench/bench_p5_shard" --counters-only "$RELEASE_DIR/BENCH_P5.json"
 
 echo "== bench gate (fresh counters vs committed baselines) =="
 python3 "$ROOT/bench/check_regression.py" \
   "$ROOT/BENCH_P1.json" "$RELEASE_DIR/BENCH_P1.json" \
   "$ROOT/BENCH_P2.json" "$RELEASE_DIR/BENCH_P2.json" \
   "$ROOT/BENCH_P3.json" "$RELEASE_DIR/BENCH_P3.json" \
-  "$ROOT/BENCH_P4.json" "$RELEASE_DIR/BENCH_P4.json"
+  "$ROOT/BENCH_P4.json" "$RELEASE_DIR/BENCH_P4.json" \
+  "$ROOT/BENCH_P5.json" "$RELEASE_DIR/BENCH_P5.json"
 # Promote fresh counters to the working tree only when they are not
 # worse than the baselines (strict tolerance-0 pass). Promoting
 # within-tolerance regressions would let the 10% gate ratchet backwards
 # one small regression at a time; a PR that intentionally trades
 # counters away must update the committed BENCH_*.json by hand.
-for p in P1 P2 P3 P4; do
+for p in P1 P2 P3 P4 P5; do
   if python3 "$ROOT/bench/check_regression.py" --tolerance 0 \
       "$ROOT/BENCH_$p.json" "$RELEASE_DIR/BENCH_$p.json" > /dev/null; then
     cp "$RELEASE_DIR/BENCH_$p.json" "$ROOT/BENCH_$p.json"

@@ -42,11 +42,14 @@ using trinit::core::Trinit;
 
 void PrintStats(const Trinit& engine) {
   const auto& xkg = engine.xkg();
+  const auto* sharded = xkg.sharded();
   std::printf("XKG: %zu triples (%zu KG + %zu extraction), %zu terms, "
-              "%zu relaxation rules\n",
+              "%zu relaxation rules, %zu shard%s\n",
               xkg.store().size(), xkg.kg_triple_count(),
               xkg.extraction_triple_count(), xkg.dict().size(),
-              engine.rules().size());
+              engine.rules().size(),
+              sharded == nullptr ? size_t{1} : sharded->shard_count(),
+              sharded == nullptr ? " (unsharded)" : "s");
 }
 
 void PrintCache(const Trinit& engine) {
@@ -101,7 +104,7 @@ int main(int argc, char** argv) {
       std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
                   ".explain <rank> | .complete <prefix> | .k <n> | "
                   ".timeout <ms> | .stats | .cache | .save <path> | "
-                  ".load <path> [mmap|copy] [trusted] | .quit\n");
+                  ".load <path> [mmap|copy] [trusted] [prefetch] | .quit\n");
       continue;
     }
     if (input == ".stats") {
@@ -169,8 +172,9 @@ int main(int argc, char** argv) {
       continue;
     }
     if (input.rfind(".load ", 0) == 0) {
-      // `.load <path> [mmap|copy] [trusted]` — trailing keywords pick
-      // the snapshot load mode and verification level.
+      // `.load <path> [mmap|copy] [trusted] [prefetch]` — trailing
+      // keywords pick the snapshot load mode, verification level, and
+      // readahead hinting.
       std::string_view rest = trinit::Trim(input.substr(6));
       trinit::core::TrinitOptions options;
       std::string path;
@@ -191,9 +195,12 @@ int main(int argc, char** argv) {
           } else if (flag == "trusted") {
             options.snapshot_read.verify =
                 trinit::rdf::SnapshotValidation::kTrusted;
+          } else if (flag == "prefetch") {
+            options.snapshot_read.prefetch = true;
           } else {
-            std::printf("  unknown .load flag '%s' (want mmap|copy|trusted)\n",
-                        std::string(flag).c_str());
+            std::printf(
+                "  unknown .load flag '%s' (want mmap|copy|trusted|prefetch)\n",
+                std::string(flag).c_str());
             bad_flag = true;
             break;
           }
@@ -210,9 +217,12 @@ int main(int argc, char** argv) {
       last_result.reset();
       last_query.reset();
       std::printf("  snapshot loaded: %zu terms, %zu triples, %zu rules, "
-                  "%zu score shapes pre-built, %zu index rebuilds\n",
+                  "%zu score shapes pre-built, %zu index rebuilds, "
+                  "%zu shard%s\n",
                   report.terms, report.triples, report.rules,
-                  report.score_shapes_restored, report.index_rebuilds);
+                  report.score_shapes_restored, report.index_rebuilds,
+                  report.shard_count == 0 ? size_t{1} : report.shard_count,
+                  report.shard_count == 0 ? " (unsharded)" : "s");
       std::printf("  load mode: %s%s, sections %zu mapped / %zu decoded, "
                   "codecs %zu raw / %zu varint\n",
                   report.mapped ? "mmap" : "copy",
@@ -220,13 +230,13 @@ int main(int argc, char** argv) {
                   report.sections_mapped, report.sections_decoded,
                   report.sections_raw, report.sections_varint);
       std::printf("  bytes: %zu file, %zu touched at open (%.1f%%), "
-                  "~%zu resident\n",
+                  "~%zu resident, %zu prefetch-hinted\n",
                   report.bytes, report.bytes_touched,
                   report.bytes == 0
                       ? 0.0
                       : 100.0 * static_cast<double>(report.bytes_touched) /
                             static_cast<double>(report.bytes),
-                  report.resident_bytes);
+                  report.resident_bytes, report.bytes_prefetched);
       PrintStats(*engine);
       continue;
     }

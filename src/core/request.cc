@@ -1,5 +1,7 @@
 #include "core/request.h"
 
+#include <algorithm>
+
 #include "query/parser.h"
 
 namespace trinit::core {
@@ -93,6 +95,17 @@ void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
   add("plan_cache_hits", static_cast<double>(stats.plan_cache_hits));
   add("plan_cache_misses", static_cast<double>(stats.plan_cache_misses));
   add("deadline_hit", stats.deadline_hit ? 1.0 : 0.0);
+  // Sharded serving only (size <= 1 means unsharded — its traces must
+  // stay byte-identical to the pre-sharding engine): the scatter-gather
+  // balance counters.
+  if (stats.per_shard_pulled.size() > 1) {
+    add("shards", static_cast<double>(stats.per_shard_pulled.size()));
+    size_t max_pulled = 0;
+    for (size_t pulled : stats.per_shard_pulled) {
+      max_pulled = std::max(max_pulled, pulled);
+    }
+    add("shard_pulls_max", static_cast<double>(max_pulled));
+  }
 }
 
 void AppendServingStatsTrace(QueryResponse* response) {

@@ -25,6 +25,9 @@ Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options,
           options_.serving, initial_generation)) {}
 
 Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
+  // Partition before construction so every sub-component (and the
+  // miners below) sees the final, merged statistics.
+  xkg.InstallSharding(options.shard_count);
   // The options are stored exactly once; the miner setup below reads the
   // engine's copy so the two can never drift apart.
   Trinit engine(std::move(xkg), std::move(options));
@@ -50,6 +53,11 @@ Result<Trinit> Trinit::Open(const std::string& path, TrinitOptions options,
       storage::LoadedSnapshot snapshot,
       storage::SnapshotReader::Read(path, options.snapshot_read));
   if (report != nullptr) *report = snapshot.report;
+  // A snapshot saved sharded restored its own decomposition (zero
+  // rebuilds); otherwise partition freshly per the open options.
+  if (snapshot.xkg.sharded() == nullptr) {
+    snapshot.xkg.InstallSharding(options.shard_count);
+  }
   // No mining on this path: the snapshot's rule set *is* the serving
   // state (mined + manual + operator rules as of the save). The stamped
   // generation seeds the serving cache so the loaded engine continues
@@ -162,8 +170,15 @@ Status Trinit::ExtendKg(std::string_view facts_text) {
   }
   if (added == 0) return Status::InvalidArgument("no facts to add");
 
+  // The serving decomposition may come from the snapshot rather than
+  // the options; a KG extension must not silently change it.
+  const size_t shard_count = xkg_->sharded() == nullptr
+                                 ? options_.shard_count
+                                 : xkg_->sharded()->shard_count();
   TRINIT_ASSIGN_OR_RETURN(xkg::Xkg rebuilt, builder.Build());
   *xkg_ = std::move(rebuilt);
+  // Re-partition the rebuilt store (triple ids changed wholesale).
+  xkg_->InstallSharding(shard_count);
   // Sub-components index dictionary/statistics state; refresh them, and
   // re-resolve rule constants (term ids are not stable across rebuilds).
   rules_.ResolveAgainst(xkg_->dict());

@@ -42,6 +42,18 @@ struct TrinitOptions {
   relax::InversionMiner::Options inversion_options;
   relax::BridgeMiner::Options bridge_options;
 
+  /// In-process XKG shards for scatter-gather serving: the store is
+  /// hash-partitioned by subject into this many shards, each with its
+  /// own posting lists and statistics; the planner consumes the exact
+  /// per-shard merge and every leaf stream becomes a merge over
+  /// per-shard segments under one global threshold. `<= 1` (the
+  /// default) serves unsharded — bit-identical to the pre-sharding
+  /// engine, including every trace counter. Answers, scores, and total
+  /// pulls are identical at any shard count (property-tested); only
+  /// the per-shard balance counters differ. A snapshot saved sharded
+  /// restores its own decomposition, overriding this knob.
+  size_t shard_count = 1;
+
   /// Engine-level serving cache (cross-request plan reuse + answer
   /// LRU). Defaults on; `serving.enabled = false` restores per-request
   /// planning from scratch.

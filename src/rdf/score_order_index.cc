@@ -37,11 +37,26 @@ ScoreOrderIndex ScoreOrderIndex::Build(std::span<const Triple> triples) {
   return index;
 }
 
+ScoreOrderIndex ScoreOrderIndex::BuildSubset(std::span<const Triple> triples,
+                                             std::span<const TripleId> members) {
+  ScoreOrderIndex index = Build(triples);
+  index.members_ = members;
+  index.subset_ = true;
+  return index;
+}
+
+ScoreOrderIndex::Shape ScoreOrderIndex::ShapeFor(bool bs, bool bp, bool bo) {
+  TRINIT_CHECK(!(bs && bp && bo));
+  if (bs) return bp ? kSP : (bo ? kSO : kS);
+  if (bp) return bo ? kPO : kP;
+  return bo ? kO : kAll;
+}
+
 ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
     std::span<const Triple> triples, Shape shape) const {
   ShapeIndex& shaped = (*shapes_)[shape];
-  std::call_once(shaped.once, [&triples, shape, &shaped]() {
-    const size_t n = triples.size();
+  std::call_once(shaped.once, [this, &triples, shape, &shaped]() {
+    const size_t n = subset_ ? members_.size() : triples.size();
     // Decorate once instead of re-deriving keys and weights in every
     // comparison: the sort dominates the build.
     struct Record {
@@ -51,8 +66,8 @@ ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
     };
     std::vector<Record> records(n);
     for (size_t i = 0; i < n; ++i) {
-      records[i] = {KeyFor(shape, triples[i]), WeightOf(triples[i]),
-                    static_cast<TripleId>(i)};
+      const TripleId id = subset_ ? members_[i] : static_cast<TripleId>(i);
+      records[i] = {KeyFor(shape, triples[id]), WeightOf(triples[id]), id};
     }
     std::sort(records.begin(), records.end(),
               [](const Record& a, const Record& b) {
@@ -72,6 +87,14 @@ ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
     shaped.built.store(true, std::memory_order_release);
   });
   return shaped;
+}
+
+bool ScoreOrderIndex::ShapeBuiltFor(TermId s, TermId p, TermId o) const {
+  if (shapes_ == nullptr) return false;
+  const bool bs = s != kNullTerm, bp = p != kNullTerm, bo = o != kNullTerm;
+  if (bs && bp && bo) return true;  // exact lookups bypass the shapes
+  return (*shapes_)[ShapeFor(bs, bp, bo)].built.load(
+      std::memory_order_acquire);
 }
 
 size_t ScoreOrderIndex::built_shapes() const {
@@ -118,14 +141,16 @@ Status ScoreOrderIndex::RestoreShape(ShapeSnapshot snapshot,
                                    std::to_string(snapshot.shape));
   }
   const Shape shape = static_cast<Shape>(snapshot.shape);
-  if (snapshot.ids.size() != num_triples ||
-      snapshot.prefix_mass.size() != num_triples + 1 ||
+  const size_t expected = subset_ ? members_.size() : num_triples;
+  if (snapshot.ids.size() != expected ||
+      snapshot.prefix_mass.size() != expected + 1 ||
       snapshot.prefix_mass.front() != 0) {
     return Status::InvalidArgument("score shape size mismatch for shape " +
                                    std::to_string(snapshot.shape));
   }
   // Re-verify, in O(n), everything Range()/Lookup() rely on: the ids
-  // must be a permutation (a duplicate silently drops a triple), in
+  // must be a permutation of the covered ids (the whole store, or this
+  // subset's members — a duplicate silently drops a triple), in
   // exactly the build order — key blocks ascending, weight descending
   // within a block, id tiebreak — or the binary searches and the
   // emit-best-first contract break; and each prefix mass must equal the
@@ -134,14 +159,29 @@ Status ScoreOrderIndex::RestoreShape(ShapeSnapshot snapshot,
   // mode skips this walk by explicit caller opt-in (the O(1) size
   // checks above still ran).
   if (validation == SnapshotValidation::kFull) {
-    std::vector<bool> seen(num_triples, false);
-    for (size_t i = 0; i < num_triples; ++i) {
+    std::vector<bool> seen(expected, false);
+    for (size_t i = 0; i < expected; ++i) {
       const TripleId id = snapshot.ids[i];
-      if (id >= num_triples || seen[id]) {
-        return Status::InvalidArgument(
-            "score shape ids are not a permutation of the triple ids");
+      size_t slot;
+      if (subset_) {
+        auto it = std::lower_bound(members_.begin(), members_.end(), id);
+        if (it == members_.end() || *it != id) {
+          return Status::InvalidArgument(
+              "score shape id is not a member of the subset");
+        }
+        slot = static_cast<size_t>(it - members_.begin());
+      } else {
+        if (id >= num_triples) {
+          return Status::InvalidArgument(
+              "score shape ids are not a permutation of the triple ids");
+        }
+        slot = id;
       }
-      seen[id] = true;
+      if (seen[slot]) {
+        return Status::InvalidArgument(
+            "score shape ids are not a permutation of the covered ids");
+      }
+      seen[slot] = true;
       if (i > 0) {
         const TripleId prev = snapshot.ids[i - 1];
         const Key pk = KeyFor(shape, triples[prev]);

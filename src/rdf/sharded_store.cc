@@ -1,0 +1,152 @@
+#include "rdf/sharded_store.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace trinit::rdf {
+
+ShardedStore ShardedStore::Build(const TripleStore& store,
+                                 size_t shard_count) {
+  TRINIT_CHECK(shard_count >= 1);
+  const std::span<const Triple> triples = store.triples();
+  std::vector<std::vector<TripleId>> members(shard_count);
+  // Walking ids in ascending order keeps every per-shard list ascending
+  // for free — the invariant BuildSubset and the snapshot format rely on.
+  for (size_t id = 0; id < triples.size(); ++id) {
+    members[ShardOf(triples[id].s, shard_count)].push_back(
+        static_cast<TripleId>(id));
+  }
+  ShardedStore sharded;
+  sharded.shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    GraphStats stats = GraphStats::ComputeSubset(
+        triples, std::span<const TripleId>(members[i]));
+    sharded.shards_.push_back(
+        Shard{util::OwnedSpan<TripleId>(std::move(members[i])),
+              ScoreOrderIndex{}, std::move(stats)});
+    Shard& shard = sharded.shards_.back();
+    // The index aliases the shard's own members buffer: heap storage, so
+    // the span survives moves of the Shard (and of the whole store).
+    shard.index = ScoreOrderIndex::BuildSubset(triples, shard.members.span());
+  }
+  return sharded;
+}
+
+Result<ShardedStore> ShardedStore::FromSnapshot(
+    const TripleStore& store, std::vector<ShardSnapshot> shards,
+    SnapshotValidation validation) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("sharded snapshot with zero shards");
+  }
+  const size_t shard_count = shards.size();
+  size_t total = 0;
+  for (const ShardSnapshot& part : shards) total += part.members.size();
+  if (total != store.size()) {
+    return Status::InvalidArgument(
+        "shard member counts do not sum to the store size");
+  }
+  ShardedStore sharded;
+  sharded.shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    ShardSnapshot& part = shards[i];
+    if (validation == SnapshotValidation::kFull) {
+      // Ascending + on-the-right-shard + the size sum above together
+      // prove the shards partition [0, store.size()): ShardOf is a
+      // function of the triple, so no id can satisfy the check on two
+      // shards, and strict ascent rules out duplicates within one.
+      const std::span<const TripleId> m = part.members.span();
+      for (size_t j = 0; j < m.size(); ++j) {
+        if (m[j] >= store.size()) {
+          return Status::InvalidArgument("shard member id out of range");
+        }
+        if (j > 0 && m[j - 1] >= m[j]) {
+          return Status::InvalidArgument(
+              "shard members not strictly ascending");
+        }
+        if (ShardOf(store.triple(m[j]).s, shard_count) != i) {
+          return Status::InvalidArgument(
+              "shard member assigned to the wrong shard");
+        }
+      }
+    }
+    sharded.shards_.push_back(Shard{std::move(part.members),
+                                    ScoreOrderIndex{}, std::move(part.stats)});
+    Shard& shard = sharded.shards_.back();
+    shard.index =
+        ScoreOrderIndex::BuildSubset(store.triples(), shard.members.span());
+    for (ScoreOrderIndex::ShapeSnapshot& shape : part.score_shapes) {
+      Status status = shard.index.RestoreShape(std::move(shape),
+                                               store.triples(), validation);
+      if (!status.ok()) return status;
+    }
+  }
+  return sharded;
+}
+
+GraphStats ShardedStore::MergedStats() const {
+  std::vector<const GraphStats*> parts;
+  parts.reserve(shards_.size());
+  for (const Shard& shard : shards_) parts.push_back(&shard.stats);
+  return GraphStats::Merged(parts);
+}
+
+ShardedStore::Lists ShardedStore::ScoreOrdered(const TripleStore& store,
+                                               TermId s, TermId p,
+                                               TermId o) const {
+  Lists out;
+  out.per_shard.resize(shards_.size());
+  const bool bs = s != kNullTerm, bp = p != kNullTerm, bo = o != kNullTerm;
+  if (bs && bp && bo) {
+    // A fully-bound pattern matches at most one triple, owned by exactly
+    // one shard; the store's exact-match path already serves it.
+    const ScoreOrderIndex::List list = store.ScoreOrdered(s, p, o);
+    out.per_shard[ShardOf(s, shards_.size())] = list;
+    out.mass = list.mass;
+    return out;
+  }
+  // Scatter the first-touch sorts: every shard still missing the queried
+  // shape builds on its own thread. Each build publishes through its own
+  // shard's once_flag, so queries racing this scatter (or each other)
+  // stay safe, and a second query of the same shape spawns nothing.
+  std::vector<size_t> unbuilt;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i].index.ShapeBuiltFor(s, p, o)) unbuilt.push_back(i);
+  }
+  if (unbuilt.size() >= 2) {
+    std::vector<std::thread> workers;
+    workers.reserve(unbuilt.size());
+    for (size_t i : unbuilt) {
+      workers.emplace_back([this, &store, i, s, p, o]() {
+        (void)shards_[i].index.Lookup(store.triples(), s, p, o);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ScoreOrderIndex::List list =
+        shards_[i].index.Lookup(store.triples(), s, p, o);
+    out.per_shard[i] = list;
+    out.mass += list.mass;
+  }
+  return out;
+}
+
+size_t ShardedStore::score_shapes_built() const {
+  size_t built = 0;
+  for (const Shard& shard : shards_) built += shard.index.built_shapes();
+  return built;
+}
+
+size_t ShardedStore::resident_bytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    bytes += shard.members.owned_bytes() + shard.index.resident_bytes() +
+             shard.stats.resident_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace trinit::rdf

@@ -1,0 +1,139 @@
+#ifndef TRINIT_RDF_SHARDED_STORE_H_
+#define TRINIT_RDF_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/graph_stats.h"
+#include "rdf/score_order_index.h"
+#include "rdf/triple_store.h"
+#include "util/owned_span.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace trinit::rdf {
+
+/// Hash-partitioned decomposition of one `TripleStore` into S
+/// in-process shards, keyed by subject (the join-key workhorse) — the
+/// single-process rehearsal of a multi-node serving tier. Each shard
+/// owns an ascending list of the global triple ids it covers, its own
+/// lazily-built score-ordered posting lists (`ScoreOrderIndex` in
+/// subset mode), and its own `GraphStats`.
+///
+/// The decomposition is *exact*: per-shard lists are the global
+/// score-ordered list filtered to the shard (same global ids, same
+/// order, masses summing to the global mass), so a consumer that merges
+/// per-shard lists by descending weight — `topk::LeafStream`'s segment
+/// merge — reproduces the unsharded stream bit-for-bit. The max of
+/// per-shard upper bounds is therefore an exact bound for the merged
+/// stream, and the paper's early-termination guarantee carries over
+/// unchanged.
+///
+/// Threading: immutable after construction except the per-shard lazy
+/// shape builds, which publish through `ScoreOrderIndex`'s
+/// once_flag/atomic protocol. `ScoreOrdered` additionally *scatters*
+/// first-touch builds: when two or more shards still lack the queried
+/// shape, their sorts run on parallel threads (each synchronized by its
+/// own shard's once_flag; see docs/CONCURRENCY.md, "Per-shard
+/// ownership").
+class ShardedStore {
+ public:
+  /// Per-shard score-ordered lists for one pattern, indexed by shard.
+  struct Lists {
+    std::vector<ScoreOrderIndex::List> per_shard;  ///< size shard_count()
+    uint64_t mass = 0;  ///< exact global mass (sum of per-shard masses)
+  };
+
+  /// One shard's restored state on the snapshot load path. Arrays are
+  /// span-or-vector (the mmap path views the SHARDS section in place).
+  struct ShardSnapshot {
+    util::OwnedSpan<TripleId> members;  ///< ascending global triple ids
+    std::vector<ScoreOrderIndex::ShapeSnapshot> score_shapes;
+    GraphStats stats;
+  };
+
+  /// The shard owning `subject`: a fixed multiplicative hash, stable
+  /// across processes (snapshots persist the assignment and re-derive
+  /// nothing). All triples of one subject land in one shard, so join
+  /// keys over subjects never straddle shards.
+  static uint32_t ShardOf(TermId subject, size_t shard_count) {
+    const uint64_t mixed = uint64_t{subject} * 0x9E3779B97F4A7C15ULL;
+    return static_cast<uint32_t>((mixed >> 33) % shard_count);
+  }
+
+  /// Partitions `store` into `shard_count` shards: members and
+  /// per-shard stats are computed here (O(n log n) total), posting
+  /// lists stay lazy. `store` must outlive the result.
+  static ShardedStore Build(const TripleStore& store, size_t shard_count);
+
+  /// Reassembles a decomposition from snapshot parts without
+  /// re-sorting anything. Under SnapshotValidation::kFull every
+  /// invariant is re-verified in O(n): members ascending, in range, on
+  /// the shard `ShardOf` assigns them, sizes summing to the store — and
+  /// each restored shape re-validated by `ScoreOrderIndex::RestoreShape`.
+  static Result<ShardedStore> FromSnapshot(
+      const TripleStore& store, std::vector<ShardSnapshot> shards,
+      SnapshotValidation validation = SnapshotValidation::kFull);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+  ShardedStore(ShardedStore&&) = default;
+  ShardedStore& operator=(ShardedStore&&) = default;
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Ascending global triple ids owned by `shard`.
+  std::span<const TripleId> members(size_t shard) const {
+    return shards_[shard].members.span();
+  }
+
+  /// The shard's own statistics (counts, distincts, args — all
+  /// restricted to the shard's triples).
+  const GraphStats& shard_stats(size_t shard) const {
+    return shards_[shard].stats;
+  }
+
+  /// Whole-store statistics re-derived from the per-shard stats —
+  /// equals `GraphStats::Compute` over the store bit-for-bit
+  /// (property-tested); what the planner consumes under sharding.
+  GraphStats MergedStats() const;
+
+  /// Scatter: every shard's score-ordered list for the pattern
+  /// (`kNullTerm` = wildcard), under one total mass. Fully-bound
+  /// patterns resolve on the owning shard via the store's exact path.
+  /// First-touch shape builds scatter across threads when two or more
+  /// shards still lack the shape.
+  Lists ScoreOrdered(const TripleStore& store, TermId s, TermId p,
+                     TermId o) const;
+
+  /// Zero-copy views of `shard`'s materialized score shapes (snapshot
+  /// writer access path; see `ScoreOrderIndex::BuiltShapeViews`).
+  std::vector<ScoreOrderIndex::ShapeView> BuiltScoreShapes(
+      size_t shard) const {
+    return shards_[shard].index.BuiltShapeViews();
+  }
+
+  /// Shape permutations materialized across all shards (laziness
+  /// introspection; 0 .. shard_count * 7).
+  size_t score_shapes_built() const;
+
+  /// Private (per-process) bytes held by shard members and materialized
+  /// shapes — 0 when everything views a shared mapping.
+  size_t resident_bytes() const;
+
+ private:
+  ShardedStore() = default;
+
+  struct Shard {
+    util::OwnedSpan<TripleId> members;  ///< ascending global triple ids
+    ScoreOrderIndex index;              ///< subset mode over `members`
+    GraphStats stats;
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace trinit::rdf
+
+#endif  // TRINIT_RDF_SHARDED_STORE_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rdf/graph_stats.h"
+#include "rdf/sharded_store.h"
 #include "rdf/triple_store.h"
 #include "storage/mapped_file.h"
 #include "storage/varint.h"
@@ -24,8 +25,10 @@ namespace {
 
 // ------------------------------------------------------------- layout
 
-// Section ids (stable across format versions). Every section is present
-// exactly once; the reader rejects files missing any of them.
+// Section ids (stable across format versions). Every section a version
+// defines is present exactly once; the reader rejects files missing any
+// of them. SHARDS exists only in v3+ files (an unsharded save carries
+// it with a zero shard count, so the per-version count stays fixed).
 enum SectionId : uint32_t {
   kMeta = 1,
   kDictionary = 2,
@@ -35,8 +38,11 @@ enum SectionId : uint32_t {
   kGraphStats = 6,
   kProvenance = 7,
   kRules = 8,
+  kShards = 9,
 };
-constexpr uint32_t kNumSections = 8;
+constexpr uint32_t NumSectionsFor(uint32_t version) {
+  return version >= 3 ? 9 : 8;
+}
 
 // Written after the magic; a big-endian reader sees it byte-swapped and
 // rejects the file instead of mis-decoding every integer. It also
@@ -413,6 +419,45 @@ std::string EncodeGraphStatsVarint(const rdf::GraphStats& stats) {
       prev_first = s;
       prev_second = o;
     }
+  }
+  return out;
+}
+
+// v3: the engine's scatter-gather decomposition, always raw so the
+// mapped path serves every per-shard subsection as a view. u32 shard
+// count (0 = saved unsharded) + u32 reserved; then per shard, all
+// 8-aligned relative to the section start: u64 member count + u32
+// member ids + pad, u32 built-shape count + u32 reserved, per shape the
+// SCORE v2 layout (u32 shape + u32 reserved + u64 n + u32 ids + pad +
+// (n+1) u64 prefix masses), then u64 stats length + one STATS block in
+// the raw layout (whose size is a multiple of 8, preserving alignment).
+std::string EncodeShardsRaw(const xkg::Xkg& xkg) {
+  std::string out;
+  const rdf::ShardedStore* sharded = xkg.sharded();
+  const uint32_t count =
+      sharded == nullptr ? 0 : static_cast<uint32_t>(sharded->shard_count());
+  PutU32(&out, count);
+  PutU32(&out, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    const std::span<const rdf::TripleId> members = sharded->members(i);
+    PutU64(&out, members.size());
+    for (rdf::TripleId id : members) PutU32(&out, id);
+    PadTo8(&out);
+    const std::vector<rdf::ScoreOrderIndex::ShapeView> shapes =
+        sharded->BuiltScoreShapes(i);
+    PutU32(&out, static_cast<uint32_t>(shapes.size()));
+    PutU32(&out, 0);
+    for (const rdf::ScoreOrderIndex::ShapeView& shape : shapes) {
+      PutU32(&out, shape.shape);
+      PutU32(&out, 0);
+      PutU64(&out, shape.ids.size());
+      for (rdf::TripleId id : shape.ids) PutU32(&out, id);
+      PadTo8(&out);
+      for (uint64_t mass : shape.prefix_mass) PutU64(&out, mass);
+    }
+    const std::string stats = EncodeGraphStatsRaw(sharded->shard_stats(i));
+    PutU64(&out, stats.size());
+    out += stats;
   }
   return out;
 }
@@ -935,16 +980,19 @@ Status DecodeGraphStatsRaw(Cursor* c, Result<rdf::GraphStats>* out) {
   return out->ok() ? Status::Ok() : out->status();
 }
 
-/// Raw STATS served from the mapping: only the 32-byte per-predicate
-/// headers are walked (and counted as touched); each predicate's (s,o)
-/// pair array becomes a view. Layout is identical in v1 and v2 and
-/// happens to be fully 8-aligned, so this path serves both.
-Status LoadGraphStatsRawView(std::span<const char> file, const SectionRef& s,
-                             rdf::SnapshotValidation validation,
-                             Result<rdf::GraphStats>* out, size_t* framing) {
+/// One raw STATS-layout block at the absolute file range [pos, end):
+/// the global STATS section is one block, and the v3 SHARDS section
+/// embeds one per shard. Only the 32-byte per-predicate headers are
+/// walked (counted as framing when viewed); each predicate's (s,o)
+/// pair array becomes a view when `view`, an owned copy otherwise.
+/// Layout is identical in v1 and v2 and happens to be fully 8-aligned,
+/// so this path serves every version.
+Status LoadGraphStatsRawRegion(std::span<const char> file, uint64_t pos,
+                               uint64_t end, bool view,
+                               rdf::SnapshotValidation validation,
+                               Result<rdf::GraphStats>* out,
+                               size_t* framing) {
   const char* base = file.data();
-  uint64_t pos = s.offset;
-  const uint64_t end = s.offset + s.length;
   if (end - pos < 8) return Corrupt("graph-stats count");
   const uint64_t count = LoadU64(base + pos);
   pos += 8;
@@ -964,22 +1012,163 @@ Status LoadGraphStatsRawView(std::span<const char> file, const SectionRef& s,
     const uint64_t argn = LoadU64(base + pos + 24);
     pos += 32;
     if ((end - pos) / 8 < argn) return Corrupt("graph-stats args short");
-    std::span<const ArgPair> pairs;
-    if (!MakeView(file, pos, argn, &pairs)) {
-      return Corrupt("misaligned graph-stats args");
+    rdf::GraphStats::ArgPairs pairs;
+    if (view) {
+      std::span<const ArgPair> viewed;
+      if (!MakeView(file, pos, argn, &viewed)) {
+        return Corrupt("misaligned graph-stats args");
+      }
+      pairs = rdf::GraphStats::ArgPairs::View(viewed);
+    } else {
+      std::vector<ArgPair> owned(static_cast<size_t>(argn));
+      for (uint64_t j = 0; j < argn; ++j) {
+        owned[j] = {LoadU32(base + pos + j * 8),
+                    LoadU32(base + pos + j * 8 + 4)};
+      }
+      pairs = std::move(owned);
     }
     pos += argn * 8;
     if (stats.count(p) != 0) return Corrupt("duplicate graph-stats predicate");
     predicates.push_back(p);
     stats.emplace(p, ps);
-    args.emplace(p, rdf::GraphStats::ArgPairs::View(pairs));
+    args.emplace(p, std::move(pairs));
   }
   if (pos != end) return Corrupt("trailing bytes after graph stats");
-  if (framing != nullptr) *framing += 8 + 32 * static_cast<size_t>(count);
+  if (view && framing != nullptr) {
+    *framing += 8 + 32 * static_cast<size_t>(count);
+  }
   *out = rdf::GraphStats::FromSnapshot(std::move(predicates),
                                        std::move(stats), std::move(args),
                                        validation);
   return out->ok() ? Status::Ok() : out->status();
+}
+
+Status LoadGraphStatsRawView(std::span<const char> file, const SectionRef& s,
+                             rdf::SnapshotValidation validation,
+                             Result<rdf::GraphStats>* out, size_t* framing) {
+  return LoadGraphStatsRawRegion(file, s.offset, s.offset + s.length,
+                                 /*view=*/true, validation, out, framing);
+}
+
+/// v3 SHARDS: see EncodeShardsRaw for the layout. Member-id and shape
+/// arrays become views when `view`, owned copies otherwise; each
+/// shard's embedded STATS block goes through LoadGraphStatsRawRegion.
+/// Content invariants (partition, order, mass sums) are the job of
+/// `rdf::ShardedStore::FromSnapshot` under `validation` — this walker
+/// only guarantees frame safety on hostile bytes.
+Status LoadShardsRaw(std::span<const char> file, const SectionRef& s,
+                     bool view, rdf::SnapshotValidation validation,
+                     std::vector<rdf::ShardedStore::ShardSnapshot>* shards,
+                     size_t* framing) {
+  const char* base = file.data();
+  uint64_t pos = s.offset;
+  const uint64_t end = s.offset + s.length;
+  if (end - pos < 8) return Corrupt("shard header");
+  const uint32_t count = LoadU32(base + pos);
+  const uint32_t reserved = LoadU32(base + pos + 4);
+  pos += 8;
+  if (reserved != 0) return Corrupt("shard reserved word");
+  size_t walked = 8;
+  // Each shard carries at least its member count, shape count, and
+  // stats length (24 bytes).
+  if ((end - pos) / 24 < count) return Corrupt("shard section short");
+  shards->clear();
+  shards->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    util::OwnedSpan<rdf::TripleId> shard_members;
+    if (end - pos < 8) return Corrupt("shard " + std::to_string(i));
+    const uint64_t members = LoadU64(base + pos);
+    pos += 8;
+    walked += 8;
+    if ((end - pos) / 4 < members) return Corrupt("shard members");
+    if (view) {
+      std::span<const rdf::TripleId> ids;
+      if (!MakeView(file, pos, members, &ids)) {
+        return Corrupt("misaligned shard members");
+      }
+      shard_members = util::OwnedSpan<rdf::TripleId>::View(ids);
+    } else {
+      std::vector<rdf::TripleId> ids(static_cast<size_t>(members));
+      if (members > 0) std::memcpy(ids.data(), base + pos, members * 4);
+      shard_members = std::move(ids);
+    }
+    pos += members * 4;
+    uint64_t pad = (8 - ((pos - s.offset) % 8)) % 8;
+    if (end - pos < pad) return Corrupt("shard padding");
+    pos += pad;
+    if (end - pos < 8) return Corrupt("shard shape count");
+    const uint32_t num_shapes = LoadU32(base + pos);
+    const uint32_t shape_rsvd = LoadU32(base + pos + 4);
+    pos += 8;
+    walked += 8;
+    if (shape_rsvd != 0) return Corrupt("shard reserved word");
+    if ((end - pos) / 24 < num_shapes) return Corrupt("shard shapes short");
+    std::vector<rdf::ScoreOrderIndex::ShapeSnapshot> shard_shapes(num_shapes);
+    uint32_t seen_shapes = 0;
+    for (uint32_t j = 0; j < num_shapes; ++j) {
+      rdf::ScoreOrderIndex::ShapeSnapshot& shape = shard_shapes[j];
+      if (end - pos < 16) return Corrupt("shard shape header");
+      shape.shape = LoadU32(base + pos);
+      const uint32_t rsvd = LoadU32(base + pos + 4);
+      const uint64_t n = LoadU64(base + pos + 8);
+      pos += 16;
+      walked += 16;
+      if (rsvd != 0) return Corrupt("shard reserved word");
+      if (shape.shape >= 32 || (seen_shapes & (1u << shape.shape)) != 0) {
+        return Corrupt("duplicate or out-of-range shard shape id " +
+                       std::to_string(shape.shape));
+      }
+      seen_shapes |= 1u << shape.shape;
+      if ((end - pos) / 4 < n) return Corrupt("shard shape ids");
+      if (view) {
+        std::span<const rdf::TripleId> ids;
+        if (!MakeView(file, pos, n, &ids)) {
+          return Corrupt("misaligned shard shape ids");
+        }
+        shape.ids = util::OwnedSpan<rdf::TripleId>::View(ids);
+      } else {
+        std::vector<rdf::TripleId> ids(static_cast<size_t>(n));
+        if (n > 0) std::memcpy(ids.data(), base + pos, n * 4);
+        shape.ids = std::move(ids);
+      }
+      pos += n * 4;
+      pad = (8 - ((pos - s.offset) % 8)) % 8;
+      if (end - pos < pad) return Corrupt("shard shape padding");
+      pos += pad;
+      if ((end - pos) / 8 < n + 1) return Corrupt("shard shape mass");
+      if (view) {
+        std::span<const uint64_t> mass;
+        if (!MakeView(file, pos, n + 1, &mass)) {
+          return Corrupt("misaligned shard shape mass");
+        }
+        shape.prefix_mass = util::OwnedSpan<uint64_t>::View(mass);
+      } else {
+        std::vector<uint64_t> mass(static_cast<size_t>(n) + 1);
+        std::memcpy(mass.data(), base + pos, (n + 1) * 8);
+        shape.prefix_mass = std::move(mass);
+      }
+      pos += (n + 1) * 8;
+    }
+    if (end - pos < 8) return Corrupt("shard stats length");
+    const uint64_t stats_len = LoadU64(base + pos);
+    pos += 8;
+    walked += 8;
+    if (end - pos < stats_len || stats_len % 8 != 0) {
+      return Corrupt("shard stats block");
+    }
+    Result<rdf::GraphStats> stats = Status::Internal("unset");
+    size_t stats_framing = 0;
+    TRINIT_RETURN_IF_ERROR(LoadGraphStatsRawRegion(
+        file, pos, pos + stats_len, view, validation, &stats,
+        &stats_framing));
+    walked += stats_framing;
+    pos += stats_len;
+    shards->push_back({std::move(shard_members), std::move(shard_shapes),
+                       std::move(stats).value()});
+  }
+  if (pos != end) return Corrupt("trailing bytes after shards");
+  if (view && framing != nullptr) *framing += walked;
+  return Status::Ok();
 }
 
 Status DecodeGraphStatsVarint(std::span<const char> d,
@@ -1250,24 +1439,34 @@ Status SnapshotWriter::Write(const xkg::Xkg& xkg, const relax::RuleSet& rules,
     SectionCodec codec;
     std::string payload;
   };
-  const Section sections[kNumSections] = {
-      {kMeta, SectionCodec::kRaw,
-       EncodeMeta(xkg, rules, version, prov_records)},
-      {kDictionary, SectionCodec::kRaw, EncodeDictionary(xkg.dict())},
+  const uint32_t num_sections = NumSectionsFor(version);
+  std::vector<Section> sections;
+  sections.reserve(num_sections);
+  sections.push_back({kMeta, SectionCodec::kRaw,
+                      EncodeMeta(xkg, rules, version, prov_records)});
+  sections.push_back(
+      {kDictionary, SectionCodec::kRaw, EncodeDictionary(xkg.dict())});
+  sections.push_back(
       {kTriples, bulk,
-       varint ? EncodeTriplesVarint(store) : EncodeTriples(store)},
-      {kPermutations, bulk,
-       varint ? EncodePermutationsVarint(store)
-              : EncodePermutationsRaw(store, version)},
-      {kScoreShapes, bulk,
-       varint ? EncodeScoreShapesVarint(store)
-              : EncodeScoreShapesRaw(store, version)},
-      {kGraphStats, bulk,
-       varint ? EncodeGraphStatsVarint(xkg.stats())
-              : EncodeGraphStatsRaw(xkg.stats())},
-      {kProvenance, bulk, std::move(prov)},
-      {kRules, SectionCodec::kRaw, EncodeRules(rules)},
-  };
+       varint ? EncodeTriplesVarint(store) : EncodeTriples(store)});
+  sections.push_back({kPermutations, bulk,
+                      varint ? EncodePermutationsVarint(store)
+                             : EncodePermutationsRaw(store, version)});
+  sections.push_back({kScoreShapes, bulk,
+                      varint ? EncodeScoreShapesVarint(store)
+                             : EncodeScoreShapesRaw(store, version)});
+  sections.push_back({kGraphStats, bulk,
+                      varint ? EncodeGraphStatsVarint(xkg.stats())
+                             : EncodeGraphStatsRaw(xkg.stats())});
+  sections.push_back({kProvenance, bulk, std::move(prov)});
+  sections.push_back({kRules, SectionCodec::kRaw, EncodeRules(rules)});
+  // v3: the scatter-gather decomposition rides along (empty when the
+  // engine serves unsharded — the section count stays fixed per
+  // version). Writing v2 from a sharded engine simply drops it; the
+  // opener re-installs sharding from its options.
+  if (version >= 3) {
+    sections.push_back({kShards, SectionCodec::kRaw, EncodeShardsRaw(xkg)});
+  }
 
   // Header + table, then 8-aligned payloads — streamed section by
   // section so peak memory stays one copy of the encoded state, not
@@ -1277,13 +1476,13 @@ Status SnapshotWriter::Write(const xkg::Xkg& xkg, const relax::RuleSet& rules,
   PutU32(&head, version);
   PutU32(&head, kEndianTag);
   PutU64(&head, generation);
-  PutU32(&head, kNumSections);
+  PutU32(&head, num_sections);
   // Header checksum (low 32 bits of FNV-1a over the 28 bytes above):
   // the generation field has no section covering it, and it must not
   // load silently wrong.
   PutU32(&head, static_cast<uint32_t>(Fnv1a64(head)));
 
-  size_t offset = kHeaderBytes + kNumSections * kTableEntryBytes;
+  size_t offset = kHeaderBytes + num_sections * kTableEntryBytes;
   for (const Section& sec : sections) {
     offset = (offset + 7) & ~size_t{7};
     PutU32(&head, sec.id);
@@ -1396,18 +1595,19 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path,
       static_cast<uint32_t>(Fnv1a64({file.data(), kHeaderBytes - 4}))) {
     return Corrupt("header checksum mismatch");
   }
-  if (section_count != kNumSections) {
-    return Corrupt("expected " + std::to_string(kNumSections) +
+  const uint32_t num_sections = NumSectionsFor(version);
+  if (section_count != num_sections) {
+    return Corrupt("expected " + std::to_string(num_sections) +
                    " sections, header says " +
                    std::to_string(section_count));
   }
-  if (file.size() < kHeaderBytes + kNumSections * kTableEntryBytes) {
+  if (file.size() < kHeaderBytes + num_sections * kTableEntryBytes) {
     return Corrupt("truncated section table");
   }
 
   // Section table: bounds and codec sanity before any payload access.
   std::unordered_map<uint32_t, SectionRef> table;
-  for (uint32_t i = 0; i < kNumSections; ++i) {
+  for (uint32_t i = 0; i < num_sections; ++i) {
     uint32_t id, flags;
     SectionRef s;
     header.ReadU32(&id);
@@ -1430,7 +1630,8 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path,
       return Corrupt("codec byte in a v1 snapshot");
     }
     if (s.codec != SectionCodec::kRaw &&
-        (id == kMeta || id == kDictionary || id == kRules)) {
+        (id == kMeta || id == kDictionary || id == kRules ||
+         id == kShards)) {
       return Corrupt("codec on an uncompressible section " +
                      std::to_string(id));
     }
@@ -1438,7 +1639,7 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path,
       return Corrupt("duplicate section " + std::to_string(id));
     }
   }
-  for (uint32_t id = kMeta; id <= kRules; ++id) {
+  for (uint32_t id = kMeta; id <= (version >= 3 ? kShards : kRules); ++id) {
     if (table.count(id) == 0) {
       return Corrupt("missing section " + std::to_string(id));
     }
@@ -1466,7 +1667,33 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path,
   LoadReport report;
   report.bytes = file.size();
   report.mapped = mapped;
-  size_t touched = kHeaderBytes + kNumSections * kTableEntryBytes;
+  size_t touched = kHeaderBytes + num_sections * kTableEntryBytes;
+
+  // Readahead hints (ReadOptions::prefetch): start paging in the
+  // sections this load will serve as views, overlapping disk I/O with
+  // the decode work below. Purely advisory — verification and the
+  // bytes_touched accounting are identical either way.
+  if (mapped && options.prefetch) {
+    const bool will_view = version >= 2;
+    auto advise = [&](uint32_t id) {
+      const SectionRef& s = table.at(id);
+      if (s.codec == SectionCodec::kRaw &&
+          mapping->AdviseWillNeed(static_cast<size_t>(s.offset),
+                                  static_cast<size_t>(s.length))) {
+        report.bytes_prefetched += static_cast<size_t>(s.length);
+      }
+    };
+    if (will_view) {
+      advise(kTriples);
+      advise(kPermutations);
+      advise(kScoreShapes);
+      advise(kGraphStats);
+      if (version >= 3) advise(kShards);
+    } else if (mapping->AdviseWillNeed(0, file.size())) {
+      // v1 layouts decode by copying; the whole file is read anyway.
+      report.bytes_prefetched += file.size();
+    }
+  }
 
   // Checksum pass. Full verification checksums everything (mapped or
   // not — identical guarantees). Trusted checksums only what it will
@@ -1668,6 +1895,32 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path,
     // must live exactly as long as this XKG. ExtendKg rebuilds into
     // owned vectors and drops the old XKG — copy-on-write for free.
     xkg.AttachBacking(std::shared_ptr<const void>(mapping));
+  }
+
+  // v3: restore the scatter-gather decomposition exactly as saved —
+  // no re-partitioning, no shape re-sorts, no stats recompute. Views
+  // alias the mapping already parked inside the XKG above;
+  // ShardedStore::FromSnapshot re-proves the partition invariants
+  // under kFull. A zero shard count (saved unsharded) leaves the
+  // engine's own `shard_count` option in charge.
+  if (version >= 3) {
+    std::vector<rdf::ShardedStore::ShardSnapshot> parts;
+    TRINIT_RETURN_IF_ERROR(LoadShardsRaw(file, table.at(kShards), use_views,
+                                         validation, &parts, &touched));
+    if (use_views) {
+      ++report.sections_mapped;
+    } else {
+      ++report.sections_decoded;
+    }
+    if (!parts.empty()) {
+      TRINIT_ASSIGN_OR_RETURN(
+          rdf::ShardedStore sharded,
+          rdf::ShardedStore::FromSnapshot(xkg.store(), std::move(parts),
+                                          validation));
+      report.shard_count = sharded.shard_count();
+      report.resident_bytes += sharded.resident_bytes();
+      xkg.AdoptSharding(std::move(sharded));
+    }
   }
 
   relax::RuleSet rules;

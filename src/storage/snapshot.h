@@ -25,7 +25,16 @@ namespace trinit::storage {
 ///             codec), byte offset, byte length, FNV-1a 64 checksum of
 ///             the payload
 ///   sections  8-byte-aligned little-endian payloads:
-///             META, DICT, TRIPLES, PERMS, SCORE, STATS, PROV, RULES
+///             META, DICT, TRIPLES, PERMS, SCORE, STATS, PROV, RULES,
+///             and (v3) SHARDS — the engine's scatter-gather
+///             decomposition: per shard, its member-id list, its
+///             materialized score shapes, and its own STATS block, all
+///             in the same viewable raw layouts as the global sections
+///             (SHARDS is always raw — per-shard subsections stay
+///             zero-copy under LoadMode::kMapped). A v3 file written
+///             by an unsharded engine carries an empty SHARDS section
+///             (shard count 0); a sharded snapshot restores its own
+///             decomposition, overriding `TrinitOptions::shard_count`.
 ///
 /// Two orthogonal axes extend the plain "write raw, read a copy" story:
 ///
@@ -92,7 +101,7 @@ namespace trinit::storage {
 /// snapshot to save microseconds.
 
 /// Newest format version this build writes and reads.
-inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersion = 3;
 /// Oldest format version this build still reads (and can be asked to
 /// write, for compatibility tests).
 inline constexpr uint32_t kMinSnapshotVersion = 1;
@@ -126,9 +135,17 @@ enum class LoadMode : uint8_t {
 
 struct ReadOptions {
   LoadMode mode = LoadMode::kCopy;
-  /// kTrusted only changes behavior in mapped mode on v2 files; the
+  /// kTrusted only changes behavior in mapped mode on v2+ files; the
   /// copying path always fully verifies.
   rdf::SnapshotValidation verify = rdf::SnapshotValidation::kFull;
+  /// Mapped mode only: hint the kernel (posix_madvise WILLNEED) to
+  /// start readahead on the viewed bulk sections, so first-query page
+  /// faults overlap with the open instead of serializing behind it.
+  /// Purely advisory — answers, verification, and `bytes_touched`
+  /// accounting are identical either way; `bytes_prefetched` reports
+  /// how much was hinted. No effect on the copying path (which reads
+  /// everything anyway).
+  bool prefetch = false;
 };
 
 class SnapshotWriter {
@@ -178,6 +195,12 @@ struct LoadReport {
   size_t sections_decoded = 0;  ///< sections materialized into memory
   size_t sections_raw = 0;      ///< table codec bytes: SectionCodec::kRaw
   size_t sections_varint = 0;   ///< table codec bytes: kVarintDelta
+  /// Shards of the restored scatter-gather decomposition (0 when the
+  /// snapshot was saved unsharded or predates v3).
+  size_t shard_count = 0;
+  /// Bytes covered by madvise(WILLNEED) readahead hints
+  /// (`ReadOptions::prefetch` on a mapped load); 0 otherwise.
+  size_t bytes_prefetched = 0;
 };
 
 /// A successfully loaded snapshot: the serving state plus the XKG

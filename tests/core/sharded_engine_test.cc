@@ -1,0 +1,339 @@
+// Engine-level sharded scatter-gather serving: at any shard count the
+// answers, scores, AND total pull/probe/decode work counters are
+// byte-identical to the unsharded engine (the per-shard merge is exact,
+// not approximate); only the per-shard balance counters — gated out of
+// unsharded traces — differ. Snapshots persist the decomposition, and
+// ExtendKg preserves it across the rebuild.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trinit.h"
+#include "synth/kg_generator.h"
+#include "testing/paper_world.h"
+
+namespace trinit::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Byte-comparable rendering of a ranked answer list (projection values
+/// + nano-rounded scores), same equality the benches gate on.
+std::string AnswerBytes(const topk::TopKResult& result) {
+  std::ostringstream os;
+  for (const auto& ans : result.answers) {
+    for (size_t i = 0; i < result.projection.size(); ++i) {
+      os << ans.binding.Get(static_cast<query::VarId>(i)) << ',';
+    }
+    os << std::llround(ans.score * 1e9) << ';';
+  }
+  return os.str();
+}
+
+/// The work counters that must not change under sharding. Deliberately
+/// excludes `per_shard_pulled` — the only counter sharding adds.
+std::string WorkCounters(const topk::TopKResult::RunStats& s) {
+  std::ostringstream os;
+  os << s.items_pulled << '/' << s.items_decoded << '/' << s.items_skipped
+     << '/' << s.combinations_tried << '/' << s.partition_probes << '/'
+     << s.query_variants_evaluated << '/' << s.alternatives_opened;
+  return os.str();
+}
+
+std::pair<std::string, std::string> RunOnce(const Trinit& engine,
+                                            const std::string& text) {
+  auto response = engine.Execute(QueryRequest::Text(text, 5));
+  EXPECT_TRUE(response.ok()) << response.status() << " for " << text;
+  if (!response.ok()) return {};
+  return {AnswerBytes(response->result()), WorkCounters(response->stats)};
+}
+
+const std::vector<std::string>& PaperQueries() {
+  static const std::vector<std::string> queries = {
+      "?x bornIn Germany",
+      "AlbertEinstein hasAdvisor ?x",
+      "SELECT ?x WHERE ?x affiliation ?u ; ?u 'housed in' ?p",
+      "?x 'won nobel for' ?y",
+  };
+  return queries;
+}
+
+Trinit OpenPaperEngine(size_t shard_count) {
+  TrinitOptions options;
+  options.shard_count = shard_count;
+  auto engine = Trinit::Open(testing::BuildPaperXkg(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  EXPECT_TRUE(engine->AddManualRules(testing::kPaperRulesText).ok());
+  return std::move(engine).value();
+}
+
+TEST(ShardedEngineTest, AnswersAndWorkIdenticalToUnshardedOnPaperWorld) {
+  const Trinit baseline = OpenPaperEngine(1);
+  EXPECT_EQ(baseline.xkg().sharded(), nullptr);
+  std::vector<std::pair<std::string, std::string>> expected;
+  for (const std::string& q : PaperQueries()) {
+    expected.push_back(RunOnce(baseline, q));
+  }
+  for (const size_t shard_count : {2u, 4u, 8u}) {
+    const Trinit sharded = OpenPaperEngine(shard_count);
+    ASSERT_NE(sharded.xkg().sharded(), nullptr);
+    EXPECT_EQ(sharded.xkg().sharded()->shard_count(), shard_count);
+    for (size_t i = 0; i < PaperQueries().size(); ++i) {
+      auto [bytes, work] = RunOnce(sharded, PaperQueries()[i]);
+      EXPECT_EQ(bytes, expected[i].first)
+          << "S=" << shard_count << " " << PaperQueries()[i];
+      EXPECT_EQ(work, expected[i].second)
+          << "S=" << shard_count << " " << PaperQueries()[i];
+    }
+  }
+}
+
+TEST(ShardedEngineTest, PropertyShardedEqualsUnshardedAcrossWorlds) {
+  for (const uint64_t seed : {11u, 47u}) {
+    synth::WorldSpec spec;
+    spec.seed = seed;
+    spec.num_persons = 40 + seed % 13;
+    spec.num_universities = 6;
+    spec.num_institutes = 4;
+    spec.num_cities = 8;
+    spec.num_countries = 3;
+    spec.num_prizes = 3;
+    spec.num_fields = 4;
+    spec.predicates = synth::WorldSpec::DefaultPredicates();
+    synth::World world = synth::KgGenerator::Generate(spec);
+
+    auto baseline = Trinit::FromWorld(world);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+    const auto& unis = world.OfClass(synth::EntityClass::kUniversity);
+    const auto& cities = world.OfClass(synth::EntityClass::kCity);
+    ASSERT_GE(unis.size(), 2u);
+    ASSERT_GE(cities.size(), 2u);
+    const std::vector<std::string> queries = {
+        "?x bornIn " + world.entities[cities[0]].name,
+        "?x affiliation " + world.entities[unis[0]].name,
+        "SELECT ?x WHERE ?x affiliation ?u ; ?u campusIn " +
+            world.entities[cities[1]].name,
+        "SELECT ?a ?b WHERE ?a hasAdvisor ?b ; ?b affiliation " +
+            world.entities[unis[1]].name,
+        "?x wonPrize ?p",
+    };
+    std::vector<std::pair<std::string, std::string>> expected;
+    for (const std::string& q : queries) {
+      expected.push_back(RunOnce(*baseline, q));
+    }
+
+    for (const size_t shard_count : {2u, 4u, 8u}) {
+      TrinitOptions options;
+      options.shard_count = shard_count;
+      // Rule mining consumes the merged per-shard stats — equal to the
+      // unsharded compute bit-for-bit — so the mined rule set (and with
+      // it every rewrite) must come out identical.
+      auto sharded = Trinit::FromWorld(world, options);
+      ASSERT_TRUE(sharded.ok()) << sharded.status();
+      ASSERT_EQ(sharded->rules().size(), baseline->rules().size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " S=" +
+                     std::to_string(shard_count) + " " + queries[i]);
+        auto [bytes, work] = RunOnce(*sharded, queries[i]);
+        EXPECT_EQ(bytes, expected[i].first);
+        EXPECT_EQ(work, expected[i].second);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngineTest, BalanceCountersAppearOnlyInShardedTraces) {
+  auto find_counter = [](const QueryResponse& response, const char* name) {
+    for (const TraceCounter& c : response.counters) {
+      if (c.name == name) return std::optional<double>(c.value);
+    }
+    return std::optional<double>();
+  };
+  // Unsharded traces never carry the balance counters — their output is
+  // byte-identical to the pre-sharding engine for the whole mix.
+  const Trinit baseline = OpenPaperEngine(1);
+  for (const std::string& q : PaperQueries()) {
+    QueryRequest request = QueryRequest::Text(q, 5);
+    request.trace = true;
+    auto flat = baseline.Execute(request);
+    ASSERT_TRUE(flat.ok());
+    EXPECT_FALSE(find_counter(*flat, "shards").has_value()) << q;
+    EXPECT_FALSE(find_counter(*flat, "shard_pulls_max").has_value()) << q;
+  }
+
+  // Sharded traces surface them for any query whose pulls actually span
+  // shards (a query whose matches happen to hash to one shard stays
+  // gated); over the paper mix at S=8 at least one query must scatter.
+  const Trinit sharded = OpenPaperEngine(8);
+  bool scattered_query_seen = false;
+  for (const std::string& q : PaperQueries()) {
+    QueryRequest request = QueryRequest::Text(q, 5);
+    request.trace = true;
+    auto scattered = sharded.Execute(request);
+    ASSERT_TRUE(scattered.ok());
+    const auto shards = find_counter(*scattered, "shards");
+    const auto max_pulled = find_counter(*scattered, "shard_pulls_max");
+    EXPECT_EQ(shards.has_value(), max_pulled.has_value()) << q;
+    if (!shards.has_value()) continue;
+    scattered_query_seen = true;
+    EXPECT_GT(*shards, 1.0) << q;
+    EXPECT_LE(*shards, 8.0) << q;
+    EXPECT_GE(*max_pulled, 1.0) << q;
+    EXPECT_LE(*max_pulled, static_cast<double>(scattered->stats.items_pulled))
+        << q;
+  }
+  EXPECT_TRUE(scattered_query_seen);
+}
+
+TEST(ShardedEngineTest, SnapshotPersistsTheDecomposition) {
+  Trinit source = OpenPaperEngine(4);
+  // Warm lazy shapes so the snapshot carries per-shard index state.
+  std::vector<std::string> expected_bytes;
+  for (const std::string& q : PaperQueries()) {
+    expected_bytes.push_back(RunOnce(source, q).first);
+  }
+  const size_t shapes_at_save = source.xkg().sharded()->score_shapes_built();
+  EXPECT_GT(shapes_at_save, 0u);
+
+  const std::string path = TempPath("engine_sharded.trinit");
+  ASSERT_TRUE(source.Save(path).ok());
+
+  // Reopen mapped + trusted with *default* options (shard_count = 1):
+  // the snapshot's own decomposition must win, with zero rebuilds.
+  TrinitOptions options;
+  options.snapshot_read = {storage::LoadMode::kMapped,
+                           rdf::SnapshotValidation::kTrusted};
+  storage::LoadReport report;
+  auto loaded = Trinit::Open(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(report.shard_count, 4u);
+  EXPECT_EQ(report.index_rebuilds, 0u);
+  ASSERT_NE(loaded->xkg().sharded(), nullptr);
+  EXPECT_EQ(loaded->xkg().sharded()->shard_count(), 4u);
+  // Every shape materialized at save time was restored, none re-sorted.
+  EXPECT_EQ(loaded->xkg().sharded()->score_shapes_built(), shapes_at_save);
+  for (size_t i = 0; i < PaperQueries().size(); ++i) {
+    EXPECT_EQ(RunOnce(*loaded, PaperQueries()[i]).first, expected_bytes[i])
+        << PaperQueries()[i];
+  }
+  EXPECT_EQ(loaded->xkg().sharded()->score_shapes_built(), shapes_at_save);
+
+  // Full-verification copy load restores the same decomposition.
+  storage::LoadReport copy_report;
+  auto copied = Trinit::Open(path, {}, &copy_report);
+  ASSERT_TRUE(copied.ok()) << copied.status();
+  EXPECT_EQ(copy_report.shard_count, 4u);
+  ASSERT_NE(copied->xkg().sharded(), nullptr);
+  for (size_t i = 0; i < PaperQueries().size(); ++i) {
+    EXPECT_EQ(RunOnce(*copied, PaperQueries()[i]).first, expected_bytes[i]);
+  }
+}
+
+TEST(ShardedEngineTest, UnshardedSnapshotHonorsTheOpenOptions) {
+  Trinit source = OpenPaperEngine(1);
+  const std::string expected = RunOnce(source, PaperQueries()[0]).first;
+  const std::string path = TempPath("engine_unsharded.trinit");
+  ASSERT_TRUE(source.Save(path).ok());
+
+  TrinitOptions options;
+  options.shard_count = 4;
+  storage::LoadReport report;
+  auto loaded = Trinit::Open(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // The snapshot carried no decomposition (shard_count reports 0); the
+  // opener built one from the options.
+  EXPECT_EQ(report.shard_count, 0u);
+  ASSERT_NE(loaded->xkg().sharded(), nullptr);
+  EXPECT_EQ(loaded->xkg().sharded()->shard_count(), 4u);
+  EXPECT_EQ(RunOnce(*loaded, PaperQueries()[0]).first, expected);
+}
+
+TEST(ShardedEngineTest, PrefetchHintsReportMappedBytes) {
+  Trinit source = OpenPaperEngine(4);
+  for (const std::string& q : PaperQueries()) (void)RunOnce(source, q);
+  const std::string path = TempPath("engine_prefetch.trinit");
+  ASSERT_TRUE(source.Save(path).ok());
+
+  TrinitOptions options;
+  options.snapshot_read.mode = storage::LoadMode::kMapped;
+  options.snapshot_read.prefetch = true;
+  storage::LoadReport report;
+  auto mapped = Trinit::Open(path, options, &report);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_GT(report.bytes_prefetched, 0u);
+
+  // The copy path never issues hints, prefetch requested or not.
+  options.snapshot_read.mode = storage::LoadMode::kCopy;
+  storage::LoadReport copy_report;
+  auto copied = Trinit::Open(path, options, &copy_report);
+  ASSERT_TRUE(copied.ok()) << copied.status();
+  EXPECT_EQ(copy_report.bytes_prefetched, 0u);
+}
+
+TEST(ShardedEngineTest, ExtendKgPreservesTheShardCount) {
+  Trinit engine = OpenPaperEngine(4);
+  ASSERT_TRUE(engine
+                  .ExtendKg("MarieCurie bornIn Warsaw\n"
+                            "Warsaw locatedIn Poland\n")
+                  .ok());
+  ASSERT_NE(engine.xkg().sharded(), nullptr);
+  EXPECT_EQ(engine.xkg().sharded()->shard_count(), 4u);
+  // (The geo rules may relax extra answers in; the exact fact ranks
+  // first.)
+  auto result = engine.Query("MarieCurie bornIn ?x", 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->answers.empty());
+  EXPECT_EQ(engine.RenderAnswer(*result, 0), "?x = Warsaw");
+
+  // The same holds when the decomposition came from a snapshot rather
+  // than the options.
+  const std::string path = TempPath("engine_extend.trinit");
+  ASSERT_TRUE(engine.Save(path).ok());
+  auto loaded = Trinit::Open(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->ExtendKg("PierreCurie bornIn Paris\n").ok());
+  ASSERT_NE(loaded->xkg().sharded(), nullptr);
+  EXPECT_EQ(loaded->xkg().sharded()->shard_count(), 4u);
+}
+
+// TSan exercise: concurrent queries race per-shard first-touch builds
+// and an ExtendKg rebuild of the whole decomposition. Correctness of
+// the answers is checked elsewhere; this test is about the absence of
+// data races under `ci.sh --tsan`.
+TEST(ShardedEngineTest, ConcurrentQueriesSurviveExtendKg) {
+  Trinit engine = OpenPaperEngine(4);
+  ASSERT_TRUE(engine.AddManualRules(testing::kPaperRulesText).ok());
+  std::vector<std::thread> workers;
+  workers.reserve(5);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&engine, t]() {
+      for (int i = 0; i < 8; ++i) {
+        const std::string& q = PaperQueries()[(t + i) % PaperQueries().size()];
+        auto response = engine.Execute(QueryRequest::Text(q, 5));
+        EXPECT_TRUE(response.ok()) << response.status();
+      }
+    });
+  }
+  workers.emplace_back([&engine]() {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(engine
+                      .ExtendKg("Entity" + std::to_string(i) +
+                                " bornIn City" + std::to_string(i) + "\n")
+                      .ok());
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_NE(engine.xkg().sharded(), nullptr);
+  EXPECT_EQ(engine.xkg().sharded()->shard_count(), 4u);
+}
+
+}  // namespace
+}  // namespace trinit::core
