@@ -25,14 +25,24 @@
 //   * plan-cache hit rate on the repeated-structure mix (planonly
 //     engine, all passes) >= 90%.
 //
+// PR 10 adds two observability exhibits: the hot-path cost of the
+// always-on metrics registry (the same mix on two plan-cache-only
+// engines, `obs.metrics` on vs off, min-of-reps; reported as
+// `metrics_overhead_pct` and gated < 3% by bench/check_regression.py)
+// and the slow-query log's ring invariant (a tiny threshold makes
+// every request "slow"; after `requests > capacity` the ring must hold
+// exactly the newest `capacity` records in order — gated here).
+//
 //   ./build/bench/bench_p3_serving [--counters-only] [out.json]
 //                                  (default: BENCH_P3.json)
 //
 // --counters-only omits machine-local wall-times from the JSON so
 // cross-machine comparisons see only deterministic work counters.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -182,6 +192,88 @@ int main(int argc, char** argv) {
   const double planonly_rate = hit_rate(1);
   const double uncached_rate = hit_rate(2);
 
+  // ------------------------------------------------------------------
+  // Metrics-registry overhead (PR 10). Two fresh engines with answer
+  // caching off — every request pays full planning + join work, the
+  // worst case for per-request instrumentation — one with the registry
+  // live, one with `obs.metrics = false` (every handle unbound, the
+  // compiled-out cost model at runtime). Reps interleave the engines
+  // and keep the per-engine minimum, which sheds scheduler noise much
+  // better than means on a shared box.
+  constexpr int kOverheadReps = 8;
+  core::TrinitOptions obs_on_options;
+  obs_on_options.serving.cache_answers = false;
+  core::TrinitOptions obs_off_options;
+  obs_off_options.serving.cache_answers = false;
+  obs_off_options.obs.metrics = false;
+  Result<core::Trinit> obs_on = core::Trinit::FromWorld(world, obs_on_options);
+  Result<core::Trinit> obs_off =
+      core::Trinit::FromWorld(world, obs_off_options);
+  if (!obs_on.ok() || !obs_off.ok()) {
+    std::fprintf(stderr, "overhead engine build failed\n");
+    return 1;
+  }
+  bool overhead_requests_ok = true;
+  auto run_mix_ms = [&](const core::Trinit& engine) {
+    WallTimer timer;
+    for (const std::string& text : requests_text) {
+      auto response = engine.Execute(core::QueryRequest::Text(text, kK));
+      if (!response.ok()) overhead_requests_ok = false;
+    }
+    return timer.ElapsedMillis();
+  };
+  // One untimed pass each: plan caches and lazy score shapes warm up
+  // outside the measurement.
+  (void)run_mix_ms(*obs_on);
+  (void)run_mix_ms(*obs_off);
+  double best_on_ms = std::numeric_limits<double>::infinity();
+  double best_off_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    best_on_ms = std::min(best_on_ms, run_mix_ms(*obs_on));
+    best_off_ms = std::min(best_off_ms, run_mix_ms(*obs_off));
+  }
+  const double metrics_overhead_pct =
+      best_off_ms <= 0.0 ? 0.0
+                         : 100.0 * (best_on_ms - best_off_ms) / best_off_ms;
+  std::printf("metrics overhead: mix best-of-%d %.3f ms with registry vs "
+              "%.3f ms without (%+.2f%%)\n",
+              kOverheadReps, best_on_ms, best_off_ms, metrics_overhead_pct);
+
+  // ------------------------------------------------------------------
+  // Slow-query-log ring invariant (PR 10): a microsecond threshold
+  // records every request; after a full mix (more requests than
+  // capacity) the ring must hold exactly the newest `capacity` records
+  // with contiguous ascending sequence numbers.
+  constexpr size_t kSlowLogCapacity = 8;
+  core::TrinitOptions slowlog_options;
+  slowlog_options.obs.slow_query_ms = 1e-6;
+  slowlog_options.obs.slow_log_capacity = kSlowLogCapacity;
+  Result<core::Trinit> slowlog_engine =
+      core::Trinit::FromWorld(world, slowlog_options);
+  if (!slowlog_engine.ok()) {
+    std::fprintf(stderr, "slowlog engine build failed\n");
+    return 1;
+  }
+  for (const std::string& text : requests_text) {
+    auto response =
+        slowlog_engine->Execute(core::QueryRequest::Text(text, kK));
+    if (!response.ok()) overhead_requests_ok = false;
+  }
+  const obs::SlowQueryLog& slow_log = slowlog_engine->slow_query_log();
+  const std::vector<obs::SlowQueryRecord> slow_entries = slow_log.Entries();
+  bool slowlog_capacity_ok =
+      slow_entries.size() == kSlowLogCapacity &&
+      slow_log.total_recorded() == requests_text.size();
+  for (size_t i = 0; slowlog_capacity_ok && i < slow_entries.size(); ++i) {
+    const uint64_t want =
+        slow_log.total_recorded() - kSlowLogCapacity + 1 + i;
+    if (slow_entries[i].sequence != want) slowlog_capacity_ok = false;
+  }
+  std::printf("slow-query log: %zu of %llu kept at capacity %zu — %s\n\n",
+              slow_entries.size(),
+              static_cast<unsigned long long>(slow_log.total_recorded()),
+              kSlowLogCapacity, slowlog_capacity_ok ? "ok" : "VIOLATION");
+
   AsciiTable table({"engine", "pass", "p50 ms", "pulls", "probes",
                     "plan hit/miss", "answer hits"});
   for (size_t e = 0; e < kNumEngines; ++e) {
@@ -238,16 +330,23 @@ int main(int argc, char** argv) {
     }
     std::fprintf(json, "    ]}%s\n", e + 1 < kNumEngines ? "," : "");
   }
+  // metrics_overhead_pct is wall-derived but survives --counters-only:
+  // as a same-machine same-binary ratio it is what the regression gate
+  // checks, not an absolute latency.
   std::fprintf(json,
                "  ],\n  \"totals\": {\"planonly_plan_hit_rate\": %.4f, "
                "\"answer_cache_entries\": %zu, "
                "\"answer_cache_evictions\": %zu, "
                "\"warm_all_answer_hits\": %s, "
-               "\"warm_zero_pulls\": %s, \"answers_match\": %s}\n}\n",
+               "\"warm_zero_pulls\": %s, \"answers_match\": %s, "
+               "\"metrics_overhead_pct\": %.2f, "
+               "\"slowlog_capacity\": %zu, "
+               "\"slowlog_capacity_ok\": %s}\n}\n",
                planonly_rate, sc.answer_entries, sc.answer_evictions,
                warm_all_hits ? "true" : "false",
                warm_zero_pulls ? "true" : "false",
-               answers_match ? "true" : "false");
+               answers_match ? "true" : "false", metrics_overhead_pct,
+               kSlowLogCapacity, slowlog_capacity_ok ? "true" : "false");
   std::fclose(json);
   std::printf("wrote %s\n", args.out_path);
 
@@ -266,6 +365,12 @@ int main(int argc, char** argv) {
                  "P3 REGRESSION: plan-cache hit rate %.3f < 0.90 on the "
                  "repeated-structure mix\n",
                  planonly_rate);
+    return 1;
+  }
+  if (!slowlog_capacity_ok || !overhead_requests_ok) {
+    std::fprintf(stderr,
+                 "P3 REGRESSION: slow-query log broke its bounded-ring "
+                 "contract (or an observability-pass request failed)\n");
     return 1;
   }
   return 0;

@@ -96,6 +96,19 @@ def check_invariants(fresh_path):
                   f"pulled {s4_max} of {s1_pulled} unsharded pulls "
                   f"(> 50%)")
             ok = False
+    # P3 observability (PR 10): the always-on metrics registry must
+    # cost the hot path less than 3% (min-of-reps, registry on vs
+    # `obs.metrics = false` — the docs/OBSERVABILITY.md contract), and
+    # the slow-query log must honor its bounded-ring capacity.
+    overhead = totals.get("metrics_overhead_pct")
+    if isinstance(overhead, (int, float)) and overhead >= 3.0:
+        print(f"[bench-gate] {name}: FAIL — metrics registry costs the "
+              f"hot path {overhead:.2f}% (>= 3% contract)")
+        ok = False
+    if totals.get("slowlog_capacity_ok") is False:
+        print(f"[bench-gate] {name}: FAIL — slow-query log broke its "
+              f"bounded-ring capacity contract")
+        ok = False
     return ok
 
 

@@ -13,6 +13,8 @@
 #   build+test the tier-1 verify line (cmake + ctest). Under clang the
 #              build also enforces -Werror=thread-safety (the
 #              TRINIT_GUARDED_BY annotations become a hard gate).
+#   metrics scrape  pipe a query + `.metrics prom` through trinit_shell
+#              and validate the exposition with tools/promcheck.py
 #   snapshot   save a binary snapshot of a TSV-built engine, reload it,
 #              and re-run the query checks (bench_p4's gates: answers
 #              and work counters byte-identical, zero index rebuilds)
@@ -69,6 +71,14 @@ cmake --build "$BUILD_DIR" -j
 
 echo "== test =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== metrics scrape (.metrics prom through tools/promcheck.py) =="
+# One query then a registry scrape: the exposition must parse as valid
+# Prometheus text (HELP/TYPE per family, cumulative le-ordered buckets
+# ending in +Inf == _count). Guards the .metrics surface end to end.
+printf '?x bornIn Germania\n.metrics prom\n.quit\n' \
+  | "$BUILD_DIR/examples/trinit_shell" \
+  | python3 "$ROOT/tools/promcheck.py"
 
 echo "== clang-tidy (advisory) =="
 if command -v clang-tidy > /dev/null 2>&1; then

@@ -16,6 +16,11 @@
 //   .k <n>             set the number of answers
 //   .timeout <ms>      per-query wall-clock budget (0 = unlimited)
 //   .stats             XKG statistics
+//   .metrics [prom|json]
+//                      scrape the engine's metrics registry (Prometheus
+//                      text by default, see docs/OBSERVABILITY.md)
+//   .slowlog           dump the slow-query log (requests slower than
+//                      ObsOptions::slow_query_ms, with plan + span tree)
 //   .save <path>       write a binary snapshot of the serving state
 //   .load <path> [mmap|copy] [trusted]
 //                      replace the engine from a snapshot (instant
@@ -31,6 +36,7 @@
 #include <string>
 
 #include "core/trinit.h"
+#include "obs/exposition.h"
 #include "query/parser.h"
 #include "synth/kg_generator.h"
 #include "util/string_util.h"
@@ -61,6 +67,33 @@ void PrintCache(const Trinit& engine) {
       static_cast<unsigned long long>(c.generation), c.answer_hits,
       c.answer_misses, c.answer_entries, c.answer_evictions, c.plan_hits,
       c.plan_misses, c.plan_entries, c.plan_invalidated);
+}
+
+void PrintSlowLog(const Trinit& engine) {
+  const auto& log = engine.slow_query_log();
+  if (!log.enabled()) {
+    std::printf("  slow-query log disabled (slow_query_ms <= 0)\n");
+    return;
+  }
+  const auto entries = log.Entries();
+  std::printf("  slow-query log: %zu of %llu kept (threshold %.1f ms, "
+              "capacity %zu)\n",
+              entries.size(),
+              static_cast<unsigned long long>(log.total_recorded()),
+              log.threshold_ms(), log.capacity());
+  for (const auto& entry : entries) {
+    std::printf("  #%llu  %.2f ms  gen %llu%s%s\n      %s\n",
+                static_cast<unsigned long long>(entry.sequence),
+                entry.wall_ms,
+                static_cast<unsigned long long>(entry.generation),
+                entry.answer_hit ? "  [cache hit]" : "",
+                entry.deadline_hit ? "  [deadline]" : "",
+                entry.query.c_str());
+    if (!entry.plan.empty()) {
+      std::printf("      plan: %s\n", entry.plan.c_str());
+    }
+    std::printf("%s", entry.span.ToPretty().c_str());
+  }
 }
 
 }  // namespace
@@ -103,7 +136,8 @@ int main(int argc, char** argv) {
     if (input == ".help") {
       std::printf("  <query> | .rule <rule> | .add <fact> | .rules | "
                   ".explain <rank> | .complete <prefix> | .k <n> | "
-                  ".timeout <ms> | .stats | .cache | .save <path> | "
+                  ".timeout <ms> | .stats | .cache | .metrics [prom|json] | "
+                  ".slowlog | .save <path> | "
                   ".load <path> [mmap|copy] [trusted] [prefetch] | .quit\n");
       continue;
     }
@@ -113,6 +147,24 @@ int main(int argc, char** argv) {
     }
     if (input == ".cache") {
       PrintCache(*engine);
+      continue;
+    }
+    if (input == ".metrics" || input.rfind(".metrics ", 0) == 0) {
+      std::string_view format =
+          input == ".metrics" ? "prom" : trinit::Trim(input.substr(9));
+      const trinit::obs::MetricsSnapshot snapshot = engine->MetricsSnapshot();
+      if (format == "prom" || format.empty()) {
+        std::printf("%s", trinit::obs::RenderPrometheus(snapshot).c_str());
+      } else if (format == "json") {
+        std::printf("%s\n", trinit::obs::RenderJson(snapshot).c_str());
+      } else {
+        std::printf("  unknown .metrics format '%s' (want prom|json)\n",
+                    std::string(format).c_str());
+      }
+      continue;
+    }
+    if (input == ".slowlog") {
+      PrintSlowLog(*engine);
       continue;
     }
     if (input.rfind(".complete ", 0) == 0) {
@@ -303,6 +355,11 @@ int main(int argc, char** argv) {
       std::printf(" %s_ms=%.2f", timing.stage.c_str(), timing.millis);
     }
     std::printf("\n");
+    // Structured span tree of the same request (the machine-readable
+    // form is response->trace_json()).
+    if (response->span.has_value()) {
+      std::printf("%s", response->span->ToPretty().c_str());
+    }
     // Query plan: the cost-based pattern order with estimated vs actual
     // per-pattern cardinalities.
     if (!result.plan.empty()) {

@@ -73,10 +73,11 @@ Result<const query::Query*> ResolveRequestQuery(
   return storage;
 }
 
-void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
-                         QueryResponse* response) {
-  auto add = [response](const char* name, double value) {
-    response->counters.push_back({name, value});
+void AppendRunStatsCounters(
+    const topk::TopKResult::RunStats& stats,
+    std::vector<std::pair<std::string, double>>* counters) {
+  auto add = [counters](const char* name, double value) {
+    counters->emplace_back(name, value);
   };
   add("query_variants_total", static_cast<double>(stats.query_variants_total));
   add("query_variants_evaluated",
@@ -95,9 +96,10 @@ void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
   add("plan_cache_hits", static_cast<double>(stats.plan_cache_hits));
   add("plan_cache_misses", static_cast<double>(stats.plan_cache_misses));
   add("deadline_hit", stats.deadline_hit ? 1.0 : 0.0);
-  // Sharded serving only (size <= 1 means unsharded — its traces must
-  // stay byte-identical to the pre-sharding engine): the scatter-gather
-  // balance counters.
+  // Scatter-gather balance, emitted *uniformly* (PR 10): an unsharded
+  // run is one shard that pulled everything, so the key set of a trace
+  // is identical at any shard count. (Pre-PR-10 these two keys appeared
+  // only for sharded runs.)
   if (stats.per_shard_pulled.size() > 1) {
     add("shards", static_cast<double>(stats.per_shard_pulled.size()));
     size_t max_pulled = 0;
@@ -105,13 +107,17 @@ void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
       max_pulled = std::max(max_pulled, pulled);
     }
     add("shard_pulls_max", static_cast<double>(max_pulled));
+  } else {
+    add("shards", 1.0);
+    add("shard_pulls_max", static_cast<double>(stats.items_pulled));
   }
 }
 
-void AppendServingStatsTrace(QueryResponse* response) {
-  const ServingStats& s = response->serving;
-  auto add = [response](const char* name, double value) {
-    response->counters.push_back({name, value});
+void AppendServingStatsCounters(
+    const ServingStats& s,
+    std::vector<std::pair<std::string, double>>* counters) {
+  auto add = [counters](const char* name, double value) {
+    counters->emplace_back(name, value);
   };
   add("serving_answer_hit", s.answer_hit ? 1.0 : 0.0);
   add("serving_generation", static_cast<double>(s.generation));
@@ -122,6 +128,31 @@ void AppendServingStatsTrace(QueryResponse* response) {
   add("serving_plan_misses", static_cast<double>(s.plan_misses));
   add("serving_plan_invalidated",
       static_cast<double>(s.plan_invalidated));
+}
+
+namespace {
+
+void AppendPairsToResponse(
+    const std::vector<std::pair<std::string, double>>& pairs,
+    QueryResponse* response) {
+  for (const auto& [name, value] : pairs) {
+    response->counters.push_back({name, value});
+  }
+}
+
+}  // namespace
+
+void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
+                         QueryResponse* response) {
+  std::vector<std::pair<std::string, double>> pairs;
+  AppendRunStatsCounters(stats, &pairs);
+  AppendPairsToResponse(pairs, response);
+}
+
+void AppendServingStatsTrace(QueryResponse* response) {
+  std::vector<std::pair<std::string, double>> pairs;
+  AppendServingStatsCounters(response->serving, &pairs);
+  AppendPairsToResponse(pairs, response);
 }
 
 }  // namespace trinit::core

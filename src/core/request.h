@@ -4,8 +4,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/trace_span.h"
 #include "query/query.h"
 #include "scoring/lm_scorer.h"
 #include "topk/topk_processor.h"
@@ -99,11 +101,13 @@ struct ServingStats {
   uint64_t generation = 0;
 
   // Cumulative engine-level cache counters at response time (monotone
-  // across the engine's lifetime, not per-request deltas). Filled only
-  // for traced requests — the snapshot sweeps every cache shard's lock,
-  // which untraced hot-path requests must not pay for; untraced
-  // responses leave them zero (use `Trinit::serving_cache().counters()`
-  // for an on-demand snapshot).
+  // across the engine's lifetime, not per-request deltas). Sourced from
+  // the lock-free metrics registry (PR 10) — a handful of relaxed
+  // atomic reads, cheap enough that *every* request fills them, traced
+  // or not. All zeros when the engine runs with
+  // `ObsOptions::metrics = false` (or has no registry — the baselines);
+  // `Trinit::serving_cache().counters()` remains the exact
+  // lock-sweeping snapshot for tests and tools.
   size_t answer_hits = 0;
   size_t answer_misses = 0;
   size_t answer_evictions = 0;
@@ -170,6 +174,19 @@ struct QueryResponse {
   /// True when the request's deadline expired before the processor
   /// finished — `result()` holds the best answers found in budget.
   bool deadline_hit = false;
+
+  /// Hierarchical trace of this request (PR 10): a root "execute" span
+  /// carrying the uniform counter set, with one child per stage
+  /// ("parse", "cache", "process"). Set only for traced requests — the
+  /// structured superset of `stages`/`counters`, which remain for
+  /// source compatibility.
+  std::optional<obs::TraceSpan> span;
+
+  /// The span tree as compact JSON (see obs/trace_span.h for the
+  /// schema); "{}" when the request was not traced.
+  std::string trace_json() const {
+    return span.has_value() ? span->ToJson() : std::string("{}");
+  }
 };
 
 /// Merges an engine's configured defaults with a request's overrides
@@ -195,9 +212,23 @@ Result<const query::Query*> ResolveRequestQuery(
     const QueryRequest& request, const rdf::Dictionary& dict,
     query::Query* storage);
 
-/// Flattens a run's `RunStats` into `response->counters`. Shared by
-/// every `Engine` implementation so traced responses expose a uniform
-/// counter vocabulary.
+/// Flattens a run's `RunStats` into name/value pairs. Shared by every
+/// `Engine` implementation (and the span builder) so traced output
+/// exposes a uniform counter vocabulary: every key is emitted for
+/// every run — including `shards` (1 when unsharded) and
+/// `shard_pulls_max` (total pulls when unsharded) — so traced output
+/// keys are identical at any shard count.
+void AppendRunStatsCounters(
+    const topk::TopKResult::RunStats& stats,
+    std::vector<std::pair<std::string, double>>* counters);
+
+/// Flattens `ServingStats` into `serving_*` name/value pairs.
+void AppendServingStatsCounters(
+    const ServingStats& serving,
+    std::vector<std::pair<std::string, double>>* counters);
+
+/// Legacy flat-list shims over the two helpers above, appending to
+/// `response->counters`.
 void AppendRunStatsTrace(const topk::TopKResult::RunStats& stats,
                          QueryResponse* response);
 

@@ -1,8 +1,12 @@
 #include "core/trinit.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "query/parser.h"
 #include "relax/manual_rules.h"
@@ -22,7 +26,31 @@ Trinit::Trinit(xkg::Xkg xkg, TrinitOptions options,
       autocomplete_(std::make_unique<suggest::Autocomplete>(*xkg_)),
       explainer_(std::make_unique<explain::ExplanationBuilder>(*xkg_)),
       serving_cache_(std::make_unique<serve::ServingCache>(
-          options_.serving, initial_generation)) {}
+          options_.serving, initial_generation)),
+      registry_(std::make_unique<obs::MetricsRegistry>()),
+      slow_log_(std::make_unique<obs::SlowQueryLog>(
+          options_.obs.slow_query_ms, options_.obs.slow_log_capacity)) {
+  // Bind every instrument before the engine is shared: handles are
+  // plain pointer writes published by the factory-return handoff (and
+  // by the exclusive lock on the ExtendKg rebind path). With
+  // `obs.metrics` off nothing registers and every handle stays an
+  // unbound no-op — the runtime proxy for TRINIT_OBS_COMPILED_OUT.
+  if (options_.obs.metrics) {
+    metrics_ = EngineMetrics::Register(*registry_);
+    serve::ServingCache::Metrics cache_metrics;
+    cache_metrics.answer_hits = metrics_.answer_hits;
+    cache_metrics.answer_misses = metrics_.answer_misses;
+    cache_metrics.answer_insertions = metrics_.answer_insertions;
+    cache_metrics.answer_evictions = metrics_.answer_evictions;
+    cache_metrics.invalidations = metrics_.invalidations;
+    cache_metrics.body_shares = metrics_.body_shares;
+    cache_metrics.plan_hits = metrics_.plan_hits;
+    cache_metrics.plan_misses = metrics_.plan_misses;
+    cache_metrics.plan_invalidated = metrics_.plan_invalidated;
+    serving_cache_->BindMetrics(cache_metrics);
+    xkg_->BindScoreMetrics(metrics_.shape_sort_ms, metrics_.shape_builds);
+  }
+}
 
 Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
   // Partition before construction so every sub-component (and the
@@ -49,9 +77,11 @@ Result<Trinit> Trinit::Open(xkg::Xkg xkg, TrinitOptions options) {
 
 Result<Trinit> Trinit::Open(const std::string& path, TrinitOptions options,
                             storage::LoadReport* report) {
+  WallTimer open_timer;
   TRINIT_ASSIGN_OR_RETURN(
       storage::LoadedSnapshot snapshot,
       storage::SnapshotReader::Read(path, options.snapshot_read));
+  const double open_ms = open_timer.ElapsedMillis();
   if (report != nullptr) *report = snapshot.report;
   // A snapshot saved sharded restored its own decomposition (zero
   // rebuilds); otherwise partition freshly per the open options.
@@ -68,7 +98,19 @@ Result<Trinit> Trinit::Open(const std::string& path, TrinitOptions options,
     WriterMutexLock lock(*engine.state_mu_);
     engine.rules_ = std::move(snapshot.rules);
   }
+  engine.RecordOpenMetrics(snapshot.report, open_ms);
   return engine;
+}
+
+void Trinit::RecordOpenMetrics(const storage::LoadReport& report,
+                               double open_ms) const {
+  metrics_.open_ms.Observe(open_ms);
+  metrics_.snapshot_bytes.Set(static_cast<int64_t>(report.bytes));
+  metrics_.bytes_touched_open.Set(static_cast<int64_t>(report.bytes_touched));
+  metrics_.bytes_prefetched.Set(
+      static_cast<int64_t>(report.bytes_prefetched));
+  metrics_.resident_bytes.Set(static_cast<int64_t>(report.resident_bytes));
+  metrics_.mapped.Set(report.mapped ? 1 : 0);
 }
 
 Status Trinit::Save(const std::string& path) const {
@@ -185,6 +227,11 @@ Status Trinit::ExtendKg(std::string_view facts_text) {
   suggester_ = std::make_unique<suggest::Suggester>(*xkg_);
   autocomplete_ = std::make_unique<suggest::Autocomplete>(*xkg_);
   explainer_ = std::make_unique<explain::ExplanationBuilder>(*xkg_);
+  // The rebuilt store (and its fresh shard indexes) lost the metric
+  // bindings; re-bind under this exclusive lock before queries resume.
+  if (options_.obs.metrics) {
+    xkg_->BindScoreMetrics(metrics_.shape_sort_ms, metrics_.shape_builds);
+  }
   // Term ids, index lists, and statistics all changed: no cached plan
   // or answer may be served again.
   serving_cache_->BumpGeneration();
@@ -198,39 +245,43 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
   // synchronized serving cache's shard mutexes nest *inside* this lock.
   ReaderMutexLock state_lock(*state_mu_);
   WallTimer total;
+  metrics_.requests.Increment();
+  // In-flight gauge + high-water mark, decremented on every exit path.
+  obs::GaugeGuard in_flight(metrics_.active_requests,
+                            metrics_.concurrent_peak);
   QueryResponse response;
   ResolvedOptions resolved =
       ResolveRequestOptions(options_.scorer, options_.processor, request);
 
   WallTimer stage;
   query::Query parsed_storage;
-  TRINIT_ASSIGN_OR_RETURN(
-      const query::Query* q,
-      ResolveRequestQuery(request, xkg_->dict(), &parsed_storage));
-  if (request.trace) {
-    response.stages.push_back({"parse", stage.ElapsedMillis()});
+  Result<const query::Query*> resolved_query =
+      ResolveRequestQuery(request, xkg_->dict(), &parsed_storage);
+  if (!resolved_query.ok()) {
+    metrics_.parse_errors.Increment();
+    return resolved_query.status();
   }
+  const query::Query* q = *resolved_query;
+  // Stage wall times are always measured (the observation layer needs
+  // them for spans and the latency histogram); the `stages` list itself
+  // stays trace-only, as documented.
+  const double parse_ms = stage.ElapsedMillis();
+  if (request.trace) {
+    response.stages.push_back({"parse", parse_ms});
+  }
+  double cache_ms = 0.0;
+  bool cache_stage_ran = false;
+  double process_ms = 0.0;
+  bool process_stage_ran = false;
 
   auto finish = [&]() -> QueryResponse&& {
-    response.serving.generation = serving_cache_->generation();
-    if (request.trace) {
-      // The cumulative counters sweep every cache shard's lock; only
-      // traced requests pay for it (the per-request fields above are a
-      // single atomic read).
-      const serve::ServingCache::Counters cc = serving_cache_->counters();
-      response.serving.answer_hits = cc.answer_hits;
-      response.serving.answer_misses = cc.answer_misses;
-      response.serving.answer_evictions = cc.answer_evictions;
-      response.serving.plan_hits = cc.plan_hits;
-      response.serving.plan_misses = cc.plan_misses;
-      response.serving.plan_invalidated = cc.plan_invalidated;
-      AppendRunStatsTrace(response.stats, &response);
-      AppendServingStatsTrace(&response);
-    }
     response.effective_scorer = resolved.scorer;
     response.effective_processor = resolved.processor;
     response.deadline_hit = response.stats.deadline_hit;
     response.wall_ms = total.ElapsedMillis();
+    FinishRequestObservation(request, *q, parse_ms, cache_ms,
+                             cache_stage_ran, process_ms, process_stage_ran,
+                             &response);
     return std::move(response);
   };
 
@@ -253,8 +304,10 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
         serving_cache_->generation());
     std::shared_ptr<const topk::TopKResult> cached =
         serving_cache_->LookupAnswer(answer_key);
+    cache_ms = stage.ElapsedMillis();
+    cache_stage_ran = true;
     if (request.trace) {
-      response.stages.push_back({"cache", stage.ElapsedMillis()});
+      response.stages.push_back({"cache", cache_ms});
     }
     if (cached != nullptr) {
       // Alias the stored immutable body — no deep copy of k answers.
@@ -272,8 +325,10 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
                                 serving_cache_->plan_cache());
   TRINIT_ASSIGN_OR_RETURN(topk::TopKResult computed, processor.Answer(*q));
   response.AdoptResult(std::move(computed));
+  process_ms = stage.ElapsedMillis();
+  process_stage_ran = true;
   if (request.trace) {
-    response.stages.push_back({"process", stage.ElapsedMillis()});
+    response.stages.push_back({"process", process_ms});
   }
 
   // Only complete runs are cacheable: a deadline-truncated result is
@@ -283,6 +338,119 @@ Result<QueryResponse> Trinit::Execute(const QueryRequest& request) const {
     serving_cache_->StoreAnswer(answer_key, response.result_body);
   }
   return finish();
+}
+
+void Trinit::FinishRequestObservation(
+    const QueryRequest& request, const query::Query& q, double parse_ms,
+    double cache_ms, bool cache_stage_ran, double process_ms,
+    bool process_stage_ran, QueryResponse* response) const {
+  // The caller has already stamped `response->wall_ms`, so every
+  // consumer below (latency histogram, span tree, slow-log gate) sees
+  // one consistent end-to-end number.
+  ServingStats& serving = response->serving;
+  serving.generation = serving_cache_->generation();
+  // Satellite of PR 10: cumulative counters now come from the lock-free
+  // registry on *every* request — the per-trace shard-lock sweep is
+  // gone. Relaxed reads; zeros when metrics are off.
+  serving.answer_hits = static_cast<size_t>(metrics_.answer_hits.Value());
+  serving.answer_misses = static_cast<size_t>(metrics_.answer_misses.Value());
+  serving.answer_evictions =
+      static_cast<size_t>(metrics_.answer_evictions.Value());
+  serving.plan_hits = static_cast<size_t>(metrics_.plan_hits.Value());
+  serving.plan_misses = static_cast<size_t>(metrics_.plan_misses.Value());
+  serving.plan_invalidated =
+      static_cast<size_t>(metrics_.plan_invalidated.Value());
+
+  const topk::TopKResult::RunStats& stats = response->stats;
+  if (request.trace) {
+    AppendRunStatsTrace(stats, response);
+    AppendServingStatsTrace(response);
+  }
+
+  // ------------------------------------------------ registry recording
+  metrics_.request_ms.Observe(response->wall_ms);
+  if (response->deadline_hit) metrics_.deadline_hits.Increment();
+  metrics_.items_pulled.Increment(stats.items_pulled);
+  metrics_.items_decoded.Increment(stats.items_decoded);
+  metrics_.items_skipped.Increment(stats.items_skipped);
+  metrics_.combinations_tried.Increment(stats.combinations_tried);
+  metrics_.partition_probes.Increment(stats.partition_probes);
+  if (!serving.answer_hit) {
+    // Cache hits did no pulling or planning: recording zeros would
+    // poison the depth and error distributions.
+    metrics_.pulls_per_request.Observe(
+        static_cast<double>(stats.items_pulled));
+    if (response->result_body != nullptr &&
+        metrics_.plan_cardinality_error.bound()) {
+      for (const topk::TopKResult::PlanStep& step : response->result().plan) {
+        const double ratio = (static_cast<double>(step.pulled) + 1.0) /
+                             (step.estimated + 1.0);
+        metrics_.plan_cardinality_error.Observe(
+            std::fabs(std::log2(ratio)));
+      }
+    }
+  }
+  if (stats.per_shard_pulled.size() > 1) {
+    metrics_.scatter_requests.Increment();
+    size_t total_pulled = 0;
+    size_t max_pulled = 0;
+    for (size_t pulled : stats.per_shard_pulled) {
+      total_pulled += pulled;
+      max_pulled = std::max(max_pulled, pulled);
+    }
+    if (total_pulled > 0) {
+      metrics_.shard_hottest_share.Observe(
+          static_cast<double>(max_pulled) /
+          static_cast<double>(total_pulled));
+    }
+  }
+
+  // ------------------------------------------------- span + slow log
+  const bool slow = slow_log_->ShouldRecord(response->wall_ms);
+  if (!request.trace && !slow) return;
+
+  obs::TraceSpan root;
+  root.name = "execute";
+  root.start_ms = 0.0;
+  root.duration_ms = response->wall_ms;
+  std::vector<std::pair<std::string, double>> counters;
+  AppendRunStatsCounters(stats, &counters);
+  AppendServingStatsCounters(serving, &counters);
+  root.counters = counters;
+  // Children carry cumulative start offsets — stages run strictly in
+  // parse -> cache -> process order.
+  root.AddChild("parse", 0.0, parse_ms);
+  if (cache_stage_ran) root.AddChild("cache", parse_ms, cache_ms);
+  if (process_stage_ran) {
+    root.AddChild("process", parse_ms + cache_ms, process_ms);
+  }
+
+  if (slow) {
+    obs::SlowQueryRecord record;
+    record.query = q.ToString();
+    record.wall_ms = response->wall_ms;
+    record.generation = serving.generation;
+    record.answer_hit = serving.answer_hit;
+    record.deadline_hit = response->deadline_hit;
+    // An answer hit executed no plan; the aliased body's embedded plan
+    // belongs to the run that produced it, not this request.
+    if (!serving.answer_hit && response->result_body != nullptr) {
+      std::string plan_text;
+      for (const topk::TopKResult::PlanStep& step : response->result().plan) {
+        if (!plan_text.empty()) plan_text.push_back(' ');
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "p%zu(est=%.0f pulled=%zu)",
+                      step.pattern, step.estimated, step.pulled);
+        plan_text.append(buf);
+      }
+      record.plan = std::move(plan_text);
+    }
+    record.counters = std::move(counters);
+    record.span = root;
+    slow_log_->Record(std::move(record));
+    metrics_.slowlog_records.Increment();
+  }
+  if (request.trace) response->span = std::move(root);
 }
 
 std::vector<Result<QueryResponse>> Trinit::ExecuteBatch(

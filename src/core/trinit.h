@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/engine_metrics.h"
 #include "core/request.h"
 #include "explain/explanation.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "openie/pipeline.h"
 #include "relax/bridge_miner.h"
 #include "relax/inversion_miner.h"
@@ -66,6 +69,12 @@ struct TrinitOptions {
   /// How `Save` encodes the snapshot: per-section codec and wire format
   /// version. See `storage::SnapshotWriter`.
   storage::WriteOptions snapshot_write;
+
+  /// Observability (PR 10): the always-on metrics registry, the
+  /// slow-query log's threshold and ring capacity. `obs.metrics =
+  /// false` unbinds every instrument (the runtime stand-in for building
+  /// with TRINIT_OBS_COMPILED_OUT); see docs/OBSERVABILITY.md.
+  obs::ObsOptions obs;
 };
 
 /// The TriniT engine — the system of the paper, end to end: an extended
@@ -227,6 +236,17 @@ class Trinit : public Engine {
     return *serving_cache_;
   }
 
+  /// Point-in-time snapshot of every registered engine metric (PR 10).
+  /// Lock-free relaxed reads of the live cells — safe concurrently with
+  /// any number of executing requests and with mutators. Empty when the
+  /// engine runs with `ObsOptions::metrics = false`. Render with
+  /// `obs::RenderPrometheus` / `obs::RenderJson`.
+  obs::MetricsSnapshot MetricsSnapshot() const { return registry_->Snapshot(); }
+
+  /// The slow-query log (bounded ring of requests that crossed
+  /// `ObsOptions::slow_query_ms`); always present, possibly disabled.
+  const obs::SlowQueryLog& slow_query_log() const { return *slow_log_; }
+
  private:
   /// `initial_generation` seeds the serving cache — 0 for fresh builds,
   /// the snapshot's stamped generation on the `Open(path)` path.
@@ -259,6 +279,37 @@ class Trinit : public Engine {
   // bumps (stale entries are invalidated lazily, never served).
   // Internally synchronized — safe to touch under the shared lock.
   std::unique_ptr<serve::ServingCache> serving_cache_;
+
+  // ------------------------------------------------ observability (PR 10)
+
+  /// Fills `response.serving`'s registry-sourced cumulative counters,
+  /// records the per-request registry observations (latency, deadline,
+  /// topk work, cardinality error, shard balance), and — for traced or
+  /// slow requests — builds the span tree and feeds the slow-query log.
+  /// Called at the end of `Execute` on every path that has a response.
+  void FinishRequestObservation(const QueryRequest& request,
+                                const query::Query& q, double parse_ms,
+                                double cache_ms, bool cache_stage_ran,
+                                double process_ms, bool process_stage_ran,
+                                QueryResponse* response) const;
+
+  /// Records storage-layer metrics of one snapshot open.
+  void RecordOpenMetrics(const storage::LoadReport& report,
+                         double open_ms) const;
+
+  /// Metric cell storage, never null; heap-allocated so handles (raw
+  /// pointers into it) survive the factory-return move of the engine.
+  /// Internally synchronized; increments are lock-free (see
+  /// obs/metrics.h). Empty (nothing registered) when
+  /// `ObsOptions::metrics` is false.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  /// The engine's bound instrument handles; all unbound no-ops when
+  /// `ObsOptions::metrics` is false.
+  EngineMetrics metrics_;
+  /// Bounded slow-request ring, never null (possibly disabled);
+  /// internally synchronized, touched only for requests already slower
+  /// than the threshold.
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 }  // namespace trinit::core

@@ -1,0 +1,115 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+
+#include "obs/trace_span.h"
+
+namespace trinit::obs {
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Prometheus sample value: integers bare, +Inf spelled "+Inf".
+std::string PromNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return FormatJsonNumber(value);
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& metric : snapshot.metrics) {
+    out.append("# HELP ").append(metric.name).push_back(' ');
+    // HELP text is raw UTF-8 with backslash and newline escaped.
+    for (const char c : metric.help) {
+      if (c == '\\') {
+        out.append("\\\\");
+      } else if (c == '\n') {
+        out.append("\\n");
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('\n');
+    out.append("# TYPE ").append(metric.name).push_back(' ');
+    out.append(KindName(metric.kind));
+    out.push_back('\n');
+    if (metric.kind == MetricKind::kHistogram) {
+      for (const auto& bucket : metric.buckets) {
+        out.append(metric.name).append("_bucket{le=\"");
+        out.append(PromNumber(bucket.le));
+        out.append("\"} ");
+        out.append(FormatJsonNumber(static_cast<double>(bucket.count)));
+        out.push_back('\n');
+      }
+      out.append(metric.name).append("_sum ");
+      out.append(PromNumber(metric.sum));
+      out.push_back('\n');
+      out.append(metric.name).append("_count ");
+      out.append(FormatJsonNumber(static_cast<double>(metric.count)));
+      out.push_back('\n');
+    } else {
+      out.append(metric.name).push_back(' ');
+      out.append(PromNumber(metric.value));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& metric : snapshot.metrics) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendJsonEscaped(metric.name, &out);
+    out.append("\",\"kind\":\"");
+    out.append(KindName(metric.kind));
+    out.append("\",\"help\":\"");
+    AppendJsonEscaped(metric.help, &out);
+    out.push_back('"');
+    if (metric.kind == MetricKind::kHistogram) {
+      out.append(",\"count\":");
+      out.append(FormatJsonNumber(static_cast<double>(metric.count)));
+      out.append(",\"sum\":");
+      out.append(FormatJsonNumber(metric.sum));
+      out.append(",\"buckets\":[");
+      bool first_bucket = true;
+      for (const auto& bucket : metric.buckets) {
+        if (!first_bucket) out.push_back(',');
+        first_bucket = false;
+        out.append("{\"le\":");
+        if (std::isinf(bucket.le)) {
+          out.append("\"+Inf\"");
+        } else {
+          out.append(FormatJsonNumber(bucket.le));
+        }
+        out.append(",\"count\":");
+        out.append(FormatJsonNumber(static_cast<double>(bucket.count)));
+        out.push_back('}');
+      }
+      out.push_back(']');
+    } else {
+      out.append(",\"value\":");
+      out.append(FormatJsonNumber(metric.value));
+    }
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace trinit::obs

@@ -1,0 +1,32 @@
+#ifndef TRINIT_OBS_EXPOSITION_H_
+#define TRINIT_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+/// Wire renderings of a `MetricsSnapshot` (PR 10): the Prometheus text
+/// exposition format (scraped by ci.sh through tools/promcheck.py and
+/// printed by trinit_shell's `.metrics prom`) and a JSON object for
+/// programmatic consumers (`.metrics json`). Both are pure functions of
+/// the snapshot — rendering never touches the live registry.
+namespace trinit::obs {
+
+/// Prometheus text format, version 0.0.4:
+///
+///   # HELP trinit_engine_requests_total Requests executed.
+///   # TYPE trinit_engine_requests_total counter
+///   trinit_engine_requests_total 42
+///
+/// Histograms emit cumulative `_bucket{le="..."}` series (ending in
+/// le="+Inf"), `_sum`, and `_count`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON: {"metrics":[{"name":...,"kind":"counter","help":...,
+/// "value":N} | {..."kind":"histogram","count":N,"sum":N,
+/// "buckets":[{"le":N|"+Inf","count":N}...]}]}
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+}  // namespace trinit::obs
+
+#endif  // TRINIT_OBS_EXPOSITION_H_

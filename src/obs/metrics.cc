@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace trinit::obs {
+namespace internal {
+
+size_t StripeIndex() {
+  // One hash per thread lifetime; the mask assumes kCounterStripes is a
+  // power of two.
+  static_assert((kCounterStripes & (kCounterStripes - 1)) == 0);
+  thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kCounterStripes - 1);
+  return stripe;
+}
+
+void AddToDoubleBits(std::atomic<uint64_t>& cell, double delta) {
+  uint64_t observed = cell.load(std::memory_order_relaxed);
+  while (true) {
+    const double current = std::bit_cast<double>(observed);
+    const uint64_t desired = std::bit_cast<uint64_t>(current + delta);
+    if (cell.compare_exchange_weak(observed, desired,
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  if (cells_ == nullptr) return 0;
+  uint64_t total = 0;
+  for (const auto& stripe : cells_->stripes) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::UpdateMax(int64_t candidate) const {
+#ifndef TRINIT_OBS_COMPILED_OUT
+  if (cell_ == nullptr) return;
+  int64_t observed = cell_->value.load(std::memory_order_relaxed);
+  while (observed < candidate &&
+         !cell_->value.compare_exchange_weak(observed, candidate,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+#else
+  (void)candidate;
+#endif
+}
+
+int64_t Gauge::Value() const {
+  return cell_ == nullptr ? 0 : cell_->value.load(std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) const {
+#ifndef TRINIT_OBS_COMPILED_OUT
+  if (cells_ == nullptr) return;
+  // First bound >= value; everything past the last bound lands in the
+  // +Inf bucket at index bounds.size().
+  const auto it = std::lower_bound(cells_->bounds.begin(),
+                                   cells_->bounds.end(), value);
+  const size_t bucket = static_cast<size_t>(it - cells_->bounds.begin());
+  cells_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cells_->count.fetch_add(1, std::memory_order_relaxed);
+  internal::AddToDoubleBits(cells_->sum_bits, value);
+#else
+  (void)value;
+#endif
+}
+
+double MetricsSnapshot::Metric::Quantile(double q) const {
+  if (kind != MetricKind::kHistogram || count == 0 || buckets.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t previous_cumulative = 0;
+  double previous_bound = 0.0;
+  for (const Bucket& bucket : buckets) {
+    if (static_cast<double>(bucket.count) >= rank && bucket.count > 0) {
+      if (std::isinf(bucket.le)) {
+        // Unbounded tail: the largest finite bound is the best honest
+        // answer (matches Prometheus' histogram_quantile convention).
+        return previous_bound;
+      }
+      const uint64_t in_bucket = bucket.count - previous_cumulative;
+      if (in_bucket == 0) return bucket.le;
+      const double fraction =
+          (rank - static_cast<double>(previous_cumulative)) /
+          static_cast<double>(in_bucket);
+      return previous_bound +
+             (bucket.le - previous_bound) * std::clamp(fraction, 0.0, 1.0);
+    }
+    previous_cumulative = bucket.count;
+    if (!std::isinf(bucket.le)) previous_bound = bucket.le;
+  }
+  return previous_bound;
+}
+
+const MetricsSnapshot::Metric* MetricsSnapshot::Find(
+    std::string_view name) const {
+  for (const Metric& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Def& MetricsRegistry::DefFor(const std::string& name,
+                                              const std::string& help,
+                                              MetricKind kind) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    Def& def = *defs_[it->second];
+    // Kind mismatch on re-registration is a programming error; keep the
+    // original def so the first registration's handles stay valid.
+    return def;
+  }
+  auto def = std::make_unique<Def>();
+  def->name = name;
+  def->help = help;
+  def->kind = kind;
+  index_.emplace(name, defs_.size());
+  defs_.push_back(std::move(def));
+  return *defs_.back();
+}
+
+Counter MetricsRegistry::RegisterCounter(const std::string& name,
+                                         const std::string& help) {
+  MutexLock lock(mu_);
+  Def& def = DefFor(name, help, MetricKind::kCounter);
+  if (def.kind != MetricKind::kCounter) return Counter();
+  if (def.counter == nullptr) {
+    def.counter = std::make_unique<internal::CounterCells>();
+  }
+  return Counter(def.counter.get());
+}
+
+Gauge MetricsRegistry::RegisterGauge(const std::string& name,
+                                     const std::string& help) {
+  MutexLock lock(mu_);
+  Def& def = DefFor(name, help, MetricKind::kGauge);
+  if (def.kind != MetricKind::kGauge) return Gauge();
+  if (def.gauge == nullptr) {
+    def.gauge = std::make_unique<internal::GaugeCell>();
+  }
+  return Gauge(def.gauge.get());
+}
+
+Histogram MetricsRegistry::RegisterHistogram(const std::string& name,
+                                             const std::string& help,
+                                             std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  MutexLock lock(mu_);
+  Def& def = DefFor(name, help, MetricKind::kHistogram);
+  if (def.kind != MetricKind::kHistogram) return Histogram();
+  if (def.histogram == nullptr) {
+    def.histogram = std::make_unique<internal::HistogramCells>();
+    def.histogram->bounds = std::move(bounds);
+    def.histogram->buckets = std::make_unique<std::atomic<uint64_t>[]>(
+        def.histogram->bounds.size() + 1);
+  }
+  return Histogram(def.histogram.get());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(defs_.size());
+  for (const auto& def : defs_) {
+    MetricsSnapshot::Metric metric;
+    metric.name = def->name;
+    metric.help = def->help;
+    metric.kind = def->kind;
+    switch (def->kind) {
+      case MetricKind::kCounter:
+        metric.value = static_cast<double>(Counter(def->counter.get()).Value());
+        break;
+      case MetricKind::kGauge:
+        metric.value = static_cast<double>(Gauge(def->gauge.get()).Value());
+        break;
+      case MetricKind::kHistogram: {
+        const internal::HistogramCells& cells = *def->histogram;
+        metric.count = cells.count.load(std::memory_order_relaxed);
+        metric.sum = std::bit_cast<double>(
+            cells.sum_bits.load(std::memory_order_relaxed));
+        uint64_t cumulative = 0;
+        metric.buckets.reserve(cells.bounds.size() + 1);
+        for (size_t i = 0; i <= cells.bounds.size(); ++i) {
+          cumulative += cells.buckets[i].load(std::memory_order_relaxed);
+          MetricsSnapshot::Bucket bucket;
+          bucket.le = i < cells.bounds.size()
+                          ? cells.bounds[i]
+                          : std::numeric_limits<double>::infinity();
+          bucket.count = cumulative;
+          metric.buckets.push_back(bucket);
+        }
+        // Concurrent observers may have bumped a bucket between our
+        // count read and the bucket walk; report a count that is never
+        // below the cumulative total so `_count >= last bucket` holds.
+        metric.count = std::max(metric.count, cumulative);
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(metric));
+  }
+  return snapshot;
+}
+
+size_t MetricsRegistry::size() const {
+  MutexLock lock(mu_);
+  return defs_.size();
+}
+
+}  // namespace trinit::obs

@@ -1,0 +1,38 @@
+#include "obs/slow_query_log.h"
+
+#include <utility>
+
+namespace trinit::obs {
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  if (!enabled()) return;
+  MutexLock lock(mu_);
+  record.sequence = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Entries() const {
+  MutexLock lock(mu_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: storage order is oldest-first
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+}  // namespace trinit::obs

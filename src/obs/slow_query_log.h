@@ -1,0 +1,84 @@
+#ifndef TRINIT_OBS_SLOW_QUERY_LOG_H_
+#define TRINIT_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_span.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+/// Bounded ring of the engine's slowest requests (PR 10): any `Execute`
+/// whose wall time crosses `ObsOptions::slow_query_ms` is recorded with
+/// everything a post-hoc diagnosis needs — canonical query, executed
+/// plan order, the full uniform counter set, and the span tree — then
+/// dumped by trinit_shell's `.slowlog`. Capacity is fixed at
+/// construction; the ring overwrites oldest-first and
+/// `total_recorded()` keeps the lifetime count so a dump can say "8 of
+/// 131 kept".
+///
+/// Cost model: `ShouldRecord` is one branch on the already-measured
+/// wall time — the untraced fast path never takes the log's mutex.
+/// Only actually-slow requests (already paying >= threshold
+/// milliseconds of query work) pay the record's copy + lock.
+namespace trinit::obs {
+
+/// One recorded slow request.
+struct SlowQueryRecord {
+  uint64_t sequence = 0;  ///< lifetime ordinal (1-based) of this record
+  std::string query;      ///< canonical query text
+  double wall_ms = 0.0;
+  uint64_t generation = 0;  ///< XKG generation that served it
+  bool answer_hit = false;  ///< served from the answer cache
+  bool deadline_hit = false;
+  /// Execution-ordered plan, rendered "p2(est=5 pulled=3) ..." (empty
+  /// for cache hits and planless runs).
+  std::string plan;
+  /// The uniform request counter set (same keys as a traced response).
+  std::vector<std::pair<std::string, double>> counters;
+  TraceSpan span;  ///< full span tree of the request
+};
+
+class SlowQueryLog {
+ public:
+  /// `threshold_ms <= 0` or `capacity == 0` disables the log.
+  SlowQueryLog(double threshold_ms, size_t capacity)
+      : threshold_ms_(threshold_ms), capacity_(capacity) {}
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  bool enabled() const { return threshold_ms_ > 0.0 && capacity_ > 0; }
+  double threshold_ms() const { return threshold_ms_; }
+  size_t capacity() const { return capacity_; }
+
+  /// The fast-path gate: true iff this wall time must be recorded.
+  bool ShouldRecord(double wall_ms) const {
+    return enabled() && wall_ms >= threshold_ms_;
+  }
+
+  /// Appends (stamping `record.sequence`), overwriting the oldest entry
+  /// once the ring is full.
+  void Record(SlowQueryRecord record);
+
+  /// Current contents, oldest first. Size never exceeds `capacity()`.
+  std::vector<SlowQueryRecord> Entries() const;
+
+  /// Lifetime number of records ever written (>= Entries().size()).
+  uint64_t total_recorded() const;
+
+ private:
+  const double threshold_ms_;
+  const size_t capacity_;
+
+  mutable Mutex mu_;
+  /// Ring storage: grows to `capacity_` then wraps at `next_`.
+  std::vector<SlowQueryRecord> ring_ TRINIT_GUARDED_BY(mu_);
+  size_t next_ TRINIT_GUARDED_BY(mu_) = 0;
+  uint64_t total_ TRINIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace trinit::obs
+
+#endif  // TRINIT_OBS_SLOW_QUERY_LOG_H_

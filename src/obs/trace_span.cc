@@ -1,0 +1,132 @@
+#include "obs/trace_span.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace trinit::obs {
+namespace {
+
+void AppendPretty(const TraceSpan& span, size_t depth, std::string* out) {
+  out->append(depth * 2, ' ');
+  out->append(span.name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.3fms", span.duration_ms);
+  out->append(buf);
+  if (depth > 0) {
+    std::snprintf(buf, sizeof(buf), " @%.3fms", span.start_ms);
+    out->append(buf);
+  }
+  if (!span.counters.empty()) {
+    out->append(" [");
+    bool first = true;
+    for (const auto& [key, value] : span.counters) {
+      if (!first) out->push_back(' ');
+      first = false;
+      out->append(key);
+      out->push_back('=');
+      out->append(FormatJsonNumber(value));
+    }
+    out->push_back(']');
+  }
+  out->push_back('\n');
+  for (const TraceSpan& child : span.children) {
+    AppendPretty(child, depth + 1, out);
+  }
+}
+
+void AppendJson(const TraceSpan& span, std::string* out) {
+  out->append("{\"name\":\"");
+  AppendJsonEscaped(span.name, out);
+  out->append("\",\"start_ms\":");
+  out->append(FormatJsonNumber(span.start_ms));
+  out->append(",\"duration_ms\":");
+  out->append(FormatJsonNumber(span.duration_ms));
+  out->append(",\"counters\":[");
+  bool first = true;
+  for (const auto& [key, value] : span.counters) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("[\"");
+    AppendJsonEscaped(key, out);
+    out->append("\",");
+    out->append(FormatJsonNumber(value));
+    out->push_back(']');
+  }
+  out->append("],\"children\":[");
+  first = true;
+  for (const TraceSpan& child : span.children) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJson(child, out);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string FormatJsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";  // JSON has no Inf/NaN literals
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+TraceSpan& TraceSpan::AddChild(std::string child_name, double child_start_ms,
+                               double child_duration_ms) {
+  TraceSpan child;
+  child.name = std::move(child_name);
+  child.start_ms = child_start_ms;
+  child.duration_ms = child_duration_ms;
+  children.push_back(std::move(child));
+  return children.back();
+}
+
+std::string TraceSpan::ToJson() const {
+  std::string out;
+  AppendJson(*this, &out);
+  return out;
+}
+
+std::string TraceSpan::ToPretty() const {
+  std::string out;
+  AppendPretty(*this, 0, &out);
+  return out;
+}
+
+}  // namespace trinit::obs

@@ -1,0 +1,62 @@
+#ifndef TRINIT_OBS_TRACE_SPAN_H_
+#define TRINIT_OBS_TRACE_SPAN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Structured per-request tracing (PR 10): a hierarchical span tree
+/// replacing the flat stage-timing list as the engine's deep
+/// diagnostic. Spans are plain value types built *after* the work they
+/// describe (the engine keeps its cheap `WallTimer` readings during
+/// execution and assembles the tree at the end of `Execute`), so
+/// tracing adds no synchronization to the hot path.
+///
+/// Schema (docs/OBSERVABILITY.md):
+///
+///   span := { name, start_ms, duration_ms,
+///             counters: [[key, value]...], children: [span...] }
+///
+/// `start_ms` is the offset from the *root* span's start, so a child's
+/// absolute position never depends on walking parents. Counters are an
+/// ordered key/value list (not a map) — emission order is part of the
+/// contract the S=1-vs-S=4 uniformity test pins.
+namespace trinit::obs {
+
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;     ///< offset from the root span's start
+  double duration_ms = 0.0;  ///< this span's wall time
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<TraceSpan> children;
+
+  /// Appends and returns the new child (valid until the next append).
+  TraceSpan& AddChild(std::string child_name, double child_start_ms,
+                      double child_duration_ms);
+
+  void AddCounter(std::string key, double value) {
+    counters.emplace_back(std::move(key), value);
+  }
+
+  /// Compact single-line JSON matching the schema above. Counter values
+  /// that are whole numbers render without a fraction.
+  std::string ToJson() const;
+
+  /// Human-oriented multi-line rendering for trinit_shell:
+  ///   execute 12.4ms [items_pulled=311 ...]
+  ///     parse 0.1ms @0.0ms
+  ///     ...
+  std::string ToPretty() const;
+};
+
+/// JSON string escaping shared by span and exposition rendering.
+void AppendJsonEscaped(const std::string& text, std::string* out);
+
+/// Formats a counter value: integral values without a fraction
+/// ("311"), fractional ones with enough digits to round-trip reading
+/// ("0.125").
+std::string FormatJsonNumber(double value);
+
+}  // namespace trinit::obs
+
+#endif  // TRINIT_OBS_TRACE_SPAN_H_

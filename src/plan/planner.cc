@@ -243,6 +243,7 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
         if (it->second.generation != gen) {
           it = shard.entries.erase(it);
           ++shard.stats.invalidated;
+          metric_invalidated_.Increment();
         } else {
           ++it;
         }
@@ -252,6 +253,7 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
     auto it = shard.entries.find(key);
     if (it != shard.entries.end() && it->second.generation == gen) {
       ++shard.stats.hits;
+      metric_hits_.Increment();
       if (was_hit != nullptr) *was_hit = true;
       return it->second.plan;
     }
@@ -259,9 +261,11 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
       // A racing pre-bump compile slipped in after this shard's sweep;
       // never serve it.
       ++shard.stats.invalidated;
+      metric_invalidated_.Increment();
       shard.entries.erase(it);
     }
     ++shard.stats.misses;
+    metric_misses_.Increment();
   }
   // Compile outside the lock: planning is read-only over the XKG, and a
   // racing duplicate compile of the same structure is cheaper than
@@ -274,6 +278,13 @@ std::shared_ptr<const JoinPlan> PlanCache::Get(const query::Query& q,
     entry = Entry{gen, std::move(plan)};
   }
   return entry.plan;
+}
+
+void PlanCache::BindMetrics(obs::Counter hits, obs::Counter misses,
+                            obs::Counter invalidated) {
+  metric_hits_ = hits;
+  metric_misses_ = misses;
+  metric_invalidated_ = invalidated;
 }
 
 PlanCache::Stats PlanCache::stats() const {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "plan/join_plan.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -107,6 +108,15 @@ class PlanCache {
   Stats stats() const;
   size_t size() const;  ///< entries held, including not-yet-reaped stale
 
+  /// Mirrors hit/miss/invalidation counting onto engine registry
+  /// metrics (in addition to the mutex-guarded `Stats`, which remain
+  /// the exact per-cache numbers). Must be called before the cache is
+  /// shared across threads — the engine binds at construction, under
+  /// exclusive ownership. Unbound handles (the default, and every
+  /// processor-private cache) cost one null check per event.
+  void BindMetrics(obs::Counter hits, obs::Counter misses,
+                   obs::Counter invalidated);
+
  private:
   struct Entry {
     uint64_t generation = 0;
@@ -126,6 +136,10 @@ class PlanCache {
 
   std::atomic<uint64_t> generation_{0};
   mutable std::vector<Shard> shards_;
+  // Registry mirrors of Stats; written only by BindMetrics (pre-share).
+  obs::Counter metric_hits_;
+  obs::Counter metric_misses_;
+  obs::Counter metric_invalidated_;
 };
 
 }  // namespace trinit::plan

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace trinit::rdf {
 
@@ -56,6 +57,7 @@ ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
     std::span<const Triple> triples, Shape shape) const {
   ShapeIndex& shaped = (*shapes_)[shape];
   std::call_once(shaped.once, [this, &triples, shape, &shaped]() {
+    WallTimer sort_timer;
     const size_t n = subset_ ? members_.size() : triples.size();
     // Decorate once instead of re-deriving keys and weights in every
     // comparison: the sort dominates the build.
@@ -85,6 +87,8 @@ ScoreOrderIndex::ShapeIndex& ScoreOrderIndex::Shaped(
     shaped.ids = std::move(ids);
     shaped.prefix_mass = std::move(prefix_mass);
     shaped.built.store(true, std::memory_order_release);
+    builds_.Increment();
+    sort_ms_.Observe(sort_timer.ElapsedMillis());
   });
   return shaped;
 }

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rdf/triple.h"
 #include "util/owned_span.h"
 #include "util/status.h"
@@ -157,6 +158,16 @@ class ScoreOrderIndex {
   /// every built shape views a shared mapping.
   size_t resident_bytes() const;
 
+  /// Observes each first-touch sort (its latency on `sort_ms`, a count
+  /// on `builds`). Snapshot-restored shapes never enter the once-body,
+  /// so restores are deliberately *not* counted as builds. Must be
+  /// called before the index is shared across threads — the engine
+  /// binds under exclusive ownership (construction, ExtendKg).
+  void BindMetrics(obs::Histogram sort_ms, obs::Counter builds) {
+    sort_ms_ = sort_ms;
+    builds_ = builds;
+  }
+
  private:
   enum Shape { kAll, kS, kP, kO, kSP, kSO, kPO, kNumShapes };
 
@@ -202,6 +213,9 @@ class ScoreOrderIndex {
   // the whole-store mode.
   std::span<const TripleId> members_;
   bool subset_ = false;
+  // Registry mirrors; written only by BindMetrics (pre-share).
+  obs::Histogram sort_ms_;
+  obs::Counter builds_;
 };
 
 }  // namespace trinit::rdf

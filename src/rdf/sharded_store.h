@@ -118,6 +118,14 @@ class ShardedStore {
   /// introspection; 0 .. shard_count * 7).
   size_t score_shapes_built() const;
 
+  /// Forwards first-touch sort instrumentation to every shard's score
+  /// index (see `ScoreOrderIndex::BindMetrics`; same pre-share
+  /// contract — parallel scatter builds observe concurrently, which the
+  /// relaxed handles support).
+  void BindScoreMetrics(obs::Histogram sort_ms, obs::Counter builds) {
+    for (Shard& shard : shards_) shard.index.BindMetrics(sort_ms, builds);
+  }
+
   /// Private (per-process) bytes held by shard members and materialized
   /// shapes — 0 when everything views a shared mapping.
   size_t resident_bytes() const;

@@ -104,6 +104,12 @@ class TripleStore {
   /// introspection for tests and benches; 0..7).
   size_t score_shapes_built() const { return score_index_.built_shapes(); }
 
+  /// Forwards first-touch sort instrumentation to the score index (see
+  /// `ScoreOrderIndex::BindMetrics`; same pre-share contract).
+  void BindScoreMetrics(obs::Histogram sort_ms, obs::Counter builds) {
+    score_index_.BindMetrics(sort_ms, builds);
+  }
+
   /// Number of non-SPO permutation index arrays (the canonical SPO
   /// order is the triple array itself).
   static constexpr size_t kNumIndexPermutations = 5;

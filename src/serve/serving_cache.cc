@@ -35,6 +35,13 @@ ServingCache::ServingCache(ServingCacheOptions options,
 void ServingCache::BumpGeneration() {
   generation_.fetch_add(1, std::memory_order_acq_rel);
   plan_cache_.BumpGeneration();
+  metrics_.invalidations.Increment();
+}
+
+void ServingCache::BindMetrics(const Metrics& metrics) {
+  metrics_ = metrics;
+  plan_cache_.BindMetrics(metrics.plan_hits, metrics.plan_misses,
+                          metrics.plan_invalidated);
 }
 
 ServingCache::AnswerShard& ServingCache::ShardFor(
@@ -93,9 +100,12 @@ std::shared_ptr<const topk::TopKResult> ServingCache::LookupAnswer(
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    metrics_.answer_misses.Increment();
     return nullptr;
   }
   ++shard.hits;
+  metrics_.answer_hits.Increment();
+  metrics_.body_shares.Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   // Shared immutable body: the lock covers only the refcount bump and
   // LRU splice — no deep copy of k answers. Per-request "the hit did no
@@ -123,11 +133,13 @@ void ServingCache::StoreAnswer(
   shard.lru.emplace_front(key, std::move(result));
   shard.index.emplace(key, shard.lru.begin());
   ++shard.insertions;
+  metrics_.answer_insertions.Increment();
   const size_t capacity = ShardCapacity();
   while (shard.lru.size() > capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
+    metrics_.answer_evictions.Increment();
   }
 }
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "plan/planner.h"
 #include "query/query.h"
 #include "scoring/lm_scorer.h"
@@ -148,6 +149,27 @@ class ServingCache {
 
   Counters counters() const;
 
+  /// The registry handles the cache mirrors its activity onto (PR 10).
+  /// Everything here is *in addition to* the exact mutex-guarded
+  /// per-shard counters behind `counters()`; registry reads are
+  /// relaxed and lock-free. `invalidations` counts generation bumps.
+  struct Metrics {
+    obs::Counter answer_hits;
+    obs::Counter answer_misses;
+    obs::Counter answer_insertions;
+    obs::Counter answer_evictions;
+    obs::Counter invalidations;
+    obs::Counter body_shares;  ///< hits handing out a shared body
+    obs::Counter plan_hits;
+    obs::Counter plan_misses;
+    obs::Counter plan_invalidated;
+  };
+
+  /// Binds the registry mirrors (forwarding the plan handles to the
+  /// internal `PlanCache`). Must be called before the cache is shared
+  /// across threads — the engine binds at construction.
+  void BindMetrics(const Metrics& metrics);
+
  private:
   using AnswerEntry =
       std::pair<std::string, std::shared_ptr<const topk::TopKResult>>;
@@ -171,6 +193,8 @@ class ServingCache {
   std::atomic<uint64_t> generation_{0};
   plan::PlanCache plan_cache_;
   mutable std::vector<AnswerShard> answer_shards_;
+  // Registry mirrors; written only by BindMetrics (pre-share).
+  Metrics metrics_;
 };
 
 }  // namespace trinit::serve

@@ -62,8 +62,9 @@ struct TopKResult {
     size_t plan_cache_hits = 0;    ///< variants served a cached plan
     size_t plan_cache_misses = 0;  ///< structures compiled fresh
     /// Items pulled per owning XKG shard (scatter-gather balance); at
-    /// most one element when the engine serves unsharded — traces gate
-    /// on size() > 1 so unsharded output is unchanged.
+    /// most one element when the engine serves unsharded. Traces emit
+    /// the balance counters uniformly — an unsharded run reports
+    /// `shards=1` with `shard_pulls_max=items_pulled` (PR 10).
     std::vector<size_t> per_shard_pulled;
     /// The run's wall-clock deadline expired before the rewrite space
     /// was fully explored; `answers` holds the best found in budget.

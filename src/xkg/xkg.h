@@ -106,6 +106,16 @@ class Xkg {
     sharded_ = std::make_unique<rdf::ShardedStore>(std::move(sharded));
   }
 
+  /// Forwards first-touch score-shape sort instrumentation to the
+  /// global store and (when sharded) every shard index. Mutates state
+  /// the `const` query paths read — like `InstallSharding`, call only
+  /// under the engine's exclusive context (construction, ExtendKg
+  /// rebuild, after any re-sharding).
+  void BindScoreMetrics(obs::Histogram sort_ms, obs::Counter builds) {
+    store_.BindScoreMetrics(sort_ms, builds);
+    if (sharded_ != nullptr) sharded_->BindScoreMetrics(sort_ms, builds);
+  }
+
   /// True iff the triple has curated-KG provenance.
   bool IsKgTriple(rdf::TripleId id) const {
     return store_.triple(id).source == rdf::kKgSource;

@@ -59,9 +59,10 @@ TEST(ServingTest, RepeatedRequestServedFromAnswerCacheWithZeroWork) {
   EXPECT_EQ(c.answer_hits, 1u);
   EXPECT_EQ(c.answer_misses, 1u);
 
-  // Untraced responses carry only the cheap per-request fields; the
-  // cumulative snapshot costs shard locks and needs `trace`.
-  EXPECT_EQ(warm->serving.answer_hits, 0u);
+  // Cumulative counters are registry-sourced (PR 10): a handful of
+  // relaxed atomic reads, filled on *every* response, traced or not.
+  EXPECT_EQ(warm->serving.answer_hits, 1u);
+  EXPECT_EQ(warm->serving.answer_misses, 1u);
   QueryRequest traced = request;
   traced.trace = true;
   auto traced_warm = engine.Execute(traced);

@@ -1,13 +1,15 @@
 // Engine-level sharded scatter-gather serving: at any shard count the
 // answers, scores, AND total pull/probe/decode work counters are
 // byte-identical to the unsharded engine (the per-shard merge is exact,
-// not approximate); only the per-shard balance counters — gated out of
-// unsharded traces — differ. Snapshots persist the decomposition, and
-// ExtendKg preserves it across the rebuild.
+// not approximate); traced output carries one uniform counter key set
+// at any shard count (an unsharded run reports shards=1). Snapshots
+// persist the decomposition, and ExtendKg preserves it across the
+// rebuild.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -150,46 +152,57 @@ TEST(ShardedEngineTest, PropertyShardedEqualsUnshardedAcrossWorlds) {
   }
 }
 
-TEST(ShardedEngineTest, BalanceCountersAppearOnlyInShardedTraces) {
+TEST(ShardedEngineTest, BalanceCountersEmittedUniformly) {
   auto find_counter = [](const QueryResponse& response, const char* name) {
     for (const TraceCounter& c : response.counters) {
       if (c.name == name) return std::optional<double>(c.value);
     }
     return std::optional<double>();
   };
-  // Unsharded traces never carry the balance counters — their output is
-  // byte-identical to the pre-sharding engine for the whole mix.
+  auto counter_names = [](const QueryResponse& response) {
+    std::vector<std::string> names;
+    for (const TraceCounter& c : response.counters) names.push_back(c.name);
+    return names;
+  };
+  // Traced output carries one uniform counter vocabulary at any shard
+  // count (PR 10): an unsharded run is one shard that pulled
+  // everything, so dashboards never branch on key presence.
   const Trinit baseline = OpenPaperEngine(1);
-  for (const std::string& q : PaperQueries()) {
-    QueryRequest request = QueryRequest::Text(q, 5);
-    request.trace = true;
-    auto flat = baseline.Execute(request);
-    ASSERT_TRUE(flat.ok());
-    EXPECT_FALSE(find_counter(*flat, "shards").has_value()) << q;
-    EXPECT_FALSE(find_counter(*flat, "shard_pulls_max").has_value()) << q;
-  }
-
-  // Sharded traces surface them for any query whose pulls actually span
-  // shards (a query whose matches happen to hash to one shard stays
-  // gated); over the paper mix at S=8 at least one query must scatter.
   const Trinit sharded = OpenPaperEngine(8);
   bool scattered_query_seen = false;
   for (const std::string& q : PaperQueries()) {
     QueryRequest request = QueryRequest::Text(q, 5);
     request.trace = true;
+    auto flat = baseline.Execute(request);
     auto scattered = sharded.Execute(request);
+    ASSERT_TRUE(flat.ok());
     ASSERT_TRUE(scattered.ok());
+
+    // The key sets — including emission order — are identical.
+    EXPECT_EQ(counter_names(*flat), counter_names(*scattered)) << q;
+
+    EXPECT_EQ(find_counter(*flat, "shards"), std::optional<double>(1.0))
+        << q;
+    EXPECT_EQ(find_counter(*flat, "shard_pulls_max"),
+              std::optional<double>(
+                  static_cast<double>(flat->stats.items_pulled)))
+        << q;
+
     const auto shards = find_counter(*scattered, "shards");
     const auto max_pulled = find_counter(*scattered, "shard_pulls_max");
-    EXPECT_EQ(shards.has_value(), max_pulled.has_value()) << q;
-    if (!shards.has_value()) continue;
-    scattered_query_seen = true;
-    EXPECT_GT(*shards, 1.0) << q;
+    ASSERT_TRUE(shards.has_value()) << q;
+    ASSERT_TRUE(max_pulled.has_value()) << q;
+    EXPECT_GE(*shards, 1.0) << q;
     EXPECT_LE(*shards, 8.0) << q;
-    EXPECT_GE(*max_pulled, 1.0) << q;
     EXPECT_LE(*max_pulled, static_cast<double>(scattered->stats.items_pulled))
         << q;
+    if (*shards > 1.0) {
+      scattered_query_seen = true;
+      EXPECT_GE(*max_pulled, 1.0) << q;
+    }
   }
+  // Over the paper mix at S=8 at least one query must actually span
+  // shards (a query whose matches hash to one shard reports shards=1).
   EXPECT_TRUE(scattered_query_seen);
 }
 

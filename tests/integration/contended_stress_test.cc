@@ -10,11 +10,15 @@
 //   * concurrent Save during serving and during mutation,
 //   * concurrent first touch of lazy score-ordered shapes,
 //   * answer-cache store/lookup/evict races under a capacity small
-//     enough to evict constantly.
+//     enough to evict constantly,
+//   * metrics scrapes racing the query herd and a KG mutator (the
+//     registry's relaxed-atomic cells plus the slow-query log's ring
+//     under concurrent writes).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -325,6 +329,94 @@ TEST(ContendedStressTest, AnswerCacheEvictionHerd) {
   EXPECT_LE(counters.answer_insertions, counters.answer_misses);
   EXPECT_GT(counters.answer_evictions, 0u) << "capacity never pressured";
   EXPECT_LE(counters.answer_entries, options.serving.answer_capacity);
+}
+
+// Metrics scrapes racing the serving herd and a mutator: Snapshot()
+// walks every registered cell with relaxed reads while ExecuteBatch
+// workers increment them and ExtendKg rebinds score-shape handles under
+// the exclusive state lock; a tiny slow-query threshold keeps the
+// slow-log ring under concurrent Record pressure too. Each counter must
+// stay monotone across scrapes, and the final scrape must reconcile
+// exactly with the work submitted.
+TEST(ContendedStressTest, ConcurrentMetricsScrapeDuringServingAndMutation) {
+  TrinitOptions options;
+  options.obs.slow_query_ms = 1e-6;  // every request records
+  options.obs.slow_log_capacity = 8;
+  auto engine = BuildEngine(options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  constexpr int kQueryThreads = 2;
+  constexpr int kRounds = 5;
+  std::atomic<int> failures{0};
+  std::atomic<size_t> executed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&] {
+    uint64_t last_requests = 0;
+    while (!stop.load()) {
+      const obs::MetricsSnapshot snapshot = engine->MetricsSnapshot();
+      const auto* requests = snapshot.Find("trinit_engine_requests_total");
+      if (requests == nullptr ||
+          static_cast<uint64_t>(requests->value) < last_requests) {
+        failures.fetch_add(1);  // counter went backwards mid-storm
+      } else {
+        last_requests = static_cast<uint64_t>(requests->value);
+      }
+      // The slow log is being written concurrently; Entries() must
+      // always hand back a coherent, capacity-bounded copy.
+      if (engine->slow_query_log().Entries().size() >
+          options.obs.slow_log_capacity) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::thread mutator([&] {
+    for (int i = 0; i < 3; ++i) {
+      if (!engine->ExtendKg("ScrapeNode" + std::to_string(i) +
+                            " scrapeLink ScrapeHub\n")
+               .ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> herd;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    herd.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<QueryRequest> batch;
+        for (const char* text : kHerdQueries) {
+          batch.push_back(QueryRequest::Text(text, 5));
+        }
+        auto results = engine->ExecuteBatch(batch, /*num_threads=*/2);
+        executed.fetch_add(results.size());
+        for (const auto& r : results) {
+          if (!r.ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  mutator.join();
+  for (std::thread& th : herd) th.join();
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiescent reconciliation: the registry counted every request, and
+  // the slow log kept its ring bounded while recording all of them.
+  const obs::MetricsSnapshot final_snapshot = engine->MetricsSnapshot();
+  const auto* requests = final_snapshot.Find("trinit_engine_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(static_cast<size_t>(requests->value), executed.load());
+  const auto* active = final_snapshot.Find("trinit_engine_active_requests");
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->value, 0.0);
+  const auto* peak =
+      final_snapshot.Find("trinit_engine_concurrent_requests_peak");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_GE(peak->value, 1.0);
+  EXPECT_EQ(engine->slow_query_log().total_recorded(), executed.load());
+  EXPECT_EQ(engine->slow_query_log().Entries().size(),
+            options.obs.slow_log_capacity);
 }
 
 }  // namespace

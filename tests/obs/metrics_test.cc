@@ -1,0 +1,240 @@
+// The metrics registry's contracts: striped counters stay exact under
+// concurrent increments, unbound handles are no-ops, registration is
+// idempotent by name, histograms bucket and interpolate correctly, and
+// the two wire renderings agree with the snapshot.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace trinit::obs {
+namespace {
+
+TEST(MetricsTest, CounterCountsExactlyAcrossThreads) {
+  MetricsRegistry registry;
+  Counter counter = registry.RegisterCounter("test_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, CounterIncrementByNAndZero) {
+  MetricsRegistry registry;
+  Counter counter = registry.RegisterCounter("n_total", "help");
+  counter.Increment(41);
+  counter.Increment(0);  // no-op by contract
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(MetricsTest, UnboundHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  EXPECT_FALSE(counter.bound());
+  EXPECT_FALSE(gauge.bound());
+  EXPECT_FALSE(histogram.bound());
+  counter.Increment(7);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Add(5), 0);
+  gauge.Set(9);
+  gauge.UpdateMax(11);
+  EXPECT_EQ(gauge.Value(), 0);
+  histogram.Observe(3.0);  // must not crash
+}
+
+TEST(MetricsTest, GaugeAddSetAndUpdateMax) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.RegisterGauge("test_gauge", "help");
+  EXPECT_EQ(gauge.Add(3), 3);
+  EXPECT_EQ(gauge.Add(-1), 2);
+  gauge.Set(10);
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.UpdateMax(7);  // lower: no change
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.UpdateMax(15);
+  EXPECT_EQ(gauge.Value(), 15);
+}
+
+TEST(MetricsTest, GaugeGuardTracksInFlightAndPeak) {
+  MetricsRegistry registry;
+  Gauge active = registry.RegisterGauge("active", "help");
+  Gauge peak = registry.RegisterGauge("peak", "help");
+  {
+    GaugeGuard outer(active, peak);
+    EXPECT_EQ(active.Value(), 1);
+    {
+      GaugeGuard inner(active, peak);
+      EXPECT_EQ(active.Value(), 2);
+    }
+    EXPECT_EQ(active.Value(), 1);
+  }
+  EXPECT_EQ(active.Value(), 0);
+  EXPECT_EQ(peak.Value(), 2);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  Histogram hist =
+      registry.RegisterHistogram("test_ms", "help", {1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // <= 1
+  hist.Observe(1.0);    // <= 1 (bounds are inclusive upper)
+  hist.Observe(5.0);    // <= 10
+  hist.Observe(500.0);  // +Inf
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::Metric* m = snapshot.Find("test_ms");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kHistogram);
+  EXPECT_EQ(m->count, 4u);
+  EXPECT_DOUBLE_EQ(m->sum, 506.5);
+  ASSERT_EQ(m->buckets.size(), 4u);  // 3 finite + Inf, cumulative
+  EXPECT_EQ(m->buckets[0].count, 2u);
+  EXPECT_EQ(m->buckets[1].count, 3u);
+  EXPECT_EQ(m->buckets[2].count, 3u);
+  EXPECT_TRUE(std::isinf(m->buckets[3].le));
+  EXPECT_EQ(m->buckets[3].count, 4u);
+}
+
+TEST(MetricsTest, HistogramSumExactUnderConcurrentObserve) {
+  MetricsRegistry registry;
+  Histogram hist = registry.RegisterHistogram("sum_ms", "help", {1.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist] {
+      for (int i = 0; i < kPerThread; ++i) hist.Observe(0.25);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::Metric* m = snapshot.Find("sum_ms");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, static_cast<uint64_t>(kThreads) * kPerThread);
+  // 0.25 is exactly representable: the CAS-accumulated sum is exact.
+  EXPECT_DOUBLE_EQ(m->sum, 0.25 * kThreads * kPerThread);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram hist =
+      registry.RegisterHistogram("q_ms", "help", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) hist.Observe(5.0);   // first bucket
+  for (int i = 0; i < 10; ++i) hist.Observe(15.0);  // second bucket
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::Metric* m = snapshot.Find("q_ms");
+  ASSERT_NE(m, nullptr);
+  // p50 sits at the first/second bucket boundary; p95 inside the second.
+  EXPECT_NEAR(m->Quantile(0.5), 10.0, 1.0);
+  EXPECT_GT(m->Quantile(0.95), 10.0);
+  EXPECT_LE(m->Quantile(0.95), 20.0);
+  // Empty histogram answers 0.
+  Histogram empty = registry.RegisterHistogram("empty_ms", "help", {1.0});
+  EXPECT_EQ(registry.Snapshot().Find("empty_ms")->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter a = registry.RegisterCounter("same_total", "help");
+  Counter b = registry.RegisterCounter("same_total", "help");
+  a.Increment(2);
+  b.Increment(3);
+  EXPECT_EQ(a.Value(), 5u);
+  EXPECT_EQ(b.Value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsTest, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("first_total", "1");
+  registry.RegisterGauge("second", "2");
+  registry.RegisterHistogram("third_ms", "3", {1.0});
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.metrics[0].name, "first_total");
+  EXPECT_EQ(snapshot.metrics[1].name, "second");
+  EXPECT_EQ(snapshot.metrics[2].name, "third_ms");
+  EXPECT_EQ(snapshot.Find("nope"), nullptr);
+}
+
+TEST(MetricsTest, PrometheusRenderingShape) {
+  MetricsRegistry registry;
+  Counter c = registry.RegisterCounter("trinit_reqs_total", "Requests.");
+  c.Increment(3);
+  Gauge g = registry.RegisterGauge("trinit_active", "In flight.");
+  g.Set(2);
+  Histogram h = registry.RegisterHistogram("trinit_ms", "Latency.", {1.0});
+  h.Observe(0.5);
+  h.Observe(4.0);
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP trinit_reqs_total Requests.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE trinit_reqs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("trinit_reqs_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trinit_active gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("trinit_active 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trinit_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("trinit_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("trinit_ms_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("trinit_ms_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonRenderingShape) {
+  MetricsRegistry registry;
+  Counter c = registry.RegisterCounter("a_total", "A \"quoted\" help");
+  c.Increment();
+  registry.RegisterHistogram("b_ms", "B", {2.0});
+  const std::string json = RenderJson(registry.Snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("A \\\"quoted\\\" help"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentScrapeDuringIncrements) {
+  MetricsRegistry registry;
+  Counter counter = registry.RegisterCounter("busy_total", "help");
+  Histogram hist = registry.RegisterHistogram("busy_ms", "help", {1.0});
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([counter, hist] {
+      for (int i = 0; i < 20000; ++i) {
+        counter.Increment();
+        hist.Observe(0.5);
+      }
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    const MetricsSnapshot::Metric* m = snapshot.Find("busy_total");
+    ASSERT_NE(m, nullptr);
+    // Each counter is monotone across scrapes even mid-storm.
+    EXPECT_GE(static_cast<uint64_t>(m->value), last);
+    last = static_cast<uint64_t>(m->value);
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(counter.Value(), 80000u);
+}
+
+}  // namespace
+}  // namespace trinit::obs

@@ -1,0 +1,121 @@
+// TraceSpan's JSON schema (name/start/duration/counters/children, with
+// correct escaping and number formatting) and the slow-query log's
+// bounded-ring contract (capacity, oldest-first order, lifetime count).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slow_query_log.h"
+#include "obs/trace_span.h"
+
+namespace trinit::obs {
+namespace {
+
+TEST(TraceSpanTest, JsonShape) {
+  TraceSpan root;
+  root.name = "execute";
+  root.duration_ms = 2.5;
+  root.AddCounter("items_pulled", 311);
+  root.AddCounter("share", 0.125);
+  root.AddChild("parse", 0.0, 0.25);
+  TraceSpan& process = root.AddChild("process", 0.25, 2.0);
+  process.AddCounter("pulls", 7);
+
+  const std::string json = root.ToJson();
+  EXPECT_EQ(json,
+            "{\"name\":\"execute\",\"start_ms\":0,\"duration_ms\":2.5,"
+            "\"counters\":[[\"items_pulled\",311],[\"share\",0.125]],"
+            "\"children\":["
+            "{\"name\":\"parse\",\"start_ms\":0,\"duration_ms\":0.25,"
+            "\"counters\":[],\"children\":[]},"
+            "{\"name\":\"process\",\"start_ms\":0.25,\"duration_ms\":2,"
+            "\"counters\":[[\"pulls\",7]],\"children\":[]}]}");
+}
+
+TEST(TraceSpanTest, JsonEscapesSpecials) {
+  TraceSpan span;
+  span.name = "we\"ird\\name\n\ttab";
+  const std::string json = span.ToJson();
+  EXPECT_NE(json.find("we\\\"ird\\\\name\\n\\ttab"), std::string::npos);
+}
+
+TEST(TraceSpanTest, NumberFormatting) {
+  EXPECT_EQ(FormatJsonNumber(311.0), "311");
+  EXPECT_EQ(FormatJsonNumber(0.0), "0");
+  EXPECT_EQ(FormatJsonNumber(0.125), "0.125");
+  EXPECT_EQ(FormatJsonNumber(-4.0), "-4");
+}
+
+TEST(TraceSpanTest, PrettyIndentsChildren) {
+  TraceSpan root;
+  root.name = "execute";
+  root.duration_ms = 1.0;
+  root.AddChild("parse", 0.0, 0.1);
+  const std::string pretty = root.ToPretty();
+  EXPECT_NE(pretty.find("execute 1.000ms"), std::string::npos);
+  EXPECT_NE(pretty.find("\n  parse 0.100ms @0.000ms"), std::string::npos);
+}
+
+SlowQueryRecord MakeRecord(const std::string& query, double wall_ms) {
+  SlowQueryRecord record;
+  record.query = query;
+  record.wall_ms = wall_ms;
+  return record;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog log(/*threshold_ms=*/10.0, /*capacity=*/4);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(9.99));
+  EXPECT_TRUE(log.ShouldRecord(10.0));
+  EXPECT_TRUE(log.ShouldRecord(250.0));
+
+  SlowQueryLog disabled(/*threshold_ms=*/0.0, /*capacity=*/4);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.ShouldRecord(1e9));
+  SlowQueryLog no_capacity(/*threshold_ms=*/10.0, /*capacity=*/0);
+  EXPECT_FALSE(no_capacity.enabled());
+}
+
+TEST(SlowQueryLogTest, RingOverwritesOldestKeepsOrder) {
+  SlowQueryLog log(/*threshold_ms=*/1.0, /*capacity=*/3);
+  for (int i = 1; i <= 5; ++i) {
+    log.Record(MakeRecord("q" + std::to_string(i), i * 10.0));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);  // capacity bound held
+  // Oldest-first, the newest three, with lifetime sequence numbers.
+  EXPECT_EQ(entries[0].query, "q3");
+  EXPECT_EQ(entries[0].sequence, 3u);
+  EXPECT_EQ(entries[1].query, "q4");
+  EXPECT_EQ(entries[2].query, "q5");
+  EXPECT_EQ(entries[2].sequence, 5u);
+}
+
+TEST(SlowQueryLogTest, PartialRingIsOldestFirst) {
+  SlowQueryLog log(/*threshold_ms=*/1.0, /*capacity=*/8);
+  log.Record(MakeRecord("a", 2.0));
+  log.Record(MakeRecord("b", 3.0));
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, "a");
+  EXPECT_EQ(entries[1].query, "b");
+  EXPECT_EQ(log.total_recorded(), 2u);
+}
+
+TEST(SlowQueryLogTest, RecordCarriesSpanTree) {
+  SlowQueryLog log(/*threshold_ms=*/1.0, /*capacity=*/2);
+  SlowQueryRecord record = MakeRecord("?x bornIn Ulm", 300.0);
+  record.span.name = "execute";
+  record.span.AddChild("process", 0.1, 299.0);
+  log.Record(std::move(record));
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_EQ(entries[0].span.children.size(), 1u);
+  EXPECT_EQ(entries[0].span.children[0].name, "process");
+}
+
+}  // namespace
+}  // namespace trinit::obs

@@ -24,6 +24,12 @@ Rules (each finding prints as ``path:line: [rule] message``):
                     type punning is the storage layer's privilege (mmap
                     section views, with layout static_asserts alongside);
                     everywhere else it is a strict-aliasing hazard.
+  adhoc-atomic      ``std::atomic`` in src/ outside src/obs/ — lock-free
+                    state belongs in the metrics registry's audited cells
+                    (src/obs/metrics.h documents the memory-ordering
+                    rules); ad-hoc atomics scattered through the engine
+                    are how ordering bugs hide. Pre-existing sites are
+                    allowlisted; new ones need a written reason there.
   include-style     project includes are quote-form paths rooted at
                     src/ (or tests/, bench/, examples/ for those trees);
                     no ``../`` escapes, no angle-form project headers.
@@ -47,6 +53,7 @@ CXX_DIRS = ("src", "tests", "bench", "examples")
 CXX_EXTS = (".h", ".cc", ".cpp")
 
 PUNNING_RE = re.compile(r"\breinterpret_cast\b")
+ATOMIC_RE = re.compile(r"\bstd::atomic(?:_\w+)?\b")
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(?:recursive_)?(?:shared_)?(?:timed_)?mutex\b"
     r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
@@ -189,6 +196,15 @@ def check_file(root, path, status_names, findings):
                                  "reinterpret_cast outside src/storage/ — "
                                  "keep type punning confined to the "
                                  "storage layer's checked view helpers"))
+
+        if in_src and not rel.startswith(os.path.join("src", "obs") +
+                                         os.sep):
+            if ATOMIC_RE.search(code):
+                findings.append((rel, lineno, "adhoc-atomic",
+                                 "std::atomic outside src/obs/ — use the "
+                                 "metrics registry's cells or an annotated "
+                                 "Mutex (docs/CONCURRENCY.md has the "
+                                 "ordering rules)"))
 
         if in_src:
             if NAKED_NEW_RE.search(code):

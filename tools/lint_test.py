@@ -188,6 +188,43 @@ class LintRuleTest(unittest.TestCase):
                         " return reinterpret_cast<int*>(p); }\n")
         self.assert_clean()
 
+    # ------------------------------------------------------ adhoc-atomic
+    def test_atomic_outside_obs_fires(self):
+        self.repo.write("src/rdf/counterful.h",
+                        GUARD + "#include <atomic>\n"
+                        "struct S { std::atomic<int> hits{0}; };\n"
+                        + GUARD_END)
+        self.assert_fires("adhoc-atomic", "src/rdf/counterful.h")
+
+    def test_atomic_fence_fires(self):
+        self.repo.write("src/rdf/fence.cc",
+                        "#include <atomic>\n"
+                        "void f() {"
+                        " std::atomic_thread_fence(std::memory_order_seq_cst);"
+                        " }\n")
+        self.assert_fires("adhoc-atomic", "src/rdf/fence.cc")
+
+    def test_atomic_in_obs_and_tests_clean(self):
+        # src/obs/ is the audited home of lock-free cells; tests and
+        # bench code are outside the rule's scope, as are comments.
+        self.repo.write("src/obs/cells.h",
+                        GUARD + "#include <atomic>\n"
+                        "struct C { std::atomic<unsigned> v{0}; };\n"
+                        + GUARD_END)
+        self.repo.write("src/rdf/commented.cc",
+                        "// std::atomic is banned here; see src/obs/.\n"
+                        "int f() { return 1; }\n")
+        self.repo.write("tests/atomic_test.cc",
+                        "#include <atomic>\nstd::atomic<int> test_only;\n")
+        self.assert_clean()
+
+    def test_atomic_allowlist_suppresses(self):
+        self.repo.write("src/core/engine.cc",
+                        "#include <atomic>\n"
+                        "std::atomic<long> next{0};\n")
+        self.repo.allow(("adhoc-atomic", "src/core/engine.cc"))
+        self.assert_clean()
+
     # ---------------------------------------------------- include-style
     def test_relative_include_fires(self):
         self.repo.write("src/a.cc", '#include "../tests/helper.h"\n')

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition (format 0.0.4) read from stdin.
+
+ci.sh pipes trinit_shell's ``.metrics prom`` output through this to keep
+the scrape endpoint honest: every metric must carry ``# HELP`` and
+``# TYPE`` lines, every sample must parse, histograms must emit
+monotonically non-decreasing cumulative buckets ordered by ``le`` and
+ending in ``le="+Inf"`` whose count equals ``_count``. Interactive noise
+around the block (the ``trinit> `` prompts, query echo) is stripped; the
+checked block runs from the first ``# HELP`` line to the last
+metric-shaped line.
+
+Usage: promcheck.py [--min-metrics N] < exposition.txt
+Exits 0 iff the block validates (and has at least N metrics, default 10).
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+HELP_RE = re.compile(rf"^# HELP ({NAME_RE}) (.*)$")
+TYPE_RE = re.compile(rf"^# TYPE ({NAME_RE}) (counter|gauge|histogram|"
+                     r"summary|untyped)$")
+SAMPLE_RE = re.compile(
+    rf"^({NAME_RE})(?:\{{([^}}]*)\}})? ([^ ]+)(?: \d+)?$")
+LABEL_RE = re.compile(rf'({NAME_RE})="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def fail(lineno, message):
+    print(f"promcheck: line {lineno}: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-metrics", type=int, default=10,
+                        help="minimum # TYPE'd metric families expected")
+    args = parser.parse_args(argv)
+
+    # Strip interactive noise: shell prompts prefix lines ("trinit> # HELP
+    # ..."), and the exposition block is surrounded by query output.
+    lines = []
+    for raw in sys.stdin:
+        line = raw.rstrip("\n")
+        while line.startswith("trinit> "):
+            line = line[len("trinit> "):]
+        lines.append(line)
+    start = next((i for i, l in enumerate(lines) if l.startswith("# HELP")),
+                 None)
+    if start is None:
+        print("promcheck: no '# HELP' line found in input", file=sys.stderr)
+        return 1
+
+    helped = set()
+    typed = {}  # name -> type
+    # histogram name -> {"buckets": [(le, count)], "count": n, "sum": s}
+    histograms = {}
+    sample_names = set()
+
+    for offset, line in enumerate(lines[start:]):
+        lineno = start + offset + 1
+        if not line or line.startswith("  "):
+            break  # left the exposition block (indented shell output)
+        if line.startswith("# HELP"):
+            m = HELP_RE.match(line)
+            if not m:
+                return fail(lineno, f"malformed HELP line: {line!r}")
+            if m.group(1) in helped:
+                return fail(lineno, f"duplicate HELP for {m.group(1)}")
+            helped.add(m.group(1))
+            continue
+        if line.startswith("# TYPE"):
+            m = TYPE_RE.match(line)
+            if not m:
+                return fail(lineno, f"malformed TYPE line: {line!r}")
+            name, kind = m.group(1), m.group(2)
+            if name in typed:
+                return fail(lineno, f"duplicate TYPE for {name}")
+            if name not in helped:
+                return fail(lineno, f"TYPE before HELP for {name}")
+            typed[name] = kind
+            if kind == "histogram":
+                histograms[name] = {"buckets": [], "count": None,
+                                    "sum": None}
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            break  # left the exposition block
+        name, labels_text, value_text = m.group(1), m.group(2), m.group(3)
+        value = parse_value(value_text)
+        if value is None:
+            return fail(lineno, f"unparseable sample value: {line!r}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in histograms:
+                base = name[:-len(suffix)]
+        if base not in typed:
+            return fail(lineno, f"sample for undeclared metric: {name}")
+        sample_names.add(base)
+        if base in histograms:
+            hist = histograms[base]
+            if name.endswith("_bucket"):
+                labels = dict(LABEL_RE.findall(labels_text or ""))
+                if "le" not in labels:
+                    return fail(lineno, f"bucket without le label: {line!r}")
+                le = parse_value(labels["le"])
+                if le is None:
+                    return fail(lineno, f"unparseable le: {labels['le']!r}")
+                hist["buckets"].append((lineno, le, value))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = (lineno, value)
+            else:
+                return fail(lineno,
+                            f"bare sample for histogram {base}: {line!r}")
+        elif name != base:
+            return fail(lineno, f"suffixed sample for non-histogram: {name}")
+
+    for name in typed:
+        if name not in sample_names:
+            return fail(0, f"metric {name} declared but has no samples")
+
+    for name, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets:
+            return fail(0, f"histogram {name} has no buckets")
+        prev_le, prev_count = -math.inf, 0
+        for lineno, le, count in buckets:
+            if le <= prev_le:
+                return fail(lineno, f"{name} buckets out of le order")
+            if count < prev_count:
+                return fail(lineno,
+                            f"{name} cumulative bucket counts decrease")
+            prev_le, prev_count = le, count
+        if buckets[-1][1] != math.inf:
+            return fail(buckets[-1][0],
+                        f"{name} last bucket is not le=\"+Inf\"")
+        if hist["count"] is None or hist["sum"] is None:
+            return fail(0, f"histogram {name} missing _count or _sum")
+        if buckets[-1][2] != hist["count"][1]:
+            return fail(hist["count"][0],
+                        f"{name} +Inf bucket ({buckets[-1][2]:.0f}) != "
+                        f"_count ({hist['count'][1]:.0f})")
+
+    if len(typed) < args.min_metrics:
+        print(f"promcheck: only {len(typed)} metric families, expected "
+              f">= {args.min_metrics}", file=sys.stderr)
+        return 1
+
+    kinds = {}
+    for kind in typed.values():
+        kinds[kind] = kinds.get(kind, 0) + 1
+    summary = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+    print(f"promcheck OK ({len(typed)} metric families: {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
